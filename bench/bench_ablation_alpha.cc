@@ -1,0 +1,65 @@
+/// Ablation (ours, DESIGN.md A2): sweep of the sampling ratio α used for
+/// rough feature computation (§3.3).  Smaller α cuts the offline build
+/// time proportionally but degrades the rough feature estimates, costing
+/// extra labels before UD = 0 — the trade-off Figures 6/7 fix at α = 10%.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace vs;
+  const double scale = bench::ParseScale(argc, argv);
+  bench::PrintHeader(
+      "Ablation A2 — Sampling ratio α sweep (DIAB, UF 7, k = 5)",
+      "build time scales with α; label overhead grows as α shrinks");
+  std::printf("scale=%.3f\n\n", scale);
+
+  bench::World diab = bench::MakeDiabWorld(scale);
+  const core::IdealUtilityFunction ideal = core::Table2Presets()[6];
+
+  // Per-view execution model throughout, matching Figures 6/7 (the cost
+  // structure the α optimization targets; see EXPERIMENTS.md).
+  double exact_build = 0.0;
+  auto exact = bench::BuildRoughMatrix(diab, 1.0, 0, &exact_build,
+                                       /*shared_scan=*/false);
+
+  // Baseline: exact features.  Coarse feedback (as in Figures 3/4) keeps
+  // sessions long enough for rough features to matter.
+  core::ExperimentConfig config;
+  config.k = 5;
+  config.max_labels = 150;
+  config.seed = 41;
+  config.stop_on_ud_zero = true;
+  config.label_quantization = 0.05;
+  auto base = core::RunSimulatedSession(*exact, nullptr, ideal, config);
+  if (!base.ok()) {
+    std::fprintf(stderr, "baseline: %s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  bench::PrintRow({"alpha", "build_seconds", "labels_to_ud0",
+                   "session_seconds"});
+  bench::PrintRow({"1.000 (exact)", bench::Fmt(exact_build),
+                   std::to_string(base->labels_to_target),
+                   bench::Fmt(base->elapsed_seconds)});
+
+  for (double alpha : {0.5, 0.25, 0.10, 0.05, 0.01}) {
+    double build_seconds = 0.0;
+    auto rough = bench::BuildRoughMatrix(diab, alpha, 71, &build_seconds,
+                                         /*shared_scan=*/false);
+    core::ExperimentConfig opt = config;
+    opt.refine = true;
+    opt.refine_views_per_iteration =
+        static_cast<int>(diab.views.size() / 24) + 1;
+    auto r = core::RunSimulatedSession(*exact, rough.get(), ideal, opt);
+    if (!r.ok()) {
+      bench::PrintRow({bench::Fmt(alpha), r.status().ToString(), "", ""});
+      continue;
+    }
+    bench::PrintRow({bench::Fmt(alpha), bench::Fmt(build_seconds),
+                     std::to_string(r->labels_to_target),
+                     bench::Fmt(r->elapsed_seconds)});
+  }
+  return 0;
+}

@@ -1,0 +1,199 @@
+/// Microbenchmarks (google-benchmark) for the substrate hot paths: grouped
+/// aggregation, distance kernels, regression fits, sampling, and feature
+/// computation.  Run in Release/RelWithDebInfo for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/feature_matrix.h"
+#include "core/view.h"
+#include "data/generator.h"
+#include "data/groupby.h"
+#include "data/predicate.h"
+#include "data/sampler.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "stats/distance.h"
+
+namespace {
+
+const vs::data::Table& DiabTable() {
+  static const vs::data::Table* table = [] {
+    vs::data::DiabetesOptions options;
+    options.num_rows = 50000;
+    options.seed = 3;
+    return new vs::data::Table(*vs::data::GenerateDiabetes(options));
+  }();
+  return *table;
+}
+
+void BM_GroupByCategorical(benchmark::State& state) {
+  const auto& table = DiabTable();
+  vs::data::GroupByExecutor executor(&table);
+  vs::data::GroupBySpec spec{"race", "num_medications",
+                             vs::data::AggregateFunction::kAvg, 0};
+  for (auto _ : state) {
+    auto r = executor.Execute(spec, nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_GroupByCategorical);
+
+void BM_GroupByWithSelection(benchmark::State& state) {
+  const auto& table = DiabTable();
+  vs::Rng rng(5);
+  auto selection = vs::data::BernoulliSample(table.num_rows(), 0.1, &rng);
+  vs::data::GroupByExecutor executor(&table);
+  vs::data::GroupBySpec spec{"age_group", "time_in_hospital",
+                             vs::data::AggregateFunction::kSum, 0};
+  for (auto _ : state) {
+    auto r = executor.Execute(spec, &selection);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(selection.size()));
+}
+BENCHMARK(BM_GroupByWithSelection);
+
+void BM_GroupByBatchVsLoop(benchmark::State& state) {
+  // The shared-scan batch (all 40 (measure, func) views of one dimension
+  // in one pass) vs 40 separate Execute calls; arg 0 = loop, 1 = batch.
+  const auto& table = DiabTable();
+  vs::data::GroupByExecutor executor(&table);
+  std::vector<vs::data::GroupBySpec> specs;
+  for (const std::string& m :
+       table.schema().NamesWithRole(vs::data::FieldRole::kMeasure)) {
+    for (auto f : vs::data::AllAggregateFunctions()) {
+      specs.push_back({"race", m, f, 0});
+    }
+  }
+  const bool batch = state.range(0) == 1;
+  for (auto _ : state) {
+    if (batch) {
+      auto r = executor.ExecuteBatch(specs, nullptr);
+      benchmark::DoNotOptimize(r);
+    } else {
+      for (const auto& spec : specs) {
+        auto r = executor.Execute(spec, nullptr);
+        benchmark::DoNotOptimize(r);
+      }
+    }
+  }
+  state.SetLabel(batch ? "shared-scan" : "per-view");
+}
+BENCHMARK(BM_GroupByBatchVsLoop)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PredicateSelection(benchmark::State& state) {
+  const auto& table = DiabTable();
+  auto predicate = vs::data::And(
+      {vs::data::Compare("gender", vs::data::CompareOp::kEq,
+                         vs::data::Value("Female")),
+       vs::data::Compare("num_medications", vs::data::CompareOp::kGe,
+                         vs::data::Value(10.0))});
+  for (auto _ : state) {
+    auto sel = vs::data::SelectRows(table, predicate);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table.num_rows()));
+}
+BENCHMARK(BM_PredicateSelection);
+
+void BM_Distance(benchmark::State& state) {
+  const auto kind = static_cast<vs::stats::DistanceKind>(state.range(0));
+  vs::Rng rng(7);
+  std::vector<double> p(64);
+  std::vector<double> q(64);
+  double ps = 0.0;
+  double qs = 0.0;
+  for (size_t i = 0; i < 64; ++i) {
+    p[i] = rng.NextDouble() + 0.01;
+    q[i] = rng.NextDouble() + 0.01;
+    ps += p[i];
+    qs += q[i];
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    p[i] /= ps;
+    q[i] /= qs;
+  }
+  vs::stats::Distribution dp{p};
+  vs::stats::Distribution dq{q};
+  for (auto _ : state) {
+    auto d = vs::stats::Distance(kind, dp, dq);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Distance)->DenseRange(0, 4)->ArgName("kind");
+
+void BM_LinearRegressionFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  vs::Rng rng(9);
+  vs::ml::Matrix x(n, 8);
+  vs::ml::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 8; ++j) x(i, j) = rng.NextDouble();
+    y[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    vs::ml::LinearRegression model;
+    auto s = model.Fit(x, y);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LinearRegressionFit)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  vs::Rng rng(11);
+  vs::ml::Matrix x(n, 8);
+  vs::ml::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double z = 0.0;
+    for (size_t j = 0; j < 8; ++j) {
+      x(i, j) = rng.NextDouble();
+      z += x(i, j) - 0.5;
+    }
+    y[i] = z > 0.0 ? 1.0 : 0.0;
+  }
+  for (auto _ : state) {
+    vs::ml::LogisticRegression model;
+    auto s = model.Fit(x, y);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LogisticRegressionFit)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BernoulliSample(benchmark::State& state) {
+  vs::Rng rng(13);
+  for (auto _ : state) {
+    auto sel = vs::data::BernoulliSample(100000, 0.1, &rng);
+    benchmark::DoNotOptimize(sel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_BernoulliSample);
+
+void BM_FeatureMatrixBuild(benchmark::State& state) {
+  const auto& table = DiabTable();
+  auto query = *vs::data::SelectRows(
+      table, vs::data::Compare("gender", vs::data::CompareOp::kEq,
+                               vs::data::Value("Male")));
+  auto views = *vs::core::EnumerateViews(table, {});
+  auto registry = vs::core::UtilityFeatureRegistry::Default();
+  vs::core::FeatureMatrixOptions options;
+  options.sample_rate = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto matrix = vs::core::FeatureMatrix::Build(&table, views, query,
+                                                 &registry, options);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.SetLabel("alpha=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_FeatureMatrixBuild)->Arg(100)->Arg(10)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

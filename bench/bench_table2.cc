@@ -1,0 +1,33 @@
+/// Reproduces Table 2 (simulated ideal utility functions): prints the 11
+/// presets with their component weights exactly as the paper lists them.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/ideal_utility.h"
+#include "core/utility_features.h"
+
+int main() {
+  using namespace vs;
+  bench::PrintHeader("Table 2 — Simulated Ideal Utility Functions",
+                     "11 functions: UF 1-3 single component, UF 4-6 two "
+                     "components, UF 7-11 three components");
+
+  const auto presets = core::Table2Presets();
+  bench::PrintRow({"#", "components", "definition"});
+  for (size_t i = 0; i < presets.size(); ++i) {
+    std::string definition;
+    for (size_t j = 0; j < presets[i].weights().size(); ++j) {
+      const double w = presets[i].weights()[j];
+      if (w == 0.0) continue;
+      if (!definition.empty()) definition += " + ";
+      definition += bench::Fmt(w) + "*" +
+                    core::UtilityFeatureName(
+                        static_cast<core::UtilityFeature>(j));
+    }
+    bench::PrintRow({std::to_string(i + 1),
+                     std::to_string(presets[i].NumComponents()),
+                     definition});
+  }
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+namespace vs::bench {
+
+double ParseScale(int argc, char** argv, double default_scale) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      auto parsed = vs::ParseDouble(argv[i] + 8);
+      if (parsed.ok() && *parsed > 0.0 && *parsed <= 1.0) return *parsed;
+      std::fprintf(stderr, "ignoring bad --scale value '%s'\n", argv[i] + 8);
+    }
+  }
+  return default_scale;
+}
+
+namespace {
+
+World FinishWorld(std::unique_ptr<data::Table> table,
+                  data::SelectionVector query,
+                  std::vector<core::ViewSpec> views,
+                  double generate_seconds) {
+  World world;
+  world.table = std::move(table);
+  world.query = std::move(query);
+  world.views = std::move(views);
+  world.registry = std::make_unique<core::UtilityFeatureRegistry>(
+      core::UtilityFeatureRegistry::Default());
+  world.generate_seconds = generate_seconds;
+  Stopwatch sw;
+  world.exact = std::make_unique<core::FeatureMatrix>(
+      *core::FeatureMatrix::Build(world.table.get(), world.views,
+                                  world.query, world.registry.get(),
+                                  core::FeatureMatrixOptions{}));
+  world.build_seconds = sw.ElapsedSeconds();
+  return world;
+}
+
+}  // namespace
+
+World MakeDiabWorld(double scale) {
+  Stopwatch sw;
+  data::DiabetesOptions options;
+  options.num_rows = static_cast<size_t>(100000 * scale);
+  if (options.num_rows < 500) options.num_rows = 500;
+  options.seed = 7;
+  auto table = std::make_unique<data::Table>(*data::GenerateDiabetes(options));
+  const double generate_seconds = sw.ElapsedSeconds();
+
+  // Fixed hypercube query: elderly urgent-admission patients on rising
+  // insulin (~0.6% of rows under the generator's Zipf level frequencies,
+  // matching Table 1's 0.5% D_Q cardinality ratio).
+  auto query = *data::SelectRows(
+      *table,
+      data::And({data::Compare("age_group", data::CompareOp::kEq,
+                               data::Value("[70+)")),
+                 data::Compare("insulin", data::CompareOp::kEq,
+                               data::Value("Up")),
+                 data::Compare("admission_type", data::CompareOp::kEq,
+                               data::Value("Urgent"))}));
+  auto views = *core::EnumerateViews(*table, {});
+  return FinishWorld(std::move(table), std::move(query), std::move(views),
+                     generate_seconds);
+}
+
+World MakeSynWorld(double scale) {
+  Stopwatch sw;
+  data::SyntheticOptions options;
+  options.num_rows = static_cast<size_t>(1000000 * scale);
+  if (options.num_rows < 2000) options.num_rows = 2000;
+  options.seed = 42;
+  auto table =
+      std::make_unique<data::Table>(*data::GenerateSynthetic(options));
+  const double generate_seconds = sw.ElapsedSeconds();
+
+  // Numeric hypercube: d0, d1, d2 each below ~0.17 -> ~0.5% of rows
+  // (Table 1's cardinality ratio of records in D_Q).
+  auto query = *data::SelectRows(
+      *table, data::And({data::Between("d0", 0.0, 0.171),
+                         data::Between("d1", 0.0, 0.171),
+                         data::Between("d2", 0.0, 0.171)}));
+  core::ViewEnumerationOptions enum_options;
+  enum_options.numeric_bin_configs = {3, 4};  // Table 1's 2 bin configs
+  auto views = *core::EnumerateViews(*table, enum_options);
+  return FinishWorld(std::move(table), std::move(query), std::move(views),
+                     generate_seconds);
+}
+
+std::unique_ptr<core::FeatureMatrix> BuildRoughMatrix(const World& world,
+                                                      double alpha,
+                                                      uint64_t seed,
+                                                      double* build_seconds,
+                                                      bool shared_scan) {
+  Stopwatch sw;
+  core::FeatureMatrixOptions options;
+  options.sample_rate = alpha;
+  options.seed = seed;
+  options.shared_scan = shared_scan;
+  auto matrix = std::make_unique<core::FeatureMatrix>(
+      *core::FeatureMatrix::Build(world.table.get(), world.views,
+                                  world.query, world.registry.get(),
+                                  options));
+  if (build_seconds != nullptr) *build_seconds = sw.ElapsedSeconds();
+  return matrix;
+}
+
+void PrintHeader(const std::string& artifact,
+                 const std::string& paper_claim) {
+  std::printf("=== %s ===\n", artifact.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  std::printf("%s\n", vs::Join(cells, ",").c_str());
+}
+
+std::string Fmt(double v) { return vs::StrFormat("%.3f", v); }
+
+void RunLabelsToPrecisionFigure(const World& world,
+                                const std::string& dataset_name) {
+  PrintRow({"dataset", "ustar_components", "k", "avg_labels_to_100pct"});
+  for (int components = 1; components <= 3; ++components) {
+    const auto presets = core::Table2PresetsWithComponents(components);
+    for (int k : {5, 10, 15, 20, 25, 30}) {
+      core::ExperimentConfig config;
+      config.k = k;
+      config.strategy = "uncertainty";
+      config.max_labels = 150;
+      // The paper's users answer at coarse granularity ("0.0, 0.7, 0.9,
+      // 1.0"); 0.01 keeps that imprecision while letting every session
+      // converge (see EXPERIMENTS.md).
+      config.label_quantization = 0.01;
+      // Views the user cannot tell apart (within half a label step of the
+      // k-th ideal view) count as hits — the paper's top-k
+      // non-determinism argument.
+      config.tie_epsilon = config.label_quantization / 2.0;
+      // Average over the preset group (as the paper does) and over three
+      // session seeds to smooth cold-start randomness.
+      double total = 0.0;
+      int runs = 0;
+      for (uint64_t seed : {101, 211, 307}) {
+        config.seed = seed + static_cast<uint64_t>(k);
+        auto avg =
+            core::AverageLabelsToTarget(*world.exact, presets, config);
+        if (avg.ok()) {
+          total += *avg;
+          ++runs;
+        }
+      }
+      PrintRow({dataset_name, std::to_string(components), std::to_string(k),
+                runs > 0 ? Fmt(total / runs) : "ERR"});
+    }
+  }
+}
+
+std::vector<OptimizationComparison> RunOptimizationStudy(const World& world,
+                                                         double alpha) {
+  // §5.2 measures the α-sampling optimization under the paper prototype's
+  // *per-view* execution model (each view's features computed by its own
+  // pass) — with shared-scan batching enabled the offline build is so
+  // cheap that there is nothing left to optimize (see EXPERIMENTS.md).
+  double exact_build_seconds = 0.0;
+  auto exact = BuildRoughMatrix(world, 1.0, 0, &exact_build_seconds,
+                                /*shared_scan=*/false);
+
+  std::vector<OptimizationComparison> rows;
+  for (int components = 1; components <= 3; ++components) {
+    OptimizationComparison row;
+    row.components = components;
+    const auto presets = core::Table2PresetsWithComponents(components);
+    for (size_t p = 0; p < presets.size(); ++p) {
+      core::ExperimentConfig config;
+      config.k = 5;
+      config.strategy = "uncertainty";
+      config.max_labels = 150;
+      config.seed = 211 + static_cast<uint64_t>(p);
+      config.stop_on_ud_zero = true;
+      // Same feedback granularity as Figures 3/4 (UD itself is already
+      // tie-tolerant, so no tie_epsilon here).
+      config.label_quantization = 0.01;
+
+      // Baseline: exact features, no refinement; its cost includes the
+      // full offline feature build.
+      auto base = core::RunSimulatedSession(*exact, nullptr, presets[p],
+                                            config);
+      if (!base.ok()) continue;
+      row.baseline_labels += base->labels_to_target;
+      row.baseline_seconds += exact_build_seconds + base->elapsed_seconds;
+
+      // Optimized: α% rough build + priority-ordered refinement between
+      // prompts.  The per-iteration budget (~4% of the view space) mirrors
+      // the paper's t_l = 1 s interaction window, under which only a
+      // handful of views could be recomputed per prompt.
+      double rough_build = 0.0;
+      auto rough = BuildRoughMatrix(world, alpha,
+                                    997 + static_cast<uint64_t>(p),
+                                    &rough_build, /*shared_scan=*/false);
+      core::ExperimentConfig opt_config = config;
+      opt_config.refine = true;
+      opt_config.refine_views_per_iteration =
+          static_cast<int>(world.views.size() / 24) + 1;
+      auto opt = core::RunSimulatedSession(*world.exact, rough.get(),
+                                           presets[p], opt_config);
+      if (!opt.ok()) continue;
+      row.optimized_labels += opt->labels_to_target;
+      row.optimized_seconds += rough_build + opt->elapsed_seconds;
+    }
+    const double n = static_cast<double>(presets.size());
+    row.baseline_labels /= n;
+    row.optimized_labels /= n;
+    row.baseline_seconds /= n;
+    row.optimized_seconds /= n;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace vs::bench

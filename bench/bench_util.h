@@ -1,0 +1,86 @@
+#ifndef VS_BENCH_BENCH_UTIL_H_
+#define VS_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// \brief Shared scaffolding for the figure/table benches: the two paper
+/// testbeds (Table 1) materialized end-to-end, a --scale flag to shrink
+/// them for quick runs, and small printing helpers.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_matrix.h"
+#include "core/ideal_utility.h"
+#include "core/view.h"
+#include "data/table.h"
+
+namespace vs::bench {
+
+/// \brief One fully materialized testbed: table + query subset + view
+/// space + exact feature matrix.
+struct World {
+  std::unique_ptr<data::Table> table;
+  data::SelectionVector query;
+  std::vector<core::ViewSpec> views;
+  std::unique_ptr<core::UtilityFeatureRegistry> registry;
+  std::unique_ptr<core::FeatureMatrix> exact;
+  double generate_seconds = 0.0;  ///< dataset generation time
+  double build_seconds = 0.0;     ///< exact feature-matrix build time
+};
+
+/// Parses --scale=<f> from argv (default 1.0 = the paper's full sizes).
+double ParseScale(int argc, char** argv, double default_scale = 1.0);
+
+/// DIAB testbed (Table 1): scale * 100k rows, 7 categorical dims, 8
+/// measures, 280 views; query = a fixed hypercube (~1% of rows).
+World MakeDiabWorld(double scale);
+
+/// SYN testbed (Table 1): scale * 1M uniform rows, 5 numeric dims, 5
+/// measures, bin configs {3, 4}, 250 views; query = a numeric hypercube
+/// (~0.5% of rows).
+World MakeSynWorld(double scale);
+
+/// Builds a rough (α%-sample) feature matrix over an existing world.
+/// \p shared_scan = false uses the per-view execution cost model of the
+/// paper's prototype (see FeatureMatrixOptions::shared_scan).
+std::unique_ptr<core::FeatureMatrix> BuildRoughMatrix(const World& world,
+                                                      double alpha,
+                                                      uint64_t seed,
+                                                      double* build_seconds,
+                                                      bool shared_scan = true);
+
+/// Prints a banner + the reproduction target.
+void PrintHeader(const std::string& artifact, const std::string& paper_claim);
+
+/// Prints one CSV row (joins with commas).
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Formats a double with %.3f.
+std::string Fmt(double v);
+
+/// Shared driver for Figures 3 and 4: for each Table 2 component group
+/// (1/2/3 components) and each k in {5,10,15,20,25,30}, prints the average
+/// number of labels needed to reach 100% top-k precision.
+void RunLabelsToPrecisionFigure(const World& world,
+                                const std::string& dataset_name);
+
+/// \brief One optimized-vs-baseline measurement (Figures 6 and 7 share
+/// the same runs): averages over a Table 2 component group.
+struct OptimizationComparison {
+  int components = 0;
+  double baseline_labels = 0.0;   ///< labels to UD = 0, exact features
+  double optimized_labels = 0.0;  ///< labels to UD = 0, α% + refinement
+  double baseline_seconds = 0.0;  ///< exact build + session
+  double optimized_seconds = 0.0; ///< rough build + session (incl. refine)
+};
+
+/// Runs the §5.2 optimization evaluation: for each component group, a
+/// baseline session on exact features vs an optimized session on an
+/// α=10% rough matrix with priority-ordered incremental refinement.
+std::vector<OptimizationComparison> RunOptimizationStudy(const World& world,
+                                                         double alpha);
+
+}  // namespace vs::bench
+
+#endif  // VS_BENCH_BENCH_UTIL_H_

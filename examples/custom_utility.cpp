@@ -1,0 +1,87 @@
+/// Extensibility example: registering custom utility features.
+///
+/// §3.1 of the paper: "users may customize the utility features,
+/// including adding new ones, for personalized analysis."  This example
+/// adds two domain-specific features — a skewness measure and a
+/// data-sufficiency prior — next to the built-in eight, then shows that a
+/// simulated user whose taste depends on a *custom* feature is learned
+/// just as well.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+int main() {
+  using namespace vs;
+
+  data::DiabetesOptions options;
+  options.num_rows = 20000;
+  auto table = data::GenerateDiabetes(options);
+  if (!table.ok()) return 1;
+  auto query = data::SelectRows(
+      *table, data::Compare("diag_group", data::CompareOp::kEq,
+                            data::Value("Diabetes")));
+
+  // Start from the paper's eight features and append two custom ones.
+  auto registry = core::UtilityFeatureRegistry::Default();
+
+  // Feature 8: skew of the target distribution — how concentrated the
+  // view's mass is (max bin mass; 1/b = flat, 1 = single spike).
+  auto status = registry.Register(
+      "SKEW", [](const core::ViewMaterialization& view) {
+        double max_mass = 0.0;
+        for (size_t b = 0; b < view.target_dist.size(); ++b) {
+          max_mass = std::max(max_mass, view.target_dist[b]);
+        }
+        return vs::Result<double>(max_mass);
+      });
+  if (!status.ok()) return 1;
+
+  // Feature 9: data sufficiency — penalizes views whose target has few
+  // supporting rows (log-scaled row count).
+  status = registry.Register(
+      "SUPPORT", [](const core::ViewMaterialization& view) {
+        return vs::Result<double>(
+            std::log1p(static_cast<double>(view.target.rows_seen)));
+      });
+  if (!status.ok()) return 1;
+
+  auto views = core::EnumerateViews(*table, {});
+  auto matrix =
+      core::FeatureMatrix::Build(&*table, *views, *query, &registry, {});
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "%s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("feature set: ");
+  for (const auto& name : registry.names()) std::printf("%s ", name.c_str());
+  std::printf("(%zu total)\n", registry.size());
+
+  // A user whose ideal utility mixes a built-in deviation with the custom
+  // skew feature: u* = 0.5*EMD + 0.5*SKEW.
+  auto ideal = core::IdealUtilityFunction::FromComponents(
+      "0.5*EMD + 0.5*SKEW", registry.size(),
+      {{static_cast<int>(core::UtilityFeature::kEMD), 0.5},
+       {static_cast<int>(*registry.IndexOf("SKEW")), 0.5}});
+  if (!ideal.ok()) return 1;
+
+  core::ExperimentConfig config;
+  config.k = 5;
+  config.max_labels = 80;
+  auto r = core::RunSimulatedSession(*matrix, nullptr, *ideal, config);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nideal utility: %s\n", ideal->name().c_str());
+  std::printf("labels to converge: %d (final precision %.2f)\n",
+              r->labels_to_target, r->final_precision);
+  std::printf("\nprecision trajectory:\n");
+  for (const auto& step : r->trajectory) {
+    std::printf("  after %2d labels: %.2f\n", step.labels, step.precision);
+  }
+  return 0;
+}

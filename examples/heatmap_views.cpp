@@ -1,0 +1,86 @@
+/// Future-work example: heatmap view recommendation.
+///
+/// Complements scatter_views.cpp: here the candidate views are dimension
+/// *pairs* crossed into a grid with an aggregated measure as cell
+/// intensity (core/heatmap.h, backed by the 2-D group-by executor).  The
+/// recommender surfaces the grids where the cohort's joint distribution
+/// deviates most from the whole population's.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/heatmap.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+namespace {
+
+using namespace vs;
+
+void RenderHeatmap(const data::GroupBy2DResult& grid,
+                   const stats::Distribution& dist, const char* title) {
+  std::printf("  %s\n", title);
+  double max_mass = 0.0;
+  for (size_t i = 0; i < dist.size(); ++i) {
+    max_mass = std::max(max_mass, dist[i]);
+  }
+  const char* shades = " .:-=+*#%@";
+  std::printf("  %-18s", "");
+  for (const std::string& col : grid.col_labels) {
+    std::printf(" %-4s", col.substr(0, 4).c_str());
+  }
+  std::printf("\n");
+  for (size_t r = 0; r < grid.num_rows(); ++r) {
+    std::printf("  %-18s", grid.row_labels[r].substr(0, 18).c_str());
+    for (size_t c = 0; c < grid.num_cols(); ++c) {
+      const double mass = dist[r * grid.num_cols() + c];
+      const int level =
+          max_mass > 0.0
+              ? std::min(9, static_cast<int>(mass / max_mass * 9.0))
+              : 0;
+      std::printf(" [%c] ", shades[level]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  data::DiabetesOptions options;
+  options.num_rows = 30000;
+  auto table = data::GenerateDiabetes(options);
+  if (!table.ok()) return 1;
+
+  auto query = data::SelectRows(
+      *table, data::Compare("number_inpatient", data::CompareOp::kGe,
+                            data::Value(2.0)));
+  std::printf("cohort: frequently hospitalized patients "
+              "(number_inpatient >= 2) -> %zu of %zu rows\n\n",
+              query->size(), table->num_rows());
+
+  core::HeatmapEnumerationOptions enum_options;
+  enum_options.functions = {data::AggregateFunction::kCount};
+  auto views = core::EnumerateHeatmapViews(*table, enum_options);
+  if (!views.ok()) return 1;
+  std::printf("heatmap view space: %zu dimension-pair grids\n\n",
+              views->size());
+
+  auto rec = core::RecommendHeatmaps(*table, *views, *query,
+                                     stats::DistanceKind::kL1, 2);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+
+  for (size_t idx : *rec) {
+    const auto& spec = (*views)[idx];
+    auto mat = core::MaterializeHeatmap(*table, spec, *query);
+    if (!mat.ok()) continue;
+    std::printf("%s\n", spec.Id().c_str());
+    RenderHeatmap(mat->target, mat->target_dist, "cohort:");
+    RenderHeatmap(mat->reference, mat->reference_dist, "everyone:");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// Quickstart: the whole ViewSeeker pipeline in ~60 lines.
+///
+///  1. generate a dataset (stand-in for loading your own CSV)
+///  2. pick the analyst's query subset D_Q
+///  3. enumerate the view space and build the feature matrix
+///  4. run an interactive session (simulated user here)
+///  5. print the recommended views
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/ideal_utility.h"
+#include "core/seeker.h"
+#include "core/simulated_user.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+int main() {
+  using namespace vs;
+
+  // 1. A 20k-row clinical-shaped dataset (7 dimensions, 8 measures).
+  data::DiabetesOptions data_options;
+  data_options.num_rows = 20000;
+  auto table = data::GenerateDiabetes(data_options);
+  if (!table.ok()) {
+    std::fprintf(stderr, "generate: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. The analyst's query: elderly female patients.
+  auto query = data::SelectRows(
+      *table, data::And({data::Compare("gender", data::CompareOp::kEq,
+                                       data::Value("Female")),
+                         data::Compare("age_group", data::CompareOp::kEq,
+                                       data::Value("[70+)"))}));
+  std::printf("query subset: %zu of %zu rows\n", query->size(),
+              table->num_rows());
+
+  // 3. View space (7 x 8 x 5 = 280 views) and utility features.
+  auto views = core::EnumerateViews(*table, {});
+  auto registry = core::UtilityFeatureRegistry::Default();
+  auto matrix = core::FeatureMatrix::Build(&*table, *views, *query,
+                                           &registry, {});
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "build: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("view space: %zu views x %zu utility features\n",
+              matrix->num_views(), matrix->num_features());
+
+  // 4. Interactive session.  Here a simulated user whose (unknown to the
+  //    seeker) ideal utility function is 0.3*EMD + 0.3*KL + 0.4*MAX_DIFF;
+  //    in a real deployment the labels come from a person (see
+  //    interactive_cli.cpp).
+  core::IdealUtilityFunction ideal = core::Table2Presets()[6];
+  core::ExperimentConfig config;
+  config.k = 5;
+  config.max_labels = 60;
+  auto session = core::RunSimulatedSession(*matrix, nullptr, ideal, config);
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nhidden ideal utility: %s\n", ideal.name().c_str());
+  std::printf("labels used: %d, final top-5 precision: %.2f\n",
+              session->labels_to_target, session->final_precision);
+
+  // 5. The learned recommendation: rerun a seeker to convergence and show
+  //    its top views.
+  core::ViewSeekerOptions seeker_options;
+  seeker_options.k = 5;
+  auto seeker = core::ViewSeeker::Make(&*matrix, seeker_options);
+  auto user = core::SimulatedUser::Make(&matrix->normalized(), ideal);
+  for (int i = 0; i < session->labels_to_target; ++i) {
+    auto q = seeker->NextQueries();
+    if (!q.ok()) break;
+    auto st = seeker->SubmitLabel((*q)[0], *user->Label((*q)[0]));
+    if (!st.ok()) break;
+  }
+  auto topk = seeker->RecommendTopK();
+  std::printf("\nrecommended views:\n");
+  for (size_t v : *topk) {
+    std::printf("  %s\n", matrix->views()[v].Id().c_str());
+  }
+  return 0;
+}

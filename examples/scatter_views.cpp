@@ -1,0 +1,109 @@
+/// Future-work example: scatter-plot view recommendation.
+///
+/// The paper closes with "we plan ... to extend [ViewSeeker] to support
+/// more visualization types, such as scatter plot, line chart etc."  This
+/// example exercises that extension (core/scatter.h): enumerate all
+/// measure-pair scatter views, score how differently each pair co-varies
+/// inside the cohort vs the whole data, and render the winner as an ASCII
+/// scatter plot.  (Line charts need no new machinery — see the note in
+/// scatter.h.)
+
+#include <cstdio>
+#include <vector>
+
+#include "core/scatter.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+namespace {
+
+using namespace vs;
+
+/// Renders (x, y) pairs of a selection as a coarse ASCII density grid.
+void RenderScatter(const data::Table& table, const std::string& x,
+                   const std::string& y,
+                   const data::SelectionVector& selection, int grid = 18) {
+  auto xv = data::NumericColumnView::Wrap(
+      table.ColumnByName(x).value().get());
+  auto yv = data::NumericColumnView::Wrap(
+      table.ColumnByName(y).value().get());
+  if (!xv.ok() || !yv.ok()) return;
+  double xlo = 1e300;
+  double xhi = -1e300;
+  double ylo = 1e300;
+  double yhi = -1e300;
+  for (uint32_t r : selection) {
+    if (xv->IsNull(r) || yv->IsNull(r)) continue;
+    xlo = std::min(xlo, xv->at(r));
+    xhi = std::max(xhi, xv->at(r));
+    ylo = std::min(ylo, yv->at(r));
+    yhi = std::max(yhi, yv->at(r));
+  }
+  if (!(xlo < xhi) || !(ylo < yhi)) return;
+  std::vector<std::vector<int>> cells(grid, std::vector<int>(grid, 0));
+  for (uint32_t r : selection) {
+    if (xv->IsNull(r) || yv->IsNull(r)) continue;
+    int cx = static_cast<int>((xv->at(r) - xlo) / (xhi - xlo) * (grid - 1));
+    int cy = static_cast<int>((yv->at(r) - ylo) / (yhi - ylo) * (grid - 1));
+    ++cells[grid - 1 - cy][cx];
+  }
+  const char* shades = " .:+*#";
+  for (int row = 0; row < grid; ++row) {
+    std::printf("    |");
+    for (int col = 0; col < grid; ++col) {
+      int level = std::min(5, cells[row][col]);
+      std::printf("%c", shades[level]);
+    }
+    std::printf("|\n");
+  }
+  std::printf("     %s -> (y axis: %s)\n", x.c_str(), y.c_str());
+}
+
+}  // namespace
+
+int main() {
+  data::DiabetesOptions options;
+  options.num_rows = 30000;
+  auto table = data::GenerateDiabetes(options);
+  if (!table.ok()) return 1;
+
+  auto query = data::SelectRows(
+      *table, data::Compare("medical_specialty", data::CompareOp::kEq,
+                            data::Value("Nephrology")));
+  std::printf("cohort: Nephrology patients -> %zu of %zu rows\n\n",
+              query->size(), table->num_rows());
+
+  auto views = core::EnumerateScatterViews(*table);
+  if (!views.ok()) return 1;
+  std::printf("scatter view space: %zu measure pairs\n", views->size());
+
+  // Weighted composite of the three scatter features.
+  ml::Vector weights = {0.5, 0.3, 0.2};
+  auto rec = core::RecommendScatterViews(*table, *views, *query, weights, 3);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\ntop scatter views (corr-deviation 0.5 / centroid 0.3 / "
+              "dispersion 0.2):\n");
+  for (size_t idx : *rec) {
+    const auto& view = (*views)[idx];
+    auto features = core::ComputeScatterFeatures(*table, view, *query);
+    auto corr_q = core::PearsonCorrelation(*table, view.measure_x,
+                                           view.measure_y, &*query);
+    auto corr_all = core::PearsonCorrelation(*table, view.measure_x,
+                                             view.measure_y, nullptr);
+    std::printf("\n  %s\n", view.Id().c_str());
+    if (features.ok() && corr_q.ok() && corr_all.ok()) {
+      std::printf("    corr(cohort) = %+.2f  corr(all) = %+.2f  "
+                  "centroid shift = %.2f sd\n",
+                  *corr_q, *corr_all, features->centroid_shift);
+    }
+  }
+
+  std::printf("\ncohort scatter of the winner:\n");
+  const auto& winner = (*views)[(*rec)[0]];
+  RenderScatter(*table, winner.measure_x, winner.measure_y, *query);
+  return 0;
+}

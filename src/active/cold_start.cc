@@ -1,0 +1,46 @@
+#include "active/cold_start.h"
+
+namespace vs::active {
+
+ColdStartPolicy::ColdStartPolicy(const ml::Matrix* features,
+                                 double positive_threshold)
+    : features_(features), positive_threshold_(positive_threshold) {}
+
+vs::Result<size_t> ColdStartPolicy::SelectNext(
+    const std::vector<size_t>& unlabeled, vs::Rng* rng) {
+  if (features_ == nullptr || rng == nullptr) {
+    return vs::Status::InvalidArgument(
+        "cold start requires features and rng");
+  }
+  if (unlabeled.empty()) {
+    return vs::Status::FailedPrecondition("no unlabeled views remain");
+  }
+  if (next_feature_ < features_->cols()) {
+    const size_t col = next_feature_++;
+    size_t best = unlabeled[0];
+    double best_value = -std::numeric_limits<double>::infinity();
+    for (size_t idx : unlabeled) {
+      if (idx >= features_->rows()) {
+        return vs::Status::OutOfRange("unlabeled index out of range");
+      }
+      const double v = (*features_)(idx, col);
+      if (v > best_value) {
+        best_value = v;
+        best = idx;
+      }
+    }
+    return best;
+  }
+  // Feature sweep exhausted without both classes: random sampling.
+  return unlabeled[rng->NextBounded(unlabeled.size())];
+}
+
+void ColdStartPolicy::ReportLabel(double label) {
+  if (label >= positive_threshold_) {
+    has_positive_ = true;
+  } else {
+    has_negative_ = true;
+  }
+}
+
+}  // namespace vs::active

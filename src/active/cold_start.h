@@ -1,0 +1,57 @@
+#ifndef VS_ACTIVE_COLD_START_H_
+#define VS_ACTIVE_COLD_START_H_
+
+/// \file cold_start.h
+/// \brief The paper's cold-start policy (§3.2): until the labeled set
+/// contains both a positive and a negative view (the uncertainty estimator
+/// needs both classes), propose the top-ranked unlabeled view under each
+/// utility feature in turn; if a full sweep over all features yields no
+/// signal, fall back to uniform random sampling.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace vs::active {
+
+/// \brief Stateful cold-start selector.
+class ColdStartPolicy {
+ public:
+  /// \p features: pool feature matrix (not owned; must outlive the policy).
+  /// \p positive_threshold: labels >= threshold count as positive,
+  /// < threshold as negative.
+  explicit ColdStartPolicy(const ml::Matrix* features,
+                           double positive_threshold = 0.5);
+
+  /// Picks the next view: the unlabeled view maximizing the current
+  /// feature column, advancing to the next feature per call; uniform
+  /// random once every feature has been tried.
+  vs::Result<size_t> SelectNext(const std::vector<size_t>& unlabeled,
+                                vs::Rng* rng);
+
+  /// Reports the user's label for the previously selected view.
+  void ReportLabel(double label);
+
+  /// True once both a positive and a negative label have been observed.
+  bool Done() const { return has_positive_ && has_negative_; }
+
+  /// True once the policy has exhausted the per-feature sweep and is
+  /// sampling randomly.
+  bool ExhaustedFeatureSweep() const {
+    return next_feature_ >= features_->cols();
+  }
+
+ private:
+  const ml::Matrix* features_;
+  double positive_threshold_;
+  size_t next_feature_ = 0;
+  bool has_positive_ = false;
+  bool has_negative_ = false;
+};
+
+}  // namespace vs::active
+
+#endif  // VS_ACTIVE_COLD_START_H_

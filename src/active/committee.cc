@@ -1,0 +1,81 @@
+#include "active/committee.h"
+
+#include <cmath>
+
+namespace vs::active {
+
+vs::Result<size_t> QueryByCommitteeStrategy::SelectNext(
+    const QueryContext& ctx) {
+  VS_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (ctx.labeled == nullptr || ctx.labels == nullptr ||
+      ctx.labeled->size() != ctx.labels->size()) {
+    return vs::Status::InvalidArgument(
+        "committee strategy requires aligned labeled set and labels");
+  }
+  const size_t n_labeled = ctx.labeled->size();
+  // Need both classes to train any member; otherwise explore randomly.
+  bool has_pos = false;
+  bool has_neg = false;
+  for (double l : *ctx.labels) {
+    if (l >= 0.5) has_pos = true;
+    else has_neg = true;
+  }
+  if (n_labeled < 2 || !has_pos || !has_neg) {
+    return RandomChoice(ctx);
+  }
+
+  const size_t d = ctx.features->cols();
+  std::vector<ml::LogisticRegression> members;
+  members.reserve(static_cast<size_t>(committee_size_));
+  for (int m = 0; m < committee_size_; ++m) {
+    // Bootstrap resample; retry a few times until it contains both classes.
+    ml::Matrix x(n_labeled, d);
+    ml::Vector y(n_labeled, 0.0);
+    bool ok = false;
+    for (int attempt = 0; attempt < 16 && !ok; ++attempt) {
+      bool pos = false;
+      bool neg = false;
+      for (size_t i = 0; i < n_labeled; ++i) {
+        const size_t pick = ctx.rng->NextBounded(n_labeled);
+        const size_t row = (*ctx.labeled)[pick];
+        for (size_t j = 0; j < d; ++j) x(i, j) = (*ctx.features)(row, j);
+        y[i] = (*ctx.labels)[pick] >= 0.5 ? 1.0 : 0.0;
+        (y[i] > 0.5 ? pos : neg) = true;
+      }
+      ok = pos && neg;
+    }
+    if (!ok) continue;
+    ml::LogisticRegression member;
+    if (member.Fit(x, y).ok()) {
+      members.push_back(std::move(member));
+    }
+  }
+  if (members.size() < 2) {
+    return RandomChoice(ctx);
+  }
+
+  size_t best = (*ctx.unlabeled)[0];
+  double best_disagreement = -1.0;
+  for (size_t idx : *ctx.unlabeled) {
+    const ml::Vector row = ctx.features->Row(idx);
+    double mean = 0.0;
+    std::vector<double> probs;
+    probs.reserve(members.size());
+    for (const auto& member : members) {
+      VS_ASSIGN_OR_RETURN(double p, member.PredictProba(row));
+      probs.push_back(p);
+      mean += p;
+    }
+    mean /= static_cast<double>(probs.size());
+    double var = 0.0;
+    for (double p : probs) var += (p - mean) * (p - mean);
+    var /= static_cast<double>(probs.size());
+    if (var > best_disagreement) {
+      best_disagreement = var;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace vs::active

@@ -1,0 +1,32 @@
+#ifndef VS_ACTIVE_COMMITTEE_H_
+#define VS_ACTIVE_COMMITTEE_H_
+
+/// \file committee.h
+/// \brief Query-by-committee (Seung, Opper & Sompolinsky [24]): train an
+/// ensemble of uncertainty estimators on bootstrap resamples of the
+/// labeled set and query the view they disagree on most (variance of the
+/// predicted probabilities).  Cited as related work by the paper; included
+/// for the strategy ablation bench.
+
+#include "active/strategy.h"
+
+namespace vs::active {
+
+/// \brief Bootstrap-ensemble disagreement sampling.
+class QueryByCommitteeStrategy final : public QueryStrategy {
+ public:
+  /// \p committee_size members, each trained on a bootstrap resample of
+  /// the labeled views (labels thresholded at 0.5).
+  explicit QueryByCommitteeStrategy(int committee_size = 5)
+      : committee_size_(committee_size) {}
+
+  std::string name() const override { return "committee"; }
+  vs::Result<size_t> SelectNext(const QueryContext& ctx) override;
+
+ private:
+  int committee_size_;
+};
+
+}  // namespace vs::active
+
+#endif  // VS_ACTIVE_COMMITTEE_H_

@@ -1,0 +1,52 @@
+#include "active/density.h"
+
+#include <cmath>
+
+namespace vs::active {
+
+vs::Result<size_t> DensityWeightedStrategy::SelectNext(
+    const QueryContext& ctx) {
+  VS_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (ctx.uncertainty_model == nullptr || !ctx.uncertainty_model->fitted()) {
+    return RandomChoice(ctx);
+  }
+  const ml::Matrix& features = *ctx.features;
+  const size_t d = features.cols();
+
+  // Density over the whole pool (labeled + unlabeled): the pool mean is a
+  // sufficient proxy pivot would be cheaper, but the pool here is small
+  // (hundreds of views), so the exact O(|candidates| * |pool|) pass is
+  // fine and exact.
+  size_t best = (*ctx.unlabeled)[0];
+  double best_score = -1.0;
+  for (size_t idx : *ctx.unlabeled) {
+    VS_ASSIGN_OR_RETURN(
+        double p, ctx.uncertainty_model->PredictProba(features.Row(idx)));
+    const double uncertainty = 1.0 - std::fabs(2.0 * p - 1.0);
+
+    double total_sim = 0.0;
+    const double* row = features.RowPtr(idx);
+    for (size_t other = 0; other < features.rows(); ++other) {
+      if (other == idx) continue;
+      const double* other_row = features.RowPtr(other);
+      double dist2 = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = row[j] - other_row[j];
+        dist2 += diff * diff;
+      }
+      total_sim += 1.0 / (1.0 + std::sqrt(dist2));
+    }
+    const double density =
+        features.rows() > 1
+            ? total_sim / static_cast<double>(features.rows() - 1)
+            : 1.0;
+    const double score = uncertainty * std::pow(density, beta_);
+    if (score > best_score) {
+      best_score = score;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace vs::active

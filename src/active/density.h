@@ -1,0 +1,34 @@
+#ifndef VS_ACTIVE_DENSITY_H_
+#define VS_ACTIVE_DENSITY_H_
+
+/// \file density.h
+/// \brief Information-density weighted uncertainty sampling (Settles &
+/// Craven [23]): plain uncertainty sampling can chase outliers whose
+/// labels generalize to nothing; weighting each candidate's uncertainty by
+/// its average similarity to the rest of the pool prefers views that are
+/// both uncertain *and* representative.
+///
+///   score(x) = u_lc(x) * (mean_x' sim(x, x'))^beta,
+///   sim(a, b) = 1 / (1 + ||a - b||_2)
+
+#include "active/strategy.h"
+
+namespace vs::active {
+
+/// \brief Density-weighted least-confidence query selection.
+class DensityWeightedStrategy final : public QueryStrategy {
+ public:
+  /// \p beta controls the density weighting strength (0 reduces to plain
+  /// least confidence).
+  explicit DensityWeightedStrategy(double beta = 1.0) : beta_(beta) {}
+
+  std::string name() const override { return "density"; }
+  vs::Result<size_t> SelectNext(const QueryContext& ctx) override;
+
+ private:
+  double beta_;
+};
+
+}  // namespace vs::active
+
+#endif  // VS_ACTIVE_DENSITY_H_

@@ -1,0 +1,35 @@
+#include "active/entropy.h"
+
+#include <cmath>
+
+namespace vs::active {
+
+namespace {
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+}  // namespace
+
+vs::Result<size_t> EntropyStrategy::SelectNext(const QueryContext& ctx) {
+  VS_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (ctx.uncertainty_model == nullptr || !ctx.uncertainty_model->fitted()) {
+    return RandomChoice(ctx);
+  }
+  size_t best = (*ctx.unlabeled)[0];
+  double best_entropy = -1.0;
+  for (size_t idx : *ctx.unlabeled) {
+    VS_ASSIGN_OR_RETURN(
+        double p, ctx.uncertainty_model->PredictProba(ctx.features->Row(idx)));
+    const double h = BinaryEntropy(p);
+    if (h > best_entropy) {
+      best_entropy = h;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace vs::active

@@ -1,0 +1,24 @@
+#ifndef VS_ACTIVE_ENTROPY_H_
+#define VS_ACTIVE_ENTROPY_H_
+
+/// \file entropy.h
+/// \brief Entropy sampling: query the example whose predictive class
+/// distribution has maximum Shannon entropy.  Binary entropy
+/// H(p) = -p log p - (1-p) log(1-p) peaks at p = 0.5, so for the binary
+/// uncertainty estimator the ranking again coincides with least
+/// confidence; see margin.h for why the implementation is kept separate.
+
+#include "active/strategy.h"
+
+namespace vs::active {
+
+/// \brief Maximum-entropy query selection.
+class EntropyStrategy final : public QueryStrategy {
+ public:
+  std::string name() const override { return "entropy"; }
+  vs::Result<size_t> SelectNext(const QueryContext& ctx) override;
+};
+
+}  // namespace vs::active
+
+#endif  // VS_ACTIVE_ENTROPY_H_

@@ -1,0 +1,26 @@
+#include "active/margin.h"
+
+#include <cmath>
+
+namespace vs::active {
+
+vs::Result<size_t> MarginStrategy::SelectNext(const QueryContext& ctx) {
+  VS_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (ctx.uncertainty_model == nullptr || !ctx.uncertainty_model->fitted()) {
+    return RandomChoice(ctx);
+  }
+  size_t best = (*ctx.unlabeled)[0];
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (size_t idx : *ctx.unlabeled) {
+    VS_ASSIGN_OR_RETURN(
+        double p, ctx.uncertainty_model->PredictProba(ctx.features->Row(idx)));
+    const double margin = std::fabs(2.0 * p - 1.0);
+    if (margin < best_margin) {
+      best_margin = margin;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace vs::active

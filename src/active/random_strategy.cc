@@ -1,0 +1,9 @@
+#include "active/random_strategy.h"
+
+namespace vs::active {
+
+vs::Result<size_t> RandomStrategy::SelectNext(const QueryContext& ctx) {
+  return RandomChoice(ctx);
+}
+
+}  // namespace vs::active

@@ -1,0 +1,22 @@
+#ifndef VS_ACTIVE_RANDOM_STRATEGY_H_
+#define VS_ACTIVE_RANDOM_STRATEGY_H_
+
+/// \file random_strategy.h
+/// \brief Uniform random query selection — the paper's fallback when the
+/// cold-start sweep finds no signal, and the natural lower baseline for
+/// the strategy ablation.
+
+#include "active/strategy.h"
+
+namespace vs::active {
+
+/// \brief Queries a uniformly random unlabeled view.
+class RandomStrategy final : public QueryStrategy {
+ public:
+  std::string name() const override { return "random"; }
+  vs::Result<size_t> SelectNext(const QueryContext& ctx) override;
+};
+
+}  // namespace vs::active
+
+#endif  // VS_ACTIVE_RANDOM_STRATEGY_H_

@@ -1,0 +1,43 @@
+#include "active/strategy.h"
+
+#include "active/committee.h"
+#include "active/density.h"
+#include "active/entropy.h"
+#include "active/margin.h"
+#include "active/random_strategy.h"
+#include "active/uncertainty.h"
+
+namespace vs::active {
+
+vs::Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
+    const std::string& name) {
+  if (name == "uncertainty") {
+    return std::unique_ptr<QueryStrategy>(new LeastConfidenceStrategy());
+  }
+  if (name == "random") {
+    return std::unique_ptr<QueryStrategy>(new RandomStrategy());
+  }
+  if (name == "margin") {
+    return std::unique_ptr<QueryStrategy>(new MarginStrategy());
+  }
+  if (name == "entropy") {
+    return std::unique_ptr<QueryStrategy>(new EntropyStrategy());
+  }
+  if (name == "committee") {
+    return std::unique_ptr<QueryStrategy>(new QueryByCommitteeStrategy());
+  }
+  if (name == "greedy") {
+    return std::unique_ptr<QueryStrategy>(new GreedyUtilityStrategy());
+  }
+  if (name == "density") {
+    return std::unique_ptr<QueryStrategy>(new DensityWeightedStrategy());
+  }
+  return vs::Status::NotFound("unknown query strategy: " + name);
+}
+
+std::vector<std::string> AllStrategyNames() {
+  return {"uncertainty", "random", "margin", "entropy", "committee",
+          "greedy", "density"};
+}
+
+}  // namespace vs::active

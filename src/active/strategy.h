@@ -1,0 +1,75 @@
+#ifndef VS_ACTIVE_STRATEGY_H_
+#define VS_ACTIVE_STRATEGY_H_
+
+/// \file strategy.h
+/// \brief The active-learning query-strategy interface (Settles [22]):
+/// given the current pool state, pick which unlabeled view the user should
+/// label next.  The paper's ViewSeeker uses least-confidence uncertainty
+/// sampling (uncertainty.h); the siblings exist for the strategy ablation
+/// bench.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+
+namespace vs::active {
+
+/// \brief Pool state handed to a strategy on every query.
+///
+/// All pointers are non-owning and must outlive the call; models may be
+/// unfitted (strategies fall back to uniform random in that case).
+struct QueryContext {
+  /// Feature matrix over the whole pool (one row per view).
+  const ml::Matrix* features = nullptr;
+  /// Row indices still unlabeled (candidates).
+  const std::vector<size_t>* unlabeled = nullptr;
+  /// Row indices already labeled.
+  const std::vector<size_t>* labeled = nullptr;
+  /// Raw user scores in [0, 1], aligned with `labeled`.
+  const std::vector<double>* labels = nullptr;
+  /// The uncertainty estimator (logistic), possibly unfitted.
+  const ml::LogisticRegression* uncertainty_model = nullptr;
+  /// The view utility estimator (linear), possibly unfitted.
+  const ml::LinearRegression* utility_model = nullptr;
+  /// Deterministic randomness source.
+  vs::Rng* rng = nullptr;
+};
+
+/// \brief Interface implemented by every query strategy.
+class QueryStrategy {
+ public:
+  virtual ~QueryStrategy() = default;
+
+  /// Short stable identifier ("uncertainty", "random", ...).
+  virtual std::string name() const = 0;
+
+  /// Picks the pool row to label next from ctx.unlabeled; fails when the
+  /// context is malformed or no candidates remain.
+  virtual vs::Result<size_t> SelectNext(const QueryContext& ctx) = 0;
+};
+
+/// Validates the invariants every strategy relies on (non-null features,
+/// rng, and a non-empty unlabeled set).
+vs::Status ValidateContext(const QueryContext& ctx);
+
+/// Uniform random choice among ctx.unlabeled (shared fallback).
+vs::Result<size_t> RandomChoice(const QueryContext& ctx);
+
+/// Factory by name: "uncertainty", "random", "margin", "entropy",
+/// "committee", "greedy", "density".
+vs::Result<std::unique_ptr<QueryStrategy>> MakeStrategy(
+    const std::string& name);
+
+/// Names accepted by MakeStrategy, in canonical order.
+std::vector<std::string> AllStrategyNames();
+
+}  // namespace vs::active
+
+#endif  // VS_ACTIVE_STRATEGY_H_

@@ -1,0 +1,68 @@
+#include "active/uncertainty.h"
+
+#include <cmath>
+
+namespace vs::active {
+
+vs::Status ValidateContext(const QueryContext& ctx) {
+  if (ctx.features == nullptr || ctx.unlabeled == nullptr ||
+      ctx.rng == nullptr) {
+    return vs::Status::InvalidArgument(
+        "QueryContext requires features, unlabeled set, and rng");
+  }
+  if (ctx.unlabeled->empty()) {
+    return vs::Status::FailedPrecondition("no unlabeled views remain");
+  }
+  for (size_t idx : *ctx.unlabeled) {
+    if (idx >= ctx.features->rows()) {
+      return vs::Status::OutOfRange("unlabeled index out of range");
+    }
+  }
+  return vs::Status::OK();
+}
+
+vs::Result<size_t> RandomChoice(const QueryContext& ctx) {
+  VS_RETURN_IF_ERROR(ValidateContext(ctx));
+  const size_t pick = ctx.rng->NextBounded(ctx.unlabeled->size());
+  return (*ctx.unlabeled)[pick];
+}
+
+vs::Result<size_t> LeastConfidenceStrategy::SelectNext(
+    const QueryContext& ctx) {
+  VS_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (ctx.uncertainty_model == nullptr || !ctx.uncertainty_model->fitted()) {
+    return RandomChoice(ctx);
+  }
+  size_t best = (*ctx.unlabeled)[0];
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (size_t idx : *ctx.unlabeled) {
+    VS_ASSIGN_OR_RETURN(
+        double p, ctx.uncertainty_model->PredictProba(ctx.features->Row(idx)));
+    const double gap = std::fabs(p - 0.5);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+vs::Result<size_t> GreedyUtilityStrategy::SelectNext(const QueryContext& ctx) {
+  VS_RETURN_IF_ERROR(ValidateContext(ctx));
+  if (ctx.utility_model == nullptr || !ctx.utility_model->fitted()) {
+    return RandomChoice(ctx);
+  }
+  size_t best = (*ctx.unlabeled)[0];
+  double best_utility = -std::numeric_limits<double>::infinity();
+  for (size_t idx : *ctx.unlabeled) {
+    VS_ASSIGN_OR_RETURN(
+        double u, ctx.utility_model->Predict(ctx.features->Row(idx)));
+    if (u > best_utility) {
+      best_utility = u;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace vs::active

@@ -1,0 +1,35 @@
+#ifndef VS_ACTIVE_UNCERTAINTY_H_
+#define VS_ACTIVE_UNCERTAINTY_H_
+
+/// \file uncertainty.h
+/// \brief Least-confidence uncertainty sampling (Lewis & Gale [14]) — the
+/// paper's query strategy (Eq. 6/7): query the view whose predicted
+/// interesting-probability is closest to 0.5.  Also hosts the greedy
+/// exploitation baseline used by the strategy ablation.
+
+#include "active/strategy.h"
+
+namespace vs::active {
+
+/// \brief The paper's strategy: argmax of u_lc(x) = 1 - p(ŷ|x), i.e. the
+/// unlabeled view with p(y=1|x) closest to 0.5.  Falls back to uniform
+/// random while the uncertainty estimator is unfitted.
+class LeastConfidenceStrategy final : public QueryStrategy {
+ public:
+  std::string name() const override { return "uncertainty"; }
+  vs::Result<size_t> SelectNext(const QueryContext& ctx) override;
+};
+
+/// \brief Pure exploitation baseline: query the unlabeled view with the
+/// highest predicted *utility* under the current view utility estimator.
+/// Prone to confirmation bias; included to show why ViewSeeker queries by
+/// uncertainty instead.
+class GreedyUtilityStrategy final : public QueryStrategy {
+ public:
+  std::string name() const override { return "greedy"; }
+  vs::Result<size_t> SelectNext(const QueryContext& ctx) override;
+};
+
+}  // namespace vs::active
+
+#endif  // VS_ACTIVE_UNCERTAINTY_H_

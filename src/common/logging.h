@@ -1,0 +1,69 @@
+#ifndef VS_COMMON_LOGGING_H_
+#define VS_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logging and assertion macros.
+///
+/// Logging defaults to kWarn so that library code stays quiet inside tests
+/// and benchmarks; examples raise the level to kInfo for narration.
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vs {
+
+/// Severity of a log record.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide logger configuration (thread-safe).
+class Logger {
+ public:
+  /// Sets the minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+
+  /// Current minimum level.
+  static LogLevel GetLevel();
+
+  /// Emits one record to stderr if \p level >= the configured minimum.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style log record builder used by the VS_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vs
+
+/// Usage: VS_LOG(kInfo) << "loaded " << n << " rows";
+#define VS_LOG(level) ::vs::internal::LogMessage(::vs::LogLevel::level)
+
+/// Internal-invariant check: aborts with a message when violated.  Used for
+/// programmer errors only; recoverable conditions return Status instead.
+#define VS_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::vs::Logger::Log(::vs::LogLevel::kError,                           \
+                        std::string("CHECK failed: " #cond " at ") +      \
+                            __FILE__ + ":" + std::to_string(__LINE__));   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // VS_COMMON_LOGGING_H_

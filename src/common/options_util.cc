@@ -1,0 +1,81 @@
+#include "common/options_util.h"
+
+#include "common/string_util.h"
+
+namespace vs {
+
+Result<OptionMap> OptionMap::Parse(std::string_view spec) {
+  OptionMap out;
+  for (const std::string& segment : Split(spec, ';')) {
+    std::string_view token = Trim(segment);
+    if (token.empty()) continue;
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("option segment missing '=': " +
+                                     std::string(token));
+    }
+    std::string key(Trim(token.substr(0, eq)));
+    std::string value(Trim(token.substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument("option segment with empty key: " +
+                                     std::string(token));
+    }
+    if (out.entries_.count(key) != 0) {
+      return Status::AlreadyExists("duplicate option key: " + key);
+    }
+    out.entries_.emplace(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+bool OptionMap::Has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+Result<std::string> OptionMap::GetString(const std::string& key,
+                                         std::string default_value) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  return it->second;
+}
+
+Result<int64_t> OptionMap::GetInt(const std::string& key,
+                                  int64_t default_value) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  return ParseInt64(it->second);
+}
+
+Result<double> OptionMap::GetDouble(const std::string& key,
+                                    double default_value) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  return ParseDouble(it->second);
+}
+
+Result<bool> OptionMap::GetBool(const std::string& key,
+                                bool default_value) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("not a boolean: " + it->second);
+}
+
+void OptionMap::Set(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+}
+
+std::string OptionMap::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace vs

@@ -1,0 +1,55 @@
+#ifndef VS_COMMON_OPTIONS_UTIL_H_
+#define VS_COMMON_OPTIONS_UTIL_H_
+
+/// \file options_util.h
+/// \brief RocksDB-style option-string parsing: "k1=v1;k2=v2" into a typed
+/// accessor, used so engines can be configured from a single string (handy
+/// for CLI tools and tests).
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace vs {
+
+/// \brief A parsed option map with typed, defaulted accessors.
+class OptionMap {
+ public:
+  OptionMap() = default;
+
+  /// Parses "key=value;key=value" (whitespace around tokens ignored; empty
+  /// segments skipped).  Duplicate keys are rejected.
+  static Result<OptionMap> Parse(std::string_view spec);
+
+  /// True iff \p key was present in the spec.
+  bool Has(const std::string& key) const;
+
+  /// \name Typed accessors with defaults; a present-but-malformed value is
+  /// an error, a missing key yields the default.
+  /// @{
+  Result<std::string> GetString(const std::string& key,
+                                std::string default_value) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t default_value) const;
+  Result<double> GetDouble(const std::string& key,
+                           double default_value) const;
+  Result<bool> GetBool(const std::string& key, bool default_value) const;
+  /// @}
+
+  /// Inserts or overwrites a key.
+  void Set(const std::string& key, std::string value);
+
+  /// Number of entries.
+  size_t size() const { return entries_.size(); }
+
+  /// Serializes back into "k1=v1;k2=v2" with keys sorted.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace vs
+
+#endif  // VS_COMMON_OPTIONS_UTIL_H_

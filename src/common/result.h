@@ -1,0 +1,85 @@
+#ifndef VS_COMMON_RESULT_H_
+#define VS_COMMON_RESULT_H_
+
+/// \file result.h
+/// \brief Result<T>: a value or a Status, in the spirit of arrow::Result.
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vs {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why the computation failed.
+///
+/// A Result constructed from a value is OK; a Result constructed from a
+/// non-OK Status is an error.  Accessing the value of an error Result is a
+/// programmer error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding \p value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result from a non-OK \p status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK Status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// \name Value access (requires ok()).
+  /// @{
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the value, or \p fallback when this Result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace vs
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller of the enclosing function.
+#define VS_ASSIGN_OR_RETURN(lhs, expr)                  \
+  VS_ASSIGN_OR_RETURN_IMPL(                             \
+      VS_RESULT_CONCAT_(_vs_result_, __LINE__), lhs, expr)
+
+#define VS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)        \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define VS_RESULT_CONCAT_(a, b) VS_RESULT_CONCAT_IMPL_(a, b)
+#define VS_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // VS_COMMON_RESULT_H_

@@ -1,0 +1,44 @@
+#ifndef VS_COMMON_STRING_UTIL_H_
+#define VS_COMMON_STRING_UTIL_H_
+
+/// \file string_util.h
+/// \brief Small string helpers shared across modules (splitting, trimming,
+/// joining, numeric parsing with error reporting, printf-style formatting).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vs {
+
+/// Splits \p s on \p delim; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// True iff \p s starts with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a whole string as int64; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a whole string as double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace vs
+
+#endif  // VS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,94 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace vs {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();  // inline mode
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  if (threads_.empty()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t n = end - begin;
+  const size_t chunks = std::min(n, threads_.size() * 4);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  std::atomic<size_t> next{begin};
+  for (size_t c = 0; c < chunks; ++c) {
+    Submit([&, chunk_size] {
+      while (true) {
+        size_t start = next.fetch_add(chunk_size);
+        if (start >= end) break;
+        size_t stop = std::min(end, start + chunk_size);
+        for (size_t i = start; i < stop; ++i) fn(i);
+      }
+    });
+  }
+  WaitIdle();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 1 ? hc - 1 : 0;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace vs

@@ -1,0 +1,66 @@
+#ifndef VS_COMMON_THREADPOOL_H_
+#define VS_COMMON_THREADPOOL_H_
+
+/// \file threadpool.h
+/// \brief Fixed-size worker pool for embarrassingly parallel feature
+/// computation.  On single-core machines the pool degrades to executing
+/// tasks inline, which keeps behaviour deterministic there.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vs {
+
+/// \brief A minimal fork-join thread pool.
+///
+/// Submit() enqueues tasks; WaitIdle() blocks until the queue is drained and
+/// all workers are idle.  ParallelFor() is a convenience that blocks until a
+/// range has been fully processed.
+class ThreadPool {
+ public:
+  /// Creates a pool with \p num_threads workers.  num_threads == 0 selects
+  /// inline execution (no worker threads; Submit runs the task immediately).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitIdle();
+
+  /// Runs fn(i) for i in [begin, end), partitioned across workers; blocks
+  /// until complete.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// Number of worker threads (0 for inline mode).
+  size_t num_threads() const { return threads_.size(); }
+
+  /// A sensible default worker count for this machine: hardware_concurrency
+  /// minus one, and inline mode on single-core hosts.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace vs
+
+#endif  // VS_COMMON_THREADPOOL_H_

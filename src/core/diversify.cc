@@ -1,0 +1,93 @@
+#include "core/diversify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/metrics.h"
+
+namespace vs::core {
+
+vs::Result<std::vector<size_t>> DiversifiedTopK(
+    const FeatureMatrix& features, const std::vector<double>& scores,
+    const DiversifyOptions& options) {
+  const size_t n = features.num_views();
+  if (scores.size() != n) {
+    return vs::Status::InvalidArgument("one score per view is required");
+  }
+  if (n == 0) return vs::Status::InvalidArgument("empty view pool");
+  if (options.k <= 0) {
+    return vs::Status::InvalidArgument("k must be positive");
+  }
+  if (options.lambda < 0.0 || options.lambda > 1.0) {
+    return vs::Status::InvalidArgument("lambda must be in [0, 1]");
+  }
+  const size_t k = std::min<size_t>(static_cast<size_t>(options.k), n);
+
+  if (options.lambda == 0.0) {
+    return TopKIndices(scores, k);
+  }
+
+  // Scale utilities to [0, 1] so lambda trades comparable quantities.
+  double lo = scores[0];
+  double hi = scores[0];
+  for (double s : scores) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  const double span = hi - lo;
+  std::vector<double> utility(n);
+  for (size_t i = 0; i < n; ++i) {
+    utility[i] = span > 0.0 ? (scores[i] - lo) / span : 0.0;
+  }
+  // Feature rows are already min-max normalized; the maximum possible
+  // Euclidean distance is sqrt(#features).
+  const ml::Matrix& rows = features.normalized();
+  const double max_dist =
+      std::sqrt(static_cast<double>(features.num_features()));
+  auto distance = [&rows, max_dist](size_t a, size_t b) {
+    double acc = 0.0;
+    for (size_t j = 0; j < rows.cols(); ++j) {
+      const double d = rows(a, j) - rows(b, j);
+      acc += d * d;
+    }
+    return std::sqrt(acc) / max_dist;
+  };
+
+  std::vector<size_t> selected;
+  std::vector<bool> taken(n, false);
+  // Seed with the highest-utility view (MMR convention).
+  size_t first = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (utility[i] > utility[first]) first = i;
+  }
+  selected.push_back(first);
+  taken[first] = true;
+
+  // Track each candidate's distance to its nearest selected view.
+  std::vector<double> nearest(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!taken[i]) nearest[i] = distance(i, first);
+  }
+  while (selected.size() < k) {
+    size_t best = n;
+    double best_score = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      const double mmr = (1.0 - options.lambda) * utility[i] +
+                         options.lambda * nearest[i];
+      if (mmr > best_score) {
+        best_score = mmr;
+        best = i;
+      }
+    }
+    if (best == n) break;
+    selected.push_back(best);
+    taken[best] = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (!taken[i]) nearest[i] = std::min(nearest[i], distance(i, best));
+    }
+  }
+  return selected;
+}
+
+}  // namespace vs::core

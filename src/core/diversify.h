@@ -1,0 +1,43 @@
+#ifndef VS_CORE_DIVERSIFY_H_
+#define VS_CORE_DIVERSIFY_H_
+
+/// \file diversify.h
+/// \brief DiVE-style diversified top-k selection (Mafrur, Sharaf & Khan,
+/// CIKM'18 — the paper's reference [18]).
+///
+/// A plain top-k under any utility function tends to return near-duplicate
+/// views (the same deviation seen through five aggregate functions).
+/// Diversification trades a little utility for coverage: greedy maximal
+/// marginal relevance (MMR) picks, at each step, the view maximizing
+///
+///   (1 - lambda) * utility(v) + lambda * min_{s in selected} dist(v, s)
+///
+/// where dist is the Euclidean distance between normalized feature rows.
+/// lambda = 0 reduces to the plain top-k.
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/feature_matrix.h"
+
+namespace vs::core {
+
+/// \brief Diversified selection configuration.
+struct DiversifyOptions {
+  int k = 5;
+  /// Relevance/diversity trade-off in [0, 1]: 0 = pure utility ranking,
+  /// 1 = pure diversity.
+  double lambda = 0.3;
+};
+
+/// Greedy MMR selection of k views: \p scores is one utility per view
+/// (higher = better; typically the learned estimator's output), distances
+/// come from \p features' normalized rows.  Both utilities and pairwise
+/// distances are min-max normalized internally so lambda is scale-free.
+vs::Result<std::vector<size_t>> DiversifiedTopK(
+    const FeatureMatrix& features, const std::vector<double>& scores,
+    const DiversifyOptions& options);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_DIVERSIFY_H_

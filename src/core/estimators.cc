@@ -1,0 +1,75 @@
+#include "core/estimators.h"
+
+namespace vs::core {
+
+namespace {
+
+vs::Status GatherRows(const ml::Matrix& features,
+                      const std::vector<size_t>& labeled, ml::Matrix* x) {
+  *x = ml::Matrix(labeled.size(), features.cols());
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    if (labeled[i] >= features.rows()) {
+      return vs::Status::OutOfRange("labeled index out of range");
+    }
+    const double* row = features.RowPtr(labeled[i]);
+    for (size_t j = 0; j < features.cols(); ++j) (*x)(i, j) = row[j];
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace
+
+vs::Status ViewUtilityEstimator::Refit(const ml::Matrix& features,
+                                       const std::vector<size_t>& labeled,
+                                       const std::vector<double>& labels) {
+  if (labeled.size() != labels.size()) {
+    return vs::Status::InvalidArgument(
+        "labeled indices and labels differ in length");
+  }
+  if (labeled.empty()) {
+    return vs::Status::FailedPrecondition("no labels to fit on");
+  }
+  ml::Matrix x;
+  VS_RETURN_IF_ERROR(GatherRows(features, labeled, &x));
+  return model_.Fit(x, labels);
+}
+
+vs::Result<ml::Vector> ViewUtilityEstimator::ScoreAll(
+    const ml::Matrix& features) const {
+  return model_.PredictBatch(features);
+}
+
+vs::Result<double> ViewUtilityEstimator::Score(
+    const ml::Vector& features) const {
+  return model_.Predict(features);
+}
+
+vs::Status UncertaintyEstimator::Refit(const ml::Matrix& features,
+                                       const std::vector<size_t>& labeled,
+                                       const std::vector<double>& labels) {
+  if (labeled.size() != labels.size()) {
+    return vs::Status::InvalidArgument(
+        "labeled indices and labels differ in length");
+  }
+  ml::Vector binary(labels.size());
+  bool has_pos = false;
+  bool has_neg = false;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    binary[i] = labels[i] >= positive_threshold_ ? 1.0 : 0.0;
+    (binary[i] > 0.5 ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) {
+    // Single-class: stay unfitted; callers fall back to random selection.
+    return vs::Status::OK();
+  }
+  ml::Matrix x;
+  VS_RETURN_IF_ERROR(GatherRows(features, labeled, &x));
+  return model_.Fit(x, binary);
+}
+
+vs::Result<double> UncertaintyEstimator::PredictProba(
+    const ml::Vector& features) const {
+  return model_.PredictProba(features);
+}
+
+}  // namespace vs::core

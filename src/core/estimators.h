@@ -1,0 +1,76 @@
+#ifndef VS_CORE_ESTIMATORS_H_
+#define VS_CORE_ESTIMATORS_H_
+
+/// \file estimators.h
+/// \brief The two learned models of Algorithm 1 wrapped for the seeker:
+/// the *view utility estimator* (linear regression on raw user scores) and
+/// the *uncertainty estimator* (logistic regression on scores thresholded
+/// into interesting / not interesting).
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "ml/matrix.h"
+
+namespace vs::core {
+
+/// \brief Linear-regression wrapper that refits from (pool matrix, labeled
+/// indices, scores) after every iteration.
+class ViewUtilityEstimator {
+ public:
+  ViewUtilityEstimator() = default;
+  explicit ViewUtilityEstimator(ml::LinearRegressionOptions options)
+      : model_(options) {}
+
+  /// Refits on the labeled rows of \p features; requires at least one
+  /// label.
+  vs::Status Refit(const ml::Matrix& features,
+                   const std::vector<size_t>& labeled,
+                   const std::vector<double>& labels);
+
+  /// Predicted utility of every pool row (unfitted model = error).
+  vs::Result<ml::Vector> ScoreAll(const ml::Matrix& features) const;
+
+  /// Predicted utility of a single feature row.
+  vs::Result<double> Score(const ml::Vector& features) const;
+
+  bool fitted() const { return model_.fitted(); }
+  const ml::LinearRegression& model() const { return model_; }
+
+ private:
+  ml::LinearRegression model_;
+};
+
+/// \brief Logistic-regression wrapper; labels are thresholded at
+/// \p positive_threshold.  Refit silently stays unfitted while only one
+/// class has been observed (the cold-start regime), which strategies treat
+/// as "fall back to random".
+class UncertaintyEstimator {
+ public:
+  UncertaintyEstimator() = default;
+  UncertaintyEstimator(ml::LogisticRegressionOptions options,
+                       double positive_threshold)
+      : model_(options), positive_threshold_(positive_threshold) {}
+
+  /// Refits on the labeled rows (no-op while single-class).
+  vs::Status Refit(const ml::Matrix& features,
+                   const std::vector<size_t>& labeled,
+                   const std::vector<double>& labels);
+
+  /// p(interesting | row).
+  vs::Result<double> PredictProba(const ml::Vector& features) const;
+
+  bool fitted() const { return model_.fitted(); }
+  const ml::LogisticRegression& model() const { return model_; }
+  double positive_threshold() const { return positive_threshold_; }
+
+ private:
+  ml::LogisticRegression model_;
+  double positive_threshold_ = 0.5;
+};
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_ESTIMATORS_H_

@@ -1,0 +1,150 @@
+#include "core/experiment.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "core/metrics.h"
+#include "core/refinement.h"
+#include "core/simulated_user.h"
+
+namespace vs::core {
+
+vs::Result<ExperimentResult> RunSimulatedSession(
+    const FeatureMatrix& exact, FeatureMatrix* working,
+    const IdealUtilityFunction& ustar, const ExperimentConfig& config) {
+  if (config.max_labels == 0) {
+    return vs::Status::InvalidArgument("max_labels must be positive");
+  }
+  if (config.refine && working == nullptr) {
+    return vs::Status::InvalidArgument(
+        "refinement requires a working matrix distinct from the exact one");
+  }
+
+  SimulatedUserOptions user_options;
+  user_options.label_noise = config.label_noise;
+  user_options.label_quantization = config.label_quantization;
+  user_options.noise_seed = config.seed ^ 0x5eedf00dULL;
+  VS_ASSIGN_OR_RETURN(
+      SimulatedUser user,
+      SimulatedUser::Make(&exact.normalized(), ustar, user_options));
+  const std::vector<double> true_scores(user.true_scores().begin(),
+                                        user.true_scores().end());
+  const std::vector<size_t> ideal_topk =
+      TopKIndices(true_scores, static_cast<size_t>(config.k));
+
+  ViewSeekerOptions seeker_options;
+  seeker_options.k = config.k;
+  seeker_options.views_per_iteration = config.views_per_iteration;
+  seeker_options.strategy = config.strategy;
+  seeker_options.positive_threshold = config.positive_threshold;
+  seeker_options.seed = config.seed;
+  const FeatureMatrix* pool = working != nullptr ? working : &exact;
+  VS_ASSIGN_OR_RETURN(ViewSeeker seeker,
+                      ViewSeeker::Make(pool, seeker_options));
+
+  IncrementalRefiner refiner(working);
+
+  ExperimentResult result;
+  Stopwatch session_clock;
+  while (seeker.num_labeled() < config.max_labels &&
+         seeker.num_unlabeled() > 0) {
+    VS_ASSIGN_OR_RETURN(std::vector<size_t> queries, seeker.NextQueries());
+    for (size_t q : queries) {
+      if (seeker.num_labeled() >= config.max_labels) break;
+      VS_ASSIGN_OR_RETURN(double label, user.Label(q));
+      VS_RETURN_IF_ERROR(seeker.SubmitLabel(q, label));
+    }
+
+    VS_ASSIGN_OR_RETURN(std::vector<size_t> topk, seeker.RecommendTopK());
+    IterationRecord record;
+    record.labels = static_cast<int>(seeker.num_labeled());
+    if (config.tie_epsilon > 0.0) {
+      // Tie-tolerant precision: a recommended view whose true utility is
+      // within tie_epsilon of the k-th ideal view is indistinguishable to
+      // the user and counts as a hit.
+      const double threshold =
+          true_scores[ideal_topk.back()] - config.tie_epsilon;
+      size_t hits = 0;
+      for (size_t v : topk) {
+        if (true_scores[v] >= threshold) ++hits;
+      }
+      record.precision =
+          static_cast<double>(hits) / static_cast<double>(ideal_topk.size());
+    } else {
+      VS_ASSIGN_OR_RETURN(record.precision, TopKPrecision(topk, ideal_topk));
+    }
+    VS_ASSIGN_OR_RETURN(record.ud,
+                        UtilityDistance(true_scores, topk, ideal_topk));
+    result.trajectory.push_back(record);
+
+    // §3.2: phase 2 runs in two stages; recommendations count as stable
+    // only once the cold-start stage has resolved (both a positive and a
+    // negative label observed), so the session cannot terminate earlier —
+    // the user has not yet seen a refined estimator's output.
+    const bool target_reached =
+        !seeker.in_cold_start() &&
+        (config.stop_on_ud_zero ? record.ud <= 1e-9
+                                : record.precision >= config.target_precision);
+    if (target_reached) {
+      result.reached_target = true;
+      result.labels_to_target = record.labels;
+      result.final_precision = record.precision;
+      result.final_ud = record.ud;
+      result.elapsed_seconds = session_clock.ElapsedSeconds();
+      return result;
+    }
+
+    // §3.3: spend the idle time between prompts refining rough features,
+    // most-promising views first.
+    if (config.refine && working != nullptr && !working->AllExact()) {
+      Deadline deadline = Deadline::Infinite();
+      if (config.refine_seconds_per_iteration > 0.0) {
+        deadline = Deadline::AfterSeconds(config.refine_seconds_per_iteration);
+      } else if (config.refine_views_per_iteration > 0) {
+        deadline = Deadline::AfterUnits(
+            static_cast<int64_t>(config.refine_views_per_iteration) *
+            working->RefineCostPerRow());
+      }
+      VS_ASSIGN_OR_RETURN(std::vector<double> priorities,
+                          seeker.CurrentScores());
+      if (config.prune) {
+        PruningOptions pruning;
+        pruning.k = config.k;
+        pruning.margin = config.prune_margin;
+        VS_RETURN_IF_ERROR(
+            refiner.RefineBatchPruned(priorities, pruning, &deadline)
+                .status());
+      } else {
+        VS_RETURN_IF_ERROR(
+            refiner.RefineBatch(priorities, &deadline).status());
+      }
+    }
+  }
+
+  result.reached_target = false;
+  result.labels_to_target = static_cast<int>(seeker.num_labeled());
+  if (!result.trajectory.empty()) {
+    result.final_precision = result.trajectory.back().precision;
+    result.final_ud = result.trajectory.back().ud;
+  }
+  result.elapsed_seconds = session_clock.ElapsedSeconds();
+  return result;
+}
+
+vs::Result<double> AverageLabelsToTarget(
+    const FeatureMatrix& exact,
+    const std::vector<IdealUtilityFunction>& ideals,
+    const ExperimentConfig& config) {
+  if (ideals.empty()) {
+    return vs::Status::InvalidArgument("no ideal utility functions given");
+  }
+  double total = 0.0;
+  for (const IdealUtilityFunction& ustar : ideals) {
+    VS_ASSIGN_OR_RETURN(ExperimentResult r,
+                        RunSimulatedSession(exact, nullptr, ustar, config));
+    total += static_cast<double>(r.labels_to_target);
+  }
+  return total / static_cast<double>(ideals.size());
+}
+
+}  // namespace vs::core

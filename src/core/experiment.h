@@ -1,0 +1,106 @@
+#ifndef VS_CORE_EXPERIMENT_H_
+#define VS_CORE_EXPERIMENT_H_
+
+/// \file experiment.h
+/// \brief The simulated-user experiment driver behind every figure: run a
+/// full ViewSeeker session against an ideal utility function u*, recording
+/// the label count and wall-clock needed to reach the target (100% top-k
+/// precision for Figures 3/4, UD = 0 for Figures 6/7) plus the whole
+/// precision/UD trajectory.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/feature_matrix.h"
+#include "core/ideal_utility.h"
+#include "core/seeker.h"
+
+namespace vs::core {
+
+/// \brief One simulated session's configuration.
+struct ExperimentConfig {
+  int k = 5;
+  std::string strategy = "uncertainty";
+  int views_per_iteration = 1;
+  /// Hard cap on user labels (sessions that never converge stop here).
+  size_t max_labels = 150;
+  uint64_t seed = 1;
+  double positive_threshold = 0.5;
+
+  /// Stop once top-k precision reaches this value (Figures 3/4)...
+  double target_precision = 1.0;
+  /// ...or, when true, once Utility Distance reaches 0 (Figures 6/7).
+  bool stop_on_ud_zero = false;
+
+  /// Gaussian label noise of the simulated user (0 = paper's oracle).
+  double label_noise = 0.0;
+  /// Label granularity of the simulated user (0 = continuous; the paper's
+  /// example feedback values are one decimal, i.e. 0.1).
+  double label_quantization = 0.0;
+  /// Tie tolerance for the precision target: a recommended view counts as
+  /// a hit when its true utility is within this of the k-th ideal view's.
+  /// The paper motivates exactly this ("views directly after the kth view
+  /// may have very close, or even identical, utility"); half the label
+  /// quantization step is the natural value, since the user cannot express
+  /// finer preferences.  0 = exact set match.
+  double tie_epsilon = 0.0;
+
+  /// Enable incremental refinement of a rough working matrix between
+  /// iterations (§3.3).  Requires a distinct working matrix.
+  bool refine = false;
+  /// Cap on views refined per iteration (deterministic mode); 0 = no cap.
+  int refine_views_per_iteration = 0;
+  /// Wall-clock refinement budget per iteration in seconds (t_l); when
+  /// > 0 it replaces the view cap.
+  double refine_seconds_per_iteration = 0.0;
+  /// Interval-prune rough rows that cannot enter the top-k before
+  /// refining (pruning.h); only meaningful with refine = true.
+  bool prune = false;
+  /// Score half-interval assumed for rough rows when pruning.
+  double prune_margin = 0.1;
+};
+
+/// \brief Per-iteration measurements.
+struct IterationRecord {
+  int labels = 0;          ///< total labels submitted so far
+  double precision = 0.0;  ///< top-k precision vs the ideal top-k
+  double ud = 0.0;         ///< Utility Distance (Eq. 8)
+};
+
+/// \brief Outcome of one simulated session.
+struct ExperimentResult {
+  bool reached_target = false;
+  /// Labels needed to reach the target (== max_labels cap when not
+  /// reached).
+  int labels_to_target = 0;
+  double final_precision = 0.0;
+  double final_ud = 0.0;
+  /// Session compute time (model refits, selection, refinement); excludes
+  /// feature-matrix construction, which the caller times separately.
+  double elapsed_seconds = 0.0;
+  std::vector<IterationRecord> trajectory;
+};
+
+/// Runs one simulated session.
+///
+/// \p exact is the ground-truth feature matrix (drives the simulated user
+/// and the precision/UD measurements).  \p working, when non-null, is the
+/// matrix the seeker actually operates on (typically a rough α%-sample
+/// build; refined in place when config.refine is set); when null the
+/// seeker operates directly on \p exact.
+vs::Result<ExperimentResult> RunSimulatedSession(
+    const FeatureMatrix& exact, FeatureMatrix* working,
+    const IdealUtilityFunction& ustar, const ExperimentConfig& config);
+
+/// Convenience: average labels_to_target over a set of ideal utility
+/// functions (how Figures 3/4/6/7 aggregate Table 2 groups).  Sessions
+/// that fail to converge contribute the max_labels cap.
+vs::Result<double> AverageLabelsToTarget(
+    const FeatureMatrix& exact,
+    const std::vector<IdealUtilityFunction>& ideals,
+    const ExperimentConfig& config);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_EXPERIMENT_H_

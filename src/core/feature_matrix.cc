@@ -1,0 +1,244 @@
+#include "core/feature_matrix.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/random.h"
+#include "common/threadpool.h"
+#include "data/sampler.h"
+
+namespace vs::core {
+
+namespace {
+
+/// Intersection of two sorted selection vectors.
+data::SelectionVector Intersect(const data::SelectionVector& a,
+                                const data::SelectionVector& b) {
+  data::SelectionVector out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+vs::Result<FeatureMatrix> FeatureMatrix::Build(
+    const data::Table* table, std::vector<ViewSpec> views,
+    data::SelectionVector query_selection,
+    const UtilityFeatureRegistry* registry,
+    const FeatureMatrixOptions& options) {
+  if (table == nullptr || registry == nullptr) {
+    return vs::Status::InvalidArgument("table and registry are required");
+  }
+  if (views.empty()) {
+    return vs::Status::InvalidArgument("view list must be non-empty");
+  }
+  if (registry->size() == 0) {
+    return vs::Status::InvalidArgument("registry has no features");
+  }
+  if (options.sample_rate <= 0.0 || options.sample_rate > 1.0) {
+    return vs::Status::InvalidArgument("sample_rate must be in (0, 1]");
+  }
+  for (uint32_t r : query_selection) {
+    if (r >= table->num_rows()) {
+      return vs::Status::OutOfRange("query selection row out of range");
+    }
+  }
+
+  FeatureMatrix fm;
+  fm.table_ = table;
+  fm.registry_ = registry;
+  fm.views_ = std::move(views);
+  fm.query_selection_ = std::move(query_selection);
+  fm.raw_ = ml::Matrix(fm.views_.size(), registry->size());
+  fm.exact_.assign(fm.views_.size(), false);
+
+  const bool exact_build = options.sample_rate >= 1.0;
+  data::GroupByExecutor executor(table);
+
+  data::SelectionVector ref_sample;
+  data::SelectionVector target_sample;
+  const data::SelectionVector* ref_sel = nullptr;  // nullptr = all rows
+  const data::SelectionVector* target_sel = &fm.query_selection_;
+  if (!exact_build) {
+    vs::Rng rng(options.seed);
+    ref_sample =
+        data::BernoulliSample(table->num_rows(), options.sample_rate, &rng);
+    target_sample = Intersect(fm.query_selection_, ref_sample);
+    if (target_sample.empty() || ref_sample.empty()) {
+      // The sample missed the (small) query subset entirely; rough
+      // features would be vacuous, so fall back to the full selections.
+      ref_sel = nullptr;
+      target_sel = &fm.query_selection_;
+    } else {
+      ref_sel = &ref_sample;
+      target_sel = &target_sample;
+    }
+  }
+
+  fm.shared_scan_ = options.shared_scan;
+
+  // Shared-scan batching (SeeDB-style): all views over one (dimension,
+  // bin count) share a single target pass and a single reference pass.
+  // Without shared_scan every view is its own group (the per-view cost
+  // model of the paper's prototype).
+  std::vector<std::vector<size_t>> groups;
+  if (options.shared_scan) {
+    std::map<std::pair<std::string, int32_t>, size_t> group_of;
+    for (size_t i = 0; i < fm.views_.size(); ++i) {
+      const auto key =
+          std::make_pair(fm.views_[i].dimension, fm.views_[i].num_bins);
+      auto [it, inserted] = group_of.emplace(key, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+  } else {
+    groups.resize(fm.views_.size());
+    for (size_t i = 0; i < fm.views_.size(); ++i) groups[i] = {i};
+  }
+
+  auto compute_group = [&](size_t g) -> vs::Status {
+    const std::vector<size_t>& members = groups[g];
+    std::vector<data::GroupBySpec> specs;
+    specs.reserve(members.size());
+    for (size_t i : members) {
+      specs.push_back(fm.views_[i].ToGroupBySpec());
+    }
+    VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> targets,
+                        executor.ExecuteBatch(specs, target_sel));
+    VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> references,
+                        executor.ExecuteBatch(specs, ref_sel));
+    for (size_t k = 0; k < members.size(); ++k) {
+      ViewMaterialization mat;
+      mat.target = std::move(targets[k]);
+      mat.reference = std::move(references[k]);
+      VS_ASSIGN_OR_RETURN(mat.target_dist,
+                          stats::Normalize(mat.target.values));
+      VS_ASSIGN_OR_RETURN(mat.reference_dist,
+                          stats::Normalize(mat.reference.values));
+      VS_ASSIGN_OR_RETURN(ml::Vector features, registry->ComputeAll(mat));
+      const size_t row = members[k];
+      for (size_t j = 0; j < features.size(); ++j) {
+        fm.raw_(row, j) = features[j];
+      }
+    }
+    return vs::Status::OK();
+  };
+
+  if (options.num_threads == 0) {
+    for (size_t g = 0; g < groups.size(); ++g) {
+      VS_RETURN_IF_ERROR(compute_group(g));
+    }
+  } else {
+    // Groups are independent and write disjoint rows.  Prewarming the
+    // executor's numeric-range cache first makes ExecuteBatch read-only,
+    // so a single executor can be shared across workers.
+    for (const ViewSpec& view : fm.views_) {
+      VS_RETURN_IF_ERROR(executor.Prewarm(view.ToGroupBySpec()));
+    }
+    std::vector<vs::Status> group_status(groups.size());
+    ThreadPool pool(options.num_threads);
+    pool.ParallelFor(0, groups.size(), [&](size_t g) {
+      group_status[g] = compute_group(g);
+    });
+    for (const vs::Status& s : group_status) {
+      VS_RETURN_IF_ERROR(s);
+    }
+  }
+  if (exact_build) {
+    fm.exact_.assign(fm.views_.size(), true);
+    fm.num_exact_ = fm.views_.size();
+  }
+  fm.normalized_dirty_ = true;
+  return fm;
+}
+
+const ml::Matrix& FeatureMatrix::normalized() const {
+  if (normalized_dirty_) {
+    normalized_ = raw_;
+    const size_t rows = raw_.rows();
+    const size_t cols = raw_.cols();
+    for (size_t j = 0; j < cols; ++j) {
+      double lo = raw_(0, j);
+      double hi = raw_(0, j);
+      for (size_t i = 1; i < rows; ++i) {
+        lo = std::min(lo, raw_(i, j));
+        hi = std::max(hi, raw_(i, j));
+      }
+      const double span = hi - lo;
+      for (size_t i = 0; i < rows; ++i) {
+        normalized_(i, j) = span > 0.0 ? (raw_(i, j) - lo) / span : 0.0;
+      }
+    }
+    normalized_dirty_ = false;
+  }
+  return normalized_;
+}
+
+ml::Vector FeatureMatrix::NormalizedRow(size_t view_index) const {
+  return normalized().Row(view_index);
+}
+
+vs::Status FeatureMatrix::RefineRow(size_t view_index) {
+  return RefineRows({view_index});
+}
+
+vs::Status FeatureMatrix::RefineRows(
+    const std::vector<size_t>& view_indices) {
+  // Group the rough rows by (dimension, bin count) for shared scans; in
+  // per-view mode (shared_scan = false) each row is its own scan.
+  std::map<std::pair<std::string, int32_t>, std::vector<size_t>> groups;
+  int32_t next_unique = 0;
+  for (size_t view_index : view_indices) {
+    if (view_index >= views_.size()) {
+      return vs::Status::OutOfRange("view index out of range");
+    }
+    if (exact_[view_index]) continue;
+    if (shared_scan_) {
+      groups[{views_[view_index].dimension, views_[view_index].num_bins}]
+          .push_back(view_index);
+    } else {
+      groups[{views_[view_index].dimension, --next_unique}] = {view_index};
+    }
+  }
+  if (groups.empty()) return vs::Status::OK();
+
+  data::GroupByExecutor executor(table_);
+  for (const auto& [key, members] : groups) {
+    std::vector<data::GroupBySpec> specs;
+    specs.reserve(members.size());
+    for (size_t i : members) specs.push_back(views_[i].ToGroupBySpec());
+    VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> targets,
+                        executor.ExecuteBatch(specs, &query_selection_));
+    VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> references,
+                        executor.ExecuteBatch(specs, nullptr));
+    for (size_t k = 0; k < members.size(); ++k) {
+      ViewMaterialization mat;
+      mat.target = std::move(targets[k]);
+      mat.reference = std::move(references[k]);
+      VS_ASSIGN_OR_RETURN(mat.target_dist,
+                          stats::Normalize(mat.target.values));
+      VS_ASSIGN_OR_RETURN(mat.reference_dist,
+                          stats::Normalize(mat.reference.values));
+      VS_ASSIGN_OR_RETURN(ml::Vector features, registry_->ComputeAll(mat));
+      const size_t row = members[k];
+      for (size_t j = 0; j < features.size(); ++j) {
+        raw_(row, j) = features[j];
+      }
+      exact_[row] = true;
+      ++num_exact_;
+    }
+  }
+  normalized_dirty_ = true;
+  return vs::Status::OK();
+}
+
+int64_t FeatureMatrix::RefineCostPerRow() const {
+  // One refinement scans the full table (reference) plus the query subset
+  // (target).
+  return static_cast<int64_t>(table_->num_rows() + query_selection_.size());
+}
+
+}  // namespace vs::core

@@ -1,0 +1,96 @@
+#include "core/heatmap.h"
+
+#include "common/string_util.h"
+#include "core/metrics.h"
+
+namespace vs::core {
+
+std::string HeatmapViewSpec::Id() const {
+  std::string id = "HEATMAP " + data::AggregateFunctionName(func) + "(" +
+                   measure + ") BY " + row_dimension + " x " +
+                   col_dimension;
+  if (row_bins > 0 || col_bins > 0) {
+    id += vs::StrFormat("/%dx%d", row_bins, col_bins);
+  }
+  return id;
+}
+
+vs::Result<std::vector<HeatmapViewSpec>> EnumerateHeatmapViews(
+    const data::Table& table, const HeatmapEnumerationOptions& options) {
+  if (options.numeric_bins <= 0) {
+    return vs::Status::InvalidArgument("numeric_bins must be positive");
+  }
+  const data::Schema& schema = table.schema();
+  const auto dims = schema.FieldsWithRole(data::FieldRole::kDimension);
+  const auto measures = schema.FieldsWithRole(data::FieldRole::kMeasure);
+  if (dims.size() < 2) {
+    return vs::Status::FailedPrecondition(
+        "heatmap views need at least two dimension attributes");
+  }
+  if (measures.empty()) {
+    return vs::Status::FailedPrecondition("schema has no measure attributes");
+  }
+  std::vector<data::AggregateFunction> funcs = options.functions;
+  if (funcs.empty()) funcs = data::AllAggregateFunctions();
+
+  auto bins_for = [&](size_t field_index) -> int32_t {
+    return schema.field(field_index).type == data::DataType::kString
+               ? 0
+               : options.numeric_bins;
+  };
+
+  std::vector<HeatmapViewSpec> views;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    for (size_t j = i + 1; j < dims.size(); ++j) {
+      for (size_t m : measures) {
+        for (data::AggregateFunction f : funcs) {
+          HeatmapViewSpec spec;
+          spec.row_dimension = schema.field(dims[i]).name;
+          spec.col_dimension = schema.field(dims[j]).name;
+          spec.measure = schema.field(m).name;
+          spec.func = f;
+          spec.row_bins = bins_for(dims[i]);
+          spec.col_bins = bins_for(dims[j]);
+          views.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  return views;
+}
+
+vs::Result<HeatmapMaterialization> MaterializeHeatmap(
+    const data::Table& table, const HeatmapViewSpec& spec,
+    const data::SelectionVector& query) {
+  HeatmapMaterialization out;
+  const data::GroupBy2DSpec grid_spec = spec.ToGroupBy2DSpec();
+  VS_ASSIGN_OR_RETURN(out.target,
+                      data::ExecuteGroupBy2D(table, grid_spec, &query));
+  VS_ASSIGN_OR_RETURN(out.reference,
+                      data::ExecuteGroupBy2D(table, grid_spec, nullptr));
+  VS_ASSIGN_OR_RETURN(out.target_dist, stats::Normalize(out.target.values));
+  VS_ASSIGN_OR_RETURN(out.reference_dist,
+                      stats::Normalize(out.reference.values));
+  return out;
+}
+
+vs::Result<std::vector<size_t>> RecommendHeatmaps(
+    const data::Table& table, const std::vector<HeatmapViewSpec>& views,
+    const data::SelectionVector& query, stats::DistanceKind distance,
+    int k) {
+  if (k <= 0) return vs::Status::InvalidArgument("k must be positive");
+  if (views.empty()) {
+    return vs::Status::InvalidArgument("no heatmap views given");
+  }
+  std::vector<double> scores(views.size(), 0.0);
+  for (size_t i = 0; i < views.size(); ++i) {
+    VS_ASSIGN_OR_RETURN(HeatmapMaterialization mat,
+                        MaterializeHeatmap(table, views[i], query));
+    VS_ASSIGN_OR_RETURN(
+        scores[i],
+        stats::Distance(distance, mat.target_dist, mat.reference_dist));
+  }
+  return TopKIndices(scores, static_cast<size_t>(k));
+}
+
+}  // namespace vs::core

@@ -1,0 +1,79 @@
+#ifndef VS_CORE_HEATMAP_H_
+#define VS_CORE_HEATMAP_H_
+
+/// \file heatmap.h
+/// \brief Heatmap views — two dimension attributes crossed into a grid
+/// with an aggregated measure as cell color — the second "more
+/// visualization types" extension the paper's conclusion calls for
+/// (alongside scatter plots, scatter.h).
+///
+/// A heatmap view's target grid (over D_Q) and reference grid (over D)
+/// share cell definitions; both are flattened row-major and normalized, so
+/// the existing distance machinery measures their deviation.  EMD over the
+/// flattened grid is a scanline approximation (true 2-D EMD is an optimal
+/// transport problem); KL/L1/L2/MAX_DIFF are exact cellwise measures.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/groupby2d.h"
+#include "stats/distance.h"
+#include "stats/histogram.h"
+
+namespace vs::core {
+
+/// \brief Identity of one heatmap view.
+struct HeatmapViewSpec {
+  std::string row_dimension;
+  std::string col_dimension;
+  std::string measure;
+  data::AggregateFunction func = data::AggregateFunction::kCount;
+  int32_t row_bins = 0;  ///< 0 for categorical
+  int32_t col_bins = 0;
+
+  /// "HEATMAP AVG(m) BY a1 x a2".
+  std::string Id() const;
+
+  data::GroupBy2DSpec ToGroupBy2DSpec() const {
+    return data::GroupBy2DSpec{row_dimension, col_dimension, measure,
+                               func,          row_bins,      col_bins};
+  }
+};
+
+/// \brief Controls heatmap view-space enumeration.
+struct HeatmapEnumerationOptions {
+  /// Aggregation functions to enumerate; empty = all five.
+  std::vector<data::AggregateFunction> functions;
+  /// Bin count applied to numeric dimensions.
+  int32_t numeric_bins = 4;
+};
+
+/// Enumerates all (dimension pair, measure, function) heatmap views.
+vs::Result<std::vector<HeatmapViewSpec>> EnumerateHeatmapViews(
+    const data::Table& table, const HeatmapEnumerationOptions& options);
+
+/// \brief Target/reference grids of one heatmap view with normalized
+/// flattened distributions.
+struct HeatmapMaterialization {
+  data::GroupBy2DResult target;
+  data::GroupBy2DResult reference;
+  stats::Distribution target_dist;     ///< flattened row-major
+  stats::Distribution reference_dist;
+};
+
+/// Materializes \p spec: target over \p query, reference over all rows.
+vs::Result<HeatmapMaterialization> MaterializeHeatmap(
+    const data::Table& table, const HeatmapViewSpec& spec,
+    const data::SelectionVector& query);
+
+/// Top-k heatmap views by target-vs-reference deviation under
+/// \p distance.
+vs::Result<std::vector<size_t>> RecommendHeatmaps(
+    const data::Table& table, const std::vector<HeatmapViewSpec>& views,
+    const data::SelectionVector& query, stats::DistanceKind distance,
+    int k);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_HEATMAP_H_

@@ -1,0 +1,105 @@
+#include "core/ideal_utility.h"
+
+#include "core/utility_features.h"
+
+namespace vs::core {
+
+vs::Result<IdealUtilityFunction> IdealUtilityFunction::FromComponents(
+    std::string name, size_t num_features,
+    const std::vector<std::pair<int, double>>& components) {
+  ml::Vector weights(num_features, 0.0);
+  for (const auto& [index, weight] : components) {
+    if (index < 0 || static_cast<size_t>(index) >= num_features) {
+      return vs::Status::OutOfRange("feature index out of range");
+    }
+    weights[static_cast<size_t>(index)] = weight;
+  }
+  return IdealUtilityFunction(std::move(name), std::move(weights));
+}
+
+vs::Result<double> IdealUtilityFunction::Score(
+    const ml::Vector& features) const {
+  if (features.size() != weights_.size()) {
+    return vs::Status::InvalidArgument(
+        "feature width differs from u* weight width");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i] * features[i];
+  }
+  return acc;
+}
+
+vs::Result<ml::Vector> IdealUtilityFunction::ScoreAll(
+    const ml::Matrix& features) const {
+  if (features.cols() != weights_.size()) {
+    return vs::Status::InvalidArgument(
+        "feature width differs from u* weight width");
+  }
+  ml::Vector out(features.rows(), 0.0);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const double* row = features.RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < weights_.size(); ++j) acc += weights_[j] * row[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+int IdealUtilityFunction::NumComponents() const {
+  int n = 0;
+  for (double w : weights_) {
+    if (w != 0.0) ++n;
+  }
+  return n;
+}
+
+std::vector<IdealUtilityFunction> Table2Presets() {
+  using F = UtilityFeature;
+  const size_t n = static_cast<size_t>(kNumBuiltinFeatures);
+  auto idx = [](F f) { return static_cast<int>(f); };
+  auto make = [&](const std::string& name,
+                  std::vector<std::pair<int, double>> components) {
+    auto fn = IdealUtilityFunction::FromComponents(name, n,
+                                                   std::move(components));
+    return *fn;  // indices are compile-time constants; cannot fail
+  };
+  return {
+      make("1.0*KL", {{idx(F::kKL), 1.0}}),
+      make("1.0*EMD", {{idx(F::kEMD), 1.0}}),
+      make("1.0*MAX_DIFF", {{idx(F::kMaxDiff), 1.0}}),
+      make("0.5*EMD + 0.5*KL", {{idx(F::kEMD), 0.5}, {idx(F::kKL), 0.5}}),
+      make("0.5*EMD + 0.5*L2", {{idx(F::kEMD), 0.5}, {idx(F::kL2), 0.5}}),
+      make("0.5*EMD + 0.5*p-value",
+           {{idx(F::kEMD), 0.5}, {idx(F::kPValue), 0.5}}),
+      make("0.3*EMD + 0.3*KL + 0.4*MAX_DIFF",
+           {{idx(F::kEMD), 0.3}, {idx(F::kKL), 0.3}, {idx(F::kMaxDiff), 0.4}}),
+      make("0.3*EMD + 0.3*L2 + 0.4*MAX_DIFF",
+           {{idx(F::kEMD), 0.3}, {idx(F::kL2), 0.3}, {idx(F::kMaxDiff), 0.4}}),
+      make("0.3*EMD + 0.3*p-value + 0.4*MAX_DIFF",
+           {{idx(F::kEMD), 0.3},
+            {idx(F::kPValue), 0.3},
+            {idx(F::kMaxDiff), 0.4}}),
+      make("0.3*EMD + 0.3*KL + 0.4*Usability",
+           {{idx(F::kEMD), 0.3},
+            {idx(F::kKL), 0.3},
+            {idx(F::kUsability), 0.4}}),
+      make("0.3*EMD + 0.3*KL + 0.4*Accuracy",
+           {{idx(F::kEMD), 0.3},
+            {idx(F::kKL), 0.3},
+            {idx(F::kAccuracy), 0.4}}),
+  };
+}
+
+std::vector<IdealUtilityFunction> Table2PresetsWithComponents(
+    int num_components) {
+  std::vector<IdealUtilityFunction> out;
+  for (IdealUtilityFunction& fn : Table2Presets()) {
+    if (fn.NumComponents() == num_components) {
+      out.push_back(std::move(fn));
+    }
+  }
+  return out;
+}
+
+}  // namespace vs::core

@@ -1,0 +1,61 @@
+#ifndef VS_CORE_IDEAL_UTILITY_H_
+#define VS_CORE_IDEAL_UTILITY_H_
+
+/// \file ideal_utility.h
+/// \brief Simulated ideal utility functions u*() — linear combinations of
+/// utility features (Eq. 4) — including the 11 presets of Table 2 used by
+/// every experiment in the paper.
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace vs::core {
+
+/// \brief u*() = Σ βᵢ·featureᵢ over (normalized) feature vectors.
+class IdealUtilityFunction {
+ public:
+  IdealUtilityFunction() = default;
+
+  /// \p weights has one β per registry feature (zeros for uninvolved
+  /// features); \p name is a human-readable description.
+  IdealUtilityFunction(std::string name, ml::Vector weights)
+      : name_(std::move(name)), weights_(std::move(weights)) {}
+
+  /// Builds from sparse (feature index, weight) pairs over \p num_features
+  /// slots.
+  static vs::Result<IdealUtilityFunction> FromComponents(
+      std::string name, size_t num_features,
+      const std::vector<std::pair<int, double>>& components);
+
+  /// u*(features) — dot product; errors on width mismatch.
+  vs::Result<double> Score(const ml::Vector& features) const;
+
+  /// u* of every row of \p features.
+  vs::Result<ml::Vector> ScoreAll(const ml::Matrix& features) const;
+
+  const std::string& name() const { return name_; }
+  const ml::Vector& weights() const { return weights_; }
+
+  /// Number of non-zero components.
+  int NumComponents() const;
+
+ private:
+  std::string name_;
+  ml::Vector weights_;
+};
+
+/// The 11 simulated ideal utility functions of Table 2, in order, defined
+/// over the default 8-feature registry (index layout of UtilityFeature).
+std::vector<IdealUtilityFunction> Table2Presets();
+
+/// Table 2 grouping used by Figures 3/4/6/7: presets with exactly
+/// \p num_components non-zero weights (1, 2 or 3).
+std::vector<IdealUtilityFunction> Table2PresetsWithComponents(
+    int num_components);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_IDEAL_UTILITY_H_

@@ -1,0 +1,92 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs::core {
+
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k) {
+  std::vector<size_t> idx(scores.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  k = std::min(k, scores.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
+                    idx.end(), [&scores](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+vs::Result<double> TopKPrecision(const std::vector<size_t>& recommended,
+                                 const std::vector<size_t>& ideal) {
+  if (ideal.empty()) {
+    return vs::Status::InvalidArgument("ideal top-k set is empty");
+  }
+  size_t hits = 0;
+  for (size_t r : recommended) {
+    for (size_t i : ideal) {
+      if (r == i) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(ideal.size());
+}
+
+vs::Result<double> UtilityDistance(const std::vector<double>& true_scores,
+                                   const std::vector<size_t>& recommended,
+                                   const std::vector<size_t>& ideal) {
+  if (ideal.empty()) {
+    return vs::Status::InvalidArgument("ideal top-k set is empty");
+  }
+  double ideal_sum = 0.0;
+  for (size_t i : ideal) {
+    if (i >= true_scores.size()) {
+      return vs::Status::OutOfRange("ideal index out of range");
+    }
+    ideal_sum += true_scores[i];
+  }
+  double rec_sum = 0.0;
+  for (size_t r : recommended) {
+    if (r >= true_scores.size()) {
+      return vs::Status::OutOfRange("recommended index out of range");
+    }
+    rec_sum += true_scores[r];
+  }
+  double ud = (ideal_sum - rec_sum) / static_cast<double>(ideal.size());
+  // The ideal set maximizes total utility, so UD >= 0 up to floating
+  // error; clamp the residue.
+  if (ud < 0.0 && ud > -1e-12) ud = 0.0;
+  return ud;
+}
+
+vs::Result<double> KendallTau(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return vs::Status::InvalidArgument("KendallTau over mismatched lengths");
+  }
+  if (a.size() < 2) {
+    return vs::Status::InvalidArgument("KendallTau requires >= 2 items");
+  }
+  long long concordant = 0;
+  long long discordant = 0;
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) ++concordant;
+      else if (prod < 0.0) ++discordant;
+      // ties contribute to neither (tau-a over the untied pairs' base)
+    }
+  }
+  const double total = static_cast<double>(n) * (n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / total;
+}
+
+}  // namespace vs::core

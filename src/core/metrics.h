@@ -1,0 +1,39 @@
+#ifndef VS_CORE_METRICS_H_
+#define VS_CORE_METRICS_H_
+
+/// \file metrics.h
+/// \brief Evaluation metrics of the paper: top-k precision
+/// |Vp ∩ V*| / k (§4) and Utility Distance (Eq. 8), plus Kendall's tau as
+/// an extra rank diagnostic.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vs::core {
+
+/// Indices of the k largest scores, ties broken by lower index
+/// (deterministic).  k is clamped to scores.size().
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k);
+
+/// |a ∩ b| / k where k = |b| (the paper's precision; a = recommended, b =
+/// ideal top-k).  Errors when b is empty.
+vs::Result<double> TopKPrecision(const std::vector<size_t>& recommended,
+                                 const std::vector<size_t>& ideal);
+
+/// Utility Distance (Eq. 8): (Σ_{v∈V*} u*(v) − Σ_{v∈Vp} u*(v)) / k over
+/// the ground-truth scores; 0 when the recommended set is utility-
+/// equivalent to the ideal set (robust to ties at the k-th position).
+vs::Result<double> UtilityDistance(const std::vector<double>& true_scores,
+                                   const std::vector<size_t>& recommended,
+                                   const std::vector<size_t>& ideal);
+
+/// Kendall rank-correlation tau-a between two score vectors of equal
+/// length (O(n²), fine at view-pool scale).
+vs::Result<double> KendallTau(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_METRICS_H_

@@ -1,0 +1,72 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+
+namespace vs::core {
+
+vs::Result<std::vector<bool>> TopKCandidates(
+    const std::vector<double>& scores, const std::vector<bool>& exact,
+    const PruningOptions& options) {
+  if (scores.size() != exact.size()) {
+    return vs::Status::InvalidArgument(
+        "scores and exactness flags differ in length");
+  }
+  if (scores.empty()) {
+    return vs::Status::InvalidArgument("empty score vector");
+  }
+  if (options.k <= 0) {
+    return vs::Status::InvalidArgument("k must be positive");
+  }
+  if (options.margin < 0.0) {
+    return vs::Status::InvalidArgument("margin must be non-negative");
+  }
+
+  const size_t n = scores.size();
+  const size_t k = std::min<size_t>(static_cast<size_t>(options.k), n);
+
+  // k-th highest lower bound.
+  std::vector<double> lower(n);
+  for (size_t i = 0; i < n; ++i) {
+    lower[i] = exact[i] ? scores[i] : scores[i] - options.margin;
+  }
+  std::vector<double> sorted_lower = lower;
+  std::nth_element(sorted_lower.begin(),
+                   sorted_lower.begin() + static_cast<long>(k - 1),
+                   sorted_lower.end(), std::greater<double>());
+  const double threshold = sorted_lower[k - 1];
+
+  std::vector<bool> candidate(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const double upper = exact[i] ? scores[i] : scores[i] + options.margin;
+    candidate[i] = upper >= threshold;
+  }
+  return candidate;
+}
+
+vs::Result<std::vector<size_t>> PrunedRefinementOrder(
+    const std::vector<double>& scores, const std::vector<bool>& exact,
+    const PruningOptions& options) {
+  VS_ASSIGN_OR_RETURN(std::vector<bool> candidate,
+                      TopKCandidates(scores, exact, options));
+  std::vector<size_t> order;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (candidate[i] && !exact[i]) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](size_t a, size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
+}
+
+vs::Result<std::vector<size_t>> PrunedRefinementOrder(
+    const FeatureMatrix& matrix, const std::vector<double>& scores,
+    const PruningOptions& options) {
+  std::vector<bool> exact(matrix.num_views());
+  for (size_t i = 0; i < matrix.num_views(); ++i) {
+    exact[i] = matrix.IsExact(i);
+  }
+  return PrunedRefinementOrder(scores, exact, options);
+}
+
+}  // namespace vs::core

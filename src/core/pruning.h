@@ -1,0 +1,54 @@
+#ifndef VS_CORE_PRUNING_H_
+#define VS_CORE_PRUNING_H_
+
+/// \file pruning.h
+/// \brief Confidence-bound pruning for the refinement scheduler — the
+/// "pruning" leg of the paper's optimization triad (§1 lists "pruning,
+/// sampling, and ranking"; §3.3 sampling + ranking live in
+/// feature_matrix.h / refinement.h).
+///
+/// Rough (α%-sample) utility scores carry bounded error.  Treating
+/// ±margin as a confidence interval around every rough score (SeeDB-style
+/// interval pruning), a rough view whose upper bound falls below the k-th
+/// highest lower bound can never enter the top-k under any refinement
+/// outcome — so it is never worth spending full-data computation on.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "core/feature_matrix.h"
+
+namespace vs::core {
+
+/// \brief Interval-pruning configuration.
+struct PruningOptions {
+  /// The recommendation size being protected.
+  int k = 5;
+  /// Score half-interval for rough rows: |rough - exact| <= margin is
+  /// assumed.  Exact rows have zero interval.
+  double margin = 0.1;
+};
+
+/// Marks which views survive interval pruning: result[i] is true when view
+/// i could still appear in the top-k (all exact rows and every rough row
+/// whose upper bound reaches the k-th highest lower bound).  Fails when
+/// scores/exact sizes mismatch or options are invalid.
+vs::Result<std::vector<bool>> TopKCandidates(
+    const std::vector<double>& scores, const std::vector<bool>& exact,
+    const PruningOptions& options);
+
+/// Rough rows worth refining, highest score first: candidates from
+/// TopKCandidates that are not yet exact.
+vs::Result<std::vector<size_t>> PrunedRefinementOrder(
+    const std::vector<double>& scores, const std::vector<bool>& exact,
+    const PruningOptions& options);
+
+/// Convenience over a FeatureMatrix: extracts the per-row exactness.
+vs::Result<std::vector<size_t>> PrunedRefinementOrder(
+    const FeatureMatrix& matrix, const std::vector<double>& scores,
+    const PruningOptions& options);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_PRUNING_H_

@@ -1,0 +1,44 @@
+#include "core/recommender.h"
+
+#include "core/metrics.h"
+
+namespace vs::core {
+
+vs::Result<std::vector<size_t>> RecommendByFeature(
+    const FeatureMatrix& features, size_t feature_index, int k) {
+  if (feature_index >= features.num_features()) {
+    return vs::Status::OutOfRange("feature index out of range");
+  }
+  if (k <= 0) return vs::Status::InvalidArgument("k must be positive");
+  const ml::Matrix& m = features.normalized();
+  std::vector<double> scores(m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) scores[i] = m(i, feature_index);
+  return TopKIndices(scores, static_cast<size_t>(k));
+}
+
+vs::Result<std::vector<size_t>> RecommendByFeatureName(
+    const FeatureMatrix& features, const std::string& feature_name, int k) {
+  VS_ASSIGN_OR_RETURN(size_t index,
+                      features.registry().IndexOf(feature_name));
+  return RecommendByFeature(features, index, k);
+}
+
+vs::Result<std::vector<size_t>> RecommendByWeights(
+    const FeatureMatrix& features, const ml::Vector& weights, int k) {
+  if (weights.size() != features.num_features()) {
+    return vs::Status::InvalidArgument(
+        "weight width differs from feature count");
+  }
+  if (k <= 0) return vs::Status::InvalidArgument("k must be positive");
+  const ml::Matrix& m = features.normalized();
+  std::vector<double> scores(m.rows(), 0.0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < weights.size(); ++j) acc += weights[j] * row[j];
+    scores[i] = acc;
+  }
+  return TopKIndices(scores, static_cast<size_t>(k));
+}
+
+}  // namespace vs::core

@@ -1,0 +1,34 @@
+#ifndef VS_CORE_RECOMMENDER_H_
+#define VS_CORE_RECOMMENDER_H_
+
+/// \file recommender.h
+/// \brief Static top-k view recommendation under a *fixed* utility
+/// function — the SeeDB-style baseline (Definition 1) that ViewSeeker is
+/// compared against in Experiment 2 / Figure 5.  No learning: rank every
+/// view by the given feature or weight vector and take the top k.
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/feature_matrix.h"
+#include "ml/matrix.h"
+
+namespace vs::core {
+
+/// Top-k view indices ranked by a single utility feature column (e.g.
+/// "recommend by EMD", the SeeDB deviation baseline).
+vs::Result<std::vector<size_t>> RecommendByFeature(
+    const FeatureMatrix& features, size_t feature_index, int k);
+
+/// Top-k view indices ranked by feature column name.
+vs::Result<std::vector<size_t>> RecommendByFeatureName(
+    const FeatureMatrix& features, const std::string& feature_name, int k);
+
+/// Top-k view indices under an arbitrary fixed linear utility function
+/// over the normalized features.
+vs::Result<std::vector<size_t>> RecommendByWeights(
+    const FeatureMatrix& features, const ml::Vector& weights, int k);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_RECOMMENDER_H_

@@ -1,0 +1,96 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+
+namespace vs::core {
+
+namespace {
+
+/// Refines \p order front-to-back under \p deadline, batching rows into
+/// shared scans (FeatureMatrix::RefineRows).  Returns the refined count.
+vs::Result<int> ConsumeOrder(FeatureMatrix* matrix,
+                             const std::vector<size_t>& order,
+                             Deadline* deadline) {
+  int refined = 0;
+  const int64_t cost = matrix->RefineCostPerRow();
+  size_t pos = 0;
+  while (pos < order.size() && !deadline->Expired()) {
+    size_t chunk = order.size() - pos;
+    const int64_t units = deadline->UnitsLeft();
+    if (units > 0) {
+      chunk = std::min<size_t>(
+          chunk, static_cast<size_t>(std::max<int64_t>(1, units / cost)));
+    } else {
+      // Wall-clock or infinite budget: modest chunks so the deadline is
+      // polled often enough.
+      chunk = std::min<size_t>(chunk, 8);
+    }
+    const std::vector<size_t> batch(order.begin() + static_cast<long>(pos),
+                                    order.begin() +
+                                        static_cast<long>(pos + chunk));
+    VS_RETURN_IF_ERROR(matrix->RefineRows(batch));
+    deadline->Charge(cost * static_cast<int64_t>(chunk));
+    refined += static_cast<int>(chunk);
+    pos += chunk;
+  }
+  return refined;
+}
+
+}  // namespace
+
+vs::Result<RefinementStats> IncrementalRefiner::RefineBatch(
+    const std::vector<double>& priorities, Deadline* deadline) {
+  if (matrix_ == nullptr || deadline == nullptr) {
+    return vs::Status::InvalidArgument("matrix and deadline are required");
+  }
+  if (!priorities.empty() && priorities.size() != matrix_->num_views()) {
+    return vs::Status::InvalidArgument(
+        "priorities must be empty or one per view");
+  }
+
+  // Rough rows sorted by decreasing priority (stable on ties).
+  std::vector<size_t> order;
+  order.reserve(matrix_->num_views());
+  for (size_t i = 0; i < matrix_->num_views(); ++i) {
+    if (!matrix_->IsExact(i)) order.push_back(i);
+  }
+  if (!priorities.empty()) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&priorities](size_t a, size_t b) {
+                       return priorities[a] > priorities[b];
+                     });
+  }
+
+  RefinementStats stats;
+  VS_ASSIGN_OR_RETURN(stats.rows_refined,
+                      ConsumeOrder(matrix_, order, deadline));
+  stats.all_exact = matrix_->AllExact();
+  return stats;
+}
+
+vs::Result<RefinementStats> IncrementalRefiner::RefineBatchPruned(
+    const std::vector<double>& priorities, const PruningOptions& pruning,
+    Deadline* deadline) {
+  if (matrix_ == nullptr || deadline == nullptr) {
+    return vs::Status::InvalidArgument("matrix and deadline are required");
+  }
+  if (priorities.size() != matrix_->num_views()) {
+    return vs::Status::InvalidArgument(
+        "pruned refinement requires one priority score per view");
+  }
+  VS_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                      PrunedRefinementOrder(*matrix_, priorities, pruning));
+  size_t rough_total = 0;
+  for (size_t i = 0; i < matrix_->num_views(); ++i) {
+    if (!matrix_->IsExact(i)) ++rough_total;
+  }
+
+  RefinementStats stats;
+  stats.rows_pruned = static_cast<int>(rough_total - order.size());
+  VS_ASSIGN_OR_RETURN(stats.rows_refined,
+                      ConsumeOrder(matrix_, order, deadline));
+  stats.all_exact = matrix_->AllExact();
+  return stats;
+}
+
+}  // namespace vs::core

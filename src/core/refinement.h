@@ -1,0 +1,59 @@
+#ifndef VS_CORE_REFINEMENT_H_
+#define VS_CORE_REFINEMENT_H_
+
+/// \file refinement.h
+/// \brief The incremental-refinement optimizer of §3.3: between user
+/// prompts, recompute rough (α%-sample) utility features on the full data,
+/// highest-priority views first — priority being the current view utility
+/// estimator's predicted score — while honouring the interaction time
+/// budget t_l (a wall-clock or deterministic work-unit Deadline).
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "core/feature_matrix.h"
+#include "core/pruning.h"
+
+namespace vs::core {
+
+/// \brief Statistics returned by one refinement batch.
+struct RefinementStats {
+  int rows_refined = 0;
+  /// Rough rows interval-pruning excluded from this batch (pruned rows
+  /// may re-enter later batches if the score landscape shifts).
+  int rows_pruned = 0;
+  bool all_exact = false;  ///< true once the whole matrix is exact
+};
+
+/// \brief Priority-ordered refiner over one FeatureMatrix.
+class IncrementalRefiner {
+ public:
+  /// \p matrix is borrowed and must outlive the refiner.
+  explicit IncrementalRefiner(FeatureMatrix* matrix) : matrix_(matrix) {}
+
+  /// Refines rough rows in decreasing \p priorities order (one priority
+  /// per view; pass the current estimator scores, or an empty vector for
+  /// index order) until \p deadline expires or everything is exact.
+  /// Each row charges FeatureMatrix::RefineCostPerRow() work units.
+  vs::Result<RefinementStats> RefineBatch(
+      const std::vector<double>& priorities, Deadline* deadline);
+
+  /// Like RefineBatch, but first interval-prunes rough rows that cannot
+  /// enter the top-k under \p pruning (§1's "pruning" optimization):
+  /// pruned rows are never refined in this batch.  \p priorities must be
+  /// non-empty here — the scores define the intervals.
+  vs::Result<RefinementStats> RefineBatchPruned(
+      const std::vector<double>& priorities, const PruningOptions& pruning,
+      Deadline* deadline);
+
+  /// True once every row of the matrix is exact.
+  bool AllExact() const { return matrix_->AllExact(); }
+
+ private:
+  FeatureMatrix* matrix_;
+};
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_REFINEMENT_H_

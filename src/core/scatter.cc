@@ -1,0 +1,185 @@
+#include "core/scatter.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "core/metrics.h"
+#include "stats/descriptive.h"
+
+namespace vs::core {
+
+std::string ScatterViewSpec::Id() const {
+  return "SCATTER(" + measure_x + ", " + measure_y + ")";
+}
+
+vs::Result<std::vector<ScatterViewSpec>> EnumerateScatterViews(
+    const data::Table& table) {
+  const std::vector<std::string> measures =
+      table.schema().NamesWithRole(data::FieldRole::kMeasure);
+  if (measures.size() < 2) {
+    return vs::Status::FailedPrecondition(
+        "scatter views need at least two measure attributes");
+  }
+  std::vector<ScatterViewSpec> views;
+  for (size_t i = 0; i < measures.size(); ++i) {
+    for (size_t j = i + 1; j < measures.size(); ++j) {
+      views.push_back(ScatterViewSpec{measures[i], measures[j]});
+    }
+  }
+  return views;
+}
+
+namespace {
+
+/// Bivariate moments of (x, y) over a selection; null-complete rows only.
+struct BivariateStats {
+  stats::RunningStats x;
+  stats::RunningStats y;
+  double co_moment = 0.0;  ///< Σ (x - mean_x)(y - mean_y), updated online
+  int64_t n = 0;
+
+  void Add(double xv, double yv) {
+    // Online covariance (Welford-style) using the pre-update x mean.
+    const double dx = xv - (n > 0 ? x.mean() : 0.0);
+    x.Add(xv);
+    y.Add(yv);
+    co_moment += dx * (yv - y.mean());
+    ++n;
+  }
+
+  double covariance() const {
+    return n >= 2 ? co_moment / static_cast<double>(n) : 0.0;
+  }
+};
+
+vs::Result<BivariateStats> GatherBivariate(
+    const data::Table& table, const std::string& x, const std::string& y,
+    const data::SelectionVector* selection) {
+  VS_ASSIGN_OR_RETURN(data::ColumnPtr xc, table.ColumnByName(x));
+  VS_ASSIGN_OR_RETURN(data::ColumnPtr yc, table.ColumnByName(y));
+  VS_ASSIGN_OR_RETURN(data::NumericColumnView xv,
+                      data::NumericColumnView::Wrap(xc.get()));
+  VS_ASSIGN_OR_RETURN(data::NumericColumnView yv,
+                      data::NumericColumnView::Wrap(yc.get()));
+  BivariateStats out;
+  auto fold = [&](uint32_t r) {
+    if (xv.IsNull(r) || yv.IsNull(r)) return;
+    out.Add(xv.at(r), yv.at(r));
+  };
+  if (selection != nullptr) {
+    for (uint32_t r : *selection) {
+      if (r >= table.num_rows()) return vs::Status::OutOfRange("row id");
+      fold(r);
+    }
+  } else {
+    for (uint32_t r = 0; r < table.num_rows(); ++r) fold(r);
+  }
+  return out;
+}
+
+}  // namespace
+
+vs::Result<double> PearsonCorrelation(
+    const data::Table& table, const std::string& x, const std::string& y,
+    const data::SelectionVector* selection) {
+  VS_ASSIGN_OR_RETURN(BivariateStats stats,
+                      GatherBivariate(table, x, y, selection));
+  if (stats.n < 2) {
+    return vs::Status::FailedPrecondition(
+        "correlation needs at least two complete rows");
+  }
+  const double sx = stats.x.stddev();
+  const double sy = stats.y.stddev();
+  if (sx == 0.0 || sy == 0.0) {
+    return vs::Status::FailedPrecondition(
+        "correlation undefined for a constant column");
+  }
+  double r = stats.covariance() / (sx * sy);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+vs::Result<ScatterFeatures> ComputeScatterFeatures(
+    const data::Table& table, const ScatterViewSpec& spec,
+    const data::SelectionVector& query) {
+  VS_ASSIGN_OR_RETURN(
+      BivariateStats target,
+      GatherBivariate(table, spec.measure_x, spec.measure_y, &query));
+  VS_ASSIGN_OR_RETURN(
+      BivariateStats reference,
+      GatherBivariate(table, spec.measure_x, spec.measure_y, nullptr));
+  if (target.n < 2 || reference.n < 2) {
+    return vs::Status::FailedPrecondition(
+        "scatter features need at least two complete rows on both sides");
+  }
+
+  ScatterFeatures features;
+
+  auto corr_of = [](const BivariateStats& s) {
+    const double sx = s.x.stddev();
+    const double sy = s.y.stddev();
+    if (sx == 0.0 || sy == 0.0) return 0.0;
+    return std::clamp(s.covariance() / (sx * sy), -1.0, 1.0);
+  };
+  features.correlation_deviation =
+      std::fabs(corr_of(target) - corr_of(reference));
+
+  // Centroid shift in reference standard-deviation units.
+  const double ref_sx = std::max(reference.x.stddev(), 1e-12);
+  const double ref_sy = std::max(reference.y.stddev(), 1e-12);
+  const double dx = (target.x.mean() - reference.x.mean()) / ref_sx;
+  const double dy = (target.y.mean() - reference.y.mean()) / ref_sy;
+  features.centroid_shift = std::sqrt(dx * dx + dy * dy);
+
+  // Dispersion ratio on a log scale.
+  const double target_disp =
+      std::sqrt(std::max(target.x.stddev(), 1e-12) *
+                std::max(target.y.stddev(), 1e-12));
+  const double reference_disp = std::sqrt(ref_sx * ref_sy);
+  features.dispersion_ratio =
+      std::fabs(std::log(target_disp / reference_disp));
+  return features;
+}
+
+vs::Result<std::vector<size_t>> RecommendScatterViews(
+    const data::Table& table, const std::vector<ScatterViewSpec>& views,
+    const data::SelectionVector& query, const ml::Vector& weights, int k) {
+  if (weights.size() != 3) {
+    return vs::Status::InvalidArgument(
+        "scatter recommendation takes 3 weights "
+        "(correlation, centroid, dispersion)");
+  }
+  if (k <= 0) return vs::Status::InvalidArgument("k must be positive");
+  if (views.empty()) {
+    return vs::Status::InvalidArgument("no scatter views given");
+  }
+
+  // Gather and min-max normalize the three feature columns.
+  std::vector<std::array<double, 3>> raw(views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    VS_ASSIGN_OR_RETURN(ScatterFeatures f,
+                        ComputeScatterFeatures(table, views[i], query));
+    raw[i] = {f.correlation_deviation, f.centroid_shift,
+              f.dispersion_ratio};
+  }
+  for (int j = 0; j < 3; ++j) {
+    double lo = raw[0][j];
+    double hi = raw[0][j];
+    for (const auto& row : raw) {
+      lo = std::min(lo, row[j]);
+      hi = std::max(hi, row[j]);
+    }
+    const double span = hi - lo;
+    for (auto& row : raw) {
+      row[j] = span > 0.0 ? (row[j] - lo) / span : 0.0;
+    }
+  }
+
+  std::vector<double> scores(views.size(), 0.0);
+  for (size_t i = 0; i < views.size(); ++i) {
+    for (int j = 0; j < 3; ++j) scores[i] += weights[j] * raw[i][j];
+  }
+  return TopKIndices(scores, static_cast<size_t>(k));
+}
+
+}  // namespace vs::core

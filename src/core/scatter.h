@@ -1,0 +1,78 @@
+#ifndef VS_CORE_SCATTER_H_
+#define VS_CORE_SCATTER_H_
+
+/// \file scatter.h
+/// \brief Scatter-plot views — the paper's stated future work ("extend it
+/// to support more visualization types, such as scatter plot, line chart
+/// etc.").
+///
+/// A scatter view pairs two measure attributes; its interestingness is how
+/// differently they co-vary inside the query subset vs the whole data.  We
+/// provide three scatter utility features — correlation deviation,
+/// centroid shift, and dispersion ratio — so scatter views can join the
+/// same learned-utility machinery as histogram views.  (Line charts need
+/// no new machinery: a numeric dimension with a fine bin config already
+/// yields an ordered series, and EMD is order-aware.)
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "ml/matrix.h"
+
+namespace vs::core {
+
+/// \brief Identity of one scatter-plot view (unordered measure pair).
+struct ScatterViewSpec {
+  std::string measure_x;
+  std::string measure_y;
+
+  /// "SCATTER(m1, m2)".
+  std::string Id() const;
+
+  bool operator==(const ScatterViewSpec& other) const {
+    return measure_x == other.measure_x && measure_y == other.measure_y;
+  }
+};
+
+/// Enumerates all measure pairs (|M| choose 2) of \p table's schema.
+vs::Result<std::vector<ScatterViewSpec>> EnumerateScatterViews(
+    const data::Table& table);
+
+/// Pearson correlation of two numeric columns over \p selection (nullptr =
+/// all rows); rows where either side is null are skipped.  Fails with
+/// FailedPrecondition when fewer than two complete rows exist or either
+/// side is constant.
+vs::Result<double> PearsonCorrelation(const data::Table& table,
+                                      const std::string& x,
+                                      const std::string& y,
+                                      const data::SelectionVector* selection);
+
+/// \brief Scatter utility features for one view.
+struct ScatterFeatures {
+  /// |corr(D_Q) - corr(D)| in [0, 2].
+  double correlation_deviation = 0.0;
+  /// Normalized distance between the subset's and the full data's
+  /// (mean_x, mean_y) centroid, in standard-deviation units.
+  double centroid_shift = 0.0;
+  /// |log( dispersion(D_Q) / dispersion(D) )| where dispersion is the
+  /// geometric mean of the two standard deviations.
+  double dispersion_ratio = 0.0;
+};
+
+/// Computes the scatter features of \p spec for query subset \p query.
+vs::Result<ScatterFeatures> ComputeScatterFeatures(
+    const data::Table& table, const ScatterViewSpec& spec,
+    const data::SelectionVector& query);
+
+/// Top-k scatter views by a weighted sum of the three features
+/// (\p weights = {w_corr, w_centroid, w_dispersion}); features are min-max
+/// normalized across the enumerated views first.
+vs::Result<std::vector<size_t>> RecommendScatterViews(
+    const data::Table& table, const std::vector<ScatterViewSpec>& views,
+    const data::SelectionVector& query, const ml::Vector& weights, int k);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_SCATTER_H_

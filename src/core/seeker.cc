@@ -1,0 +1,141 @@
+#include "core/seeker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/diversify.h"
+#include "core/metrics.h"
+#include "ml/cross_validation.h"
+
+namespace vs::core {
+
+ViewSeeker::ViewSeeker(const FeatureMatrix* features,
+                       const ViewSeekerOptions& options,
+                       std::unique_ptr<active::QueryStrategy> strategy)
+    : features_(features),
+      options_(options),
+      strategy_(std::move(strategy)),
+      cold_start_(&features->normalized(), options.positive_threshold),
+      utility_estimator_(options.utility_options),
+      uncertainty_estimator_(options.uncertainty_options,
+                             options.positive_threshold),
+      rng_(options.seed) {
+  unlabeled_.resize(features->num_views());
+  for (size_t i = 0; i < unlabeled_.size(); ++i) unlabeled_[i] = i;
+}
+
+vs::Result<ViewSeeker> ViewSeeker::Make(const FeatureMatrix* features,
+                                        const ViewSeekerOptions& options) {
+  if (features == nullptr) {
+    return vs::Status::InvalidArgument("feature matrix is required");
+  }
+  if (features->num_views() == 0) {
+    return vs::Status::InvalidArgument("feature matrix has no views");
+  }
+  if (options.k <= 0) {
+    return vs::Status::InvalidArgument("k must be positive");
+  }
+  if (options.views_per_iteration <= 0) {
+    return vs::Status::InvalidArgument(
+        "views_per_iteration must be positive");
+  }
+  VS_ASSIGN_OR_RETURN(auto strategy, active::MakeStrategy(options.strategy));
+  return ViewSeeker(features, options, std::move(strategy));
+}
+
+vs::Result<std::vector<size_t>> ViewSeeker::NextQueries() {
+  if (unlabeled_.empty()) {
+    return vs::Status::FailedPrecondition("every view is already labeled");
+  }
+  const size_t batch = std::min<size_t>(
+      static_cast<size_t>(options_.views_per_iteration), unlabeled_.size());
+  std::vector<size_t> candidates = unlabeled_;
+  std::vector<size_t> queries;
+  queries.reserve(batch);
+  for (size_t b = 0; b < batch; ++b) {
+    size_t pick = 0;
+    if (!cold_start_.Done()) {
+      VS_ASSIGN_OR_RETURN(pick, cold_start_.SelectNext(candidates, &rng_));
+    } else {
+      active::QueryContext ctx;
+      ctx.features = &features_->normalized();
+      ctx.unlabeled = &candidates;
+      ctx.labeled = &labeled_;
+      ctx.labels = &labels_;
+      ctx.uncertainty_model = &uncertainty_estimator_.model();
+      ctx.utility_model = &utility_estimator_.model();
+      ctx.rng = &rng_;
+      VS_ASSIGN_OR_RETURN(pick, strategy_->SelectNext(ctx));
+    }
+    queries.push_back(pick);
+    candidates.erase(std::find(candidates.begin(), candidates.end(), pick));
+  }
+  return queries;
+}
+
+vs::Status ViewSeeker::SubmitLabel(size_t view_index, double label) {
+  if (view_index >= features_->num_views()) {
+    return vs::Status::OutOfRange("view index out of range");
+  }
+  if (!std::isfinite(label) || label < 0.0 || label > 1.0) {
+    return vs::Status::InvalidArgument("label must be in [0, 1]");
+  }
+  auto it = std::find(unlabeled_.begin(), unlabeled_.end(), view_index);
+  if (it == unlabeled_.end()) {
+    return vs::Status::AlreadyExists("view already labeled");
+  }
+  unlabeled_.erase(it);
+  labeled_.push_back(view_index);
+  labels_.push_back(label);
+  cold_start_.ReportLabel(label);
+
+  // Refit both estimators on all collected feedback (Algorithm 1 lines
+  // 10-11).  With auto_ridge, re-select the ridge strength from the
+  // labels first (falls back to the configured l2 while labels are few).
+  if (options_.auto_ridge && !options_.auto_ridge_candidates.empty()) {
+    ml::Matrix x(labeled_.size(), features_->num_features());
+    for (size_t i = 0; i < labeled_.size(); ++i) {
+      const ml::Vector row = features_->NormalizedRow(labeled_[i]);
+      for (size_t j = 0; j < row.size(); ++j) x(i, j) = row[j];
+    }
+    auto l2 = ml::SelectRidgeStrength(x, labels_,
+                                      options_.auto_ridge_candidates,
+                                      /*k=*/3, &rng_);
+    if (l2.ok()) {
+      ml::LinearRegressionOptions tuned = options_.utility_options;
+      tuned.l2 = *l2;
+      utility_estimator_ = ViewUtilityEstimator(tuned);
+    }
+  }
+  VS_RETURN_IF_ERROR(utility_estimator_.Refit(features_->normalized(),
+                                              labeled_, labels_));
+  VS_RETURN_IF_ERROR(uncertainty_estimator_.Refit(features_->normalized(),
+                                                  labeled_, labels_));
+  return vs::Status::OK();
+}
+
+vs::Result<std::vector<size_t>> ViewSeeker::RecommendTopK() const {
+  VS_ASSIGN_OR_RETURN(std::vector<double> scores, CurrentScores());
+  return TopKIndices(scores, static_cast<size_t>(options_.k));
+}
+
+vs::Result<std::vector<size_t>> ViewSeeker::RecommendDiverseTopK(
+    double lambda) const {
+  VS_ASSIGN_OR_RETURN(std::vector<double> scores, CurrentScores());
+  DiversifyOptions options;
+  options.k = options_.k;
+  options.lambda = lambda;
+  return DiversifiedTopK(*features_, scores, options);
+}
+
+vs::Result<std::vector<double>> ViewSeeker::CurrentScores() const {
+  if (!utility_estimator_.fitted()) {
+    return vs::Status::FailedPrecondition(
+        "no labels submitted yet; the utility estimator is unfitted");
+  }
+  VS_ASSIGN_OR_RETURN(ml::Vector scores,
+                      utility_estimator_.ScoreAll(features_->normalized()));
+  return std::vector<double>(scores.begin(), scores.end());
+}
+
+}  // namespace vs::core

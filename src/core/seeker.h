@@ -1,0 +1,126 @@
+#ifndef VS_CORE_SEEKER_H_
+#define VS_CORE_SEEKER_H_
+
+/// \file seeker.h
+/// \brief The ViewSeeker engine — Algorithm 1 of the paper.
+///
+/// Usage (one interaction loop iteration):
+///
+///   ViewSeeker seeker(&feature_matrix, options);
+///   while (!done) {
+///     auto queries = seeker.NextQueries();            // views to present
+///     for (size_t v : *queries)
+///       seeker.SubmitLabel(v, AskUser(v));            // user feedback
+///     auto topk = seeker.RecommendTopK();             // current top-k
+///     // caller may refine the feature matrix here (refinement.h) and
+///     // decides when to stop
+///   }
+///   const auto& estimator = seeker.utility_estimator();  // the output
+///
+/// The engine owns the interactive-phase state: the cold-start policy
+/// (feature-ranked sweep until both classes are observed), the query
+/// strategy (least-confidence uncertainty sampling by default), and the
+/// two models refit after every label.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "active/cold_start.h"
+#include "active/strategy.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "core/estimators.h"
+#include "core/feature_matrix.h"
+
+namespace vs::core {
+
+/// \brief ViewSeeker configuration (defaults = the paper's Table 1).
+struct ViewSeekerOptions {
+  /// Number of views recommended (k).
+  int k = 5;
+  /// Views presented per iteration (M; paper default 1).
+  int views_per_iteration = 1;
+  /// Query strategy name (see active::MakeStrategy).
+  std::string strategy = "uncertainty";
+  /// Labels >= threshold are "interesting" for the uncertainty estimator
+  /// and the cold-start policy.
+  double positive_threshold = 0.5;
+  /// Seed for all stochastic choices (random fallbacks).
+  uint64_t seed = 1;
+  ml::LinearRegressionOptions utility_options;
+  ml::LogisticRegressionOptions uncertainty_options;
+  /// Re-select the utility estimator's ridge strength by k-fold
+  /// cross-validation on the collected labels before each refit (once
+  /// enough labels exist); candidates below.  Off by default — the
+  /// paper's estimator uses a fixed configuration.
+  bool auto_ridge = false;
+  std::vector<double> auto_ridge_candidates = {1e-6, 1e-3, 1e-1, 1.0};
+};
+
+/// \brief Interactive view-recommendation engine.
+class ViewSeeker {
+ public:
+  /// Creates an engine over \p features (borrowed; rows may be refined
+  /// externally between iterations).
+  static vs::Result<ViewSeeker> Make(const FeatureMatrix* features,
+                                     const ViewSeekerOptions& options);
+
+  /// Selects the next batch of views (size min(M, #unlabeled)) to present.
+  /// Cold-start sweep first; the query strategy once both classes exist.
+  vs::Result<std::vector<size_t>> NextQueries();
+
+  /// Records the user's label for \p view_index (must be unlabeled; any
+  /// finite value in [0, 1]) and refits both estimators.
+  vs::Status SubmitLabel(size_t view_index, double label);
+
+  /// Current top-k view indices under the view utility estimator; fails
+  /// until at least one label has been submitted.
+  vs::Result<std::vector<size_t>> RecommendTopK() const;
+
+  /// DiVE-style diversified top-k (diversify.h): trades \p lambda of the
+  /// utility ranking for feature-space coverage, suppressing
+  /// near-duplicate views.  lambda = 0 equals RecommendTopK().
+  vs::Result<std::vector<size_t>> RecommendDiverseTopK(double lambda) const;
+
+  /// Predicted utility of every view (for refinement prioritization).
+  vs::Result<std::vector<double>> CurrentScores() const;
+
+  /// The trained view utility estimator (Algorithm 1's return value).
+  const ViewUtilityEstimator& utility_estimator() const {
+    return utility_estimator_;
+  }
+  const UncertaintyEstimator& uncertainty_estimator() const {
+    return uncertainty_estimator_;
+  }
+
+  /// True while the cold-start policy is still driving queries.
+  bool in_cold_start() const { return !cold_start_.Done(); }
+
+  size_t num_labeled() const { return labeled_.size(); }
+  size_t num_unlabeled() const { return unlabeled_.size(); }
+  const std::vector<size_t>& labeled() const { return labeled_; }
+  const std::vector<double>& labels() const { return labels_; }
+  const ViewSeekerOptions& options() const { return options_; }
+  const FeatureMatrix& features() const { return *features_; }
+
+ private:
+  ViewSeeker(const FeatureMatrix* features, const ViewSeekerOptions& options,
+             std::unique_ptr<active::QueryStrategy> strategy);
+
+  const FeatureMatrix* features_;
+  ViewSeekerOptions options_;
+  std::unique_ptr<active::QueryStrategy> strategy_;
+  active::ColdStartPolicy cold_start_;
+  ViewUtilityEstimator utility_estimator_;
+  UncertaintyEstimator uncertainty_estimator_;
+  vs::Rng rng_;
+
+  std::vector<size_t> labeled_;
+  std::vector<double> labels_;
+  std::vector<size_t> unlabeled_;
+};
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_SEEKER_H_

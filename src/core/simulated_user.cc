@@ -1,0 +1,60 @@
+#include "core/simulated_user.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs::core {
+
+vs::Result<SimulatedUser> SimulatedUser::Make(
+    const ml::Matrix* exact_features, IdealUtilityFunction ideal,
+    const SimulatedUserOptions& options) {
+  if (exact_features == nullptr) {
+    return vs::Status::InvalidArgument("exact feature matrix is required");
+  }
+  if (options.label_noise < 0.0) {
+    return vs::Status::InvalidArgument("label_noise must be >= 0");
+  }
+  if (options.label_quantization < 0.0 || options.label_quantization > 1.0) {
+    return vs::Status::InvalidArgument(
+        "label_quantization must be in [0, 1]");
+  }
+  VS_ASSIGN_OR_RETURN(ml::Vector scores, ideal.ScoreAll(*exact_features));
+  double lo = scores[0];
+  double hi = scores[0];
+  for (double s : scores) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (!(hi > lo)) {
+    return vs::Status::FailedPrecondition(
+        "ideal utility function scores every view identically");
+  }
+  // Scale so the best view scores 1.  Features are min-max normalized and
+  // Table 2 weights are non-negative, so scores are already >= 0; guard
+  // against custom negative-weight functions by shifting when needed.
+  const double shift = lo < 0.0 ? -lo : 0.0;
+  const double denom = hi + shift;
+  for (double& s : scores) {
+    s = denom > 0.0 ? (s + shift) / denom : 0.0;
+  }
+  return SimulatedUser(std::move(ideal), std::move(scores), options);
+}
+
+vs::Result<double> SimulatedUser::Label(size_t view_index) {
+  if (view_index >= scores_.size()) {
+    return vs::Status::OutOfRange("view index out of range");
+  }
+  double label = scores_[view_index];
+  if (options_.label_noise > 0.0) {
+    label += options_.label_noise * rng_.NextGaussian();
+    label = std::clamp(label, 0.0, 1.0);
+  }
+  if (options_.label_quantization > 0.0) {
+    label = std::round(label / options_.label_quantization) *
+            options_.label_quantization;
+    label = std::clamp(label, 0.0, 1.0);
+  }
+  return label;
+}
+
+}  // namespace vs::core

@@ -1,0 +1,67 @@
+#ifndef VS_CORE_SIMULATED_USER_H_
+#define VS_CORE_SIMULATED_USER_H_
+
+/// \file simulated_user.h
+/// \brief The paper's simulated user (§4): labels a presented view with the
+/// *normalized* score of the ideal utility function — u*(v) scaled so the
+/// best view in the pool scores 1.0 ("u*(vi) = 0.7 indicates the
+/// interestingness of view vi is about 70% of the maximum").
+///
+/// The oracle always evaluates u* on the *exact* feature matrix (the
+/// user's perception is of the true view), regardless of whether the
+/// seeker is operating on rough α%-sample features.
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/ideal_utility.h"
+#include "ml/matrix.h"
+
+namespace vs::core {
+
+/// \brief Options for simulated labeling.
+struct SimulatedUserOptions {
+  /// Standard deviation of Gaussian noise added to each label, then
+  /// clamped to [0, 1]; 0 reproduces the paper's noiseless oracle.
+  double label_noise = 0.0;
+  /// Rounds labels to multiples of this step (0 = continuous).  The
+  /// paper's example feedback values — "0.0, 0.7, 0.9, 1.0" — are one
+  /// decimal, i.e. a 0.1 granularity.
+  double label_quantization = 0.0;
+  uint64_t noise_seed = 99;
+};
+
+/// \brief Deterministic oracle over a fixed pool.
+class SimulatedUser {
+ public:
+  /// \p exact_features: the pool's exact normalized feature matrix
+  /// (borrowed).  Fails when u* scores every view identically (no signal
+  /// to normalize).
+  static vs::Result<SimulatedUser> Make(
+      const ml::Matrix* exact_features, IdealUtilityFunction ideal,
+      const SimulatedUserOptions& options = {});
+
+  /// The label for pool row \p view_index, in [0, 1].
+  vs::Result<double> Label(size_t view_index);
+
+  /// Normalized ground-truth score of every pool row (no noise).
+  const ml::Vector& true_scores() const { return scores_; }
+
+  const IdealUtilityFunction& ideal() const { return ideal_; }
+
+ private:
+  SimulatedUser(IdealUtilityFunction ideal, ml::Vector scores,
+                const SimulatedUserOptions& options)
+      : ideal_(std::move(ideal)),
+        scores_(std::move(scores)),
+        options_(options),
+        rng_(options.noise_seed) {}
+
+  IdealUtilityFunction ideal_;
+  ml::Vector scores_;  ///< normalized to max 1
+  SimulatedUserOptions options_;
+  vs::Rng rng_;
+};
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_SIMULATED_USER_H_

@@ -1,0 +1,84 @@
+#include "core/view.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/sampler.h"
+
+namespace vs::core {
+
+std::string ViewSpec::Id() const {
+  std::string id = data::AggregateFunctionName(func) + "(" + measure +
+                   ") BY " + dimension;
+  if (num_bins > 0) id += vs::StrFormat("/%d", num_bins);
+  return id;
+}
+
+vs::Result<std::vector<ViewSpec>> EnumerateViews(
+    const data::Table& table, const ViewEnumerationOptions& options) {
+  const data::Schema& schema = table.schema();
+  const std::vector<size_t> dims =
+      schema.FieldsWithRole(data::FieldRole::kDimension);
+  const std::vector<size_t> measures =
+      schema.FieldsWithRole(data::FieldRole::kMeasure);
+  if (dims.empty()) {
+    return vs::Status::FailedPrecondition(
+        "schema has no dimension attributes");
+  }
+  if (measures.empty()) {
+    return vs::Status::FailedPrecondition("schema has no measure attributes");
+  }
+
+  std::vector<data::AggregateFunction> funcs = options.functions;
+  if (funcs.empty()) funcs = data::AllAggregateFunctions();
+
+  std::vector<ViewSpec> views;
+  for (size_t d : dims) {
+    const data::Field& dim_field = schema.field(d);
+    const bool categorical = dim_field.type == data::DataType::kString;
+    if (!categorical && options.numeric_bin_configs.empty()) {
+      return vs::Status::InvalidArgument(
+          "numeric dimension '" + dim_field.name +
+          "' requires at least one bin config");
+    }
+    for (int32_t bins : categorical ? std::vector<int32_t>{0}
+                                    : options.numeric_bin_configs) {
+      if (!categorical && bins <= 0) {
+        return vs::Status::InvalidArgument(
+            "bin configs must be positive integers");
+      }
+      for (size_t m : measures) {
+        const data::Field& measure_field = schema.field(m);
+        if (measure_field.type == data::DataType::kString) {
+          return vs::Status::InvalidArgument(
+              "measure attribute '" + measure_field.name +
+              "' must be numeric");
+        }
+        for (data::AggregateFunction f : funcs) {
+          ViewSpec spec;
+          spec.dimension = dim_field.name;
+          spec.measure = measure_field.name;
+          spec.func = f;
+          spec.num_bins = bins;
+          views.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+  if (options.max_views > 0 && views.size() > options.max_views) {
+    vs::Rng rng(options.max_views_seed);
+    data::SelectionVector keep =
+        data::ReservoirSample(views.size(), options.max_views, &rng);
+    std::vector<ViewSpec> capped;
+    capped.reserve(keep.size());
+    for (uint32_t idx : keep) capped.push_back(std::move(views[idx]));
+    views = std::move(capped);
+  }
+  return views;
+}
+
+int64_t ViewSpaceSize(int64_t num_dimensions, int64_t num_measures,
+                      int64_t num_functions) {
+  return 2 * num_dimensions * num_measures * num_functions;
+}
+
+}  // namespace vs::core

@@ -1,0 +1,79 @@
+#ifndef VS_CORE_VIEW_H_
+#define VS_CORE_VIEW_H_
+
+/// \file view.h
+/// \brief Views and view-space enumeration (paper §2.1).
+///
+/// A view is the triple (a, m, f): dimension attribute, measure attribute,
+/// aggregation function — optionally tagged with a bin configuration for
+/// numeric dimensions (the SYN dataset enumerates each numeric view once
+/// per bin count).  The *view space* of Eq. 1 is
+/// VS = 2 x |A| x |M| x |F| (target + reference pairs); this module
+/// enumerates the |A| x |M| x |F| (x bin configs) distinct target views.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/aggregate.h"
+#include "data/groupby.h"
+#include "data/table.h"
+
+namespace vs::core {
+
+/// \brief Identity of one candidate view.
+struct ViewSpec {
+  std::string dimension;
+  std::string measure;
+  data::AggregateFunction func = data::AggregateFunction::kCount;
+  /// 0 for categorical dimensions; > 0 = equi-width bin count for numeric
+  /// dimensions.
+  int32_t num_bins = 0;
+
+  /// The GroupBySpec that materializes this view.
+  data::GroupBySpec ToGroupBySpec() const {
+    return data::GroupBySpec{dimension, measure, func, num_bins};
+  }
+
+  /// Stable id, e.g. "AVG(m1) BY d0/3" ("/b" suffix only when binned).
+  std::string Id() const;
+
+  bool operator==(const ViewSpec& other) const {
+    return dimension == other.dimension && measure == other.measure &&
+           func == other.func && num_bins == other.num_bins;
+  }
+};
+
+/// \brief Controls view-space enumeration.
+struct ViewEnumerationOptions {
+  /// Aggregation functions to enumerate; empty = all five.
+  std::vector<data::AggregateFunction> functions;
+  /// Bin counts enumerated for each *numeric* dimension attribute (the SYN
+  /// testbed uses {3, 4}); must be non-empty if any numeric dimension
+  /// exists.  Ignored for categorical dimensions.
+  std::vector<int32_t> numeric_bin_configs = {4};
+  /// Upper bound on the enumerated view space (0 = unlimited) — the
+  /// constrained-recommendation budget of Ibrahim et al. [10].  When the
+  /// full space exceeds the cap, a deterministic uniform subsample
+  /// (seeded by max_views_seed) is kept so every (a, m, f) region stays
+  /// represented.
+  size_t max_views = 0;
+  uint64_t max_views_seed = 2024;
+};
+
+/// Enumerates every view over \p table's dimension/measure attributes:
+/// categorical dimensions yield one view per (a, m, f); numeric dimensions
+/// yield one per (a, m, f, bin config).  Fails when the schema has no
+/// dimension or no measure attributes.
+vs::Result<std::vector<ViewSpec>> EnumerateViews(
+    const data::Table& table, const ViewEnumerationOptions& options);
+
+/// The paper's view-space size (Eq. 1): 2 x |A| x |M| x |F| — the factor 2
+/// counting each view's target and reference instantiations.
+int64_t ViewSpaceSize(int64_t num_dimensions, int64_t num_measures,
+                      int64_t num_functions);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_VIEW_H_

@@ -1,0 +1,20 @@
+#include "core/view_data.h"
+
+namespace vs::core {
+
+vs::Result<ViewMaterialization> MaterializeView(
+    const data::GroupByExecutor& executor, const ViewSpec& spec,
+    const data::SelectionVector& query_selection,
+    const data::SelectionVector* reference_selection) {
+  ViewMaterialization out;
+  const data::GroupBySpec groupby = spec.ToGroupBySpec();
+  VS_ASSIGN_OR_RETURN(out.target, executor.Execute(groupby, &query_selection));
+  VS_ASSIGN_OR_RETURN(out.reference,
+                      executor.Execute(groupby, reference_selection));
+  VS_ASSIGN_OR_RETURN(out.target_dist, stats::Normalize(out.target.values));
+  VS_ASSIGN_OR_RETURN(out.reference_dist,
+                      stats::Normalize(out.reference.values));
+  return out;
+}
+
+}  // namespace vs::core

@@ -1,0 +1,36 @@
+#ifndef VS_CORE_VIEW_DATA_H_
+#define VS_CORE_VIEW_DATA_H_
+
+/// \file view_data.h
+/// \brief Materialization of one view's target/reference pair (paper §3.1,
+/// first stage of offline initialization): the target view aggregates the
+/// query subset D_Q, the reference view aggregates the full data D, both
+/// over bins derived from the full table so they align; each is then
+/// normalized into a probability distribution (Eq. 5).
+
+#include "common/result.h"
+#include "core/view.h"
+#include "data/groupby.h"
+#include "stats/histogram.h"
+
+namespace vs::core {
+
+/// \brief Everything the utility features need about one view.
+struct ViewMaterialization {
+  data::GroupByResult target;       ///< aggregates over D_Q
+  data::GroupByResult reference;    ///< aggregates over D
+  stats::Distribution target_dist;     ///< P(v^T)
+  stats::Distribution reference_dist;  ///< P(v^R)
+};
+
+/// Materializes \p spec: target over \p query_selection, reference over
+/// \p reference_selection (nullptr = all rows of the executor's table).
+/// The same executor must be used for both so bin definitions align.
+vs::Result<ViewMaterialization> MaterializeView(
+    const data::GroupByExecutor& executor, const ViewSpec& spec,
+    const data::SelectionVector& query_selection,
+    const data::SelectionVector* reference_selection = nullptr);
+
+}  // namespace vs::core
+
+#endif  // VS_CORE_VIEW_DATA_H_

@@ -1,0 +1,40 @@
+#include "data/aggregate.h"
+
+#include "common/string_util.h"
+
+namespace vs::data {
+
+std::vector<AggregateFunction> AllAggregateFunctions() {
+  return {AggregateFunction::kCount, AggregateFunction::kSum,
+          AggregateFunction::kAvg, AggregateFunction::kMin,
+          AggregateFunction::kMax};
+}
+
+std::string AggregateFunctionName(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+vs::Result<AggregateFunction> ParseAggregateFunction(
+    const std::string& name) {
+  const std::string lower = vs::ToLower(name);
+  if (lower == "count") return AggregateFunction::kCount;
+  if (lower == "sum") return AggregateFunction::kSum;
+  if (lower == "avg" || lower == "mean") return AggregateFunction::kAvg;
+  if (lower == "min") return AggregateFunction::kMin;
+  if (lower == "max") return AggregateFunction::kMax;
+  return vs::Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+}  // namespace vs::data

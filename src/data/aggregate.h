@@ -1,0 +1,88 @@
+#ifndef VS_DATA_AGGREGATE_H_
+#define VS_DATA_AGGREGATE_H_
+
+/// \file aggregate.h
+/// \brief The engine's aggregation functions F = {COUNT, SUM, AVG, MIN, MAX}
+/// (the paper's five, Table 1) as incremental accumulators.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vs::data {
+
+/// One of the five SQL aggregation functions.
+enum class AggregateFunction : int {
+  kCount = 0,
+  kSum = 1,
+  kAvg = 2,
+  kMin = 3,
+  kMax = 4,
+};
+
+/// Number of aggregation functions (|F| in Eq. 1).
+inline constexpr int kNumAggregateFunctions = 5;
+
+/// All functions in enum order.
+std::vector<AggregateFunction> AllAggregateFunctions();
+
+/// "COUNT", "SUM", "AVG", "MIN", "MAX".
+std::string AggregateFunctionName(AggregateFunction f);
+
+/// Parses a (case-insensitive) function name.
+vs::Result<AggregateFunction> ParseAggregateFunction(const std::string& name);
+
+/// \brief Streaming accumulator for one group; supports all five functions
+/// so a single pass can finalize any of them.
+struct AggregateAccumulator {
+  int64_t count = 0;
+  double sum = 0.0;
+  double sumsq = 0.0;  ///< Σ v² — feeds the SSE-based accuracy metric
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Folds one non-null measure value into the accumulator.
+  void Add(double v) {
+    ++count;
+    sum += v;
+    sumsq += v * v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
+  /// Merges another accumulator (for partitioned execution).
+  void Merge(const AggregateAccumulator& other) {
+    count += other.count;
+    sum += other.sum;
+    sumsq += other.sumsq;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  /// Final aggregate value; empty groups yield 0 for every function (the
+  /// view pipeline treats empty bins as zero mass).
+  double Finalize(AggregateFunction f) const {
+    if (count == 0) return 0.0;
+    switch (f) {
+      case AggregateFunction::kCount:
+        return static_cast<double>(count);
+      case AggregateFunction::kSum:
+        return sum;
+      case AggregateFunction::kAvg:
+        return sum / static_cast<double>(count);
+      case AggregateFunction::kMin:
+        return min;
+      case AggregateFunction::kMax:
+        return max;
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_AGGREGATE_H_

@@ -1,0 +1,48 @@
+#include "data/column.h"
+
+#include <cassert>
+
+namespace vs::data {
+
+namespace internal {
+
+void NullMask::Append(bool is_null, size_t row) {
+  if (is_null) {
+    if (mask_.empty()) mask_.assign(row, 0);  // backfill valid prefix
+    mask_.push_back(1);
+    ++null_count_;
+  } else if (!mask_.empty()) {
+    mask_.push_back(0);
+  }
+}
+
+}  // namespace internal
+
+void CategoricalColumn::Append(const std::string& label) {
+  codes_.push_back(InternLabel(label));
+}
+
+void CategoricalColumn::AppendCode(int32_t code) {
+  assert(code >= 0 && code < cardinality());
+  codes_.push_back(code);
+}
+
+int32_t CategoricalColumn::InternLabel(const std::string& label) {
+  auto it = lookup_.find(label);
+  if (it != lookup_.end()) return it->second;
+  int32_t code = cardinality();
+  dictionary_.push_back(label);
+  lookup_.emplace(label, code);
+  return code;
+}
+
+vs::Result<int32_t> CategoricalColumn::CodeFor(
+    const std::string& label) const {
+  auto it = lookup_.find(label);
+  if (it == lookup_.end()) {
+    return vs::Status::NotFound("label not in dictionary: " + label);
+  }
+  return it->second;
+}
+
+}  // namespace vs::data

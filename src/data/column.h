@@ -1,0 +1,202 @@
+#ifndef VS_DATA_COLUMN_H_
+#define VS_DATA_COLUMN_H_
+
+/// \file column.h
+/// \brief Columnar storage: typed, contiguous arrays with optional null
+/// masks.  Dimension attributes of string type are dictionary-encoded
+/// (CategoricalColumn) so group-by can run over dense int32 codes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value.h"
+
+namespace vs::data {
+
+/// \brief Abstract base of all column types.
+///
+/// Hot paths downcast to the concrete column (see As* helpers on Table) and
+/// operate on the raw arrays; Value-returning accessors exist for the
+/// row-oriented edges only.
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  /// Physical type of the column's cells.
+  virtual DataType type() const = 0;
+
+  /// Number of rows.
+  virtual size_t size() const = 0;
+
+  /// True iff the cell at \p row is null.
+  virtual bool IsNull(size_t row) const = 0;
+
+  /// Boxed cell accessor (slow path).
+  virtual Value GetValue(size_t row) const = 0;
+
+  /// Number of null cells.
+  virtual size_t null_count() const = 0;
+};
+
+namespace internal {
+
+/// Shared null-mask plumbing for the numeric columns.
+class NullMask {
+ public:
+  /// Marks row \p row (must be appended in order) as null/valid.
+  void Append(bool is_null, size_t row);
+  bool IsNull(size_t row) const {
+    return !mask_.empty() && mask_[row] != 0;
+  }
+  size_t null_count() const { return null_count_; }
+
+ private:
+  std::vector<uint8_t> mask_;  // empty means "no nulls so far"
+  size_t null_count_ = 0;
+};
+
+}  // namespace internal
+
+/// \brief Contiguous int64 column with optional nulls.
+class Int64Column final : public Column {
+ public:
+  Int64Column() = default;
+
+  /// Constructs from a dense, null-free vector.
+  explicit Int64Column(std::vector<int64_t> values)
+      : data_(std::move(values)) {}
+
+  void Reserve(size_t n) { data_.reserve(n); }
+  /// Appends a valid cell.
+  void Append(int64_t v) {
+    nulls_.Append(false, data_.size());
+    data_.push_back(v);
+  }
+  /// Appends a null cell (stored as 0).
+  void AppendNull() {
+    nulls_.Append(true, data_.size());
+    data_.push_back(0);
+  }
+
+  DataType type() const override { return DataType::kInt64; }
+  size_t size() const override { return data_.size(); }
+  bool IsNull(size_t row) const override { return nulls_.IsNull(row); }
+  Value GetValue(size_t row) const override {
+    return IsNull(row) ? Value() : Value(data_[row]);
+  }
+  size_t null_count() const override { return nulls_.null_count(); }
+
+  /// Raw cell (undefined content for null cells).
+  int64_t at(size_t row) const { return data_[row]; }
+  /// The backing array.
+  const std::vector<int64_t>& data() const { return data_; }
+
+ private:
+  std::vector<int64_t> data_;
+  internal::NullMask nulls_;
+};
+
+/// \brief Contiguous double column with optional nulls.
+class DoubleColumn final : public Column {
+ public:
+  DoubleColumn() = default;
+
+  /// Constructs from a dense, null-free vector.
+  explicit DoubleColumn(std::vector<double> values)
+      : data_(std::move(values)) {}
+
+  void Reserve(size_t n) { data_.reserve(n); }
+  /// Appends a valid cell.
+  void Append(double v) {
+    nulls_.Append(false, data_.size());
+    data_.push_back(v);
+  }
+  /// Appends a null cell (stored as 0.0).
+  void AppendNull() {
+    nulls_.Append(true, data_.size());
+    data_.push_back(0.0);
+  }
+
+  DataType type() const override { return DataType::kDouble; }
+  size_t size() const override { return data_.size(); }
+  bool IsNull(size_t row) const override { return nulls_.IsNull(row); }
+  Value GetValue(size_t row) const override {
+    return IsNull(row) ? Value() : Value(data_[row]);
+  }
+  size_t null_count() const override { return nulls_.null_count(); }
+
+  /// Raw cell (undefined content for null cells).
+  double at(size_t row) const { return data_[row]; }
+  /// The backing array.
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::vector<double> data_;
+  internal::NullMask nulls_;
+};
+
+/// \brief Dictionary-encoded string column.
+///
+/// Cells are stored as int32 codes into an append-only dictionary; null is
+/// code kNullCode.  Group-by over a categorical dimension reduces to a
+/// dense counting pass over the codes.
+class CategoricalColumn final : public Column {
+ public:
+  /// Sentinel code for null cells.
+  static constexpr int32_t kNullCode = -1;
+
+  CategoricalColumn() = default;
+
+  void Reserve(size_t n) { codes_.reserve(n); }
+
+  /// Appends \p label, interning it into the dictionary.
+  void Append(const std::string& label);
+
+  /// Appends a cell by existing dictionary code (must be < cardinality).
+  void AppendCode(int32_t code);
+
+  /// Appends a null cell.
+  void AppendNull() { codes_.push_back(kNullCode); ++null_count_; }
+
+  /// Interns \p label without appending a cell; returns its code.
+  int32_t InternLabel(const std::string& label);
+
+  DataType type() const override { return DataType::kString; }
+  size_t size() const override { return codes_.size(); }
+  bool IsNull(size_t row) const override { return codes_[row] == kNullCode; }
+  Value GetValue(size_t row) const override {
+    return IsNull(row) ? Value() : Value(dictionary_[codes_[row]]);
+  }
+  size_t null_count() const override { return null_count_; }
+
+  /// Dictionary code of the cell at \p row (kNullCode for nulls).
+  int32_t code(size_t row) const { return codes_[row]; }
+  /// All codes.
+  const std::vector<int32_t>& codes() const { return codes_; }
+  /// Number of distinct labels.
+  int32_t cardinality() const {
+    return static_cast<int32_t>(dictionary_.size());
+  }
+  /// The dictionary, indexed by code.
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+  /// Label for \p code.
+  const std::string& label(int32_t code) const { return dictionary_[code]; }
+  /// Code for \p label, or NotFound.
+  vs::Result<int32_t> CodeFor(const std::string& label) const;
+
+ private:
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, int32_t> lookup_;
+  size_t null_count_ = 0;
+};
+
+using ColumnPtr = std::shared_ptr<const Column>;
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_COLUMN_H_

@@ -1,0 +1,241 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vs::data {
+
+namespace {
+
+/// Splits CSV text into records of raw fields, honouring quotes.
+vs::Result<std::vector<std::vector<std::string>>> SplitRecords(
+    const std::string& text, char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+    } else if (c == delimiter) {
+      end_field();
+      ++i;
+    } else if (c == '\n') {
+      end_record();
+      ++i;
+    } else if (c == '\r') {
+      if (i + 1 < n && text[i + 1] == '\n') {
+        end_record();
+        i += 2;
+      } else {
+        end_record();
+        ++i;
+      }
+    } else {
+      field += c;
+      field_started = true;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return vs::Status::InvalidArgument("unterminated quoted field");
+  }
+  // Flush a final record without trailing newline, unless it is empty.
+  if (!field.empty() || !current.empty() || field_started) {
+    end_record();
+  }
+  return records;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+vs::Result<Table> ReadCsv(const std::string& text,
+                          const CsvReadOptions& options) {
+  VS_ASSIGN_OR_RETURN(auto records, SplitRecords(text, options.delimiter));
+  if (records.empty()) {
+    return vs::Status::InvalidArgument("empty CSV input");
+  }
+
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (const std::string& h : records[0]) {
+      names.emplace_back(vs::Trim(h));
+    }
+    first_data_row = 1;
+  } else {
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      names.push_back("col" + std::to_string(c));
+    }
+  }
+  const size_t num_cols = names.size();
+
+  size_t last_row = records.size();
+  if (options.max_rows > 0) {
+    last_row = std::min(last_row, first_data_row + options.max_rows);
+  }
+
+  // Pass 1: infer per-column type.
+  std::vector<bool> can_int(num_cols, true);
+  std::vector<bool> can_double(num_cols, true);
+  for (size_t r = first_data_row; r < last_row; ++r) {
+    if (records[r].size() != num_cols) {
+      return vs::Status::InvalidArgument(vs::StrFormat(
+          "row %zu has %zu fields, expected %zu", r, records[r].size(),
+          num_cols));
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = records[r][c];
+      if (cell.empty()) continue;  // null
+      if (can_int[c] && !vs::ParseInt64(cell).ok()) can_int[c] = false;
+      if (can_double[c] && !vs::ParseDouble(cell).ok()) can_double[c] = false;
+    }
+  }
+
+  auto role_of = [&](const std::string& name, DataType type) {
+    const bool explicit_roles = !options.dimension_columns.empty() ||
+                                !options.measure_columns.empty();
+    if (explicit_roles) {
+      for (const auto& d : options.dimension_columns) {
+        if (d == name) return FieldRole::kDimension;
+      }
+      for (const auto& m : options.measure_columns) {
+        if (m == name) return FieldRole::kMeasure;
+      }
+      return FieldRole::kOther;
+    }
+    return type == DataType::kString ? FieldRole::kDimension
+                                     : FieldRole::kMeasure;
+  };
+
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    DataType type = can_int[c]
+                        ? DataType::kInt64
+                        : (can_double[c] ? DataType::kDouble
+                                         : DataType::kString);
+    fields.emplace_back(names[c], type, role_of(names[c], type));
+  }
+  VS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+
+  // Pass 2: build.
+  TableBuilder builder(schema);
+  builder.Reserve(last_row - first_data_row);
+  std::vector<Value> row(num_cols);
+  for (size_t r = first_data_row; r < last_row; ++r) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = records[r][c];
+      if (cell.empty()) {
+        row[c] = Value();
+      } else {
+        switch (schema.field(c).type) {
+          case DataType::kInt64:
+            row[c] = Value(*vs::ParseInt64(cell));
+            break;
+          case DataType::kDouble:
+            row[c] = Value(*vs::ParseDouble(cell));
+            break;
+          default:
+            row[c] = Value(cell);
+            break;
+        }
+      }
+    }
+    VS_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  return builder.Build();
+}
+
+vs::Result<Table> ReadCsvFile(const std::string& path,
+                              const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return vs::Status::IOError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsv(buffer.str(), options);
+}
+
+std::string WriteCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out += ',';
+    out += QuoteField(schema.field(c).name);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      Value v = table.GetValue(r, c);
+      if (!v.is_null()) out += QuoteField(v.ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+vs::Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return vs::Status::IOError("cannot open file for writing: " + path);
+  }
+  out << WriteCsv(table);
+  if (!out) {
+    return vs::Status::IOError("write failed: " + path);
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace vs::data

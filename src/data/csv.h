@@ -1,0 +1,53 @@
+#ifndef VS_DATA_CSV_H_
+#define VS_DATA_CSV_H_
+
+/// \file csv.h
+/// \brief CSV ingestion and export, so real datasets (e.g. the UCI diabetic
+/// patients file the paper uses) can be loaded when available.
+///
+/// Dialect: comma separator, double-quote quoting with "" escapes, optional
+/// header row, \n or \r\n line endings.  Type inference per column: int64 if
+/// every non-empty cell parses as an integer, else double if every non-empty
+/// cell parses as a number, else string (dictionary-encoded).  Empty cells
+/// are nulls.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace vs::data {
+
+/// \brief Options controlling CSV reading.
+struct CsvReadOptions {
+  bool has_header = true;
+  char delimiter = ',';
+  /// Field roles to assign by name; unlisted fields get kOther.  When both
+  /// lists are empty every string column becomes a dimension and every
+  /// numeric column a measure (a convenient exploratory default).
+  std::vector<std::string> dimension_columns;
+  std::vector<std::string> measure_columns;
+  /// Maximum rows to read (0 = unlimited).
+  size_t max_rows = 0;
+};
+
+/// Parses CSV text into a Table.
+vs::Result<Table> ReadCsv(const std::string& text,
+                          const CsvReadOptions& options);
+
+/// Reads a CSV file from disk into a Table.
+vs::Result<Table> ReadCsvFile(const std::string& path,
+                              const CsvReadOptions& options);
+
+/// Serializes \p table to CSV (header + rows; nulls as empty fields).
+std::string WriteCsv(const Table& table);
+
+/// Writes \p table to a CSV file.
+vs::Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_CSV_H_

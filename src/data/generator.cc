@@ -1,0 +1,210 @@
+#include "data/generator.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace vs::data {
+
+vs::Result<Table> GenerateSynthetic(const SyntheticOptions& options) {
+  if (options.num_dimensions <= 0 || options.num_measures <= 0) {
+    return vs::Status::InvalidArgument(
+        "num_dimensions and num_measures must be positive");
+  }
+  if (options.correlation < 0.0 || options.correlation > 1.0) {
+    return vs::Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+  vs::Rng rng(options.seed);
+
+  const int A = options.num_dimensions;
+  const int M = options.num_measures;
+  std::vector<std::vector<double>> dims(A);
+  std::vector<std::vector<double>> measures(M);
+  for (auto& d : dims) d.reserve(options.num_rows);
+  for (auto& m : measures) m.reserve(options.num_rows);
+
+  // Per-measure sensitivity to each dimension, used only when
+  // correlation > 0.
+  std::vector<std::vector<double>> weight(M, std::vector<double>(A, 0.0));
+  if (options.correlation > 0.0) {
+    for (int j = 0; j < M; ++j) {
+      for (int i = 0; i < A; ++i) weight[j][i] = rng.NextDouble();
+    }
+  }
+
+  const double c = options.correlation;
+  std::vector<double> dim_row(A);
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    for (int i = 0; i < A; ++i) {
+      dim_row[i] = rng.NextDouble();
+      dims[i].push_back(dim_row[i]);
+    }
+    for (int j = 0; j < M; ++j) {
+      double u = rng.NextDouble();
+      if (c > 0.0) {
+        double drive = 0.0;
+        double norm = 0.0;
+        for (int i = 0; i < A; ++i) {
+          drive += weight[j][i] * dim_row[i];
+          norm += weight[j][i];
+        }
+        if (norm > 0.0) drive /= norm;
+        u = (1.0 - c) * u + c * drive;
+      }
+      measures[j].push_back(u);
+    }
+  }
+
+  std::vector<Field> fields;
+  std::vector<ColumnPtr> columns;
+  for (int i = 0; i < A; ++i) {
+    fields.emplace_back("d" + std::to_string(i), DataType::kDouble,
+                        FieldRole::kDimension);
+    columns.push_back(std::make_shared<DoubleColumn>(std::move(dims[i])));
+  }
+  for (int j = 0; j < M; ++j) {
+    fields.emplace_back("m" + std::to_string(j), DataType::kDouble,
+                        FieldRole::kMeasure);
+    columns.push_back(
+        std::make_shared<DoubleColumn>(std::move(measures[j])));
+  }
+  VS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+namespace {
+
+struct DimDef {
+  const char* name;
+  std::vector<std::string> levels;
+};
+
+std::vector<DimDef> DiabetesDimensions() {
+  return {
+      {"gender", {"Female", "Male"}},
+      {"admission_type", {"Emergency", "Urgent", "Elective"}},
+      {"age_group", {"[0-30)", "[30-50)", "[50-70)", "[70+)"}},
+      {"insulin", {"No", "Down", "Steady", "Up"}},
+      {"race", {"Caucasian", "AfricanAmerican", "Hispanic", "Asian", "Other"}},
+      {"diag_group",
+       {"Circulatory", "Respiratory", "Digestive", "Diabetes", "Injury",
+        "Musculoskeletal"}},
+      {"medical_specialty",
+       {"InternalMedicine", "Cardiology", "Surgery", "FamilyPractice",
+        "Emergency", "Orthopedics", "Nephrology", "Other"}},
+  };
+}
+
+struct MeasureDef {
+  const char* name;
+  double base_mean;  ///< mean of the positive base distribution
+  double noise;      ///< lognormal sigma of the per-row noise
+};
+
+std::vector<MeasureDef> DiabetesMeasures() {
+  return {
+      {"time_in_hospital", 4.5, 0.45},
+      {"num_lab_procedures", 43.0, 0.30},
+      {"num_procedures", 1.5, 0.60},
+      {"num_medications", 16.0, 0.35},
+      {"number_outpatient", 0.8, 0.90},
+      {"number_emergency", 0.5, 1.00},
+      {"number_inpatient", 0.9, 0.80},
+      {"number_diagnoses", 7.4, 0.25},
+  };
+}
+
+}  // namespace
+
+std::vector<int32_t> DiabetesDimensionCardinalities() {
+  std::vector<int32_t> out;
+  for (const DimDef& d : DiabetesDimensions()) {
+    out.push_back(static_cast<int32_t>(d.levels.size()));
+  }
+  return out;
+}
+
+vs::Result<Table> GenerateDiabetes(const DiabetesOptions& options) {
+  if (options.effect_sigma < 0.0) {
+    return vs::Status::InvalidArgument("effect_sigma must be >= 0");
+  }
+  vs::Rng rng(options.seed);
+  const auto dim_defs = DiabetesDimensions();
+  const auto measure_defs = DiabetesMeasures();
+  const size_t A = dim_defs.size();
+  const size_t M = measure_defs.size();
+
+  // Zipf-skewed level frequencies per dimension (clinical data is skewed).
+  std::vector<std::vector<double>> level_weights(A);
+  for (size_t d = 0; d < A; ++d) {
+    const size_t card = dim_defs[d].levels.size();
+    level_weights[d].resize(card);
+    for (size_t l = 0; l < card; ++l) {
+      level_weights[d][l] = 1.0 / std::pow(static_cast<double>(l + 1), 0.7);
+    }
+  }
+
+  // Multiplicative effect of each (dimension, level) on each measure, drawn
+  // once: effect = exp(sigma * N(0,1)).  This is what makes query subsets
+  // deviate from the reference distribution.
+  std::vector<std::vector<std::vector<double>>> effect(A);
+  for (size_t d = 0; d < A; ++d) {
+    effect[d].resize(dim_defs[d].levels.size());
+    for (auto& per_level : effect[d]) {
+      per_level.resize(M);
+      for (size_t m = 0; m < M; ++m) {
+        per_level[m] = std::exp(options.effect_sigma * rng.NextGaussian());
+      }
+    }
+  }
+
+  // Build categorical dimension columns.
+  std::vector<std::shared_ptr<CategoricalColumn>> dim_cols(A);
+  for (size_t d = 0; d < A; ++d) {
+    dim_cols[d] = std::make_shared<CategoricalColumn>();
+    dim_cols[d]->Reserve(options.num_rows);
+    for (const std::string& level : dim_defs[d].levels) {
+      dim_cols[d]->InternLabel(level);
+    }
+  }
+  std::vector<std::vector<double>> measure_data(M);
+  for (auto& m : measure_data) m.reserve(options.num_rows);
+
+  std::vector<int32_t> codes(A);
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    for (size_t d = 0; d < A; ++d) {
+      codes[d] =
+          static_cast<int32_t>(rng.NextDiscrete(level_weights[d]));
+      dim_cols[d]->AppendCode(codes[d]);
+    }
+    for (size_t m = 0; m < M; ++m) {
+      double factor = 1.0;
+      for (size_t d = 0; d < A; ++d) {
+        factor *= effect[d][static_cast<size_t>(codes[d])][m];
+      }
+      const double noise =
+          std::exp(measure_defs[m].noise * rng.NextGaussian());
+      measure_data[m].push_back(measure_defs[m].base_mean * factor * noise);
+    }
+  }
+
+  std::vector<Field> fields;
+  std::vector<ColumnPtr> columns;
+  for (size_t d = 0; d < A; ++d) {
+    fields.emplace_back(dim_defs[d].name, DataType::kString,
+                        FieldRole::kDimension);
+    columns.push_back(dim_cols[d]);
+  }
+  for (size_t m = 0; m < M; ++m) {
+    fields.emplace_back(measure_defs[m].name, DataType::kDouble,
+                        FieldRole::kMeasure);
+    columns.push_back(
+        std::make_shared<DoubleColumn>(std::move(measure_data[m])));
+  }
+  VS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+}  // namespace vs::data

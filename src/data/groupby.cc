@@ -1,0 +1,300 @@
+#include "data/groupby.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+#include "data/predicate.h"
+
+namespace vs::data {
+
+std::string GroupBySpec::ToString() const {
+  std::string out = AggregateFunctionName(func) + "(" + measure +
+                    ") GROUP BY " + dimension;
+  if (num_bins > 0) out += vs::StrFormat(" [%d bins]", num_bins);
+  return out;
+}
+
+GroupByExecutor::GroupByExecutor(const Table* table) : table_(table) {}
+
+vs::Result<GroupByExecutor::NumericBinDef> GroupByExecutor::NumericBins(
+    const std::string& dimension, int32_t num_bins) const {
+  if (num_bins <= 0) {
+    return vs::Status::InvalidArgument("numeric dimension '" + dimension +
+                                       "' requires num_bins > 0");
+  }
+  auto it = range_cache_.find(dimension);
+  if (it == range_cache_.end()) {
+    VS_ASSIGN_OR_RETURN(ColumnPtr col, table_->ColumnByName(dimension));
+    VS_ASSIGN_OR_RETURN(NumericColumnView view,
+                        NumericColumnView::Wrap(col.get()));
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < view.size(); ++r) {
+      if (view.IsNull(r)) continue;
+      const double v = view.at(r);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(lo <= hi)) {
+      return vs::Status::FailedPrecondition(
+          "numeric dimension '" + dimension + "' has no non-null values");
+    }
+    it = range_cache_.emplace(dimension, std::make_pair(lo, hi)).first;
+  }
+  const auto [lo, hi] = it->second;
+  NumericBinDef def;
+  def.lo = lo;
+  const double span = hi - lo;
+  def.width = span > 0.0 ? span / num_bins : 1.0;
+  return def;
+}
+
+vs::Result<int32_t> GroupByExecutor::NumBins(const GroupBySpec& spec) const {
+  VS_ASSIGN_OR_RETURN(ColumnPtr dim_col,
+                      table_->ColumnByName(spec.dimension));
+  if (const auto* cat =
+          dynamic_cast<const CategoricalColumn*>(dim_col.get())) {
+    if (spec.num_bins > 0) {
+      return vs::Status::InvalidArgument(
+          "categorical dimension '" + spec.dimension +
+          "' must use num_bins = 0");
+    }
+    return cat->cardinality();
+  }
+  if (spec.num_bins <= 0) {
+    return vs::Status::InvalidArgument("numeric dimension '" +
+                                       spec.dimension +
+                                       "' requires num_bins > 0");
+  }
+  return spec.num_bins;
+}
+
+vs::Status GroupByExecutor::Prewarm(const GroupBySpec& spec) const {
+  VS_ASSIGN_OR_RETURN(ColumnPtr dim_col,
+                      table_->ColumnByName(spec.dimension));
+  if (dynamic_cast<const CategoricalColumn*>(dim_col.get()) != nullptr) {
+    return vs::Status::OK();
+  }
+  return NumericBins(spec.dimension, spec.num_bins).status();
+}
+
+vs::Result<GroupByResult> GroupByExecutor::Execute(
+    const GroupBySpec& spec, const SelectionVector* selection) const {
+  VS_ASSIGN_OR_RETURN(ColumnPtr dim_col,
+                      table_->ColumnByName(spec.dimension));
+  VS_ASSIGN_OR_RETURN(ColumnPtr measure_col,
+                      table_->ColumnByName(spec.measure));
+  VS_ASSIGN_OR_RETURN(NumericColumnView measure,
+                      NumericColumnView::Wrap(measure_col.get()));
+
+  const auto* cat = dynamic_cast<const CategoricalColumn*>(dim_col.get());
+  GroupByResult result;
+  std::vector<AggregateAccumulator> groups;
+
+  auto for_each_row = [&](auto&& fn) -> vs::Status {
+    if (selection != nullptr) {
+      for (uint32_t r : *selection) {
+        if (r >= table_->num_rows()) {
+          return vs::Status::OutOfRange("selection row id out of range");
+        }
+        fn(r);
+      }
+      result.rows_seen = static_cast<int64_t>(selection->size());
+    } else {
+      const size_t n = table_->num_rows();
+      for (size_t r = 0; r < n; ++r) fn(static_cast<uint32_t>(r));
+      result.rows_seen = static_cast<int64_t>(n);
+    }
+    return vs::Status::OK();
+  };
+
+  if (cat != nullptr) {
+    if (spec.num_bins > 0) {
+      return vs::Status::InvalidArgument(
+          "categorical dimension '" + spec.dimension +
+          "' must use num_bins = 0");
+    }
+    const int32_t card = cat->cardinality();
+    groups.assign(static_cast<size_t>(card), AggregateAccumulator{});
+    VS_RETURN_IF_ERROR(for_each_row([&](uint32_t r) {
+      const int32_t code = cat->code(r);
+      if (code == CategoricalColumn::kNullCode || measure.IsNull(r)) return;
+      groups[static_cast<size_t>(code)].Add(measure.at(r));
+    }));
+    result.bin_labels.reserve(card);
+    for (int32_t c = 0; c < card; ++c) {
+      result.bin_labels.push_back(cat->label(c));
+    }
+  } else {
+    VS_ASSIGN_OR_RETURN(NumericColumnView dim,
+                        NumericColumnView::Wrap(dim_col.get()));
+    VS_ASSIGN_OR_RETURN(NumericBinDef bins,
+                        NumericBins(spec.dimension, spec.num_bins));
+    const int32_t nb = spec.num_bins;
+    groups.assign(static_cast<size_t>(nb), AggregateAccumulator{});
+    VS_RETURN_IF_ERROR(for_each_row([&](uint32_t r) {
+      if (dim.IsNull(r) || measure.IsNull(r)) return;
+      const double v = dim.at(r);
+      int32_t b = static_cast<int32_t>((v - bins.lo) / bins.width);
+      if (b < 0) b = 0;
+      if (b >= nb) b = nb - 1;  // max value lands in the last bin
+      groups[static_cast<size_t>(b)].Add(measure.at(r));
+    }));
+    result.bin_labels.reserve(nb);
+    for (int32_t b = 0; b < nb; ++b) {
+      result.bin_labels.push_back(vs::StrFormat(
+          "[%g, %g)", bins.lo + b * bins.width, bins.lo + (b + 1) * bins.width));
+    }
+  }
+
+  result.values.reserve(groups.size());
+  result.counts.reserve(groups.size());
+  result.sums.reserve(groups.size());
+  result.sumsqs.reserve(groups.size());
+  for (const AggregateAccumulator& acc : groups) {
+    result.values.push_back(acc.Finalize(spec.func));
+    result.counts.push_back(acc.count);
+    result.sums.push_back(acc.sum);
+    result.sumsqs.push_back(acc.sumsq);
+  }
+  return result;
+}
+
+vs::Result<std::vector<GroupByResult>> GroupByExecutor::ExecuteBatch(
+    const std::vector<GroupBySpec>& specs,
+    const SelectionVector* selection) const {
+  if (specs.empty()) {
+    return vs::Status::InvalidArgument("batch of specs must be non-empty");
+  }
+  for (const GroupBySpec& spec : specs) {
+    if (spec.dimension != specs[0].dimension ||
+        spec.num_bins != specs[0].num_bins) {
+      return vs::Status::InvalidArgument(
+          "all specs in a batch must share dimension and bin count");
+    }
+  }
+
+  // Distinct measures, decoded once per row.
+  std::vector<std::string> measures;
+  std::vector<size_t> measure_of_spec(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    size_t index = measures.size();
+    for (size_t m = 0; m < measures.size(); ++m) {
+      if (measures[m] == specs[s].measure) {
+        index = m;
+        break;
+      }
+    }
+    if (index == measures.size()) measures.push_back(specs[s].measure);
+    measure_of_spec[s] = index;
+  }
+  std::vector<NumericColumnView> measure_views;
+  measure_views.reserve(measures.size());
+  for (const std::string& measure : measures) {
+    VS_ASSIGN_OR_RETURN(ColumnPtr col, table_->ColumnByName(measure));
+    VS_ASSIGN_OR_RETURN(NumericColumnView view,
+                        NumericColumnView::Wrap(col.get()));
+    measure_views.push_back(view);
+  }
+
+  // Dimension decode, shared by every spec.
+  VS_ASSIGN_OR_RETURN(ColumnPtr dim_col,
+                      table_->ColumnByName(specs[0].dimension));
+  const auto* cat = dynamic_cast<const CategoricalColumn*>(dim_col.get());
+  int32_t num_bins = 0;
+  std::vector<std::string> bin_labels;
+  std::function<int32_t(uint32_t)> bin_of;
+  if (cat != nullptr) {
+    if (specs[0].num_bins > 0) {
+      return vs::Status::InvalidArgument(
+          "categorical dimension '" + specs[0].dimension +
+          "' must use num_bins = 0");
+    }
+    num_bins = cat->cardinality();
+    bin_labels = cat->dictionary();
+    bin_of = [cat](uint32_t r) { return cat->code(r); };
+  } else {
+    VS_ASSIGN_OR_RETURN(NumericColumnView dim,
+                        NumericColumnView::Wrap(dim_col.get()));
+    VS_ASSIGN_OR_RETURN(
+        NumericBinDef bins,
+        NumericBins(specs[0].dimension, specs[0].num_bins));
+    num_bins = specs[0].num_bins;
+    for (int32_t b = 0; b < num_bins; ++b) {
+      bin_labels.push_back(vs::StrFormat("[%g, %g)",
+                                         bins.lo + b * bins.width,
+                                         bins.lo + (b + 1) * bins.width));
+    }
+    const int32_t nb = num_bins;
+    bin_of = [dim, bins, nb](uint32_t r) -> int32_t {
+      if (dim.IsNull(r)) return -1;
+      int32_t b = static_cast<int32_t>((dim.at(r) - bins.lo) / bins.width);
+      if (b < 0) b = 0;
+      if (b >= nb) b = nb - 1;
+      return b;
+    };
+  }
+
+  // One accumulator grid per distinct measure; the single scan.
+  std::vector<std::vector<AggregateAccumulator>> grids(
+      measures.size(),
+      std::vector<AggregateAccumulator>(static_cast<size_t>(num_bins)));
+  int64_t rows_seen = 0;
+  auto fold = [&](uint32_t r) {
+    const int32_t bin = bin_of(r);
+    if (bin < 0) return;
+    for (size_t m = 0; m < measure_views.size(); ++m) {
+      if (measure_views[m].IsNull(r)) continue;
+      grids[m][static_cast<size_t>(bin)].Add(measure_views[m].at(r));
+    }
+  };
+  if (selection != nullptr) {
+    for (uint32_t r : *selection) {
+      if (r >= table_->num_rows()) {
+        return vs::Status::OutOfRange("selection row id out of range");
+      }
+      fold(r);
+    }
+    rows_seen = static_cast<int64_t>(selection->size());
+  } else {
+    for (uint32_t r = 0; r < table_->num_rows(); ++r) fold(r);
+    rows_seen = static_cast<int64_t>(table_->num_rows());
+  }
+
+  // Finalize per spec from its measure's grid.
+  std::vector<GroupByResult> results;
+  results.reserve(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    GroupByResult result;
+    result.bin_labels = bin_labels;
+    result.rows_seen = rows_seen;
+    const auto& grid = grids[measure_of_spec[s]];
+    result.values.reserve(grid.size());
+    result.counts.reserve(grid.size());
+    result.sums.reserve(grid.size());
+    result.sumsqs.reserve(grid.size());
+    for (const AggregateAccumulator& acc : grid) {
+      result.values.push_back(acc.Finalize(specs[s].func));
+      result.counts.push_back(acc.count);
+      result.sums.push_back(acc.sum);
+      result.sumsqs.push_back(acc.sumsq);
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+vs::Result<GroupByResult> ExecuteQuery(const Table& table,
+                                       const AggregateQuery& query) {
+  GroupByExecutor executor(&table);
+  if (query.filter == nullptr) {
+    return executor.Execute(query.spec, nullptr);
+  }
+  VS_ASSIGN_OR_RETURN(SelectionVector sel,
+                      SelectRows(table, query.filter.get()));
+  return executor.Execute(query.spec, &sel);
+}
+
+}  // namespace vs::data

@@ -1,0 +1,118 @@
+#ifndef VS_DATA_GROUPBY_H_
+#define VS_DATA_GROUPBY_H_
+
+/// \file groupby.h
+/// \brief The grouped-aggregation executor that materializes views.
+///
+/// A view in the paper is `SELECT a, f(m) FROM D[Q] GROUP BY a`.  The
+/// executor is bound to one Table and derives *bin definitions* from the
+/// full table — the dictionary for categorical dimensions, full-table
+/// min/max for binned numeric dimensions — so that a target view (evaluated
+/// over a selection) and its reference view (evaluated over all rows) share
+/// identical, aligned bins.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/aggregate.h"
+#include "data/table.h"
+
+namespace vs::data {
+
+/// \brief Description of one grouped aggregation.
+struct GroupBySpec {
+  std::string dimension;  ///< attribute grouped on
+  std::string measure;    ///< attribute aggregated
+  AggregateFunction func = AggregateFunction::kCount;
+  /// 0 for categorical dimensions (one bin per dictionary label);
+  /// > 0 for numeric dimensions (equi-width bins over full-table range).
+  int32_t num_bins = 0;
+
+  /// "AVG(m) GROUP BY a [4 bins]".
+  std::string ToString() const;
+};
+
+/// \brief One materialized view: aggregate value and row count per bin.
+///
+/// Bins with no matching rows are present with value 0 / count 0 so target
+/// and reference results always have the same shape.
+struct GroupByResult {
+  std::vector<std::string> bin_labels;  ///< label per bin, full-table order
+  std::vector<double> values;           ///< finalized aggregate per bin
+  std::vector<int64_t> counts;          ///< contributing rows per bin
+  std::vector<double> sums;             ///< Σ measure per bin
+  std::vector<double> sumsqs;           ///< Σ measure² per bin
+  int64_t rows_seen = 0;                ///< input rows scanned
+
+  size_t num_bins() const { return values.size(); }
+};
+
+/// \brief Executes GroupBySpecs against one table, with cached bin
+/// definitions shared by all selections.
+class GroupByExecutor {
+ public:
+  /// Binds to \p table (not owned; must outlive the executor).
+  explicit GroupByExecutor(const Table* table);
+
+  /// Runs \p spec over the rows in \p selection (nullptr = all rows).
+  ///
+  /// For COUNT the measure is still consulted for null-ness (SQL COUNT(m)
+  /// semantics: null measures do not contribute).
+  vs::Result<GroupByResult> Execute(const GroupBySpec& spec,
+                                    const SelectionVector* selection) const;
+
+  /// Number of bins \p spec will produce (dictionary cardinality or
+  /// spec.num_bins).
+  vs::Result<int32_t> NumBins(const GroupBySpec& spec) const;
+
+  /// Populates the numeric-range cache for \p spec's dimension (no-op for
+  /// categorical dimensions).  After every dimension used by a workload
+  /// has been prewarmed, Execute() performs no cache writes and the
+  /// executor may be shared by concurrent readers.
+  vs::Status Prewarm(const GroupBySpec& spec) const;
+
+  /// Shared-scan batch execution (SeeDB-style): runs every spec in
+  /// \p specs — all of which must share \p specs[0]'s dimension and bin
+  /// count — over a *single* pass of the input, amortizing the dimension
+  /// decode across all (measure, function) combinations.  Results are in
+  /// spec order and identical to per-spec Execute() calls.
+  vs::Result<std::vector<GroupByResult>> ExecuteBatch(
+      const std::vector<GroupBySpec>& specs,
+      const SelectionVector* selection) const;
+
+  /// The bound table.
+  const Table& table() const { return *table_; }
+
+ private:
+  struct NumericBinDef {
+    double lo = 0.0;
+    double width = 1.0;  // per-bin width; > 0
+  };
+
+  /// Full-table [min, max] for a numeric dimension, cached per column.
+  vs::Result<NumericBinDef> NumericBins(const std::string& dimension,
+                                        int32_t num_bins) const;
+
+  const Table* table_;
+  mutable std::unordered_map<std::string, std::pair<double, double>>
+      range_cache_;  // dimension -> (min, max)
+};
+
+/// \brief A full aggregate query: optional filter + grouped aggregation.
+struct AggregateQuery {
+  GroupBySpec spec;
+  /// Row filter; nullptr selects all rows.
+  std::shared_ptr<const class Predicate> filter;
+};
+
+/// Executes \p query against \p table (filter, then group-by).
+vs::Result<GroupByResult> ExecuteQuery(const Table& table,
+                                       const AggregateQuery& query);
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_GROUPBY_H_

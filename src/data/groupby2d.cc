@@ -1,0 +1,134 @@
+#include "data/groupby2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace vs::data {
+
+std::string GroupBy2DSpec::ToString() const {
+  std::string out = AggregateFunctionName(func) + "(" + measure +
+                    ") GROUP BY " + row_dimension + " x " + col_dimension;
+  if (row_bins > 0 || col_bins > 0) {
+    out += vs::StrFormat(" [%d x %d bins]", row_bins, col_bins);
+  }
+  return out;
+}
+
+namespace {
+
+/// Maps rows of one dimension column to dense bin codes with labels;
+/// bin definitions are always derived from the full table.
+struct DimensionBinner {
+  int32_t num_bins = 0;
+  std::vector<std::string> labels;
+  /// Returns the bin for a row, or -1 for null.
+  std::function<int32_t(uint32_t)> bin_of;
+};
+
+vs::Result<DimensionBinner> MakeBinner(const Table& table,
+                                       const std::string& dimension,
+                                       int32_t requested_bins) {
+  VS_ASSIGN_OR_RETURN(ColumnPtr col, table.ColumnByName(dimension));
+  DimensionBinner binner;
+  if (const auto* cat = dynamic_cast<const CategoricalColumn*>(col.get())) {
+    if (requested_bins > 0) {
+      return vs::Status::InvalidArgument(
+          "categorical dimension '" + dimension + "' must use 0 bins");
+    }
+    binner.num_bins = cat->cardinality();
+    binner.labels = cat->dictionary();
+    binner.bin_of = [cat](uint32_t r) { return cat->code(r); };
+    return binner;
+  }
+  if (requested_bins <= 0) {
+    return vs::Status::InvalidArgument("numeric dimension '" + dimension +
+                                       "' requires a positive bin count");
+  }
+  VS_ASSIGN_OR_RETURN(NumericColumnView view,
+                      NumericColumnView::Wrap(col.get()));
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < view.size(); ++r) {
+    if (view.IsNull(r)) continue;
+    lo = std::min(lo, view.at(r));
+    hi = std::max(hi, view.at(r));
+  }
+  if (!(lo <= hi)) {
+    return vs::Status::FailedPrecondition(
+        "numeric dimension '" + dimension + "' has no non-null values");
+  }
+  const double span = hi - lo;
+  const double width = span > 0.0 ? span / requested_bins : 1.0;
+  binner.num_bins = requested_bins;
+  for (int32_t b = 0; b < requested_bins; ++b) {
+    binner.labels.push_back(
+        vs::StrFormat("[%g, %g)", lo + b * width, lo + (b + 1) * width));
+  }
+  const int32_t nb = requested_bins;
+  binner.bin_of = [view, lo, width, nb](uint32_t r) -> int32_t {
+    if (view.IsNull(r)) return -1;
+    int32_t b = static_cast<int32_t>((view.at(r) - lo) / width);
+    if (b < 0) b = 0;
+    if (b >= nb) b = nb - 1;
+    return b;
+  };
+  return binner;
+}
+
+}  // namespace
+
+vs::Result<GroupBy2DResult> ExecuteGroupBy2D(
+    const Table& table, const GroupBy2DSpec& spec,
+    const SelectionVector* selection) {
+  if (spec.row_dimension == spec.col_dimension) {
+    return vs::Status::InvalidArgument(
+        "2-D group-by requires two distinct dimensions");
+  }
+  VS_ASSIGN_OR_RETURN(DimensionBinner rows,
+                      MakeBinner(table, spec.row_dimension, spec.row_bins));
+  VS_ASSIGN_OR_RETURN(DimensionBinner cols,
+                      MakeBinner(table, spec.col_dimension, spec.col_bins));
+  VS_ASSIGN_OR_RETURN(ColumnPtr measure_col,
+                      table.ColumnByName(spec.measure));
+  VS_ASSIGN_OR_RETURN(NumericColumnView measure,
+                      NumericColumnView::Wrap(measure_col.get()));
+
+  const size_t cells = static_cast<size_t>(rows.num_bins) *
+                       static_cast<size_t>(cols.num_bins);
+  std::vector<AggregateAccumulator> grid(cells);
+
+  GroupBy2DResult result;
+  auto fold = [&](uint32_t r) {
+    const int32_t rb = rows.bin_of(r);
+    const int32_t cb = cols.bin_of(r);
+    if (rb < 0 || cb < 0 || measure.IsNull(r)) return;
+    grid[static_cast<size_t>(rb) * cols.num_bins + cb].Add(measure.at(r));
+  };
+  if (selection != nullptr) {
+    for (uint32_t r : *selection) {
+      if (r >= table.num_rows()) {
+        return vs::Status::OutOfRange("selection row id out of range");
+      }
+      fold(r);
+    }
+    result.rows_seen = static_cast<int64_t>(selection->size());
+  } else {
+    for (uint32_t r = 0; r < table.num_rows(); ++r) fold(r);
+    result.rows_seen = static_cast<int64_t>(table.num_rows());
+  }
+
+  result.row_labels = std::move(rows.labels);
+  result.col_labels = std::move(cols.labels);
+  result.values.reserve(cells);
+  result.counts.reserve(cells);
+  for (const AggregateAccumulator& acc : grid) {
+    result.values.push_back(acc.Finalize(spec.func));
+    result.counts.push_back(acc.count);
+  }
+  return result;
+}
+
+}  // namespace vs::data

@@ -1,0 +1,65 @@
+#ifndef VS_DATA_GROUPBY2D_H_
+#define VS_DATA_GROUPBY2D_H_
+
+/// \file groupby2d.h
+/// \brief Two-dimensional grouped aggregation — `SELECT a1, a2, f(m) ...
+/// GROUP BY a1, a2` — the substrate for heatmap views (core/heatmap.h).
+///
+/// Exactly like the 1-D executor, cell definitions come from the *full*
+/// table (dictionaries for categorical dimensions, full-table min/max for
+/// binned numeric ones) so a target grid computed over a selection aligns
+/// cell-for-cell with its reference grid.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/aggregate.h"
+#include "data/table.h"
+
+namespace vs::data {
+
+/// \brief Description of one 2-D grouped aggregation.
+struct GroupBy2DSpec {
+  std::string row_dimension;
+  std::string col_dimension;
+  std::string measure;
+  AggregateFunction func = AggregateFunction::kCount;
+  /// 0 for categorical dimensions, > 0 = equi-width bin count.
+  int32_t row_bins = 0;
+  int32_t col_bins = 0;
+
+  /// "AVG(m) GROUP BY a1 x a2".
+  std::string ToString() const;
+};
+
+/// \brief One materialized grid: row-major values/counts over
+/// (row bin, col bin) cells, including empty cells.
+struct GroupBy2DResult {
+  std::vector<std::string> row_labels;
+  std::vector<std::string> col_labels;
+  std::vector<double> values;   ///< row-major, rows x cols
+  std::vector<int64_t> counts;  ///< row-major
+  int64_t rows_seen = 0;
+
+  size_t num_rows() const { return row_labels.size(); }
+  size_t num_cols() const { return col_labels.size(); }
+  size_t num_cells() const { return values.size(); }
+  double value(size_t r, size_t c) const {
+    return values[r * num_cols() + c];
+  }
+  int64_t count(size_t r, size_t c) const {
+    return counts[r * num_cols() + c];
+  }
+};
+
+/// Executes \p spec over the rows of \p selection (nullptr = all rows)
+/// against \p table.
+vs::Result<GroupBy2DResult> ExecuteGroupBy2D(
+    const Table& table, const GroupBy2DSpec& spec,
+    const SelectionVector* selection);
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_GROUPBY2D_H_

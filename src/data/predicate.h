@@ -1,0 +1,85 @@
+#ifndef VS_DATA_PREDICATE_H_
+#define VS_DATA_PREDICATE_H_
+
+/// \file predicate.h
+/// \brief Vectorized predicate trees — the WHERE clause of the engine.
+///
+/// A Predicate evaluates over a whole Table into a boolean mask; SelectRows
+/// converts the mask into a SelectionVector.  Semantics are two-valued:
+/// null cells compare false under every comparison, and Not() is a pure
+/// complement (this deviates from SQL's three-valued logic; the deviation
+/// is intentional and covered by tests).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace vs::data {
+
+/// Comparison operator of a leaf predicate.
+enum class CompareOp : int { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Symbolic name ("==", "!=", "<", "<=", ">", ">=").
+std::string CompareOpName(CompareOp op);
+
+/// \brief Abstract predicate node.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Evaluates over \p table into \p mask (resized to num_rows; 1 = match).
+  virtual vs::Status Evaluate(const Table& table,
+                              std::vector<uint8_t>* mask) const = 0;
+
+  /// Debug rendering, e.g. "(age >= 30 AND state == CA)".
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// \name Factory functions.
+/// @{
+
+/// column <op> literal.  Numeric literals apply to numeric columns; string
+/// literals apply to categorical columns (ordering ops compare labels
+/// lexicographically).
+PredicatePtr Compare(std::string column, CompareOp op, Value literal);
+
+/// column IN (values); values must be homogeneous with the column type.
+PredicatePtr InSet(std::string column, std::vector<Value> values);
+
+/// Numeric half-open range lo <= column < hi.
+PredicatePtr Between(std::string column, double lo, double hi);
+
+/// Conjunction (empty = TRUE).
+PredicatePtr And(std::vector<PredicatePtr> children);
+
+/// Disjunction (empty = FALSE).
+PredicatePtr Or(std::vector<PredicatePtr> children);
+
+/// Complement.
+PredicatePtr Not(PredicatePtr child);
+
+/// Constant TRUE.
+PredicatePtr True();
+
+/// @}
+
+/// Evaluates \p predicate (nullptr = TRUE) over \p table and returns the
+/// sorted row ids of matches.
+vs::Result<SelectionVector> SelectRows(const Table& table,
+                                       const Predicate* predicate);
+
+/// Convenience overload for shared pointers.
+inline vs::Result<SelectionVector> SelectRows(const Table& table,
+                                              const PredicatePtr& predicate) {
+  return SelectRows(table, predicate.get());
+}
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_PREDICATE_H_

@@ -1,0 +1,336 @@
+#include "data/query.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace vs::data {
+
+namespace {
+
+/// Token kinds produced by the lexer.
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // identifier (upper-cased for keywords kept raw too),
+                      // symbol, or string payload
+  double number = 0.0;
+  bool number_is_int = false;
+  int64_t int_value = 0;
+  size_t pos = 0;     // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  vs::Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = input_.size();
+    while (i < n) {
+      const char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.pos = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(input_[j])) ||
+                         input_[j] == '_')) {
+          ++j;
+        }
+        t.kind = TokKind::kIdent;
+        t.text = input_.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '.') {
+        size_t j = i;
+        if (input_[j] == '-') ++j;
+        bool has_dot = false;
+        bool has_exp = false;
+        while (j < n) {
+          const char d = input_[j];
+          if (std::isdigit(static_cast<unsigned char>(d))) {
+            ++j;
+          } else if (d == '.' && !has_dot && !has_exp) {
+            has_dot = true;
+            ++j;
+          } else if ((d == 'e' || d == 'E') && !has_exp) {
+            has_exp = true;
+            ++j;
+            if (j < n && (input_[j] == '+' || input_[j] == '-')) ++j;
+          } else {
+            break;
+          }
+        }
+        const std::string text = input_.substr(i, j - i);
+        auto parsed = vs::ParseDouble(text);
+        if (!parsed.ok()) {
+          return vs::Status::InvalidArgument(
+              vs::StrFormat("bad number '%s' at offset %zu", text.c_str(), i));
+        }
+        t.kind = TokKind::kNumber;
+        t.number = *parsed;
+        if (!has_dot && !has_exp) {
+          auto as_int = vs::ParseInt64(text);
+          if (as_int.ok()) {
+            t.number_is_int = true;
+            t.int_value = *as_int;
+          }
+        }
+        i = j;
+      } else if (c == '\'') {
+        size_t j = i + 1;
+        std::string payload;
+        while (j < n && input_[j] != '\'') payload += input_[j++];
+        if (j >= n) {
+          return vs::Status::InvalidArgument(vs::StrFormat(
+              "unterminated string literal at offset %zu", i));
+        }
+        t.kind = TokKind::kString;
+        t.text = std::move(payload);
+        i = j + 1;
+      } else {
+        // multi-char symbols first
+        static const char* kTwoChar[] = {"==", "!=", "<>", "<=", ">="};
+        std::string two = input_.substr(i, 2);
+        bool matched = false;
+        for (const char* s : kTwoChar) {
+          if (two == s) {
+            t.kind = TokKind::kSymbol;
+            t.text = two;
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          if (std::string("=<>(),*").find(c) == std::string::npos) {
+            return vs::Status::InvalidArgument(vs::StrFormat(
+                "unexpected character '%c' at offset %zu", c, i));
+          }
+          t.kind = TokKind::kSymbol;
+          t.text = std::string(1, c);
+          ++i;
+        }
+      }
+      out.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = TokKind::kEnd;
+    end.pos = n;
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  vs::Result<ParsedQuery> Parse() {
+    ParsedQuery out;
+    VS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    VS_ASSIGN_OR_RETURN(std::string func_name, ExpectIdent("function name"));
+    VS_ASSIGN_OR_RETURN(out.query.spec.func,
+                        ParseAggregateFunction(func_name));
+    VS_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (PeekSymbol("*")) {
+      return vs::Status::NotSupported(
+          "COUNT(*) is not supported; name a measure, e.g. COUNT(m1)");
+    }
+    VS_ASSIGN_OR_RETURN(out.query.spec.measure, ExpectIdent("measure name"));
+    VS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    VS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    VS_ASSIGN_OR_RETURN(out.table_name, ExpectIdent("table name"));
+
+    if (AcceptKeyword("WHERE")) {
+      std::vector<PredicatePtr> conds;
+      do {
+        VS_ASSIGN_OR_RETURN(PredicatePtr cond, ParseCondition());
+        conds.push_back(std::move(cond));
+      } while (AcceptKeyword("AND"));
+      out.query.filter = conds.size() == 1 ? conds[0] : And(std::move(conds));
+    }
+
+    VS_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+    VS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    VS_ASSIGN_OR_RETURN(out.query.spec.dimension,
+                        ExpectIdent("dimension name"));
+    if (AcceptKeyword("BINS")) {
+      const Token& t = Peek();
+      if (t.kind != TokKind::kNumber || !t.number_is_int ||
+          t.int_value <= 0) {
+        return Error("BINS requires a positive integer");
+      }
+      out.query.spec.num_bins = static_cast<int32_t>(t.int_value);
+      Advance();
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return out;
+  }
+
+  /// Parses a standalone condition conjunction to end of input.
+  vs::Result<PredicatePtr> ParseFilterOnly() {
+    std::vector<PredicatePtr> conds;
+    do {
+      VS_ASSIGN_OR_RETURN(PredicatePtr cond, ParseCondition());
+      conds.push_back(std::move(cond));
+    } while (AcceptKeyword("AND"));
+    if (Peek().kind != TokKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return conds.size() == 1 ? conds[0] : And(std::move(conds));
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() { ++index_; }
+
+  vs::Status Error(const std::string& what) const {
+    return vs::Status::InvalidArgument(
+        vs::StrFormat("%s at offset %zu", what.c_str(), Peek().pos));
+  }
+
+  bool AcceptKeyword(const std::string& kw) {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kIdent && vs::ToLower(t.text) == vs::ToLower(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  vs::Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) return Error("expected keyword " + kw);
+    return vs::Status::OK();
+  }
+
+  vs::Result<std::string> ExpectIdent(const std::string& what) {
+    const Token& t = Peek();
+    if (t.kind != TokKind::kIdent) {
+      return Error("expected " + what);
+    }
+    std::string name = t.text;
+    Advance();
+    return name;
+  }
+
+  bool PeekSymbol(const std::string& sym) const {
+    const Token& t = Peek();
+    return t.kind == TokKind::kSymbol && t.text == sym;
+  }
+
+  vs::Status ExpectSymbol(const std::string& sym) {
+    if (!PeekSymbol(sym)) return Error("expected '" + sym + "'");
+    Advance();
+    return vs::Status::OK();
+  }
+
+  vs::Result<Value> ExpectLiteral() {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kNumber) {
+      Value v = t.number_is_int ? Value(t.int_value) : Value(t.number);
+      Advance();
+      return v;
+    }
+    if (t.kind == TokKind::kString) {
+      Value v(t.text);
+      Advance();
+      return v;
+    }
+    return Error("expected literal");
+  }
+
+  vs::Result<PredicatePtr> ParseCondition() {
+    VS_ASSIGN_OR_RETURN(std::string column, ExpectIdent("column name"));
+
+    if (AcceptKeyword("BETWEEN")) {
+      const Token& lo_tok = Peek();
+      if (lo_tok.kind != TokKind::kNumber) return Error("expected number");
+      double lo = lo_tok.number;
+      Advance();
+      VS_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      const Token& hi_tok = Peek();
+      if (hi_tok.kind != TokKind::kNumber) return Error("expected number");
+      double hi = hi_tok.number;
+      Advance();
+      return Between(std::move(column), lo, hi);
+    }
+
+    if (AcceptKeyword("IN")) {
+      VS_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> values;
+      while (true) {
+        VS_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
+        values.push_back(std::move(v));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      VS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return InSet(std::move(column), std::move(values));
+    }
+
+    const Token& op_tok = Peek();
+    if (op_tok.kind != TokKind::kSymbol) return Error("expected operator");
+    CompareOp op;
+    if (op_tok.text == "=" || op_tok.text == "==") {
+      op = CompareOp::kEq;
+    } else if (op_tok.text == "!=" || op_tok.text == "<>") {
+      op = CompareOp::kNe;
+    } else if (op_tok.text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_tok.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_tok.text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_tok.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Error("unknown operator '" + op_tok.text + "'");
+    }
+    Advance();
+    VS_ASSIGN_OR_RETURN(Value literal, ExpectLiteral());
+    return Compare(std::move(column), op, std::move(literal));
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+vs::Result<ParsedQuery> ParseQuery(const std::string& sql) {
+  Lexer lexer(sql);
+  VS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+vs::Result<PredicatePtr> ParseFilter(const std::string& conditions) {
+  Lexer lexer(conditions);
+  VS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseFilterOnly();
+}
+
+vs::Result<GroupByResult> RunSql(const Table& table, const std::string& sql) {
+  VS_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(sql));
+  return ExecuteQuery(table, parsed.query);
+}
+
+}  // namespace vs::data

@@ -1,0 +1,52 @@
+#ifndef VS_DATA_QUERY_H_
+#define VS_DATA_QUERY_H_
+
+/// \file query.h
+/// \brief A minimal SQL-subset front end for the analytical engine.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   SELECT <FUNC>(<measure>) FROM <table>
+///     [WHERE <cond> [AND <cond>]...]
+///     GROUP BY <dimension> [BINS <n>]
+///
+///   <cond> := <column> <op> <literal>
+///           | <column> BETWEEN <num> AND <num>       -- inclusive low,
+///                                                       exclusive high
+///           | <column> IN ( <literal> [, <literal>]... )
+///   <op>   := = | == | != | <> | < | <= | > | >=
+///   <literal> := number | 'single-quoted string'
+///
+/// This is the glue that lets examples and the interactive CLI specify the
+/// query subset D_Q the way the paper does ("an SQL query with a group-by
+/// clause over a database D").
+
+#include <string>
+
+#include "common/result.h"
+#include "data/groupby.h"
+#include "data/predicate.h"
+
+namespace vs::data {
+
+/// \brief Parsed form of the SQL subset.
+struct ParsedQuery {
+  std::string table_name;  ///< identifier after FROM (informational)
+  AggregateQuery query;    ///< executable filter + group-by spec
+};
+
+/// Parses \p sql; returns InvalidArgument with a position-annotated message
+/// on syntax errors.  Column/type validity is checked at execution time.
+vs::Result<ParsedQuery> ParseQuery(const std::string& sql);
+
+/// Parses a standalone WHERE-style condition conjunction (the `<cond>
+/// [AND <cond>]...` sub-grammar), e.g. "age >= 30 AND city = 'NYC'".
+/// Useful for tools that take a row filter without a full query.
+vs::Result<PredicatePtr> ParseFilter(const std::string& conditions);
+
+/// Parses and executes \p sql against \p table in one step.
+vs::Result<GroupByResult> RunSql(const Table& table, const std::string& sql);
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_QUERY_H_

@@ -1,0 +1,104 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs::data {
+
+SelectionVector BernoulliSample(size_t n, double rate, vs::Rng* rng) {
+  SelectionVector out;
+  if (rate >= 1.0) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint32_t>(i);
+    return out;
+  }
+  if (rate <= 0.0) return out;
+  out.reserve(static_cast<size_t>(rate * n * 1.1) + 16);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->NextDouble() < rate) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+SelectionVector BernoulliSample(const SelectionVector& selection, double rate,
+                                vs::Rng* rng) {
+  SelectionVector out;
+  if (rate >= 1.0) return selection;
+  if (rate <= 0.0) return out;
+  out.reserve(static_cast<size_t>(rate * selection.size() * 1.1) + 16);
+  for (uint32_t r : selection) {
+    if (rng->NextDouble() < rate) out.push_back(r);
+  }
+  return out;
+}
+
+SelectionVector ReservoirSample(size_t n, size_t k, vs::Rng* rng) {
+  SelectionVector reservoir;
+  const size_t take = std::min(n, k);
+  reservoir.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    reservoir.push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t i = take; i < n; ++i) {
+    const uint64_t j = rng->NextBounded(i + 1);
+    if (j < take) reservoir[j] = static_cast<uint32_t>(i);
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  return reservoir;
+}
+
+SelectionVector ReservoirSample(const SelectionVector& selection, size_t k,
+                                vs::Rng* rng) {
+  SelectionVector positions = ReservoirSample(selection.size(), k, rng);
+  SelectionVector out;
+  out.reserve(positions.size());
+  for (uint32_t p : positions) out.push_back(selection[p]);
+  return out;
+}
+
+vs::Result<SelectionVector> StratifiedSample(
+    const std::vector<int32_t>& strata, int32_t num_strata, double rate,
+    vs::Rng* rng) {
+  if (num_strata <= 0) {
+    return vs::Status::InvalidArgument("num_strata must be positive");
+  }
+  // Count stratum sizes and derive per-stratum quotas.
+  std::vector<size_t> sizes(static_cast<size_t>(num_strata), 0);
+  for (size_t i = 0; i < strata.size(); ++i) {
+    const int32_t s = strata[i];
+    if (s < 0 || s >= num_strata) {
+      return vs::Status::OutOfRange("stratum code out of range at row " +
+                                    std::to_string(i));
+    }
+    ++sizes[static_cast<size_t>(s)];
+  }
+  const double clamped = std::clamp(rate, 0.0, 1.0);
+  std::vector<size_t> quota(sizes.size());
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    quota[s] = static_cast<size_t>(
+        std::ceil(clamped * static_cast<double>(sizes[s])));
+  }
+  // Per-stratum reservoir over a single pass.
+  std::vector<SelectionVector> reservoirs(sizes.size());
+  std::vector<size_t> seen(sizes.size(), 0);
+  for (size_t i = 0; i < strata.size(); ++i) {
+    const size_t s = static_cast<size_t>(strata[i]);
+    const size_t k = quota[s];
+    if (k == 0) continue;
+    if (reservoirs[s].size() < k) {
+      reservoirs[s].push_back(static_cast<uint32_t>(i));
+    } else {
+      const uint64_t j = rng->NextBounded(seen[s] + 1);
+      if (j < k) reservoirs[s][j] = static_cast<uint32_t>(i);
+    }
+    ++seen[s];
+  }
+  SelectionVector out;
+  for (const SelectionVector& r : reservoirs) {
+    out.insert(out.end(), r.begin(), r.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vs::data

@@ -1,0 +1,46 @@
+#ifndef VS_DATA_SAMPLER_H_
+#define VS_DATA_SAMPLER_H_
+
+/// \file sampler.h
+/// \brief Uniform row sampling — the substrate of the paper's α%-sample
+/// optimization (§3.3): rough utility features are computed on an α percent
+/// uniform sample and later refined on the full data.
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/table.h"
+
+namespace vs::data {
+
+/// Bernoulli sample: keeps each of the \p n rows independently with
+/// probability \p rate (clamped to [0, 1]).  Result is sorted.
+SelectionVector BernoulliSample(size_t n, double rate, vs::Rng* rng);
+
+/// Bernoulli sample of an existing selection (keeps each selected row with
+/// probability \p rate); preserves order.
+SelectionVector BernoulliSample(const SelectionVector& selection, double rate,
+                                vs::Rng* rng);
+
+/// Reservoir sample: exactly min(k, n) rows drawn uniformly without
+/// replacement from [0, n); result is sorted.
+SelectionVector ReservoirSample(size_t n, size_t k, vs::Rng* rng);
+
+/// Reservoir sample of an existing selection; result preserves the
+/// selection's (sorted) order.
+SelectionVector ReservoirSample(const SelectionVector& selection, size_t k,
+                                vs::Rng* rng);
+
+/// Stratified sample: for each stratum code in \p strata (values in
+/// [0, num_strata)), keeps ceil(rate * stratum_size) rows uniformly.
+/// \p strata must have one code per row in [0, n).  Result is sorted.
+/// Used by the ablation bench to contrast uniform vs stratified rough
+/// features.
+vs::Result<SelectionVector> StratifiedSample(
+    const std::vector<int32_t>& strata, int32_t num_strata, double rate,
+    vs::Rng* rng);
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_SAMPLER_H_

@@ -1,0 +1,72 @@
+#include "data/schema.h"
+
+namespace vs::data {
+
+std::string FieldRoleName(FieldRole role) {
+  switch (role) {
+    case FieldRole::kDimension:
+      return "dimension";
+    case FieldRole::kMeasure:
+      return "measure";
+    case FieldRole::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+vs::Result<Schema> Schema::Make(std::vector<Field> fields) {
+  Schema schema;
+  schema.fields_ = std::move(fields);
+  for (size_t i = 0; i < schema.fields_.size(); ++i) {
+    const Field& f = schema.fields_[i];
+    if (f.name.empty()) {
+      return vs::Status::InvalidArgument("field with empty name at index " +
+                                         std::to_string(i));
+    }
+    auto [it, inserted] = schema.index_.emplace(f.name, i);
+    (void)it;
+    if (!inserted) {
+      return vs::Status::AlreadyExists("duplicate field name: " + f.name);
+    }
+  }
+  return schema;
+}
+
+vs::Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return vs::Status::NotFound("no field named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+std::vector<size_t> Schema::FieldsWithRole(FieldRole role) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::string> Schema::NamesWithRole(FieldRole role) const {
+  std::vector<std::string> out;
+  for (const Field& f : fields_) {
+    if (f.role == role) out.push_back(f.name);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (const Field& f : fields_) {
+    if (!out.empty()) out += ", ";
+    out += f.name + ":" + DataTypeName(f.type) + ":" + FieldRoleName(f.role);
+  }
+  return out;
+}
+
+}  // namespace vs::data

@@ -1,0 +1,87 @@
+#ifndef VS_DATA_SCHEMA_H_
+#define VS_DATA_SCHEMA_H_
+
+/// \file schema.h
+/// \brief Field and Schema descriptions for the multi-dimensional data model
+/// of the paper: a relation is a set of *dimension* attributes A (grouped
+/// on) and *measure* attributes M (aggregated), plus untagged extras.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value.h"
+
+namespace vs::data {
+
+/// Analytical role of an attribute in the (A, M) data model.
+enum class FieldRole : int {
+  kDimension = 0,  ///< grouped on (categorical or binned numeric)
+  kMeasure = 1,    ///< aggregated
+  kOther = 2,      ///< ignored by view enumeration
+};
+
+/// Human-readable role name ("dimension", "measure", "other").
+std::string FieldRoleName(FieldRole role);
+
+/// \brief Name, physical type, and analytical role of one attribute.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+  FieldRole role = FieldRole::kOther;
+
+  Field() = default;
+  Field(std::string n, DataType t, FieldRole r)
+      : name(std::move(n)), type(t), role(r) {}
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && role == other.role;
+  }
+};
+
+/// \brief An ordered list of uniquely-named fields with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails if names collide or are empty.
+  static vs::Result<Schema> Make(std::vector<Field> fields);
+
+  /// Number of fields.
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Field at \p index (bounds-checked by assert).
+  const Field& field(size_t index) const { return fields_[index]; }
+
+  /// All fields, in order.
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named \p name, or error.
+  vs::Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True iff a field with \p name exists.
+  bool HasField(const std::string& name) const;
+
+  /// Indices of all fields with the given role, in schema order.
+  std::vector<size_t> FieldsWithRole(FieldRole role) const;
+
+  /// Names of all fields with the given role, in schema order.
+  std::vector<std::string> NamesWithRole(FieldRole role) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  /// "name:type:role, ..." for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_SCHEMA_H_

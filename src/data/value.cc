@@ -1,0 +1,81 @@
+#include "data/value.h"
+
+#include <cstdio>
+
+namespace vs::data {
+
+std::string DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType Value::type() const {
+  switch (payload_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+bool Value::AsDouble(double* out) const {
+  if (is_int64()) {
+    *out = static_cast<double>(int64());
+    return true;
+  }
+  if (is_double()) {
+    *out = dbl();
+    return true;
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null || b_null) return static_cast<int>(b_null) - static_cast<int>(a_null);
+
+  double a_num = 0.0;
+  double b_num = 0.0;
+  const bool a_is_num = AsDouble(&a_num);
+  const bool b_is_num = other.AsDouble(&b_num);
+  if (a_is_num && b_is_num) {
+    if (a_num < b_num) return -1;
+    if (a_num > b_num) return 1;
+    return 0;
+  }
+  if (a_is_num != b_is_num) return a_is_num ? -1 : 1;  // numerics before strings
+  return str().compare(other.str()) < 0 ? -1 : (str() == other.str() ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kInt64:
+      return std::to_string(int64());
+    case DataType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", dbl());
+      return buf;
+    }
+    case DataType::kString:
+      return str();
+  }
+  return "?";
+}
+
+}  // namespace vs::data

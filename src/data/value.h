@@ -1,0 +1,80 @@
+#ifndef VS_DATA_VALUE_H_
+#define VS_DATA_VALUE_H_
+
+/// \file value.h
+/// \brief Dynamically-typed cell value used at the row-oriented edges of the
+/// engine (CSV ingestion, TableBuilder, predicate literals).  The columnar
+/// core never materializes Values on hot paths.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace vs::data {
+
+/// Physical type of a column or value.
+enum class DataType : int {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// Human-readable type name ("int64", "double", ...).
+std::string DataTypeName(DataType type);
+
+/// \brief A null, integer, floating-point, or string cell.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : payload_(std::monostate{}) {}
+  /// Constructs an integer value.
+  Value(int64_t v) : payload_(v) {}  // NOLINT(runtime/explicit)
+  /// Constructs a floating-point value.
+  Value(double v) : payload_(v) {}  // NOLINT(runtime/explicit)
+  /// Constructs a string value.
+  Value(std::string v)  // NOLINT(runtime/explicit)
+      : payload_(std::move(v)) {}
+  /// Constructs a string value from a C literal.
+  Value(const char* v) : payload_(std::string(v)) {}  // NOLINT
+
+  /// The dynamic type of this value.
+  DataType type() const;
+
+  /// \name Type predicates.
+  /// @{
+  bool is_null() const { return type() == DataType::kNull; }
+  bool is_int64() const { return type() == DataType::kInt64; }
+  bool is_double() const { return type() == DataType::kDouble; }
+  bool is_string() const { return type() == DataType::kString; }
+  /// @}
+
+  /// \name Checked accessors (assert on type mismatch).
+  /// @{
+  int64_t int64() const { return std::get<int64_t>(payload_); }
+  double dbl() const { return std::get<double>(payload_); }
+  const std::string& str() const { return std::get<std::string>(payload_); }
+  /// @}
+
+  /// Numeric coercion: int64 and double convert; null/string do not.
+  /// Returns true and writes \p *out on success.
+  bool AsDouble(double* out) const;
+
+  /// Three-valued compare for same-kind values; numeric kinds compare by
+  /// value across int64/double.  Nulls sort first; cross-kind (numeric vs
+  /// string) compares by type rank.  Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Renders the value for debugging and CSV output.
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> payload_;
+};
+
+}  // namespace vs::data
+
+#endif  // VS_DATA_VALUE_H_

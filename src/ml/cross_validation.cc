@@ -1,0 +1,96 @@
+#include "ml/cross_validation.h"
+
+#include "ml/metrics.h"
+
+namespace vs::ml {
+
+vs::Result<std::vector<Fold>> KFoldSplit(size_t n, size_t k, vs::Rng* rng) {
+  if (rng == nullptr) {
+    return vs::Status::InvalidArgument("rng is required");
+  }
+  if (k < 2 || k > n) {
+    return vs::Status::InvalidArgument(
+        "KFoldSplit requires 2 <= k <= n");
+  }
+  const std::vector<size_t> perm = rng->Permutation(n);
+  std::vector<Fold> folds(k);
+  for (size_t i = 0; i < n; ++i) {
+    folds[i % k].validation.push_back(perm[i]);
+  }
+  for (size_t f = 0; f < k; ++f) {
+    for (size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train.insert(folds[f].train.end(),
+                            folds[g].validation.begin(),
+                            folds[g].validation.end());
+    }
+  }
+  return folds;
+}
+
+namespace {
+
+Matrix GatherRows(const Matrix& x, const std::vector<size_t>& rows) {
+  Matrix out(rows.size(), x.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* src = x.RowPtr(rows[i]);
+    for (size_t j = 0; j < x.cols(); ++j) out(i, j) = src[j];
+  }
+  return out;
+}
+
+Vector GatherValues(const Vector& y, const std::vector<size_t>& rows) {
+  Vector out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) out[i] = y[rows[i]];
+  return out;
+}
+
+}  // namespace
+
+vs::Result<double> CrossValidateLinear(
+    const Matrix& x, const Vector& y,
+    const LinearRegressionOptions& options, size_t k, vs::Rng* rng) {
+  if (x.rows() != y.size()) {
+    return vs::Status::InvalidArgument("row count differs from targets");
+  }
+  VS_ASSIGN_OR_RETURN(std::vector<Fold> folds, KFoldSplit(x.rows(), k, rng));
+  double total_mse = 0.0;
+  for (const Fold& fold : folds) {
+    LinearRegression model(options);
+    VS_RETURN_IF_ERROR(
+        model.Fit(GatherRows(x, fold.train), GatherValues(y, fold.train)));
+    VS_ASSIGN_OR_RETURN(Vector predicted,
+                        model.PredictBatch(GatherRows(x, fold.validation)));
+    VS_ASSIGN_OR_RETURN(
+        double mse,
+        MeanSquaredError(GatherValues(y, fold.validation), predicted));
+    total_mse += mse;
+  }
+  return total_mse / static_cast<double>(folds.size());
+}
+
+vs::Result<double> SelectRidgeStrength(
+    const Matrix& x, const Vector& y,
+    const std::vector<double>& l2_candidates, size_t k, vs::Rng* rng) {
+  if (l2_candidates.empty()) {
+    return vs::Status::InvalidArgument("no ridge candidates given");
+  }
+  if (x.rows() < 2 * k) {
+    return l2_candidates.front();  // too few labels to validate
+  }
+  double best_l2 = l2_candidates.front();
+  double best_mse = std::numeric_limits<double>::infinity();
+  for (double l2 : l2_candidates) {
+    LinearRegressionOptions options;
+    options.l2 = l2;
+    VS_ASSIGN_OR_RETURN(double mse,
+                        CrossValidateLinear(x, y, options, k, rng));
+    if (mse < best_mse) {
+      best_mse = mse;
+      best_l2 = l2;
+    }
+  }
+  return best_l2;
+}
+
+}  // namespace vs::ml

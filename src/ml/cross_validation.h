@@ -1,0 +1,45 @@
+#ifndef VS_ML_CROSS_VALIDATION_H_
+#define VS_ML_CROSS_VALIDATION_H_
+
+/// \file cross_validation.h
+/// \brief K-fold cross-validation utilities, used to pick the ridge
+/// strength of the view utility estimator from the labels at hand instead
+/// of a fixed default.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "ml/linear_regression.h"
+#include "ml/matrix.h"
+
+namespace vs::ml {
+
+/// \brief One train/validation split.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+};
+
+/// Shuffled k-fold partition of [0, n): every index appears in exactly one
+/// validation set; fold sizes differ by at most one.  Requires
+/// 2 <= k <= n.
+vs::Result<std::vector<Fold>> KFoldSplit(size_t n, size_t k, vs::Rng* rng);
+
+/// Mean validation MSE of a LinearRegression with \p options across the
+/// folds of (x, y).
+vs::Result<double> CrossValidateLinear(const Matrix& x, const Vector& y,
+                                       const LinearRegressionOptions& options,
+                                       size_t k, vs::Rng* rng);
+
+/// Picks the ridge strength with the lowest k-fold MSE from
+/// \p l2_candidates (non-empty).  Falls back to the first candidate when
+/// too few examples exist for a split (< 2 per fold).
+vs::Result<double> SelectRidgeStrength(const Matrix& x, const Vector& y,
+                                       const std::vector<double>& l2_candidates,
+                                       size_t k, vs::Rng* rng);
+
+}  // namespace vs::ml
+
+#endif  // VS_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,137 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "ml/solve.h"
+
+namespace vs::ml {
+
+namespace {
+
+/// Solves ridge on a column subset of \p x (the active set), returning a
+/// full-width coefficient vector with zeros on inactive columns.
+vs::Result<Vector> RidgeOnActive(const Matrix& x, const Vector& y, double l2,
+                                 const std::vector<bool>& active) {
+  size_t n_active = 0;
+  for (bool a : active) n_active += a;
+  if (n_active == 0) return Vector(x.cols(), 0.0);
+  Matrix sub(x.rows(), n_active);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    size_t k = 0;
+    for (size_t j = 0; j < x.cols(); ++j) {
+      if (active[j]) sub(i, k++) = row[j];
+    }
+  }
+  VS_ASSIGN_OR_RETURN(Vector w_sub, RidgeNormalEquations(sub, y, l2));
+  Vector w(x.cols(), 0.0);
+  size_t k = 0;
+  for (size_t j = 0; j < x.cols(); ++j) {
+    if (active[j]) w[j] = w_sub[k++];
+  }
+  return w;
+}
+
+}  // namespace
+
+vs::Status LinearRegression::Fit(const Matrix& x, const Vector& y) {
+  fitted_ = false;
+  if (x.rows() == 0 || x.cols() == 0) {
+    return vs::Status::InvalidArgument("empty design matrix");
+  }
+  if (x.rows() != y.size()) {
+    return vs::Status::InvalidArgument("row count differs from target count");
+  }
+  if (options_.l2 < 0.0) {
+    return vs::Status::InvalidArgument("l2 must be non-negative");
+  }
+
+  // Centering removes the intercept from the regularized problem so the
+  // penalty never shrinks it.
+  Matrix xc = x;
+  Vector yc = y;
+  Vector x_mean(x.cols(), 0.0);
+  double y_mean = 0.0;
+  if (options_.fit_intercept) {
+    for (size_t i = 0; i < x.rows(); ++i) {
+      const double* row = x.RowPtr(i);
+      for (size_t j = 0; j < x.cols(); ++j) x_mean[j] += row[j];
+      y_mean += y[i];
+    }
+    for (double& m : x_mean) m /= static_cast<double>(x.rows());
+    y_mean /= static_cast<double>(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      double* row = xc.RowPtr(i);
+      for (size_t j = 0; j < x.cols(); ++j) row[j] -= x_mean[j];
+      yc[i] -= y_mean;
+    }
+  }
+
+  Vector w;
+  if (!options_.nonnegative) {
+    VS_ASSIGN_OR_RETURN(w, RidgeNormalEquations(xc, yc, options_.l2));
+  } else {
+    // Active-set projection: repeatedly solve the unconstrained ridge on
+    // the active columns and deactivate any column whose coefficient went
+    // negative.  Terminates because the active set shrinks monotonically.
+    std::vector<bool> active(x.cols(), true);
+    for (int round = 0; round < options_.max_active_set_rounds; ++round) {
+      VS_ASSIGN_OR_RETURN(w, RidgeOnActive(xc, yc, options_.l2, active));
+      bool any_negative = false;
+      for (size_t j = 0; j < w.size(); ++j) {
+        if (w[j] < 0.0) {
+          active[j] = false;
+          any_negative = true;
+        }
+      }
+      if (!any_negative) break;
+    }
+    for (double& v : w) {
+      if (v < 0.0) v = 0.0;  // safety clamp if the round cap was hit
+    }
+  }
+
+  coef_ = std::move(w);
+  intercept_ = 0.0;
+  if (options_.fit_intercept) {
+    intercept_ = y_mean;
+    for (size_t j = 0; j < coef_.size(); ++j) {
+      intercept_ -= coef_[j] * x_mean[j];
+    }
+  }
+  fitted_ = true;
+  return vs::Status::OK();
+}
+
+vs::Result<double> LinearRegression::Predict(const Vector& features) const {
+  if (!fitted_) return vs::Status::FailedPrecondition("model not fitted");
+  if (features.size() != coef_.size()) {
+    return vs::Status::InvalidArgument("feature width differs from fit");
+  }
+  double acc = intercept_;
+  for (size_t j = 0; j < coef_.size(); ++j) acc += coef_[j] * features[j];
+  return acc;
+}
+
+vs::Result<Vector> LinearRegression::PredictBatch(const Matrix& x) const {
+  if (!fitted_) return vs::Status::FailedPrecondition("model not fitted");
+  if (x.cols() != coef_.size()) {
+    return vs::Status::InvalidArgument("feature width differs from fit");
+  }
+  Vector out(x.rows(), 0.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    double acc = intercept_;
+    for (size_t j = 0; j < coef_.size(); ++j) acc += coef_[j] * row[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+void LinearRegression::SetParameters(Vector coefficients, double intercept) {
+  coef_ = std::move(coefficients);
+  intercept_ = intercept;
+  fitted_ = true;
+}
+
+}  // namespace vs::ml

@@ -1,0 +1,107 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs::ml {
+
+namespace {
+
+vs::Status CheckPair(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    return vs::Status::InvalidArgument("metric over mismatched lengths");
+  }
+  if (a.empty()) {
+    return vs::Status::InvalidArgument("metric over empty vectors");
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace
+
+vs::Result<double> MeanSquaredError(const Vector& truth,
+                                    const Vector& predicted) {
+  VS_RETURN_IF_ERROR(CheckPair(truth, predicted));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+vs::Result<double> MeanAbsoluteError(const Vector& truth,
+                                     const Vector& predicted) {
+  VS_RETURN_IF_ERROR(CheckPair(truth, predicted));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += std::fabs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+vs::Result<double> RSquared(const Vector& truth, const Vector& predicted) {
+  VS_RETURN_IF_ERROR(CheckPair(truth, predicted));
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+  }
+  if (ss_tot == 0.0) {
+    if (ss_res == 0.0) return 1.0;
+    return vs::Status::FailedPrecondition(
+        "R^2 undefined: constant truth with non-zero residual");
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+vs::Result<double> BinaryAccuracy(const Vector& truth,
+                                  const Vector& predicted_probs,
+                                  double threshold) {
+  VS_RETURN_IF_ERROR(CheckPair(truth, predicted_probs));
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const bool t = truth[i] >= threshold;
+    const bool p = predicted_probs[i] >= threshold;
+    if (t == p) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+vs::Result<double> RocAuc(const Vector& truth_binary,
+                          const Vector& predicted_scores) {
+  VS_RETURN_IF_ERROR(CheckPair(truth_binary, predicted_scores));
+  size_t positives = 0;
+  for (double t : truth_binary) {
+    if (t != 0.0 && t != 1.0) {
+      return vs::Status::InvalidArgument("AUC requires 0/1 truth labels");
+    }
+    if (t == 1.0) ++positives;
+  }
+  const size_t negatives = truth_binary.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return vs::Status::FailedPrecondition(
+        "AUC requires both classes present");
+  }
+  // Mann–Whitney U: sum over pairs, ties counted half.
+  double wins = 0.0;
+  for (size_t i = 0; i < truth_binary.size(); ++i) {
+    if (truth_binary[i] != 1.0) continue;
+    for (size_t j = 0; j < truth_binary.size(); ++j) {
+      if (truth_binary[j] != 0.0) continue;
+      if (predicted_scores[i] > predicted_scores[j]) {
+        wins += 1.0;
+      } else if (predicted_scores[i] == predicted_scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  return wins / (static_cast<double>(positives) *
+                 static_cast<double>(negatives));
+}
+
+}  // namespace vs::ml

@@ -1,0 +1,41 @@
+#ifndef VS_ML_METRICS_H_
+#define VS_ML_METRICS_H_
+
+/// \file metrics.h
+/// \brief Model-evaluation metrics for the two estimators: regression
+/// error measures for the view utility estimator and classification
+/// measures for the uncertainty estimator.  Used by the test suite and by
+/// users validating a learned estimator on held-out labels.
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace vs::ml {
+
+/// Mean squared error; errors on length mismatch or empty input.
+vs::Result<double> MeanSquaredError(const Vector& truth,
+                                    const Vector& predicted);
+
+/// Mean absolute error.
+vs::Result<double> MeanAbsoluteError(const Vector& truth,
+                                     const Vector& predicted);
+
+/// Coefficient of determination R² = 1 - SS_res / SS_tot; 1.0 when the
+/// truth is constant and predictions match it exactly, error when the
+/// truth is constant otherwise undefined (returns FailedPrecondition).
+vs::Result<double> RSquared(const Vector& truth, const Vector& predicted);
+
+/// Fraction of correct binary decisions after thresholding both vectors at
+/// \p threshold.
+vs::Result<double> BinaryAccuracy(const Vector& truth,
+                                  const Vector& predicted_probs,
+                                  double threshold = 0.5);
+
+/// Area under the ROC curve via the rank statistic (ties get half credit).
+/// Requires at least one positive and one negative truth label (0/1).
+vs::Result<double> RocAuc(const Vector& truth_binary,
+                          const Vector& predicted_scores);
+
+}  // namespace vs::ml
+
+#endif  // VS_ML_METRICS_H_

@@ -1,0 +1,106 @@
+#include "ml/model_io.h"
+
+#include "common/string_util.h"
+
+namespace vs::ml {
+
+namespace {
+
+std::string SerializeImpl(const std::string& kind, const Vector& coef,
+                          double intercept) {
+  std::string out = "viewseeker-model v1\n";
+  out += "kind: " + kind + "\n";
+  out += vs::StrFormat("intercept: %.17g\n", intercept);
+  out += vs::StrFormat("coefficients: %zu\n", coef.size());
+  for (size_t i = 0; i < coef.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vs::StrFormat("%.17g", coef[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+struct ParsedModel {
+  std::string kind;
+  Vector coef;
+  double intercept = 0.0;
+};
+
+vs::Result<ParsedModel> ParseImpl(const std::string& text) {
+  std::vector<std::string> lines = vs::Split(text, '\n');
+  if (lines.size() < 5) {
+    return vs::Status::InvalidArgument("truncated model text");
+  }
+  if (vs::Trim(lines[0]) != "viewseeker-model v1") {
+    return vs::Status::InvalidArgument("bad model header: " + lines[0]);
+  }
+  ParsedModel model;
+  if (!vs::StartsWith(lines[1], "kind: ")) {
+    return vs::Status::InvalidArgument("missing kind line");
+  }
+  model.kind = std::string(vs::Trim(lines[1].substr(6)));
+  if (!vs::StartsWith(lines[2], "intercept: ")) {
+    return vs::Status::InvalidArgument("missing intercept line");
+  }
+  VS_ASSIGN_OR_RETURN(model.intercept, vs::ParseDouble(lines[2].substr(11)));
+  if (!vs::StartsWith(lines[3], "coefficients: ")) {
+    return vs::Status::InvalidArgument("missing coefficients line");
+  }
+  VS_ASSIGN_OR_RETURN(int64_t n, vs::ParseInt64(lines[3].substr(14)));
+  if (n < 0) return vs::Status::InvalidArgument("negative coefficient count");
+  std::vector<std::string> parts;
+  for (const std::string& tok : vs::Split(lines[4], ' ')) {
+    if (!vs::Trim(tok).empty()) parts.push_back(tok);
+  }
+  if (static_cast<int64_t>(parts.size()) != n) {
+    return vs::Status::InvalidArgument(vs::StrFormat(
+        "expected %lld coefficients, found %zu", static_cast<long long>(n),
+        parts.size()));
+  }
+  model.coef.reserve(parts.size());
+  for (const std::string& p : parts) {
+    VS_ASSIGN_OR_RETURN(double v, vs::ParseDouble(p));
+    model.coef.push_back(v);
+  }
+  return model;
+}
+
+}  // namespace
+
+vs::Result<std::string> SerializeLinear(const LinearRegression& model) {
+  if (!model.fitted()) {
+    return vs::Status::FailedPrecondition("cannot serialize unfitted model");
+  }
+  return SerializeImpl("linear", model.coefficients(), model.intercept());
+}
+
+vs::Result<std::string> SerializeLogistic(const LogisticRegression& model) {
+  if (!model.fitted()) {
+    return vs::Status::FailedPrecondition("cannot serialize unfitted model");
+  }
+  return SerializeImpl("logistic", model.coefficients(), model.intercept());
+}
+
+vs::Result<LinearRegression> DeserializeLinear(const std::string& text) {
+  VS_ASSIGN_OR_RETURN(auto parsed, ParseImpl(text));
+  if (parsed.kind != "linear") {
+    return vs::Status::InvalidArgument("model kind is not linear: " +
+                                       parsed.kind);
+  }
+  LinearRegression model;
+  model.SetParameters(std::move(parsed.coef), parsed.intercept);
+  return model;
+}
+
+vs::Result<LogisticRegression> DeserializeLogistic(const std::string& text) {
+  VS_ASSIGN_OR_RETURN(auto parsed, ParseImpl(text));
+  if (parsed.kind != "logistic") {
+    return vs::Status::InvalidArgument("model kind is not logistic: " +
+                                       parsed.kind);
+  }
+  LogisticRegression model;
+  model.SetParameters(std::move(parsed.coef), parsed.intercept);
+  return model;
+}
+
+}  // namespace vs::ml

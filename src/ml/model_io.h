@@ -1,0 +1,38 @@
+#ifndef VS_ML_MODEL_IO_H_
+#define VS_ML_MODEL_IO_H_
+
+/// \file model_io.h
+/// \brief Text (de)serialization of trained models so a learned view
+/// utility estimator can be saved at the end of a session and reloaded
+/// later (the tool's output *is* the estimator — Algorithm 1 returns it).
+///
+/// Format (line-oriented, locale-independent):
+///   viewseeker-model v1
+///   kind: linear|logistic
+///   intercept: <%.17g>
+///   coefficients: <n>
+///   <c0> <c1> ... (space-separated, %.17g)
+
+#include <string>
+
+#include "common/result.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+
+namespace vs::ml {
+
+/// Serializes a fitted linear model; fails when unfitted.
+vs::Result<std::string> SerializeLinear(const LinearRegression& model);
+
+/// Serializes a fitted logistic model; fails when unfitted.
+vs::Result<std::string> SerializeLogistic(const LogisticRegression& model);
+
+/// Parses a linear model serialized by SerializeLinear.
+vs::Result<LinearRegression> DeserializeLinear(const std::string& text);
+
+/// Parses a logistic model serialized by SerializeLogistic.
+vs::Result<LogisticRegression> DeserializeLogistic(const std::string& text);
+
+}  // namespace vs::ml
+
+#endif  // VS_ML_MODEL_IO_H_

@@ -1,0 +1,105 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs::ml {
+
+vs::Status StandardScaler::Fit(const Matrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return vs::Status::InvalidArgument("cannot fit scaler on empty matrix");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double dlt = row[j] - mean_[j];
+      scale_[j] += dlt * dlt;
+    }
+  }
+  for (double& s : scale_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s <= 0.0 || !std::isfinite(s)) s = 1.0;
+  }
+  return vs::Status::OK();
+}
+
+vs::Result<Matrix> StandardScaler::Transform(const Matrix& x) const {
+  if (!fitted()) return vs::Status::FailedPrecondition("scaler not fitted");
+  if (x.cols() != mean_.size()) {
+    return vs::Status::InvalidArgument("column count differs from fit");
+  }
+  Matrix out = x;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.RowPtr(i);
+    for (size_t j = 0; j < out.cols(); ++j) {
+      row[j] = (row[j] - mean_[j]) / scale_[j];
+    }
+  }
+  return out;
+}
+
+vs::Status StandardScaler::TransformRow(Vector* row) const {
+  if (!fitted()) return vs::Status::FailedPrecondition("scaler not fitted");
+  if (row->size() != mean_.size()) {
+    return vs::Status::InvalidArgument("row width differs from fit");
+  }
+  for (size_t j = 0; j < row->size(); ++j) {
+    (*row)[j] = ((*row)[j] - mean_[j]) / scale_[j];
+  }
+  return vs::Status::OK();
+}
+
+vs::Status MinMaxScaler::Fit(const Matrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return vs::Status::InvalidArgument("cannot fit scaler on empty matrix");
+  }
+  const size_t d = x.cols();
+  min_.assign(d, std::numeric_limits<double>::infinity());
+  max_.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) {
+      min_[j] = std::min(min_[j], row[j]);
+      max_[j] = std::max(max_[j], row[j]);
+    }
+  }
+  return vs::Status::OK();
+}
+
+vs::Result<Matrix> MinMaxScaler::Transform(const Matrix& x) const {
+  if (!fitted()) return vs::Status::FailedPrecondition("scaler not fitted");
+  if (x.cols() != min_.size()) {
+    return vs::Status::InvalidArgument("column count differs from fit");
+  }
+  Matrix out = x;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    Vector row = out.Row(i);
+    VS_RETURN_IF_ERROR(TransformRow(&row));
+    for (size_t j = 0; j < out.cols(); ++j) out(i, j) = row[j];
+  }
+  return out;
+}
+
+vs::Status MinMaxScaler::TransformRow(Vector* row) const {
+  if (!fitted()) return vs::Status::FailedPrecondition("scaler not fitted");
+  if (row->size() != min_.size()) {
+    return vs::Status::InvalidArgument("row width differs from fit");
+  }
+  for (size_t j = 0; j < row->size(); ++j) {
+    const double span = max_[j] - min_[j];
+    double v = span > 0.0 ? ((*row)[j] - min_[j]) / span : 0.0;
+    (*row)[j] = std::clamp(v, 0.0, 1.0);
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace vs::ml

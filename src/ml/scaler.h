@@ -1,0 +1,61 @@
+#ifndef VS_ML_SCALER_H_
+#define VS_ML_SCALER_H_
+
+/// \file scaler.h
+/// \brief Feature scaling: standardization (zero mean, unit variance) and
+/// min-max normalization to [0, 1].  Both are fit once and then applied to
+/// any number of rows; parameters are inspectable for persistence.
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace vs::ml {
+
+/// \brief Zero-mean unit-variance scaler; constant columns pass through
+/// unshifted scale (scale = 1) to avoid division by zero.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation from \p x.
+  vs::Status Fit(const Matrix& x);
+
+  /// Applies the learned transform; fails if not fitted or width differs.
+  vs::Result<Matrix> Transform(const Matrix& x) const;
+
+  /// Transforms a single row in place.
+  vs::Status TransformRow(Vector* row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const Vector& mean() const { return mean_; }
+  const Vector& scale() const { return scale_; }
+
+ private:
+  Vector mean_;
+  Vector scale_;
+};
+
+/// \brief Min-max scaler mapping each column to [0, 1]; constant columns
+/// map to 0.  This is the per-feature normalization the feature matrix
+/// applies before training (so u* weights operate on comparable scales).
+class MinMaxScaler {
+ public:
+  /// Learns per-column min and max from \p x.
+  vs::Status Fit(const Matrix& x);
+
+  /// Applies the learned transform.
+  vs::Result<Matrix> Transform(const Matrix& x) const;
+
+  /// Transforms a single row in place (values clamped to [0, 1]).
+  vs::Status TransformRow(Vector* row) const;
+
+  bool fitted() const { return !min_.empty(); }
+  const Vector& min() const { return min_; }
+  const Vector& max() const { return max_; }
+
+ private:
+  Vector min_;
+  Vector max_;
+};
+
+}  // namespace vs::ml
+
+#endif  // VS_ML_SCALER_H_

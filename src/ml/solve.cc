@@ -1,0 +1,171 @@
+#include "ml/solve.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vs::ml {
+
+namespace {
+
+/// In-place Cholesky factorization A = L L^T into the lower triangle.
+/// Returns false when A is not positive definite.
+bool CholeskyFactor(Matrix* a) {
+  const size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double diag = (*a)(j, j);
+    for (size_t k = 0; k < j; ++k) {
+      diag -= (*a)(j, k) * (*a)(j, k);
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    (*a)(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = (*a)(i, j);
+      for (size_t k = 0; k < j; ++k) {
+        v -= (*a)(i, k) * (*a)(j, k);
+      }
+      (*a)(i, j) = v / ljj;
+    }
+  }
+  return true;
+}
+
+/// Solves L y = b then L^T x = y given the factor in the lower triangle.
+Vector CholeskyBackSolve(const Matrix& l, const Vector& b) {
+  const size_t n = l.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = y[i];
+    for (size_t k = i + 1; k < n; ++k) v -= l(k, i) * x[k];
+    x[i] = v / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+vs::Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols()) {
+    return vs::Status::InvalidArgument("CholeskySolve requires square A");
+  }
+  if (a.rows() != b.size()) {
+    return vs::Status::InvalidArgument("CholeskySolve dimension mismatch");
+  }
+  Matrix l = a;
+  if (!CholeskyFactor(&l)) {
+    return vs::Status::FailedPrecondition(
+        "matrix is not symmetric positive definite");
+  }
+  return CholeskyBackSolve(l, b);
+}
+
+vs::Result<Matrix> SpdInverse(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return vs::Status::InvalidArgument("SpdInverse requires square A");
+  }
+  Matrix l = a;
+  if (!CholeskyFactor(&l)) {
+    return vs::Status::FailedPrecondition(
+        "matrix is not symmetric positive definite");
+  }
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    Vector col = CholeskyBackSolve(l, e);
+    for (size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+vs::Result<Vector> QrLeastSquares(const Matrix& a, const Vector& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return vs::Status::InvalidArgument(
+        "QrLeastSquares requires rows >= cols");
+  }
+  if (m != b.size()) {
+    return vs::Status::InvalidArgument("QrLeastSquares dimension mismatch");
+  }
+  Matrix r = a;     // becomes R in the upper triangle
+  Vector qtb = b;   // becomes Q^T b
+  // Scale-relative tolerance for rank detection.
+  double scale = 0.0;
+  for (double v : a.data()) scale = std::max(scale, std::fabs(v));
+  const double rank_tol = 1e-10 * std::max(1.0, scale);
+  // Householder reflections column by column.
+  for (size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= rank_tol) {
+      return vs::Status::FailedPrecondition(
+          "rank-deficient design matrix in QR");
+    }
+    const double alpha = r(k, k) > 0.0 ? -norm : norm;
+    Vector v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vnorm2 = 0.0;
+    for (double x : v) vnorm2 += x * x;
+    if (vnorm2 == 0.0) continue;
+    // Apply H = I - 2 v v^T / (v^T v) to the remaining columns and to qtb.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double scale = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) r(i, j) -= scale * v[i - k];
+    }
+    double dot = 0.0;
+    for (size_t i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+    const double scale = 2.0 * dot / vnorm2;
+    for (size_t i = k; i < m; ++i) qtb[i] -= scale * v[i - k];
+  }
+  // Back-substitute R x = Q^T b (top n rows).
+  Vector x(n);
+  for (size_t kk = n; kk > 0; --kk) {
+    const size_t k = kk - 1;
+    double v = qtb[k];
+    for (size_t j = k + 1; j < n; ++j) v -= r(k, j) * x[j];
+    const double diag = r(k, k);
+    if (std::fabs(diag) <= rank_tol || !std::isfinite(diag)) {
+      return vs::Status::FailedPrecondition(
+          "rank-deficient design matrix in QR back-substitution");
+    }
+    x[k] = v / diag;
+  }
+  return x;
+}
+
+vs::Result<Vector> RidgeNormalEquations(const Matrix& x, const Vector& y,
+                                        double l2) {
+  if (l2 < 0.0) {
+    return vs::Status::InvalidArgument("l2 must be non-negative");
+  }
+  if (x.rows() != y.size()) {
+    return vs::Status::InvalidArgument(vs::StrFormat(
+        "design matrix has %zu rows but %zu targets", x.rows(), y.size()));
+  }
+  if (x.rows() == 0 || x.cols() == 0) {
+    return vs::Status::InvalidArgument("empty design matrix");
+  }
+  Matrix gram = Gram(x);
+  for (size_t j = 0; j < gram.rows(); ++j) {
+    gram(j, j) += l2;
+  }
+  VS_ASSIGN_OR_RETURN(Vector xty, TransposeVec(x, y));
+  return CholeskySolve(gram, xty);
+}
+
+}  // namespace vs::ml

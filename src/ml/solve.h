@@ -1,0 +1,34 @@
+#ifndef VS_ML_SOLVE_H_
+#define VS_ML_SOLVE_H_
+
+/// \file solve.h
+/// \brief Linear system and least-squares solvers: Cholesky for symmetric
+/// positive-definite systems, Householder QR for general least squares, and
+/// the ridge-regularized normal equations both regressions build on.
+
+#include "common/result.h"
+#include "ml/matrix.h"
+
+namespace vs::ml {
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky
+/// factorization.  Fails (FailedPrecondition) when A is not SPD.
+vs::Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Solves min_x ||A x - b||_2 via Householder QR; requires rows >= cols and
+/// full column rank.
+vs::Result<Vector> QrLeastSquares(const Matrix& a, const Vector& b);
+
+/// Solves the ridge problem min_w ||X w - y||^2 + l2 * ||w||^2 through the
+/// normal equations (X^T X + l2 I) w = X^T y.  l2 must be >= 0; a strictly
+/// positive l2 guarantees solvability for any X.
+vs::Result<Vector> RidgeNormalEquations(const Matrix& x, const Vector& y,
+                                        double l2);
+
+/// Inverts a symmetric positive-definite matrix via Cholesky (used by the
+/// IRLS step of logistic regression).
+vs::Result<Matrix> SpdInverse(const Matrix& a);
+
+}  // namespace vs::ml
+
+#endif  // VS_ML_SOLVE_H_

@@ -1,0 +1,78 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs::stats {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::sample_variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+vs::Result<double> Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return vs::Status::InvalidArgument("mean of empty vector");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+vs::Result<double> Variance(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return vs::Status::InvalidArgument("variance of empty vector");
+  }
+  RunningStats stats;
+  for (double x : xs) stats.Add(x);
+  return stats.variance();
+}
+
+vs::Result<double> SumSquaredError(const std::vector<double>& xs,
+                                   const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return vs::Status::InvalidArgument("SSE over mismatched lengths");
+  }
+  double sse = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - ys[i];
+    sse += d * d;
+  }
+  return sse;
+}
+
+}  // namespace vs::stats

@@ -1,0 +1,57 @@
+#ifndef VS_STATS_DESCRIPTIVE_H_
+#define VS_STATS_DESCRIPTIVE_H_
+
+/// \file descriptive.h
+/// \brief Descriptive statistics: Welford streaming moments and simple
+/// vector summaries used throughout the feature pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vs::stats {
+
+/// \brief Numerically stable streaming mean/variance (Welford) with
+/// min/max tracking; mergeable for partitioned passes.
+class RunningStats {
+ public:
+  /// Folds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (denominator n); 0 for fewer than 2 samples.
+  double variance() const;
+  /// Sample variance (denominator n-1); 0 for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sum of squared deviations from the mean.
+  double m2() const { return m2_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; error on empty input.
+vs::Result<double> Mean(const std::vector<double>& xs);
+
+/// Population variance; error on empty input.
+vs::Result<double> Variance(const std::vector<double>& xs);
+
+/// Sum of squared differences Σ (x_i - y_i)^2; error on length mismatch.
+vs::Result<double> SumSquaredError(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+}  // namespace vs::stats
+
+#endif  // VS_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,135 @@
+#include "stats/distance.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace vs::stats {
+
+namespace {
+
+vs::Status CheckShapes(const Distribution& p, const Distribution& q) {
+  if (p.size() == 0 || q.size() == 0) {
+    return vs::Status::InvalidArgument("distance over empty distribution");
+  }
+  if (p.size() != q.size()) {
+    return vs::Status::InvalidArgument(vs::StrFormat(
+        "distribution sizes differ: %zu vs %zu", p.size(), q.size()));
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace
+
+std::string DistanceKindName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kKL:
+      return "KL";
+    case DistanceKind::kEMD:
+      return "EMD";
+    case DistanceKind::kL1:
+      return "L1";
+    case DistanceKind::kL2:
+      return "L2";
+    case DistanceKind::kMaxDiff:
+      return "MAX_DIFF";
+  }
+  return "?";
+}
+
+vs::Result<DistanceKind> ParseDistanceKind(const std::string& name) {
+  const std::string lower = vs::ToLower(name);
+  if (lower == "kl" || lower == "kl_divergence") return DistanceKind::kKL;
+  if (lower == "emd") return DistanceKind::kEMD;
+  if (lower == "l1") return DistanceKind::kL1;
+  if (lower == "l2") return DistanceKind::kL2;
+  if (lower == "max_diff" || lower == "maxdiff") return DistanceKind::kMaxDiff;
+  return vs::Status::InvalidArgument("unknown distance: " + name);
+}
+
+std::vector<DistanceKind> AllDistanceKinds() {
+  return {DistanceKind::kKL, DistanceKind::kEMD, DistanceKind::kL1,
+          DistanceKind::kL2, DistanceKind::kMaxDiff};
+}
+
+vs::Result<double> KlDivergence(const Distribution& p, const Distribution& q,
+                                double smoothing) {
+  VS_RETURN_IF_ERROR(CheckShapes(p, q));
+  if (smoothing < 0.0 || smoothing >= 1.0) {
+    return vs::Status::InvalidArgument("smoothing must be in [0, 1)");
+  }
+  const double u = 1.0 / static_cast<double>(p.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = (1.0 - smoothing) * p[i] + smoothing * u;
+    const double qi = (1.0 - smoothing) * q[i] + smoothing * u;
+    if (pi > 0.0) {
+      if (qi <= 0.0) {
+        return vs::Status::InvalidArgument(
+            "KL undefined: zero reference mass with smoothing disabled");
+      }
+      kl += pi * std::log(pi / qi);
+    }
+  }
+  // Floating-point cancellation can leave a tiny negative residue for
+  // near-identical inputs; clamp since KL >= 0 analytically.
+  return kl < 0.0 ? 0.0 : kl;
+}
+
+vs::Result<double> EarthMoversDistance(const Distribution& p,
+                                       const Distribution& q) {
+  VS_RETURN_IF_ERROR(CheckShapes(p, q));
+  double carry = 0.0;
+  double emd = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    carry += p[i] - q[i];
+    emd += std::fabs(carry);
+  }
+  return emd;
+}
+
+vs::Result<double> L1Distance(const Distribution& p, const Distribution& q) {
+  VS_RETURN_IF_ERROR(CheckShapes(p, q));
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sum += std::fabs(p[i] - q[i]);
+  return sum;
+}
+
+vs::Result<double> L2Distance(const Distribution& p, const Distribution& q) {
+  VS_RETURN_IF_ERROR(CheckShapes(p, q));
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double d = p[i] - q[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+vs::Result<double> MaxDiff(const Distribution& p, const Distribution& q) {
+  VS_RETURN_IF_ERROR(CheckShapes(p, q));
+  double best = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double d = std::fabs(p[i] - q[i]);
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+vs::Result<double> Distance(DistanceKind kind, const Distribution& p,
+                            const Distribution& q) {
+  switch (kind) {
+    case DistanceKind::kKL:
+      return KlDivergence(p, q);
+    case DistanceKind::kEMD:
+      return EarthMoversDistance(p, q);
+    case DistanceKind::kL1:
+      return L1Distance(p, q);
+    case DistanceKind::kL2:
+      return L2Distance(p, q);
+    case DistanceKind::kMaxDiff:
+      return MaxDiff(p, q);
+  }
+  return vs::Status::InvalidArgument("unknown distance kind");
+}
+
+}  // namespace vs::stats

@@ -1,0 +1,66 @@
+#ifndef VS_STATS_DISTANCE_H_
+#define VS_STATS_DISTANCE_H_
+
+/// \file distance.h
+/// \brief Distances between view distributions — the deviation family of
+/// utility components (paper §3.1): KL divergence, Earth Mover's Distance,
+/// L1, L2, and MAX_DIFF (largest single-bin deviation).
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/histogram.h"
+
+namespace vs::stats {
+
+/// The five deviation distances the paper instantiates.
+enum class DistanceKind : int {
+  kKL = 0,       ///< Kullback-Leibler divergence D(P || Q), smoothed
+  kEMD = 1,      ///< 1-D Earth Mover's Distance (Wasserstein-1 on bins)
+  kL1 = 2,       ///< total absolute deviation
+  kL2 = 3,       ///< Euclidean deviation
+  kMaxDiff = 4,  ///< maximum deviation in any individual bin (Chebyshev)
+};
+
+/// "KL", "EMD", "L1", "L2", "MAX_DIFF".
+std::string DistanceKindName(DistanceKind kind);
+
+/// Parses a (case-insensitive) distance name.
+vs::Result<DistanceKind> ParseDistanceKind(const std::string& name);
+
+/// All distance kinds in enum order.
+std::vector<DistanceKind> AllDistanceKinds();
+
+/// \name Individual distances.  All require equal-length distributions.
+/// @{
+
+/// Smoothed KL divergence D(P || Q): both inputs are mixed with the uniform
+/// distribution at rate \p smoothing before evaluation so that zero bins in
+/// Q do not produce infinities.
+vs::Result<double> KlDivergence(const Distribution& p, const Distribution& q,
+                                double smoothing = 1e-6);
+
+/// Earth Mover's Distance between 1-D histograms with unit ground distance
+/// between adjacent bins: sum of absolute prefix-sum differences.
+vs::Result<double> EarthMoversDistance(const Distribution& p,
+                                       const Distribution& q);
+
+/// L1 distance: sum of |p_i - q_i|.
+vs::Result<double> L1Distance(const Distribution& p, const Distribution& q);
+
+/// L2 distance: sqrt(sum (p_i - q_i)^2).
+vs::Result<double> L2Distance(const Distribution& p, const Distribution& q);
+
+/// Maximum per-bin deviation: max_i |p_i - q_i|.
+vs::Result<double> MaxDiff(const Distribution& p, const Distribution& q);
+
+/// @}
+
+/// Dispatches to the distance selected by \p kind.
+vs::Result<double> Distance(DistanceKind kind, const Distribution& p,
+                            const Distribution& q);
+
+}  // namespace vs::stats
+
+#endif  // VS_STATS_DISTANCE_H_

@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+namespace vs::stats {
+
+vs::Result<Distribution> Normalize(const std::vector<double>& values) {
+  if (values.empty()) {
+    return vs::Status::InvalidArgument("cannot normalize an empty view");
+  }
+  double min_v = values[0];
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return vs::Status::InvalidArgument(
+          "cannot normalize non-finite bin value");
+    }
+    if (v < min_v) min_v = v;
+  }
+  const double shift = min_v < 0.0 ? -min_v : 0.0;
+  double total = 0.0;
+  for (double v : values) total += v + shift;
+
+  Distribution d;
+  d.p.resize(values.size());
+  if (total <= 0.0) {
+    // Degenerate all-zero view: uniform.
+    const double u = 1.0 / static_cast<double>(values.size());
+    for (double& x : d.p) x = u;
+    return d;
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    d.p[i] = (values[i] + shift) / total;
+  }
+  return d;
+}
+
+bool IsValidDistribution(const Distribution& d, double tolerance) {
+  double total = 0.0;
+  for (double x : d.p) {
+    if (!(x >= 0.0) || !std::isfinite(x)) return false;
+    total += x;
+  }
+  return std::fabs(total - 1.0) <= tolerance;
+}
+
+}  // namespace vs::stats

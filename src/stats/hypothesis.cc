@@ -1,0 +1,94 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace vs::stats {
+
+vs::Result<TestResult> ChiSquareGoodnessOfFit(
+    const std::vector<int64_t>& observed, const Distribution& expected,
+    double min_expected_prob) {
+  if (observed.size() != expected.size()) {
+    return vs::Status::InvalidArgument(
+        "observed counts and expected distribution differ in length");
+  }
+  if (observed.empty()) {
+    return vs::Status::InvalidArgument("chi-square over empty view");
+  }
+  int64_t total = 0;
+  for (int64_t o : observed) {
+    if (o < 0) {
+      return vs::Status::InvalidArgument("negative observed count");
+    }
+    total += o;
+  }
+  if (total == 0) {
+    return vs::Status::FailedPrecondition(
+        "chi-square requires a positive total count");
+  }
+
+  // Pool low-expectation bins into a running residual bucket.
+  double stat = 0.0;
+  int effective_bins = 0;
+  double pooled_expected = 0.0;
+  int64_t pooled_observed = 0;
+  const double n = static_cast<double>(total);
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double e = expected[i] * n;
+    if (expected[i] < min_expected_prob) {
+      pooled_expected += e;
+      pooled_observed += observed[i];
+      continue;
+    }
+    const double d = static_cast<double>(observed[i]) - e;
+    stat += d * d / e;
+    ++effective_bins;
+  }
+  if (pooled_expected > 0.0) {
+    const double d = static_cast<double>(pooled_observed) - pooled_expected;
+    stat += d * d / pooled_expected;
+    ++effective_bins;
+  } else if (pooled_observed > 0) {
+    // Observed mass where the reference has (numerically) none: maximal
+    // extremeness.
+    TestResult r;
+    r.statistic = std::numeric_limits<double>::infinity();
+    r.dof = std::max(1, effective_bins - 1);
+    r.p_value = 0.0;
+    return r;
+  }
+  if (effective_bins < 2) {
+    return vs::Status::FailedPrecondition(
+        "chi-square requires at least two effective bins");
+  }
+
+  TestResult r;
+  r.statistic = stat;
+  r.dof = static_cast<double>(effective_bins - 1);
+  VS_ASSIGN_OR_RETURN(r.p_value, ChiSquareSf(stat, r.dof));
+  return r;
+}
+
+vs::Result<TestResult> OneBinZTest(int64_t k, int64_t n, double p0) {
+  if (n <= 0) {
+    return vs::Status::InvalidArgument("z-test requires n > 0");
+  }
+  if (k < 0 || k > n) {
+    return vs::Status::InvalidArgument("z-test requires 0 <= k <= n");
+  }
+  if (p0 <= 0.0 || p0 >= 1.0) {
+    return vs::Status::InvalidArgument("z-test requires p0 in (0, 1)");
+  }
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(k) / nn;
+  const double se = std::sqrt(p0 * (1.0 - p0) / nn);
+  TestResult r;
+  r.statistic = (phat - p0) / se;
+  r.dof = 1.0;
+  r.p_value = 2.0 * NormalSf(std::fabs(r.statistic));
+  if (r.p_value > 1.0) r.p_value = 1.0;
+  return r;
+}
+
+}  // namespace vs::stats

@@ -1,0 +1,40 @@
+#ifndef VS_STATS_HYPOTHESIS_H_
+#define VS_STATS_HYPOTHESIS_H_
+
+/// \file hypothesis.h
+/// \brief Hypothesis tests backing the p-value utility component (§3.1,
+/// after Tang et al. [26]): the null hypothesis is the reference view; the
+/// more extreme the target counts are under it, the smaller the p-value and
+/// the more interesting the view.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/histogram.h"
+
+namespace vs::stats {
+
+/// \brief Result of a goodness-of-fit test.
+struct TestResult {
+  double statistic = 0.0;  ///< test statistic value
+  double dof = 0.0;        ///< degrees of freedom used
+  double p_value = 1.0;    ///< probability of a result at least as extreme
+};
+
+/// Pearson chi-square goodness-of-fit: tests observed per-bin counts
+/// against expected probabilities (the reference distribution).  Bins whose
+/// expected probability is below \p min_expected_prob are pooled into their
+/// neighbour to keep the chi-square approximation sane.  Requires at least
+/// two effective bins and a positive total count.
+vs::Result<TestResult> ChiSquareGoodnessOfFit(
+    const std::vector<int64_t>& observed, const Distribution& expected,
+    double min_expected_prob = 1e-12);
+
+/// Two-proportion z-test on a single bin: observed successes k out of n
+/// against null proportion p0.  Two-sided p-value.
+vs::Result<TestResult> OneBinZTest(int64_t k, int64_t n, double p0);
+
+}  // namespace vs::stats
+
+#endif  // VS_STATS_HYPOTHESIS_H_

@@ -1,0 +1,98 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+namespace vs::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+constexpr double kTiny = 1e-300;
+
+/// Series expansion of P(a, x); converges quickly for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued-fraction expansion of Q(a, x); converges for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+vs::Result<double> RegularizedGammaP(double a, double x) {
+  if (!(a > 0.0)) {
+    return vs::Status::InvalidArgument("RegularizedGammaP requires a > 0");
+  }
+  if (x < 0.0) {
+    return vs::Status::InvalidArgument("RegularizedGammaP requires x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+vs::Result<double> RegularizedGammaQ(double a, double x) {
+  if (!(a > 0.0)) {
+    return vs::Status::InvalidArgument("RegularizedGammaQ requires a > 0");
+  }
+  if (x < 0.0) {
+    return vs::Status::InvalidArgument("RegularizedGammaQ requires x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+vs::Result<double> ChiSquareCdf(double x, double dof) {
+  if (!(dof > 0.0)) {
+    return vs::Status::InvalidArgument("ChiSquareCdf requires dof > 0");
+  }
+  if (x < 0.0) return 0.0;
+  return RegularizedGammaP(dof / 2.0, x / 2.0);
+}
+
+vs::Result<double> ChiSquareSf(double x, double dof) {
+  if (!(dof > 0.0)) {
+    return vs::Status::InvalidArgument("ChiSquareSf requires dof > 0");
+  }
+  if (x < 0.0) return 1.0;
+  return RegularizedGammaQ(dof / 2.0, x / 2.0);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double NormalSf(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+}  // namespace vs::stats

@@ -1,0 +1,36 @@
+#ifndef VS_STATS_SPECIAL_H_
+#define VS_STATS_SPECIAL_H_
+
+/// \file special.h
+/// \brief Special mathematical functions needed by the statistics layer:
+/// the regularized incomplete gamma function (series + continued-fraction
+/// evaluation, after Numerical Recipes), the chi-square CDF/SF built on it,
+/// and the normal CDF.  All functions are pure and allocation-free.
+
+#include "common/result.h"
+
+namespace vs::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a).
+/// Requires a > 0, x >= 0.
+vs::Result<double> RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+vs::Result<double> RegularizedGammaQ(double a, double x);
+
+/// Chi-square CDF with \p dof degrees of freedom, evaluated at \p x >= 0.
+vs::Result<double> ChiSquareCdf(double x, double dof);
+
+/// Chi-square survival function (1 - CDF): the p-value of a chi-square
+/// statistic \p x with \p dof degrees of freedom.
+vs::Result<double> ChiSquareSf(double x, double dof);
+
+/// Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+/// Standard normal survival function 1 - Φ(x), accurate in the tail.
+double NormalSf(double x);
+
+}  // namespace vs::stats
+
+#endif  // VS_STATS_SPECIAL_H_

@@ -1,0 +1,101 @@
+#include "active/cold_start.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::active {
+namespace {
+
+/// 4 views x 2 features; view 1 tops feature 0, view 3 tops feature 1.
+ml::Matrix TestFeatures() {
+  return ml::Matrix{{0.1, 0.2}, {0.9, 0.1}, {0.3, 0.5}, {0.2, 0.8}};
+}
+
+TEST(ColdStartTest, SweepsFeatureToppersInOrder) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features);
+  vs::Rng rng(1);
+  std::vector<size_t> unlabeled = {0, 1, 2, 3};
+
+  auto first = policy.SelectNext(unlabeled, &rng);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);  // argmax of feature 0
+
+  auto second = policy.SelectNext(unlabeled, &rng);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 3u);  // argmax of feature 1
+}
+
+TEST(ColdStartTest, SkipsLabeledViews) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features);
+  vs::Rng rng(2);
+  std::vector<size_t> unlabeled = {0, 2, 3};  // view 1 already labeled
+  auto pick = policy.SelectNext(unlabeled, &rng);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 2u);  // next-best on feature 0
+}
+
+TEST(ColdStartTest, DoneAfterBothClassesObserved) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features);
+  EXPECT_FALSE(policy.Done());
+  policy.ReportLabel(0.9);  // positive
+  EXPECT_FALSE(policy.Done());
+  policy.ReportLabel(0.8);  // still only positive
+  EXPECT_FALSE(policy.Done());
+  policy.ReportLabel(0.1);  // negative
+  EXPECT_TRUE(policy.Done());
+}
+
+TEST(ColdStartTest, ThresholdIsConfigurable) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features, 0.8);
+  policy.ReportLabel(0.7);  // below 0.8 -> negative
+  policy.ReportLabel(0.85);
+  EXPECT_TRUE(policy.Done());
+}
+
+TEST(ColdStartTest, FallsBackToRandomAfterFeatureSweep) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features);
+  vs::Rng rng(3);
+  std::vector<size_t> unlabeled = {0, 1, 2, 3};
+  // Exhaust the two feature columns.
+  ASSERT_TRUE(policy.SelectNext(unlabeled, &rng).ok());
+  ASSERT_TRUE(policy.SelectNext(unlabeled, &rng).ok());
+  EXPECT_TRUE(policy.ExhaustedFeatureSweep());
+  // Subsequent picks are random but valid.
+  for (int i = 0; i < 20; ++i) {
+    auto pick = policy.SelectNext(unlabeled, &rng);
+    ASSERT_TRUE(pick.ok());
+    EXPECT_LT(*pick, 4u);
+  }
+}
+
+TEST(ColdStartTest, ErrorsOnEmptyPool) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features);
+  vs::Rng rng(4);
+  std::vector<size_t> empty;
+  auto r = policy.SelectNext(empty, &rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(ColdStartTest, ErrorsOnOutOfRangeIndex) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features);
+  vs::Rng rng(5);
+  std::vector<size_t> bad = {99};
+  EXPECT_FALSE(policy.SelectNext(bad, &rng).ok());
+}
+
+TEST(ColdStartTest, ErrorsOnNullRng) {
+  ml::Matrix features = TestFeatures();
+  ColdStartPolicy policy(&features);
+  std::vector<size_t> unlabeled = {0};
+  EXPECT_FALSE(policy.SelectNext(unlabeled, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace vs::active

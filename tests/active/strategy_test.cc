@@ -1,0 +1,185 @@
+#include "active/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "active/committee.h"
+#include "active/entropy.h"
+#include "active/margin.h"
+#include "active/random_strategy.h"
+#include "active/uncertainty.h"
+
+namespace vs::active {
+namespace {
+
+/// Pool of 5 one-feature views with feature values 0.0, 0.25, ..., 1.0.
+class StrategyTestFixture : public ::testing::Test {
+ protected:
+  StrategyTestFixture() : features_(5, 1), rng_(7) {
+    for (size_t i = 0; i < 5; ++i) {
+      features_(i, 0) = 0.25 * static_cast<double>(i);
+    }
+    unlabeled_ = {0, 1, 2, 3, 4};
+  }
+
+  QueryContext MakeContext() {
+    QueryContext ctx;
+    ctx.features = &features_;
+    ctx.unlabeled = &unlabeled_;
+    ctx.labeled = &labeled_;
+    ctx.labels = &labels_;
+    ctx.uncertainty_model = &uncertainty_;
+    ctx.utility_model = &utility_;
+    ctx.rng = &rng_;
+    return ctx;
+  }
+
+  /// Trains the uncertainty model so p(y=1) increases with the feature and
+  /// crosses 0.5 near feature value 0.5 (pool row 2).
+  void TrainUncertaintyModel() {
+    ml::Matrix x = {{0.0}, {0.25}, {0.75}, {1.0}};
+    ml::Vector y = {0.0, 0.0, 1.0, 1.0};
+    ASSERT_TRUE(uncertainty_.Fit(x, y).ok());
+  }
+
+  void TrainUtilityModel() {
+    ml::Matrix x = {{0.0}, {1.0}};
+    ASSERT_TRUE(utility_.Fit(x, {0.0, 1.0}).ok());
+  }
+
+  ml::Matrix features_;
+  std::vector<size_t> unlabeled_;
+  std::vector<size_t> labeled_;
+  std::vector<double> labels_;
+  ml::LogisticRegression uncertainty_;
+  ml::LinearRegression utility_;
+  vs::Rng rng_;
+};
+
+TEST_F(StrategyTestFixture, ValidateContextCatchesProblems) {
+  QueryContext ctx = MakeContext();
+  EXPECT_TRUE(ValidateContext(ctx).ok());
+
+  QueryContext no_features = ctx;
+  no_features.features = nullptr;
+  EXPECT_FALSE(ValidateContext(no_features).ok());
+
+  std::vector<size_t> empty;
+  QueryContext no_candidates = ctx;
+  no_candidates.unlabeled = &empty;
+  EXPECT_FALSE(ValidateContext(no_candidates).ok());
+
+  std::vector<size_t> oob = {99};
+  QueryContext bad_index = ctx;
+  bad_index.unlabeled = &oob;
+  EXPECT_FALSE(ValidateContext(bad_index).ok());
+}
+
+TEST_F(StrategyTestFixture, RandomChoicePicksFromCandidates) {
+  QueryContext ctx = MakeContext();
+  for (int i = 0; i < 50; ++i) {
+    auto pick = RandomChoice(ctx);
+    ASSERT_TRUE(pick.ok());
+    EXPECT_LT(*pick, 5u);
+  }
+}
+
+TEST_F(StrategyTestFixture, LeastConfidencePicksClosestToHalf) {
+  TrainUncertaintyModel();
+  LeastConfidenceStrategy strategy;
+  auto pick = strategy.SelectNext(MakeContext());
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 2u);  // feature 0.5 is the decision boundary
+}
+
+TEST_F(StrategyTestFixture, LeastConfidenceFallsBackToRandomWhenUnfitted) {
+  LeastConfidenceStrategy strategy;
+  auto pick = strategy.SelectNext(MakeContext());
+  ASSERT_TRUE(pick.ok());
+  EXPECT_LT(*pick, 5u);
+}
+
+TEST_F(StrategyTestFixture, LeastConfidenceRespectsCandidateSubset) {
+  TrainUncertaintyModel();
+  unlabeled_ = {0, 4};  // boundary view 2 not available
+  LeastConfidenceStrategy strategy;
+  auto pick = strategy.SelectNext(MakeContext());
+  ASSERT_TRUE(pick.ok());
+  EXPECT_TRUE(*pick == 0 || *pick == 4);
+}
+
+TEST_F(StrategyTestFixture, MarginAgreesWithLeastConfidenceOnBinary) {
+  TrainUncertaintyModel();
+  LeastConfidenceStrategy lc;
+  MarginStrategy margin;
+  EXPECT_EQ(*lc.SelectNext(MakeContext()), *margin.SelectNext(MakeContext()));
+}
+
+TEST_F(StrategyTestFixture, EntropyAgreesWithLeastConfidenceOnBinary) {
+  TrainUncertaintyModel();
+  LeastConfidenceStrategy lc;
+  EntropyStrategy entropy;
+  EXPECT_EQ(*lc.SelectNext(MakeContext()),
+            *entropy.SelectNext(MakeContext()));
+}
+
+TEST_F(StrategyTestFixture, GreedyPicksHighestPredictedUtility) {
+  TrainUtilityModel();
+  GreedyUtilityStrategy strategy;
+  auto pick = strategy.SelectNext(MakeContext());
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 4u);  // largest feature value
+}
+
+TEST_F(StrategyTestFixture, GreedyFallsBackWhenUnfitted) {
+  GreedyUtilityStrategy strategy;
+  auto pick = strategy.SelectNext(MakeContext());
+  ASSERT_TRUE(pick.ok());
+  EXPECT_LT(*pick, 5u);
+}
+
+TEST_F(StrategyTestFixture, CommitteeNeedsBothClassesElseRandom) {
+  QueryByCommitteeStrategy strategy;
+  labeled_ = {0, 1};
+  labels_ = {0.9, 0.8};  // both positive
+  auto pick = strategy.SelectNext(MakeContext());
+  ASSERT_TRUE(pick.ok());
+  EXPECT_LT(*pick, 5u);
+}
+
+TEST_F(StrategyTestFixture, CommitteeSelectsWithBothClasses) {
+  QueryByCommitteeStrategy strategy;
+  labeled_ = {0, 1, 3, 4};
+  labels_ = {0.0, 0.1, 0.9, 1.0};
+  unlabeled_ = {2};
+  auto pick = strategy.SelectNext(MakeContext());
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 2u);
+}
+
+TEST_F(StrategyTestFixture, CommitteeRejectsMisalignedLabels) {
+  QueryByCommitteeStrategy strategy;
+  labeled_ = {0, 1};
+  labels_ = {0.5};  // misaligned
+  EXPECT_FALSE(strategy.SelectNext(MakeContext()).ok());
+}
+
+TEST(StrategyFactoryTest, MakesEveryKnownStrategy) {
+  for (const std::string& name : AllStrategyNames()) {
+    auto strategy = MakeStrategy(name);
+    ASSERT_TRUE(strategy.ok()) << name;
+    EXPECT_EQ((*strategy)->name(), name);
+  }
+}
+
+TEST(StrategyFactoryTest, UnknownNameRejected) {
+  auto r = MakeStrategy("bogus");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(StrategyFactoryTest, CanonicalListHasSevenStrategies) {
+  EXPECT_EQ(AllStrategyNames().size(), 7u);
+}
+
+}  // namespace
+}  // namespace vs::active

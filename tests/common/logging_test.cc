@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace vs {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = Logger::GetLevel(); }
+  void TearDown() override { Logger::SetLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  Logger::SetLevel(LogLevel::kDebug);
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kDebug);
+  Logger::SetLevel(LogLevel::kError);
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MacroStreamsWithoutCrashing) {
+  Logger::SetLevel(LogLevel::kError);  // keep test output quiet
+  VS_LOG(kDebug) << "value=" << 42 << " name=" << "x";
+  VS_LOG(kInfo) << "suppressed";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, ErrorLevelAlwaysEmittable) {
+  Logger::SetLevel(LogLevel::kError);
+  Logger::Log(LogLevel::kError, "an error record (expected in test output)");
+  SUCCEED();
+}
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  VS_CHECK(1 + 1 == 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ VS_CHECK(false); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace vs

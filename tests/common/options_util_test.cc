@@ -1,0 +1,84 @@
+#include "common/options_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vs {
+namespace {
+
+TEST(OptionMapTest, ParsesKeyValuePairs) {
+  auto r = OptionMap::Parse("k=5;alpha=0.1;name=syn");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_TRUE(r->Has("k"));
+  EXPECT_EQ(*r->GetInt("k", 0), 5);
+  EXPECT_DOUBLE_EQ(*r->GetDouble("alpha", 0.0), 0.1);
+  EXPECT_EQ(*r->GetString("name", ""), "syn");
+}
+
+TEST(OptionMapTest, MissingKeysYieldDefaults) {
+  auto r = OptionMap::Parse("a=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r->GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(*r->GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(*r->GetString("missing", "dflt"), "dflt");
+  EXPECT_TRUE(*r->GetBool("missing", true));
+}
+
+TEST(OptionMapTest, WhitespaceAndEmptySegmentsTolerated) {
+  auto r = OptionMap::Parse("  a = 1 ; ; b=2;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(*r->GetInt("a", 0), 1);
+  EXPECT_EQ(*r->GetInt("b", 0), 2);
+}
+
+TEST(OptionMapTest, RejectsMissingEquals) {
+  EXPECT_FALSE(OptionMap::Parse("novalue").ok());
+}
+
+TEST(OptionMapTest, RejectsEmptyKey) {
+  EXPECT_FALSE(OptionMap::Parse("=5").ok());
+}
+
+TEST(OptionMapTest, RejectsDuplicateKeys) {
+  auto r = OptionMap::Parse("a=1;a=2");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+}
+
+TEST(OptionMapTest, MalformedPresentValueIsError) {
+  auto r = OptionMap::Parse("k=abc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->GetInt("k", 0).ok());
+  EXPECT_FALSE(r->GetDouble("k", 0.0).ok());
+  EXPECT_FALSE(r->GetBool("k", false).ok());
+  EXPECT_EQ(*r->GetString("k", ""), "abc");  // strings always fine
+}
+
+TEST(OptionMapTest, BoolSpellings) {
+  auto r = OptionMap::Parse("a=true;b=0;c=YES;d=off");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r->GetBool("a", false));
+  EXPECT_FALSE(*r->GetBool("b", true));
+  EXPECT_TRUE(*r->GetBool("c", false));
+  EXPECT_FALSE(*r->GetBool("d", true));
+}
+
+TEST(OptionMapTest, SetAndRoundTrip) {
+  OptionMap m;
+  m.Set("b", "2");
+  m.Set("a", "1");
+  EXPECT_EQ(m.ToString(), "a=1;b=2");  // sorted keys
+  auto parsed = OptionMap::Parse(m.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), m.ToString());
+}
+
+TEST(OptionMapTest, EmptySpecIsEmptyMap) {
+  auto r = OptionMap::Parse("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 0u);
+}
+
+}  // namespace
+}  // namespace vs

@@ -1,0 +1,69 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace vs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+}
+
+TEST(StatusTest, PredicatesAreMutuallyExclusive) {
+  Status s = Status::NotFound("x");
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsIOError());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotSupported), "NotSupported");
+}
+
+Status FailsThenPropagates(bool fail) {
+  VS_RETURN_IF_ERROR(fail ? Status::Aborted("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(FailsThenPropagates(false).ok());
+  Status s = FailsThenPropagates(true);
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace vs

@@ -1,0 +1,75 @@
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace vs {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  const double t1 = sw.ElapsedSeconds();
+  const double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, RestartResetsOrigin) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+TEST(StopwatchTest, MicrosConsistentWithSeconds) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const int64_t us = sw.ElapsedMicros();
+  const double s = sw.ElapsedSeconds();
+  EXPECT_LE(static_cast<double>(us) / 1e6, s + 1e-3);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  d.Charge(1'000'000'000);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, UnitBudgetExpiresExactly) {
+  Deadline d = Deadline::AfterUnits(3);
+  EXPECT_FALSE(d.Expired());
+  d.Charge();
+  d.Charge();
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.UnitsLeft(), 1);
+  d.Charge();
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, BulkChargeCanOvershoot) {
+  Deadline d = Deadline::AfterUnits(10);
+  d.Charge(25);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_LE(d.UnitsLeft(), 0);
+}
+
+TEST(DeadlineTest, WallClockDeadlineExpires) {
+  Deadline d = Deadline::AfterSeconds(0.0);
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, WallClockFutureNotYetExpired) {
+  Deadline d = Deadline::AfterSeconds(60.0);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ChargeIgnoredInWallClockMode) {
+  Deadline d = Deadline::AfterSeconds(60.0);
+  d.Charge(1'000'000);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.UnitsLeft(), 0);
+}
+
+}  // namespace
+}  // namespace vs

@@ -1,0 +1,74 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vs {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsImmediately) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  int value = 0;
+  pool.Submit([&value] { value = 7; });
+  EXPECT_EQ(value, 7);  // inline execution completes before return
+}
+
+TEST(ThreadPoolTest, WorkersRunAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, 5, [&counter](size_t) { counter.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineMode) {
+  ThreadPool pool(0);
+  std::vector<int> order;
+  pool.ParallelFor(0, 5, [&order](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // sequential
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SumViaParallelForMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long long> partial(101, 0);
+  pool.ParallelFor(1, 101, [&partial](size_t i) {
+    partial[i] = static_cast<long long>(i);
+  });
+  long long total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(total, 5050);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsSane) {
+  const size_t n = ThreadPool::DefaultThreads();
+  EXPECT_LT(n, 1024u);
+}
+
+}  // namespace
+}  // namespace vs

@@ -1,0 +1,88 @@
+#ifndef VS_TESTS_CORE_CORE_TEST_UTIL_H_
+#define VS_TESTS_CORE_CORE_TEST_UTIL_H_
+
+/// Shared fixtures for core-module tests: a small deterministic table with
+/// categorical dimensions and structured measures, plus its standard query
+/// subset and feature matrix.
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/feature_matrix.h"
+#include "core/utility_features.h"
+#include "core/view.h"
+#include "data/predicate.h"
+#include "data/table.h"
+
+namespace vs::core::testutil {
+
+/// 240 rows, dimensions color{red,green,blue} and size{S,L}, measures
+/// m1/m2 with color- and size-dependent means so views genuinely deviate.
+inline data::Table MiniTable() {
+  auto schema = *data::Schema::Make({
+      {"color", data::DataType::kString, data::FieldRole::kDimension},
+      {"size", data::DataType::kString, data::FieldRole::kDimension},
+      {"m1", data::DataType::kDouble, data::FieldRole::kMeasure},
+      {"m2", data::DataType::kDouble, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder builder(schema);
+  vs::Rng rng(12345);
+  const char* colors[] = {"red", "green", "blue"};
+  const char* sizes[] = {"S", "L"};
+  for (int i = 0; i < 240; ++i) {
+    const int c = static_cast<int>(rng.NextBounded(3));
+    const int s = static_cast<int>(rng.NextBounded(2));
+    // m1 depends on color, m2 on size; both positive.
+    const double m1 = (c + 1) * 2.0 + rng.NextDouble();
+    const double m2 = (s + 1) * 3.0 + rng.NextDouble();
+    auto status = builder.AppendRow({data::Value(colors[c]),
+                                     data::Value(sizes[s]), data::Value(m1),
+                                     data::Value(m2)});
+    (void)status;
+  }
+  return *builder.Build();
+}
+
+/// The standard query subset: color == "red".
+inline data::SelectionVector MiniQuerySelection(const data::Table& table) {
+  return *data::SelectRows(
+      table, data::Compare("color", data::CompareOp::kEq,
+                           data::Value("red")));
+}
+
+/// All views of MiniTable: 2 dims x 2 measures x 5 funcs = 20.
+inline std::vector<ViewSpec> MiniViews(const data::Table& table) {
+  return *EnumerateViews(table, ViewEnumerationOptions{});
+}
+
+/// Holds the table and registry alive alongside the matrix (FeatureMatrix
+/// borrows both); everything is heap-allocated so MiniWorld can be moved
+/// without invalidating the matrix's borrowed pointers.
+struct MiniWorld {
+  std::unique_ptr<data::Table> table;
+  data::SelectionVector query;
+  std::vector<ViewSpec> views;
+  std::unique_ptr<UtilityFeatureRegistry> registry;
+  std::unique_ptr<FeatureMatrix> matrix;
+};
+
+inline MiniWorld MakeMiniWorld(double sample_rate = 1.0,
+                               uint64_t seed = 123) {
+  MiniWorld world;
+  world.table = std::make_unique<data::Table>(MiniTable());
+  world.query = MiniQuerySelection(*world.table);
+  world.views = MiniViews(*world.table);
+  world.registry = std::make_unique<UtilityFeatureRegistry>(
+      UtilityFeatureRegistry::Default());
+  FeatureMatrixOptions options;
+  options.sample_rate = sample_rate;
+  options.seed = seed;
+  world.matrix = std::make_unique<FeatureMatrix>(
+      *FeatureMatrix::Build(world.table.get(), world.views, world.query,
+                            world.registry.get(), options));
+  return world;
+}
+
+}  // namespace vs::core::testutil
+
+#endif  // VS_TESTS_CORE_CORE_TEST_UTIL_H_

@@ -1,0 +1,113 @@
+#include "core/diversify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core_test_util.h"
+
+namespace vs::core {
+namespace {
+
+std::vector<double> UtilityByEmd(const FeatureMatrix& matrix) {
+  std::vector<double> scores(matrix.num_views());
+  for (size_t i = 0; i < matrix.num_views(); ++i) {
+    scores[i] = matrix.normalized()(i, 1);  // EMD column
+  }
+  return scores;
+}
+
+TEST(DiversifyTest, LambdaZeroIsPlainTopK) {
+  auto world = testutil::MakeMiniWorld();
+  auto scores = UtilityByEmd(*world.matrix);
+  DiversifyOptions options;
+  options.k = 5;
+  options.lambda = 0.0;
+  auto diversified = DiversifiedTopK(*world.matrix, scores, options);
+  ASSERT_TRUE(diversified.ok());
+  EXPECT_EQ(*diversified, TopKIndices(scores, 5));
+}
+
+TEST(DiversifyTest, FirstPickIsAlwaysTheBestView) {
+  auto world = testutil::MakeMiniWorld();
+  auto scores = UtilityByEmd(*world.matrix);
+  for (double lambda : {0.1, 0.5, 0.9}) {
+    DiversifyOptions options;
+    options.k = 4;
+    options.lambda = lambda;
+    auto selected = DiversifiedTopK(*world.matrix, scores, options);
+    ASSERT_TRUE(selected.ok());
+    EXPECT_EQ((*selected)[0], TopKIndices(scores, 1)[0]);
+  }
+}
+
+TEST(DiversifyTest, SelectionIsDistinctAndSizedK) {
+  auto world = testutil::MakeMiniWorld();
+  auto scores = UtilityByEmd(*world.matrix);
+  DiversifyOptions options;
+  options.k = 8;
+  options.lambda = 0.5;
+  auto selected = DiversifiedTopK(*world.matrix, scores, options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 8u);
+  std::set<size_t> unique(selected->begin(), selected->end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(DiversifyTest, DiversityIncreasesPairwiseSpread) {
+  auto world = testutil::MakeMiniWorld();
+  auto scores = UtilityByEmd(*world.matrix);
+  const ml::Matrix& rows = world.matrix->normalized();
+  auto spread = [&rows](const std::vector<size_t>& views) {
+    double total = 0.0;
+    int pairs = 0;
+    for (size_t a = 0; a < views.size(); ++a) {
+      for (size_t b = a + 1; b < views.size(); ++b) {
+        double acc = 0.0;
+        for (size_t j = 0; j < rows.cols(); ++j) {
+          const double d = rows(views[a], j) - rows(views[b], j);
+          acc += d * d;
+        }
+        total += std::sqrt(acc);
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+  DiversifyOptions plain;
+  plain.k = 5;
+  plain.lambda = 0.0;
+  DiversifyOptions diverse;
+  diverse.k = 5;
+  diverse.lambda = 0.8;
+  auto base = DiversifiedTopK(*world.matrix, scores, plain);
+  auto spread_out = DiversifiedTopK(*world.matrix, scores, diverse);
+  ASSERT_TRUE(base.ok() && spread_out.ok());
+  EXPECT_GE(spread(*spread_out), spread(*base));
+}
+
+TEST(DiversifyTest, KClampsToPool) {
+  auto world = testutil::MakeMiniWorld();
+  auto scores = UtilityByEmd(*world.matrix);
+  DiversifyOptions options;
+  options.k = 1000;
+  options.lambda = 0.5;
+  auto selected = DiversifiedTopK(*world.matrix, scores, options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), world.matrix->num_views());
+}
+
+TEST(DiversifyTest, Validation) {
+  auto world = testutil::MakeMiniWorld();
+  std::vector<double> wrong_size(3, 0.0);
+  DiversifyOptions options;
+  EXPECT_FALSE(DiversifiedTopK(*world.matrix, wrong_size, options).ok());
+  auto scores = UtilityByEmd(*world.matrix);
+  options.k = 0;
+  EXPECT_FALSE(DiversifiedTopK(*world.matrix, scores, options).ok());
+  options.k = 5;
+  options.lambda = 1.5;
+  EXPECT_FALSE(DiversifiedTopK(*world.matrix, scores, options).ok());
+}
+
+}  // namespace
+}  // namespace vs::core

@@ -1,0 +1,89 @@
+#include "core/estimators.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::core {
+namespace {
+
+ml::Matrix PoolFeatures() {
+  // 6 views x 2 features.
+  return ml::Matrix{{0.0, 0.0}, {0.2, 0.1}, {0.4, 0.9},
+                    {0.6, 0.3}, {0.8, 0.7}, {1.0, 1.0}};
+}
+
+TEST(ViewUtilityEstimatorTest, LearnsLinearUtility) {
+  ml::Matrix pool = PoolFeatures();
+  // u = 0.5 * f0 + 0.5 * f1 labels on 4 of the 6 views.
+  std::vector<size_t> labeled = {0, 2, 3, 5};
+  std::vector<double> labels;
+  for (size_t i : labeled) {
+    labels.push_back(0.5 * pool(i, 0) + 0.5 * pool(i, 1));
+  }
+  ViewUtilityEstimator estimator;
+  ASSERT_TRUE(estimator.Refit(pool, labeled, labels).ok());
+  EXPECT_TRUE(estimator.fitted());
+  auto scores = estimator.ScoreAll(pool);
+  ASSERT_TRUE(scores.ok());
+  // Held-out views should score near their true utility.
+  EXPECT_NEAR((*scores)[1], 0.15, 0.05);
+  EXPECT_NEAR((*scores)[4], 0.75, 0.05);
+}
+
+TEST(ViewUtilityEstimatorTest, SingleLabelIsEnough) {
+  ml::Matrix pool = PoolFeatures();
+  ViewUtilityEstimator estimator;
+  ASSERT_TRUE(estimator.Refit(pool, {3}, {0.7}).ok());
+  EXPECT_TRUE(estimator.fitted());
+  auto s = estimator.Score(pool.Row(3));
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(*s, 0.7, 1e-6);
+}
+
+TEST(ViewUtilityEstimatorTest, RefitValidation) {
+  ml::Matrix pool = PoolFeatures();
+  ViewUtilityEstimator estimator;
+  EXPECT_FALSE(estimator.Refit(pool, {}, {}).ok());
+  EXPECT_FALSE(estimator.Refit(pool, {0, 1}, {0.5}).ok());
+  EXPECT_FALSE(estimator.Refit(pool, {99}, {0.5}).ok());
+  EXPECT_FALSE(estimator.fitted());
+  EXPECT_FALSE(estimator.ScoreAll(pool).ok());
+}
+
+TEST(UncertaintyEstimatorTest, StaysUnfittedWithSingleClass) {
+  ml::Matrix pool = PoolFeatures();
+  UncertaintyEstimator estimator;
+  ASSERT_TRUE(estimator.Refit(pool, {0, 1}, {0.1, 0.2}).ok());
+  EXPECT_FALSE(estimator.fitted());
+  ASSERT_TRUE(estimator.Refit(pool, {4, 5}, {0.9, 1.0}).ok());
+  EXPECT_FALSE(estimator.fitted());
+}
+
+TEST(UncertaintyEstimatorTest, FitsOnceBothClassesPresent) {
+  ml::Matrix pool = PoolFeatures();
+  UncertaintyEstimator estimator;
+  ASSERT_TRUE(
+      estimator.Refit(pool, {0, 1, 4, 5}, {0.1, 0.2, 0.9, 1.0}).ok());
+  EXPECT_TRUE(estimator.fitted());
+  // Monotone: higher features -> higher probability.
+  EXPECT_GT(*estimator.PredictProba(pool.Row(5)),
+            *estimator.PredictProba(pool.Row(0)));
+}
+
+TEST(UncertaintyEstimatorTest, ThresholdControlsClassSplit) {
+  ml::Matrix pool = PoolFeatures();
+  UncertaintyEstimator strict({}, 0.95);
+  // Labels 0.9 and 0.1 are both negative under the 0.95 threshold.
+  ASSERT_TRUE(strict.Refit(pool, {0, 5}, {0.1, 0.9}).ok());
+  EXPECT_FALSE(strict.fitted());
+  EXPECT_DOUBLE_EQ(strict.positive_threshold(), 0.95);
+}
+
+TEST(UncertaintyEstimatorTest, RefitValidation) {
+  ml::Matrix pool = PoolFeatures();
+  UncertaintyEstimator estimator;
+  EXPECT_FALSE(estimator.Refit(pool, {0}, {0.1, 0.9}).ok());
+  EXPECT_FALSE(estimator.PredictProba(pool.Row(0)).ok());  // unfitted
+}
+
+}  // namespace
+}  // namespace vs::core

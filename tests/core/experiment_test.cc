@@ -1,0 +1,207 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace vs::core {
+namespace {
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.k = 5;
+  config.max_labels = 20;
+  config.seed = 3;
+  return config;
+}
+
+TEST(ExperimentTest, ConvergesOnSingleComponentIdeal) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[1];  // EMD
+  auto r = RunSimulatedSession(*world.matrix, nullptr, ideal, FastConfig());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reached_target);
+  EXPECT_DOUBLE_EQ(r->final_precision, 1.0);
+  EXPECT_GT(r->labels_to_target, 0);
+  EXPECT_LE(r->labels_to_target, 20);
+  EXPECT_FALSE(r->trajectory.empty());
+}
+
+TEST(ExperimentTest, TrajectoryLabelsAreMonotone) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[3];
+  auto r = RunSimulatedSession(*world.matrix, nullptr, ideal, FastConfig());
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->trajectory.size(); ++i) {
+    EXPECT_GT(r->trajectory[i].labels, r->trajectory[i - 1].labels);
+  }
+}
+
+TEST(ExperimentTest, UdStopMode) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[0];
+  ExperimentConfig config = FastConfig();
+  config.stop_on_ud_zero = true;
+  auto r = RunSimulatedSession(*world.matrix, nullptr, ideal, config);
+  ASSERT_TRUE(r.ok());
+  if (r->reached_target) {
+    EXPECT_NEAR(r->final_ud, 0.0, 1e-9);
+  }
+}
+
+TEST(ExperimentTest, MaxLabelsCapRespected) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[10];
+  ExperimentConfig config = FastConfig();
+  config.max_labels = 3;
+  config.target_precision = 1.01;  // unreachable -> must hit the cap
+  auto r = RunSimulatedSession(*world.matrix, nullptr, ideal, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->reached_target);
+  EXPECT_EQ(r->labels_to_target, 3);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[4];
+  auto a = RunSimulatedSession(*world.matrix, nullptr, ideal, FastConfig());
+  auto b = RunSimulatedSession(*world.matrix, nullptr, ideal, FastConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels_to_target, b->labels_to_target);
+  ASSERT_EQ(a->trajectory.size(), b->trajectory.size());
+  for (size_t i = 0; i < a->trajectory.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->trajectory[i].precision,
+                     b->trajectory[i].precision);
+  }
+}
+
+TEST(ExperimentTest, RefinementModeRunsOnRoughMatrix) {
+  auto exact = testutil::MakeMiniWorld(1.0);
+  auto rough = testutil::MakeMiniWorld(0.3, 17);
+  IdealUtilityFunction ideal = Table2Presets()[1];
+  ExperimentConfig config = FastConfig();
+  config.refine = true;
+  config.refine_views_per_iteration = 2;
+  config.max_labels = 10;
+  // Unreachable target so the session never stops early and refinement is
+  // guaranteed to run between iterations.
+  config.target_precision = 1.01;
+  auto r = RunSimulatedSession(*exact.matrix, rough.matrix.get(), ideal,
+                               config);
+  ASSERT_TRUE(r.ok());
+  // Refinement must have upgraded at least some rows (2 per iteration).
+  EXPECT_GE(rough.matrix->num_exact(), 10u);
+  EXPECT_FALSE(r->trajectory.empty());
+}
+
+TEST(ExperimentTest, PrunedRefinementConvergesLikeUnpruned) {
+  auto exact = testutil::MakeMiniWorld(1.0);
+  auto rough_plain = testutil::MakeMiniWorld(0.3, 17);
+  auto rough_pruned = testutil::MakeMiniWorld(0.3, 17);
+  IdealUtilityFunction ideal = Table2Presets()[1];
+
+  ExperimentConfig config = FastConfig();
+  config.refine = true;
+  config.refine_views_per_iteration = 3;
+  config.stop_on_ud_zero = true;
+  config.max_labels = 40;
+  auto plain = RunSimulatedSession(*exact.matrix, rough_plain.matrix.get(),
+                                   ideal, config);
+  ASSERT_TRUE(plain.ok());
+
+  config.prune = true;
+  config.prune_margin = 0.25;
+  auto pruned = RunSimulatedSession(*exact.matrix,
+                                    rough_pruned.matrix.get(), ideal,
+                                    config);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->reached_target, plain->reached_target);
+  // Pruning must not refine MORE views than the unpruned run.
+  EXPECT_LE(rough_pruned.matrix->num_exact(),
+            rough_plain.matrix->num_exact());
+}
+
+TEST(ExperimentTest, RefineWithoutWorkingMatrixRejected) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[0];
+  ExperimentConfig config = FastConfig();
+  config.refine = true;
+  EXPECT_FALSE(
+      RunSimulatedSession(*world.matrix, nullptr, ideal, config).ok());
+}
+
+TEST(ExperimentTest, ZeroMaxLabelsRejected) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[0];
+  ExperimentConfig config = FastConfig();
+  config.max_labels = 0;
+  EXPECT_FALSE(
+      RunSimulatedSession(*world.matrix, nullptr, ideal, config).ok());
+}
+
+TEST(ExperimentTest, MultipleViewsPerIterationConverges) {
+  // The paper's M parameter (views presented per iteration, default 1).
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[1];
+  ExperimentConfig config = FastConfig();
+  config.views_per_iteration = 3;
+  auto r = RunSimulatedSession(*world.matrix, nullptr, ideal, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reached_target);
+  // Labels arrive in batches of M, so the trajectory steps by 3.
+  ASSERT_GE(r->trajectory.size(), 1u);
+  EXPECT_EQ(r->trajectory[0].labels, 3);
+}
+
+TEST(ExperimentTest, QuantizedLabelsStillConverge) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[1];
+  ExperimentConfig config = FastConfig();
+  config.label_quantization = 0.05;
+  config.tie_epsilon = 0.025;
+  config.max_labels = 25;
+  auto r = RunSimulatedSession(*world.matrix, nullptr, ideal, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->final_precision, 0.8);
+}
+
+TEST(ExperimentTest, NoisyLabelsStillProgress) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[1];
+  ExperimentConfig config = FastConfig();
+  config.label_noise = 0.05;
+  config.max_labels = 20;
+  auto r = RunSimulatedSession(*world.matrix, nullptr, ideal, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->final_precision, 0.2);
+}
+
+TEST(ExperimentTest, AverageLabelsAggregates) {
+  auto world = testutil::MakeMiniWorld();
+  auto avg = AverageLabelsToTarget(*world.matrix,
+                                   Table2PresetsWithComponents(1),
+                                   FastConfig());
+  ASSERT_TRUE(avg.ok());
+  EXPECT_GT(*avg, 0.0);
+  EXPECT_LE(*avg, 20.0);
+  EXPECT_FALSE(AverageLabelsToTarget(*world.matrix, {}, FastConfig()).ok());
+}
+
+TEST(ExperimentTest, RandomStrategyNeedsMoreLabelsThanUncertainty) {
+  // The paper's core claim in miniature: averaged over the composite
+  // presets, uncertainty sampling should not be worse than random.
+  auto world = testutil::MakeMiniWorld();
+  ExperimentConfig uncertainty = FastConfig();
+  uncertainty.max_labels = 20;
+  ExperimentConfig random = uncertainty;
+  random.strategy = "random";
+  random.seed = 3;
+  auto presets = Table2PresetsWithComponents(2);
+  auto u = AverageLabelsToTarget(*world.matrix, presets, uncertainty);
+  auto r = AverageLabelsToTarget(*world.matrix, presets, random);
+  ASSERT_TRUE(u.ok() && r.ok());
+  EXPECT_LE(*u, *r + 3.0);  // allow slack on the tiny pool
+}
+
+}  // namespace
+}  // namespace vs::core

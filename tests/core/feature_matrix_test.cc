@@ -1,0 +1,264 @@
+#include "core/feature_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+
+namespace vs::core {
+namespace {
+
+TEST(FeatureMatrixTest, ExactBuildShape) {
+  auto world = testutil::MakeMiniWorld();
+  EXPECT_EQ(world.matrix->num_views(), 20u);
+  EXPECT_EQ(world.matrix->num_features(), 8u);
+  EXPECT_TRUE(world.matrix->AllExact());
+  EXPECT_EQ(world.matrix->num_exact(), 20u);
+}
+
+TEST(FeatureMatrixTest, NormalizedColumnsInUnitInterval) {
+  auto world = testutil::MakeMiniWorld();
+  const ml::Matrix& n = world.matrix->normalized();
+  for (size_t i = 0; i < n.rows(); ++i) {
+    for (size_t j = 0; j < n.cols(); ++j) {
+      EXPECT_GE(n(i, j), 0.0);
+      EXPECT_LE(n(i, j), 1.0);
+    }
+  }
+  // Each column attains both 0 and 1 (non-constant columns).
+  for (size_t j = 0; j < n.cols(); ++j) {
+    double lo = 1.0;
+    double hi = 0.0;
+    for (size_t i = 0; i < n.rows(); ++i) {
+      lo = std::min(lo, n(i, j));
+      hi = std::max(hi, n(i, j));
+    }
+    EXPECT_DOUBLE_EQ(lo, 0.0) << "column " << j;
+    // A constant raw column normalizes to all zeros, so only check hi when
+    // the column varies.
+    if (hi > 0.0) {
+      EXPECT_DOUBLE_EQ(hi, 1.0) << "column " << j;
+    }
+  }
+}
+
+TEST(FeatureMatrixTest, RawValuesAreFinite) {
+  auto world = testutil::MakeMiniWorld();
+  const ml::Matrix& raw = world.matrix->raw();
+  for (size_t i = 0; i < raw.rows(); ++i) {
+    for (size_t j = 0; j < raw.cols(); ++j) {
+      EXPECT_TRUE(std::isfinite(raw(i, j)));
+    }
+  }
+}
+
+TEST(FeatureMatrixTest, SampledBuildIsRoughButRefinable) {
+  auto exact = testutil::MakeMiniWorld(1.0);
+  auto rough = testutil::MakeMiniWorld(0.3, 77);
+  EXPECT_FALSE(rough.matrix->AllExact());
+  EXPECT_EQ(rough.matrix->num_exact(), 0u);
+
+  // Refine every row: raw values must then match the exact build.
+  for (size_t i = 0; i < rough.matrix->num_views(); ++i) {
+    ASSERT_TRUE(rough.matrix->RefineRow(i).ok());
+    EXPECT_TRUE(rough.matrix->IsExact(i));
+  }
+  EXPECT_TRUE(rough.matrix->AllExact());
+  for (size_t i = 0; i < rough.matrix->num_views(); ++i) {
+    for (size_t j = 0; j < rough.matrix->num_features(); ++j) {
+      EXPECT_NEAR(rough.matrix->raw()(i, j), exact.matrix->raw()(i, j),
+                  1e-12)
+          << "view " << i << " feature " << j;
+    }
+  }
+}
+
+TEST(FeatureMatrixTest, RoughFeaturesApproximateExact) {
+  auto exact = testutil::MakeMiniWorld(1.0);
+  auto rough = testutil::MakeMiniWorld(0.5, 5);
+  // Rough EMD should correlate with exact EMD across views (rank check on
+  // the extremes).
+  const size_t emd = 1;
+  double max_exact = -1.0;
+  size_t argmax_exact = 0;
+  for (size_t i = 0; i < exact.matrix->num_views(); ++i) {
+    if (exact.matrix->raw()(i, emd) > max_exact) {
+      max_exact = exact.matrix->raw()(i, emd);
+      argmax_exact = i;
+    }
+  }
+  // The exact-best view should be at least above-median under rough.
+  std::vector<double> rough_col;
+  for (size_t i = 0; i < rough.matrix->num_views(); ++i) {
+    rough_col.push_back(rough.matrix->raw()(i, emd));
+  }
+  std::vector<double> sorted = rough_col;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GE(rough_col[argmax_exact], sorted[sorted.size() / 2]);
+}
+
+TEST(FeatureMatrixTest, RefineRowIsIdempotent) {
+  auto rough = testutil::MakeMiniWorld(0.3);
+  ASSERT_TRUE(rough.matrix->RefineRow(0).ok());
+  const double v = rough.matrix->raw()(0, 0);
+  ASSERT_TRUE(rough.matrix->RefineRow(0).ok());  // no-op
+  EXPECT_DOUBLE_EQ(rough.matrix->raw()(0, 0), v);
+  EXPECT_EQ(rough.matrix->num_exact(), 1u);
+}
+
+TEST(FeatureMatrixTest, RefinementInvalidatesNormalization) {
+  auto rough = testutil::MakeMiniWorld(0.3);
+  const ml::Matrix before = rough.matrix->normalized();
+  for (size_t i = 0; i < rough.matrix->num_views(); ++i) {
+    ASSERT_TRUE(rough.matrix->RefineRow(i).ok());
+  }
+  const ml::Matrix& after = rough.matrix->normalized();
+  // At least one normalized entry must have moved.
+  bool changed = false;
+  for (size_t i = 0; i < before.rows() && !changed; ++i) {
+    for (size_t j = 0; j < before.cols() && !changed; ++j) {
+      if (std::fabs(before(i, j) - after(i, j)) > 1e-12) changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(FeatureMatrixTest, NormalizedRowMatchesMatrix) {
+  auto world = testutil::MakeMiniWorld();
+  ml::Vector row = world.matrix->NormalizedRow(3);
+  for (size_t j = 0; j < row.size(); ++j) {
+    EXPECT_DOUBLE_EQ(row[j], world.matrix->normalized()(3, j));
+  }
+}
+
+TEST(FeatureMatrixTest, BuildValidation) {
+  auto world = testutil::MakeMiniWorld();
+  FeatureMatrixOptions options;
+  auto registry = UtilityFeatureRegistry::Default();
+
+  EXPECT_FALSE(FeatureMatrix::Build(nullptr, world.views, world.query,
+                                    &registry, options)
+                   .ok());
+  EXPECT_FALSE(FeatureMatrix::Build(world.table.get(), {}, world.query,
+                                    &registry, options)
+                   .ok());
+  EXPECT_FALSE(FeatureMatrix::Build(world.table.get(), world.views,
+                                    world.query, nullptr, options)
+                   .ok());
+  options.sample_rate = 0.0;
+  EXPECT_FALSE(FeatureMatrix::Build(world.table.get(), world.views,
+                                    world.query, &registry, options)
+                   .ok());
+  options.sample_rate = 1.5;
+  EXPECT_FALSE(FeatureMatrix::Build(world.table.get(), world.views,
+                                    world.query, &registry, options)
+                   .ok());
+  options.sample_rate = 1.0;
+  data::SelectionVector bad_query = {9999999};
+  EXPECT_FALSE(FeatureMatrix::Build(world.table.get(), world.views,
+                                    bad_query, &registry, options)
+                   .ok());
+
+  UtilityFeatureRegistry empty;
+  EXPECT_FALSE(FeatureMatrix::Build(world.table.get(), world.views,
+                                    world.query, &empty, options)
+                   .ok());
+}
+
+TEST(FeatureMatrixTest, RefineRowOutOfRange) {
+  auto world = testutil::MakeMiniWorld(0.5);
+  EXPECT_FALSE(world.matrix->RefineRow(9999).ok());
+}
+
+TEST(FeatureMatrixTest, RefineCostReflectsTableSize) {
+  auto world = testutil::MakeMiniWorld();
+  EXPECT_EQ(world.matrix->RefineCostPerRow(),
+            static_cast<int64_t>(world.table->num_rows() +
+                                 world.query.size()));
+}
+
+TEST(FeatureMatrixTest, ParallelBuildMatchesSequential) {
+  auto world = testutil::MakeMiniWorld();
+  FeatureMatrixOptions parallel_options;
+  parallel_options.num_threads = 3;
+  auto parallel = FeatureMatrix::Build(world.table.get(), world.views,
+                                       world.query, world.registry.get(),
+                                       parallel_options);
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < world.matrix->num_views(); ++i) {
+    for (size_t j = 0; j < world.matrix->num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(parallel->raw()(i, j), world.matrix->raw()(i, j))
+          << "view " << i << " feature " << j;
+    }
+  }
+  EXPECT_TRUE(parallel->AllExact());
+}
+
+TEST(FeatureMatrixTest, ParallelRoughBuildMatchesSequentialRough) {
+  auto sequential = testutil::MakeMiniWorld(0.4, 9);
+  FeatureMatrixOptions options;
+  options.sample_rate = 0.4;
+  options.seed = 9;
+  options.num_threads = 2;
+  auto parallel = FeatureMatrix::Build(
+      sequential.table.get(), sequential.views, sequential.query,
+      sequential.registry.get(), options);
+  ASSERT_TRUE(parallel.ok());
+  for (size_t i = 0; i < sequential.matrix->num_views(); ++i) {
+    for (size_t j = 0; j < sequential.matrix->num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(parallel->raw()(i, j),
+                       sequential.matrix->raw()(i, j));
+    }
+  }
+  EXPECT_FALSE(parallel->AllExact());
+}
+
+TEST(FeatureMatrixTest, PerViewModeMatchesSharedScan) {
+  auto world = testutil::MakeMiniWorld();  // shared scan by default
+  FeatureMatrixOptions options;
+  options.shared_scan = false;
+  auto per_view = FeatureMatrix::Build(world.table.get(), world.views,
+                                       world.query, world.registry.get(),
+                                       options);
+  ASSERT_TRUE(per_view.ok());
+  for (size_t i = 0; i < world.matrix->num_views(); ++i) {
+    for (size_t j = 0; j < world.matrix->num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(per_view->raw()(i, j), world.matrix->raw()(i, j));
+    }
+  }
+}
+
+TEST(FeatureMatrixTest, PerViewRefinementMatchesSharedScanRefinement) {
+  FeatureMatrixOptions rough_options;
+  rough_options.sample_rate = 0.3;
+  rough_options.seed = 21;
+  auto shared = testutil::MakeMiniWorld(0.3, 21);
+  rough_options.shared_scan = false;
+  auto per_view = FeatureMatrix::Build(shared.table.get(), shared.views,
+                                       shared.query, shared.registry.get(),
+                                       rough_options);
+  ASSERT_TRUE(per_view.ok());
+  std::vector<size_t> rows = {0, 3, 7, 8, 9};
+  ASSERT_TRUE(shared.matrix->RefineRows(rows).ok());
+  ASSERT_TRUE(per_view->RefineRows(rows).ok());
+  for (size_t i : rows) {
+    for (size_t j = 0; j < per_view->num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(per_view->raw()(i, j), shared.matrix->raw()(i, j));
+    }
+  }
+  EXPECT_EQ(per_view->num_exact(), rows.size());
+}
+
+TEST(FeatureMatrixTest, DeterministicAcrossBuilds) {
+  auto a = testutil::MakeMiniWorld(0.4, 9);
+  auto b = testutil::MakeMiniWorld(0.4, 9);
+  for (size_t i = 0; i < a.matrix->num_views(); ++i) {
+    for (size_t j = 0; j < a.matrix->num_features(); ++j) {
+      EXPECT_DOUBLE_EQ(a.matrix->raw()(i, j), b.matrix->raw()(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vs::core

@@ -1,0 +1,121 @@
+#include "core/heatmap.h"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+namespace vs::core {
+namespace {
+
+TEST(HeatmapViewSpecTest, IdFormat) {
+  HeatmapViewSpec v{"a", "b", "m", data::AggregateFunction::kAvg, 0, 0};
+  EXPECT_EQ(v.Id(), "HEATMAP AVG(m) BY a x b");
+  HeatmapViewSpec binned{"x", "y", "m", data::AggregateFunction::kCount, 3,
+                         4};
+  EXPECT_EQ(binned.Id(), "HEATMAP COUNT(m) BY x x y/3x4");
+}
+
+TEST(EnumerateHeatmapViewsTest, PairCount) {
+  data::Table t = testutil::MiniTable();  // 2 dims, 2 measures
+  auto views = EnumerateHeatmapViews(t, {});
+  ASSERT_TRUE(views.ok());
+  // C(2,2)=1 pair x 2 measures x 5 funcs.
+  EXPECT_EQ(views->size(), 10u);
+}
+
+TEST(EnumerateHeatmapViewsTest, DiabPairCount) {
+  data::DiabetesOptions options;
+  options.num_rows = 200;
+  auto t = data::GenerateDiabetes(options);
+  HeatmapEnumerationOptions enum_options;
+  enum_options.functions = {data::AggregateFunction::kAvg};
+  auto views = EnumerateHeatmapViews(*t, enum_options);
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), 21u * 8u);  // C(7,2) pairs x 8 measures
+}
+
+TEST(EnumerateHeatmapViewsTest, NeedsTwoDimensions) {
+  auto schema = *data::Schema::Make({
+      {"d", data::DataType::kString, data::FieldRole::kDimension},
+      {"m", data::DataType::kDouble, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder b(schema);
+  auto st = b.AppendRow({data::Value("x"), data::Value(1.0)});
+  (void)st;
+  auto views = EnumerateHeatmapViews(*b.Build(), {});
+  EXPECT_FALSE(views.ok());
+}
+
+TEST(MaterializeHeatmapTest, GridsAlignAndNormalize) {
+  data::Table t = testutil::MiniTable();
+  auto query = testutil::MiniQuerySelection(t);
+  HeatmapViewSpec spec{"color", "size", "m1",
+                       data::AggregateFunction::kSum, 0, 0};
+  auto mat = MaterializeHeatmap(t, spec, query);
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(mat->target.num_cells(), mat->reference.num_cells());
+  EXPECT_EQ(mat->target.row_labels, mat->reference.row_labels);
+  EXPECT_TRUE(stats::IsValidDistribution(mat->target_dist));
+  EXPECT_TRUE(stats::IsValidDistribution(mat->reference_dist));
+}
+
+TEST(MaterializeHeatmapTest, QueryMassConcentratesInFilteredRow) {
+  data::Table t = testutil::MiniTable();
+  auto query = testutil::MiniQuerySelection(t);  // color == red
+  HeatmapViewSpec spec{"color", "size", "m1",
+                       data::AggregateFunction::kCount, 0, 0};
+  auto mat = MaterializeHeatmap(t, spec, query);
+  ASSERT_TRUE(mat.ok());
+  // All target mass must be in the "red" grid row.
+  size_t red_row = 0;
+  for (size_t r = 0; r < mat->target.num_rows(); ++r) {
+    if (mat->target.row_labels[r] == "red") red_row = r;
+  }
+  double red_mass = 0.0;
+  for (size_t c = 0; c < mat->target.num_cols(); ++c) {
+    red_mass +=
+        mat->target_dist[red_row * mat->target.num_cols() + c];
+  }
+  EXPECT_DOUBLE_EQ(red_mass, 1.0);
+}
+
+TEST(RecommendHeatmapsTest, ReturnsKRankedViews) {
+  data::Table t = testutil::MiniTable();
+  auto query = testutil::MiniQuerySelection(t);
+  auto views = *EnumerateHeatmapViews(t, {});
+  auto rec = RecommendHeatmaps(t, views, query,
+                               stats::DistanceKind::kL1, 3);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 3u);
+}
+
+TEST(RecommendHeatmapsTest, Validation) {
+  data::Table t = testutil::MiniTable();
+  auto query = testutil::MiniQuerySelection(t);
+  auto views = *EnumerateHeatmapViews(t, {});
+  EXPECT_FALSE(
+      RecommendHeatmaps(t, views, query, stats::DistanceKind::kL1, 0).ok());
+  EXPECT_FALSE(
+      RecommendHeatmaps(t, {}, query, stats::DistanceKind::kL1, 3).ok());
+}
+
+TEST(RecommendHeatmapsTest, WorksOnClinicalData) {
+  data::DiabetesOptions options;
+  options.num_rows = 2000;
+  auto t = data::GenerateDiabetes(options);
+  auto query = *data::SelectRows(
+      *t, data::Compare("gender", data::CompareOp::kEq,
+                        data::Value("Female")));
+  HeatmapEnumerationOptions enum_options;
+  enum_options.functions = {data::AggregateFunction::kAvg};
+  auto views = *EnumerateHeatmapViews(*t, enum_options);
+  auto rec = RecommendHeatmaps(*t, views, query,
+                               stats::DistanceKind::kEMD, 5);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 5u);
+}
+
+}  // namespace
+}  // namespace vs::core

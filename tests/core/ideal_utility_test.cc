@@ -1,0 +1,95 @@
+#include "core/ideal_utility.h"
+
+#include <gtest/gtest.h>
+
+#include "core/utility_features.h"
+
+namespace vs::core {
+namespace {
+
+TEST(IdealUtilityTest, FromComponentsBuildsSparseWeights) {
+  auto fn = IdealUtilityFunction::FromComponents(
+      "test", 8, {{1, 0.5}, {0, 0.5}});
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ(fn->weights().size(), 8u);
+  EXPECT_DOUBLE_EQ(fn->weights()[0], 0.5);
+  EXPECT_DOUBLE_EQ(fn->weights()[1], 0.5);
+  EXPECT_DOUBLE_EQ(fn->weights()[2], 0.0);
+  EXPECT_EQ(fn->NumComponents(), 2);
+}
+
+TEST(IdealUtilityTest, FromComponentsRejectsBadIndex) {
+  EXPECT_FALSE(
+      IdealUtilityFunction::FromComponents("bad", 8, {{8, 1.0}}).ok());
+  EXPECT_FALSE(
+      IdealUtilityFunction::FromComponents("bad", 8, {{-1, 1.0}}).ok());
+}
+
+TEST(IdealUtilityTest, ScoreIsDotProduct) {
+  IdealUtilityFunction fn("f", {0.3, 0.7});
+  auto s = fn.Score({1.0, 2.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(*s, 0.3 + 1.4);
+  EXPECT_FALSE(fn.Score({1.0}).ok());
+}
+
+TEST(IdealUtilityTest, ScoreAllMatchesScore) {
+  IdealUtilityFunction fn("f", {1.0, -1.0});
+  ml::Matrix m = {{0.5, 0.2}, {0.1, 0.9}};
+  auto all = fn.ScoreAll(m);
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ((*all)[0], *fn.Score(m.Row(0)));
+  EXPECT_DOUBLE_EQ((*all)[1], *fn.Score(m.Row(1)));
+}
+
+TEST(Table2Test, HasElevenPresets) {
+  auto presets = Table2Presets();
+  ASSERT_EQ(presets.size(), 11u);
+}
+
+TEST(Table2Test, ComponentCountsMatchPaperGrouping) {
+  // UF 1-3 single, 4-6 two, 7-11 three components.
+  auto presets = Table2Presets();
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(presets[i].NumComponents(), 1);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(presets[i].NumComponents(), 2);
+  for (int i = 6; i < 11; ++i) EXPECT_EQ(presets[i].NumComponents(), 3);
+  EXPECT_EQ(Table2PresetsWithComponents(1).size(), 3u);
+  EXPECT_EQ(Table2PresetsWithComponents(2).size(), 3u);
+  EXPECT_EQ(Table2PresetsWithComponents(3).size(), 5u);
+  EXPECT_TRUE(Table2PresetsWithComponents(4).empty());
+}
+
+TEST(Table2Test, WeightsSumToOne) {
+  for (const auto& fn : Table2Presets()) {
+    double total = 0.0;
+    for (double w : fn.weights()) total += w;
+    EXPECT_NEAR(total, 1.0, 1e-12) << fn.name();
+  }
+}
+
+TEST(Table2Test, SpecificPresetsMatchTable2) {
+  auto presets = Table2Presets();
+  auto idx = [](UtilityFeature f) { return static_cast<size_t>(f); };
+  // UF 1: 1.0 * KL.
+  EXPECT_DOUBLE_EQ(presets[0].weights()[idx(UtilityFeature::kKL)], 1.0);
+  // UF 6: 0.5 EMD + 0.5 p-value.
+  EXPECT_DOUBLE_EQ(presets[5].weights()[idx(UtilityFeature::kEMD)], 0.5);
+  EXPECT_DOUBLE_EQ(presets[5].weights()[idx(UtilityFeature::kPValue)], 0.5);
+  // UF 11: 0.3 EMD + 0.3 KL + 0.4 Accuracy.
+  EXPECT_DOUBLE_EQ(presets[10].weights()[idx(UtilityFeature::kEMD)], 0.3);
+  EXPECT_DOUBLE_EQ(presets[10].weights()[idx(UtilityFeature::kKL)], 0.3);
+  EXPECT_DOUBLE_EQ(presets[10].weights()[idx(UtilityFeature::kAccuracy)],
+                   0.4);
+  // UF 10 uses usability.
+  EXPECT_DOUBLE_EQ(presets[9].weights()[idx(UtilityFeature::kUsability)],
+                   0.4);
+}
+
+TEST(Table2Test, NamesAreDescriptive) {
+  auto presets = Table2Presets();
+  EXPECT_EQ(presets[0].name(), "1.0*KL");
+  EXPECT_NE(presets[10].name().find("Accuracy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vs::core

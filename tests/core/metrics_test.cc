@@ -1,0 +1,89 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::core {
+namespace {
+
+TEST(TopKIndicesTest, PicksLargestInOrder) {
+  std::vector<double> scores = {0.1, 0.9, 0.5, 0.7, 0.3};
+  EXPECT_EQ(TopKIndices(scores, 3), (std::vector<size_t>{1, 3, 2}));
+}
+
+TEST(TopKIndicesTest, TiesBreakByLowerIndex) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.9};
+  EXPECT_EQ(TopKIndices(scores, 3), (std::vector<size_t>{3, 0, 1}));
+}
+
+TEST(TopKIndicesTest, KClampedToSize) {
+  std::vector<double> scores = {0.1, 0.2};
+  EXPECT_EQ(TopKIndices(scores, 10).size(), 2u);
+  EXPECT_TRUE(TopKIndices({}, 5).empty());
+  EXPECT_TRUE(TopKIndices(scores, 0).empty());
+}
+
+TEST(TopKPrecisionTest, FullOverlapIsOne) {
+  auto p = TopKPrecision({1, 2, 3}, {3, 1, 2});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 1.0);
+}
+
+TEST(TopKPrecisionTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(*TopKPrecision({1, 2, 9, 8}, {1, 2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(*TopKPrecision({9, 8, 7}, {1, 2, 3}), 0.0);
+}
+
+TEST(TopKPrecisionTest, EmptyIdealIsError) {
+  EXPECT_FALSE(TopKPrecision({1}, {}).ok());
+}
+
+TEST(UtilityDistanceTest, IdenticalSetsHaveZeroUd) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  auto ud = UtilityDistance(scores, {0, 1}, {0, 1});
+  ASSERT_TRUE(ud.ok());
+  EXPECT_DOUBLE_EQ(*ud, 0.0);
+}
+
+TEST(UtilityDistanceTest, TieTolerant) {
+  // Views 1 and 2 have identical utility: swapping them keeps UD = 0 even
+  // though precision would drop — the exact property motivating Eq. 8.
+  std::vector<double> scores = {0.9, 0.5, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(*UtilityDistance(scores, {0, 2}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(*TopKPrecision({0, 2}, {0, 1}), 0.5);
+}
+
+TEST(UtilityDistanceTest, KnownGap) {
+  std::vector<double> scores = {1.0, 0.8, 0.6, 0.0};
+  // Ideal {0,1} sum 1.8; recommended {0,3} sum 1.0; UD = 0.8/2.
+  EXPECT_DOUBLE_EQ(*UtilityDistance(scores, {0, 3}, {0, 1}), 0.4);
+}
+
+TEST(UtilityDistanceTest, Validation) {
+  std::vector<double> scores = {1.0};
+  EXPECT_FALSE(UtilityDistance(scores, {0}, {}).ok());
+  EXPECT_FALSE(UtilityDistance(scores, {5}, {0}).ok());
+  EXPECT_FALSE(UtilityDistance(scores, {0}, {5}).ok());
+}
+
+TEST(KendallTauTest, PerfectAgreement) {
+  EXPECT_DOUBLE_EQ(*KendallTau({1.0, 2.0, 3.0}, {10.0, 20.0, 30.0}), 1.0);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  EXPECT_DOUBLE_EQ(*KendallTau({1.0, 2.0, 3.0}, {3.0, 2.0, 1.0}), -1.0);
+}
+
+TEST(KendallTauTest, TiesReduceMagnitude) {
+  auto tau = KendallTau({1.0, 1.0, 2.0}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(tau.ok());
+  EXPECT_GT(*tau, 0.0);
+  EXPECT_LT(*tau, 1.0);
+}
+
+TEST(KendallTauTest, Validation) {
+  EXPECT_FALSE(KendallTau({1.0}, {1.0}).ok());
+  EXPECT_FALSE(KendallTau({1.0, 2.0}, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace vs::core

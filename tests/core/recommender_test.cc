@@ -1,0 +1,74 @@
+#include "core/recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core_test_util.h"
+
+namespace vs::core {
+namespace {
+
+TEST(RecommenderTest, ByFeatureMatchesManualRanking) {
+  auto world = testutil::MakeMiniWorld();
+  const size_t emd = 1;
+  auto rec = RecommendByFeature(*world.matrix, emd, 5);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 5u);
+  // Manual ranking over the normalized column.
+  std::vector<double> col;
+  for (size_t i = 0; i < world.matrix->num_views(); ++i) {
+    col.push_back(world.matrix->normalized()(i, emd));
+  }
+  EXPECT_EQ(*rec, TopKIndices(col, 5));
+}
+
+TEST(RecommenderTest, ByFeatureNameResolvesRegistry) {
+  auto world = testutil::MakeMiniWorld();
+  auto by_index = RecommendByFeature(*world.matrix, 1, 5);
+  auto by_name = RecommendByFeatureName(*world.matrix, "EMD", 5);
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(*by_name, *by_index);
+  EXPECT_FALSE(RecommendByFeatureName(*world.matrix, "NOPE", 5).ok());
+}
+
+TEST(RecommenderTest, ByWeightsEqualsFeatureWhenOneHot) {
+  auto world = testutil::MakeMiniWorld();
+  ml::Vector weights(8, 0.0);
+  weights[4] = 1.0;  // MAX_DIFF
+  auto by_weights = RecommendByWeights(*world.matrix, weights, 5);
+  auto by_feature = RecommendByFeature(*world.matrix, 4, 5);
+  ASSERT_TRUE(by_weights.ok());
+  EXPECT_EQ(*by_weights, *by_feature);
+}
+
+TEST(RecommenderTest, CompositeWeightsDifferFromSingleFeature) {
+  auto world = testutil::MakeMiniWorld();
+  ml::Vector composite(8, 0.0);
+  composite[0] = 0.3;  // KL
+  composite[1] = 0.3;  // EMD
+  composite[6] = 0.4;  // ACCURACY
+  auto comp = RecommendByWeights(*world.matrix, composite, 5);
+  ASSERT_TRUE(comp.ok());
+  EXPECT_EQ(comp->size(), 5u);
+}
+
+TEST(RecommenderTest, Validation) {
+  auto world = testutil::MakeMiniWorld();
+  EXPECT_FALSE(RecommendByFeature(*world.matrix, 99, 5).ok());
+  EXPECT_FALSE(RecommendByFeature(*world.matrix, 0, 0).ok());
+  EXPECT_FALSE(RecommendByFeature(*world.matrix, 0, -1).ok());
+  ml::Vector short_weights(3, 1.0);
+  EXPECT_FALSE(RecommendByWeights(*world.matrix, short_weights, 5).ok());
+  ml::Vector ok_weights(8, 1.0);
+  EXPECT_FALSE(RecommendByWeights(*world.matrix, ok_weights, 0).ok());
+}
+
+TEST(RecommenderTest, KLargerThanPoolClamps) {
+  auto world = testutil::MakeMiniWorld();
+  auto rec = RecommendByFeature(*world.matrix, 0, 100);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 20u);
+}
+
+}  // namespace
+}  // namespace vs::core

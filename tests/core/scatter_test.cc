@@ -1,0 +1,172 @@
+#include "core/scatter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+namespace vs::core {
+namespace {
+
+/// Table with a subset whose (x, y) correlation flips sign vs the whole.
+data::Table CorrelationTable() {
+  auto schema = *data::Schema::Make({
+      {"group", data::DataType::kString, data::FieldRole::kDimension},
+      {"x", data::DataType::kDouble, data::FieldRole::kMeasure},
+      {"y", data::DataType::kDouble, data::FieldRole::kMeasure},
+      {"noise", data::DataType::kDouble, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder b(schema);
+  vs::Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const bool special = i % 4 == 0;
+    const double x = rng.NextDouble();
+    // Special group: y falls with x; others: y rises with x.
+    const double y = special ? 1.0 - x + 0.05 * rng.NextGaussian()
+                             : x + 0.05 * rng.NextGaussian();
+    auto st = b.AppendRow({data::Value(special ? "special" : "normal"),
+                           data::Value(x), data::Value(y),
+                           data::Value(rng.NextDouble())});
+    (void)st;
+  }
+  return *b.Build();
+}
+
+TEST(ScatterViewTest, IdAndEquality) {
+  ScatterViewSpec v{"a", "b"};
+  EXPECT_EQ(v.Id(), "SCATTER(a, b)");
+  EXPECT_TRUE((v == ScatterViewSpec{"a", "b"}));
+  EXPECT_FALSE((v == ScatterViewSpec{"b", "a"}));
+}
+
+TEST(EnumerateScatterViewsTest, MeasurePairs) {
+  data::Table t = CorrelationTable();
+  auto views = EnumerateScatterViews(t);
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), 3u);  // C(3, 2) over x, y, noise
+}
+
+TEST(EnumerateScatterViewsTest, NeedsTwoMeasures) {
+  auto schema = *data::Schema::Make({
+      {"d", data::DataType::kString, data::FieldRole::kDimension},
+      {"m", data::DataType::kDouble, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder b(schema);
+  auto st = b.AppendRow({data::Value("x"), data::Value(1.0)});
+  (void)st;
+  auto views = EnumerateScatterViews(*b.Build());
+  EXPECT_FALSE(views.ok());
+  EXPECT_TRUE(views.status().IsFailedPrecondition());
+}
+
+TEST(PearsonCorrelationTest, DetectsSignedCorrelation) {
+  data::Table t = CorrelationTable();
+  auto query = *data::SelectRows(
+      t, data::Compare("group", data::CompareOp::kEq,
+                       data::Value("special")));
+  auto corr_subset = PearsonCorrelation(t, "x", "y", &query);
+  ASSERT_TRUE(corr_subset.ok());
+  EXPECT_LT(*corr_subset, -0.8);  // y = 1 - x in the subset
+  auto corr_all = PearsonCorrelation(t, "x", "y", nullptr);
+  ASSERT_TRUE(corr_all.ok());
+  EXPECT_GT(*corr_all, 0.3);  // mostly rising overall
+}
+
+TEST(PearsonCorrelationTest, NoiseIsUncorrelated) {
+  data::Table t = CorrelationTable();
+  auto corr = PearsonCorrelation(t, "x", "noise", nullptr);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR(*corr, 0.0, 0.15);
+}
+
+TEST(PearsonCorrelationTest, InUnitRange) {
+  data::Table t = CorrelationTable();
+  for (const char* pair : {"y", "noise"}) {
+    auto corr = PearsonCorrelation(t, "x", pair, nullptr);
+    ASSERT_TRUE(corr.ok());
+    EXPECT_GE(*corr, -1.0);
+    EXPECT_LE(*corr, 1.0);
+  }
+}
+
+TEST(PearsonCorrelationTest, DegenerateInputsRejected) {
+  auto schema = *data::Schema::Make({
+      {"a", data::DataType::kDouble, data::FieldRole::kMeasure},
+      {"b", data::DataType::kDouble, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder builder(schema);
+  ASSERT_TRUE(builder.AppendRow({data::Value(1.0), data::Value(2.0)}).ok());
+  data::Table one_row = *builder.Build();
+  EXPECT_FALSE(PearsonCorrelation(one_row, "a", "b", nullptr).ok());
+
+  data::TableBuilder builder2(schema);
+  ASSERT_TRUE(builder2.AppendRow({data::Value(1.0), data::Value(1.0)}).ok());
+  ASSERT_TRUE(builder2.AppendRow({data::Value(1.0), data::Value(2.0)}).ok());
+  data::Table constant = *builder2.Build();
+  auto r = PearsonCorrelation(constant, "a", "b", nullptr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(ScatterFeaturesTest, CorrelationFlipScoresHigh) {
+  data::Table t = CorrelationTable();
+  auto query = *data::SelectRows(
+      t, data::Compare("group", data::CompareOp::kEq,
+                       data::Value("special")));
+  auto xy = ComputeScatterFeatures(t, {"x", "y"}, query);
+  ASSERT_TRUE(xy.ok());
+  auto xnoise = ComputeScatterFeatures(t, {"x", "noise"}, query);
+  ASSERT_TRUE(xnoise.ok());
+  EXPECT_GT(xy->correlation_deviation, 1.0);   // sign flip ~ |1 - (-1)|
+  EXPECT_LT(xnoise->correlation_deviation, 0.4);
+  EXPECT_GE(xy->centroid_shift, 0.0);
+  EXPECT_GE(xy->dispersion_ratio, 0.0);
+}
+
+TEST(RecommendScatterViewsTest, RanksFlippedPairFirst) {
+  data::Table t = CorrelationTable();
+  auto query = *data::SelectRows(
+      t, data::Compare("group", data::CompareOp::kEq,
+                       data::Value("special")));
+  auto views = *EnumerateScatterViews(t);
+  ml::Vector weights = {1.0, 0.0, 0.0};  // correlation deviation only
+  auto rec = RecommendScatterViews(t, views, query, weights, 1);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec->size(), 1u);
+  EXPECT_EQ(views[(*rec)[0]].Id(), "SCATTER(x, y)");
+}
+
+TEST(RecommendScatterViewsTest, Validation) {
+  data::Table t = CorrelationTable();
+  auto query = t.AllRows();
+  auto views = *EnumerateScatterViews(t);
+  EXPECT_FALSE(
+      RecommendScatterViews(t, views, query, {1.0}, 1).ok());  // bad width
+  EXPECT_FALSE(
+      RecommendScatterViews(t, views, query, {1.0, 0.0, 0.0}, 0).ok());
+  EXPECT_FALSE(
+      RecommendScatterViews(t, {}, query, {1.0, 0.0, 0.0}, 1).ok());
+}
+
+TEST(ScatterEndToEnd, WorksOnGeneratedClinicalData) {
+  data::DiabetesOptions options;
+  options.num_rows = 3000;
+  auto t = data::GenerateDiabetes(options);
+  ASSERT_TRUE(t.ok());
+  auto query = *data::SelectRows(
+      *t, data::Compare("gender", data::CompareOp::kEq,
+                        data::Value("Male")));
+  auto views = EnumerateScatterViews(*t);
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), 28u);  // C(8, 2)
+  ml::Vector weights = {0.5, 0.3, 0.2};
+  auto rec = RecommendScatterViews(*t, *views, query, weights, 5);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->size(), 5u);
+}
+
+}  // namespace
+}  // namespace vs::core

@@ -1,0 +1,222 @@
+#include "core/seeker.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/ideal_utility.h"
+#include "core/metrics.h"
+#include "core/simulated_user.h"
+#include "core_test_util.h"
+
+namespace vs::core {
+namespace {
+
+TEST(ViewSeekerTest, MakeValidation) {
+  auto world = testutil::MakeMiniWorld();
+  ViewSeekerOptions options;
+  EXPECT_FALSE(ViewSeeker::Make(nullptr, options).ok());
+  options.k = 0;
+  EXPECT_FALSE(ViewSeeker::Make(world.matrix.get(), options).ok());
+  options.k = 5;
+  options.views_per_iteration = 0;
+  EXPECT_FALSE(ViewSeeker::Make(world.matrix.get(), options).ok());
+  options.views_per_iteration = 1;
+  options.strategy = "bogus";
+  EXPECT_FALSE(ViewSeeker::Make(world.matrix.get(), options).ok());
+}
+
+TEST(ViewSeekerTest, StartsInColdStartWithAllUnlabeled) {
+  auto world = testutil::MakeMiniWorld();
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  EXPECT_TRUE(seeker->in_cold_start());
+  EXPECT_EQ(seeker->num_labeled(), 0u);
+  EXPECT_EQ(seeker->num_unlabeled(), 20u);
+  EXPECT_FALSE(seeker->RecommendTopK().ok());  // no labels yet
+}
+
+TEST(ViewSeekerTest, SubmitLabelValidation) {
+  auto world = testutil::MakeMiniWorld();
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  EXPECT_FALSE(seeker->SubmitLabel(9999, 0.5).ok());
+  EXPECT_FALSE(seeker->SubmitLabel(0, -0.1).ok());
+  EXPECT_FALSE(seeker->SubmitLabel(0, 1.1).ok());
+  ASSERT_TRUE(seeker->SubmitLabel(0, 0.5).ok());
+  auto again = seeker->SubmitLabel(0, 0.5);
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(again.IsAlreadyExists());
+}
+
+TEST(ViewSeekerTest, LabelingMovesViewToLabeledSet) {
+  auto world = testutil::MakeMiniWorld();
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  ASSERT_TRUE(seeker->SubmitLabel(3, 0.8).ok());
+  EXPECT_EQ(seeker->num_labeled(), 1u);
+  EXPECT_EQ(seeker->num_unlabeled(), 19u);
+  EXPECT_EQ(seeker->labeled()[0], 3u);
+  EXPECT_DOUBLE_EQ(seeker->labels()[0], 0.8);
+  // Utility estimator is fitted after the first label.
+  EXPECT_TRUE(seeker->utility_estimator().fitted());
+  EXPECT_TRUE(seeker->RecommendTopK().ok());
+}
+
+TEST(ViewSeekerTest, ColdStartEndsAfterBothClasses) {
+  auto world = testutil::MakeMiniWorld();
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  ASSERT_TRUE(seeker->SubmitLabel(0, 0.9).ok());
+  EXPECT_TRUE(seeker->in_cold_start());
+  ASSERT_TRUE(seeker->SubmitLabel(1, 0.1).ok());
+  EXPECT_FALSE(seeker->in_cold_start());
+}
+
+TEST(ViewSeekerTest, NextQueriesReturnsUnlabeledViews) {
+  auto world = testutil::MakeMiniWorld();
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  for (int iter = 0; iter < 10; ++iter) {
+    auto queries = seeker->NextQueries();
+    ASSERT_TRUE(queries.ok());
+    ASSERT_EQ(queries->size(), 1u);
+    const size_t q = (*queries)[0];
+    const auto& labeled = seeker->labeled();
+    EXPECT_EQ(std::find(labeled.begin(), labeled.end(), q), labeled.end());
+    ASSERT_TRUE(seeker->SubmitLabel(q, iter % 2 == 0 ? 0.9 : 0.1).ok());
+  }
+}
+
+TEST(ViewSeekerTest, BatchQueriesAreDistinct) {
+  auto world = testutil::MakeMiniWorld();
+  ViewSeekerOptions options;
+  options.views_per_iteration = 4;
+  auto seeker = ViewSeeker::Make(world.matrix.get(), options);
+  ASSERT_TRUE(seeker.ok());
+  auto queries = seeker->NextQueries();
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 4u);
+  std::set<size_t> unique(queries->begin(), queries->end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(ViewSeekerTest, ExhaustingPoolIsHandled) {
+  auto world = testutil::MakeMiniWorld();
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(seeker->SubmitLabel(i, i % 3 == 0 ? 0.9 : 0.2).ok());
+  }
+  EXPECT_EQ(seeker->num_unlabeled(), 0u);
+  auto queries = seeker->NextQueries();
+  EXPECT_FALSE(queries.ok());
+  EXPECT_TRUE(queries.status().IsFailedPrecondition());
+  EXPECT_TRUE(seeker->RecommendTopK().ok());  // recommendation still works
+}
+
+TEST(ViewSeekerTest, RecommendTopKReturnsKViews) {
+  auto world = testutil::MakeMiniWorld();
+  ViewSeekerOptions options;
+  options.k = 7;
+  auto seeker = ViewSeeker::Make(world.matrix.get(), options);
+  ASSERT_TRUE(seeker.ok());
+  ASSERT_TRUE(seeker->SubmitLabel(0, 0.5).ok());
+  auto topk = seeker->RecommendTopK();
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->size(), 7u);
+}
+
+TEST(ViewSeekerTest, LearnsSingleFeatureUtilityQuickly) {
+  // Simulated session against u* = EMD; the seeker should converge to the
+  // ideal top-5 within a modest number of labels.
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal =
+      Table2Presets()[1];  // 1.0 * EMD
+  auto user = SimulatedUser::Make(&world.matrix->normalized(), ideal);
+  ASSERT_TRUE(user.ok());
+  const auto ideal_topk = TopKIndices(
+      std::vector<double>(user->true_scores().begin(),
+                          user->true_scores().end()),
+      5);
+
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  double best_precision = 0.0;
+  for (int iter = 0; iter < 15 && seeker->num_unlabeled() > 0; ++iter) {
+    auto queries = seeker->NextQueries();
+    ASSERT_TRUE(queries.ok());
+    for (size_t q : *queries) {
+      ASSERT_TRUE(seeker->SubmitLabel(q, *user->Label(q)).ok());
+    }
+    auto topk = seeker->RecommendTopK();
+    ASSERT_TRUE(topk.ok());
+    best_precision =
+        std::max(best_precision, *TopKPrecision(*topk, ideal_topk));
+  }
+  EXPECT_GE(best_precision, 0.8);
+}
+
+TEST(ViewSeekerTest, DiverseRecommendationMatchesPlainAtLambdaZero) {
+  auto world = testutil::MakeMiniWorld();
+  auto seeker = ViewSeeker::Make(world.matrix.get(), {});
+  ASSERT_TRUE(seeker.ok());
+  EXPECT_FALSE(seeker->RecommendDiverseTopK(0.3).ok());  // no labels yet
+  ASSERT_TRUE(seeker->SubmitLabel(0, 0.9).ok());
+  ASSERT_TRUE(seeker->SubmitLabel(1, 0.1).ok());
+  auto plain = seeker->RecommendTopK();
+  auto zero_lambda = seeker->RecommendDiverseTopK(0.0);
+  ASSERT_TRUE(plain.ok() && zero_lambda.ok());
+  EXPECT_EQ(*plain, *zero_lambda);
+  auto diverse = seeker->RecommendDiverseTopK(0.6);
+  ASSERT_TRUE(diverse.ok());
+  EXPECT_EQ(diverse->size(), plain->size());
+}
+
+TEST(ViewSeekerTest, AutoRidgeSessionStillConverges) {
+  auto world = testutil::MakeMiniWorld();
+  IdealUtilityFunction ideal = Table2Presets()[4];
+  auto user = SimulatedUser::Make(&world.matrix->normalized(), ideal);
+  ASSERT_TRUE(user.ok());
+  const auto ideal_topk = TopKIndices(
+      std::vector<double>(user->true_scores().begin(),
+                          user->true_scores().end()),
+      5);
+
+  ViewSeekerOptions options;
+  options.auto_ridge = true;
+  auto seeker = ViewSeeker::Make(world.matrix.get(), options);
+  ASSERT_TRUE(seeker.ok());
+  double best_precision = 0.0;
+  for (int iter = 0; iter < 15 && seeker->num_unlabeled() > 0; ++iter) {
+    auto q = seeker->NextQueries();
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(seeker->SubmitLabel((*q)[0], *user->Label((*q)[0])).ok());
+    auto topk = seeker->RecommendTopK();
+    ASSERT_TRUE(topk.ok());
+    best_precision =
+        std::max(best_precision, *TopKPrecision(*topk, ideal_topk));
+  }
+  EXPECT_GE(best_precision, 0.8);
+}
+
+TEST(ViewSeekerTest, DeterministicGivenSeed) {
+  auto world = testutil::MakeMiniWorld();
+  auto run = [&world](uint64_t seed) {
+    ViewSeekerOptions options;
+    options.seed = seed;
+    auto seeker = ViewSeeker::Make(world.matrix.get(), options);
+    std::vector<size_t> sequence;
+    for (int i = 0; i < 8; ++i) {
+      auto q = seeker->NextQueries();
+      sequence.push_back((*q)[0]);
+      auto st = seeker->SubmitLabel((*q)[0], (i % 2) ? 0.9 : 0.1);
+      (void)st;
+    }
+    return sequence;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+}  // namespace
+}  // namespace vs::core

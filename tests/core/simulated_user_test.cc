@@ -1,0 +1,102 @@
+#include "core/simulated_user.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::core {
+namespace {
+
+ml::Matrix PoolFeatures() {
+  return ml::Matrix{{0.0, 1.0}, {0.5, 0.5}, {1.0, 0.0}, {0.25, 0.25}};
+}
+
+TEST(SimulatedUserTest, LabelsAreNormalizedScores) {
+  ml::Matrix pool = PoolFeatures();
+  IdealUtilityFunction ideal("f0", {1.0, 0.0});
+  auto user = SimulatedUser::Make(&pool, ideal);
+  ASSERT_TRUE(user.ok());
+  // Scores: 0, 0.5, 1, 0.25 -> already max 1.
+  EXPECT_DOUBLE_EQ(*user->Label(2), 1.0);
+  EXPECT_DOUBLE_EQ(*user->Label(1), 0.5);
+  EXPECT_DOUBLE_EQ(*user->Label(0), 0.0);
+}
+
+TEST(SimulatedUserTest, NormalizationScalesBestToOne) {
+  ml::Matrix pool = {{0.2}, {0.4}};
+  IdealUtilityFunction ideal("f0", {1.0});
+  auto user = SimulatedUser::Make(&pool, ideal);
+  ASSERT_TRUE(user.ok());
+  EXPECT_DOUBLE_EQ(*user->Label(1), 1.0);
+  EXPECT_DOUBLE_EQ(*user->Label(0), 0.5);
+}
+
+TEST(SimulatedUserTest, NegativeScoresShiftedIntoUnitInterval) {
+  ml::Matrix pool = {{0.0}, {1.0}};
+  IdealUtilityFunction ideal("neg", {-1.0});
+  auto user = SimulatedUser::Make(&pool, ideal);
+  ASSERT_TRUE(user.ok());
+  EXPECT_DOUBLE_EQ(*user->Label(0), 1.0);  // least negative is best
+  EXPECT_DOUBLE_EQ(*user->Label(1), 0.0);
+}
+
+TEST(SimulatedUserTest, ConstantScoresRejected) {
+  ml::Matrix pool = {{0.5}, {0.5}};
+  IdealUtilityFunction ideal("f0", {1.0});
+  auto user = SimulatedUser::Make(&pool, ideal);
+  EXPECT_FALSE(user.ok());
+  EXPECT_TRUE(user.status().IsFailedPrecondition());
+}
+
+TEST(SimulatedUserTest, OutOfRangeViewRejected) {
+  ml::Matrix pool = PoolFeatures();
+  IdealUtilityFunction ideal("f0", {1.0, 0.0});
+  auto user = SimulatedUser::Make(&pool, ideal);
+  ASSERT_TRUE(user.ok());
+  EXPECT_FALSE(user->Label(99).ok());
+}
+
+TEST(SimulatedUserTest, NoiseStaysInUnitInterval) {
+  ml::Matrix pool = PoolFeatures();
+  IdealUtilityFunction ideal("f0", {1.0, 0.0});
+  SimulatedUserOptions options;
+  options.label_noise = 0.5;
+  auto user = SimulatedUser::Make(&pool, ideal, options);
+  ASSERT_TRUE(user.ok());
+  for (int i = 0; i < 100; ++i) {
+    const double l = *user->Label(i % 4);
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 1.0);
+  }
+}
+
+TEST(SimulatedUserTest, NoisyLabelsVaryAcrossCalls) {
+  ml::Matrix pool = PoolFeatures();
+  IdealUtilityFunction ideal("f0", {1.0, 0.0});
+  SimulatedUserOptions options;
+  options.label_noise = 0.2;
+  auto user = SimulatedUser::Make(&pool, ideal, options);
+  ASSERT_TRUE(user.ok());
+  const double a = *user->Label(1);
+  const double b = *user->Label(1);
+  EXPECT_NE(a, b);
+}
+
+TEST(SimulatedUserTest, InvalidInputsRejected) {
+  IdealUtilityFunction ideal("f0", {1.0});
+  EXPECT_FALSE(SimulatedUser::Make(nullptr, ideal).ok());
+  ml::Matrix pool = {{0.1}, {0.9}};
+  SimulatedUserOptions options;
+  options.label_noise = -0.1;
+  EXPECT_FALSE(SimulatedUser::Make(&pool, ideal, options).ok());
+}
+
+TEST(SimulatedUserTest, TrueScoresExposedForMetrics) {
+  ml::Matrix pool = PoolFeatures();
+  IdealUtilityFunction ideal("f0", {1.0, 0.0});
+  auto user = SimulatedUser::Make(&pool, ideal);
+  ASSERT_TRUE(user.ok());
+  ASSERT_EQ(user->true_scores().size(), 4u);
+  EXPECT_DOUBLE_EQ(user->true_scores()[2], 1.0);
+}
+
+}  // namespace
+}  // namespace vs::core

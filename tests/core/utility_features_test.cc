@@ -1,0 +1,170 @@
+#include "core/utility_features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+#include "stats/distance.h"
+
+namespace vs::core {
+namespace {
+
+ViewMaterialization MiniMaterialization(const data::Table& table,
+                                        const ViewSpec& spec) {
+  data::GroupByExecutor executor(&table);
+  return *MaterializeView(executor, spec,
+                          testutil::MiniQuerySelection(table));
+}
+
+TEST(UtilityFeatureTest, NamesAndParseRoundTrip) {
+  for (int i = 0; i < kNumBuiltinFeatures; ++i) {
+    const auto f = static_cast<UtilityFeature>(i);
+    auto parsed = ParseUtilityFeature(UtilityFeatureName(f));
+    ASSERT_TRUE(parsed.ok()) << UtilityFeatureName(f);
+    EXPECT_EQ(*parsed, i);
+  }
+  EXPECT_FALSE(ParseUtilityFeature("bogus").ok());
+}
+
+TEST(UtilityFeatureRegistryTest, DefaultHasEightFeaturesInOrder) {
+  auto registry = UtilityFeatureRegistry::Default();
+  ASSERT_EQ(registry.size(), 8u);
+  EXPECT_EQ(registry.names()[0], "KL");
+  EXPECT_EQ(registry.names()[1], "EMD");
+  EXPECT_EQ(registry.names()[4], "MAX_DIFF");
+  EXPECT_EQ(registry.names()[7], "PVALUE");
+  EXPECT_EQ(*registry.IndexOf("ACCURACY"), 6u);
+  EXPECT_FALSE(registry.IndexOf("nope").ok());
+}
+
+TEST(UtilityFeatureRegistryTest, ComputeAllProducesFiniteValues) {
+  data::Table table = testutil::MiniTable();
+  auto registry = UtilityFeatureRegistry::Default();
+  for (const ViewSpec& spec : testutil::MiniViews(table)) {
+    auto features = registry.ComputeAll(MiniMaterialization(table, spec));
+    ASSERT_TRUE(features.ok()) << spec.Id();
+    ASSERT_EQ(features->size(), 8u);
+    for (double f : *features) {
+      EXPECT_TRUE(std::isfinite(f)) << spec.Id();
+    }
+  }
+}
+
+TEST(UtilityFeatureRegistryTest, DeviationFeaturesMatchDirectDistances) {
+  data::Table table = testutil::MiniTable();
+  auto registry = UtilityFeatureRegistry::Default();
+  ViewSpec spec{"size", "m1", data::AggregateFunction::kAvg, 0};
+  ViewMaterialization mat = MiniMaterialization(table, spec);
+  auto features = registry.ComputeAll(mat);
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(
+      (*features)[static_cast<int>(UtilityFeature::kEMD)],
+      *stats::EarthMoversDistance(mat.target_dist, mat.reference_dist));
+  EXPECT_DOUBLE_EQ(
+      (*features)[static_cast<int>(UtilityFeature::kL1)],
+      *stats::L1Distance(mat.target_dist, mat.reference_dist));
+  EXPECT_DOUBLE_EQ(
+      (*features)[static_cast<int>(UtilityFeature::kMaxDiff)],
+      *stats::MaxDiff(mat.target_dist, mat.reference_dist));
+}
+
+TEST(UtilityFeatureRegistryTest, BoundedFeaturesInUnitInterval) {
+  data::Table table = testutil::MiniTable();
+  auto registry = UtilityFeatureRegistry::Default();
+  for (const ViewSpec& spec : testutil::MiniViews(table)) {
+    auto features = registry.ComputeAll(MiniMaterialization(table, spec));
+    ASSERT_TRUE(features.ok());
+    for (UtilityFeature f : {UtilityFeature::kUsability,
+                             UtilityFeature::kAccuracy,
+                             UtilityFeature::kPValue}) {
+      const double v = (*features)[static_cast<int>(f)];
+      EXPECT_GE(v, 0.0) << spec.Id() << " " << UtilityFeatureName(f);
+      EXPECT_LE(v, 1.0) << spec.Id() << " " << UtilityFeatureName(f);
+    }
+  }
+}
+
+TEST(UtilityFeatureRegistryTest, IdenticalTargetAndReferenceScoreZeroDeviation) {
+  data::Table table = testutil::MiniTable();
+  data::GroupByExecutor executor(&table);
+  data::SelectionVector all = table.AllRows();
+  ViewSpec spec{"color", "m1", data::AggregateFunction::kSum, 0};
+  // Target = reference = whole table.
+  auto mat = MaterializeView(executor, spec, all);
+  ASSERT_TRUE(mat.ok());
+  auto registry = UtilityFeatureRegistry::Default();
+  auto features = registry.ComputeAll(*mat);
+  ASSERT_TRUE(features.ok());
+  for (UtilityFeature f :
+       {UtilityFeature::kKL, UtilityFeature::kEMD, UtilityFeature::kL1,
+        UtilityFeature::kL2, UtilityFeature::kMaxDiff}) {
+    EXPECT_NEAR((*features)[static_cast<int>(f)], 0.0, 1e-9)
+        << UtilityFeatureName(f);
+  }
+  // And the target is as expected under the null: p-value feature ~ 0.
+  EXPECT_LT((*features)[static_cast<int>(UtilityFeature::kPValue)], 0.5);
+}
+
+TEST(UtilityFeatureRegistryTest, CustomFeatureRegistration) {
+  auto registry = UtilityFeatureRegistry::Default();
+  ASSERT_TRUE(registry
+                  .Register("BIN_COUNT",
+                            [](const ViewMaterialization& view) {
+                              return vs::Result<double>(static_cast<double>(
+                                  view.target.num_bins()));
+                            })
+                  .ok());
+  EXPECT_EQ(registry.size(), 9u);
+  data::Table table = testutil::MiniTable();
+  ViewSpec spec{"color", "m1", data::AggregateFunction::kSum, 0};
+  auto features = registry.ComputeAll(MiniMaterialization(table, spec));
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ((*features)[8], 3.0);  // color has 3 bins
+}
+
+TEST(UtilityFeatureRegistryTest, RegistrationValidation) {
+  auto registry = UtilityFeatureRegistry::Default();
+  EXPECT_FALSE(registry.Register("KL", nullptr).ok());  // null fn
+  auto dup = registry.Register(
+      "KL", [](const ViewMaterialization&) { return vs::Result<double>(0.0); });
+  EXPECT_FALSE(dup.ok());
+  EXPECT_TRUE(dup.IsAlreadyExists());
+  auto empty_name = registry.Register(
+      "", [](const ViewMaterialization&) { return vs::Result<double>(0.0); });
+  EXPECT_FALSE(empty_name.ok());
+}
+
+TEST(UtilityFeatureRegistryTest, FeatureErrorPropagates) {
+  UtilityFeatureRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("fails",
+                            [](const ViewMaterialization&) {
+                              return vs::Result<double>(
+                                  vs::Status::Internal("boom"));
+                            })
+                  .ok());
+  data::Table table = testutil::MiniTable();
+  ViewSpec spec{"color", "m1", data::AggregateFunction::kSum, 0};
+  auto r = registry.ComputeAll(MiniMaterialization(table, spec));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(UtilityFeatureRegistryTest, EmptyTargetSelectionGivesZeroPValue) {
+  data::Table table = testutil::MiniTable();
+  data::GroupByExecutor executor(&table);
+  data::SelectionVector empty;
+  ViewSpec spec{"color", "m1", data::AggregateFunction::kCount, 0};
+  auto mat = MaterializeView(executor, spec, empty);
+  ASSERT_TRUE(mat.ok());
+  auto registry = UtilityFeatureRegistry::Default();
+  auto features = registry.ComputeAll(*mat);
+  ASSERT_TRUE(features.ok());
+  // Degenerate target carries no evidence.
+  EXPECT_DOUBLE_EQ((*features)[static_cast<int>(UtilityFeature::kPValue)],
+                   0.0);
+}
+
+}  // namespace
+}  // namespace vs::core

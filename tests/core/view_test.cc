@@ -1,0 +1,162 @@
+#include "core/view.h"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.h"
+#include "data/generator.h"
+
+namespace vs::core {
+namespace {
+
+TEST(ViewSpecTest, IdFormat) {
+  ViewSpec v{"region", "sales", data::AggregateFunction::kAvg, 0};
+  EXPECT_EQ(v.Id(), "AVG(sales) BY region");
+  ViewSpec binned{"x", "m", data::AggregateFunction::kCount, 3};
+  EXPECT_EQ(binned.Id(), "COUNT(m) BY x/3");
+}
+
+TEST(ViewSpecTest, ToGroupBySpec) {
+  ViewSpec v{"a", "m", data::AggregateFunction::kMax, 4};
+  data::GroupBySpec g = v.ToGroupBySpec();
+  EXPECT_EQ(g.dimension, "a");
+  EXPECT_EQ(g.measure, "m");
+  EXPECT_EQ(g.func, data::AggregateFunction::kMax);
+  EXPECT_EQ(g.num_bins, 4);
+}
+
+TEST(ViewSpecTest, Equality) {
+  ViewSpec a{"a", "m", data::AggregateFunction::kSum, 0};
+  ViewSpec b = a;
+  EXPECT_TRUE(a == b);
+  b.num_bins = 3;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(EnumerateViewsTest, CategoricalTableEnumeratesAxMxF) {
+  data::Table table = testutil::MiniTable();
+  auto views = EnumerateViews(table, {});
+  ASSERT_TRUE(views.ok());
+  // 2 dims x 2 measures x 5 funcs.
+  EXPECT_EQ(views->size(), 20u);
+  for (const ViewSpec& v : *views) {
+    EXPECT_EQ(v.num_bins, 0);
+  }
+}
+
+TEST(EnumerateViewsTest, DiabShapeIs280Views) {
+  data::DiabetesOptions options;
+  options.num_rows = 100;  // shape only
+  auto table = data::GenerateDiabetes(options);
+  ASSERT_TRUE(table.ok());
+  auto views = EnumerateViews(*table, {});
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), 280u);  // 7 x 8 x 5, Table 1
+}
+
+TEST(EnumerateViewsTest, SynShapeIs250ViewsWithTwoBinConfigs) {
+  data::SyntheticOptions options;
+  options.num_rows = 100;
+  auto table = data::GenerateSynthetic(options);
+  ASSERT_TRUE(table.ok());
+  ViewEnumerationOptions enum_options;
+  enum_options.numeric_bin_configs = {3, 4};
+  auto views = EnumerateViews(*table, enum_options);
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), 250u);  // 5 x 5 x 5 x 2, Table 1
+}
+
+TEST(EnumerateViewsTest, FunctionSubsetRespected) {
+  data::Table table = testutil::MiniTable();
+  ViewEnumerationOptions options;
+  options.functions = {data::AggregateFunction::kSum};
+  auto views = EnumerateViews(table, options);
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), 4u);  // 2 x 2 x 1
+  for (const ViewSpec& v : *views) {
+    EXPECT_EQ(v.func, data::AggregateFunction::kSum);
+  }
+}
+
+TEST(EnumerateViewsTest, ViewIdsAreUnique) {
+  data::Table table = testutil::MiniTable();
+  auto views = EnumerateViews(table, {});
+  ASSERT_TRUE(views.ok());
+  std::set<std::string> ids;
+  for (const ViewSpec& v : *views) ids.insert(v.Id());
+  EXPECT_EQ(ids.size(), views->size());
+}
+
+TEST(EnumerateViewsTest, ErrorsWithoutDimensionsOrMeasures) {
+  auto no_dims = *data::Schema::Make(
+      {{"m", data::DataType::kDouble, data::FieldRole::kMeasure}});
+  data::TableBuilder b1(no_dims);
+  ASSERT_TRUE(b1.AppendRow({data::Value(1.0)}).ok());
+  EXPECT_FALSE(EnumerateViews(*b1.Build(), {}).ok());
+
+  auto no_measures = *data::Schema::Make(
+      {{"d", data::DataType::kString, data::FieldRole::kDimension}});
+  data::TableBuilder b2(no_measures);
+  ASSERT_TRUE(b2.AppendRow({data::Value("x")}).ok());
+  EXPECT_FALSE(EnumerateViews(*b2.Build(), {}).ok());
+}
+
+TEST(EnumerateViewsTest, NumericDimsWithoutBinConfigsRejected) {
+  data::SyntheticOptions options;
+  options.num_rows = 10;
+  auto table = data::GenerateSynthetic(options);
+  ViewEnumerationOptions enum_options;
+  enum_options.numeric_bin_configs = {};
+  EXPECT_FALSE(EnumerateViews(*table, enum_options).ok());
+  enum_options.numeric_bin_configs = {0};
+  EXPECT_FALSE(EnumerateViews(*table, enum_options).ok());
+}
+
+TEST(EnumerateViewsTest, StringMeasureRejected) {
+  auto schema = *data::Schema::Make({
+      {"d", data::DataType::kString, data::FieldRole::kDimension},
+      {"m", data::DataType::kString, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder b(schema);
+  ASSERT_TRUE(b.AppendRow({data::Value("x"), data::Value("y")}).ok());
+  EXPECT_FALSE(EnumerateViews(*b.Build(), {}).ok());
+}
+
+TEST(EnumerateViewsTest, MaxViewsCapSubsamplesDeterministically) {
+  data::Table table = testutil::MiniTable();
+  ViewEnumerationOptions options;
+  options.max_views = 7;
+  auto a = EnumerateViews(table, options);
+  auto b = EnumerateViews(table, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->size(), 7u);
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE((*a)[i] == (*b)[i]);
+  }
+  // Different seeds yield different subsets (with high probability).
+  options.max_views_seed = 999;
+  auto c = EnumerateViews(table, options);
+  ASSERT_TRUE(c.ok());
+  bool any_different = false;
+  for (size_t i = 0; i < c->size(); ++i) {
+    if (!((*a)[i] == (*c)[i])) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(EnumerateViewsTest, MaxViewsLargerThanSpaceIsNoop) {
+  data::Table table = testutil::MiniTable();
+  ViewEnumerationOptions options;
+  options.max_views = 1000;
+  auto views = EnumerateViews(table, options);
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), 20u);
+}
+
+TEST(ViewSpaceSizeTest, Eq1) {
+  EXPECT_EQ(ViewSpaceSize(7, 8, 5), 560);   // DIAB: 2 x 280
+  EXPECT_EQ(ViewSpaceSize(5, 5, 5), 250);   // SYN per bin config
+  EXPECT_EQ(ViewSpaceSize(1, 1, 1), 2);
+}
+
+}  // namespace
+}  // namespace vs::core

@@ -1,0 +1,90 @@
+#include "data/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+TEST(AggregateAccumulatorTest, EmptyFinalizesToZero) {
+  AggregateAccumulator acc;
+  for (AggregateFunction f : AllAggregateFunctions()) {
+    EXPECT_DOUBLE_EQ(acc.Finalize(f), 0.0) << AggregateFunctionName(f);
+  }
+}
+
+TEST(AggregateAccumulatorTest, SingleValue) {
+  AggregateAccumulator acc;
+  acc.Add(4.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kCount), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kSum), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kAvg), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kMin), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kMax), 4.0);
+}
+
+TEST(AggregateAccumulatorTest, MultipleValues) {
+  AggregateAccumulator acc;
+  for (double v : {2.0, -1.0, 5.0, 0.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kCount), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kSum), 6.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kAvg), 1.5);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kMin), -1.0);
+  EXPECT_DOUBLE_EQ(acc.Finalize(AggregateFunction::kMax), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sumsq, 4.0 + 1.0 + 25.0 + 0.0);
+}
+
+TEST(AggregateAccumulatorTest, MergeMatchesSequential) {
+  AggregateAccumulator a;
+  AggregateAccumulator b;
+  AggregateAccumulator whole;
+  for (double v : {1.0, 2.0, 3.0}) {
+    a.Add(v);
+    whole.Add(v);
+  }
+  for (double v : {-5.0, 10.0}) {
+    b.Add(v);
+    whole.Add(v);
+  }
+  a.Merge(b);
+  for (AggregateFunction f : AllAggregateFunctions()) {
+    EXPECT_DOUBLE_EQ(a.Finalize(f), whole.Finalize(f))
+        << AggregateFunctionName(f);
+  }
+  EXPECT_DOUBLE_EQ(a.sumsq, whole.sumsq);
+}
+
+TEST(AggregateAccumulatorTest, MergeWithEmpty) {
+  AggregateAccumulator a;
+  a.Add(3.0);
+  AggregateAccumulator empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count, 1);
+  EXPECT_DOUBLE_EQ(a.Finalize(AggregateFunction::kMin), 3.0);
+}
+
+TEST(AggregateFunctionTest, NamesRoundTripThroughParse) {
+  for (AggregateFunction f : AllAggregateFunctions()) {
+    auto parsed = ParseAggregateFunction(AggregateFunctionName(f));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, f);
+  }
+}
+
+TEST(AggregateFunctionTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(*ParseAggregateFunction("avg"), AggregateFunction::kAvg);
+  EXPECT_EQ(*ParseAggregateFunction("Sum"), AggregateFunction::kSum);
+  EXPECT_EQ(*ParseAggregateFunction("mean"), AggregateFunction::kAvg);
+}
+
+TEST(AggregateFunctionTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseAggregateFunction("median").ok());
+}
+
+TEST(AggregateFunctionTest, ExactlyFiveFunctions) {
+  EXPECT_EQ(AllAggregateFunctions().size(),
+            static_cast<size_t>(kNumAggregateFunctions));
+  EXPECT_EQ(kNumAggregateFunctions, 5);
+}
+
+}  // namespace
+}  // namespace vs::data

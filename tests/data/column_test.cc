@@ -1,0 +1,122 @@
+#include "data/column.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+TEST(Int64ColumnTest, AppendAndRead) {
+  Int64Column col;
+  col.Append(1);
+  col.Append(-2);
+  col.Append(3);
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.at(1), -2);
+  EXPECT_EQ(col.type(), DataType::kInt64);
+  EXPECT_EQ(col.null_count(), 0u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_EQ(col.GetValue(2).int64(), 3);
+}
+
+TEST(Int64ColumnTest, NullHandling) {
+  Int64Column col;
+  col.Append(1);
+  col.AppendNull();
+  col.Append(2);
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+}
+
+TEST(Int64ColumnTest, FromVectorIsNullFree) {
+  Int64Column col({10, 20, 30});
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.null_count(), 0u);
+  EXPECT_EQ(col.data()[2], 30);
+}
+
+TEST(Int64ColumnTest, NullBackfillAfterValidPrefix) {
+  Int64Column col;
+  for (int i = 0; i < 5; ++i) col.Append(i);
+  col.AppendNull();  // triggers mask backfill
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(col.IsNull(i));
+  EXPECT_TRUE(col.IsNull(5));
+}
+
+TEST(DoubleColumnTest, AppendAndRead) {
+  DoubleColumn col;
+  col.Append(0.5);
+  col.AppendNull();
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col.at(0), 0.5);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.type(), DataType::kDouble);
+}
+
+TEST(CategoricalColumnTest, DictionaryEncoding) {
+  CategoricalColumn col;
+  col.Append("red");
+  col.Append("blue");
+  col.Append("red");
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.cardinality(), 2);
+  EXPECT_EQ(col.code(0), col.code(2));
+  EXPECT_NE(col.code(0), col.code(1));
+  EXPECT_EQ(col.label(col.code(1)), "blue");
+  EXPECT_EQ(col.GetValue(2).str(), "red");
+}
+
+TEST(CategoricalColumnTest, CodeForLookup) {
+  CategoricalColumn col;
+  col.Append("a");
+  col.Append("b");
+  EXPECT_EQ(*col.CodeFor("b"), 1);
+  auto missing = col.CodeFor("zzz");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(CategoricalColumnTest, Nulls) {
+  CategoricalColumn col;
+  col.Append("x");
+  col.AppendNull();
+  EXPECT_EQ(col.null_count(), 1u);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.code(1), CategoricalColumn::kNullCode);
+  EXPECT_TRUE(col.GetValue(1).is_null());
+  EXPECT_EQ(col.cardinality(), 1);  // null adds no dictionary entry
+}
+
+TEST(CategoricalColumnTest, InternWithoutAppend) {
+  CategoricalColumn col;
+  int32_t a = col.InternLabel("a");
+  int32_t b = col.InternLabel("b");
+  int32_t a2 = col.InternLabel("a");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_EQ(col.cardinality(), 2);
+}
+
+TEST(CategoricalColumnTest, AppendCodeReusesDictionary) {
+  CategoricalColumn col;
+  col.InternLabel("only");
+  col.AppendCode(0);
+  col.AppendCode(0);
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.GetValue(1).str(), "only");
+}
+
+TEST(CategoricalColumnTest, DictionaryPreservesInsertionOrder) {
+  CategoricalColumn col;
+  col.Append("z");
+  col.Append("a");
+  col.Append("m");
+  EXPECT_EQ(col.dictionary(),
+            (std::vector<std::string>{"z", "a", "m"}));
+}
+
+}  // namespace
+}  // namespace vs::data

@@ -1,0 +1,153 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+TEST(CsvReadTest, InfersTypes) {
+  const std::string text =
+      "name,age,score\n"
+      "alice,30,0.5\n"
+      "bob,25,1.5\n";
+  auto t = ReadCsv(text, {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->schema().field(0).type, DataType::kString);
+  EXPECT_EQ(t->schema().field(1).type, DataType::kInt64);
+  EXPECT_EQ(t->schema().field(2).type, DataType::kDouble);
+  EXPECT_EQ(t->GetValue(1, 0).str(), "bob");
+  EXPECT_EQ(t->GetValue(0, 1).int64(), 30);
+  EXPECT_DOUBLE_EQ(t->GetValue(1, 2).dbl(), 1.5);
+}
+
+TEST(CsvReadTest, DefaultRoles) {
+  auto t = ReadCsv("s,n\nx,1\n", {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).role, FieldRole::kDimension);  // string
+  EXPECT_EQ(t->schema().field(1).role, FieldRole::kMeasure);    // numeric
+}
+
+TEST(CsvReadTest, ExplicitRoles) {
+  CsvReadOptions options;
+  options.dimension_columns = {"n"};
+  options.measure_columns = {"s"};
+  auto t = ReadCsv("s,n,z\nx,1,2\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).role, FieldRole::kMeasure);
+  EXPECT_EQ(t->schema().field(1).role, FieldRole::kDimension);
+  EXPECT_EQ(t->schema().field(2).role, FieldRole::kOther);  // unlisted
+}
+
+TEST(CsvReadTest, EmptyCellsAreNulls) {
+  auto t = ReadCsv("a,b\n1,\n,2\n", {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->GetValue(0, 1).is_null());
+  EXPECT_TRUE(t->GetValue(1, 0).is_null());
+  EXPECT_EQ(t->GetValue(0, 0).int64(), 1);
+}
+
+TEST(CsvReadTest, QuotedFieldsWithCommasAndEscapes) {
+  const std::string text =
+      "name,desc\n"
+      "a,\"hello, world\"\n"
+      "b,\"she said \"\"hi\"\"\"\n";
+  auto t = ReadCsv(text, {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetValue(0, 1).str(), "hello, world");
+  EXPECT_EQ(t->GetValue(1, 1).str(), "she said \"hi\"");
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  auto t = ReadCsv("a,b\r\n1,2\r\n3,4\r\n", {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->GetValue(1, 1).int64(), 4);
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesColumnNames) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto t = ReadCsv("1,x\n2,y\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).name, "col0");
+  EXPECT_EQ(t->schema().field(1).name, "col1");
+  EXPECT_EQ(t->num_rows(), 2u);
+}
+
+TEST(CsvReadTest, MaxRowsLimits) {
+  CsvReadOptions options;
+  options.max_rows = 1;
+  auto t = ReadCsv("a\n1\n2\n3\n", options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST(CsvReadTest, MissingFinalNewlineOk) {
+  auto t = ReadCsv("a,b\n1,2", {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+}
+
+TEST(CsvReadTest, RaggedRowIsError) {
+  EXPECT_FALSE(ReadCsv("a,b\n1\n", {}).ok());
+}
+
+TEST(CsvReadTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ReadCsv("a\n\"oops\n", {}).ok());
+}
+
+TEST(CsvReadTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadCsv("", {}).ok());
+}
+
+TEST(CsvReadTest, MixedNumbersPromoteToDouble) {
+  auto t = ReadCsv("x\n1\n2.5\n", {});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().field(0).type, DataType::kDouble);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesData) {
+  auto schema = *Schema::Make({
+      {"city", DataType::kString, FieldRole::kDimension},
+      {"v", DataType::kDouble, FieldRole::kMeasure},
+  });
+  TableBuilder b(schema);
+  ASSERT_TRUE(b.AppendRow({Value("a,b"), Value(1.25)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(), Value(-3.5)}).ok());
+  Table t = *b.Build();
+
+  std::string text = WriteCsv(t);
+  auto back = ReadCsv(text, {});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->GetValue(0, 0).str(), "a,b");
+  EXPECT_TRUE(back->GetValue(1, 0).is_null());
+  EXPECT_DOUBLE_EQ(back->GetValue(1, 1).dbl(), -3.5);
+}
+
+TEST(CsvFileTest, RoundTripThroughDisk) {
+  auto schema = *Schema::Make({{"v", DataType::kInt64, FieldRole::kMeasure}});
+  TableBuilder b(schema);
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{7})}).ok());
+  Table t = *b.Build();
+
+  const std::string path = ::testing::TempDir() + "/vs_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path, {});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->GetValue(0, 0).int64(), 7);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv", {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace vs::data

@@ -1,0 +1,196 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+SyntheticOptions SmallSyn() {
+  SyntheticOptions options;
+  options.num_rows = 5000;
+  options.seed = 1;
+  return options;
+}
+
+TEST(SyntheticGeneratorTest, ShapeMatchesOptions) {
+  auto t = GenerateSynthetic(SmallSyn());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 5000u);
+  EXPECT_EQ(t->num_columns(), 10u);  // 5 dims + 5 measures
+  EXPECT_EQ(t->schema().FieldsWithRole(FieldRole::kDimension).size(), 5u);
+  EXPECT_EQ(t->schema().FieldsWithRole(FieldRole::kMeasure).size(), 5u);
+  EXPECT_EQ(t->schema().field(0).name, "d0");
+  EXPECT_EQ(t->schema().field(5).name, "m0");
+}
+
+TEST(SyntheticGeneratorTest, ValuesInUnitInterval) {
+  auto t = GenerateSynthetic(SmallSyn());
+  ASSERT_TRUE(t.ok());
+  for (size_t c = 0; c < t->num_columns(); ++c) {
+    const auto* col =
+        dynamic_cast<const DoubleColumn*>(t->column(c).get());
+    ASSERT_NE(col, nullptr);
+    for (size_t r = 0; r < 200; ++r) {
+      EXPECT_GE(col->at(r), 0.0);
+      EXPECT_LT(col->at(r), 1.0);
+    }
+  }
+}
+
+TEST(SyntheticGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateSynthetic(SmallSyn());
+  auto b = GenerateSynthetic(SmallSyn());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a->GetValue(r, 3).dbl(), b->GetValue(r, 3).dbl());
+  }
+}
+
+TEST(SyntheticGeneratorTest, DifferentSeedsDiffer) {
+  SyntheticOptions o2 = SmallSyn();
+  o2.seed = 2;
+  auto a = GenerateSynthetic(SmallSyn());
+  auto b = GenerateSynthetic(o2);
+  int same = 0;
+  for (size_t r = 0; r < 100; ++r) {
+    if (a->GetValue(r, 0).dbl() == b->GetValue(r, 0).dbl()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(SyntheticGeneratorTest, UniformMeansNearHalf) {
+  auto t = GenerateSynthetic(SmallSyn());
+  const auto* m0 = *t->DoubleColumnByName("m0");
+  double sum = 0.0;
+  for (double v : m0->data()) sum += v;
+  EXPECT_NEAR(sum / m0->size(), 0.5, 0.03);
+}
+
+TEST(SyntheticGeneratorTest, CorrelationCouplesMeasuresToDims) {
+  SyntheticOptions options = SmallSyn();
+  options.num_rows = 20000;
+  options.correlation = 0.9;
+  auto t = GenerateSynthetic(options);
+  ASSERT_TRUE(t.ok());
+  // With strong correlation, m0 should correlate with the dimension mean.
+  const auto* m0 = *t->DoubleColumnByName("m0");
+  const auto* d0 = *t->DoubleColumnByName("d0");
+  double mean_m = 0.0;
+  double mean_d = 0.0;
+  const size_t n = t->num_rows();
+  for (size_t r = 0; r < n; ++r) {
+    mean_m += m0->at(r);
+    mean_d += d0->at(r);
+  }
+  mean_m /= n;
+  mean_d /= n;
+  double cov = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    cov += (m0->at(r) - mean_m) * (d0->at(r) - mean_d);
+  }
+  cov /= n;
+  EXPECT_GT(cov, 0.001);  // positive coupling (weights are positive)
+}
+
+TEST(SyntheticGeneratorTest, InvalidOptionsRejected) {
+  SyntheticOptions bad = SmallSyn();
+  bad.num_dimensions = 0;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+  bad = SmallSyn();
+  bad.correlation = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+}
+
+DiabetesOptions SmallDiab() {
+  DiabetesOptions options;
+  options.num_rows = 5000;
+  options.seed = 3;
+  return options;
+}
+
+TEST(DiabetesGeneratorTest, ShapeMatchesPaperTestbed) {
+  auto t = GenerateDiabetes(SmallDiab());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 5000u);
+  EXPECT_EQ(t->schema().FieldsWithRole(FieldRole::kDimension).size(), 7u);
+  EXPECT_EQ(t->schema().FieldsWithRole(FieldRole::kMeasure).size(), 8u);
+}
+
+TEST(DiabetesGeneratorTest, DimensionCardinalitiesMatchDeclared) {
+  auto t = GenerateDiabetes(SmallDiab());
+  ASSERT_TRUE(t.ok());
+  const auto declared = DiabetesDimensionCardinalities();
+  const auto dims = t->schema().FieldsWithRole(FieldRole::kDimension);
+  ASSERT_EQ(dims.size(), declared.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    const auto* cat =
+        dynamic_cast<const CategoricalColumn*>(t->column(dims[i]).get());
+    ASSERT_NE(cat, nullptr);
+    EXPECT_EQ(cat->cardinality(), declared[i])
+        << t->schema().field(dims[i]).name;
+  }
+}
+
+TEST(DiabetesGeneratorTest, MeasuresAreNonNegative) {
+  auto t = GenerateDiabetes(SmallDiab());
+  ASSERT_TRUE(t.ok());
+  for (size_t m : t->schema().FieldsWithRole(FieldRole::kMeasure)) {
+    const auto* col =
+        dynamic_cast<const DoubleColumn*>(t->column(m).get());
+    ASSERT_NE(col, nullptr);
+    for (size_t r = 0; r < 500; ++r) {
+      EXPECT_GE(col->at(r), 0.0);
+    }
+  }
+}
+
+TEST(DiabetesGeneratorTest, Deterministic) {
+  auto a = GenerateDiabetes(SmallDiab());
+  auto b = GenerateDiabetes(SmallDiab());
+  for (size_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(a->GetValue(r, 0).str(), b->GetValue(r, 0).str());
+    EXPECT_EQ(a->GetValue(r, 8).dbl(), b->GetValue(r, 8).dbl());
+  }
+}
+
+TEST(DiabetesGeneratorTest, LevelFrequenciesAreSkewed) {
+  auto t = GenerateDiabetes(SmallDiab());
+  const auto* race = *t->CategoricalColumnByName("race");
+  std::vector<int> counts(race->cardinality(), 0);
+  for (int32_t code : race->codes()) ++counts[code];
+  // Zipf skew: first level strictly more frequent than last.
+  EXPECT_GT(counts.front(), counts.back());
+}
+
+TEST(DiabetesGeneratorTest, EffectsCreateGroupDifferences) {
+  // With effect_sigma > 0, group means of a measure should differ across
+  // levels of a dimension by more than noise alone would produce.
+  DiabetesOptions options = SmallDiab();
+  options.num_rows = 20000;
+  auto t = GenerateDiabetes(options);
+  const auto* dim = *t->CategoricalColumnByName("diag_group");
+  const auto* m = *t->DoubleColumnByName("num_medications");
+  std::vector<double> sum(dim->cardinality(), 0.0);
+  std::vector<int> n(dim->cardinality(), 0);
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    sum[dim->code(r)] += m->at(r);
+    ++n[dim->code(r)];
+  }
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int32_t c = 0; c < dim->cardinality(); ++c) {
+    const double mean = sum[c] / n[c];
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+  }
+  EXPECT_GT(hi / lo, 1.05);  // at least 5% spread across groups
+}
+
+TEST(DiabetesGeneratorTest, InvalidOptionsRejected) {
+  DiabetesOptions bad = SmallDiab();
+  bad.effect_sigma = -1.0;
+  EXPECT_FALSE(GenerateDiabetes(bad).ok());
+}
+
+}  // namespace
+}  // namespace vs::data

@@ -1,0 +1,125 @@
+#include "data/groupby2d.h"
+
+#include <gtest/gtest.h>
+
+#include "data/groupby.h"
+
+namespace vs::data {
+namespace {
+
+Table GridTable() {
+  auto schema = *Schema::Make({
+      {"color", DataType::kString, FieldRole::kDimension},
+      {"size", DataType::kString, FieldRole::kDimension},
+      {"x", DataType::kDouble, FieldRole::kDimension},
+      {"v", DataType::kDouble, FieldRole::kMeasure},
+  });
+  TableBuilder b(schema);
+  // (color, size, x, v)
+  EXPECT_TRUE(b.AppendRow({Value("r"), Value("S"), Value(0.0), Value(1.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("r"), Value("L"), Value(1.0), Value(2.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("g"), Value("S"), Value(2.0), Value(3.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("g"), Value("L"), Value(3.0), Value(4.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("r"), Value("S"), Value(4.0), Value(5.0)}).ok());
+  return *b.Build();
+}
+
+TEST(GroupBy2DTest, CategoricalGridSums) {
+  Table t = GridTable();
+  GroupBy2DSpec spec{"color", "size", "v", AggregateFunction::kSum, 0, 0};
+  auto r = ExecuteGroupBy2D(t, spec, nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);  // r, g
+  ASSERT_EQ(r->num_cols(), 2u);  // S, L
+  EXPECT_EQ(r->row_labels, (std::vector<std::string>{"r", "g"}));
+  EXPECT_EQ(r->col_labels, (std::vector<std::string>{"S", "L"}));
+  EXPECT_DOUBLE_EQ(r->value(0, 0), 6.0);  // r,S: 1 + 5
+  EXPECT_DOUBLE_EQ(r->value(0, 1), 2.0);  // r,L
+  EXPECT_DOUBLE_EQ(r->value(1, 0), 3.0);  // g,S
+  EXPECT_DOUBLE_EQ(r->value(1, 1), 4.0);  // g,L
+  EXPECT_EQ(r->count(0, 0), 2);
+  EXPECT_EQ(r->rows_seen, 5);
+}
+
+TEST(GroupBy2DTest, MarginalsMatchOneDimensionalGroupBy) {
+  Table t = GridTable();
+  GroupBy2DSpec spec{"color", "size", "v", AggregateFunction::kSum, 0, 0};
+  auto grid = ExecuteGroupBy2D(t, spec, nullptr);
+  ASSERT_TRUE(grid.ok());
+
+  GroupByExecutor executor(&t);
+  auto by_color =
+      executor.Execute({"color", "v", AggregateFunction::kSum, 0}, nullptr);
+  ASSERT_TRUE(by_color.ok());
+  for (size_t r = 0; r < grid->num_rows(); ++r) {
+    double row_sum = 0.0;
+    for (size_t c = 0; c < grid->num_cols(); ++c) {
+      row_sum += grid->value(r, c);
+    }
+    EXPECT_DOUBLE_EQ(row_sum, by_color->values[r]) << grid->row_labels[r];
+  }
+}
+
+TEST(GroupBy2DTest, MixedCategoricalNumeric) {
+  Table t = GridTable();
+  GroupBy2DSpec spec{"color", "x", "v", AggregateFunction::kCount, 0, 2};
+  auto r = ExecuteGroupBy2D(t, spec, nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  ASSERT_EQ(r->num_cols(), 2u);  // x in [0,2) and [2,4]
+  // r rows: x = 0, 1 (bin 0) and 4 (bin 1); g rows: x = 2, 3 (bin 1).
+  EXPECT_DOUBLE_EQ(r->value(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(r->value(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(r->value(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r->value(1, 1), 2.0);
+}
+
+TEST(GroupBy2DTest, SelectionKeepsFullGridShape) {
+  Table t = GridTable();
+  GroupBy2DSpec spec{"color", "size", "v", AggregateFunction::kCount, 0, 0};
+  SelectionVector sel = {0};  // single (r, S) row
+  auto r = ExecuteGroupBy2D(t, spec, &sel);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_cells(), 4u);
+  EXPECT_DOUBLE_EQ(r->value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r->value(1, 1), 0.0);
+  EXPECT_EQ(r->rows_seen, 1);
+}
+
+TEST(GroupBy2DTest, Validation) {
+  Table t = GridTable();
+  // Same dimension twice.
+  EXPECT_FALSE(ExecuteGroupBy2D(
+                   t, {"color", "color", "v", AggregateFunction::kSum, 0, 0},
+                   nullptr)
+                   .ok());
+  // Categorical with bins.
+  EXPECT_FALSE(ExecuteGroupBy2D(
+                   t, {"color", "size", "v", AggregateFunction::kSum, 2, 0},
+                   nullptr)
+                   .ok());
+  // Numeric without bins.
+  EXPECT_FALSE(ExecuteGroupBy2D(
+                   t, {"color", "x", "v", AggregateFunction::kSum, 0, 0},
+                   nullptr)
+                   .ok());
+  // Unknown columns.
+  EXPECT_FALSE(ExecuteGroupBy2D(
+                   t, {"bogus", "size", "v", AggregateFunction::kSum, 0, 0},
+                   nullptr)
+                   .ok());
+  // Out-of-range selection.
+  SelectionVector bad = {99};
+  EXPECT_FALSE(ExecuteGroupBy2D(
+                   t, {"color", "size", "v", AggregateFunction::kSum, 0, 0},
+                   &bad)
+                   .ok());
+}
+
+TEST(GroupBy2DSpecTest, ToStringFormat) {
+  GroupBy2DSpec spec{"a", "b", "m", AggregateFunction::kAvg, 3, 4};
+  EXPECT_EQ(spec.ToString(), "AVG(m) GROUP BY a x b [3 x 4 bins]");
+}
+
+}  // namespace
+}  // namespace vs::data

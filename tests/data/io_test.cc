@@ -1,0 +1,134 @@
+#include "data/io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace vs::data {
+namespace {
+
+Table MixedTable() {
+  auto schema = *Schema::Make({
+      {"city", DataType::kString, FieldRole::kDimension},
+      {"count", DataType::kInt64, FieldRole::kMeasure},
+      {"score", DataType::kDouble, FieldRole::kMeasure},
+  });
+  TableBuilder b(schema);
+  EXPECT_TRUE(
+      b.AppendRow({Value("nyc"), Value(int64_t{5}), Value(1.25)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(), Value(int64_t{-3}), Value()}).ok());
+  EXPECT_TRUE(
+      b.AppendRow({Value("sf"), Value(), Value(-0.5)}).ok());
+  EXPECT_TRUE(
+      b.AppendRow({Value("nyc"), Value(int64_t{7}), Value(3.75)}).ok());
+  return *b.Build();
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  EXPECT_TRUE(a.schema() == b.schema());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.GetValue(r, c), b.GetValue(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(TableIoTest, RoundTripPreservesEverything) {
+  Table t = MixedTable();
+  auto bytes = SerializeTable(t);
+  ASSERT_TRUE(bytes.ok());
+  auto back = DeserializeTable(*bytes);
+  ASSERT_TRUE(back.ok());
+  ExpectTablesEqual(t, *back);
+}
+
+TEST(TableIoTest, RoundTripPreservesDictionaryOrder) {
+  Table t = MixedTable();
+  auto back = DeserializeTable(*SerializeTable(t));
+  ASSERT_TRUE(back.ok());
+  const auto* orig = *t.CategoricalColumnByName("city");
+  const auto* loaded = *back->CategoricalColumnByName("city");
+  EXPECT_EQ(orig->dictionary(), loaded->dictionary());
+  EXPECT_EQ(orig->codes(), loaded->codes());
+}
+
+TEST(TableIoTest, RoundTripPreservesRoles) {
+  Table t = MixedTable();
+  auto back = DeserializeTable(*SerializeTable(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->schema().field(0).role, FieldRole::kDimension);
+  EXPECT_EQ(back->schema().field(1).role, FieldRole::kMeasure);
+}
+
+TEST(TableIoTest, EmptyTableRoundTrips) {
+  auto schema = *Schema::Make({{"v", DataType::kDouble, FieldRole::kMeasure}});
+  TableBuilder b(schema);
+  Table t = *b.Build();
+  auto back = DeserializeTable(*SerializeTable(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_EQ(back->num_columns(), 1u);
+}
+
+TEST(TableIoTest, GeneratedDatasetRoundTrips) {
+  DiabetesOptions options;
+  options.num_rows = 500;
+  Table t = *GenerateDiabetes(options);
+  auto back = DeserializeTable(*SerializeTable(t));
+  ASSERT_TRUE(back.ok());
+  ExpectTablesEqual(t, *back);
+}
+
+TEST(TableIoTest, RejectsBadMagicAndVersion) {
+  EXPECT_FALSE(DeserializeTable("").ok());
+  EXPECT_FALSE(DeserializeTable("XXXX").ok());
+  Table t = MixedTable();
+  std::string bytes = *SerializeTable(t);
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'Z';
+  EXPECT_FALSE(DeserializeTable(bad_magic).ok());
+  std::string bad_version = bytes;
+  bad_version[4] = 99;
+  auto r = DeserializeTable(bad_version);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotSupported());
+}
+
+TEST(TableIoTest, RejectsTruncation) {
+  Table t = MixedTable();
+  std::string bytes = *SerializeTable(t);
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{10}}) {
+    EXPECT_FALSE(DeserializeTable(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(TableIoTest, RejectsTrailingGarbage) {
+  Table t = MixedTable();
+  std::string bytes = *SerializeTable(t) + "extra";
+  EXPECT_FALSE(DeserializeTable(bytes).ok());
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  Table t = MixedTable();
+  const std::string path = ::testing::TempDir() + "/vs_io_test.vst";
+  ASSERT_TRUE(WriteTableFile(t, path).ok());
+  auto back = ReadTableFile(path);
+  ASSERT_TRUE(back.ok());
+  ExpectTablesEqual(t, *back);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MissingFileIsIOError) {
+  auto r = ReadTableFile("/nonexistent/file.vst");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace vs::data

@@ -1,0 +1,145 @@
+#include "data/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+Table TestTable() {
+  auto schema = *Schema::Make({
+      {"city", DataType::kString, FieldRole::kDimension},
+      {"age", DataType::kInt64, FieldRole::kMeasure},
+      {"score", DataType::kDouble, FieldRole::kMeasure},
+  });
+  TableBuilder b(schema);
+  // row 0..5
+  EXPECT_TRUE(b.AppendRow({Value("nyc"), Value(int64_t{25}), Value(0.5)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("sf"), Value(int64_t{30}), Value(0.9)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("nyc"), Value(int64_t{35}), Value(0.1)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("la"), Value(int64_t{40}), Value(0.7)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value(), Value(int64_t{45}), Value(0.3)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("sf"), Value(), Value(0.6)}).ok());
+  return *b.Build();
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, Compare("age", CompareOp::kGe, Value(int64_t{35})));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelectionVector{2, 3, 4}));
+
+  sel = SelectRows(t, Compare("age", CompareOp::kLt, Value(int64_t{30})));
+  EXPECT_EQ(*sel, (SelectionVector{0}));
+
+  sel = SelectRows(t, Compare("score", CompareOp::kEq, Value(0.7)));
+  EXPECT_EQ(*sel, (SelectionVector{3}));
+
+  sel = SelectRows(t, Compare("age", CompareOp::kNe, Value(int64_t{25})));
+  // Null age (row 5) never matches, even under !=.
+  EXPECT_EQ(*sel, (SelectionVector{1, 2, 3, 4}));
+}
+
+TEST(PredicateTest, CategoricalEquality) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, Compare("city", CompareOp::kEq, Value("nyc")));
+  EXPECT_EQ(*sel, (SelectionVector{0, 2}));
+
+  sel = SelectRows(t, Compare("city", CompareOp::kNe, Value("nyc")));
+  // Null city (row 4) excluded.
+  EXPECT_EQ(*sel, (SelectionVector{1, 3, 5}));
+}
+
+TEST(PredicateTest, CategoricalEqualityAgainstUnknownLabel) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, Compare("city", CompareOp::kEq, Value("tokyo")));
+  EXPECT_TRUE(sel->empty());
+  sel = SelectRows(t, Compare("city", CompareOp::kNe, Value("tokyo")));
+  EXPECT_EQ(*sel, (SelectionVector{0, 1, 2, 3, 5}));
+}
+
+TEST(PredicateTest, CategoricalOrderingIsLexicographic) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, Compare("city", CompareOp::kLt, Value("nyc")));
+  EXPECT_EQ(*sel, (SelectionVector{3}));  // only "la"
+}
+
+TEST(PredicateTest, InSetCategorical) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, InSet("city", {Value("sf"), Value("la"),
+                                          Value("unknown")}));
+  EXPECT_EQ(*sel, (SelectionVector{1, 3, 5}));
+}
+
+TEST(PredicateTest, InSetNumeric) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, InSet("age", {Value(int64_t{25}),
+                                         Value(int64_t{45})}));
+  EXPECT_EQ(*sel, (SelectionVector{0, 4}));
+}
+
+TEST(PredicateTest, BetweenIsHalfOpen) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, Between("age", 30.0, 40.0));
+  EXPECT_EQ(*sel, (SelectionVector{1, 2}));  // 40 excluded
+}
+
+TEST(PredicateTest, AndOrNot) {
+  Table t = TestTable();
+  auto nyc = Compare("city", CompareOp::kEq, Value("nyc"));
+  auto young = Compare("age", CompareOp::kLe, Value(int64_t{30}));
+  auto sel = SelectRows(t, And({nyc, young}));
+  EXPECT_EQ(*sel, (SelectionVector{0}));
+
+  sel = SelectRows(t, Or({nyc, young}));
+  EXPECT_EQ(*sel, (SelectionVector{0, 1, 2}));
+
+  sel = SelectRows(t, Not(nyc));
+  EXPECT_EQ(*sel, (SelectionVector{1, 3, 4, 5}));  // pure complement
+}
+
+TEST(PredicateTest, TrueAndEmptyOr) {
+  Table t = TestTable();
+  auto all = SelectRows(t, True());
+  EXPECT_EQ(all->size(), 6u);
+  auto none = SelectRows(t, Or({}));
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(PredicateTest, NullPredicateSelectsEverything) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, static_cast<const Predicate*>(nullptr));
+  EXPECT_EQ(sel->size(), 6u);
+}
+
+TEST(PredicateTest, UnknownColumnIsNotFound) {
+  Table t = TestTable();
+  auto sel = SelectRows(t, Compare("bogus", CompareOp::kEq, Value(1.0)));
+  EXPECT_FALSE(sel.ok());
+  EXPECT_TRUE(sel.status().IsNotFound());
+}
+
+TEST(PredicateTest, TypeMismatchesRejected) {
+  Table t = TestTable();
+  EXPECT_FALSE(
+      SelectRows(t, Compare("city", CompareOp::kEq, Value(1.0))).ok());
+  EXPECT_FALSE(
+      SelectRows(t, Compare("age", CompareOp::kEq, Value("x"))).ok());
+  EXPECT_FALSE(SelectRows(t, Compare("age", CompareOp::kEq, Value())).ok());
+  EXPECT_FALSE(SelectRows(t, InSet("city", {Value(1.0)})).ok());
+  EXPECT_FALSE(SelectRows(t, Between("city", 0.0, 1.0)).ok());
+}
+
+TEST(PredicateTest, ToStringRendersTree) {
+  auto p = And({Compare("age", CompareOp::kGe, Value(int64_t{30})),
+                Not(Compare("city", CompareOp::kEq, Value("nyc")))});
+  EXPECT_EQ(p->ToString(), "(age >= 30 AND NOT city == nyc)");
+}
+
+TEST(CompareOpTest, Names) {
+  EXPECT_EQ(CompareOpName(CompareOp::kEq), "==");
+  EXPECT_EQ(CompareOpName(CompareOp::kNe), "!=");
+  EXPECT_EQ(CompareOpName(CompareOp::kLe), "<=");
+}
+
+}  // namespace
+}  // namespace vs::data

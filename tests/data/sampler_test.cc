@@ -1,0 +1,121 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+TEST(BernoulliSampleTest, RateZeroAndOne) {
+  vs::Rng rng(1);
+  EXPECT_TRUE(BernoulliSample(100, 0.0, &rng).empty());
+  auto all = BernoulliSample(100, 1.0, &rng);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(all.front(), 0u);
+  EXPECT_EQ(all.back(), 99u);
+}
+
+TEST(BernoulliSampleTest, RateApproximatelyRespected) {
+  vs::Rng rng(2);
+  auto sel = BernoulliSample(100000, 0.1, &rng);
+  EXPECT_NEAR(static_cast<double>(sel.size()) / 100000.0, 0.1, 0.01);
+}
+
+TEST(BernoulliSampleTest, OutputIsSortedAndUnique) {
+  vs::Rng rng(3);
+  auto sel = BernoulliSample(10000, 0.3, &rng);
+  EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+  EXPECT_EQ(std::adjacent_find(sel.begin(), sel.end()), sel.end());
+}
+
+TEST(BernoulliSampleTest, Deterministic) {
+  vs::Rng a(42);
+  vs::Rng b(42);
+  EXPECT_EQ(BernoulliSample(1000, 0.5, &a), BernoulliSample(1000, 0.5, &b));
+}
+
+TEST(BernoulliSampleTest, OfSelectionSubsets) {
+  vs::Rng rng(4);
+  SelectionVector base = {5, 10, 15, 20, 25, 30};
+  auto sub = BernoulliSample(base, 0.5, &rng);
+  for (uint32_t r : sub) {
+    EXPECT_TRUE(std::binary_search(base.begin(), base.end(), r));
+  }
+  vs::Rng rng2(5);
+  EXPECT_EQ(BernoulliSample(base, 1.0, &rng2), base);
+}
+
+TEST(ReservoirSampleTest, ExactSize) {
+  vs::Rng rng(6);
+  EXPECT_EQ(ReservoirSample(100, 10, &rng).size(), 10u);
+  EXPECT_EQ(ReservoirSample(5, 10, &rng).size(), 5u);  // k > n
+  EXPECT_TRUE(ReservoirSample(0, 10, &rng).empty());
+  EXPECT_TRUE(ReservoirSample(10, 0, &rng).empty());
+}
+
+TEST(ReservoirSampleTest, SortedUniqueInRange) {
+  vs::Rng rng(7);
+  auto sel = ReservoirSample(1000, 100, &rng);
+  EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+  EXPECT_EQ(std::adjacent_find(sel.begin(), sel.end()), sel.end());
+  EXPECT_LT(sel.back(), 1000u);
+}
+
+TEST(ReservoirSampleTest, UniformCoverage) {
+  // Each of 10 items should appear in ~half of many size-5 samples.
+  std::vector<int> hits(10, 0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    vs::Rng rng(1000 + trial);
+    for (uint32_t r : ReservoirSample(10, 5, &rng)) ++hits[r];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / 2000.0, 0.5, 0.05);
+  }
+}
+
+TEST(ReservoirSampleTest, OfSelectionDrawsFromSelection) {
+  vs::Rng rng(8);
+  SelectionVector base = {2, 4, 8, 16, 32};
+  auto sub = ReservoirSample(base, 3, &rng);
+  EXPECT_EQ(sub.size(), 3u);
+  for (uint32_t r : sub) {
+    EXPECT_TRUE(std::binary_search(base.begin(), base.end(), r));
+  }
+}
+
+TEST(StratifiedSampleTest, PerStratumQuota) {
+  // 100 rows of stratum 0, 10 rows of stratum 1.
+  std::vector<int32_t> strata;
+  for (int i = 0; i < 100; ++i) strata.push_back(0);
+  for (int i = 0; i < 10; ++i) strata.push_back(1);
+  vs::Rng rng(9);
+  auto sel = StratifiedSample(strata, 2, 0.2, &rng);
+  ASSERT_TRUE(sel.ok());
+  int s0 = 0;
+  int s1 = 0;
+  for (uint32_t r : *sel) {
+    (strata[r] == 0 ? s0 : s1)++;
+  }
+  EXPECT_EQ(s0, 20);  // ceil(0.2 * 100)
+  EXPECT_EQ(s1, 2);   // ceil(0.2 * 10)
+}
+
+TEST(StratifiedSampleTest, InvalidInputs) {
+  vs::Rng rng(10);
+  std::vector<int32_t> strata = {0, 1, 2};
+  EXPECT_FALSE(StratifiedSample(strata, 0, 0.5, &rng).ok());
+  EXPECT_FALSE(StratifiedSample(strata, 2, 0.5, &rng).ok());  // code 2 oob
+}
+
+TEST(StratifiedSampleTest, SortedOutput) {
+  std::vector<int32_t> strata;
+  for (int i = 0; i < 50; ++i) strata.push_back(i % 3);
+  vs::Rng rng(11);
+  auto sel = StratifiedSample(strata, 3, 0.4, &rng);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(std::is_sorted(sel->begin(), sel->end()));
+}
+
+}  // namespace
+}  // namespace vs::data

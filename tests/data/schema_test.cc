@@ -1,0 +1,87 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+Schema MakeTestSchema() {
+  auto r = Schema::Make({
+      {"region", DataType::kString, FieldRole::kDimension},
+      {"year", DataType::kInt64, FieldRole::kDimension},
+      {"sales", DataType::kDouble, FieldRole::kMeasure},
+      {"cost", DataType::kDouble, FieldRole::kMeasure},
+      {"note", DataType::kString, FieldRole::kOther},
+  });
+  return *r;
+}
+
+TEST(SchemaTest, MakeAndLookup) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.num_fields(), 5u);
+  EXPECT_EQ(*s.FieldIndex("sales"), 2u);
+  EXPECT_EQ(s.field(0).name, "region");
+  EXPECT_TRUE(s.HasField("cost"));
+  EXPECT_FALSE(s.HasField("nope"));
+}
+
+TEST(SchemaTest, FieldIndexMissingIsNotFound) {
+  Schema s = MakeTestSchema();
+  auto r = s.FieldIndex("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto r = Schema::Make({
+      {"a", DataType::kInt64, FieldRole::kDimension},
+      {"a", DataType::kDouble, FieldRole::kMeasure},
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto r = Schema::Make({{"", DataType::kInt64, FieldRole::kMeasure}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RoleQueries) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.FieldsWithRole(FieldRole::kDimension),
+            (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(s.FieldsWithRole(FieldRole::kMeasure),
+            (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(s.NamesWithRole(FieldRole::kMeasure),
+            (std::vector<std::string>{"sales", "cost"}));
+  EXPECT_EQ(s.NamesWithRole(FieldRole::kOther),
+            (std::vector<std::string>{"note"}));
+}
+
+TEST(SchemaTest, EmptySchemaIsValid) {
+  auto r = Schema::Make({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_fields(), 0u);
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_EQ(MakeTestSchema(), MakeTestSchema());
+  auto other = Schema::Make({{"x", DataType::kInt64, FieldRole::kMeasure}});
+  EXPECT_FALSE(MakeTestSchema() == *other);
+}
+
+TEST(SchemaTest, ToStringMentionsEveryField) {
+  std::string s = MakeTestSchema().ToString();
+  EXPECT_NE(s.find("region:string:dimension"), std::string::npos);
+  EXPECT_NE(s.find("sales:double:measure"), std::string::npos);
+}
+
+TEST(FieldRoleTest, Names) {
+  EXPECT_EQ(FieldRoleName(FieldRole::kDimension), "dimension");
+  EXPECT_EQ(FieldRoleName(FieldRole::kMeasure), "measure");
+  EXPECT_EQ(FieldRoleName(FieldRole::kOther), "other");
+}
+
+}  // namespace
+}  // namespace vs::data

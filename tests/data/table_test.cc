@@ -1,0 +1,146 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+Schema SalesSchema() {
+  return *Schema::Make({
+      {"region", DataType::kString, FieldRole::kDimension},
+      {"units", DataType::kInt64, FieldRole::kMeasure},
+      {"revenue", DataType::kDouble, FieldRole::kMeasure},
+  });
+}
+
+Table SmallTable() {
+  TableBuilder b(SalesSchema());
+  EXPECT_TRUE(b.AppendRow({Value("east"), Value(int64_t{3}), Value(30.0)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("west"), Value(int64_t{5}), Value(55.5)}).ok());
+  EXPECT_TRUE(b.AppendRow({Value("east"), Value(int64_t{2}), Value(20.0)}).ok());
+  return *b.Build();
+}
+
+TEST(TableBuilderTest, BuildsWithCorrectShape) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.GetValue(1, 0).str(), "west");
+  EXPECT_EQ(t.GetValue(1, 1).int64(), 5);
+  EXPECT_DOUBLE_EQ(t.GetValue(1, 2).dbl(), 55.5);
+}
+
+TEST(TableBuilderTest, RejectsWrongArity) {
+  TableBuilder b(SalesSchema());
+  auto s = b.AppendRow({Value("east"), Value(int64_t{3})});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(b.num_rows(), 0u);
+}
+
+TEST(TableBuilderTest, RejectsTypeMismatch) {
+  TableBuilder b(SalesSchema());
+  auto s = b.AppendRow({Value(int64_t{1}), Value(int64_t{3}), Value(1.0)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(TableBuilderTest, FailedAppendLeavesBuilderConsistent) {
+  TableBuilder b(SalesSchema());
+  // Last cell bad: no column may be partially appended.
+  auto s = b.AppendRow({Value("x"), Value(int64_t{1}), Value("oops")});
+  EXPECT_FALSE(s.ok());
+  ASSERT_TRUE(b.AppendRow({Value("y"), Value(int64_t{2}), Value(2.0)}).ok());
+  Table t = *b.Build();
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.GetValue(0, 0).str(), "y");
+}
+
+TEST(TableBuilderTest, WidensIntToDouble) {
+  TableBuilder b(SalesSchema());
+  ASSERT_TRUE(
+      b.AppendRow({Value("e"), Value(int64_t{1}), Value(int64_t{10})}).ok());
+  Table t = *b.Build();
+  EXPECT_DOUBLE_EQ(t.GetValue(0, 2).dbl(), 10.0);
+}
+
+TEST(TableBuilderTest, AcceptsNullsAnywhere) {
+  TableBuilder b(SalesSchema());
+  ASSERT_TRUE(b.AppendRow({Value(), Value(), Value()}).ok());
+  Table t = *b.Build();
+  EXPECT_TRUE(t.GetValue(0, 0).is_null());
+  EXPECT_TRUE(t.GetValue(0, 1).is_null());
+  EXPECT_TRUE(t.GetValue(0, 2).is_null());
+}
+
+TEST(TableTest, ColumnByNameAndTyped) {
+  Table t = SmallTable();
+  ASSERT_TRUE(t.ColumnByName("region").ok());
+  EXPECT_FALSE(t.ColumnByName("bogus").ok());
+  ASSERT_TRUE(t.CategoricalColumnByName("region").ok());
+  ASSERT_TRUE(t.Int64ColumnByName("units").ok());
+  ASSERT_TRUE(t.DoubleColumnByName("revenue").ok());
+  EXPECT_FALSE(t.DoubleColumnByName("region").ok());
+  EXPECT_FALSE(t.CategoricalColumnByName("units").ok());
+}
+
+TEST(TableTest, MakeRejectsLengthMismatch) {
+  auto schema = *Schema::Make({
+      {"a", DataType::kInt64, FieldRole::kMeasure},
+      {"b", DataType::kInt64, FieldRole::kMeasure},
+  });
+  auto c1 = std::make_shared<Int64Column>(std::vector<int64_t>{1, 2});
+  auto c2 = std::make_shared<Int64Column>(std::vector<int64_t>{1});
+  EXPECT_FALSE(Table::Make(schema, {c1, c2}).ok());
+}
+
+TEST(TableTest, MakeRejectsTypeMismatch) {
+  auto schema =
+      *Schema::Make({{"a", DataType::kDouble, FieldRole::kMeasure}});
+  auto c1 = std::make_shared<Int64Column>(std::vector<int64_t>{1});
+  EXPECT_FALSE(Table::Make(schema, {c1}).ok());
+}
+
+TEST(TableTest, TakeMaterializesSubset) {
+  Table t = SmallTable();
+  auto sub = t.Take({0, 2});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_rows(), 2u);
+  EXPECT_EQ(sub->GetValue(0, 0).str(), "east");
+  EXPECT_EQ(sub->GetValue(1, 1).int64(), 2);
+}
+
+TEST(TableTest, TakeRejectsUnsortedOrOutOfRange) {
+  Table t = SmallTable();
+  EXPECT_FALSE(t.Take({2, 0}).ok());
+  EXPECT_FALSE(t.Take({0, 0}).ok());
+  EXPECT_FALSE(t.Take({0, 99}).ok());
+}
+
+TEST(TableTest, AllRowsSelection) {
+  Table t = SmallTable();
+  SelectionVector all = t.AllRows();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 0u);
+  EXPECT_EQ(all[2], 2u);
+}
+
+TEST(NumericColumnViewTest, WrapsBothNumericTypes) {
+  Int64Column ints({1, 2});
+  DoubleColumn dbls(std::vector<double>{0.5, 1.5});
+  auto iv = NumericColumnView::Wrap(&ints);
+  ASSERT_TRUE(iv.ok());
+  EXPECT_DOUBLE_EQ(iv->at(1), 2.0);
+  auto dv = NumericColumnView::Wrap(&dbls);
+  ASSERT_TRUE(dv.ok());
+  EXPECT_DOUBLE_EQ(dv->at(0), 0.5);
+  EXPECT_EQ(dv->size(), 2u);
+}
+
+TEST(NumericColumnViewTest, RejectsCategorical) {
+  CategoricalColumn cat;
+  cat.Append("x");
+  EXPECT_FALSE(NumericColumnView::Wrap(&cat).ok());
+}
+
+}  // namespace
+}  // namespace vs::data

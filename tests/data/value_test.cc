@@ -1,0 +1,81 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::data {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypedConstructors) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(std::string("abc")).is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{7}).int64(), 7);
+  EXPECT_DOUBLE_EQ(Value(1.5).dbl(), 1.5);
+  EXPECT_EQ(Value("hi").str(), "hi");
+}
+
+TEST(ValueTest, AsDoubleCoercesNumericsOnly) {
+  double out = 0.0;
+  EXPECT_TRUE(Value(int64_t{3}).AsDouble(&out));
+  EXPECT_DOUBLE_EQ(out, 3.0);
+  EXPECT_TRUE(Value(2.5).AsDouble(&out));
+  EXPECT_DOUBLE_EQ(out, 2.5);
+  EXPECT_FALSE(Value("3").AsDouble(&out));
+  EXPECT_FALSE(Value().AsDouble(&out));
+}
+
+TEST(ValueTest, NumericCompareAcrossKinds) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(3.0).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, NullsSortFirst) {
+  EXPECT_LT(Value().Compare(Value(int64_t{0})), 0);
+  EXPECT_GT(Value(int64_t{0}).Compare(Value()), 0);
+  EXPECT_EQ(Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+  EXPECT_GT(Value("z").Compare(Value("a")), 0);
+}
+
+TEST(ValueTest, NumericsSortBeforeStrings) {
+  EXPECT_LT(Value(int64_t{999}).Compare(Value("0")), 0);
+  EXPECT_GT(Value("0").Compare(Value(999.0)), 0);
+}
+
+TEST(ValueTest, EqualityAndLess) {
+  EXPECT_TRUE(Value(int64_t{4}) == Value(4.0));
+  EXPECT_TRUE(Value(1.0) < Value(int64_t{2}));
+  EXPECT_FALSE(Value("a") == Value("b"));
+}
+
+TEST(ValueTest, ToStringRendersByType) {
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("text").ToString(), "text");
+  EXPECT_EQ(Value(0.5).ToString(), "0.5");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeName(DataType::kNull), "null");
+  EXPECT_EQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeName(DataType::kDouble), "double");
+  EXPECT_EQ(DataTypeName(DataType::kString), "string");
+}
+
+}  // namespace
+}  // namespace vs::data

@@ -1,0 +1,125 @@
+/// Weight-recovery validation: after a converged session, the learned
+/// view utility estimator should not merely rank views correctly — its
+/// coefficients should recover the hidden u* weights themselves (up to the
+/// user's normalization scale).  This is the strongest statement of the
+/// paper's claim that ViewSeeker "discovers the utility function".
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/seeker.h"
+#include "core/simulated_user.h"
+#include "core/utility_features.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+
+namespace vs::core {
+namespace {
+
+class WeightRecovery : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    data::DiabetesOptions options;
+    options.num_rows = 3000;
+    options.seed = 77;
+    table_ = new data::Table(*data::GenerateDiabetes(options));
+    query_ = new data::SelectionVector(*data::SelectRows(
+        *table_, data::Compare("age_group", data::CompareOp::kEq,
+                               data::Value("[70+)"))));
+    registry_ = new UtilityFeatureRegistry(UtilityFeatureRegistry::Default());
+    auto views = *EnumerateViews(*table_, {});
+    matrix_ = new FeatureMatrix(*FeatureMatrix::Build(
+        table_, views, *query_, registry_, FeatureMatrixOptions{}));
+  }
+
+  static void TearDownTestSuite() {
+    delete matrix_;
+    delete registry_;
+    delete query_;
+    delete table_;
+  }
+
+  static data::Table* table_;
+  static data::SelectionVector* query_;
+  static UtilityFeatureRegistry* registry_;
+  static FeatureMatrix* matrix_;
+};
+
+data::Table* WeightRecovery::table_ = nullptr;
+data::SelectionVector* WeightRecovery::query_ = nullptr;
+UtilityFeatureRegistry* WeightRecovery::registry_ = nullptr;
+FeatureMatrix* WeightRecovery::matrix_ = nullptr;
+
+TEST_P(WeightRecovery, LearnedCoefficientsMatchHiddenWeights) {
+  const auto presets = Table2Presets();
+  const IdealUtilityFunction& ideal =
+      presets[static_cast<size_t>(GetParam())];
+
+  // Run a session with plenty of labels so the fit is well-determined.
+  auto user = SimulatedUser::Make(&matrix_->normalized(), ideal);
+  ASSERT_TRUE(user.ok());
+  ViewSeekerOptions options;
+  options.k = 5;
+  options.seed = 13;
+  auto seeker = ViewSeeker::Make(matrix_, options);
+  ASSERT_TRUE(seeker.ok());
+  for (int i = 0; i < 40 && seeker->num_unlabeled() > 0; ++i) {
+    auto q = seeker->NextQueries();
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(seeker->SubmitLabel((*q)[0], *user->Label((*q)[0])).ok());
+  }
+
+  // The simulated user labels with u*(v) / max(u*), so the learned
+  // coefficients should equal weights / max(u*).  Normalize both to sum 1
+  // before comparing (Table 2 weights are non-negative and sum to 1).
+  const ml::Vector& learned = seeker->utility_estimator().model().coefficients();
+  double learned_sum = 0.0;
+  for (double c : learned) learned_sum += std::max(c, 0.0);
+  ASSERT_GT(learned_sum, 0.0);
+  for (size_t j = 0; j < learned.size(); ++j) {
+    const double normalized = std::max(learned[j], 0.0) / learned_sum;
+    EXPECT_NEAR(normalized, ideal.weights()[j], 0.05)
+        << ideal.name() << " feature "
+        << UtilityFeatureName(static_cast<UtilityFeature>(j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, WeightRecovery,
+                         ::testing::Range(0, 11));
+
+TEST(TrendFeatureTest, DetectsOppositeTrends) {
+  auto trend = MakeTrendFeature();
+  ViewMaterialization view;
+  view.target_dist = stats::Distribution{{0.4, 0.3, 0.2, 0.1}};     // falling
+  view.reference_dist = stats::Distribution{{0.1, 0.2, 0.3, 0.4}};  // rising
+  auto opposite = trend(view);
+  ASSERT_TRUE(opposite.ok());
+
+  view.target_dist = stats::Distribution{{0.1, 0.2, 0.3, 0.4}};
+  auto same = trend(view);
+  ASSERT_TRUE(same.ok());
+  EXPECT_GT(*opposite, *same);
+  EXPECT_NEAR(*same, 0.0, 1e-12);
+}
+
+TEST(TrendFeatureTest, FlatDistributionsHaveZeroTrend) {
+  auto trend = MakeTrendFeature();
+  ViewMaterialization view;
+  view.target_dist = stats::Distribution{{0.25, 0.25, 0.25, 0.25}};
+  view.reference_dist = stats::Distribution{{0.25, 0.25, 0.25, 0.25}};
+  auto r = trend(view);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.0, 1e-12);
+}
+
+TEST(TrendFeatureTest, RegistersAlongsideBuiltins) {
+  auto registry = UtilityFeatureRegistry::Default();
+  ASSERT_TRUE(registry.Register("TREND", MakeTrendFeature()).ok());
+  EXPECT_EQ(registry.size(), 9u);
+  EXPECT_EQ(*registry.IndexOf("TREND"), 8u);
+}
+
+}  // namespace
+}  // namespace vs::core

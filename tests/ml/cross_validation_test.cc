@@ -1,0 +1,129 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace vs::ml {
+namespace {
+
+TEST(KFoldSplitTest, PartitionsEveryIndexExactlyOnce) {
+  vs::Rng rng(1);
+  auto folds = KFoldSplit(17, 4, &rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 4u);
+  std::multiset<size_t> seen;
+  for (const Fold& fold : *folds) {
+    seen.insert(fold.validation.begin(), fold.validation.end());
+    EXPECT_EQ(fold.train.size() + fold.validation.size(), 17u);
+  }
+  EXPECT_EQ(seen.size(), 17u);
+  for (size_t i = 0; i < 17; ++i) EXPECT_EQ(seen.count(i), 1u) << i;
+}
+
+TEST(KFoldSplitTest, FoldSizesDifferByAtMostOne) {
+  vs::Rng rng(2);
+  auto folds = KFoldSplit(10, 3, &rng);
+  ASSERT_TRUE(folds.ok());
+  size_t lo = 99;
+  size_t hi = 0;
+  for (const Fold& fold : *folds) {
+    lo = std::min(lo, fold.validation.size());
+    hi = std::max(hi, fold.validation.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(KFoldSplitTest, TrainAndValidationDisjoint) {
+  vs::Rng rng(3);
+  auto folds = KFoldSplit(20, 5, &rng);
+  ASSERT_TRUE(folds.ok());
+  for (const Fold& fold : *folds) {
+    std::set<size_t> train(fold.train.begin(), fold.train.end());
+    for (size_t v : fold.validation) {
+      EXPECT_EQ(train.count(v), 0u);
+    }
+  }
+}
+
+TEST(KFoldSplitTest, Validation) {
+  vs::Rng rng(4);
+  EXPECT_FALSE(KFoldSplit(10, 1, &rng).ok());
+  EXPECT_FALSE(KFoldSplit(3, 4, &rng).ok());
+  EXPECT_FALSE(KFoldSplit(10, 3, nullptr).ok());
+}
+
+TEST(CrossValidateLinearTest, CleanLinearDataHasTinyMse) {
+  vs::Rng rng(5);
+  Matrix x(40, 2);
+  Vector y(40);
+  for (size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.NextDouble();
+    x(i, 1) = rng.NextDouble();
+    y[i] = 2.0 * x(i, 0) - x(i, 1) + 0.5;
+  }
+  auto mse = CrossValidateLinear(x, y, {}, 4, &rng);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_LT(*mse, 1e-6);
+}
+
+TEST(CrossValidateLinearTest, NoisyDataHasPositiveMse) {
+  vs::Rng rng(6);
+  Matrix x(40, 1);
+  Vector y(40);
+  for (size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.NextDouble();
+    y[i] = x(i, 0) + rng.NextGaussian();
+  }
+  auto mse = CrossValidateLinear(x, y, {}, 4, &rng);
+  ASSERT_TRUE(mse.ok());
+  EXPECT_GT(*mse, 0.1);
+}
+
+TEST(SelectRidgeStrengthTest, PrefersStrongRegularizationForPureNoise) {
+  // With random targets and many features, heavy shrinkage validates best.
+  vs::Rng rng(7);
+  Matrix x(30, 8);
+  Vector y(30);
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t j = 0; j < 8; ++j) x(i, j) = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  auto l2 = SelectRidgeStrength(x, y, {1e-8, 100.0}, 3, &rng);
+  ASSERT_TRUE(l2.ok());
+  EXPECT_DOUBLE_EQ(*l2, 100.0);
+}
+
+TEST(SelectRidgeStrengthTest, PrefersWeakRegularizationForCleanSignal) {
+  vs::Rng rng(8);
+  Matrix x(60, 2);
+  Vector y(60);
+  for (size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.NextDouble();
+    x(i, 1) = rng.NextDouble();
+    y[i] = 3.0 * x(i, 0) + x(i, 1);
+  }
+  auto l2 = SelectRidgeStrength(x, y, {1e-8, 100.0}, 4, &rng);
+  ASSERT_TRUE(l2.ok());
+  EXPECT_DOUBLE_EQ(*l2, 1e-8);
+}
+
+TEST(SelectRidgeStrengthTest, TooFewExamplesFallsBack) {
+  vs::Rng rng(9);
+  Matrix x(3, 1);
+  Vector y = {1.0, 2.0, 3.0};
+  auto l2 = SelectRidgeStrength(x, y, {0.5, 5.0}, 3, &rng);
+  ASSERT_TRUE(l2.ok());
+  EXPECT_DOUBLE_EQ(*l2, 0.5);
+}
+
+TEST(SelectRidgeStrengthTest, EmptyCandidatesRejected) {
+  vs::Rng rng(10);
+  Matrix x(10, 1);
+  Vector y(10, 0.0);
+  EXPECT_FALSE(SelectRidgeStrength(x, y, {}, 3, &rng).ok());
+}
+
+}  // namespace
+}  // namespace vs::ml

@@ -1,0 +1,175 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vs::ml {
+namespace {
+
+TEST(LinearRegressionTest, RecoversExactLinearFunction) {
+  // y = 1.5 + 2*x0 - 3*x1, noise-free.
+  vs::Rng rng(1);
+  Matrix x(50, 2);
+  Vector y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.NextDouble();
+    x(i, 1) = rng.NextDouble();
+    y[i] = 1.5 + 2.0 * x(i, 0) - 3.0 * x(i, 1);
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.intercept(), 1.5, 1e-4);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-4);
+  EXPECT_NEAR(model.coefficients()[1], -3.0, 1e-4);
+}
+
+TEST(LinearRegressionTest, PredictMatchesManualEvaluation) {
+  LinearRegression model;
+  model.SetParameters({2.0, -1.0}, 0.5);
+  auto p = model.Predict({3.0, 4.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 0.5 + 6.0 - 4.0);
+}
+
+TEST(LinearRegressionTest, PredictBatchMatchesPredict) {
+  vs::Rng rng(2);
+  Matrix x(10, 3);
+  Vector y(10);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 3; ++j) x(i, j) = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  auto batch = model.PredictBatch(x);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR((*batch)[i], *model.Predict(x.Row(i)), 1e-12);
+  }
+}
+
+TEST(LinearRegressionTest, SingleLabelFitsWithRidge) {
+  // The cold-start regime: 1 example, 8 features.  Ridge keeps this
+  // solvable.
+  Matrix x(1, 8);
+  for (size_t j = 0; j < 8; ++j) x(0, j) = 0.1 * static_cast<double>(j);
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, {0.7}).ok());
+  auto p = model.Predict(x.Row(0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.7, 1e-6);
+}
+
+TEST(LinearRegressionTest, InterceptNotShrunkByRidge) {
+  // Targets offset by a large constant; with centering the intercept must
+  // absorb it fully even under strong ridge.
+  LinearRegressionOptions options;
+  options.l2 = 100.0;
+  Matrix x = {{0.0}, {1.0}, {2.0}, {3.0}};
+  Vector y = {1000.0, 1000.0, 1000.0, 1000.0};
+  LinearRegression model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(*model.Predict({1.5}), 1000.0, 1e-9);
+}
+
+TEST(LinearRegressionTest, NoInterceptOption) {
+  LinearRegressionOptions options;
+  options.fit_intercept = false;
+  Matrix x = {{1.0}, {2.0}, {3.0}};
+  Vector y = {2.0, 4.0, 6.0};
+  LinearRegression model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_DOUBLE_EQ(model.intercept(), 0.0);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 1e-6);
+}
+
+TEST(LinearRegressionTest, NonnegativeConstraintActivates) {
+  // True relationship has a negative weight; constrained fit must clamp it
+  // to zero.
+  vs::Rng rng(3);
+  Matrix x(100, 2);
+  Vector y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.NextDouble();
+    x(i, 1) = rng.NextDouble();
+    y[i] = 2.0 * x(i, 0) - 1.0 * x(i, 1);
+  }
+  LinearRegressionOptions options;
+  options.nonnegative = true;
+  LinearRegression model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_GE(model.coefficients()[0], 0.0);
+  EXPECT_GE(model.coefficients()[1], 0.0);
+  EXPECT_NEAR(model.coefficients()[1], 0.0, 1e-9);
+  EXPECT_GT(model.coefficients()[0], 1.0);
+}
+
+TEST(LinearRegressionTest, NonnegativeKeepsPositiveSolutionUnchanged) {
+  vs::Rng rng(4);
+  Matrix x(80, 2);
+  Vector y(80);
+  for (size_t i = 0; i < 80; ++i) {
+    x(i, 0) = rng.NextDouble();
+    x(i, 1) = rng.NextDouble();
+    y[i] = 0.4 * x(i, 0) + 0.6 * x(i, 1);
+  }
+  LinearRegressionOptions options;
+  options.nonnegative = true;
+  LinearRegression model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.coefficients()[0], 0.4, 1e-3);
+  EXPECT_NEAR(model.coefficients()[1], 0.6, 1e-3);
+}
+
+TEST(LinearRegressionTest, ErrorsOnBadInputs) {
+  LinearRegression model;
+  EXPECT_FALSE(model.Fit(Matrix(), {}).ok());
+  EXPECT_FALSE(model.Fit(Matrix(2, 1), {1.0}).ok());
+  EXPECT_FALSE(model.fitted());
+  EXPECT_FALSE(model.Predict({1.0}).ok());
+  EXPECT_FALSE(model.PredictBatch(Matrix(1, 1)).ok());
+
+  LinearRegressionOptions bad;
+  bad.l2 = -1.0;
+  LinearRegression bad_model(bad);
+  EXPECT_FALSE(bad_model.Fit(Matrix(1, 1), {1.0}).ok());
+}
+
+TEST(LinearRegressionTest, WidthMismatchAfterFit) {
+  Matrix x = {{1.0, 2.0}};
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, {1.0}).ok());
+  EXPECT_FALSE(model.Predict({1.0}).ok());
+  EXPECT_FALSE(model.PredictBatch(Matrix(1, 3)).ok());
+}
+
+TEST(LinearRegressionTest, RefitReplacesModel) {
+  Matrix x1 = {{1.0}, {2.0}};
+  Matrix x2 = {{1.0}, {2.0}};
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x1, {1.0, 2.0}).ok());
+  const double before = *model.Predict({1.5});
+  ASSERT_TRUE(model.Fit(x2, {10.0, 20.0}).ok());
+  const double after = *model.Predict({1.5});
+  EXPECT_NEAR(after, 10.0 * before, 1e-6);
+}
+
+TEST(LinearRegressionTest, NoisyFitIsClose) {
+  vs::Rng rng(5);
+  Matrix x(500, 1);
+  Vector y(500);
+  for (size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.NextDouble() * 10.0;
+    y[i] = 3.0 * x(i, 0) + 1.0 + 0.1 * rng.NextGaussian();
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 0.02);
+  EXPECT_NEAR(model.intercept(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace vs::ml

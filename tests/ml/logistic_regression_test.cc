@@ -1,0 +1,153 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vs::ml {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(2.0), 0.88079707797788, 1e-12);
+  EXPECT_NEAR(LogisticRegression::Sigmoid(-2.0),
+              1.0 - LogisticRegression::Sigmoid(2.0), 1e-12);
+  // Extreme inputs must not overflow.
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(LogisticRegression::Sigmoid(-1000.0), 0.0);
+}
+
+TEST(LogisticRegressionTest, SeparatesLinearlySeparableData) {
+  Matrix x(20, 1);
+  Vector y(20);
+  for (size_t i = 0; i < 20; ++i) {
+    x(i, 0) = static_cast<double>(i) / 20.0;
+    y[i] = i < 10 ? 0.0 : 1.0;
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(*model.PredictProba({0.05}), 0.5);
+  EXPECT_GT(*model.PredictProba({0.95}), 0.5);
+}
+
+TEST(LogisticRegressionTest, RecoversGenerativeModel) {
+  // Labels drawn from sigmoid(2x - 1): fitted probabilities should track.
+  vs::Rng rng(7);
+  const size_t n = 5000;
+  Matrix x(n, 1);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.NextDouble() * 4.0 - 2.0;
+    const double p = LogisticRegression::Sigmoid(2.0 * x(i, 0) - 1.0);
+    y[i] = rng.NextBernoulli(p) ? 1.0 : 0.0;
+  }
+  LogisticRegressionOptions options;
+  options.l2 = 1e-6;
+  LogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 0.3);
+  EXPECT_NEAR(model.intercept(), -1.0, 0.3);
+}
+
+TEST(LogisticRegressionTest, SeparableDataStaysBounded) {
+  // Perfect separation: without regularization weights diverge; with L2
+  // they must stay finite.
+  Matrix x = {{0.0}, {0.1}, {0.9}, {1.0}};
+  Vector y = {0.0, 0.0, 1.0, 1.0};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_TRUE(std::isfinite(model.coefficients()[0]));
+  EXPECT_TRUE(std::isfinite(model.intercept()));
+  EXPECT_LT(std::fabs(model.coefficients()[0]), 1e4);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesInUnitInterval) {
+  vs::Rng rng(9);
+  Matrix x(50, 3);
+  Vector y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 3; ++j) x(i, j) = rng.NextGaussian();
+    y[i] = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  auto probs = model.PredictProbaBatch(x);
+  ASSERT_TRUE(probs.ok());
+  for (double p : *probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegressionTest, BatchMatchesSingle) {
+  Matrix x = {{0.2, 0.8}, {0.9, 0.1}, {0.5, 0.5}, {0.1, 0.2}};
+  Vector y = {0.0, 1.0, 1.0, 0.0};
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  auto batch = model.PredictProbaBatch(x);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR((*batch)[i], *model.PredictProba(x.Row(i)), 1e-12);
+  }
+}
+
+TEST(LogisticRegressionTest, TwoExampleColdStartCase) {
+  // The smallest fit ViewSeeker performs: one positive, one negative.
+  Matrix x(2, 8);
+  for (size_t j = 0; j < 8; ++j) {
+    x(0, j) = 0.9;
+    x(1, j) = 0.1;
+  }
+  LogisticRegression model;
+  ASSERT_TRUE(model.Fit(x, {1.0, 0.0}).ok());
+  EXPECT_GT(*model.PredictProba(x.Row(0)), 0.5);
+  EXPECT_LT(*model.PredictProba(x.Row(1)), 0.5);
+}
+
+TEST(LogisticRegressionTest, RejectsNonBinaryLabels) {
+  Matrix x = {{1.0}, {2.0}};
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(x, {0.0, 0.7}).ok());
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(LogisticRegressionTest, RejectsBadShapesAndOptions) {
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(Matrix(), {}).ok());
+  EXPECT_FALSE(model.Fit(Matrix(2, 1), {1.0}).ok());
+  LogisticRegressionOptions bad;
+  bad.l2 = 0.0;
+  LogisticRegression bad_model(bad);
+  EXPECT_FALSE(bad_model.Fit(Matrix(1, 1), {1.0}).ok());
+  EXPECT_FALSE(model.PredictProba({1.0}).ok());  // unfitted
+}
+
+TEST(LogisticRegressionTest, NoInterceptOption) {
+  LogisticRegressionOptions options;
+  options.fit_intercept = false;
+  Matrix x = {{-1.0}, {1.0}};
+  LogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(x, {0.0, 1.0}).ok());
+  EXPECT_DOUBLE_EQ(model.intercept(), 0.0);
+  EXPECT_NEAR(*model.PredictProba({0.0}), 0.5, 1e-9);
+}
+
+TEST(LogisticRegressionTest, StrongerL2ShrinksWeights) {
+  Matrix x = {{0.0}, {0.2}, {0.8}, {1.0}};
+  Vector y = {0.0, 0.0, 1.0, 1.0};
+  LogisticRegressionOptions weak;
+  weak.l2 = 1e-3;
+  LogisticRegressionOptions strong;
+  strong.l2 = 10.0;
+  LogisticRegression weak_model(weak);
+  LogisticRegression strong_model(strong);
+  ASSERT_TRUE(weak_model.Fit(x, y).ok());
+  ASSERT_TRUE(strong_model.Fit(x, y).ok());
+  EXPECT_LT(std::fabs(strong_model.coefficients()[0]),
+            std::fabs(weak_model.coefficients()[0]));
+}
+
+}  // namespace
+}  // namespace vs::ml

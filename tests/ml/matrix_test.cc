@@ -1,0 +1,125 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowExtraction) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.Row(1), (Vector{3.0, 4.0}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ((*c)(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ((*c)(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 1), 50.0);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  auto c = MatMul(a, Matrix::Identity(2));
+  ASSERT_TRUE(c.ok());
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ((*c)(i, j), a(i, j));
+    }
+  }
+}
+
+TEST(MatMulTest, ShapeMismatchRejected) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_FALSE(MatMul(a, b).ok());
+}
+
+TEST(MatVecTest, KnownProduct) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  auto y = MatVec(a, {1.0, 1.0});
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(*y, (Vector{3.0, 7.0}));
+}
+
+TEST(MatVecTest, ShapeMismatchRejected) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(MatVec(a, {1.0, 2.0}).ok());
+}
+
+TEST(GramTest, MatchesExplicitProduct) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix g = Gram(a);
+  auto expected = MatMul(a.Transposed(), a);
+  ASSERT_TRUE(expected.ok());
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g(i, j), (*expected)(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(GramTest, IsSymmetric) {
+  Matrix a = {{1.0, -2.0, 0.5}, {0.0, 3.0, 1.0}};
+  Matrix g = Gram(a);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(TransposeVecTest, KnownValue) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  auto r = TransposeVec(a, {1.0, 2.0});  // A^T y
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Vector{7.0, 10.0}));
+}
+
+TEST(DotNormTest, Basics) {
+  EXPECT_DOUBLE_EQ(*Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_FALSE(Dot({1.0}, {1.0, 2.0}).ok());
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm({}), 0.0);
+}
+
+}  // namespace
+}  // namespace vs::ml

@@ -1,0 +1,83 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::ml {
+namespace {
+
+TEST(MseMaeTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(*MeanSquaredError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(*MeanSquaredError({0.0, 0.0}, {1.0, 3.0}), 5.0);
+  EXPECT_DOUBLE_EQ(*MeanAbsoluteError({0.0, 0.0}, {1.0, -3.0}), 2.0);
+}
+
+TEST(MseMaeTest, Validation) {
+  EXPECT_FALSE(MeanSquaredError({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MeanSquaredError({}, {}).ok());
+  EXPECT_FALSE(MeanAbsoluteError({}, {}).ok());
+}
+
+TEST(RSquaredTest, PerfectFitIsOne) {
+  EXPECT_DOUBLE_EQ(*RSquared({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(RSquaredTest, MeanPredictorIsZero) {
+  EXPECT_NEAR(*RSquared({1.0, 2.0, 3.0}, {2.0, 2.0, 2.0}), 0.0, 1e-12);
+}
+
+TEST(RSquaredTest, WorseThanMeanIsNegative) {
+  auto r2 = RSquared({1.0, 2.0, 3.0}, {3.0, 2.0, 1.0});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(*r2, 0.0);
+}
+
+TEST(RSquaredTest, ConstantTruth) {
+  EXPECT_DOUBLE_EQ(*RSquared({2.0, 2.0}, {2.0, 2.0}), 1.0);
+  auto undefined = RSquared({2.0, 2.0}, {1.0, 3.0});
+  EXPECT_FALSE(undefined.ok());
+  EXPECT_TRUE(undefined.status().IsFailedPrecondition());
+}
+
+TEST(BinaryAccuracyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(
+      *BinaryAccuracy({1.0, 0.0, 1.0, 0.0}, {0.9, 0.1, 0.2, 0.8}), 0.5);
+  EXPECT_DOUBLE_EQ(
+      *BinaryAccuracy({1.0, 0.0}, {0.6, 0.4}), 1.0);
+}
+
+TEST(BinaryAccuracyTest, ThresholdMatters) {
+  Vector truth = {1.0, 0.0};
+  Vector probs = {0.7, 0.6};
+  EXPECT_DOUBLE_EQ(*BinaryAccuracy(truth, probs, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(*BinaryAccuracy(truth, probs, 0.65), 1.0);
+}
+
+TEST(RocAucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(
+      *RocAuc({0.0, 0.0, 1.0, 1.0}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(RocAucTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(
+      *RocAuc({0.0, 0.0, 1.0, 1.0}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(RocAucTest, TiesGetHalfCredit) {
+  EXPECT_DOUBLE_EQ(*RocAuc({0.0, 1.0}, {0.5, 0.5}), 0.5);
+}
+
+TEST(RocAucTest, KnownMixedValue) {
+  // Positives at 0.8 and 0.3; negatives at 0.5 and 0.1.
+  // Pairs: (0.8>0.5) 1, (0.8>0.1) 1, (0.3<0.5) 0, (0.3>0.1) 1 -> 3/4.
+  EXPECT_DOUBLE_EQ(
+      *RocAuc({1.0, 1.0, 0.0, 0.0}, {0.8, 0.3, 0.5, 0.1}), 0.75);
+}
+
+TEST(RocAucTest, Validation) {
+  EXPECT_FALSE(RocAuc({1.0, 1.0}, {0.5, 0.6}).ok());  // one class
+  EXPECT_FALSE(RocAuc({0.5, 1.0}, {0.5, 0.6}).ok());  // non-binary truth
+  EXPECT_FALSE(RocAuc({1.0}, {0.5, 0.6}).ok());       // length mismatch
+}
+
+}  // namespace
+}  // namespace vs::ml

@@ -1,0 +1,82 @@
+#include "ml/model_io.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::ml {
+namespace {
+
+TEST(ModelIoTest, LinearRoundTrip) {
+  LinearRegression model;
+  model.SetParameters({0.25, -1.5, 3.0}, 0.125);
+  auto text = SerializeLinear(model);
+  ASSERT_TRUE(text.ok());
+  auto back = DeserializeLinear(*text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->coefficients(), model.coefficients());
+  EXPECT_DOUBLE_EQ(back->intercept(), model.intercept());
+  EXPECT_TRUE(back->fitted());
+}
+
+TEST(ModelIoTest, LogisticRoundTrip) {
+  LogisticRegression model;
+  model.SetParameters({1.0e-17, 2.5}, -0.75);
+  auto text = SerializeLogistic(model);
+  ASSERT_TRUE(text.ok());
+  auto back = DeserializeLogistic(*text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->coefficients(), model.coefficients());
+  EXPECT_DOUBLE_EQ(back->intercept(), model.intercept());
+}
+
+TEST(ModelIoTest, RoundTripPreservesExactDoubles) {
+  // %.17g must preserve bit-exact values.
+  LinearRegression model;
+  model.SetParameters({1.0 / 3.0, 0.1, 1e-300}, 2.0 / 7.0);
+  auto back = DeserializeLinear(*SerializeLinear(model));
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back->coefficients()[i], model.coefficients()[i]);
+  }
+  EXPECT_EQ(back->intercept(), model.intercept());
+}
+
+TEST(ModelIoTest, UnfittedModelCannotSerialize) {
+  LinearRegression linear;
+  EXPECT_FALSE(SerializeLinear(linear).ok());
+  LogisticRegression logistic;
+  EXPECT_FALSE(SerializeLogistic(logistic).ok());
+}
+
+TEST(ModelIoTest, KindMismatchRejected) {
+  LinearRegression model;
+  model.SetParameters({1.0}, 0.0);
+  auto text = SerializeLinear(model);
+  EXPECT_FALSE(DeserializeLogistic(*text).ok());
+}
+
+TEST(ModelIoTest, MalformedInputsRejected) {
+  EXPECT_FALSE(DeserializeLinear("").ok());
+  EXPECT_FALSE(DeserializeLinear("garbage\n\n\n\n\n").ok());
+  EXPECT_FALSE(DeserializeLinear(
+                   "viewseeker-model v1\nkind: linear\nintercept: x\n"
+                   "coefficients: 1\n1.0\n")
+                   .ok());
+  EXPECT_FALSE(DeserializeLinear(
+                   "viewseeker-model v1\nkind: linear\nintercept: 0\n"
+                   "coefficients: 3\n1.0 2.0\n")
+                   .ok());  // count mismatch
+}
+
+TEST(ModelIoTest, ZeroCoefficientModel) {
+  LinearRegression model;
+  model.SetParameters({}, 4.5);
+  auto text = SerializeLinear(model);
+  ASSERT_TRUE(text.ok());
+  auto back = DeserializeLinear(*text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->coefficients().empty());
+  EXPECT_DOUBLE_EQ(back->intercept(), 4.5);
+}
+
+}  // namespace
+}  // namespace vs::ml

@@ -1,0 +1,107 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vs::ml {
+namespace {
+
+Matrix SampleData() {
+  return Matrix{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+}
+
+TEST(StandardScalerTest, TransformHasZeroMeanUnitVariance) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(SampleData()).ok());
+  auto t = scaler.Transform(SampleData());
+  ASSERT_TRUE(t.ok());
+  for (size_t j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < 4; ++i) mean += (*t)(i, j);
+    mean /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    double var = 0.0;
+    for (size_t i = 0; i < 4; ++i) var += (*t)(i, j) * (*t)(i, j);
+    var /= 4.0;
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardScalerTest, ConstantColumnPassesThrough) {
+  Matrix data = {{5.0}, {5.0}, {5.0}};
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  auto t = scaler.Transform(data);
+  ASSERT_TRUE(t.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((*t)(i, 0), 0.0);  // (5-5)/1
+  }
+}
+
+TEST(StandardScalerTest, TransformRowMatchesMatrix) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(SampleData()).ok());
+  Vector row = {2.0, 20.0};
+  ASSERT_TRUE(scaler.TransformRow(&row).ok());
+  auto full = scaler.Transform(SampleData());
+  EXPECT_NEAR(row[0], (*full)(1, 0), 1e-12);
+  EXPECT_NEAR(row[1], (*full)(1, 1), 1e-12);
+}
+
+TEST(StandardScalerTest, UnfittedAndMismatchedErrors) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.Transform(SampleData()).ok());
+  Vector row = {1.0};
+  EXPECT_FALSE(scaler.TransformRow(&row).ok());
+  ASSERT_TRUE(scaler.Fit(SampleData()).ok());
+  EXPECT_FALSE(scaler.Transform(Matrix(2, 3)).ok());
+  EXPECT_FALSE(scaler.Fit(Matrix()).ok());
+}
+
+TEST(MinMaxScalerTest, MapsToUnitInterval) {
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(SampleData()).ok());
+  auto t = scaler.Transform(SampleData());
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((*t)(3, 0), 1.0);
+  EXPECT_NEAR((*t)(1, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MinMaxScalerTest, ConstantColumnMapsToZero) {
+  Matrix data = {{7.0}, {7.0}};
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data).ok());
+  auto t = scaler.Transform(data);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ((*t)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((*t)(1, 0), 0.0);
+}
+
+TEST(MinMaxScalerTest, OutOfRangeRowsClampToUnitInterval) {
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(SampleData()).ok());
+  Vector row = {100.0, -100.0};
+  ASSERT_TRUE(scaler.TransformRow(&row).ok());
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+}
+
+TEST(MinMaxScalerTest, UnfittedErrors) {
+  MinMaxScaler scaler;
+  EXPECT_FALSE(scaler.Transform(SampleData()).ok());
+  EXPECT_FALSE(scaler.Fit(Matrix()).ok());
+}
+
+TEST(MinMaxScalerTest, ParametersInspectable) {
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(SampleData()).ok());
+  EXPECT_DOUBLE_EQ(scaler.min()[0], 1.0);
+  EXPECT_DOUBLE_EQ(scaler.max()[0], 4.0);
+  EXPECT_DOUBLE_EQ(scaler.min()[1], 10.0);
+  EXPECT_DOUBLE_EQ(scaler.max()[1], 40.0);
+}
+
+}  // namespace
+}  // namespace vs::ml

@@ -1,0 +1,144 @@
+#include "ml/solve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vs::ml {
+namespace {
+
+TEST(CholeskySolveTest, KnownSystem) {
+  Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  auto x = CholeskySolve(a, {8.0, 7.0});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  EXPECT_NEAR(4.0 * (*x)[0] + 2.0 * (*x)[1], 8.0, 1e-12);
+  EXPECT_NEAR(2.0 * (*x)[0] + 3.0 * (*x)[1], 7.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, IdentityReturnsRhs) {
+  auto x = CholeskySolve(Matrix::Identity(3), {1.0, -2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(*x, (Vector{1.0, -2.0, 3.0}));
+}
+
+TEST(CholeskySolveTest, RandomSpdSystems) {
+  vs::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 5;
+    // A = B^T B + I is SPD.
+    Matrix b(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) b(i, j) = rng.NextGaussian();
+    }
+    Matrix a = Gram(b);
+    for (size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+    Vector x_true(n);
+    for (double& v : x_true) v = rng.NextGaussian();
+    auto rhs = MatVec(a, x_true);
+    ASSERT_TRUE(rhs.ok());
+    auto x = CholeskySolve(a, *rhs);
+    ASSERT_TRUE(x.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(CholeskySolveTest, RejectsNonSpd) {
+  Matrix not_spd = {{1.0, 2.0}, {2.0, 1.0}};  // indefinite
+  auto r = CholeskySolve(not_spd, {1.0, 1.0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(CholeskySolveTest, RejectsShapeErrors) {
+  EXPECT_FALSE(CholeskySolve(Matrix(2, 3), {1.0, 2.0}).ok());
+  EXPECT_FALSE(CholeskySolve(Matrix::Identity(2), {1.0}).ok());
+}
+
+TEST(SpdInverseTest, InverseTimesOriginalIsIdentity) {
+  Matrix a = {{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  auto inv = SpdInverse(a);
+  ASSERT_TRUE(inv.ok());
+  auto prod = MatMul(a, *inv);
+  ASSERT_TRUE(prod.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR((*prod)(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(QrLeastSquaresTest, ExactSystem) {
+  Matrix a = {{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  // y = 2 + 3x exactly.
+  auto x = QrLeastSquares(a, {5.0, 8.0, 11.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(QrLeastSquaresTest, OverdeterminedMinimizesResidual) {
+  // Line fit through noisy points; QR answer must match normal equations.
+  Matrix a = {{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  Vector y = {1.1, 1.9, 3.2, 3.8};
+  auto qr = QrLeastSquares(a, y);
+  ASSERT_TRUE(qr.ok());
+  auto ridge = RidgeNormalEquations(a, y, 0.0);
+  ASSERT_TRUE(ridge.ok());
+  EXPECT_NEAR((*qr)[0], (*ridge)[0], 1e-8);
+  EXPECT_NEAR((*qr)[1], (*ridge)[1], 1e-8);
+}
+
+TEST(QrLeastSquaresTest, RejectsUnderdetermined) {
+  EXPECT_FALSE(QrLeastSquares(Matrix(2, 3), {1.0, 2.0}).ok());
+}
+
+TEST(QrLeastSquaresTest, RejectsRankDeficient) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};  // col2 = 2*col1
+  auto r = QrLeastSquares(a, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RidgeTest, ZeroPenaltyRecoversExactFit) {
+  Matrix x = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  Vector w_true = {2.0, -1.0};
+  auto y = MatVec(x, w_true);
+  auto w = RidgeNormalEquations(x, *y, 0.0);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*w)[1], -1.0, 1e-10);
+}
+
+TEST(RidgeTest, PenaltyShrinksWeights) {
+  Matrix x = {{1.0}, {2.0}, {3.0}};
+  Vector y = {2.0, 4.0, 6.0};
+  double prev = 1e300;
+  for (double l2 : {0.0, 1.0, 10.0, 100.0}) {
+    auto w = RidgeNormalEquations(x, y, l2);
+    ASSERT_TRUE(w.ok());
+    EXPECT_LT(std::fabs((*w)[0]), prev + 1e-12);
+    prev = std::fabs((*w)[0]);
+  }
+}
+
+TEST(RidgeTest, PositivePenaltySolvesRankDeficient) {
+  Matrix x = {{1.0, 2.0}, {2.0, 4.0}};  // rank 1
+  auto w = RidgeNormalEquations(x, {1.0, 2.0}, 1e-3);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(std::isfinite((*w)[0]));
+  EXPECT_TRUE(std::isfinite((*w)[1]));
+}
+
+TEST(RidgeTest, InvalidInputsRejected) {
+  Matrix x = {{1.0}};
+  EXPECT_FALSE(RidgeNormalEquations(x, {1.0}, -1.0).ok());
+  EXPECT_FALSE(RidgeNormalEquations(x, {1.0, 2.0}, 0.0).ok());
+  EXPECT_FALSE(RidgeNormalEquations(Matrix(), {}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace vs::ml

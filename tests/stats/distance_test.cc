@@ -1,0 +1,196 @@
+#include "stats/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vs::stats {
+namespace {
+
+Distribution D(std::vector<double> p) { return Distribution{std::move(p)}; }
+
+TEST(DistanceTest, IdenticalDistributionsHaveZeroDistance) {
+  Distribution p = D({0.25, 0.25, 0.5});
+  for (DistanceKind kind : AllDistanceKinds()) {
+    auto d = Distance(kind, p, p);
+    ASSERT_TRUE(d.ok());
+    EXPECT_NEAR(*d, 0.0, 1e-9) << DistanceKindName(kind);
+  }
+}
+
+TEST(DistanceTest, L1KnownValue) {
+  EXPECT_DOUBLE_EQ(*L1Distance(D({1.0, 0.0}), D({0.0, 1.0})), 2.0);
+  EXPECT_DOUBLE_EQ(*L1Distance(D({0.5, 0.5}), D({0.25, 0.75})), 0.5);
+}
+
+TEST(DistanceTest, L2KnownValue) {
+  EXPECT_DOUBLE_EQ(*L2Distance(D({1.0, 0.0}), D({0.0, 1.0})),
+                   std::sqrt(2.0));
+}
+
+TEST(DistanceTest, MaxDiffKnownValue) {
+  EXPECT_DOUBLE_EQ(*MaxDiff(D({0.5, 0.3, 0.2}), D({0.1, 0.3, 0.6})), 0.4);
+}
+
+TEST(DistanceTest, EmdKnownValues) {
+  // Moving all mass one bin over costs 1.
+  EXPECT_DOUBLE_EQ(*EarthMoversDistance(D({1.0, 0.0}), D({0.0, 1.0})), 1.0);
+  // Two bins over costs 2.
+  EXPECT_DOUBLE_EQ(
+      *EarthMoversDistance(D({1.0, 0.0, 0.0}), D({0.0, 0.0, 1.0})), 2.0);
+  // Half the mass one bin over costs 0.5.
+  EXPECT_DOUBLE_EQ(*EarthMoversDistance(D({1.0, 0.0}), D({0.5, 0.5})), 0.5);
+}
+
+TEST(DistanceTest, KlIsAsymmetric) {
+  Distribution p = D({0.9, 0.1});
+  Distribution q = D({0.5, 0.5});
+  double pq = *KlDivergence(p, q, 0.0);
+  double qp = *KlDivergence(q, p, 0.0);
+  EXPECT_NE(pq, qp);
+  EXPECT_GT(pq, 0.0);
+  EXPECT_GT(qp, 0.0);
+}
+
+TEST(DistanceTest, KlKnownValue) {
+  // D(p||q) with p = (1/2,1/2), q = (1/4,3/4):
+  // 0.5*ln(2) + 0.5*ln(2/3)
+  const double expected = 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0);
+  EXPECT_NEAR(*KlDivergence(D({0.5, 0.5}), D({0.25, 0.75}), 0.0), expected,
+              1e-12);
+}
+
+TEST(DistanceTest, KlSmoothingHandlesZeroReferenceMass) {
+  Distribution p = D({0.5, 0.5});
+  Distribution q = D({1.0, 0.0});
+  // Unsmoothed: undefined (error).
+  EXPECT_FALSE(KlDivergence(p, q, 0.0).ok());
+  // Smoothed: finite.
+  auto smoothed = KlDivergence(p, q, 1e-6);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_TRUE(std::isfinite(*smoothed));
+  EXPECT_GT(*smoothed, 0.0);
+}
+
+TEST(DistanceTest, SymmetricDistancesAreSymmetric) {
+  vs::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> pv(4);
+    std::vector<double> qv(4);
+    double ps = 0.0;
+    double qs = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      pv[i] = rng.NextDouble() + 0.01;
+      qv[i] = rng.NextDouble() + 0.01;
+      ps += pv[i];
+      qs += qv[i];
+    }
+    for (int i = 0; i < 4; ++i) {
+      pv[i] /= ps;
+      qv[i] /= qs;
+    }
+    Distribution p = D(pv);
+    Distribution q = D(qv);
+    for (DistanceKind kind :
+         {DistanceKind::kEMD, DistanceKind::kL1, DistanceKind::kL2,
+          DistanceKind::kMaxDiff}) {
+      EXPECT_NEAR(*Distance(kind, p, q), *Distance(kind, q, p), 1e-12)
+          << DistanceKindName(kind);
+    }
+  }
+}
+
+TEST(DistanceTest, NonNegativity) {
+  vs::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> pv(5);
+    std::vector<double> qv(5);
+    double ps = 0.0;
+    double qs = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      pv[i] = rng.NextDouble();
+      qv[i] = rng.NextDouble();
+      ps += pv[i];
+      qs += qv[i];
+    }
+    for (int i = 0; i < 5; ++i) {
+      pv[i] /= ps;
+      qv[i] /= qs;
+    }
+    for (DistanceKind kind : AllDistanceKinds()) {
+      EXPECT_GE(*Distance(kind, D(pv), D(qv)), 0.0)
+          << DistanceKindName(kind);
+    }
+  }
+}
+
+TEST(DistanceTest, TriangleInequalityForMetrics) {
+  vs::Rng rng(11);
+  auto random_dist = [&rng]() {
+    std::vector<double> v(4);
+    double s = 0.0;
+    for (double& x : v) {
+      x = rng.NextDouble() + 0.01;
+      s += x;
+    }
+    for (double& x : v) x /= s;
+    return D(v);
+  };
+  for (int trial = 0; trial < 30; ++trial) {
+    Distribution a = random_dist();
+    Distribution b = random_dist();
+    Distribution c = random_dist();
+    for (DistanceKind kind :
+         {DistanceKind::kEMD, DistanceKind::kL1, DistanceKind::kL2,
+          DistanceKind::kMaxDiff}) {
+      const double ab = *Distance(kind, a, b);
+      const double bc = *Distance(kind, b, c);
+      const double ac = *Distance(kind, a, c);
+      EXPECT_LE(ac, ab + bc + 1e-12) << DistanceKindName(kind);
+    }
+  }
+}
+
+TEST(DistanceTest, MaxDiffBoundsL2BoundsL1) {
+  // For any p, q: max_diff <= L2 <= L1.
+  Distribution p = D({0.7, 0.2, 0.1});
+  Distribution q = D({0.2, 0.3, 0.5});
+  const double l1 = *L1Distance(p, q);
+  const double l2 = *L2Distance(p, q);
+  const double md = *MaxDiff(p, q);
+  EXPECT_LE(md, l2 + 1e-12);
+  EXPECT_LE(l2, l1 + 1e-12);
+}
+
+TEST(DistanceTest, ShapeMismatchRejected) {
+  Distribution p = D({0.5, 0.5});
+  Distribution q = D({1.0});
+  for (DistanceKind kind : AllDistanceKinds()) {
+    EXPECT_FALSE(Distance(kind, p, q).ok()) << DistanceKindName(kind);
+  }
+}
+
+TEST(DistanceTest, EmptyDistributionsRejected) {
+  Distribution e = D({});
+  EXPECT_FALSE(L1Distance(e, e).ok());
+}
+
+TEST(DistanceTest, BadSmoothingRejected) {
+  Distribution p = D({0.5, 0.5});
+  EXPECT_FALSE(KlDivergence(p, p, -0.1).ok());
+  EXPECT_FALSE(KlDivergence(p, p, 1.0).ok());
+}
+
+TEST(DistanceKindTest, NamesRoundTrip) {
+  for (DistanceKind kind : AllDistanceKinds()) {
+    auto parsed = ParseDistanceKind(DistanceKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseDistanceKind("hellinger").ok());
+}
+
+}  // namespace
+}  // namespace vs::stats

@@ -1,0 +1,83 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace vs::stats {
+namespace {
+
+TEST(NormalizeTest, BasicEq5) {
+  auto d = Normalize({1.0, 3.0, 4.0, 2.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->p[0], 0.1);
+  EXPECT_DOUBLE_EQ(d->p[1], 0.3);
+  EXPECT_DOUBLE_EQ(d->p[2], 0.4);
+  EXPECT_DOUBLE_EQ(d->p[3], 0.2);
+  EXPECT_TRUE(IsValidDistribution(*d));
+}
+
+TEST(NormalizeTest, SumsToOneForArbitraryInput) {
+  auto d = Normalize({0.013, 7.0, 123.456, 1e-9, 42.0});
+  ASSERT_TRUE(d.ok());
+  double total = 0.0;
+  for (double p : d->p) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(NormalizeTest, AllZerosBecomesUniform) {
+  auto d = Normalize({0.0, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(d.ok());
+  for (double p : d->p) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(NormalizeTest, NegativeValuesShifted) {
+  // Values {-1, 0, 1} shift to {0, 1, 2} -> {0, 1/3, 2/3}.
+  auto d = Normalize({-1.0, 0.0, 1.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->p[0], 0.0);
+  EXPECT_NEAR(d->p[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(d->p[2], 2.0 / 3.0, 1e-12);
+  EXPECT_TRUE(IsValidDistribution(*d));
+}
+
+TEST(NormalizeTest, AllEqualNegativesBecomeUniform) {
+  auto d = Normalize({-2.0, -2.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->p[0], 0.5);
+  EXPECT_DOUBLE_EQ(d->p[1], 0.5);
+}
+
+TEST(NormalizeTest, SingleBin) {
+  auto d = Normalize({5.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->p[0], 1.0);
+}
+
+TEST(NormalizeTest, EmptyIsError) {
+  EXPECT_FALSE(Normalize({}).ok());
+}
+
+TEST(NormalizeTest, NonFiniteIsError) {
+  EXPECT_FALSE(Normalize({1.0, std::numeric_limits<double>::infinity()}).ok());
+  EXPECT_FALSE(Normalize({std::nan(""), 1.0}).ok());
+}
+
+TEST(IsValidDistributionTest, DetectsViolations) {
+  Distribution good{{0.5, 0.5}};
+  EXPECT_TRUE(IsValidDistribution(good));
+  Distribution not_summing{{0.5, 0.4}};
+  EXPECT_FALSE(IsValidDistribution(not_summing));
+  Distribution negative{{1.5, -0.5}};
+  EXPECT_FALSE(IsValidDistribution(negative));
+}
+
+TEST(IsValidDistributionTest, ToleranceRespected) {
+  Distribution close{{0.5, 0.5 + 1e-10}};
+  EXPECT_TRUE(IsValidDistribution(close, 1e-9));
+  EXPECT_FALSE(IsValidDistribution(close, 1e-12));
+}
+
+}  // namespace
+}  // namespace vs::stats

@@ -1,0 +1,121 @@
+#include "stats/hypothesis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vs::stats {
+namespace {
+
+Distribution Uniform(size_t n) {
+  Distribution d;
+  d.p.assign(n, 1.0 / static_cast<double>(n));
+  return d;
+}
+
+TEST(ChiSquareGofTest, PerfectFitHasHighPValue) {
+  // Observed exactly proportional to expected: statistic 0, p = 1.
+  auto r = ChiSquareGoodnessOfFit({25, 25, 25, 25}, Uniform(4));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r->dof, 3.0);
+}
+
+TEST(ChiSquareGofTest, ExtremeDeviationHasLowPValue) {
+  auto r = ChiSquareGoodnessOfFit({100, 0, 0, 0}, Uniform(4));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->statistic, 100.0);
+  EXPECT_LT(r->p_value, 1e-10);
+}
+
+TEST(ChiSquareGofTest, KnownStatistic) {
+  // Observed {30, 20}, expected uniform over 50: chi2 = (5^2/25)*2 = 2.
+  auto r = ChiSquareGoodnessOfFit({30, 20}, Uniform(2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r->dof, 1.0);
+  // p = P(chi2_1 > 2) ~ 0.1573.
+  EXPECT_NEAR(r->p_value, 0.1573, 1e-3);
+}
+
+TEST(ChiSquareGofTest, MoreExtremeMeansSmallerP) {
+  double prev = 1.1;
+  for (int64_t shift : {0, 5, 10, 20}) {
+    auto r = ChiSquareGoodnessOfFit({50 + shift, 50 - shift}, Uniform(2));
+    ASSERT_TRUE(r.ok());
+    EXPECT_LT(r->p_value, prev);
+    prev = r->p_value;
+  }
+}
+
+TEST(ChiSquareGofTest, ZeroExpectedMassWithObservedIsPZero) {
+  Distribution expected{{1.0, 0.0}};
+  auto r = ChiSquareGoodnessOfFit({5, 5}, expected, 1e-12);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->p_value, 0.0);
+}
+
+TEST(ChiSquareGofTest, ErrorsOnBadInputs) {
+  EXPECT_FALSE(ChiSquareGoodnessOfFit({1, 2}, Uniform(3)).ok());  // length
+  EXPECT_FALSE(ChiSquareGoodnessOfFit({}, Uniform(0)).ok());      // empty
+  EXPECT_FALSE(ChiSquareGoodnessOfFit({-1, 2}, Uniform(2)).ok()); // negative
+  auto zero_total = ChiSquareGoodnessOfFit({0, 0}, Uniform(2));
+  EXPECT_FALSE(zero_total.ok());
+  EXPECT_TRUE(zero_total.status().IsFailedPrecondition());
+}
+
+TEST(ChiSquareGofTest, SingleEffectiveBinIsFailedPrecondition) {
+  Distribution expected{{1.0}};
+  auto r = ChiSquareGoodnessOfFit({10}, expected);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(ChiSquareGofTest, CalibrationUnderNull) {
+  // Sampling from the null: p-values should exceed 0.05 about 95% of the
+  // time.
+  vs::Rng rng(99);
+  int rejections = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int64_t> counts(4, 0);
+    for (int i = 0; i < 400; ++i) ++counts[rng.NextBounded(4)];
+    auto r = ChiSquareGoodnessOfFit(counts, Uniform(4));
+    ASSERT_TRUE(r.ok());
+    if (r->p_value < 0.05) ++rejections;
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / trials, 0.05, 0.04);
+}
+
+TEST(OneBinZTest, CenteredProportionHasHighP) {
+  auto r = OneBinZTest(50, 100, 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-12);
+}
+
+TEST(OneBinZTest, KnownZScore) {
+  // phat = 0.6, p0 = 0.5, n = 100: z = 0.1 / sqrt(0.25/100) = 2.
+  auto r = OneBinZTest(60, 100, 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 2.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 0.0455, 1e-3);
+}
+
+TEST(OneBinZTest, SymmetricInDirection) {
+  auto hi = OneBinZTest(70, 100, 0.5);
+  auto lo = OneBinZTest(30, 100, 0.5);
+  EXPECT_NEAR(hi->p_value, lo->p_value, 1e-12);
+}
+
+TEST(OneBinZTest, InvalidInputs) {
+  EXPECT_FALSE(OneBinZTest(5, 0, 0.5).ok());
+  EXPECT_FALSE(OneBinZTest(-1, 10, 0.5).ok());
+  EXPECT_FALSE(OneBinZTest(11, 10, 0.5).ok());
+  EXPECT_FALSE(OneBinZTest(5, 10, 0.0).ok());
+  EXPECT_FALSE(OneBinZTest(5, 10, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace vs::stats

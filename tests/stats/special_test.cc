@@ -1,0 +1,107 @@
+#include "stats/special.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vs::stats {
+namespace {
+
+TEST(GammaTest, PAndQSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(*RegularizedGammaP(a, x) + *RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(*RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(*RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(*RegularizedGammaP(1.0, 700.0), 1.0, 1e-12);
+}
+
+TEST(GammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(*RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaTest, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 10.0; x += 0.3) {
+    const double p = *RegularizedGammaP(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(GammaTest, InvalidArguments) {
+  EXPECT_FALSE(RegularizedGammaP(0.0, 1.0).ok());
+  EXPECT_FALSE(RegularizedGammaP(-1.0, 1.0).ok());
+  EXPECT_FALSE(RegularizedGammaP(1.0, -0.5).ok());
+  EXPECT_FALSE(RegularizedGammaQ(0.0, 1.0).ok());
+}
+
+TEST(ChiSquareTest, KnownQuantiles) {
+  // Standard chi-square table values: P(X <= x) for given dof.
+  // dof=1, x=3.841 -> CDF ~ 0.95
+  EXPECT_NEAR(*ChiSquareCdf(3.841, 1.0), 0.95, 1e-3);
+  // dof=2, x=5.991 -> 0.95
+  EXPECT_NEAR(*ChiSquareCdf(5.991, 2.0), 0.95, 1e-3);
+  // dof=5, x=11.070 -> 0.95
+  EXPECT_NEAR(*ChiSquareCdf(11.070, 5.0), 0.95, 1e-3);
+  // dof=10, x=18.307 -> 0.95
+  EXPECT_NEAR(*ChiSquareCdf(18.307, 10.0), 0.95, 1e-3);
+}
+
+TEST(ChiSquareTest, ChiSquare2DofIsExponential) {
+  // With dof=2 the chi-square CDF is 1 - e^{-x/2}.
+  for (double x : {0.5, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(*ChiSquareCdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquareTest, SfComplementsCdf) {
+  EXPECT_NEAR(*ChiSquareSf(4.2, 3.0) + *ChiSquareCdf(4.2, 3.0), 1.0, 1e-12);
+}
+
+TEST(ChiSquareTest, NegativeXClamps) {
+  EXPECT_DOUBLE_EQ(*ChiSquareCdf(-1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(*ChiSquareSf(-1.0, 2.0), 1.0);
+}
+
+TEST(ChiSquareTest, InvalidDof) {
+  EXPECT_FALSE(ChiSquareCdf(1.0, 0.0).ok());
+  EXPECT_FALSE(ChiSquareSf(1.0, -2.0).ok());
+}
+
+TEST(NormalTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447461, 1e-8);
+}
+
+TEST(NormalTest, SfComplementsCdf) {
+  for (double x : {-3.0, -0.5, 0.0, 0.5, 3.0}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalSf(x), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalTest, TailAccuracy) {
+  // Sf(6) ~ 9.87e-10; direct 1-CDF would lose precision.
+  EXPECT_NEAR(NormalSf(6.0) / 9.865876e-10, 1.0, 1e-4);
+}
+
+TEST(NormalTest, Symmetry) {
+  for (double x : {0.3, 1.7, 2.9}) {
+    EXPECT_NEAR(NormalCdf(-x), NormalSf(x), 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace vs::stats

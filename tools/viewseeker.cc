@@ -1,0 +1,302 @@
+/// The `viewseeker` command-line tool — the operational face of the
+/// library, covering the offline half of the workflow plus simulated
+/// sessions.  (For a live interactive session with a human, use
+/// examples/interactive_cli.)
+///
+///   viewseeker generate  --dataset=diab|syn --rows=N [--seed=S] --out=F
+///   viewseeker info      --table=F
+///   viewseeker views     --table=F [--bins=3,4]
+///   viewseeker sql       --table=F --query="SELECT AVG(m) FROM t GROUP BY a"
+///   viewseeker recommend --table=F --filter="COND" --feature=EMD [--k=5]
+///   viewseeker session   --table=F --filter="COND" --ustar=N [--k=5]
+///                        [--strategy=uncertainty] [--max-labels=100]
+///                        [--alpha=0.1]   (rough features + refinement)
+///
+/// Tables are read by extension: .vst (binary, see data/io.h) or .csv.
+/// --filter takes the WHERE sub-grammar ("age >= 30 AND city = 'NYC'").
+/// --ustar picks a Table 2 preset (1..11) for the simulated user.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/recommender.h"
+#include "core/view.h"
+#include "data/csv.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/predicate.h"
+#include "data/query.h"
+
+namespace {
+
+using namespace vs;
+
+/// Parsed --key=value arguments.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseInt64(it->second).ValueOr(fallback);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseDouble(it->second).ValueOr(fallback);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: viewseeker <generate|info|views|sql|recommend|session> "
+      "[--key=value ...]\n"
+      "see the header of tools/viewseeker.cc for the full synopsis\n");
+  return 2;
+}
+
+Result<data::Table> LoadTable(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("--table=<path> is required");
+  }
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".vst") {
+    return data::ReadTableFile(path);
+  }
+  return data::ReadCsvFile(path, {});
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string dataset = args.Get("dataset", "diab");
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+
+  Result<data::Table> table = Status::InvalidArgument(
+      "--dataset must be 'diab' or 'syn'");
+  if (dataset == "diab") {
+    data::DiabetesOptions options;
+    options.num_rows = static_cast<size_t>(args.GetInt("rows", 100000));
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    table = data::GenerateDiabetes(options);
+  } else if (dataset == "syn") {
+    data::SyntheticOptions options;
+    options.num_rows = static_cast<size_t>(args.GetInt("rows", 1000000));
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    table = data::GenerateSynthetic(options);
+  }
+  if (!table.ok()) return Fail(table.status());
+
+  Status write = out.size() >= 4 && out.substr(out.size() - 4) == ".vst"
+                     ? data::WriteTableFile(*table, out)
+                     : data::WriteCsvFile(*table, out);
+  if (!write.ok()) return Fail(write);
+  std::printf("wrote %zu rows x %zu columns to %s\n", table->num_rows(),
+              table->num_columns(), out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto table = LoadTable(args.Get("table"));
+  if (!table.ok()) return Fail(table.status());
+  std::printf("rows: %zu\n", table->num_rows());
+  std::printf("columns:\n");
+  for (const data::Field& f : table->schema().fields()) {
+    std::printf("  %-24s %-8s %s\n", f.name.c_str(),
+                data::DataTypeName(f.type).c_str(),
+                data::FieldRoleName(f.role).c_str());
+  }
+  const auto dims =
+      table->schema().FieldsWithRole(data::FieldRole::kDimension);
+  const auto measures =
+      table->schema().FieldsWithRole(data::FieldRole::kMeasure);
+  std::printf("view space (Eq. 1): 2 x %zu x %zu x %d = %lld\n",
+              dims.size(), measures.size(), data::kNumAggregateFunctions,
+              static_cast<long long>(core::ViewSpaceSize(
+                  static_cast<int64_t>(dims.size()),
+                  static_cast<int64_t>(measures.size()),
+                  data::kNumAggregateFunctions)));
+  return 0;
+}
+
+Result<std::vector<core::ViewSpec>> EnumerateWithArgs(
+    const data::Table& table, const Args& args) {
+  core::ViewEnumerationOptions options;
+  const std::string bins = args.Get("bins");
+  if (!bins.empty()) {
+    options.numeric_bin_configs.clear();
+    for (const std::string& token : Split(bins, ',')) {
+      VS_ASSIGN_OR_RETURN(int64_t b, ParseInt64(token));
+      options.numeric_bin_configs.push_back(static_cast<int32_t>(b));
+    }
+  }
+  return core::EnumerateViews(table, options);
+}
+
+int CmdViews(const Args& args) {
+  auto table = LoadTable(args.Get("table"));
+  if (!table.ok()) return Fail(table.status());
+  auto views = EnumerateWithArgs(*table, args);
+  if (!views.ok()) return Fail(views.status());
+  for (const core::ViewSpec& v : *views) {
+    std::printf("%s\n", v.Id().c_str());
+  }
+  std::printf("# %zu views\n", views->size());
+  return 0;
+}
+
+int CmdSql(const Args& args) {
+  auto table = LoadTable(args.Get("table"));
+  if (!table.ok()) return Fail(table.status());
+  const std::string sql = args.Get("query");
+  if (sql.empty()) return Fail(Status::InvalidArgument("--query required"));
+  auto result = data::RunSql(*table, sql);
+  if (!result.ok()) return Fail(result.status());
+  for (size_t b = 0; b < result->num_bins(); ++b) {
+    std::printf("%-24s %.6g  (n=%lld)\n", result->bin_labels[b].c_str(),
+                result->values[b],
+                static_cast<long long>(result->counts[b]));
+  }
+  return 0;
+}
+
+Result<data::SelectionVector> SelectWithFilter(const data::Table& table,
+                                               const Args& args) {
+  const std::string filter = args.Get("filter");
+  if (filter.empty()) return table.AllRows();
+  VS_ASSIGN_OR_RETURN(data::PredicatePtr predicate,
+                      data::ParseFilter(filter));
+  return data::SelectRows(table, predicate);
+}
+
+int CmdRecommend(const Args& args) {
+  auto table = LoadTable(args.Get("table"));
+  if (!table.ok()) return Fail(table.status());
+  auto query = SelectWithFilter(*table, args);
+  if (!query.ok()) return Fail(query.status());
+  auto views = EnumerateWithArgs(*table, args);
+  if (!views.ok()) return Fail(views.status());
+
+  auto registry = core::UtilityFeatureRegistry::Default();
+  auto matrix = core::FeatureMatrix::Build(&*table, *views, *query,
+                                           &registry, {});
+  if (!matrix.ok()) return Fail(matrix.status());
+
+  const std::string feature = args.Get("feature", "EMD");
+  const int k = static_cast<int>(args.GetInt("k", 5));
+  auto rec = core::RecommendByFeatureName(*matrix, feature, k);
+  if (!rec.ok()) return Fail(rec.status());
+  std::printf("top-%d views by %s over %zu query rows:\n", k,
+              feature.c_str(), query->size());
+  for (size_t v : *rec) {
+    std::printf("  %s\n", matrix->views()[v].Id().c_str());
+  }
+  return 0;
+}
+
+int CmdSession(const Args& args) {
+  auto table = LoadTable(args.Get("table"));
+  if (!table.ok()) return Fail(table.status());
+  auto query = SelectWithFilter(*table, args);
+  if (!query.ok()) return Fail(query.status());
+  auto views = EnumerateWithArgs(*table, args);
+  if (!views.ok()) return Fail(views.status());
+
+  auto registry = core::UtilityFeatureRegistry::Default();
+  auto matrix = core::FeatureMatrix::Build(&*table, *views, *query,
+                                           &registry, {});
+  if (!matrix.ok()) return Fail(matrix.status());
+
+  // Optional §3.3 optimization: the seeker works on an α%-sample rough
+  // matrix that is refined between prompts.
+  const double alpha = args.GetDouble("alpha", 1.0);
+  std::optional<core::FeatureMatrix> rough;
+  if (alpha > 0.0 && alpha < 1.0) {
+    core::FeatureMatrixOptions rough_options;
+    rough_options.sample_rate = alpha;
+    auto built = core::FeatureMatrix::Build(&*table, *views, *query,
+                                            &registry, rough_options);
+    if (!built.ok()) return Fail(built.status());
+    rough.emplace(std::move(*built));
+  }
+
+  const int64_t ustar = args.GetInt("ustar", 7);
+  const auto presets = core::Table2Presets();
+  if (ustar < 1 || ustar > static_cast<int64_t>(presets.size())) {
+    return Fail(Status::OutOfRange("--ustar must be in 1..11"));
+  }
+  const auto& ideal = presets[static_cast<size_t>(ustar - 1)];
+
+  core::ExperimentConfig config;
+  config.k = static_cast<int>(args.GetInt("k", 5));
+  config.strategy = args.Get("strategy", "uncertainty");
+  config.max_labels = static_cast<size_t>(args.GetInt("max-labels", 100));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  if (rough.has_value()) {
+    config.refine = true;
+    config.refine_views_per_iteration =
+        static_cast<int>(matrix->num_views() / 24) + 1;
+  }
+  auto result = core::RunSimulatedSession(
+      *matrix, rough.has_value() ? &*rough : nullptr, ideal, config);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("simulated user: u* = %s\n", ideal.name().c_str());
+  std::printf("%s after %d labels (final top-%d precision %.2f, UD %.4f)\n",
+              result->reached_target ? "converged" : "stopped",
+              result->labels_to_target, config.k, result->final_precision,
+              result->final_ud);
+  std::printf("trajectory (labels: precision):");
+  for (const auto& step : result->trajectory) {
+    std::printf(" %d:%.2f", step.labels, step.precision);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "views") return CmdViews(args);
+  if (command == "sql") return CmdSql(args);
+  if (command == "recommend") return CmdRecommend(args);
+  if (command == "session") return CmdSession(args);
+  return Usage();
+}
