@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Ablation A2 — Sampling ratio α sweep (DIAB, UF 7, k = 5)",
@@ -61,5 +62,5 @@ int main(int argc, char** argv) {
                      std::to_string(r->labels_to_target),
                      bench::Fmt(r->elapsed_seconds)});
   }
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Ablation A3 — Interval pruning of refinement (DIAB, alpha = 10%)",
@@ -65,5 +66,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(views never refined = full-table recomputations the "
               "optimizer avoided entirely)\n");
-  return 0;
+  return bench::WriteJsonReport();
 }

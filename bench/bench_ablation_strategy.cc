@@ -54,6 +54,7 @@ void RunRegime(const vs::bench::World& diab,
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Ablation A1 — Query strategies (DIAB, UF 4-11 averaged)",
@@ -71,5 +72,5 @@ int main(int argc, char** argv) {
   RunRegime(diab, presets, 0.0);
   std::printf("\nregime 2: noisy feedback (sigma = 0.05)\n");
   RunRegime(diab, presets, 0.05);
-  return 0;
+  return bench::WriteJsonReport();
 }

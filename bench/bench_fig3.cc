@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Figure 3 — Recommendation precision, DIAB",
@@ -23,5 +24,5 @@ int main(int argc, char** argv) {
               diab.table->num_rows(), diab.views.size(),
               diab.query.size());
   bench::RunLabelsToPrecisionFigure(diab, "DIAB");
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   using namespace vs;
   // SYN is 10x DIAB's size; default to the paper's full 1M rows but honour
   // --scale for quick runs.
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Figure 4 — Recommendation precision, SYN",
@@ -22,5 +23,5 @@ int main(int argc, char** argv) {
   std::printf("rows=%zu views=%zu query_rows=%zu\n\n",
               syn.table->num_rows(), syn.views.size(), syn.query.size());
   bench::RunLabelsToPrecisionFigure(syn, "SYN");
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Figure 5 — Precision vs individual utility-feature baselines "
@@ -56,5 +57,5 @@ int main(int argc, char** argv) {
   }
   bench::PrintRow({"ViewSeeker", bench::Fmt(r->final_precision)});
   std::printf("\nViewSeeker labels used: %d\n", r->labels_to_target);
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Figure 6 — Labels to UD = 0 with optimization, DIAB",
@@ -37,5 +38,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\naverage label overhead: %.1f%% (paper: ~19%%)\n",
               100.0 * (total_opt - total_base) / total_base);
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader(
       "Figure 7 — Runtime to UD = 0 with optimization, DIAB",
@@ -36,5 +37,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\naverage runtime reduction: %.1f%% (paper: ~43%%)\n",
               100.0 * (total_base - total_opt) / total_base);
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -13,6 +13,8 @@
 #include "data/sampler.h"
 #include "ml/linear_regression.h"
 #include "ml/logistic_regression.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/distance.h"
 
 namespace {
@@ -194,6 +196,39 @@ void BM_FeatureMatrixBuild(benchmark::State& state) {
   state.SetLabel("alpha=" + std::to_string(state.range(0)) + "%");
 }
 BENCHMARK(BM_FeatureMatrixBuild)->Arg(100)->Arg(10)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FeatureMatrixBuildObs(benchmark::State& state) {
+  // The vs::obs overhead budget: arg 0 runs with the metrics registry and
+  // trace collector disabled (the default — each instrumented call site
+  // must cost at most one relaxed atomic load), arg 1 with both enabled.
+  // The disabled variant must stay within noise (<3%) of
+  // BM_FeatureMatrixBuild/100 above.
+  const bool instrumented = state.range(0) == 1;
+  auto& registry = vs::obs::MetricsRegistry::Default();
+  auto& traces = vs::obs::TraceCollector::Default();
+  const bool metrics_were_enabled = registry.enabled();
+  const bool traces_were_enabled = traces.enabled();
+  registry.set_enabled(instrumented);
+  traces.set_enabled(instrumented);
+
+  const auto& table = DiabTable();
+  auto query = *vs::data::SelectRows(
+      table, vs::data::Compare("gender", vs::data::CompareOp::kEq,
+                               vs::data::Value("Male")));
+  auto views = *vs::core::EnumerateViews(table, {});
+  auto registry_features = vs::core::UtilityFeatureRegistry::Default();
+  for (auto _ : state) {
+    auto matrix = vs::core::FeatureMatrix::Build(&table, views, query,
+                                                 &registry_features, {});
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.SetLabel(instrumented ? "obs-enabled" : "obs-disabled");
+
+  registry.set_enabled(metrics_were_enabled);
+  traces.set_enabled(traces_were_enabled);
+}
+BENCHMARK(BM_FeatureMatrixBuildObs)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

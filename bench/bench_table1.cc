@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   const double scale = bench::ParseScale(argc, argv);
   bench::PrintHeader("Table 1 — Testbed Parameters",
                      "DIAB: 100k records, 7 dims, 8 measures, 280 views; "
@@ -76,5 +77,5 @@ int main(int argc, char** argv) {
               "dimension (paper: 3 and 4)\n");
   std::printf("\nfeature build: DIAB %.2fs, SYN %.2fs\n",
               diab.build_seconds, syn.build_seconds);
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -7,8 +7,9 @@
 #include "core/ideal_utility.h"
 #include "core/utility_features.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vs;
+  bench::InitJsonReport(argc, argv);
   bench::PrintHeader("Table 2 — Simulated Ideal Utility Functions",
                      "11 functions: UF 1-3 single component, UF 4-6 two "
                      "components, UF 7-11 three components");
@@ -29,5 +30,5 @@ int main() {
                      std::to_string(presets[i].NumComponents()),
                      definition});
   }
-  return 0;
+  return bench::WriteJsonReport();
 }

@@ -8,8 +8,64 @@
 #include "core/experiment.h"
 #include "data/generator.h"
 #include "data/predicate.h"
+#include "obs/metrics.h"
 
 namespace vs::bench {
+
+namespace {
+
+// State behind InitJsonReport/WriteJsonReport: the report path plus
+// everything PrintHeader/PrintRow emitted this run.
+std::string g_json_out;
+std::string g_artifact;
+std::string g_paper_claim;
+std::vector<std::vector<std::string>> g_rows;
+
+}  // namespace
+
+void InitJsonReport(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      g_json_out = argv[i] + 11;
+    }
+  }
+  // Instrument the run so the report can embed the metrics snapshot.
+  if (!g_json_out.empty()) {
+    obs::MetricsRegistry::Default().set_enabled(true);
+  }
+}
+
+int WriteJsonReport() {
+  if (g_json_out.empty()) return 0;
+  std::string out = "{\"artifact\":\"" + obs::JsonEscape(g_artifact) +
+                    "\",\"paper_claim\":\"" + obs::JsonEscape(g_paper_claim) +
+                    "\",\"rows\":[";
+  for (size_t r = 0; r < g_rows.size(); ++r) {
+    if (r > 0) out += ",";
+    out += "[";
+    for (size_t c = 0; c < g_rows[r].size(); ++c) {
+      if (c > 0) out += ",";
+      out += "\"" + obs::JsonEscape(g_rows[r][c]) + "\"";
+    }
+    out += "]";
+  }
+  out += "],\"metrics\":";
+  out += obs::ToJson(obs::MetricsRegistry::Default().SnapshotAll());
+  out += "}\n";
+  std::FILE* f = std::fopen(g_json_out.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", g_json_out.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size()) {
+    std::fprintf(stderr, "short write: %s\n", g_json_out.c_str());
+    return 1;
+  }
+  std::printf("json report: %s\n", g_json_out.c_str());
+  return 0;
+}
 
 double ParseScale(int argc, char** argv, double default_scale) {
   for (int i = 1; i < argc; ++i) {
@@ -114,11 +170,14 @@ std::unique_ptr<core::FeatureMatrix> BuildRoughMatrix(const World& world,
 
 void PrintHeader(const std::string& artifact,
                  const std::string& paper_claim) {
+  g_artifact = artifact;
+  g_paper_claim = paper_claim;
   std::printf("=== %s ===\n", artifact.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
 }
 
 void PrintRow(const std::vector<std::string>& cells) {
+  g_rows.push_back(cells);
   std::printf("%s\n", vs::Join(cells, ",").c_str());
 }
 

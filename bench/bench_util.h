@@ -50,10 +50,24 @@ std::unique_ptr<core::FeatureMatrix> BuildRoughMatrix(const World& world,
                                                       double* build_seconds,
                                                       bool shared_scan = true);
 
-/// Prints a banner + the reproduction target.
+/// Parses --json-out=<path> from argv and, when present, turns the
+/// vs::obs metrics registry on so the run is instrumented.  Call first
+/// thing in main; pairs with WriteJsonReport below.
+void InitJsonReport(int argc, char** argv);
+
+/// When InitJsonReport saw --json-out=<path>, writes a machine-readable
+/// report there: {"artifact": ..., "paper_claim": ..., "rows": [[...]],
+/// "metrics": <vs::obs registry snapshot>}.  Rows are everything printed
+/// through PrintRow.  Returns 0, or 1 when the file cannot be written —
+/// use as main's return value.
+int WriteJsonReport();
+
+/// Prints a banner + the reproduction target (also recorded for
+/// WriteJsonReport).
 void PrintHeader(const std::string& artifact, const std::string& paper_claim);
 
-/// Prints one CSV row (joins with commas).
+/// Prints one CSV row (joins with commas; also recorded for
+/// WriteJsonReport).
 void PrintRow(const std::vector<std::string>& cells);
 
 /// Formats a double with %.3f.

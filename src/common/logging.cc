@@ -11,8 +11,22 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mutex;
+Logger::Sink& SinkSlot() {
+  static Logger::Sink* sink = new Logger::Sink();
+  return *sink;
+}
 
-const char* LevelName(LogLevel level) {
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* Logger::LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -26,14 +40,9 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
-void Logger::SetLevel(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
-}
-
-LogLevel Logger::GetLevel() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SinkSlot() = std::move(sink);
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
@@ -41,7 +50,22 @@ void Logger::Log(LogLevel level, const std::string& message) {
     return;
   }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  const Sink& sink = SinkSlot();
+  if (sink) {
+    sink(level, message);
+    return;
+  }
+  // Format the whole record first so a single write hits the stream —
+  // records from concurrent threads (or a forked child) cannot interleave
+  // mid-line the way separate fprintf("%s]"), fprintf("%s\n") calls could.
+  std::string record;
+  record.reserve(message.size() + 16);
+  record += '[';
+  record += LevelName(level);
+  record += "] ";
+  record += message;
+  record += '\n';
+  std::fwrite(record.data(), 1, record.size(), stderr);
 }
 
 }  // namespace vs

@@ -8,6 +8,7 @@
 /// and benchmarks; examples raise the level to kInfo for narration.
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,14 +20,29 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// \brief Process-wide logger configuration (thread-safe).
 class Logger {
  public:
+  /// Receives fully formatted records that passed the level filter.
+  using Sink = std::function<void(LogLevel, const std::string& message)>;
+
   /// Sets the minimum level that will be emitted.
   static void SetLevel(LogLevel level);
 
   /// Current minimum level.
   static LogLevel GetLevel();
 
-  /// Emits one record to stderr if \p level >= the configured minimum.
+  /// Redirects records to \p sink instead of stderr (tests capture output
+  /// this way); an empty function restores the stderr default.  The sink
+  /// receives the raw message — the "[LEVEL] " prefix and trailing newline
+  /// are stderr-formatting concerns, not part of the record.
+  static void SetSink(Sink sink);
+
+  /// Emits one record if \p level >= the configured minimum: to the
+  /// configured sink, or to stderr as one pre-formatted write (level
+  /// prefix + message + newline in a single string, so concurrent records
+  /// never interleave mid-line).
   static void Log(LogLevel level, const std::string& message);
+
+  /// Name of \p level ("DEBUG", "INFO", "WARN", "ERROR").
+  static const char* LevelName(LogLevel level);
 };
 
 namespace internal {

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace vs {
 
@@ -79,6 +80,28 @@ class Deadline {
 
   /// Remaining work units (work-unit mode only; 0 otherwise).
   int64_t UnitsLeft() const { return has_units_ ? units_left_ : 0; }
+
+  /// Sentinel returned by RemainingUnits() when no unit budget applies.
+  static constexpr int64_t kNoUnitLimit =
+      std::numeric_limits<int64_t>::max();
+
+  /// Remaining wall-clock budget in seconds: never negative, +infinity
+  /// for Infinite() and work-unit deadlines (no wall-clock bound applies).
+  /// Lets callers report deadline slack/utilization without knowing which
+  /// mode constructed the deadline.
+  double RemainingSeconds() const {
+    if (!has_wall_) return std::numeric_limits<double>::infinity();
+    const double left =
+        std::chrono::duration<double>(expiry_ - Clock::now()).count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+  /// Remaining work-unit budget: never negative, kNoUnitLimit (the
+  /// integer infinity sentinel) for Infinite() and wall-clock deadlines.
+  int64_t RemainingUnits() const {
+    if (!has_units_) return kNoUnitLimit;
+    return units_left_ > 0 ? units_left_ : 0;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

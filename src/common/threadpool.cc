@@ -1,11 +1,44 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
-#include <atomic>
+
+#include "obs/metrics.h"
 
 namespace vs {
 
+namespace {
+
+/// Cached handles into the default registry (amortized registration).
+struct PoolMetrics {
+  obs::Counter* tasks_completed;
+  obs::Gauge* queue_depth;
+  obs::Histogram* task_wait_seconds;
+  obs::Histogram* task_run_seconds;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      return PoolMetrics{
+          r.GetCounter("threadpool.tasks_completed",
+                       "tasks finished across all pools"),
+          r.GetGauge("threadpool.queue_depth",
+                     "tasks waiting in the most recently active pool"),
+          r.GetHistogram("threadpool.task_wait_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "enqueue-to-dequeue latency"),
+          r.GetHistogram("threadpool.task_run_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "task execution time"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
+  PoolMetrics::Get();  // register the pool metrics eagerly
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -21,16 +54,37 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::FinishTask(const Task& task, bool timed) {
+  const PoolMetrics& m = PoolMetrics::Get();
+  const bool observe = obs::MetricsRegistry::Default().enabled();
+  if (observe && timed) {
+    // enqueued was restarted at dequeue; it now holds the run time.
+    m.task_run_seconds->Observe(task.enqueued.ElapsedSeconds());
+  }
+  tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  m.tasks_completed->Increment();
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
-    task();  // inline mode
+    Task t{std::move(task), Stopwatch()};
+    t.fn();
+    FinishTask(t, /*timed=*/true);
     return;
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push(Task{std::move(task), Stopwatch()});
+    depth = queue_.size();
   }
+  PoolMetrics::Get().queue_depth->Set(static_cast<double>(depth));
   cv_task_.notify_one();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::WaitIdle() {
@@ -44,6 +98,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   if (begin >= end) return;
   if (threads_.empty()) {
     for (size_t i = begin; i < end; ++i) fn(i);
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+    PoolMetrics::Get().tasks_completed->Increment();
     return;
   }
   const size_t n = end - begin;
@@ -69,8 +125,10 @@ size_t ThreadPool::DefaultThreads() {
 }
 
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& m = PoolMetrics::Get();
   while (true) {
-    std::function<void()> task;
+    Task task;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -80,9 +138,17 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
       ++in_flight_;
     }
-    task();
+    const bool observe = obs::MetricsRegistry::Default().enabled();
+    if (observe) {
+      m.queue_depth->Set(static_cast<double>(depth));
+      m.task_wait_seconds->Observe(task.enqueued.ElapsedSeconds());
+      task.enqueued.Restart();  // reuse as the run timer (see FinishTask)
+    }
+    task.fn();
+    FinishTask(task, observe);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -5,14 +5,24 @@
 /// \brief Fixed-size worker pool for embarrassingly parallel feature
 /// computation.  On single-core machines the pool degrades to executing
 /// tasks inline, which keeps behaviour deterministic there.
+///
+/// Observability: every pool feeds the process-wide obs::MetricsRegistry —
+/// `threadpool.tasks_completed` (counter), `threadpool.queue_depth`
+/// (gauge), and `threadpool.task_wait_seconds` / `threadpool.task_run_
+/// seconds` (histograms) — and exposes queue_depth() / tasks_completed()
+/// accessors for direct inspection in tests.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/stopwatch.h"
 
 namespace vs {
 
@@ -45,20 +55,36 @@ class ThreadPool {
   /// Number of worker threads (0 for inline mode).
   size_t num_threads() const { return threads_.size(); }
 
+  /// Tasks currently waiting in the queue (excludes running tasks; always
+  /// 0 in inline mode).
+  size_t queue_depth() const;
+
+  /// Total tasks this pool has finished running (inline tasks included).
+  uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+
   /// A sensible default worker count for this machine: hardware_concurrency
   /// minus one, and inline mode on single-core hosts.
   static size_t DefaultThreads();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    Stopwatch enqueued;  ///< measures queue wait for the obs histogram
+  };
+
   void WorkerLoop();
+  void FinishTask(const Task& task, bool timed);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::queue<Task> queue_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::atomic<uint64_t> tasks_completed_{0};
 };
 
 }  // namespace vs

@@ -41,8 +41,10 @@ vs::Result<ExperimentResult> RunSimulatedSession(
   const FeatureMatrix* pool = working != nullptr ? working : &exact;
   VS_ASSIGN_OR_RETURN(ViewSeeker seeker,
                       ViewSeeker::Make(pool, seeker_options));
+  seeker.SetEventSink(config.event_sink);
 
   IncrementalRefiner refiner(working);
+  refiner.SetEventSink(config.event_sink);
 
   ExperimentResult result;
   Stopwatch session_clock;

@@ -16,6 +16,10 @@
 #include "core/ideal_utility.h"
 #include "core/seeker.h"
 
+namespace vs::obs {
+class EventSink;
+}  // namespace vs::obs
+
 namespace vs::core {
 
 /// \brief One simulated session's configuration.
@@ -59,6 +63,11 @@ struct ExperimentConfig {
   bool prune = false;
   /// Score half-interval assumed for rough rows when pruning.
   double prune_margin = 0.1;
+
+  /// Session event journal (obs/events.h): when non-null the seeker and
+  /// the refiner emit their structured events here.  Borrowed; must
+  /// outlive the session.
+  obs::EventSink* event_sink = nullptr;
 };
 
 /// \brief Per-iteration measurements.

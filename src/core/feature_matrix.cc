@@ -5,8 +5,11 @@
 #include <utility>
 
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "common/threadpool.h"
 #include "data/sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vs::core {
 
@@ -21,6 +24,44 @@ data::SelectionVector Intersect(const data::SelectionVector& a,
                         std::back_inserter(out));
   return out;
 }
+
+/// Cached instrument handles for the build/refine hot paths.
+struct BuildMetrics {
+  obs::Histogram* build_seconds;
+  obs::Histogram* view_seconds;
+  obs::Histogram* feature_seconds;
+  obs::Counter* builds_total;
+  obs::Counter* views_built;
+  obs::Counter* rough_rows;
+  obs::Counter* rows_refined;
+
+  static const BuildMetrics& Get() {
+    static const BuildMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      return BuildMetrics{
+          r.GetHistogram("feature_matrix.build_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "full feature-matrix build time"),
+          r.GetHistogram("feature_matrix.view_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "per-view materialization + feature time "
+                         "(scan cost amortized over shared-scan groups)"),
+          r.GetHistogram("feature_matrix.feature_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "per-view utility-feature evaluation time"),
+          r.GetCounter("feature_matrix.builds_total",
+                       "feature-matrix builds"),
+          r.GetCounter("feature_matrix.views_built",
+                       "view rows materialized by builds"),
+          r.GetCounter("feature_matrix.rough_rows",
+                       "view rows built on the sample (rough)"),
+          r.GetCounter("feature_matrix.rows_refined",
+                       "rough rows recomputed on the full data"),
+      };
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -46,6 +87,11 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
       return vs::Status::OutOfRange("query selection row out of range");
     }
   }
+
+  obs::ScopedSpan build_span("FeatureMatrix::Build");
+  const BuildMetrics& metrics = BuildMetrics::Get();
+  const bool observe = obs::MetricsRegistry::Default().enabled();
+  Stopwatch build_clock;
 
   FeatureMatrix fm;
   fm.table_ = table;
@@ -101,6 +147,7 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
 
   auto compute_group = [&](size_t g) -> vs::Status {
     const std::vector<size_t>& members = groups[g];
+    Stopwatch group_clock;
     std::vector<data::GroupBySpec> specs;
     specs.reserve(members.size());
     for (size_t i : members) {
@@ -110,6 +157,7 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
                         executor.ExecuteBatch(specs, target_sel));
     VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> references,
                         executor.ExecuteBatch(specs, ref_sel));
+    double feature_seconds = 0.0;
     for (size_t k = 0; k < members.size(); ++k) {
       ViewMaterialization mat;
       mat.target = std::move(targets[k]);
@@ -118,10 +166,23 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
                           stats::Normalize(mat.target.values));
       VS_ASSIGN_OR_RETURN(mat.reference_dist,
                           stats::Normalize(mat.reference.values));
+      Stopwatch feature_clock;
       VS_ASSIGN_OR_RETURN(ml::Vector features, registry->ComputeAll(mat));
+      if (observe) feature_seconds = feature_clock.ElapsedSeconds();
       const size_t row = members[k];
       for (size_t j = 0; j < features.size(); ++j) {
         fm.raw_(row, j) = features[j];
+      }
+      if (observe) metrics.feature_seconds->Observe(feature_seconds);
+    }
+    if (observe) {
+      // Shared scans make the per-view cost the group cost amortized over
+      // its members; one observation per view keeps the histogram count
+      // meaningful as "views built".
+      const double per_view =
+          group_clock.ElapsedSeconds() / static_cast<double>(members.size());
+      for (size_t k = 0; k < members.size(); ++k) {
+        metrics.view_seconds->Observe(per_view);
       }
     }
     return vs::Status::OK();
@@ -152,6 +213,10 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
     fm.num_exact_ = fm.views_.size();
   }
   fm.normalized_dirty_ = true;
+  metrics.builds_total->Increment();
+  metrics.views_built->Increment(fm.views_.size());
+  if (!exact_build) metrics.rough_rows->Increment(fm.views_.size());
+  metrics.build_seconds->Observe(build_clock.ElapsedSeconds());
   return fm;
 }
 
@@ -205,6 +270,7 @@ vs::Status FeatureMatrix::RefineRows(
   }
   if (groups.empty()) return vs::Status::OK();
 
+  obs::ScopedSpan refine_span("FeatureMatrix::RefineRows");
   data::GroupByExecutor executor(table_);
   for (const auto& [key, members] : groups) {
     std::vector<data::GroupBySpec> specs;
@@ -229,6 +295,7 @@ vs::Status FeatureMatrix::RefineRows(
       }
       exact_[row] = true;
       ++num_exact_;
+      BuildMetrics::Get().rows_refined->Increment();
     }
   }
   normalized_dirty_ = true;

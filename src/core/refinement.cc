@@ -1,10 +1,43 @@
 #include "core/refinement.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vs::core {
 
 namespace {
+
+/// Cached instrument handles for the refinement path.
+struct RefinerMetrics {
+  obs::Counter* rows_refined;
+  obs::Counter* rows_pruned;
+  obs::Counter* batches_total;
+  obs::Gauge* deadline_utilization;
+  obs::Histogram* batch_seconds;
+
+  static const RefinerMetrics& Get() {
+    static const RefinerMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      return RefinerMetrics{
+          r.GetCounter("refiner.rows_refined",
+                       "rough rows refined to exact"),
+          r.GetCounter("refiner.rows_pruned",
+                       "rough rows interval-pruning excluded from batches"),
+          r.GetCounter("refiner.batches_total", "refinement batches run"),
+          r.GetGauge("refiner.deadline_utilization",
+                     "budget fraction the last batch consumed"),
+          r.GetHistogram("refiner.batch_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "wall time per refinement batch"),
+      };
+    }();
+    return m;
+  }
+};
 
 /// Refines \p order front-to-back under \p deadline, batching rows into
 /// shared scans (FeatureMatrix::RefineRows).  Returns the refined count.
@@ -36,7 +69,58 @@ vs::Result<int> ConsumeOrder(FeatureMatrix* matrix,
   return refined;
 }
 
+/// Fraction of \p deadline's budget consumed between the two observations
+/// (whichever mode applies; Infinite() utilizes nothing by definition).
+double Utilization(double seconds_before, int64_t units_before,
+                   const Deadline& deadline) {
+  if (units_before != Deadline::kNoUnitLimit) {
+    if (units_before <= 0) return 1.0;
+    const double used = static_cast<double>(
+        units_before - deadline.RemainingUnits());
+    return std::clamp(used / static_cast<double>(units_before), 0.0, 1.0);
+  }
+  if (std::isfinite(seconds_before)) {
+    if (seconds_before <= 0.0) return 1.0;
+    return std::clamp(
+        (seconds_before - deadline.RemainingSeconds()) / seconds_before,
+        0.0, 1.0);
+  }
+  return 0.0;
+}
+
 }  // namespace
+
+vs::Result<RefinementStats> IncrementalRefiner::FinishBatch(
+    const std::vector<size_t>& order, int rows_pruned, Deadline* deadline) {
+  obs::ScopedSpan span("IncrementalRefiner::RefineBatch");
+  const RefinerMetrics& metrics = RefinerMetrics::Get();
+  Stopwatch clock;
+  const double seconds_before = deadline->RemainingSeconds();
+  const int64_t units_before = deadline->RemainingUnits();
+
+  RefinementStats stats;
+  stats.rows_pruned = rows_pruned;
+  VS_ASSIGN_OR_RETURN(stats.rows_refined,
+                      ConsumeOrder(matrix_, order, deadline));
+  stats.all_exact = matrix_->AllExact();
+  stats.deadline_utilization =
+      Utilization(seconds_before, units_before, *deadline);
+
+  metrics.batches_total->Increment();
+  metrics.rows_refined->Increment(static_cast<uint64_t>(stats.rows_refined));
+  metrics.rows_pruned->Increment(static_cast<uint64_t>(stats.rows_pruned));
+  metrics.deadline_utilization->Set(stats.deadline_utilization);
+  metrics.batch_seconds->Observe(clock.ElapsedSeconds());
+  if (sink_ != nullptr) {
+    obs::Event event("refinement_pass");
+    event.SetInt("rows_refined", stats.rows_refined)
+        .SetInt("rows_pruned", stats.rows_pruned)
+        .SetNum("deadline_utilization", stats.deadline_utilization)
+        .SetBool("all_exact", stats.all_exact);
+    sink_->Emit(event);
+  }
+  return stats;
+}
 
 vs::Result<RefinementStats> IncrementalRefiner::RefineBatch(
     const std::vector<double>& priorities, Deadline* deadline) {
@@ -60,12 +144,7 @@ vs::Result<RefinementStats> IncrementalRefiner::RefineBatch(
                        return priorities[a] > priorities[b];
                      });
   }
-
-  RefinementStats stats;
-  VS_ASSIGN_OR_RETURN(stats.rows_refined,
-                      ConsumeOrder(matrix_, order, deadline));
-  stats.all_exact = matrix_->AllExact();
-  return stats;
+  return FinishBatch(order, /*rows_pruned=*/0, deadline);
 }
 
 vs::Result<RefinementStats> IncrementalRefiner::RefineBatchPruned(
@@ -84,13 +163,8 @@ vs::Result<RefinementStats> IncrementalRefiner::RefineBatchPruned(
   for (size_t i = 0; i < matrix_->num_views(); ++i) {
     if (!matrix_->IsExact(i)) ++rough_total;
   }
-
-  RefinementStats stats;
-  stats.rows_pruned = static_cast<int>(rough_total - order.size());
-  VS_ASSIGN_OR_RETURN(stats.rows_refined,
-                      ConsumeOrder(matrix_, order, deadline));
-  stats.all_exact = matrix_->AllExact();
-  return stats;
+  return FinishBatch(order, static_cast<int>(rough_total - order.size()),
+                     deadline);
 }
 
 }  // namespace vs::core

@@ -15,6 +15,10 @@
 #include "core/feature_matrix.h"
 #include "core/pruning.h"
 
+namespace vs::obs {
+class EventSink;
+}  // namespace vs::obs
+
 namespace vs::core {
 
 /// \brief Statistics returned by one refinement batch.
@@ -24,6 +28,9 @@ struct RefinementStats {
   /// may re-enter later batches if the score landscape shifts).
   int rows_pruned = 0;
   bool all_exact = false;  ///< true once the whole matrix is exact
+  /// Fraction of the deadline's budget this batch consumed (0 for
+  /// Deadline::Infinite(); clamped to [0, 1]).
+  double deadline_utilization = 0.0;
 };
 
 /// \brief Priority-ordered refiner over one FeatureMatrix.
@@ -50,8 +57,20 @@ class IncrementalRefiner {
   /// True once every row of the matrix is exact.
   bool AllExact() const { return matrix_->AllExact(); }
 
+  /// Attaches a session event journal: every batch emits a
+  /// `refinement_pass` event (rows refined/pruned, deadline utilization).
+  /// \p sink is borrowed; nullptr detaches.
+  void SetEventSink(obs::EventSink* sink) { sink_ = sink; }
+
  private:
+  /// Shared tail of the two RefineBatch flavours: consumes \p order under
+  /// \p deadline, fills the stats, updates metrics and emits the event.
+  vs::Result<RefinementStats> FinishBatch(const std::vector<size_t>& order,
+                                          int rows_pruned,
+                                          Deadline* deadline);
+
   FeatureMatrix* matrix_;
+  obs::EventSink* sink_ = nullptr;
 };
 
 }  // namespace vs::core

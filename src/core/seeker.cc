@@ -3,11 +3,51 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/stopwatch.h"
 #include "core/diversify.h"
 #include "core/metrics.h"
 #include "ml/cross_validation.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vs::core {
+
+namespace {
+
+/// Cached instrument handles for the interactive loop.
+struct SeekerMetrics {
+  obs::Histogram* iteration_seconds;
+  obs::Histogram* refit_seconds;
+  obs::Counter* labels_total;
+  obs::Counter* cold_start_picks;
+  obs::Counter* strategy_picks;
+  obs::Counter* refits_total;
+
+  static const SeekerMetrics& Get() {
+    static const SeekerMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      return SeekerMetrics{
+          r.GetHistogram("seeker.iteration_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "engine-side latency per labeling iteration "
+                         "(query selection + label ingest + refits)"),
+          r.GetHistogram("seeker.refit_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "estimator refit time per label"),
+          r.GetCounter("seeker.labels_total", "labels submitted"),
+          r.GetCounter("seeker.cold_start_picks",
+                       "queries chosen by the cold-start sweep"),
+          r.GetCounter("seeker.strategy_picks",
+                       "queries chosen by the active-learning strategy"),
+          r.GetCounter("seeker.refits_total", "estimator refit passes"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 ViewSeeker::ViewSeeker(const FeatureMatrix* features,
                        const ViewSeekerOptions& options,
@@ -43,10 +83,30 @@ vs::Result<ViewSeeker> ViewSeeker::Make(const FeatureMatrix* features,
   return ViewSeeker(features, options, std::move(strategy));
 }
 
+void ViewSeeker::SetEventSink(obs::EventSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  obs::Event event("session_start");
+  event.SetInt("k", options_.k)
+      .SetStr("strategy", options_.strategy)
+      .SetInt("views_per_iteration", options_.views_per_iteration)
+      .SetNum("positive_threshold", options_.positive_threshold)
+      .SetInt("seed", static_cast<int64_t>(options_.seed))
+      .SetInt("num_views", static_cast<int64_t>(features_->num_views()))
+      .SetInt("num_features",
+              static_cast<int64_t>(features_->num_features()))
+      .SetInt("num_labeled", static_cast<int64_t>(labeled_.size()));
+  sink_->Emit(event);
+}
+
 vs::Result<std::vector<size_t>> ViewSeeker::NextQueries() {
   if (unlabeled_.empty()) {
     return vs::Status::FailedPrecondition("every view is already labeled");
   }
+  obs::ScopedSpan span("ViewSeeker::NextQueries");
+  const SeekerMetrics& metrics = SeekerMetrics::Get();
+  Stopwatch clock;
+  ++iteration_;
   const size_t batch = std::min<size_t>(
       static_cast<size_t>(options_.views_per_iteration), unlabeled_.size());
   std::vector<size_t> candidates = unlabeled_;
@@ -54,8 +114,17 @@ vs::Result<std::vector<size_t>> ViewSeeker::NextQueries() {
   queries.reserve(batch);
   for (size_t b = 0; b < batch; ++b) {
     size_t pick = 0;
-    if (!cold_start_.Done()) {
+    const bool cold = !cold_start_.Done();
+    if (cold) {
       VS_ASSIGN_OR_RETURN(pick, cold_start_.SelectNext(candidates, &rng_));
+      metrics.cold_start_picks->Increment();
+      if (sink_ != nullptr) {
+        obs::Event event("cold_start_pick");
+        event.SetInt("iteration", iteration_)
+            .SetInt("view", static_cast<int64_t>(pick))
+            .SetStr("view_id", features_->views()[pick].Id());
+        sink_->Emit(event);
+      }
     } else {
       active::QueryContext ctx;
       ctx.features = &features_->normalized();
@@ -66,10 +135,22 @@ vs::Result<std::vector<size_t>> ViewSeeker::NextQueries() {
       ctx.utility_model = &utility_estimator_.model();
       ctx.rng = &rng_;
       VS_ASSIGN_OR_RETURN(pick, strategy_->SelectNext(ctx));
+      metrics.strategy_picks->Increment();
+    }
+    if (sink_ != nullptr) {
+      obs::Event event("query_issued");
+      event.SetInt("iteration", iteration_)
+          .SetInt("view", static_cast<int64_t>(pick))
+          .SetStr("view_id", features_->views()[pick].Id())
+          .SetStr("phase", cold ? "cold_start" : options_.strategy);
+      sink_->Emit(event);
     }
     queries.push_back(pick);
     candidates.erase(std::find(candidates.begin(), candidates.end(), pick));
   }
+  // Selection cost folds into the next SubmitLabel's iteration latency
+  // (one iteration = pick views + ingest the answer + refit).
+  last_selection_seconds_ = clock.ElapsedSeconds();
   return queries;
 }
 
@@ -84,10 +165,21 @@ vs::Status ViewSeeker::SubmitLabel(size_t view_index, double label) {
   if (it == unlabeled_.end()) {
     return vs::Status::AlreadyExists("view already labeled");
   }
+  obs::ScopedSpan span("ViewSeeker::SubmitLabel");
+  const SeekerMetrics& metrics = SeekerMetrics::Get();
+  Stopwatch clock;
   unlabeled_.erase(it);
   labeled_.push_back(view_index);
   labels_.push_back(label);
   cold_start_.ReportLabel(label);
+  metrics.labels_total->Increment();
+  if (sink_ != nullptr) {
+    obs::Event event("label_received");
+    event.SetInt("view", static_cast<int64_t>(view_index))
+        .SetNum("label", label)
+        .SetInt("num_labeled", static_cast<int64_t>(labeled_.size()));
+    sink_->Emit(event);
+  }
 
   // Refit both estimators on all collected feedback (Algorithm 1 lines
   // 10-11).  With auto_ridge, re-select the ridge strength from the
@@ -107,16 +199,45 @@ vs::Status ViewSeeker::SubmitLabel(size_t view_index, double label) {
       utility_estimator_ = ViewUtilityEstimator(tuned);
     }
   }
+  Stopwatch refit_clock;
   VS_RETURN_IF_ERROR(utility_estimator_.Refit(features_->normalized(),
                                               labeled_, labels_));
   VS_RETURN_IF_ERROR(uncertainty_estimator_.Refit(features_->normalized(),
                                                   labeled_, labels_));
+  metrics.refit_seconds->Observe(refit_clock.ElapsedSeconds());
+  metrics.refits_total->Increment();
+  if (sink_ != nullptr) {
+    const ml::LinearRegression& model = utility_estimator_.model();
+    obs::Event event("estimator_refit");
+    event.SetInt("num_labels", static_cast<int64_t>(labeled_.size()))
+        .SetNumList("coefficients",
+                    std::vector<double>(model.coefficients().begin(),
+                                        model.coefficients().end()))
+        .SetNum("intercept", model.intercept())
+        .SetBool("uncertainty_fitted", uncertainty_estimator_.fitted());
+    sink_->Emit(event);
+  }
+  // One iteration = the preceding NextQueries selection plus this label's
+  // ingest + refits (views_per_iteration = 1, the paper's default).
+  metrics.iteration_seconds->Observe(last_selection_seconds_ +
+                                     clock.ElapsedSeconds());
+  last_selection_seconds_ = 0.0;
   return vs::Status::OK();
 }
 
 vs::Result<std::vector<size_t>> ViewSeeker::RecommendTopK() const {
+  obs::ScopedSpan span("ViewSeeker::RecommendTopK");
   VS_ASSIGN_OR_RETURN(std::vector<double> scores, CurrentScores());
-  return TopKIndices(scores, static_cast<size_t>(options_.k));
+  std::vector<size_t> topk =
+      TopKIndices(scores, static_cast<size_t>(options_.k));
+  if (sink_ != nullptr && topk != last_topk_) {
+    last_topk_ = topk;
+    obs::Event event("topk_change");
+    event.SetInt("num_labeled", static_cast<int64_t>(labeled_.size()))
+        .SetIntList("topk", topk);
+    sink_->Emit(event);
+  }
+  return topk;
 }
 
 vs::Result<std::vector<size_t>> ViewSeeker::RecommendDiverseTopK(

@@ -33,6 +33,10 @@
 #include "core/estimators.h"
 #include "core/feature_matrix.h"
 
+namespace vs::obs {
+class EventSink;
+}  // namespace vs::obs
+
 namespace vs::core {
 
 /// \brief ViewSeeker configuration (defaults = the paper's Table 1).
@@ -94,6 +98,15 @@ class ViewSeeker {
     return uncertainty_estimator_;
   }
 
+  /// Attaches a session event journal (obs/events.h): the seeker emits
+  /// `session_start`, `query_issued` (with `cold_start_pick`s while the
+  /// sweep runs), `label_received`, `estimator_refit` (with the utility
+  /// coefficients, replayable to the same top-k) and `topk_change`
+  /// events.  \p sink is borrowed and must outlive the seeker; nullptr
+  /// detaches.  Emits `session_start` immediately when attaching.
+  void SetEventSink(obs::EventSink* sink);
+  obs::EventSink* event_sink() const { return sink_; }
+
   /// True while the cold-start policy is still driving queries.
   bool in_cold_start() const { return !cold_start_.Done(); }
 
@@ -119,6 +132,14 @@ class ViewSeeker {
   std::vector<size_t> labeled_;
   std::vector<double> labels_;
   std::vector<size_t> unlabeled_;
+
+  /// \name Observability state (no effect on recommendations).
+  /// @{
+  obs::EventSink* sink_ = nullptr;
+  int64_t iteration_ = 0;           ///< NextQueries calls so far
+  double last_selection_seconds_ = 0.0;
+  mutable std::vector<size_t> last_topk_;  ///< for topk_change events
+  /// @}
 };
 
 }  // namespace vs::core

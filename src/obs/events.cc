@@ -1,0 +1,97 @@
+#include "obs/events.h"
+
+#include "common/string_util.h"
+#include "obs/metrics.h"  // JsonEscape
+
+namespace vs::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  const std::string short_form = StrFormat("%g", v);
+  if (ParseDouble(short_form).ValueOr(v + 1.0) == v) return short_form;
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+Event::Event(std::string_view type) : type_(type) {
+  json_ = "\"type\":\"" + JsonEscape(type) + "\"";
+}
+
+Event& Event::SetStr(std::string_view key, std::string_view value) {
+  json_ += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  return *this;
+}
+
+Event& Event::SetNum(std::string_view key, double value) {
+  json_ += ",\"" + JsonEscape(key) + "\":" + FmtDouble(value);
+  return *this;
+}
+
+Event& Event::SetInt(std::string_view key, int64_t value) {
+  json_ += ",\"" + JsonEscape(key) +
+           "\":" + StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+Event& Event::SetBool(std::string_view key, bool value) {
+  json_ += ",\"" + JsonEscape(key) + "\":" + (value ? "true" : "false");
+  return *this;
+}
+
+Event& Event::SetNumList(std::string_view key,
+                         const std::vector<double>& values) {
+  json_ += ",\"" + JsonEscape(key) + "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) json_ += ',';
+    json_ += FmtDouble(values[i]);
+  }
+  json_ += ']';
+  return *this;
+}
+
+Event& Event::SetIntList(std::string_view key,
+                         const std::vector<size_t>& values) {
+  json_ += ",\"" + JsonEscape(key) + "\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) json_ += ',';
+    json_ += StrFormat("%llu", static_cast<unsigned long long>(values[i]));
+  }
+  json_ += ']';
+  return *this;
+}
+
+vs::Result<std::unique_ptr<JsonlFileSink>> JsonlFileSink::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return vs::Status::IOError("cannot open event journal '" + path + "'");
+  }
+  return std::unique_ptr<JsonlFileSink>(new JsonlFileSink(file));
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::Emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  // One formatted line, one write: no interleaving even with concurrent
+  // emitters sharing the underlying descriptor.
+  const std::string line =
+      StrFormat("{\"seq\":%lld,\"t_us\":%lld,",
+                static_cast<long long>(seq_++),
+                static_cast<long long>(clock_.ElapsedMicros())) +
+      event.fields_json() + "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+void JsonlFileSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace vs::obs

@@ -1,0 +1,118 @@
+#ifndef VS_OBS_EVENTS_H_
+#define VS_OBS_EVENTS_H_
+
+/// \file events.h
+/// \brief The session event journal: engine components emit structured
+/// Events (a typed name plus ordered key/value fields) to a pluggable
+/// EventSink.  The JSONL file sink gives every interactive session a
+/// replayable audit trail — label events carry enough to rebuild the
+/// session, refit events carry the estimator coefficients so the final
+/// top-k can be recomputed offline.
+///
+/// Events serialize to one JSON object per line.  Field order is emission
+/// order (deterministic), so journals from seeded runs are byte-stable
+/// except for the sink-stamped "t_us" wall-clock field.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+
+namespace vs::obs {
+
+/// \brief One structured event, built field-by-field.
+class Event {
+ public:
+  explicit Event(std::string_view type);
+
+  /// \name Field setters (chainable; insertion order is serialized order).
+  /// @{
+  Event& SetStr(std::string_view key, std::string_view value);
+  Event& SetNum(std::string_view key, double value);
+  Event& SetInt(std::string_view key, int64_t value);
+  Event& SetBool(std::string_view key, bool value);
+  Event& SetNumList(std::string_view key, const std::vector<double>& values);
+  Event& SetIntList(std::string_view key, const std::vector<size_t>& values);
+  /// @}
+
+  const std::string& type() const { return type_; }
+
+  /// The fields as a brace-less JSON fragment: `"type":"x","view":3`.
+  /// Sinks wrap it (optionally prepending bookkeeping like seq/t_us).
+  const std::string& fields_json() const { return json_; }
+
+  /// The complete JSON object: `{"type":"x","view":3}`.
+  std::string ToJson() const { return "{" + json_ + "}"; }
+
+ private:
+  std::string type_;
+  std::string json_;
+};
+
+/// \brief Receives emitted events.  Implementations must be thread-safe;
+/// emitters hold a borrowed pointer and never take ownership.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Emit(const Event& event) = 0;
+};
+
+/// \brief Appends events to a JSONL file, one object per line:
+/// `{"seq":3,"t_us":1204,"type":"label_received",...}`.  seq is a
+/// monotonic per-sink counter; t_us is microseconds since the sink was
+/// opened.
+class JsonlFileSink : public EventSink {
+ public:
+  static vs::Result<std::unique_ptr<JsonlFileSink>> Open(
+      const std::string& path);
+  ~JsonlFileSink() override;
+
+  void Emit(const Event& event) override;
+  void Flush();
+
+ private:
+  explicit JsonlFileSink(std::FILE* file) : file_(file) {}
+
+  std::mutex mu_;
+  std::FILE* file_;
+  int64_t seq_ = 0;
+  Stopwatch clock_;
+};
+
+/// \brief In-memory sink for tests and programmatic inspection.
+class VectorEventSink : public EventSink {
+ public:
+  void Emit(const Event& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace vs::obs
+
+#endif  // VS_OBS_EVENTS_H_

@@ -1,0 +1,234 @@
+#include "obs/metrics.h"
+
+#include "common/string_util.h"
+
+namespace vs::obs {
+
+namespace {
+
+/// Formats a double compactly but round-trippably.
+std::string FmtDouble(double v) {
+  std::string s = StrFormat("%.17g", v);
+  // Prefer the short form when it round-trips (keeps exports readable).
+  const std::string short_form = StrFormat("%g", v);
+  if (ParseDouble(short_form).ValueOr(v + 1.0) == v) return short_form;
+  return s;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  // 1 µs .. ~100 s in half-decade steps.
+  static const std::vector<double> kBounds =
+      ExponentialBuckets(1e-6, 3.1622776601683795, 17);
+  return kBounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(start + width * i);
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(
+                                new Counter(name, help, &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name, std::unique_ptr<Gauge>(
+                                new Gauge(name, help, &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(
+                                name, help, std::move(bounds), &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snapshot.counters.push_back({name, c->help_, c->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snapshot.gauges.push_back({name, g->help_, g->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.help = h->help_;
+    hs.bounds = h->bounds_;
+    hs.counts.reserve(h->buckets_.size());
+    uint64_t total = 0;
+    for (const auto& b : h->buckets_) {
+      const uint64_t v = b.load(std::memory_order_relaxed);
+      hs.counts.push_back(v);
+      total += v;
+    }
+    hs.count = total;
+    hs.sum = h->sum();
+    snapshot.histograms.push_back(std::move(hs));
+  }
+  return snapshot;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(c.name) + "\":" +
+           StrFormat("%llu", static_cast<unsigned long long>(c.value));
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(g.name) + "\":" + FmtDouble(g.value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(h.name) + "\":{\"count\":" +
+           StrFormat("%llu", static_cast<unsigned long long>(h.count)) +
+           ",\"sum\":" + FmtDouble(h.sum) + ",\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      out += FmtDouble(h.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += StrFormat("%llu", static_cast<unsigned long long>(h.counts[b]));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = PromName(c.name);
+    if (!c.help.empty()) out += "# HELP " + name + " " + c.help + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " +
+           StrFormat("%llu", static_cast<unsigned long long>(c.value)) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = PromName(g.name);
+    if (!g.help.empty()) out += "# HELP " + name + " " + g.help + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FmtDouble(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = PromName(h.name);
+    if (!h.help.empty()) out += "# HELP " + name + " " + h.help + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      const std::string le =
+          b < h.bounds.size() ? FmtDouble(h.bounds[b]) : "+Inf";
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+             "\n";
+    }
+    out += name + "_sum " + FmtDouble(h.sum) + "\n";
+    out += name + "_count " +
+           StrFormat("%llu", static_cast<unsigned long long>(h.count)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vs::obs

@@ -1,0 +1,231 @@
+#ifndef VS_OBS_METRICS_H_
+#define VS_OBS_METRICS_H_
+
+/// \file metrics.h
+/// \brief Process-wide runtime metrics: lock-free-on-the-hot-path Counter,
+/// Gauge and fixed-bucket Histogram instruments behind a MetricsRegistry.
+///
+/// Design rules:
+///  * Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and is
+///    meant to be amortized — call sites cache the returned handle (a
+///    function-local static is the usual idiom).  Handles are stable for
+///    the registry's lifetime.
+///  * Updates (Increment/Set/Observe) are atomics only; no locks.
+///  * A *disabled* registry costs exactly one relaxed atomic load per
+///    update call — instrumented hot paths are safe to leave in Release
+///    builds unconditionally.
+///  * SnapshotAll() is deterministic: instruments sorted by name.
+///
+/// Metric names use dot-separated lowercase ("seeker.iteration_seconds");
+/// the Prometheus exporter rewrites dots to underscores to satisfy its
+/// name grammar.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vs::obs {
+
+namespace internal {
+
+/// Atomic add for doubles (no std::atomic<double>::fetch_add portability
+/// assumptions): compare-exchange loop, relaxed ordering.
+inline void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// \brief Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help,
+          const std::atomic<bool>* enabled)
+      : name_(std::move(name)), help_(std::move(help)), enabled_(enabled) {}
+
+  std::string name_;
+  std::string help_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A value that can go up and down (queue depths, utilizations).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    internal::AtomicAdd(&value_, delta);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), help_(std::move(help)), enabled_(enabled) {}
+
+  std::string name_;
+  std::string help_;
+  const std::atomic<bool>* enabled_;
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram: cumulative-on-export bucket counts plus a
+/// running sum, Prometheus-style.  Bucket bounds are upper bounds; an
+/// implicit +Inf bucket catches the overflow.
+class Histogram {
+ public:
+  void Observe(double v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    internal::AtomicAdd(&sum_, v);
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) {
+      total += b.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::string help, std::vector<double> bounds,
+            const std::atomic<bool>* enabled)
+      : name_(std::move(name)),
+        help_(std::move(help)),
+        bounds_(std::move(bounds)),
+        enabled_(enabled),
+        buckets_(bounds_.size() + 1) {}
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  const std::atomic<bool>* enabled_;
+  /// One per bound plus the +Inf overflow bucket (non-cumulative; the
+  /// exporters accumulate).
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponentially spaced upper bounds: start, start*factor, ... (count of
+/// them).  The default latency buckets cover 1 µs .. ~100 s.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count);
+std::vector<double> DefaultLatencyBuckets();
+/// Linearly spaced bounds for naturally bounded values (counts, ratios).
+std::vector<double> LinearBuckets(double start, double width, int count);
+
+/// \name Snapshot types (plain data; safe to hold across registry updates).
+/// @{
+struct CounterSnapshot {
+  std::string name;
+  std::string help;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string help;
+  std::vector<double> bounds;   ///< bucket upper bounds (no +Inf)
+  std::vector<uint64_t> counts; ///< per-bucket counts incl. trailing +Inf
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+/// @}
+
+/// \brief Owns all instruments; lookups are name-keyed and idempotent
+/// (same name returns the same handle; mismatched re-registration of a
+/// name as a different type returns the existing instrument of the right
+/// map, never aliases).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the engine's built-in
+  /// instrumentation.  Never destroyed (handles stay valid at exit).
+  static MetricsRegistry& Default();
+
+  /// Registers (or looks up) an instrument.  Thread-safe; the returned
+  /// pointer is stable for the registry's lifetime.  \p help is recorded
+  /// on first registration only.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// \p bounds must be strictly increasing; recorded on first
+  /// registration only.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Disabled registries turn every update into a single relaxed load.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Consistent-enough point-in-time view of every instrument, sorted by
+  /// name (deterministic given deterministic updates).
+  MetricsSnapshot SnapshotAll() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition (dots in names become underscores).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Minimal JSON string escaping shared by the obs exporters.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace vs::obs
+
+#endif  // VS_OBS_METRICS_H_

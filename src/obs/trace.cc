@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include <thread>
+
+#include "obs/metrics.h"  // JsonEscape
+#include "common/string_util.h"
+
+namespace vs::obs {
+
+namespace {
+
+/// Innermost live span id on this thread (per collector would be overkill:
+/// nesting across two collectors in one scope chain is not a supported
+/// pattern, and the worst case is a cosmetic parent link).
+thread_local uint64_t tl_current_span = 0;
+
+std::atomic<uint32_t> g_next_thread_id{0};
+
+}  // namespace
+
+uint32_t CurrentThreadId() {
+  thread_local uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+TraceCollector::TraceCollector(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: [head_, end) then [0, head_) once wrapped.
+  for (size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (size_t i = 0; i < head_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceCollector::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+        "\"pid\":1,\"tid\":%u,\"args\":{\"id\":%llu,\"parent\":%llu}}",
+        JsonEscape(e.name).c_str(), static_cast<long long>(e.start_us),
+        static_cast<long long>(e.duration_us), e.thread_id,
+        static_cast<unsigned long long>(e.id),
+        static_cast<unsigned long long>(e.parent_id));
+  }
+  out += "]}";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name, TraceCollector* collector)
+    : name_(name), collector_(collector) {
+  if (collector_ == nullptr || !collector_->enabled()) return;
+  id_ = collector_->NextSpanId();
+  parent_ = tl_current_span;
+  tl_current_span = id_;
+  start_us_ = collector_->NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;
+  TraceEvent event;
+  event.name = name_;
+  event.start_us = start_us_;
+  event.duration_us = collector_->NowMicros() - start_us_;
+  event.thread_id = CurrentThreadId();
+  event.id = id_;
+  event.parent_id = parent_;
+  tl_current_span = parent_;
+  collector_->Record(std::move(event));
+}
+
+}  // namespace vs::obs

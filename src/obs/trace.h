@@ -1,0 +1,121 @@
+#ifndef VS_OBS_TRACE_H_
+#define VS_OBS_TRACE_H_
+
+/// \file trace.h
+/// \brief RAII trace spans over a bounded ring buffer, exportable as a
+/// Chrome trace (open chrome://tracing or https://ui.perfetto.dev and load
+/// the JSON dump).
+///
+/// A ScopedSpan measures one named region with Stopwatch; on destruction it
+/// records (name, start, duration, thread, parent) into a TraceCollector.
+/// Parenthood is tracked per thread: spans nested on the same thread link
+/// to the innermost live span.  When the ring buffer is full the oldest
+/// events are overwritten and counted as dropped — tracing is bounded
+/// memory by construction.  A disabled collector makes ScopedSpan cost one
+/// relaxed atomic load and nothing else (no clock reads).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace vs::obs {
+
+/// \brief One completed span.
+struct TraceEvent {
+  std::string name;
+  int64_t start_us = 0;     ///< relative to the collector's epoch
+  int64_t duration_us = 0;
+  uint32_t thread_id = 0;   ///< stable small id per OS thread
+  uint64_t id = 0;          ///< unique per collector, 1-based
+  uint64_t parent_id = 0;   ///< 0 = no parent (top-level span)
+};
+
+/// \brief Thread-safe bounded store of completed spans.
+class TraceCollector {
+ public:
+  /// \p capacity caps retained events; older events are dropped first.
+  explicit TraceCollector(size_t capacity = 16384);
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The process-wide collector the engine's built-in spans record into.
+  static TraceCollector& Default();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed event (called by ScopedSpan).
+  void Record(TraceEvent event);
+
+  /// Microseconds since the collector's epoch (its construction).
+  int64_t NowMicros() const { return epoch_.ElapsedMicros(); }
+
+  /// Next span id (unique, 1-based).
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  void Clear();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}, "X" complete events,
+  /// microsecond timestamps).
+  std::string ToChromeTraceJson() const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> dropped_{0};
+  Stopwatch epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  ///< grows to capacity_, then wraps
+  size_t head_ = 0;               ///< insertion slot once wrapped
+};
+
+/// \brief RAII span: times the enclosing scope and records it on exit.
+///
+/// \p name must outlive the span (string literals in practice).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name,
+                      TraceCollector* collector = &TraceCollector::Default());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Id of this span (0 when the collector was disabled at entry).
+  uint64_t id() const { return id_; }
+
+ private:
+  const char* name_;
+  TraceCollector* collector_;
+  int64_t start_us_ = 0;
+  uint64_t id_ = 0;      ///< 0 = inactive (collector disabled at entry)
+  uint64_t parent_ = 0;
+};
+
+/// Stable small id of the calling thread (used for TraceEvent::thread_id).
+uint32_t CurrentThreadId();
+
+}  // namespace vs::obs
+
+#endif  // VS_OBS_TRACE_H_

@@ -1,5 +1,9 @@
 #include "common/logging.h"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace vs {
@@ -30,6 +34,34 @@ TEST_F(LoggingTest, ErrorLevelAlwaysEmittable) {
   Logger::SetLevel(LogLevel::kError);
   Logger::Log(LogLevel::kError, "an error record (expected in test output)");
   SUCCEED();
+}
+
+TEST_F(LoggingTest, SinkCapturesFilteredRecords) {
+  Logger::SetLevel(LogLevel::kWarn);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  Logger::SetSink([&captured](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  Logger::Log(LogLevel::kInfo, "below the level filter");
+  Logger::Log(LogLevel::kWarn, "captured warning");
+  VS_LOG(kError) << "captured " << "error " << 42;
+  Logger::SetSink(nullptr);  // restore stderr
+  Logger::Log(LogLevel::kError,
+              "after sink removal (expected in test output)");
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  // The sink receives the raw message: no "[WARN] " prefix, no newline.
+  EXPECT_EQ(captured[0].second, "captured warning");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_EQ(captured[1].second, "captured error 42");
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(Logger::LevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(Logger::LevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(Logger::LevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(Logger::LevelName(LogLevel::kError), "ERROR");
 }
 
 TEST(CheckTest, PassingCheckDoesNothing) {

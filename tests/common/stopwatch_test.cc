@@ -1,5 +1,7 @@
 #include "common/stopwatch.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace vs {
@@ -69,6 +71,37 @@ TEST(DeadlineTest, ChargeIgnoredInWallClockMode) {
   d.Charge(1'000'000);
   EXPECT_FALSE(d.Expired());
   EXPECT_EQ(d.UnitsLeft(), 0);
+}
+
+TEST(DeadlineTest, InfiniteRemainingUsesSentinels) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+  EXPECT_GT(d.RemainingSeconds(), 0.0);
+  EXPECT_EQ(d.RemainingUnits(), Deadline::kNoUnitLimit);
+}
+
+TEST(DeadlineTest, RemainingUnitsTracksChargesAndClamps) {
+  Deadline d = Deadline::AfterUnits(5);
+  EXPECT_EQ(d.RemainingUnits(), 5);
+  // No wall-clock bound applies in unit mode.
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+  d.Charge(2);
+  EXPECT_EQ(d.RemainingUnits(), 3);
+  d.Charge(10);  // overshoot clamps to zero, never negative
+  EXPECT_EQ(d.RemainingUnits(), 0);
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, RemainingSecondsBoundedByBudget) {
+  Deadline d = Deadline::AfterSeconds(60.0);
+  const double remaining = d.RemainingSeconds();
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_LE(remaining, 60.0);
+  // No unit budget applies in wall-clock mode.
+  EXPECT_EQ(d.RemainingUnits(), Deadline::kNoUnitLimit);
+
+  Deadline expired = Deadline::AfterSeconds(0.0);
+  EXPECT_DOUBLE_EQ(expired.RemainingSeconds(), 0.0);  // clamped, not negative
 }
 
 }  // namespace

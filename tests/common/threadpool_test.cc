@@ -70,5 +70,41 @@ TEST(ThreadPoolTest, DefaultThreadsIsSane) {
   EXPECT_LT(n, 1024u);
 }
 
+TEST(ThreadPoolTest, CompletedCounterMatchesSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_completed(), 0u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.tasks_completed(), 50u);
+  EXPECT_EQ(pool.queue_depth(), 0u);  // drained
+}
+
+TEST(ThreadPoolTest, CompletedCounterMatchesParallelForChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  // ParallelFor splits [0, n) into min(n, threads * 4) chunk tasks.
+  pool.ParallelFor(0, 3, [&hits](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 3);
+  EXPECT_EQ(pool.tasks_completed(), 3u);
+  pool.ParallelFor(0, 100, [&hits](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 103);
+  EXPECT_EQ(pool.tasks_completed(), 3u + 16u);
+}
+
+TEST(ThreadPoolTest, InlineModeCountsWork) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  pool.Submit([] {});
+  EXPECT_EQ(pool.tasks_completed(), 1u);
+  // Inline ParallelFor runs the whole range as one task.
+  pool.ParallelFor(0, 5, [](size_t) {});
+  EXPECT_EQ(pool.tasks_completed(), 2u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
 }  // namespace
 }  // namespace vs

@@ -1,0 +1,293 @@
+#include "obs/events.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../core/core_test_util.h"
+#include "common/string_util.h"
+#include "core/metrics.h"
+#include "core/refinement.h"
+#include "core/seeker.h"
+
+namespace vs::obs {
+namespace {
+
+TEST(Event, SerializesFieldsInInsertionOrder) {
+  Event e("demo");
+  e.SetInt("a", 3)
+      .SetNum("b", 0.5)
+      .SetStr("c", "x\"y")
+      .SetBool("d", true)
+      .SetIntList("e", {1, 2})
+      .SetNumList("f", {0.25});
+  EXPECT_EQ(e.type(), "demo");
+  EXPECT_EQ(e.ToJson(),
+            "{\"type\":\"demo\",\"a\":3,\"b\":0.5,\"c\":\"x\\\"y\","
+            "\"d\":true,\"e\":[1,2],\"f\":[0.25]}");
+}
+
+TEST(JsonlFileSinkTest, StampsSeqAndTimestampPerLine) {
+  const std::string path =
+      ::testing::TempDir() + "/vs_events_sink_test.jsonl";
+  {
+    auto sink = JsonlFileSink::Open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    Event a("first");
+    a.SetInt("v", 1);
+    (*sink)->Emit(a);
+    Event b("second");
+    (*sink)->Emit(b);
+    (*sink)->Flush();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  const std::string content(buf, n);
+  const auto lines = Split(content, '\n');
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("{\"seq\":0,\"t_us\":", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("\"type\":\"first\",\"v\":1}"),
+            std::string::npos) << lines[0];
+  EXPECT_EQ(lines[1].rfind("{\"seq\":1,\"t_us\":", 0), 0u) << lines[1];
+}
+
+// --- Scripted deterministic session --------------------------------------
+
+/// Labels views by a fixed rule of their own (normalized) features, so the
+/// whole session is a pure function of the seed.
+double ScriptedLabel(const core::FeatureMatrix& matrix, size_t view) {
+  return matrix.NormalizedRow(view)[0] >= 0.5 ? 0.9 : 0.1;
+}
+
+/// Runs `iterations` labeling rounds against `seeker`, recommending after
+/// each, and returns the final top-k.
+std::vector<size_t> RunScriptedSession(core::ViewSeeker* seeker,
+                                       const core::FeatureMatrix& matrix,
+                                       int iterations) {
+  std::vector<size_t> topk;
+  for (int i = 0; i < iterations; ++i) {
+    auto queries = seeker->NextQueries();
+    EXPECT_TRUE(queries.ok()) << queries.status().ToString();
+    for (size_t q : *queries) {
+      EXPECT_TRUE(seeker->SubmitLabel(q, ScriptedLabel(matrix, q)).ok());
+    }
+    auto rec = seeker->RecommendTopK();
+    EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+    topk = *rec;
+  }
+  return topk;
+}
+
+core::ViewSeeker MakeScriptedSeeker(const core::FeatureMatrix* matrix,
+                                    EventSink* sink) {
+  core::ViewSeekerOptions options;
+  options.k = 3;
+  options.seed = 20240807;
+  auto seeker = core::ViewSeeker::Make(matrix, options);
+  EXPECT_TRUE(seeker.ok());
+  seeker->SetEventSink(sink);
+  return std::move(*seeker);
+}
+
+/// Top-level keys of a brace-less JSON fragment, in order.
+std::vector<std::string> ExtractKeys(const std::string& fields_json) {
+  std::vector<std::string> keys;
+  int bracket_depth = 0;
+  bool in_string = false;
+  std::string current;
+  for (size_t i = 0; i < fields_json.size(); ++i) {
+    const char c = fields_json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+        // A key is a top-level string immediately followed by ':'.
+        if (bracket_depth == 0 && i + 1 < fields_json.size() &&
+            fields_json[i + 1] == ':') {
+          keys.push_back(current);
+        }
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      current.clear();
+    } else if (c == '[') {
+      ++bracket_depth;
+    } else if (c == ']') {
+      --bracket_depth;
+    }
+  }
+  return keys;
+}
+
+std::string JoinKeys(const std::vector<std::string>& keys) {
+  return Join(keys, " ");
+}
+
+TEST(SessionJournal, GoldenEventSchemaFromScriptedSession) {
+  auto world = core::testutil::MakeMiniWorld();
+  VectorEventSink sink;
+  core::ViewSeeker seeker = MakeScriptedSeeker(world.matrix.get(), &sink);
+  RunScriptedSession(&seeker, *world.matrix, 6);
+
+  const auto events = sink.events();
+  ASSERT_GT(events.size(), 10u);
+
+  // The journal's schema: per event type, the exact field set and order.
+  EXPECT_EQ(events[0].type(), "session_start");
+  EXPECT_EQ(JoinKeys(ExtractKeys(events[0].fields_json())),
+            "type k strategy views_per_iteration positive_threshold seed "
+            "num_views num_features num_labeled");
+  bool saw_cold_pick = false;
+  bool saw_query = false;
+  bool saw_label = false;
+  bool saw_refit = false;
+  bool saw_topk = false;
+  for (const Event& e : events) {
+    if (e.type() == "cold_start_pick") {
+      saw_cold_pick = true;
+      EXPECT_EQ(JoinKeys(ExtractKeys(e.fields_json())),
+                "type iteration view view_id");
+    } else if (e.type() == "query_issued") {
+      saw_query = true;
+      EXPECT_EQ(JoinKeys(ExtractKeys(e.fields_json())),
+                "type iteration view view_id phase");
+    } else if (e.type() == "label_received") {
+      saw_label = true;
+      EXPECT_EQ(JoinKeys(ExtractKeys(e.fields_json())),
+                "type view label num_labeled");
+    } else if (e.type() == "estimator_refit") {
+      saw_refit = true;
+      EXPECT_EQ(JoinKeys(ExtractKeys(e.fields_json())),
+                "type num_labels coefficients intercept "
+                "uncertainty_fitted");
+    } else if (e.type() == "topk_change") {
+      saw_topk = true;
+      EXPECT_EQ(JoinKeys(ExtractKeys(e.fields_json())),
+                "type num_labeled topk");
+    }
+  }
+  EXPECT_TRUE(saw_cold_pick);
+  EXPECT_TRUE(saw_query);
+  EXPECT_TRUE(saw_label);
+  EXPECT_TRUE(saw_refit);
+  EXPECT_TRUE(saw_topk);
+}
+
+TEST(SessionJournal, ScriptedSessionJournalIsDeterministic) {
+  auto world = core::testutil::MakeMiniWorld();
+  VectorEventSink first;
+  VectorEventSink second;
+  {
+    core::ViewSeeker seeker = MakeScriptedSeeker(world.matrix.get(), &first);
+    RunScriptedSession(&seeker, *world.matrix, 6);
+  }
+  {
+    core::ViewSeeker seeker =
+        MakeScriptedSeeker(world.matrix.get(), &second);
+    RunScriptedSession(&seeker, *world.matrix, 6);
+  }
+  const auto a = first.events();
+  const auto b = second.events();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fields_json(), b[i].fields_json()) << "event " << i;
+  }
+}
+
+TEST(SessionJournal, RefinementPassEventUnderUnitDeadline) {
+  auto world = core::testutil::MakeMiniWorld(/*sample_rate=*/0.5);
+  ASSERT_FALSE(world.matrix->AllExact());
+  VectorEventSink sink;
+  core::IncrementalRefiner refiner(world.matrix.get());
+  refiner.SetEventSink(&sink);
+  // Budget exactly two rows of work: deterministic rows_refined and full
+  // deadline utilization.
+  Deadline deadline =
+      Deadline::AfterUnits(2 * world.matrix->RefineCostPerRow());
+  auto stats = refiner.RefineBatch({}, &deadline);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows_refined, 2);
+  EXPECT_DOUBLE_EQ(stats->deadline_utilization, 1.0);
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type(), "refinement_pass");
+  EXPECT_EQ(JoinKeys(ExtractKeys(events[0].fields_json())),
+            "type rows_refined rows_pruned deadline_utilization all_exact");
+  EXPECT_NE(events[0].fields_json().find("\"rows_refined\":2"),
+            std::string::npos);
+  EXPECT_NE(events[0].fields_json().find("\"deadline_utilization\":1"),
+            std::string::npos);
+}
+
+// --- Replay: refit events reproduce the live top-k ------------------------
+
+/// Pulls `"key":[...]` number lists / scalars out of a refit event.
+std::vector<double> ParseNumList(const std::string& json,
+                                 const std::string& key) {
+  const std::string marker = "\"" + key + "\":[";
+  const size_t start = json.find(marker);
+  EXPECT_NE(start, std::string::npos) << json;
+  const size_t open = start + marker.size();
+  const size_t close = json.find(']', open);
+  std::vector<double> values;
+  for (const std::string& tok :
+       Split(json.substr(open, close - open), ',')) {
+    values.push_back(*ParseDouble(tok));
+  }
+  return values;
+}
+
+double ParseNumField(const std::string& json, const std::string& key) {
+  const std::string marker = "\"" + key + "\":";
+  const size_t start = json.find(marker);
+  EXPECT_NE(start, std::string::npos) << json;
+  size_t end = start + marker.size();
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  return *ParseDouble(json.substr(start + marker.size(),
+                                  end - start - marker.size()));
+}
+
+TEST(SessionJournal, RefitEventsReplayToSameTopK) {
+  auto world = core::testutil::MakeMiniWorld();
+  VectorEventSink sink;
+  core::ViewSeeker seeker = MakeScriptedSeeker(world.matrix.get(), &sink);
+  const std::vector<size_t> live_topk =
+      RunScriptedSession(&seeker, *world.matrix, 8);
+  ASSERT_FALSE(live_topk.empty());
+
+  // The last estimator_refit carries the final model; applying it to the
+  // normalized feature matrix must reproduce the live recommendation.
+  std::string last_refit;
+  for (const Event& e : sink.events()) {
+    if (e.type() == "estimator_refit") last_refit = e.fields_json();
+  }
+  ASSERT_FALSE(last_refit.empty());
+  const std::vector<double> coefficients =
+      ParseNumList(last_refit, "coefficients");
+  const double intercept = ParseNumField(last_refit, "intercept");
+  ASSERT_EQ(coefficients.size(), world.matrix->num_features());
+
+  std::vector<double> scores(world.matrix->num_views(), 0.0);
+  for (size_t v = 0; v < world.matrix->num_views(); ++v) {
+    const ml::Vector row = world.matrix->NormalizedRow(v);
+    double s = intercept;
+    for (size_t j = 0; j < row.size(); ++j) s += coefficients[j] * row[j];
+    scores[v] = s;
+  }
+  EXPECT_EQ(core::TopKIndices(scores, live_topk.size()), live_topk);
+}
+
+}  // namespace
+}  // namespace vs::obs

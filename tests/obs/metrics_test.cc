@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace vs::obs {
+namespace {
+
+TEST(Counter, IncrementAndValue) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.count", "a counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(3.5);
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+  g->Add(-1.25);
+  EXPECT_DOUBLE_EQ(g->value(), 2.25);
+}
+
+TEST(Histogram, BucketsSumAndOverflow) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket le=1
+  h->Observe(1.0);    // le=1 (bounds are inclusive upper bounds)
+  h->Observe(5.0);    // le=10
+  h->Observe(1000.0); // +Inf overflow
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 1006.5);
+  MetricsSnapshot snap = registry.SnapshotAll();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  ASSERT_EQ(hs.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(hs.counts[0], 2u);
+  EXPECT_EQ(hs.counts[1], 1u);
+  EXPECT_EQ(hs.counts[2], 0u);
+  EXPECT_EQ(hs.counts[3], 1u);
+}
+
+TEST(Histogram, ConcurrentObservationsCountExactly) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.chist", {0.25, 0.5, 0.75});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Observe(static_cast<double>(t % 4) / 4.0 + 0.1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, HandlesAreIdempotentByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("same.name", "first help wins");
+  Counter* b = registry.GetCounter("same.name", "ignored");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("same.hist", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("same.hist", {9.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 2u);  // first registration's bounds win
+}
+
+TEST(MetricsRegistry, DisabledUpdatesAreNoOps) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("off.count");
+  Gauge* g = registry.GetGauge("off.gauge");
+  Histogram* h = registry.GetHistogram("off.hist", {1.0});
+  registry.set_enabled(false);
+  c->Increment(7);
+  g->Set(9.0);
+  h->Observe(0.5);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  registry.set_enabled(true);
+  c->Increment(7);
+  EXPECT_EQ(c->value(), 7u);
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministicAndNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz.last")->Increment(2);
+  registry.GetCounter("aa.first")->Increment(1);
+  registry.GetGauge("mid.gauge")->Set(0.5);
+  const MetricsSnapshot s1 = registry.SnapshotAll();
+  const MetricsSnapshot s2 = registry.SnapshotAll();
+  ASSERT_EQ(s1.counters.size(), 2u);
+  EXPECT_EQ(s1.counters[0].name, "aa.first");
+  EXPECT_EQ(s1.counters[1].name, "zz.last");
+  EXPECT_EQ(ToJson(s1), ToJson(s2));
+  EXPECT_EQ(ToPrometheusText(s1), ToPrometheusText(s2));
+}
+
+TEST(Exporters, JsonContainsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("exp.count", "help")->Increment(3);
+  registry.GetGauge("exp.gauge")->Set(1.5);
+  registry.GetHistogram("exp.hist", {1.0, 2.0})->Observe(1.5);
+  const std::string json = ToJson(registry.SnapshotAll());
+  EXPECT_NE(json.find("\"exp.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exp.gauge\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exp.hist\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+}
+
+TEST(Exporters, PrometheusRenamesDotsAndAccumulatesBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("prom.hist", {1.0, 2.0}, "hist help");
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(99.0);
+  const std::string text = ToPrometheusText(registry.SnapshotAll());
+  EXPECT_NE(text.find("# TYPE prom_hist histogram"), std::string::npos)
+      << text;
+  // Cumulative counts: le=1 -> 1, le=2 -> 2, +Inf -> 3.
+  EXPECT_NE(text.find("prom_hist_bucket{le=\"1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prom_hist_bucket{le=\"2\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prom_hist_bucket{le=\"+Inf\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("prom_hist_count 3"), std::string::npos) << text;
+}
+
+TEST(Buckets, GeneratorsProduceIncreasingBounds) {
+  const auto exp = ExponentialBuckets(1e-6, 10.0, 5);
+  ASSERT_EQ(exp.size(), 5u);
+  const auto lin = LinearBuckets(0.0, 0.25, 5);
+  ASSERT_EQ(lin.size(), 5u);
+  for (size_t i = 1; i < exp.size(); ++i) EXPECT_GT(exp[i], exp[i - 1]);
+  for (size_t i = 1; i < lin.size(); ++i) EXPECT_GT(lin[i], lin[i - 1]);
+  const auto latency = DefaultLatencyBuckets();
+  ASSERT_FALSE(latency.empty());
+  EXPECT_LT(latency.front(), 1e-5);
+  EXPECT_GT(latency.back(), 10.0);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+}  // namespace
+}  // namespace vs::obs

@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace vs::obs {
+namespace {
+
+TraceEvent MakeEvent(const std::string& name, int64_t start_us) {
+  TraceEvent e;
+  e.name = name;
+  e.start_us = start_us;
+  e.duration_us = 1;
+  e.thread_id = CurrentThreadId();
+  return e;
+}
+
+TEST(TraceCollector, RecordsAndSnapshotsInOrder) {
+  TraceCollector collector(8);
+  collector.Record(MakeEvent("a", 1));
+  collector.Record(MakeEvent("b", 2));
+  const auto events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+TEST(TraceCollector, RingOverflowDropsOldestFirst) {
+  TraceCollector collector(3);
+  for (int i = 0; i < 5; ++i) {
+    collector.Record(MakeEvent("e" + std::to_string(i), i));
+  }
+  EXPECT_EQ(collector.size(), 3u);
+  EXPECT_EQ(collector.dropped(), 2u);
+  const auto events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // The two oldest (e0, e1) were overwritten; the rest stay ordered.
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+}
+
+TEST(TraceCollector, ClearResetsRetainedEvents) {
+  TraceCollector collector(4);
+  collector.Record(MakeEvent("x", 1));
+  collector.Clear();
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_TRUE(collector.Snapshot().empty());
+}
+
+TEST(ScopedSpan, RecordsNestedParentage) {
+  TraceCollector collector(16);
+  {
+    ScopedSpan outer("outer", &collector);
+    ASSERT_NE(outer.id(), 0u);
+    {
+      ScopedSpan inner("inner", &collector);
+      EXPECT_NE(inner.id(), outer.id());
+    }
+  }
+  const auto events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on destruction: inner closes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].parent_id, events[1].id);
+  EXPECT_EQ(events[1].parent_id, 0u);
+  EXPECT_GE(events[1].duration_us, events[0].duration_us);
+}
+
+TEST(ScopedSpan, SiblingsShareTheParent) {
+  TraceCollector collector(16);
+  {
+    ScopedSpan outer("outer", &collector);
+    { ScopedSpan a("a", &collector); }
+    { ScopedSpan b("b", &collector); }
+  }
+  const auto events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[0].parent_id, events[2].id);
+  EXPECT_EQ(events[1].parent_id, events[2].id);
+}
+
+TEST(ScopedSpan, DisabledCollectorRecordsNothing) {
+  TraceCollector collector(16);
+  collector.set_enabled(false);
+  {
+    ScopedSpan span("ignored", &collector);
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+TEST(ScopedSpan, ThreadsGetDistinctThreadIds) {
+  TraceCollector collector(16);
+  { ScopedSpan span("main-thread", &collector); }
+  std::thread other([&collector] {
+    ScopedSpan span("other-thread", &collector);
+  });
+  other.join();
+  const auto events = collector.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_id, events[1].thread_id);
+  // A span on a new thread has no parent from the main thread.
+  EXPECT_EQ(events[1].parent_id, 0u);
+}
+
+TEST(ChromeTrace, JsonContainsCompleteEvents) {
+  TraceCollector collector(16);
+  {
+    ScopedSpan outer("Build", &collector);
+    { ScopedSpan inner("Scan", &collector); }
+  }
+  const std::string json = collector.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"Build\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"Scan\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos) << json;
+  // Valid JSON object braces at both ends.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ChromeTrace, ConcurrentSpansAllLand) {
+  TraceCollector collector(4096);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector] {
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedSpan span("work", &collector);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(collector.size(),
+            static_cast<size_t>(kThreads) * kSpans);
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace vs::obs

@@ -11,19 +11,26 @@
 ///   viewseeker session   --table=F --filter="COND" --ustar=N [--k=5]
 ///                        [--strategy=uncertainty] [--max-labels=100]
 ///                        [--alpha=0.1]   (rough features + refinement)
+///                        [--threads=N]   (feature-build workers)
+///                        [--metrics-out=F.json]  (vs::obs snapshot)
+///                        [--trace-out=F.json]    (chrome://tracing spans)
+///                        [--events-out=F.jsonl]  (session event journal)
 ///
 /// Tables are read by extension: .vst (binary, see data/io.h) or .csv.
 /// --filter takes the WHERE sub-grammar ("age >= 30 AND city = 'NYC'").
 /// --ustar picks a Table 2 preset (1..11) for the simulated user.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/threadpool.h"
 #include "core/experiment.h"
 #include "core/recommender.h"
 #include "core/view.h"
@@ -32,6 +39,9 @@
 #include "data/io.h"
 #include "data/predicate.h"
 #include "data/query.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -78,6 +88,19 @@ class Args {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
 }
 
 int Usage() {
@@ -227,6 +250,21 @@ int CmdRecommend(const Args& args) {
 }
 
 int CmdSession(const Args& args) {
+  // vs::obs wiring: the three artifact flags opt into metrics, trace
+  // spans and the session event journal; instrumentation stays in its
+  // one-relaxed-load disabled state otherwise.
+  const std::string metrics_out = args.Get("metrics-out");
+  const std::string trace_out = args.Get("trace-out");
+  const std::string events_out = args.Get("events-out");
+  if (!metrics_out.empty()) obs::MetricsRegistry::Default().set_enabled(true);
+  if (!trace_out.empty()) obs::TraceCollector::Default().set_enabled(true);
+  std::unique_ptr<obs::JsonlFileSink> journal;
+  if (!events_out.empty()) {
+    auto sink = obs::JsonlFileSink::Open(events_out);
+    if (!sink.ok()) return Fail(sink.status());
+    journal = std::move(*sink);
+  }
+
   auto table = LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
   auto query = SelectWithFilter(*table, args);
@@ -234,9 +272,14 @@ int CmdSession(const Args& args) {
   auto views = EnumerateWithArgs(*table, args);
   if (!views.ok()) return Fail(views.status());
 
+  core::FeatureMatrixOptions build_options;
+  build_options.num_threads = static_cast<size_t>(
+      args.GetInt("threads",
+                  static_cast<int64_t>(
+                      std::max<size_t>(1, ThreadPool::DefaultThreads()))));
   auto registry = core::UtilityFeatureRegistry::Default();
   auto matrix = core::FeatureMatrix::Build(&*table, *views, *query,
-                                           &registry, {});
+                                           &registry, build_options);
   if (!matrix.ok()) return Fail(matrix.status());
 
   // Optional §3.3 optimization: the seeker works on an α%-sample rough
@@ -244,7 +287,7 @@ int CmdSession(const Args& args) {
   const double alpha = args.GetDouble("alpha", 1.0);
   std::optional<core::FeatureMatrix> rough;
   if (alpha > 0.0 && alpha < 1.0) {
-    core::FeatureMatrixOptions rough_options;
+    core::FeatureMatrixOptions rough_options = build_options;
     rough_options.sample_rate = alpha;
     auto built = core::FeatureMatrix::Build(&*table, *views, *query,
                                             &registry, rough_options);
@@ -269,6 +312,7 @@ int CmdSession(const Args& args) {
     config.refine_views_per_iteration =
         static_cast<int>(matrix->num_views() / 24) + 1;
   }
+  config.event_sink = journal.get();
   auto result = core::RunSimulatedSession(
       *matrix, rough.has_value() ? &*rough : nullptr, ideal, config);
   if (!result.ok()) return Fail(result.status());
@@ -283,6 +327,25 @@ int CmdSession(const Args& args) {
     std::printf(" %d:%.2f", step.labels, step.precision);
   }
   std::printf("\n");
+
+  if (journal != nullptr) {
+    journal->Flush();
+    std::printf("event journal: %s\n", events_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Default().SnapshotAll();
+    Status wrote = WriteTextFile(metrics_out, obs::ToJson(snapshot));
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("metrics snapshot: %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    Status wrote = WriteTextFile(
+        trace_out, obs::TraceCollector::Default().ToChromeTraceJson());
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("trace (open via chrome://tracing): %s\n",
+                trace_out.c_str());
+  }
   return 0;
 }
 
