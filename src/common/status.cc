@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

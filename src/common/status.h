@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kInternal = 8,
   kAborted = 9,
   kTimedOut = 10,
+  kResourceExhausted = 11,
 };
 
 /// \brief Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -76,6 +77,9 @@ class Status {
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   /// @}
 
   /// True iff the operation succeeded.
@@ -103,6 +107,9 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   /// @}
 
   /// "OK" or "<CodeName>: <message>".

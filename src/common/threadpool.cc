@@ -37,10 +37,15 @@ struct PoolMetrics {
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(ThreadPoolOptions{num_threads, 0,
+                                   QueueOverflowPolicy::kBlock}) {}
+
+ThreadPool::ThreadPool(const ThreadPoolOptions& options)
+    : max_queue_(options.max_queue), overflow_(options.overflow) {
   PoolMetrics::Get();  // register the pool metrics eagerly
-  threads_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+  threads_.reserve(options.num_threads);
+  for (size_t i = 0; i < options.num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -51,6 +56,7 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   cv_task_.notify_all();
+  cv_space_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
@@ -65,21 +71,35 @@ void ThreadPool::FinishTask(const Task& task, bool timed) {
   m.tasks_completed->Increment();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   if (threads_.empty()) {
     Task t{std::move(task), Stopwatch()};
     t.fn();
     FinishTask(t, /*timed=*/true);
-    return;
+    return true;
   }
   size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) {
+      if (overflow_ == QueueOverflowPolicy::kReject) {
+        tasks_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      cv_space_.wait(lock, [this] {
+        return shutdown_ || queue_.size() < max_queue_;
+      });
+      if (shutdown_) {
+        tasks_rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
     queue_.push(Task{std::move(task), Stopwatch()});
     depth = queue_.size();
   }
   PoolMetrics::Get().queue_depth->Set(static_cast<double>(depth));
   cv_task_.notify_one();
+  return true;
 }
 
 size_t ThreadPool::queue_depth() const {
@@ -141,6 +161,7 @@ void ThreadPool::WorkerLoop() {
       depth = queue_.size();
       ++in_flight_;
     }
+    if (max_queue_ > 0) cv_space_.notify_one();
     const bool observe = obs::MetricsRegistry::Default().enabled();
     if (observe) {
       m.queue_depth->Set(static_cast<double>(depth));

@@ -26,23 +26,49 @@
 
 namespace vs {
 
+/// What Submit() does when a bounded queue is at capacity.
+enum class QueueOverflowPolicy {
+  kBlock,   ///< wait for a worker to free a slot (default)
+  kReject,  ///< return false immediately — the backpressure policy
+};
+
+/// \brief ThreadPool construction parameters.
+struct ThreadPoolOptions {
+  /// Worker count; 0 selects inline execution.
+  size_t num_threads = 0;
+  /// Maximum tasks waiting in the queue (excludes running tasks);
+  /// 0 = unbounded.  Ignored in inline mode.
+  size_t max_queue = 0;
+  /// Applied only when max_queue > 0.
+  QueueOverflowPolicy overflow = QueueOverflowPolicy::kBlock;
+};
+
 /// \brief A minimal fork-join thread pool.
 ///
 /// Submit() enqueues tasks; WaitIdle() blocks until the queue is drained and
 /// all workers are idle.  ParallelFor() is a convenience that blocks until a
-/// range has been fully processed.
+/// range has been fully processed.  A bounded queue (ThreadPoolOptions::
+/// max_queue) adds backpressure: Submit either blocks for space or rejects
+/// the task per the overflow policy — the serve layer uses kReject to turn
+/// overload into fast 503s instead of unbounded memory growth.
 class ThreadPool {
  public:
-  /// Creates a pool with \p num_threads workers.  num_threads == 0 selects
-  /// inline execution (no worker threads; Submit runs the task immediately).
+  /// Creates a pool with \p num_threads workers and an unbounded queue.
+  /// num_threads == 0 selects inline execution (no worker threads; Submit
+  /// runs the task immediately).
   explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(const ThreadPoolOptions& options);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues \p task for execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues \p task for execution.  Returns true when the task was
+  /// accepted (always, for unbounded or inline pools).  With a bounded
+  /// queue at capacity, kBlock waits for space and kReject returns false
+  /// without running the task; false is also returned when blocking was
+  /// interrupted by pool shutdown.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed.
   void WaitIdle();
@@ -64,6 +90,14 @@ class ThreadPool {
     return tasks_completed_.load(std::memory_order_relaxed);
   }
 
+  /// Tasks rejected by a full bounded queue under kReject.
+  uint64_t tasks_rejected() const {
+    return tasks_rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Queue capacity (0 = unbounded).
+  size_t max_queue() const { return max_queue_; }
+
   /// A sensible default worker count for this machine: hardware_concurrency
   /// minus one, and inline mode on single-core hosts.
   static size_t DefaultThreads();
@@ -82,9 +116,13 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  std::condition_variable cv_space_;  ///< signalled on dequeue (bounded mode)
+  size_t max_queue_ = 0;
+  QueueOverflowPolicy overflow_ = QueueOverflowPolicy::kBlock;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
   std::atomic<uint64_t> tasks_completed_{0};
+  std::atomic<uint64_t> tasks_rejected_{0};
 };
 
 }  // namespace vs

@@ -1,0 +1,264 @@
+#include "serve/app.h"
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/json.h"
+
+namespace vs::serve {
+
+namespace {
+
+/// Cached handles into the default registry (amortized registration).
+struct AppMetrics {
+  obs::Counter* requests_total;
+  obs::Counter* errors_total;
+  obs::Histogram* request_seconds;
+
+  static const AppMetrics& Get() {
+    static const AppMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      return AppMetrics{
+          r.GetCounter("serve.requests", "HTTP requests dispatched"),
+          r.GetCounter("serve.request_errors",
+                       "HTTP responses with status >= 400"),
+          r.GetHistogram("serve.request_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "request dispatch latency (excludes socket I/O)"),
+      };
+    }();
+    return m;
+  }
+};
+
+/// Parses the request body as a JSON object (empty body = empty object).
+vs::Result<JsonValue> ParseBodyObject(const HttpRequest& request) {
+  if (Trim(request.body).empty()) return JsonValue();
+  VS_ASSIGN_OR_RETURN(JsonValue value, JsonValue::Parse(request.body));
+  if (!value.is_object()) {
+    return vs::Status::InvalidArgument("request body must be a JSON object");
+  }
+  return value;
+}
+
+/// Value of ?name=... in a query string, or fallback.
+std::string QueryParam(const std::string& query, std::string_view name,
+                       std::string fallback) {
+  for (const std::string& pair : Split(query, '&')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (std::string_view(pair).substr(0, eq) == name) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return fallback;
+}
+
+std::string ViewArrayJson(const std::vector<size_t>& views,
+                          const std::vector<std::string>& ids,
+                          const std::vector<double>* scores) {
+  std::string out = "[";
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("{\"view\":%zu,\"id\":%s", views[i],
+                     JsonQuote(ids[i]).c_str());
+    if (scores != nullptr) {
+      out += StrFormat(",\"score\":%.17g", (*scores)[i]);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string InfoJson(const SessionInfo& info) {
+  return StrFormat(
+      "{\"id\":%s,\"table\":%s,\"filter\":%s,\"strategy\":%s,"
+      "\"k\":%d,\"num_views\":%zu,\"num_labeled\":%zu,"
+      "\"cold_start\":%s}\n",
+      JsonQuote(info.id).c_str(), JsonQuote(info.table_path).c_str(),
+      JsonQuote(info.filter).c_str(), JsonQuote(info.strategy).c_str(),
+      info.k, info.num_views, info.num_labeled,
+      info.cold_start ? "true" : "false");
+}
+
+HttpResponse JsonOk(std::string body, int status = 200) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+int HttpStatusFor(const vs::Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kFailedPrecondition: return 409;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kTimedOut: return 504;
+    case StatusCode::kNotSupported: return 501;
+    case StatusCode::kAborted: return 503;
+    case StatusCode::kIOError: return 500;
+    case StatusCode::kInternal: return 500;
+  }
+  return 500;
+}
+
+HttpResponse ErrorResponseFor(const vs::Status& status) {
+  return JsonErrorResponse(HttpStatusFor(status),
+                           std::string(StatusCodeName(status.code())),
+                           status.message());
+}
+
+ServeApp::ServeApp(SessionManager* manager) : manager_(manager) {
+  router_.Add("POST", "/sessions",
+              [this](const HttpRequest& request,
+                     const std::vector<std::string>&) {
+                return CreateSession(request);
+              });
+  router_.Add("GET", "/sessions/{id}",
+              [this](const HttpRequest&,
+                     const std::vector<std::string>& params) {
+                return GetInfo(params);
+              });
+  router_.Add("GET", "/sessions/{id}/next",
+              [this](const HttpRequest&,
+                     const std::vector<std::string>& params) {
+                return GetNext(params);
+              });
+  router_.Add("POST", "/sessions/{id}/label",
+              [this](const HttpRequest& request,
+                     const std::vector<std::string>& params) {
+                return PostLabel(request, params);
+              });
+  router_.Add("GET", "/sessions/{id}/topk",
+              [this](const HttpRequest& request,
+                     const std::vector<std::string>& params) {
+                return GetTopK(request, params);
+              });
+  router_.Add("DELETE", "/sessions/{id}",
+              [this](const HttpRequest&,
+                     const std::vector<std::string>& params) {
+                return DeleteSession(params);
+              });
+  router_.Add("GET", "/healthz",
+              [this](const HttpRequest&, const std::vector<std::string>&) {
+                return Healthz();
+              });
+  router_.Add("GET", "/metrics",
+              [this](const HttpRequest&, const std::vector<std::string>&) {
+                return Metrics();
+              });
+}
+
+HttpResponse ServeApp::Handle(const HttpRequest& request) {
+  obs::ScopedSpan span("serve.request");
+  Stopwatch watch;
+  HttpResponse response = router_.Dispatch(request);
+  const AppMetrics& m = AppMetrics::Get();
+  m.requests_total->Increment();
+  if (response.status >= 400) m.errors_total->Increment();
+  m.request_seconds->Observe(watch.ElapsedSeconds());
+  return response;
+}
+
+HttpResponse ServeApp::CreateSession(const HttpRequest& request) {
+  auto body = ParseBodyObject(request);
+  if (!body.ok()) return ErrorResponseFor(body.status());
+
+  CreateSpec spec;
+  spec.table_path = body->GetString("table", "");
+  spec.filter = body->GetString("filter", "");
+  spec.options.k = static_cast<int>(body->GetInt("k", spec.options.k));
+  spec.options.strategy = body->GetString("strategy", spec.options.strategy);
+  spec.options.views_per_iteration = static_cast<int>(
+      body->GetInt("views_per_iteration", spec.options.views_per_iteration));
+  spec.options.positive_threshold =
+      body->GetNumber("positive_threshold", spec.options.positive_threshold);
+  spec.options.seed = static_cast<uint64_t>(
+      body->GetInt("seed", static_cast<int64_t>(spec.options.seed)));
+
+  auto info = manager_->Create(spec);
+  if (!info.ok()) return ErrorResponseFor(info.status());
+  return JsonOk(InfoJson(*info), 201);
+}
+
+HttpResponse ServeApp::GetInfo(const std::vector<std::string>& params) {
+  auto info = manager_->Info(params[0]);
+  if (!info.ok()) return ErrorResponseFor(info.status());
+  return JsonOk(InfoJson(*info));
+}
+
+HttpResponse ServeApp::GetNext(const std::vector<std::string>& params) {
+  auto batch = manager_->Next(params[0]);
+  if (!batch.ok()) return ErrorResponseFor(batch.status());
+  return JsonOk(StrFormat(
+      "{\"views\":%s,\"cold_start\":%s}\n",
+      ViewArrayJson(batch->views, batch->view_ids, nullptr).c_str(),
+      batch->cold_start ? "true" : "false"));
+}
+
+HttpResponse ServeApp::PostLabel(const HttpRequest& request,
+                                 const std::vector<std::string>& params) {
+  auto body = ParseBodyObject(request);
+  if (!body.ok()) return ErrorResponseFor(body.status());
+  auto view = body->RequiredNumber("view");
+  if (!view.ok()) return ErrorResponseFor(view.status());
+  auto label = body->RequiredNumber("label");
+  if (!label.ok()) return ErrorResponseFor(label.status());
+  if (*view < 0 || *view != static_cast<double>(static_cast<size_t>(*view))) {
+    return ErrorResponseFor(
+        vs::Status::InvalidArgument("view must be a non-negative integer"));
+  }
+  auto labeled =
+      manager_->Label(params[0], static_cast<size_t>(*view), *label);
+  if (!labeled.ok()) return ErrorResponseFor(labeled.status());
+  return JsonOk(StrFormat("{\"num_labeled\":%zu}\n", *labeled));
+}
+
+HttpResponse ServeApp::GetTopK(const HttpRequest& request,
+                               const std::vector<std::string>& params) {
+  double lambda = 0.0;
+  const std::string lambda_text = QueryParam(request.query, "lambda", "");
+  if (!lambda_text.empty()) {
+    auto parsed = ParseDouble(lambda_text);
+    if (!parsed.ok() || *parsed < 0.0 || *parsed > 1.0) {
+      return ErrorResponseFor(
+          vs::Status::InvalidArgument("lambda must be in [0, 1]"));
+    }
+    lambda = *parsed;
+  }
+  auto topk = manager_->TopK(params[0], lambda);
+  if (!topk.ok()) return ErrorResponseFor(topk.status());
+  return JsonOk(StrFormat(
+      "{\"views\":%s}\n",
+      ViewArrayJson(topk->views, topk->view_ids, &topk->scores).c_str()));
+}
+
+HttpResponse ServeApp::DeleteSession(const std::vector<std::string>& params) {
+  const vs::Status status = manager_->Delete(params[0]);
+  if (!status.ok()) return ErrorResponseFor(status);
+  return JsonOk("{\"deleted\":true}\n");
+}
+
+HttpResponse ServeApp::Healthz() {
+  return JsonOk(StrFormat(
+      "{\"status\":\"ok\",\"active_sessions\":%zu,"
+      "\"uptime_seconds\":%.3f}\n",
+      manager_->active_sessions(), uptime_.ElapsedSeconds()));
+}
+
+HttpResponse ServeApp::Metrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body =
+      obs::ToPrometheusText(obs::MetricsRegistry::Default().SnapshotAll());
+  return response;
+}
+
+}  // namespace vs::serve

@@ -1,0 +1,67 @@
+#ifndef VS_SERVE_APP_H_
+#define VS_SERVE_APP_H_
+
+/// \file app.h
+/// \brief The JSON-over-HTTP protocol: routes the session lifecycle onto a
+/// SessionManager and renders typed responses.
+///
+/// | method + path              | body → result                           |
+/// |----------------------------|-----------------------------------------|
+/// | POST   /sessions           | {table?,filter?,strategy?,k?,...} → 201 |
+/// | GET    /sessions/{id}      | → session info                          |
+/// | GET    /sessions/{id}/next | → views to label next                   |
+/// | POST   /sessions/{id}/label| {view,label} → new label count          |
+/// | GET    /sessions/{id}/topk | [?lambda=f] → current top-k + scores    |
+/// | DELETE /sessions/{id}      | → {"deleted":true}                      |
+/// | GET    /healthz            | → liveness + session gauge              |
+/// | GET    /metrics            | → Prometheus text exposition            |
+///
+/// Errors are JSON {"error":{"code","message"}} with the HTTP status
+/// derived from the vs::Status code (NotFound→404, InvalidArgument→400,
+/// ResourceExhausted→429, FailedPrecondition→409, ...).
+
+#include <string>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "serve/http.h"
+#include "serve/router.h"
+#include "serve/session_manager.h"
+
+namespace vs::serve {
+
+/// HTTP status for a failed vs::Status.
+int HttpStatusFor(const vs::Status& status);
+
+/// Renders \p status as the standard JSON error response.
+HttpResponse ErrorResponseFor(const vs::Status& status);
+
+/// \brief Stateless protocol adapter over a borrowed SessionManager.
+class ServeApp {
+ public:
+  explicit ServeApp(SessionManager* manager);
+
+  /// Entry point the transport calls for every parsed request; records
+  /// serve-layer metrics and a per-request trace span around dispatch.
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse CreateSession(const HttpRequest& request);
+  HttpResponse GetInfo(const std::vector<std::string>& params);
+  HttpResponse GetNext(const std::vector<std::string>& params);
+  HttpResponse PostLabel(const HttpRequest& request,
+                         const std::vector<std::string>& params);
+  HttpResponse GetTopK(const HttpRequest& request,
+                       const std::vector<std::string>& params);
+  HttpResponse DeleteSession(const std::vector<std::string>& params);
+  HttpResponse Healthz();
+  HttpResponse Metrics();
+
+  SessionManager* manager_;
+  Router router_;
+  Stopwatch uptime_;
+};
+
+}  // namespace vs::serve
+
+#endif  // VS_SERVE_APP_H_

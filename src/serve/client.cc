@@ -1,0 +1,269 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace vs::serve {
+
+namespace {
+
+constexpr int kPollSliceMs = 50;
+
+bool CaseInsensitiveEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (CaseInsensitiveEquals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, int port, double timeout_seconds)
+    : host_(std::move(host)), port_(port), timeout_seconds_(timeout_seconds) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+vs::Status HttpClient::Connect() {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return vs::Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return vs::Status::InvalidArgument("bad host address: " + host_);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string error = std::strerror(errno);
+    Disconnect();
+    return vs::Status::IOError(
+        StrFormat("connect %s:%d: %s", host_.c_str(), port_, error.c_str()));
+  }
+  const int enable = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return vs::Status::OK();
+}
+
+vs::Status HttpClient::SendAll(std::string_view data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + offset, data.size() - offset,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return vs::Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return vs::Status::OK();
+}
+
+vs::Result<ClientResponse> HttpClient::ReadResponse() {
+  std::string data = std::move(pending_);
+  pending_.clear();
+  Stopwatch watch;
+  char buffer[8192];
+
+  // Accumulate until the head and the declared body are both present.
+  size_t head_end = std::string::npos;
+  size_t body_len = 0;
+  auto scan = [&]() -> vs::Status {
+    if (head_end != std::string::npos) return vs::Status::OK();
+    const size_t pos = data.find("\r\n\r\n");
+    if (pos == std::string::npos) return vs::Status::OK();
+    head_end = pos + 4;
+    // Find content-length inside the head.
+    const std::string_view head(data.data(), pos);
+    size_t line_start = 0;
+    while (line_start < head.size()) {
+      size_t line_end = head.find("\r\n", line_start);
+      if (line_end == std::string_view::npos) line_end = head.size();
+      const std::string_view line = head.substr(line_start,
+                                                line_end - line_start);
+      const size_t colon = line.find(':');
+      if (colon != std::string_view::npos &&
+          CaseInsensitiveEquals(line.substr(0, colon), "content-length")) {
+        VS_ASSIGN_OR_RETURN(
+            int64_t parsed,
+            ParseInt64(Trim(std::string(line.substr(colon + 1)))));
+        if (parsed < 0) {
+          return vs::Status::IOError("negative content-length");
+        }
+        body_len = static_cast<size_t>(parsed);
+      }
+      line_start = line_end + 2;
+    }
+    return vs::Status::OK();
+  };
+
+  while (true) {
+    VS_RETURN_IF_ERROR(scan());
+    if (head_end != std::string::npos &&
+        data.size() >= head_end + body_len) {
+      break;
+    }
+    if (watch.ElapsedSeconds() > timeout_seconds_) {
+      return vs::Status::TimedOut("timed out reading response");
+    }
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return vs::Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      return vs::Status::IOError("connection closed mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return vs::Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    data.append(buffer, static_cast<size_t>(n));
+  }
+
+  // Parse status line + headers.
+  ClientResponse response;
+  const std::string_view head(data.data(), head_end - 4);
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  const std::string_view status_line = head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos ||
+      status_line.substr(0, 5) != "HTTP/") {
+    return vs::Status::IOError("malformed status line");
+  }
+  const size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string_view code =
+      status_line.substr(sp1 + 1, sp2 == std::string_view::npos
+                                      ? std::string_view::npos
+                                      : sp2 - sp1 - 1);
+  VS_ASSIGN_OR_RETURN(int64_t status, ParseInt64(std::string(code)));
+  response.status = static_cast<int>(status);
+
+  size_t line_start = line_end + 2;
+  while (line_start < head.size()) {
+    line_end = head.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line = head.substr(line_start,
+                                              line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string name(line.substr(0, colon));
+      for (char& c : name) c = static_cast<char>(std::tolower(
+          static_cast<unsigned char>(c)));
+      response.headers.emplace_back(
+          std::move(name), Trim(std::string(line.substr(colon + 1))));
+    }
+    line_start = line_end + 2;
+  }
+
+  response.body = data.substr(head_end, body_len);
+  pending_ = data.substr(head_end + body_len);
+
+  const std::string* connection = response.FindHeader("connection");
+  if (connection != nullptr && CaseInsensitiveEquals(*connection, "close")) {
+    Disconnect();
+  }
+  return response;
+}
+
+vs::Result<ClientResponse> HttpClient::Request(std::string_view method,
+                                               std::string_view target,
+                                               std::string_view body) {
+  std::string request;
+  request.reserve(128 + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: ").append(host_).append("\r\n");
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request.append(
+        StrFormat("Content-Length: %zu\r\n", body.size()));
+    request.append("Content-Type: application/json\r\n");
+  }
+  request.append("\r\n");
+  request.append(body);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (fd_ < 0) {
+      VS_RETURN_IF_ERROR(Connect());
+    }
+    const bool fresh = attempt > 0;
+    vs::Status sent = SendAll(request);
+    if (sent.ok()) {
+      auto response = ReadResponse();
+      if (response.ok()) return response;
+      // A stale keep-alive connection surfaces as closed-mid-response on
+      // the first attempt; retry once on a fresh connection.
+      if (fresh) return response;
+    } else if (fresh) {
+      return sent;
+    }
+    Disconnect();
+  }
+  return vs::Status::IOError("request failed after reconnect");
+}
+
+vs::Result<std::string> HttpClient::RawExchange(std::string_view bytes) {
+  VS_RETURN_IF_ERROR(Connect());
+  VS_RETURN_IF_ERROR(SendAll(bytes));
+  ::shutdown(fd_, SHUT_WR);
+  std::string out;
+  Stopwatch watch;
+  char buffer[8192];
+  while (true) {
+    if (watch.ElapsedSeconds() > timeout_seconds_) break;
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  Disconnect();
+  return out;
+}
+
+}  // namespace vs::serve

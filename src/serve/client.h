@@ -1,0 +1,65 @@
+#ifndef VS_SERVE_CLIENT_H_
+#define VS_SERVE_CLIENT_H_
+
+/// \file client.h
+/// \brief Minimal blocking HTTP/1.1 client with keep-alive, used by the
+/// load generator and the server tests.  One HttpClient = one connection;
+/// it reconnects transparently when the server closed the previous one.
+/// Not thread-safe — use one client per simulated user.
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/http.h"
+
+namespace vs::serve {
+
+/// \brief Response as seen by the client (status + headers + body).
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with the given (lowercase) name, or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port, double timeout_seconds = 10.0);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends one request and blocks for the full response.  `body` may be
+  /// empty; a Content-Length header is always emitted for methods with a
+  /// body.  Reconnects once if the kept-alive connection went stale.
+  vs::Result<ClientResponse> Request(std::string_view method,
+                                     std::string_view target,
+                                     std::string_view body = {});
+
+  /// Sends raw bytes on a fresh connection and returns everything the
+  /// server wrote until it closed (for malformed-request tests).
+  vs::Result<std::string> RawExchange(std::string_view bytes);
+
+  /// Drops the current connection (next Request reconnects).
+  void Disconnect();
+
+ private:
+  vs::Status Connect();
+  vs::Status SendAll(std::string_view data);
+  vs::Result<ClientResponse> ReadResponse();
+
+  const std::string host_;
+  const int port_;
+  const double timeout_seconds_;
+  int fd_ = -1;
+  std::string pending_;  ///< bytes read past the previous response
+};
+
+}  // namespace vs::serve
+
+#endif  // VS_SERVE_CLIENT_H_

@@ -1,0 +1,241 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "serve/json.h"
+
+namespace vs::serve {
+
+namespace {
+
+/// True for printable ASCII with no HTTP-token separators — good enough
+/// for the method and header-name grammar this server accepts.
+bool IsTokenChar(char c) {
+  if (c <= 0x20 || c >= 0x7F) return false;
+  switch (c) {
+    case '(': case ')': case '<': case '>': case '@':
+    case ',': case ';': case ':': case '\\': case '"':
+    case '/': case '[': case ']': case '?': case '=':
+    case '{': case '}':
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+/// Case-insensitively checks whether comma-separated \p header_value
+/// contains \p token.
+bool HasConnectionToken(std::string_view header_value,
+                        std::string_view token) {
+  for (const std::string& part : Split(header_value, ',')) {
+    if (ToLower(Trim(part)) == token) return true;
+  }
+  return false;
+}
+
+/// End offset of the header block (terminator included), or npos.
+size_t FindHeadEnd(const std::string& buffer) {
+  const size_t crlf = buffer.find("\r\n\r\n");
+  const size_t lf = buffer.find("\n\n");
+  if (crlf == std::string::npos && lf == std::string::npos) {
+    return std::string::npos;
+  }
+  if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+    return crlf + 4;
+  }
+  return lf + 2;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [header_name, value] : headers) {
+    if (header_name == name) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view StatusReason(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = StrFormat("HTTP/1.1 %d ", response.status);
+  out += StatusReason(response.status);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: " + response.content_type + "\r\n";
+  }
+  out += StrFormat("Content-Length: %zu\r\n", response.body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse JsonErrorResponse(int http_status, std::string_view code,
+                               std::string_view message) {
+  HttpResponse response;
+  response.status = http_status;
+  response.body = "{\"error\":{\"code\":" + JsonQuote(code) +
+                  ",\"message\":" + JsonQuote(message) + "}}\n";
+  return response;
+}
+
+vs::Status RequestParser::Fail(int http_status, const std::string& message) {
+  http_status_ = http_status;
+  return vs::Status::InvalidArgument(message);
+}
+
+vs::Result<bool> RequestParser::Consume(std::string_view data) {
+  if (http_status_ != 0) {
+    return vs::Status::FailedPrecondition("parser in error state");
+  }
+  buffer_.append(data.data(), data.size());
+  if (complete_) return true;  // pipelined bytes buffered for StartNext
+  return Advance();
+}
+
+HttpRequest RequestParser::TakeRequest() {
+  HttpRequest request = std::move(request_);
+  request_ = HttpRequest();
+  return request;
+}
+
+vs::Result<bool> RequestParser::StartNext() {
+  request_ = HttpRequest();
+  head_done_ = false;
+  header_end_ = 0;
+  content_length_ = 0;
+  complete_ = false;
+  return Advance();
+}
+
+vs::Result<bool> RequestParser::Advance() {
+  if (!head_done_) {
+    const size_t head_end = FindHeadEnd(buffer_);
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, "request head exceeds limit");
+      }
+      return false;
+    }
+    if (head_end > limits_.max_header_bytes) {
+      return Fail(431, "request head exceeds limit");
+    }
+    VS_RETURN_IF_ERROR(ParseHead(std::string_view(buffer_).substr(0, head_end)));
+    buffer_.erase(0, head_end);
+    head_done_ = true;
+  }
+  if (buffer_.size() < content_length_) return false;
+  request_.body = buffer_.substr(0, content_length_);
+  buffer_.erase(0, content_length_);
+  complete_ = true;
+  return true;
+}
+
+vs::Status RequestParser::ParseHead(std::string_view head) {
+  std::vector<std::string> lines = Split(head, '\n');
+  // Split leaves empty tails from the terminator; drop them and strip \r.
+  while (!lines.empty() && Trim(lines.back()).empty()) lines.pop_back();
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  if (lines.empty()) return Fail(400, "empty request");
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const std::vector<std::string> parts = Split(lines[0], ' ');
+  if (parts.size() != 3) return Fail(400, "malformed request line");
+  if (!IsToken(parts[0])) return Fail(400, "malformed method");
+  request_.method = parts[0];
+  if (parts[1].empty() || (parts[1][0] != '/' && parts[1] != "*")) {
+    return Fail(400, "malformed request target");
+  }
+  request_.target = parts[1];
+  const size_t question = parts[1].find('?');
+  request_.path = parts[1].substr(0, question);
+  request_.query =
+      question == std::string::npos ? "" : parts[1].substr(question + 1);
+  if (parts[2] == "HTTP/1.1") {
+    request_.http11 = true;
+  } else if (parts[2] == "HTTP/1.0") {
+    request_.http11 = false;
+  } else if (StartsWith(parts[2], "HTTP/")) {
+    return Fail(505, "unsupported HTTP version");
+  } else {
+    return Fail(400, "malformed HTTP version");
+  }
+
+  // Header fields.
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Fail(400, "obsolete header folding rejected");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) return Fail(400, "malformed header");
+    std::string name = ToLower(line.substr(0, colon));
+    if (!IsToken(name)) return Fail(400, "malformed header name");
+    if (request_.headers.size() >= limits_.max_headers) {
+      return Fail(431, "too many header fields");
+    }
+    request_.headers.emplace_back(std::move(name),
+                                  std::string(Trim(line.substr(colon + 1))));
+  }
+
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    return Fail(501, "transfer-encoding not supported");
+  }
+  content_length_ = 0;
+  if (const std::string* cl = request_.FindHeader("content-length")) {
+    const auto parsed = ParseInt64(*cl);
+    if (!parsed.ok() || *parsed < 0) {
+      return Fail(400, "malformed content-length");
+    }
+    if (static_cast<size_t>(*parsed) > limits_.max_body_bytes) {
+      return Fail(413, "request body exceeds limit");
+    }
+    content_length_ = static_cast<size_t>(*parsed);
+  }
+
+  request_.keep_alive = request_.http11;
+  if (const std::string* connection = request_.FindHeader("connection")) {
+    if (HasConnectionToken(*connection, "close")) {
+      request_.keep_alive = false;
+    } else if (HasConnectionToken(*connection, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace vs::serve

@@ -1,0 +1,119 @@
+#ifndef VS_SERVE_HTTP_H_
+#define VS_SERVE_HTTP_H_
+
+/// \file http.h
+/// \brief HTTP/1.1 message layer for the serving subsystem: request and
+/// response types, an incremental request parser with hard size limits,
+/// and response serialization.  Transport (sockets, timeouts, pooling)
+/// lives in server.h; this layer is pure bytes-in/bytes-out so it can be
+/// unit-tested without a socket in sight.
+///
+/// Scope: exactly what the JSON protocol needs — no chunked bodies, no
+/// multipart, no compression.  Requests with Transfer-Encoding are
+/// rejected with 501.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vs::serve {
+
+/// Hard limits enforced by RequestParser; exceeding them is a protocol
+/// error (431 for headers, 413 for bodies), not a truncation.
+struct HttpLimits {
+  size_t max_header_bytes = 8192;       ///< request line + all headers
+  size_t max_body_bytes = 1 << 20;      ///< Content-Length ceiling (1 MiB)
+  size_t max_headers = 64;              ///< header count ceiling
+};
+
+/// \brief One parsed request.  Header names are lower-cased at parse time.
+struct HttpRequest {
+  std::string method;     ///< upper-case token ("GET", "POST", ...)
+  std::string target;     ///< raw request target ("/sessions/abc?x=1")
+  std::string path;       ///< target up to '?' ("/sessions/abc")
+  std::string query;      ///< after '?', possibly empty
+  bool http11 = true;     ///< HTTP/1.1 (vs 1.0)
+  bool keep_alive = true; ///< per version default + Connection header
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with \p name (lower-case); nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// \brief One response to serialize.  Content-Length and Connection are
+/// emitted automatically.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...); "Status" for codes
+/// this server never emits.
+std::string_view StatusReason(int code);
+
+/// Serializes \p response as an HTTP/1.1 message.  \p keep_alive decides
+/// the Connection header (the server closes the socket after a `close`).
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// A typed JSON error body: {"error":{"code":...,"message":...}} with the
+/// given HTTP status.  \p code is a StatusCodeName-style identifier.
+HttpResponse JsonErrorResponse(int http_status, std::string_view code,
+                               std::string_view message);
+
+/// \brief Incremental HTTP/1.1 request parser.
+///
+/// Feed raw bytes with Consume(); it returns true once a complete request
+/// (headers + Content-Length body) is buffered.  TakeRequest() hands the
+/// request over and StartNext() re-arms the parser on the same connection,
+/// immediately re-parsing any pipelined bytes already received.
+///
+/// On a malformed or over-limit request Consume returns a non-OK Status
+/// and http_status() holds the response code to send (400/413/431/501);
+/// the connection must then be closed.
+class RequestParser {
+ public:
+  explicit RequestParser(const HttpLimits& limits) : limits_(limits) {}
+
+  /// Appends \p data and advances parsing; true = request complete.
+  vs::Result<bool> Consume(std::string_view data);
+
+  /// Moves the completed request out (Consume must have returned true).
+  HttpRequest TakeRequest();
+
+  /// Resets for the next request, keeping buffered pipelined bytes; like
+  /// Consume, returns true when a full next request was already buffered.
+  vs::Result<bool> StartNext();
+
+  /// Response code matching the last parse error (0 = no error yet).
+  int http_status() const { return http_status_; }
+
+  /// True once any byte of the current (incomplete) request has arrived —
+  /// distinguishes an idle keep-alive connection from a half-received
+  /// request during graceful shutdown.
+  bool mid_request() const { return !buffer_.empty() || complete_; }
+
+ private:
+  vs::Status Fail(int http_status, const std::string& message);
+  vs::Result<bool> Advance();
+  vs::Status ParseHead(std::string_view head);
+
+  HttpLimits limits_;
+  std::string buffer_;        ///< unparsed bytes (head, then body tail)
+  HttpRequest request_;
+  bool head_done_ = false;
+  size_t header_end_ = 0;     ///< bytes of head incl. blank line
+  size_t content_length_ = 0;
+  bool complete_ = false;
+  int http_status_ = 0;
+};
+
+}  // namespace vs::serve
+
+#endif  // VS_SERVE_HTTP_H_

@@ -1,0 +1,91 @@
+#ifndef VS_SERVE_JSON_H_
+#define VS_SERVE_JSON_H_
+
+/// \file json.h
+/// \brief Minimal JSON for the serve wire protocol: a recursive-descent
+/// parser into an immutable JsonValue tree (depth-limited, whole-text
+/// strict) plus the quoting helper the response builders use.  Kept
+/// dependency-free on purpose — the protocol needs objects of scalars and
+/// small arrays, not a general-purpose JSON library.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vs::serve {
+
+/// \brief One parsed JSON value.  Object member order is preserved;
+/// duplicate keys keep the last occurrence (Find returns it).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses \p text as exactly one JSON value (trailing whitespace
+  /// allowed).  Nesting is limited to \p max_depth to bound stack use on
+  /// hostile inputs.
+  static vs::Result<JsonValue> Parse(std::string_view text,
+                                     int max_depth = 32);
+
+  JsonValue() : type_(Type::kNull) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// \name Raw accessors (callers must check the type first).
+  /// @{
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// @}
+
+  /// Object member lookup; nullptr when absent or this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// \name Typed object-member getters with fallbacks (missing key or a
+  /// wrong-typed value yields the fallback).
+  /// @{
+  std::string GetString(std::string_view key, std::string fallback) const;
+  double GetNumber(std::string_view key, double fallback) const;
+  int64_t GetInt(std::string_view key, int64_t fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+  /// @}
+
+  /// \name Strict typed getters: error when the key is present with the
+  /// wrong type (missing keys also error — use for required fields).
+  /// @{
+  vs::Result<std::string> RequiredString(std::string_view key) const;
+  vs::Result<double> RequiredNumber(std::string_view key) const;
+  /// @}
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+/// Escapes \p s and wraps it in double quotes — the building block of the
+/// hand-written response bodies.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace vs::serve
+
+#endif  // VS_SERVE_JSON_H_

@@ -1,0 +1,61 @@
+#include "serve/router.h"
+
+#include "common/string_util.h"
+
+namespace vs::serve {
+
+void Router::Add(std::string_view method, std::string_view pattern,
+                 RouteHandler handler) {
+  routes_.push_back(
+      Route{std::string(method), SplitPath(pattern), std::move(handler)});
+}
+
+std::vector<std::string> Router::SplitPath(std::string_view path) {
+  std::vector<std::string> segments;
+  for (std::string& part : Split(path, '/')) {
+    if (!part.empty()) segments.push_back(std::move(part));
+  }
+  return segments;
+}
+
+bool Router::Match(const Route& route,
+                   const std::vector<std::string>& segments,
+                   std::vector<std::string>* params) {
+  if (route.segments.size() != segments.size()) return false;
+  params->clear();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string& expected = route.segments[i];
+    if (expected.size() >= 2 && expected.front() == '{' &&
+        expected.back() == '}') {
+      if (segments[i].empty()) return false;
+      params->push_back(segments[i]);
+    } else if (expected != segments[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  const std::vector<std::string> segments = SplitPath(request.path);
+  std::vector<std::string> params;
+  std::vector<std::string> allowed;  // methods matching the path
+  for (const Route& route : routes_) {
+    if (!Match(route, segments, &params)) continue;
+    if (route.method == request.method) {
+      return route.handler(request, params);
+    }
+    allowed.push_back(route.method);
+  }
+  if (!allowed.empty()) {
+    HttpResponse response = JsonErrorResponse(
+        405, "MethodNotAllowed",
+        request.method + " not allowed on " + request.path);
+    response.extra_headers.emplace_back("Allow", Join(allowed, ", "));
+    return response;
+  }
+  return JsonErrorResponse(404, "NotFound",
+                           "no route for " + request.path);
+}
+
+}  // namespace vs::serve

@@ -1,0 +1,52 @@
+#ifndef VS_SERVE_ROUTER_H_
+#define VS_SERVE_ROUTER_H_
+
+/// \file router.h
+/// \brief Method + path-pattern dispatch for the serve protocol.  Patterns
+/// are literal segments with `{name}` placeholders ("/sessions/{id}/next");
+/// placeholder values are handed to the handler in declaration order.
+/// Unknown paths produce a typed 404, known paths with the wrong method a
+/// 405 carrying an Allow header.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/http.h"
+
+namespace vs::serve {
+
+/// Handler for one route; \p params holds the captured `{...}` segments.
+using RouteHandler = std::function<HttpResponse(
+    const HttpRequest& request, const std::vector<std::string>& params)>;
+
+class Router {
+ public:
+  /// Registers \p handler for \p method + \p pattern.  Routes are matched
+  /// in registration order; the first match wins.
+  void Add(std::string_view method, std::string_view pattern,
+           RouteHandler handler);
+
+  /// Dispatches \p request, producing the handler's response or a typed
+  /// 404/405 error.
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< "{...}" marks a capture
+    RouteHandler handler;
+  };
+
+  static std::vector<std::string> SplitPath(std::string_view path);
+  static bool Match(const Route& route,
+                    const std::vector<std::string>& segments,
+                    std::vector<std::string>* params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace vs::serve
+
+#endif  // VS_SERVE_ROUTER_H_

@@ -1,0 +1,312 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace vs::serve {
+
+namespace {
+
+/// Poll slice: the granularity at which idle connections notice shutdown.
+constexpr int kPollSliceMs = 100;
+
+/// Cached handles into the default registry (amortized registration).
+struct ServerMetrics {
+  obs::Counter* connections_accepted;
+  obs::Counter* connections_rejected;
+  obs::Counter* protocol_errors;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      return ServerMetrics{
+          r.GetCounter("serve.connections_accepted",
+                       "TCP connections accepted"),
+          r.GetCounter("serve.connections_rejected",
+                       "connections 503'd by worker-pool backpressure"),
+          r.GetCounter("serve.protocol_errors",
+                       "connections closed on a request parse error"),
+      };
+    }();
+    return m;
+  }
+};
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Blocking send of the whole buffer with poll-guarded timeout slices.
+/// Returns false on error, timeout, or server stop.
+bool WriteAll(int fd, std::string_view data, double timeout_seconds,
+              const std::atomic<bool>& stopping) {
+  Stopwatch watch;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    if (watch.ElapsedSeconds() > timeout_seconds) return false;
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) {
+      // Writes finish the in-flight response even while stopping, but a
+      // peer that stops reading should not hold shutdown hostage.
+      if (stopping.load(std::memory_order_relaxed) &&
+          watch.ElapsedSeconds() > 1.0) {
+        return false;
+      }
+      continue;
+    }
+    const ssize_t n = ::send(fd, data.data() + offset, data.size() - offset,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void SendResponseAndMaybeClose(int fd, const HttpResponse& response,
+                               bool keep_alive, double timeout_seconds,
+                               const std::atomic<bool>& stopping) {
+  WriteAll(fd, SerializeResponse(response, keep_alive), timeout_seconds,
+           stopping);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+vs::Status HttpServer::Start() {
+  if (started_.load()) {
+    return vs::Status::FailedPrecondition("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return vs::Status::IOError(std::string("socket: ") +
+                               std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return vs::Status::InvalidArgument("bad host address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return vs::Status::IOError("bind " + options_.host + ": " + error);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string error = std::strerror(errno);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return vs::Status::IOError("listen: " + error);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  if (::pipe(wake_pipe_) != 0) {
+    const std::string error = std::strerror(errno);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return vs::Status::IOError("pipe: " + error);
+  }
+
+  ThreadPoolOptions pool_options;
+  pool_options.num_threads = std::max<size_t>(1, options_.worker_threads);
+  pool_options.max_queue = std::max<size_t>(1, options_.max_queued_connections);
+  pool_options.overflow = QueueOverflowPolicy::kReject;
+  pool_ = std::make_unique<ThreadPool>(pool_options);
+
+  stopping_.store(false);
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return vs::Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_.exchange(false)) return;
+  stopping_.store(true);
+  // Self-pipe wake-up: the accept loop is parked in poll().
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  // Destroying the pool joins the workers; connection tasks observe
+  // stopping_ within one poll slice and finish their in-flight request.
+  pool_->WaitIdle();
+  pool_.reset();
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0},
+                             {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[1].revents != 0) break;  // self-pipe: shutdown
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::Get().connections_accepted->Increment();
+    const bool submitted = pool_->Submit([this, fd] { ServeConnection(fd); });
+    if (!submitted) {
+      // Backpressure: the worker queue is full — shed load immediately.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().connections_rejected->Increment();
+      SendResponseAndMaybeClose(
+          fd,
+          JsonErrorResponse(503, "ResourceExhausted",
+                            "server overloaded, retry later"),
+          /*keep_alive=*/false, /*timeout_seconds=*/1.0, stopping_);
+      CloseFd(fd);
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  RequestParser parser(options_.limits);
+  int served = 0;
+  bool have_request = false;
+  char buffer[8192];
+
+  while (served < options_.max_requests_per_connection) {
+    // Read until one full request is buffered (or give up).
+    Stopwatch wait;
+    const double deadline = parser.mid_request()
+                                ? options_.io_timeout_seconds
+                                : options_.keepalive_timeout_seconds;
+    while (!have_request) {
+      if (wait.ElapsedSeconds() > deadline) {
+        if (parser.mid_request()) {
+          SendResponseAndMaybeClose(
+              fd,
+              JsonErrorResponse(408, "TimedOut",
+                                "timed out reading request"),
+              false, options_.io_timeout_seconds, stopping_);
+        }
+        CloseFd(fd);
+        return;
+      }
+      if (stopping_.load(std::memory_order_relaxed) &&
+          !parser.mid_request()) {
+        // Draining: idle connections close; half-read requests finish.
+        CloseFd(fd);
+        return;
+      }
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, kPollSliceMs);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        CloseFd(fd);
+        return;
+      }
+      if (ready == 0) continue;
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n == 0) {  // peer closed
+        CloseFd(fd);
+        return;
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        CloseFd(fd);
+        return;
+      }
+      const auto result =
+          parser.Consume(std::string_view(buffer, static_cast<size_t>(n)));
+      if (!result.ok()) {
+        ServerMetrics::Get().protocol_errors->Increment();
+        const int status = parser.http_status() != 0 ? parser.http_status()
+                                                     : 400;
+        SendResponseAndMaybeClose(
+            fd,
+            JsonErrorResponse(status, "InvalidArgument",
+                              result.status().message()),
+            false, options_.io_timeout_seconds, stopping_);
+        CloseFd(fd);
+        return;
+      }
+      have_request = *result;
+    }
+
+    HttpRequest request = parser.TakeRequest();
+    const bool keep_alive =
+        request.keep_alive &&
+        served + 1 < options_.max_requests_per_connection &&
+        !stopping_.load(std::memory_order_relaxed);
+    const HttpResponse response = handler_(request);
+    if (!WriteAll(fd, SerializeResponse(response, keep_alive),
+                  options_.io_timeout_seconds, stopping_)) {
+      CloseFd(fd);
+      return;
+    }
+    ++served;
+    if (!keep_alive) {
+      CloseFd(fd);
+      return;
+    }
+    const auto next = parser.StartNext();
+    if (!next.ok()) {
+      ServerMetrics::Get().protocol_errors->Increment();
+      SendResponseAndMaybeClose(
+          fd,
+          JsonErrorResponse(parser.http_status() != 0 ? parser.http_status()
+                                                      : 400,
+                            "InvalidArgument", next.status().message()),
+          false, options_.io_timeout_seconds, stopping_);
+      CloseFd(fd);
+      return;
+    }
+    have_request = *next;
+  }
+  CloseFd(fd);
+}
+
+}  // namespace vs::serve

@@ -1,0 +1,102 @@
+#ifndef VS_SERVE_SERVER_H_
+#define VS_SERVE_SERVER_H_
+
+/// \file server.h
+/// \brief Dependency-free HTTP/1.1 transport: TCP listener + bounded
+/// worker pool (common/threadpool with the kReject overflow policy) +
+/// per-connection keep-alive loop with read/write timeouts.
+///
+/// Threading model: one accept thread multiplexes the listening socket and
+/// a self-pipe (for shutdown wake-up) via poll; each accepted connection
+/// becomes one task on the worker pool, which serves requests on it until
+/// the peer closes, a timeout fires, or the server drains.  When the pool
+/// queue is full the connection is answered with a one-line 503 and closed
+/// — overload degrades into fast rejections, never unbounded queues.
+///
+/// Graceful shutdown (Stop / destructor): stop accepting, wake the accept
+/// thread through the self-pipe, let every in-flight request finish
+/// (workers poll a stop flag between requests with 100 ms slices), join
+/// everything.  Stop is idempotent and safe to call from a signal-waiting
+/// main thread.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "serve/http.h"
+
+namespace vs::serve {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port (read it back with port()).
+  int port = 0;
+  size_t worker_threads = 4;
+  /// Connections queued behind busy workers before 503s kick in.
+  size_t max_queued_connections = 64;
+  HttpLimits limits;
+  /// Ceiling on waiting for request bytes / draining a response write.
+  double io_timeout_seconds = 10.0;
+  /// Idle keep-alive connections are closed after this long.
+  double keepalive_timeout_seconds = 15.0;
+  int max_requests_per_connection = 100000;
+};
+
+/// \brief The transport; protocol logic is injected as a handler.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(HttpServerOptions options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the accept thread.  Fails on unusable
+  /// host/port; failure leaves the server stopped.
+  vs::Status Start();
+
+  /// Graceful shutdown; returns once all in-flight requests finished and
+  /// all threads are joined.  Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  /// \name Transport counters (tests, logs).
+  /// @{
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  const HttpServerOptions options_;
+  const Handler handler_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: Stop() wakes the accept poll
+  int port_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace vs::serve
+
+#endif  // VS_SERVE_SERVER_H_

@@ -1,0 +1,482 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "core/session_io.h"
+#include "core/view.h"
+#include "data/csv.h"
+#include "data/io.h"
+#include "data/predicate.h"
+#include "data/query.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vs::serve {
+
+namespace {
+
+/// Cached handles into the default registry (amortized registration).
+struct SessionMetrics {
+  obs::Gauge* active_sessions;
+  obs::Counter* created;
+  obs::Counter* rejected;
+  obs::Counter* evicted;
+  obs::Counter* restored;
+  obs::Counter* tables_loaded;
+  obs::Histogram* create_seconds;
+
+  static const SessionMetrics& Get() {
+    static const SessionMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      return SessionMetrics{
+          r.GetGauge("serve.active_sessions", "live interactive sessions"),
+          r.GetCounter("serve.sessions_created", "sessions created"),
+          r.GetCounter("serve.sessions_rejected",
+                       "creates/restores rejected by the session cap"),
+          r.GetCounter("serve.sessions_evicted",
+                       "sessions spilled by TTL idle eviction"),
+          r.GetCounter("serve.sessions_restored",
+                       "evicted sessions restored on access"),
+          r.GetCounter("serve.tables_loaded",
+                       "datasets loaded into the shared table cache"),
+          r.GetHistogram("serve.session_create_seconds",
+                         obs::DefaultLatencyBuckets(),
+                         "table load + matrix build + seeker init"),
+      };
+    }();
+    return m;
+  }
+};
+
+vs::Result<data::Table> LoadTableFile(const std::string& path) {
+  if (path.empty()) {
+    return vs::Status::InvalidArgument("table path is empty");
+  }
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".vst") {
+    return data::ReadTableFile(path);
+  }
+  return data::ReadCsvFile(path, {});
+}
+
+vs::Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return vs::Status::IOError("cannot open: " + path);
+  }
+  std::string out;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+vs::Status WriteStringToFile(const std::string& path,
+                             const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return vs::Status::IOError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return vs::Status::IOError("short write: " + path);
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const SessionManagerOptions& options,
+                               std::string default_table_path)
+    : options_(options),
+      default_table_path_(std::move(default_table_path)),
+      registry_(core::UtilityFeatureRegistry::Default()),
+      id_rng_(options.seed) {
+  SessionMetrics::Get();  // register eagerly
+  if (!options_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spill_dir, ec);
+  }
+}
+
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    stop_reaper_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+}
+
+int64_t SessionManager::NowMicros() const { return epoch_.ElapsedMicros(); }
+
+std::string SessionManager::NewSessionId() {
+  // Caller holds mu_.
+  return StrFormat("s%04llx%08llx",
+                   static_cast<unsigned long long>(++id_counter_),
+                   static_cast<unsigned long long>(id_rng_.NextUint64() &
+                                                   0xffffffffULL));
+}
+
+vs::Status SessionManager::PreloadDefaultTable() {
+  return GetOrLoadTable(default_table_path_).status();
+}
+
+vs::Result<std::shared_ptr<const LoadedTable>> SessionManager::GetOrLoadTable(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(path);
+    if (it != tables_.end()) return it->second;
+  }
+  // Load outside the registry lock; a concurrent duplicate load is
+  // harmless (first insertion wins, the loser's copy is dropped).
+  obs::ScopedSpan span("serve.table_load");
+  VS_ASSIGN_OR_RETURN(data::Table table, LoadTableFile(path));
+  auto loaded = std::make_shared<LoadedTable>();
+  VS_ASSIGN_OR_RETURN(
+      loaded->views,
+      core::EnumerateViews(table, core::ViewEnumerationOptions{}));
+  loaded->table = std::move(table);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(path, std::move(loaded));
+  if (inserted) SessionMetrics::Get().tables_loaded->Increment();
+  return it->second;
+}
+
+vs::Result<std::shared_ptr<SessionManager::Session>>
+SessionManager::BuildSession(const std::string& table_path,
+                             const std::string& filter,
+                             const core::ViewSeekerOptions& seeker_options,
+                             const std::string* restore_text) {
+  if (seeker_options.k < 1 ||
+      seeker_options.k > options_.max_k) {
+    return vs::Status::InvalidArgument(
+        StrFormat("k must be in 1..%d", options_.max_k));
+  }
+  VS_ASSIGN_OR_RETURN(std::shared_ptr<const LoadedTable> loaded,
+                      GetOrLoadTable(table_path));
+
+  data::SelectionVector selection;
+  if (filter.empty()) {
+    selection = loaded->table.AllRows();
+  } else {
+    VS_ASSIGN_OR_RETURN(data::PredicatePtr predicate,
+                        data::ParseFilter(filter));
+    VS_ASSIGN_OR_RETURN(selection,
+                        data::SelectRows(loaded->table, predicate.get()));
+  }
+
+  core::FeatureMatrixOptions build_options;
+  build_options.num_threads = options_.feature_threads;
+  VS_ASSIGN_OR_RETURN(
+      core::FeatureMatrix matrix,
+      core::FeatureMatrix::Build(&loaded->table, loaded->views,
+                                 std::move(selection), &registry_,
+                                 build_options));
+
+  auto session = std::make_shared<Session>();
+  session->loaded = std::move(loaded);
+  session->table_path = table_path;
+  session->filter = filter;
+  session->matrix =
+      std::make_unique<core::FeatureMatrix>(std::move(matrix));
+  if (restore_text != nullptr) {
+    VS_ASSIGN_OR_RETURN(
+        core::ViewSeeker seeker,
+        core::RestoreSession(session->matrix.get(), *restore_text));
+    session->seeker =
+        std::make_unique<core::ViewSeeker>(std::move(seeker));
+  } else {
+    VS_ASSIGN_OR_RETURN(
+        core::ViewSeeker seeker,
+        core::ViewSeeker::Make(session->matrix.get(), seeker_options));
+    session->seeker =
+        std::make_unique<core::ViewSeeker>(std::move(seeker));
+  }
+  session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  return session;
+}
+
+SessionInfo SessionManager::InfoLocked(Session& session) const {
+  SessionInfo info;
+  info.id = session.id;
+  info.table_path = session.table_path;
+  info.filter = session.filter;
+  info.strategy = session.seeker->options().strategy;
+  info.k = session.seeker->options().k;
+  info.num_views = session.matrix->num_views();
+  info.num_labeled = session.seeker->num_labeled();
+  info.cold_start = session.seeker->in_cold_start();
+  return info;
+}
+
+vs::Result<SessionInfo> SessionManager::Create(const CreateSpec& spec) {
+  obs::ScopedSpan span("serve.session_create");
+  Stopwatch watch;
+  const SessionMetrics& m = SessionMetrics::Get();
+  const std::string path =
+      spec.table_path.empty() ? default_table_path_ : spec.table_path;
+  {
+    // Fast-fail before the expensive build; re-checked at insert.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      m.rejected->Increment();
+      return vs::Status::ResourceExhausted(
+          StrFormat("session limit reached (%zu live)", sessions_.size()));
+    }
+  }
+  VS_ASSIGN_OR_RETURN(
+      std::shared_ptr<Session> session,
+      BuildSession(path, spec.filter, spec.options, nullptr));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      m.rejected->Increment();
+      return vs::Status::ResourceExhausted(
+          StrFormat("session limit reached (%zu live)", sessions_.size()));
+    }
+    session->id = NewSessionId();
+    sessions_.emplace(session->id, session);
+    m.active_sessions->Set(static_cast<double>(sessions_.size()));
+  }
+  m.created->Increment();
+  m.create_seconds->Observe(watch.ElapsedSeconds());
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  return InfoLocked(*session);
+}
+
+vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Acquire(
+    const std::string& id) {
+  SpilledSession spill;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      it->second->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+      return it->second;
+    }
+    auto ev = evicted_.find(id);
+    if (ev == evicted_.end()) {
+      return vs::Status::NotFound("no such session: " + id);
+    }
+    spill = ev->second;
+  }
+  return Restore(id, spill);
+}
+
+vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Restore(
+    const std::string& id, const SpilledSession& spill) {
+  obs::ScopedSpan span("serve.session_restore");
+  VS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(spill.file_path));
+
+  // Spill envelope: magic line, table path, filter, then the session_io
+  // payload verbatim.
+  size_t pos = 0;
+  auto next_line = [&text, &pos]() -> std::string {
+    const size_t eol = text.find('\n', pos);
+    const size_t end = eol == std::string::npos ? text.size() : eol;
+    std::string line = text.substr(pos, end - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    return line;
+  };
+  if (next_line() != "viewseeker-spill v1") {
+    return vs::Status::InvalidArgument("bad spill header: " +
+                                       spill.file_path);
+  }
+  const std::string table_line = next_line();
+  const std::string filter_line = next_line();
+  if (!StartsWith(table_line, "table: ") ||
+      !StartsWith(filter_line, "filter: ")) {
+    return vs::Status::InvalidArgument("bad spill envelope: " +
+                                       spill.file_path);
+  }
+  const std::string table_path = table_line.substr(7);
+  const std::string filter = filter_line.substr(8);
+  const std::string session_text = text.substr(pos);
+
+  VS_ASSIGN_OR_RETURN(
+      std::shared_ptr<Session> session,
+      BuildSession(table_path, filter, core::ViewSeekerOptions{},
+                   &session_text));
+  session->id = id;
+
+  const SessionMetrics& m = SessionMetrics::Get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) return it->second;  // raced restore: reuse
+    if (sessions_.size() >= options_.max_sessions) {
+      m.rejected->Increment();
+      return vs::Status::ResourceExhausted(
+          "session limit reached; cannot restore " + id);
+    }
+    sessions_.emplace(id, session);
+    evicted_.erase(id);
+    m.active_sessions->Set(static_cast<double>(sessions_.size()));
+  }
+  std::remove(spill.file_path.c_str());
+  m.restored->Increment();
+  session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  return session;
+}
+
+vs::Result<NextBatch> SessionManager::Next(const std::string& id) {
+  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  VS_ASSIGN_OR_RETURN(std::vector<size_t> views,
+                      session->seeker->NextQueries());
+  NextBatch batch;
+  batch.cold_start = session->seeker->in_cold_start();
+  batch.views = std::move(views);
+  const auto& specs = session->matrix->views();
+  for (size_t v : batch.views) batch.view_ids.push_back(specs[v].Id());
+  session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  return batch;
+}
+
+vs::Result<size_t> SessionManager::Label(const std::string& id, size_t view,
+                                         double label) {
+  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  VS_RETURN_IF_ERROR(session->seeker->SubmitLabel(view, label));
+  session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  return session->seeker->num_labeled();
+}
+
+vs::Result<TopKResult> SessionManager::TopK(const std::string& id,
+                                            double lambda) {
+  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  vs::Result<std::vector<size_t>> topk =
+      lambda > 0.0 ? session->seeker->RecommendDiverseTopK(lambda)
+                   : session->seeker->RecommendTopK();
+  VS_RETURN_IF_ERROR(topk.status());
+  VS_ASSIGN_OR_RETURN(std::vector<double> scores,
+                      session->seeker->CurrentScores());
+  TopKResult result;
+  result.views = std::move(*topk);
+  const auto& specs = session->matrix->views();
+  for (size_t v : result.views) {
+    result.view_ids.push_back(specs[v].Id());
+    result.scores.push_back(scores[v]);
+  }
+  session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  return result;
+}
+
+vs::Result<SessionInfo> SessionManager::Info(const std::string& id) {
+  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
+  std::lock_guard<std::mutex> lock(session->mu);
+  return InfoLocked(*session);
+}
+
+vs::Status SessionManager::Delete(const std::string& id) {
+  std::string spill_file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      sessions_.erase(it);
+      SessionMetrics::Get().active_sessions->Set(
+          static_cast<double>(sessions_.size()));
+      return vs::Status::OK();
+    }
+    auto ev = evicted_.find(id);
+    if (ev == evicted_.end()) {
+      return vs::Status::NotFound("no such session: " + id);
+    }
+    spill_file = ev->second.file_path;
+    evicted_.erase(ev);
+  }
+  std::remove(spill_file.c_str());
+  return vs::Status::OK();
+}
+
+size_t SessionManager::EvictIdleOlderThan(double idle_seconds) {
+  const int64_t cutoff =
+      NowMicros() - static_cast<int64_t>(idle_seconds * 1e6);
+  const SessionMetrics& m = SessionMetrics::Get();
+  size_t count = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& session = *it->second;
+    std::unique_lock<std::mutex> session_lock(session.mu,
+                                              std::try_to_lock);
+    // A busy session is by definition not idle; a touched one is skipped.
+    if (!session_lock.owns_lock() ||
+        session.last_used_us.load(std::memory_order_relaxed) > cutoff) {
+      ++it;
+      continue;
+    }
+    if (!options_.spill_dir.empty()) {
+      const vs::Result<std::string> saved =
+          core::SaveSession(*session.seeker);
+      if (!saved.ok()) {
+        ++it;
+        continue;
+      }
+      const std::string file_path =
+          options_.spill_dir + "/" + session.id + ".session";
+      const std::string envelope = "viewseeker-spill v1\ntable: " +
+                                   session.table_path + "\nfilter: " +
+                                   session.filter + "\n" + *saved;
+      if (!WriteStringToFile(file_path, envelope).ok()) {
+        ++it;
+        continue;
+      }
+      evicted_[session.id] = SpilledSession{file_path};
+    }
+    it = sessions_.erase(it);
+    m.evicted->Increment();
+    ++count;
+  }
+  m.active_sessions->Set(static_cast<double>(sessions_.size()));
+  return count;
+}
+
+void SessionManager::StartReaper() {
+  if (reaper_.joinable()) return;
+  reaper_ = std::thread([this] { ReaperLoop(); });
+}
+
+void SessionManager::ReaperLoop() {
+  const double interval_seconds = std::clamp(
+      options_.session_ttl_seconds / 4.0, 0.05, 5.0);
+  const auto interval = std::chrono::microseconds(
+      static_cast<int64_t>(interval_seconds * 1e6));
+  std::unique_lock<std::mutex> lock(reaper_mu_);
+  while (!stop_reaper_) {
+    if (reaper_cv_.wait_for(lock, interval,
+                            [this] { return stop_reaper_; })) {
+      return;
+    }
+    lock.unlock();
+    EvictIdleOlderThan(options_.session_ttl_seconds);
+    lock.lock();
+  }
+}
+
+size_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+size_t SessionManager::evicted_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_.size();
+}
+
+size_t SessionManager::cached_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace vs::serve

@@ -1,0 +1,197 @@
+#ifndef VS_SERVE_SESSION_MANAGER_H_
+#define VS_SERVE_SESSION_MANAGER_H_
+
+/// \file session_manager.h
+/// \brief Concurrent registry of live ViewSeeker sessions — the stateful
+/// heart of the serving subsystem.
+///
+/// Responsibilities:
+///  * a shared TableCache so N sessions over one dataset load (and
+///    enumerate views for) it exactly once;
+///  * per-session locking: requests to different sessions run fully in
+///    parallel, requests to one session serialize on its mutex;
+///  * max-session backpressure — Create (and restore) beyond the cap fail
+///    with ResourceExhausted, which the HTTP layer maps to 429;
+///  * TTL idle eviction: sessions idle past the TTL are persisted through
+///    core/session_io into the spill directory and dropped from memory;
+///    any later request on the id transparently restores them (rebuilding
+///    the feature matrix and replaying labels — bit-identical estimators).
+///
+/// Lock order: the registry mutex is never held while building matrices or
+/// while a session mutex is held by the same thread *after* it; request
+/// paths take registry -> release -> session, the reaper takes registry ->
+/// try_lock(session).  No thread ever takes the registry mutex while
+/// holding a session mutex.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "core/feature_matrix.h"
+#include "core/seeker.h"
+#include "core/utility_features.h"
+#include "data/table.h"
+
+namespace vs::serve {
+
+/// \brief SessionManager configuration.
+struct SessionManagerOptions {
+  /// Live-session cap; Create/restore beyond it is rejected (HTTP 429).
+  size_t max_sessions = 256;
+  /// Sessions idle longer than this are evicted to the spill directory.
+  double session_ttl_seconds = 300.0;
+  /// Where evicted sessions are persisted.  Empty disables spill — evicted
+  /// sessions are then dropped for good (their ids 404 afterwards).
+  std::string spill_dir;
+  /// Worker threads for per-session feature-matrix builds (0 = inline).
+  size_t feature_threads = 0;
+  /// Default ViewSeeker option bounds.
+  int max_k = 100;
+  /// Salt for session-id generation.
+  uint64_t seed = 0x5e551011;
+};
+
+/// \brief A table plus its enumerated views, shared across sessions.
+struct LoadedTable {
+  data::Table table;
+  std::vector<core::ViewSpec> views;
+};
+
+/// \brief Everything a client needs to know about a session.
+struct SessionInfo {
+  std::string id;
+  std::string table_path;
+  std::string filter;
+  std::string strategy;
+  int k = 0;
+  size_t num_views = 0;
+  size_t num_labeled = 0;
+  bool cold_start = true;
+};
+
+/// What Create needs; options are validated by ViewSeeker::Make.
+struct CreateSpec {
+  std::string table_path;  ///< empty = the manager's default table
+  std::string filter;      ///< WHERE sub-grammar; empty = all rows
+  core::ViewSeekerOptions options;
+};
+
+/// \brief Result of Next: the views the user should label now.
+struct NextBatch {
+  std::vector<size_t> views;
+  std::vector<std::string> view_ids;
+  bool cold_start = true;
+};
+
+/// \brief Result of TopK: current recommendation under the learned model.
+struct TopKResult {
+  std::vector<size_t> views;
+  std::vector<std::string> view_ids;
+  std::vector<double> scores;
+};
+
+class SessionManager {
+ public:
+  SessionManager(const SessionManagerOptions& options,
+                 std::string default_table_path);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Loads the default table eagerly so a misconfigured server fails at
+  /// startup, not on the first request.
+  vs::Status PreloadDefaultTable();
+
+  /// \name The session lifecycle (all thread-safe).
+  /// @{
+  vs::Result<SessionInfo> Create(const CreateSpec& spec);
+  vs::Result<NextBatch> Next(const std::string& id);
+  /// Returns the new label count.
+  vs::Result<size_t> Label(const std::string& id, size_t view, double label);
+  /// \p lambda > 0 selects DiVE-style diversified top-k.
+  vs::Result<TopKResult> TopK(const std::string& id, double lambda = 0.0);
+  vs::Result<SessionInfo> Info(const std::string& id);
+  vs::Status Delete(const std::string& id);
+  /// @}
+
+  /// Evicts sessions idle longer than \p idle_seconds right now; returns
+  /// the number evicted.  The reaper calls this with the configured TTL.
+  size_t EvictIdleOlderThan(double idle_seconds);
+
+  /// Starts the background TTL reaper (idempotent).
+  void StartReaper();
+
+  /// \name Introspection (tests, /healthz).
+  /// @{
+  size_t active_sessions() const;
+  size_t evicted_sessions() const;
+  size_t cached_tables() const;
+  const SessionManagerOptions& options() const { return options_; }
+  /// @}
+
+ private:
+  struct Session {
+    std::string id;
+    std::mutex mu;  ///< serializes seeker access
+    std::shared_ptr<const LoadedTable> loaded;
+    std::string table_path;
+    std::string filter;
+    /// Heap-allocated so the seeker's borrowed pointer survives moves.
+    std::unique_ptr<core::FeatureMatrix> matrix;
+    std::unique_ptr<core::ViewSeeker> seeker;
+    /// Microseconds on the manager's monotonic clock of the last request.
+    std::atomic<int64_t> last_used_us{0};
+  };
+
+  /// Where an evicted session went, kept in memory for restore.
+  struct SpilledSession {
+    std::string file_path;
+  };
+
+  int64_t NowMicros() const;
+  std::string NewSessionId();
+  vs::Result<std::shared_ptr<const LoadedTable>> GetOrLoadTable(
+      const std::string& path);
+  /// Builds matrix + seeker over the shared table (no locks held).
+  vs::Result<std::shared_ptr<Session>> BuildSession(
+      const std::string& table_path, const std::string& filter,
+      const core::ViewSeekerOptions& seeker_options,
+      const std::string* restore_text);
+  /// Looks up a live session, restoring from spill when needed.
+  vs::Result<std::shared_ptr<Session>> Acquire(const std::string& id);
+  vs::Result<std::shared_ptr<Session>> Restore(const std::string& id,
+                                               const SpilledSession& spill);
+  SessionInfo InfoLocked(Session& session) const;
+  void ReaperLoop();
+
+  const SessionManagerOptions options_;
+  const std::string default_table_path_;
+  core::UtilityFeatureRegistry registry_;
+  Stopwatch epoch_;  ///< monotonic base for last_used_us
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::map<std::string, SpilledSession> evicted_;
+  std::map<std::string, std::shared_ptr<const LoadedTable>> tables_;
+  uint64_t id_counter_ = 0;
+  Rng id_rng_;
+
+  std::thread reaper_;
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool stop_reaper_ = false;
+};
+
+}  // namespace vs::serve
+
+#endif  // VS_SERVE_SESSION_MANAGER_H_

@@ -31,6 +31,17 @@ TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
   EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, ResourceExhaustedIsDistinctAndNamed) {
+  Status s = Status::ResourceExhausted("session cap reached");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsFailedPrecondition());
+  EXPECT_FALSE(s.IsAborted());
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: session cap reached");
 }
 
 TEST(StatusTest, PredicatesAreMutuallyExclusive) {

@@ -1,7 +1,10 @@
 #include "common/threadpool.h"
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -104,6 +107,82 @@ TEST(ThreadPoolTest, InlineModeCountsWork) {
   pool.ParallelFor(0, 5, [](size_t) {});
   EXPECT_EQ(pool.tasks_completed(), 2u);
   EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, UnboundedSubmitAlwaysAccepts) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.max_queue(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(pool.Submit([] {}));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(pool.tasks_rejected(), 0u);
+}
+
+TEST(ThreadPoolTest, RejectPolicyShedsTasksAtCapacity) {
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.max_queue = 1;
+  options.overflow = QueueOverflowPolicy::kReject;
+  ThreadPool pool(options);
+  EXPECT_EQ(pool.max_queue(), 1u);
+
+  // Park the single worker so queued tasks cannot drain.
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> worker_running{false};
+  ASSERT_TRUE(pool.Submit([&gate, &worker_running] {
+    worker_running.store(true);
+    gate.lock();
+    gate.unlock();
+  }));
+  while (!worker_running.load()) std::this_thread::yield();
+
+  // One slot in the queue: first fills it, second must be rejected.
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  EXPECT_FALSE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.tasks_rejected(), 1u);
+
+  gate.unlock();
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 1);  // the rejected task never ran
+}
+
+TEST(ThreadPoolTest, BlockPolicyWaitsForSpace) {
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.max_queue = 1;
+  options.overflow = QueueOverflowPolicy::kBlock;
+  ThreadPool pool(options);
+
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> worker_running{false};
+  ASSERT_TRUE(pool.Submit([&gate, &worker_running] {
+    worker_running.store(true);
+    gate.lock();
+    gate.unlock();
+  }));
+  while (!worker_running.load()) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));  // fills the queue
+
+  // The next Submit blocks until the worker frees a slot.
+  std::atomic<bool> accepted{false};
+  std::thread submitter([&pool, &ran, &accepted] {
+    accepted.store(pool.Submit([&ran] { ran.fetch_add(1); }));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(accepted.load());  // still parked behind the full queue
+
+  gate.unlock();
+  submitter.join();
+  EXPECT_TRUE(accepted.load());
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(pool.tasks_rejected(), 0u);
 }
 
 }  // namespace

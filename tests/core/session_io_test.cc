@@ -65,6 +65,27 @@ TEST(SessionIoTest, RestoredSessionContinuesIdentically) {
   }
 }
 
+TEST(SessionIoTest, RestoredSessionAcceptsFurtherLabels) {
+  // The serving resume path: save, rebuild the matrix from scratch,
+  // restore, and keep labeling — the restored seeker must behave like a
+  // live one (same top-k now, and willing to accept more labels).
+  auto world_a = testutil::MakeMiniWorld();
+  auto world_b = testutil::MakeMiniWorld();
+  ViewSeeker original = LabeledSeeker(world_a.matrix.get(), 6);
+  auto text = SaveSession(original);
+  ASSERT_TRUE(text.ok());
+  auto restored = RestoreSession(world_b.matrix.get(), *text);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored->RecommendTopK(), *original.RecommendTopK());
+
+  auto next = restored->NextQueries();
+  ASSERT_TRUE(next.ok());
+  ASSERT_FALSE(next->empty());
+  ASSERT_TRUE(restored->SubmitLabel((*next)[0], 1.0).ok());
+  EXPECT_EQ(restored->num_labeled(), 7u);
+  EXPECT_TRUE(restored->RecommendTopK().ok());
+}
+
 TEST(SessionIoTest, RestoreOntoFreshMatrixWorks) {
   // Matrix rebuilt from scratch (same table/views): ids must line up.
   auto world_a = testutil::MakeMiniWorld();

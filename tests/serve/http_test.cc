@@ -1,0 +1,251 @@
+#include "serve/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/router.h"
+
+namespace vs::serve {
+namespace {
+
+/// Feeds the whole text at once and expects a complete request.
+HttpRequest ParseOne(const std::string& text,
+                     const HttpLimits& limits = HttpLimits()) {
+  RequestParser parser(limits);
+  auto done = parser.Consume(text);
+  EXPECT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_TRUE(done.ok() && *done);
+  return parser.TakeRequest();
+}
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  HttpRequest r = ParseOne("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.path, "/healthz");
+  EXPECT_TRUE(r.query.empty());
+  EXPECT_TRUE(r.http11);
+  EXPECT_TRUE(r.keep_alive);  // 1.1 default
+  ASSERT_NE(r.FindHeader("host"), nullptr);
+  EXPECT_EQ(*r.FindHeader("host"), "x");
+  EXPECT_TRUE(r.body.empty());
+}
+
+TEST(RequestParserTest, SplitsQueryString) {
+  HttpRequest r = ParseOne("GET /sessions/a/topk?lambda=0.5 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(r.path, "/sessions/a/topk");
+  EXPECT_EQ(r.query, "lambda=0.5");
+  EXPECT_EQ(r.target, "/sessions/a/topk?lambda=0.5");
+}
+
+TEST(RequestParserTest, ReadsContentLengthBody) {
+  HttpRequest r = ParseOne(
+      "POST /sessions HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"k\":3}");
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.body, "{\"k\":3}");
+}
+
+TEST(RequestParserTest, IncrementalBytesAccumulate) {
+  RequestParser parser{HttpLimits()};
+  const std::string text =
+      "POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+  for (size_t i = 0; i + 1 < text.size(); ++i) {
+    auto done = parser.Consume(text.substr(i, 1));
+    ASSERT_TRUE(done.ok());
+    EXPECT_FALSE(*done) << "complete too early at byte " << i;
+  }
+  auto done = parser.Consume(text.substr(text.size() - 1));
+  ASSERT_TRUE(done.ok());
+  EXPECT_TRUE(*done);
+  EXPECT_EQ(parser.TakeRequest().body, "body");
+}
+
+TEST(RequestParserTest, KeepAliveResolution) {
+  EXPECT_TRUE(ParseOne("GET / HTTP/1.1\r\n\r\n").keep_alive);
+  EXPECT_FALSE(
+      ParseOne("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  EXPECT_FALSE(ParseOne("GET / HTTP/1.0\r\n\r\n").keep_alive);
+  EXPECT_TRUE(
+      ParseOne("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+          .keep_alive);
+}
+
+TEST(RequestParserTest, PipelinedRequestsViaStartNext) {
+  RequestParser parser{HttpLimits()};
+  auto done = parser.Consume(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(*done);
+  EXPECT_EQ(parser.TakeRequest().path, "/a");
+  auto next = parser.StartNext();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(*next);  // second request was already buffered
+  EXPECT_EQ(parser.TakeRequest().path, "/b");
+}
+
+TEST(RequestParserTest, MalformedRequestLineIs400) {
+  RequestParser parser{HttpLimits()};
+  EXPECT_FALSE(parser.Consume("NOT A REQUEST\r\n\r\n").ok());
+  EXPECT_EQ(parser.http_status(), 400);
+}
+
+TEST(RequestParserTest, UnsupportedVersionIs505) {
+  RequestParser parser{HttpLimits()};
+  EXPECT_FALSE(parser.Consume("GET / HTTP/2.0\r\n\r\n").ok());
+  EXPECT_EQ(parser.http_status(), 505);
+}
+
+TEST(RequestParserTest, TransferEncodingIs501) {
+  RequestParser parser{HttpLimits()};
+  EXPECT_FALSE(
+      parser.Consume("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+          .ok());
+  EXPECT_EQ(parser.http_status(), 501);
+}
+
+TEST(RequestParserTest, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 8;
+  RequestParser parser(limits);
+  EXPECT_FALSE(
+      parser.Consume("POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n").ok());
+  EXPECT_EQ(parser.http_status(), 413);
+}
+
+TEST(RequestParserTest, OversizedHeadersAre431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  RequestParser parser(limits);
+  const std::string big(128, 'a');
+  EXPECT_FALSE(
+      parser.Consume("GET / HTTP/1.1\r\nX-Big: " + big + "\r\n\r\n").ok());
+  EXPECT_EQ(parser.http_status(), 431);
+}
+
+TEST(RequestParserTest, TooManyHeadersAre431) {
+  HttpLimits limits;
+  limits.max_headers = 3;
+  RequestParser parser(limits);
+  EXPECT_FALSE(parser
+                   .Consume("GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n"
+                            "d: 4\r\n\r\n")
+                   .ok());
+  EXPECT_EQ(parser.http_status(), 431);
+}
+
+TEST(RequestParserTest, BadContentLengthIs400) {
+  RequestParser parser{HttpLimits()};
+  EXPECT_FALSE(
+      parser.Consume("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").ok());
+  EXPECT_EQ(parser.http_status(), 400);
+}
+
+TEST(RequestParserTest, MidRequestTracksPartialBytes) {
+  RequestParser parser{HttpLimits()};
+  EXPECT_FALSE(parser.mid_request());
+  ASSERT_TRUE(parser.Consume("GET /he").ok());
+  EXPECT_TRUE(parser.mid_request());
+  ASSERT_TRUE(parser.Consume("althz HTTP/1.1\r\n\r\n").ok());
+  EXPECT_TRUE(parser.mid_request());  // complete-but-untaken counts too
+  parser.TakeRequest();
+  auto next = parser.StartNext();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+  EXPECT_FALSE(parser.mid_request());
+}
+
+TEST(SerializeResponseTest, EmitsStatusHeadersAndBody) {
+  HttpResponse response;
+  response.status = 201;
+  response.body = "{\"id\":\"x\"}\n";
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_EQ(wire.find("HTTP/1.1 201 Created\r\n"), 0u);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"id\":\"x\"}\n"), std::string::npos);
+}
+
+TEST(SerializeResponseTest, CloseConnectionHeader) {
+  const std::string wire = SerializeResponse(HttpResponse(), false);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(SerializeResponseTest, JsonErrorBodyShape) {
+  HttpResponse response = JsonErrorResponse(404, "NotFound", "no such id");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(response.body,
+            "{\"error\":{\"code\":\"NotFound\",\"message\":\"no such id\"}}"
+            "\n");
+}
+
+HttpRequest MakeRequest(std::string method, std::string path) {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.path = std::move(path);
+  return request;
+}
+
+TEST(RouterTest, DispatchesByMethodAndCapturesParams) {
+  Router router;
+  std::string seen_id;
+  router.Add("GET", "/sessions/{id}/next",
+             [&seen_id](const HttpRequest&,
+                        const std::vector<std::string>& params) {
+               seen_id = params[0];
+               HttpResponse response;
+               response.body = "next";
+               return response;
+             });
+  router.Add("DELETE", "/sessions/{id}",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               HttpResponse response;
+               response.body = "deleted";
+               return response;
+             });
+
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/sessions/abc/next")).body,
+            "next");
+  EXPECT_EQ(seen_id, "abc");
+  EXPECT_EQ(router.Dispatch(MakeRequest("DELETE", "/sessions/abc")).body,
+            "deleted");
+}
+
+TEST(RouterTest, UnknownPathIs404) {
+  Router router;
+  router.Add("GET", "/a",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return HttpResponse();
+             });
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/nope")).status, 404);
+}
+
+TEST(RouterTest, WrongMethodIs405WithAllow) {
+  Router router;
+  router.Add("GET", "/thing",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return HttpResponse();
+             });
+  HttpResponse response = router.Dispatch(MakeRequest("POST", "/thing"));
+  EXPECT_EQ(response.status, 405);
+  bool has_allow = false;
+  for (const auto& [name, value] : response.extra_headers) {
+    if (name == "Allow") has_allow = true;
+  }
+  EXPECT_TRUE(has_allow);
+}
+
+TEST(RouterTest, ParamSegmentDoesNotMatchEmptyOrSlash) {
+  Router router;
+  router.Add("GET", "/sessions/{id}",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return HttpResponse();
+             });
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/sessions/")).status, 404);
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/sessions/a/b")).status,
+            404);
+}
+
+}  // namespace
+}  // namespace vs::serve

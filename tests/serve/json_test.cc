@@ -1,0 +1,109 @@
+#include "serve/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vs::serve {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->bool_value());
+  EXPECT_FALSE(JsonValue::Parse("false")->bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.25")->number_value(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-17")->number_value(), -17.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->number_value(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto v = JsonValue::Parse(
+      "{\"a\":[1,2,{\"b\":\"c\"}],\"d\":{\"e\":null},\"f\":true}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[0].number_value(), 1.0);
+  EXPECT_EQ(a->array()[2].Find("b")->string_value(), "c");
+  EXPECT_TRUE(v->Find("d")->Find("e")->is_null());
+  EXPECT_TRUE(v->Find("f")->bool_value());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = JsonValue::Parse("\"a\\n\\t\\\"\\\\b\\/\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "a\n\t\"\\b/");
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::Parse("\"\\u0041\"")->string_value(), "A");
+  // U+00E9 (é) -> 2-byte UTF-8.
+  EXPECT_EQ(JsonValue::Parse("\"\\u00e9\"")->string_value(), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::Parse("\"\\ud83d\\ude00\"")->string_value(),
+            "\xf0\x9f\x98\x80");
+  // A lone surrogate degrades to U+FFFD instead of failing.
+  EXPECT_EQ(JsonValue::Parse("\"\\ud83dx\"")->string_value(),
+            "\xef\xbf\xbdx");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("'single'").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());
+}
+
+TEST(JsonTest, DepthLimitBoundsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());       // default depth 32
+  EXPECT_TRUE(JsonValue::Parse(deep, 200).ok());   // relaxed limit
+}
+
+TEST(JsonTest, DuplicateKeysLastWins) {
+  auto v = JsonValue::Parse("{\"k\":1,\"k\":2}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->Find("k")->number_value(), 2.0);
+}
+
+TEST(JsonTest, TypedGettersFallBack) {
+  auto v = JsonValue::Parse("{\"s\":\"x\",\"n\":4.5,\"i\":7,\"b\":true}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetString("s", "d"), "x");
+  EXPECT_EQ(v->GetString("missing", "d"), "d");
+  EXPECT_EQ(v->GetString("n", "d"), "d");  // wrong type -> fallback
+  EXPECT_DOUBLE_EQ(v->GetNumber("n", 0.0), 4.5);
+  EXPECT_EQ(v->GetInt("i", 0), 7);
+  EXPECT_TRUE(v->GetBool("b", false));
+}
+
+TEST(JsonTest, RequiredGettersErrorOnMissingOrWrongType) {
+  auto v = JsonValue::Parse("{\"s\":\"x\",\"n\":4.5}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v->RequiredString("s"), "x");
+  EXPECT_DOUBLE_EQ(*v->RequiredNumber("n"), 4.5);
+  EXPECT_FALSE(v->RequiredString("missing").ok());
+  EXPECT_FALSE(v->RequiredString("n").ok());
+  EXPECT_FALSE(v->RequiredNumber("s").ok());
+}
+
+TEST(JsonTest, QuoteRoundTripsThroughParse) {
+  const std::string nasty = "line\nquote\"back\\slash\ttab";
+  auto v = JsonValue::Parse(JsonQuote(nasty));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), nasty);
+}
+
+}  // namespace
+}  // namespace vs::serve

@@ -1,0 +1,292 @@
+/// Closed-loop load generator for `viewseeker serve`.
+///
+///   loadgen --port=P [--host=127.0.0.1] [--users=8] [--duration=10]
+///           [--think-ms=0] [--table=F] [--k=5] [--seed=1]
+///
+/// Each simulated user runs one session through the full protocol loop:
+/// POST /sessions, then GET next → POST label (random labels) → GET topk,
+/// with optional think time between iterations, until the duration is up;
+/// the session is then DELETEd.  Reports throughput and p50/p95/p99 request
+/// latency.  Backpressure responses (429/503) are counted separately from
+/// protocol errors; the exit code is non-zero iff protocol errors occurred,
+/// which is what the CI smoke job asserts on.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "serve/client.h"
+#include "serve/json.h"
+
+namespace {
+
+using namespace vs;
+
+/// Parsed --key=value arguments (same shape as tools/viewseeker.cc).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "true";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseInt64(it->second).ValueOr(fallback);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return ParseDouble(it->second).ValueOr(fallback);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+struct UserStats {
+  std::vector<double> latencies;  ///< seconds, successful requests only
+  uint64_t requests = 0;
+  uint64_t errors = 0;        ///< transport failures + unexpected status
+  uint64_t backpressure = 0;  ///< 429/503 — the server shedding load
+  uint64_t labels = 0;
+  std::vector<std::string> error_samples;  ///< first few, for the report
+
+  void RecordError(std::string what) {
+    ++errors;
+    if (error_samples.size() < 3) error_samples.push_back(std::move(what));
+  }
+};
+
+struct LoadgenConfig {
+  std::string host;
+  int port = 0;
+  int users = 8;
+  double duration_seconds = 10.0;
+  int think_ms = 0;
+  std::string table;
+  int k = 5;
+  uint64_t seed = 1;
+};
+
+/// One timed request; records latency and backpressure into \p stats and
+/// writes the body to \p out.  Returns the HTTP status (-1 on transport
+/// failure).  Callers decide which statuses are protocol errors — 409 on
+/// /next, for instance, just means the view space is exhausted.
+int TimedRequest(serve::HttpClient& client, UserStats& stats,
+                 std::string_view method, const std::string& target,
+                 std::string_view body, std::string* out) {
+  Stopwatch watch;
+  auto response = client.Request(method, target, body);
+  ++stats.requests;
+  if (!response.ok()) {
+    stats.RecordError(target + ": " + response.status().ToString());
+    return -1;
+  }
+  stats.latencies.push_back(watch.ElapsedSeconds());
+  if (response->status == 429 || response->status == 503) {
+    ++stats.backpressure;
+    return response->status;
+  }
+  *out = std::move(response->body);
+  return response->status;
+}
+
+bool IsOk(int status) { return status >= 200 && status < 300; }
+
+void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
+  serve::HttpClient client(config.host, config.port);
+  Rng rng(config.seed + static_cast<uint64_t>(user_index) * 7919);
+  std::string body;
+
+  std::string create = StrFormat("{\"k\":%d,\"seed\":%llu", config.k,
+                                 static_cast<unsigned long long>(
+                                     config.seed + user_index));
+  if (!config.table.empty()) {
+    create += ",\"table\":" + serve::JsonQuote(config.table);
+  }
+  create += "}";
+
+  std::string session_id;
+  Stopwatch elapsed;
+  while (elapsed.ElapsedSeconds() < config.duration_seconds) {
+    if (session_id.empty()) {
+      const int created =
+          TimedRequest(client, stats, "POST", "/sessions", create, &body);
+      if (created == 429 || created == 503 || created == -1) {
+        // Creation rejected (cap) or failed — back off briefly and retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      if (!IsOk(created)) {
+        stats.RecordError(StrFormat("create: HTTP %d %s", created,
+                                    body.substr(0, 120).c_str()));
+        continue;
+      }
+      auto parsed = serve::JsonValue::Parse(body);
+      if (!parsed.ok() || parsed->GetString("id", "").empty()) {
+        stats.RecordError("create: unparseable body " + body.substr(0, 120));
+        continue;
+      }
+      session_id = parsed->GetString("id", "");
+    }
+
+    // One interactive iteration: fetch views, label them, peek at top-k.
+    const std::string base = "/sessions/" + session_id;
+    const int next_status =
+        TimedRequest(client, stats, "GET", base + "/next", {}, &body);
+    if (next_status == 409) {
+      // Every view labeled — this user is done exploring; start over with
+      // a fresh session, like a new analyst arriving.
+      TimedRequest(client, stats, "GET", base + "/topk", {}, &body);
+      TimedRequest(client, stats, "DELETE", base, {}, &body);
+      session_id.clear();
+      continue;
+    }
+    if (!IsOk(next_status)) {
+      if (next_status != 429 && next_status != 503 && next_status != -1) {
+        stats.RecordError(StrFormat("next: HTTP %d %s", next_status,
+                                    body.substr(0, 120).c_str()));
+      }
+      continue;
+    }
+    auto next = serve::JsonValue::Parse(body);
+    if (!next.ok() || !next->Find("views") || !next->Find("views")->is_array()) {
+      stats.RecordError("next: unparseable body " + body.substr(0, 120));
+      continue;
+    }
+    for (const serve::JsonValue& view : next->Find("views")->array()) {
+      const double index = view.GetNumber("view", -1.0);
+      if (index < 0) continue;
+      const std::string label = StrFormat(
+          "{\"view\":%.0f,\"label\":%d}", index,
+          rng.NextDouble() < 0.3 ? 1 : 0);
+      const int labeled = TimedRequest(client, stats, "POST",
+                                       base + "/label", label, &body);
+      if (IsOk(labeled)) {
+        ++stats.labels;
+      } else if (labeled != 429 && labeled != 503 && labeled != -1) {
+        stats.RecordError(StrFormat("label: HTTP %d %s", labeled,
+                                    body.substr(0, 120).c_str()));
+      }
+    }
+    const int topk =
+        TimedRequest(client, stats, "GET", base + "/topk", {}, &body);
+    if (!IsOk(topk) && topk != 429 && topk != 503 && topk != -1) {
+      stats.RecordError(StrFormat("topk: HTTP %d %s", topk,
+                                  body.substr(0, 120).c_str()));
+    }
+
+    if (config.think_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.think_ms));
+    }
+  }
+
+  if (!session_id.empty()) {
+    TimedRequest(client, stats, "DELETE", "/sessions/" + session_id, {},
+                 &body);
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  LoadgenConfig config;
+  config.host = args.Get("host", "127.0.0.1");
+  config.port = static_cast<int>(args.GetInt("port", 0));
+  config.users = static_cast<int>(args.GetInt("users", 8));
+  config.duration_seconds = args.GetDouble("duration", 10.0);
+  config.think_ms = static_cast<int>(args.GetInt("think-ms", 0));
+  config.table = args.Get("table");
+  config.k = static_cast<int>(args.GetInt("k", 5));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  if (config.port <= 0) {
+    std::fprintf(stderr, "usage: loadgen --port=P [--users=M] [--duration=S]"
+                         " [--think-ms=T] [--table=F] [--k=K] [--seed=S]\n");
+    return 2;
+  }
+
+  std::printf("loadgen: %d users x %.1fs against %s:%d (think %d ms)\n",
+              config.users, config.duration_seconds, config.host.c_str(),
+              config.port, config.think_ms);
+
+  std::vector<UserStats> stats(static_cast<size_t>(config.users));
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  threads.reserve(stats.size());
+  for (int u = 0; u < config.users; ++u) {
+    threads.emplace_back(
+        [&config, u, &stats] { RunUser(config, u, stats[static_cast<size_t>(u)]); });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  UserStats total;
+  for (const UserStats& s : stats) {
+    total.requests += s.requests;
+    total.errors += s.errors;
+    total.backpressure += s.backpressure;
+    total.labels += s.labels;
+    total.latencies.insert(total.latencies.end(), s.latencies.begin(),
+                           s.latencies.end());
+    for (const std::string& sample : s.error_samples) {
+      if (total.error_samples.size() < 8) {
+        total.error_samples.push_back(sample);
+      }
+    }
+  }
+  for (const std::string& sample : total.error_samples) {
+    std::fprintf(stderr, "error sample: %s\n", sample.c_str());
+  }
+  std::sort(total.latencies.begin(), total.latencies.end());
+
+  std::printf("requests:     %llu (%.1f/s)\n",
+              static_cast<unsigned long long>(total.requests),
+              elapsed > 0 ? static_cast<double>(total.requests) / elapsed
+                          : 0.0);
+  std::printf("labels:       %llu\n",
+              static_cast<unsigned long long>(total.labels));
+  std::printf("backpressure: %llu\n",
+              static_cast<unsigned long long>(total.backpressure));
+  std::printf("errors:       %llu\n",
+              static_cast<unsigned long long>(total.errors));
+  std::printf("latency p50:  %.2f ms\n",
+              Percentile(total.latencies, 0.50) * 1e3);
+  std::printf("latency p95:  %.2f ms\n",
+              Percentile(total.latencies, 0.95) * 1e3);
+  std::printf("latency p99:  %.2f ms\n",
+              Percentile(total.latencies, 0.99) * 1e3);
+  return total.errors == 0 ? 0 : 1;
+}

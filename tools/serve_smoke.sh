@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Smoke test for the serving subsystem, run by CI after a build:
+#  1. generate a small table,
+#  2. start `viewseeker serve` on it,
+#  3. drive it with loadgen (8 concurrent simulated users, a few seconds),
+#  4. assert zero protocol errors and working /healthz + /metrics,
+#  5. SIGTERM the server and require a clean drain + exit.
+#
+# Usage: tools/serve_smoke.sh <build-dir> [port]
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: serve_smoke.sh <build-dir> [port]}"
+PORT="${2:-18099}"
+WORK_DIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK_DIR"' EXIT
+
+VIEWSEEKER="$BUILD_DIR/tools/viewseeker"
+LOADGEN="$BUILD_DIR/tools/loadgen"
+TABLE="$WORK_DIR/smoke.vst"
+
+echo "== generate table"
+"$VIEWSEEKER" generate --dataset=diab --rows=2000 --out="$TABLE"
+
+echo "== start server on port $PORT"
+"$VIEWSEEKER" serve --table="$TABLE" --port="$PORT" --max-sessions=32 \
+    --spill-dir="$WORK_DIR/spill" >"$WORK_DIR/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died during startup"; cat "$WORK_DIR/serve.log"; exit 1
+  fi
+  sleep 0.2
+done
+curl -sf "http://127.0.0.1:$PORT/healthz"
+echo
+
+echo "== loadgen: 8 users x 5s"
+"$LOADGEN" --port="$PORT" --users=8 --duration=5 --think-ms=5
+
+echo "== healthz + metrics after load"
+curl -sf "http://127.0.0.1:$PORT/healthz"
+echo
+# Capture before grepping: `grep -q` closing the pipe early would EPIPE
+# curl and trip pipefail even when the metric is present.
+curl -sf "http://127.0.0.1:$PORT/metrics" > "$WORK_DIR/metrics.txt"
+grep -q "serve_requests" "$WORK_DIR/metrics.txt" \
+  || { echo "serve_requests metric missing"; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$SERVER_PID"
+for i in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server did not exit after SIGTERM"; cat "$WORK_DIR/serve.log"; exit 1
+fi
+wait "$SERVER_PID"; SERVER_STATUS=$?
+SERVER_PID=""
+grep -q "draining in-flight requests" "$WORK_DIR/serve.log" \
+  || { echo "missing drain log line"; cat "$WORK_DIR/serve.log"; exit 1; }
+[ "$SERVER_STATUS" -eq 0 ] \
+  || { echo "server exited with $SERVER_STATUS"; cat "$WORK_DIR/serve.log"; exit 1; }
+
+echo "== smoke OK"

@@ -15,11 +15,18 @@
 ///                        [--metrics-out=F.json]  (vs::obs snapshot)
 ///                        [--trace-out=F.json]    (chrome://tracing spans)
 ///                        [--events-out=F.jsonl]  (session event journal)
+///   viewseeker serve     --table=F [--host=127.0.0.1] [--port=8080]
+///                        [--max-sessions=256] [--session-ttl=300]
+///                        [--workers=N] [--max-queued=64]
+///                        [--spill-dir=DIR] [--threads=N]
+///                        (JSON-over-HTTP session server; see
+///                         docs/ARCHITECTURE.md "Serving" for the protocol)
 ///
 /// Tables are read by extension: .vst (binary, see data/io.h) or .csv.
 /// --filter takes the WHERE sub-grammar ("age >= 30 AND city = 'NYC'").
 /// --ustar picks a Table 2 preset (1..11) for the simulated user.
 
+#include <csignal>
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +49,9 @@
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/app.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
 
 namespace {
 
@@ -81,6 +91,28 @@ class Args {
     return ParseDouble(it->second).ValueOr(fallback);
   }
 
+  /// Warns on stderr for every parsed flag not in \p known — catches typos
+  /// like --fliter that would otherwise silently fall back to defaults.
+  /// Returns the number of unrecognized flags.
+  int WarnUnrecognized(std::initializer_list<const char*> known) const {
+    int unrecognized = 0;
+    for (const auto& [key, value] : values_) {
+      bool found = false;
+      for (const char* k : known) {
+        if (key == k) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++unrecognized;
+        std::fprintf(stderr, "warning: unrecognized flag --%s (ignored)\n",
+                     key.c_str());
+      }
+    }
+    return unrecognized;
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
@@ -106,7 +138,7 @@ Status WriteTextFile(const std::string& path, const std::string& content) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: viewseeker <generate|info|views|sql|recommend|session> "
+      "usage: viewseeker <generate|info|views|sql|recommend|session|serve> "
       "[--key=value ...]\n"
       "see the header of tools/viewseeker.cc for the full synopsis\n");
   return 2;
@@ -123,6 +155,7 @@ Result<data::Table> LoadTable(const std::string& path) {
 }
 
 int CmdGenerate(const Args& args) {
+  args.WarnUnrecognized({"dataset", "rows", "seed", "out"});
   const std::string dataset = args.Get("dataset", "diab");
   const std::string out = args.Get("out");
   if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
@@ -152,6 +185,7 @@ int CmdGenerate(const Args& args) {
 }
 
 int CmdInfo(const Args& args) {
+  args.WarnUnrecognized({"table"});
   auto table = LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
   std::printf("rows: %zu\n", table->num_rows());
@@ -189,6 +223,7 @@ Result<std::vector<core::ViewSpec>> EnumerateWithArgs(
 }
 
 int CmdViews(const Args& args) {
+  args.WarnUnrecognized({"table", "bins"});
   auto table = LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
   auto views = EnumerateWithArgs(*table, args);
@@ -201,6 +236,7 @@ int CmdViews(const Args& args) {
 }
 
 int CmdSql(const Args& args) {
+  args.WarnUnrecognized({"table", "query"});
   auto table = LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
   const std::string sql = args.Get("query");
@@ -225,6 +261,7 @@ Result<data::SelectionVector> SelectWithFilter(const data::Table& table,
 }
 
 int CmdRecommend(const Args& args) {
+  args.WarnUnrecognized({"table", "filter", "bins", "feature", "k"});
   auto table = LoadTable(args.Get("table"));
   if (!table.ok()) return Fail(table.status());
   auto query = SelectWithFilter(*table, args);
@@ -250,6 +287,9 @@ int CmdRecommend(const Args& args) {
 }
 
 int CmdSession(const Args& args) {
+  args.WarnUnrecognized({"table", "filter", "bins", "ustar", "k", "strategy",
+                         "max-labels", "alpha", "threads", "seed",
+                         "metrics-out", "trace-out", "events-out"});
   // vs::obs wiring: the three artifact flags opt into metrics, trace
   // spans and the session event journal; instrumentation stays in its
   // one-relaxed-load disabled state otherwise.
@@ -349,6 +389,76 @@ int CmdSession(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  args.WarnUnrecognized({"table", "host", "port", "max-sessions",
+                         "session-ttl", "workers", "max-queued", "spill-dir",
+                         "threads", "seed"});
+
+  // /metrics and per-request spans are the point of a server, so the obs
+  // subsystem is always on in serve mode (the trace ring is bounded).
+  obs::MetricsRegistry::Default().set_enabled(true);
+  obs::TraceCollector::Default().set_enabled(true);
+
+  serve::SessionManagerOptions manager_options;
+  manager_options.max_sessions =
+      static_cast<size_t>(args.GetInt("max-sessions", 256));
+  manager_options.session_ttl_seconds = args.GetDouble("session-ttl", 300.0);
+  manager_options.spill_dir = args.Get("spill-dir");
+  manager_options.feature_threads =
+      static_cast<size_t>(args.GetInt("threads", 0));
+  manager_options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  serve::SessionManager manager(manager_options, args.Get("table"));
+  if (!args.Get("table").empty()) {
+    Status preload = manager.PreloadDefaultTable();
+    if (!preload.ok()) return Fail(preload);
+  }
+  manager.StartReaper();
+  serve::ServeApp app(&manager);
+
+  serve::HttpServerOptions server_options;
+  server_options.host = args.Get("host", "127.0.0.1");
+  server_options.port = static_cast<int>(args.GetInt("port", 8080));
+  server_options.worker_threads = static_cast<size_t>(args.GetInt(
+      "workers",
+      static_cast<int64_t>(std::max<size_t>(4, ThreadPool::DefaultThreads()))));
+  server_options.max_queued_connections =
+      static_cast<size_t>(args.GetInt("max-queued", 64));
+
+  // Block the shutdown signals before Start() so every thread the server
+  // spawns inherits the mask and sigwait below is the only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  serve::HttpServer server(server_options,
+                           [&app](const serve::HttpRequest& request) {
+                             return app.Handle(request);
+                           });
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("viewseeker serve: listening on %s:%d "
+              "(workers=%zu, max-sessions=%zu, ttl=%.0fs)\n",
+              server_options.host.c_str(), server.port(),
+              server_options.worker_threads, manager_options.max_sessions,
+              manager_options.session_ttl_seconds);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("received %s, draining in-flight requests...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  server.Stop();
+  std::printf("drained: %llu connections served, %llu rejected, "
+              "%zu sessions live at exit\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(server.connections_rejected()),
+              manager.active_sessions());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,5 +471,6 @@ int main(int argc, char** argv) {
   if (command == "sql") return CmdSql(args);
   if (command == "recommend") return CmdRecommend(args);
   if (command == "session") return CmdSession(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }
