@@ -126,15 +126,21 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   const size_t chunks = std::min(n, threads_.size() * 4);
   const size_t chunk_size = (n + chunks - 1) / chunks;
   std::atomic<size_t> next{begin};
+  auto run_chunks = [&, chunk_size] {
+    while (true) {
+      size_t start = next.fetch_add(chunk_size);
+      if (start >= end) break;
+      size_t stop = std::min(end, start + chunk_size);
+      for (size_t i = start; i < stop; ++i) fn(i);
+    }
+  };
   for (size_t c = 0; c < chunks; ++c) {
-    Submit([&, chunk_size] {
-      while (true) {
-        size_t start = next.fetch_add(chunk_size);
-        if (start >= end) break;
-        size_t stop = std::min(end, start + chunk_size);
-        for (size_t i = start; i < stop; ++i) fn(i);
-      }
-    });
+    // A kReject pool with a full queue drops the submission; run the
+    // worker loop inline so every index is still covered.
+    if (!Submit(run_chunks)) {
+      run_chunks();
+      break;  // inline loop drains the remaining range
+    }
   }
   WaitIdle();
 }

@@ -1,5 +1,7 @@
 #include "serve/app.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -211,7 +213,11 @@ HttpResponse ServeApp::PostLabel(const HttpRequest& request,
   if (!view.ok()) return ErrorResponseFor(view.status());
   auto label = body->RequiredNumber("label");
   if (!label.ok()) return ErrorResponseFor(label.status());
-  if (*view < 0 || *view != static_cast<double>(static_cast<size_t>(*view))) {
+  // Bound-check before casting: double->size_t is UB out of range, and
+  // doubles are only integer-exact below 2^53 (far above any view count).
+  constexpr double kMaxViewIndex = 9007199254740992.0;  // 2^53
+  if (!(*view >= 0) || *view >= kMaxViewIndex ||
+      std::trunc(*view) != *view) {
     return ErrorResponseFor(
         vs::Status::InvalidArgument("view must be a non-negative integer"));
   }

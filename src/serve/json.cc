@@ -276,7 +276,14 @@ double JsonValue::GetNumber(std::string_view key, double fallback) const {
 int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
   const JsonValue* v = Find(key);
   if (v == nullptr || !v->is_number()) return fallback;
-  return static_cast<int64_t>(v->number_value());
+  const double d = v->number_value();
+  // The double-to-int64 cast is UB outside [-2^63, 2^63); both bounds are
+  // exactly representable as doubles. Non-integral values also fall back.
+  if (!(d >= -9223372036854775808.0) || !(d < 9223372036854775808.0) ||
+      std::trunc(d) != d) {
+    return fallback;
+  }
+  return static_cast<int64_t>(d);
 }
 
 bool JsonValue::GetBool(std::string_view key, bool fallback) const {

@@ -218,10 +218,13 @@ void HttpServer::ServeConnection(int fd) {
   while (served < options_.max_requests_per_connection) {
     // Read until one full request is buffered (or give up).
     Stopwatch wait;
-    const double deadline = parser.mid_request()
-                                ? options_.io_timeout_seconds
-                                : options_.keepalive_timeout_seconds;
+    bool mid_request = parser.mid_request();
     while (!have_request) {
+      // Keep-alive idle time is budgeted separately from request-read
+      // time: the clock restarts when the first request byte arrives.
+      const double deadline = mid_request
+                                  ? options_.io_timeout_seconds
+                                  : options_.keepalive_timeout_seconds;
       if (wait.ElapsedSeconds() > deadline) {
         if (parser.mid_request()) {
           SendResponseAndMaybeClose(
@@ -274,6 +277,10 @@ void HttpServer::ServeConnection(int fd) {
         return;
       }
       have_request = *result;
+      if (!mid_request) {
+        mid_request = true;
+        wait.Restart();
+      }
     }
 
     HttpRequest request = parser.TakeRequest();

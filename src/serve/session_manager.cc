@@ -269,7 +269,18 @@ vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Acquire(
     }
     spill = ev->second;
   }
-  return Restore(id, spill);
+  vs::Result<std::shared_ptr<Session>> restored = Restore(id, spill);
+  if (!restored.ok()) {
+    // Raced restore: the winner may have inserted the session and removed
+    // the spill file while we were reading it. Prefer the live session.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      it->second->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  return restored;
 }
 
 vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Restore(
@@ -407,7 +418,10 @@ size_t SessionManager::EvictIdleOlderThan(double idle_seconds) {
   size_t count = 0;
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = sessions_.begin(); it != sessions_.end();) {
-    Session& session = *it->second;
+    // Declared before session_lock: the map often holds the last reference,
+    // so this copy must outlive the lock or erase() destroys a locked mutex.
+    std::shared_ptr<Session> session_ref = it->second;
+    Session& session = *session_ref;
     std::unique_lock<std::mutex> session_lock(session.mu,
                                               std::try_to_lock);
     // A busy session is by definition not idle; a touched one is skipped.

@@ -149,6 +149,46 @@ TEST(ThreadPoolTest, RejectPolicyShedsTasksAtCapacity) {
   EXPECT_EQ(ran.load(), 1);  // the rejected task never ran
 }
 
+TEST(ThreadPoolTest, ParallelForCoversRangeOnRejectPool) {
+  // A kReject pool with a full queue sheds the chunk submissions;
+  // ParallelFor must still run every index (inline on the caller).
+  ThreadPoolOptions options;
+  options.num_threads = 1;
+  options.max_queue = 1;
+  options.overflow = QueueOverflowPolicy::kReject;
+  ThreadPool pool(options);
+
+  // Park the worker, then fill the single queue slot: every chunk
+  // submission from ParallelFor is now rejected.
+  std::mutex gate;
+  gate.lock();
+  std::atomic<bool> worker_running{false};
+  ASSERT_TRUE(pool.Submit([&gate, &worker_running] {
+    worker_running.store(true);
+    gate.lock();
+    gate.unlock();
+  }));
+  while (!worker_running.load()) std::this_thread::yield();
+  ASSERT_TRUE(pool.Submit([] {}));  // occupies the queue slot
+
+  std::vector<std::atomic<int>> hits(64);
+  std::thread caller([&pool, &hits] {
+    pool.ParallelFor(0, 64, [&hits](size_t i) { hits[i].fetch_add(1); });
+  });
+  // The inline fallback covers the whole range while the worker is still
+  // parked; only then release the pool so ParallelFor's WaitIdle returns.
+  auto all_hit = [&hits] {
+    for (const auto& h : hits) {
+      if (h.load() == 0) return false;
+    }
+    return true;
+  };
+  while (!all_hit()) std::this_thread::yield();
+  gate.unlock();
+  caller.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, BlockPolicyWaitsForSpace) {
   ThreadPoolOptions options;
   options.num_threads = 1;

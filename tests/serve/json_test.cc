@@ -1,5 +1,6 @@
 #include "serve/json.h"
 
+#include <cstdint>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -86,6 +87,18 @@ TEST(JsonTest, TypedGettersFallBack) {
   EXPECT_DOUBLE_EQ(v->GetNumber("n", 0.0), 4.5);
   EXPECT_EQ(v->GetInt("i", 0), 7);
   EXPECT_TRUE(v->GetBool("b", false));
+}
+
+TEST(JsonTest, GetIntFallsBackOnUnconvertibleNumbers) {
+  auto v = JsonValue::Parse(
+      "{\"huge\":1e300,\"neg\":-1e300,\"frac\":2.5,"
+      "\"edge\":9223372036854775808,\"min\":-9223372036854775808}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetInt("huge", -1), -1);
+  EXPECT_EQ(v->GetInt("neg", -1), -1);
+  EXPECT_EQ(v->GetInt("frac", -1), -1);
+  EXPECT_EQ(v->GetInt("edge", -1), -1);  // 2^63 is out of int64 range
+  EXPECT_EQ(v->GetInt("min", -1), INT64_MIN);  // -2^63 is in range
 }
 
 TEST(JsonTest, RequiredGettersErrorOnMissingOrWrongType) {

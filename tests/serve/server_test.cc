@@ -157,6 +157,22 @@ TEST_F(ServerTest, ProtocolErrorsAreTyped) {
   ASSERT_TRUE(bad_label.ok());
   EXPECT_EQ(bad_label->status, 400);  // label field missing
 
+  // Out-of-range and fractional view indices must be rejected, never cast.
+  auto huge_view = client.Request("POST", "/sessions/" + id + "/label",
+                                  "{\"view\":1e300,\"label\":1}");
+  ASSERT_TRUE(huge_view.ok());
+  EXPECT_EQ(huge_view->status, 400);
+  auto frac_view = client.Request("POST", "/sessions/" + id + "/label",
+                                  "{\"view\":1.5,\"label\":1}");
+  ASSERT_TRUE(frac_view.ok());
+  EXPECT_EQ(frac_view->status, 400);
+
+  // An unconvertible k falls back to the default rather than invoking UB;
+  // the create succeeds with the default k.
+  auto huge_k = client.Request("POST", "/sessions", "{\"k\":1e300}");
+  ASSERT_TRUE(huge_k.ok());
+  EXPECT_EQ(huge_k->status, 201);
+
   auto bad_lambda =
       client.Request("GET", "/sessions/" + id + "/topk?lambda=7");
   ASSERT_TRUE(bad_lambda.ok());

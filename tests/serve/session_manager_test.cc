@@ -1,6 +1,9 @@
 #include "serve/session_manager.h"
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -162,6 +165,33 @@ TEST(SessionManagerTest, EvictAndRestoreRoundTrips) {
   auto final_info = manager.Info(info->id);
   ASSERT_TRUE(final_info.ok());
   EXPECT_EQ(final_info->num_labeled, 8u);
+}
+
+TEST(SessionManagerTest, ConcurrentRestoresOfOneSessionAllSucceed) {
+  // Many threads race to restore the same evicted session: the winner
+  // inserts it and unlinks the spill file; losers must be handed the live
+  // session rather than an IOError from the vanished file.
+  SessionManagerOptions options = SmallOptions();
+  options.spill_dir = ::testing::TempDir() + "serve_mgr_spill_race";
+  SessionManager manager(options, TestTablePath());
+  auto info = manager.Create(SmallSpec());
+  ASSERT_TRUE(info.ok());
+  LabelSome(manager, info->id, 4);
+
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_EQ(manager.EvictIdleOlderThan(0.0), 1u);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&manager, &failures, &info] {
+        auto topk = manager.TopK(info->id);
+        if (!topk.ok()) failures.fetch_add(1);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(failures.load(), 0) << "round " << round;
+    EXPECT_EQ(manager.active_sessions(), 1u);
+  }
 }
 
 TEST(SessionManagerTest, EvictWithoutSpillDirDropsForGood) {
