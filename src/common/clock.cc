@@ -1,0 +1,29 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace vs {
+
+namespace {
+
+/// The production time source: steady_clock, so never affected by NTP or
+/// wall-clock adjustments.
+class RealClock final : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  // Leaked on purpose: handles taken at static-init time stay valid
+  // through static destruction (same policy as MetricsRegistry::Default).
+  static const RealClock* const kReal = new RealClock();
+  return kReal;
+}
+
+}  // namespace vs

@@ -1,0 +1,67 @@
+#ifndef VS_COMMON_CLOCK_H_
+#define VS_COMMON_CLOCK_H_
+
+/// \file clock.h
+/// \brief Injectable monotonic time source.
+///
+/// Components whose behaviour depends on elapsed time (session TTL
+/// eviction, HTTP read/write deadlines) read time through a Clock* taken
+/// from their options instead of calling std::chrono::steady_clock
+/// directly.  Production code passes nullptr and gets the real clock;
+/// tests inject a FakeClock and advance it explicitly, which turns every
+/// "sleep until the timeout fires" test into a deterministic, instant one.
+///
+/// Clocks are monotonic and thread-safe; NowMicros() has no defined epoch
+/// (callers may only compare values from the same clock).
+
+#include <atomic>
+#include <cstdint>
+
+namespace vs {
+
+/// \brief Abstract monotonic time source (microsecond resolution).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic microseconds; only differences are meaningful.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Convenience: NowMicros() in seconds.
+  double NowSeconds() const {
+    return static_cast<double>(NowMicros()) * 1e-6;
+  }
+
+  /// The process-wide real (steady_clock) instance; never destroyed.
+  static const Clock* Real();
+};
+
+/// \brief Manually advanced clock for deterministic tests.  Starts at
+/// \p start_micros and only moves when Advance*/Set are called.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_micros = 0) : now_us_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_us_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceMicros(int64_t micros) {
+    now_us_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  void AdvanceSeconds(double seconds) {
+    AdvanceMicros(static_cast<int64_t>(seconds * 1e6));
+  }
+
+  void SetMicros(int64_t micros) {
+    now_us_.store(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace vs
+
+#endif  // VS_COMMON_CLOCK_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "testing/fault_injection.h"
 
 namespace vs {
 
@@ -77,6 +78,12 @@ bool ThreadPool::Submit(std::function<void()> task) {
     t.fn();
     FinishTask(t, /*timed=*/true);
     return true;
+  }
+  // Injected overflow: behave exactly as a full kReject queue would, so
+  // every Submit caller's shedding path is testable without real load.
+  if (VS_FAULT("threadpool.submit_reject")) {
+    tasks_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
   size_t depth;
   {

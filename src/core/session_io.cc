@@ -3,10 +3,14 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "testing/fault_injection.h"
 
 namespace vs::core {
 
 vs::Result<std::string> SaveSession(const ViewSeeker& seeker) {
+  if (VS_FAULT("session_io.save")) {
+    return vs::Status::IOError("injected session save failure");
+  }
   const ViewSeekerOptions& options = seeker.options();
   std::string out = "viewseeker-session v1\n";
   out += vs::StrFormat("k: %d\n", options.k);
@@ -48,6 +52,9 @@ vs::Result<ViewSeeker> RestoreSession(const FeatureMatrix* matrix,
                                       const std::string& text) {
   if (matrix == nullptr) {
     return vs::Status::InvalidArgument("feature matrix is required");
+  }
+  if (VS_FAULT("session_io.restore")) {
+    return vs::Status::IOError("injected session restore failure");
   }
   const std::vector<std::string> lines = vs::Split(text, '\n');
   if (lines.empty() || vs::Trim(lines[0]) != "viewseeker-session v1") {

@@ -223,6 +223,7 @@ vs::Result<ClientResponse> HttpClient::Request(std::string_view method,
   request.append(body);
 
   for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) ++retries_;
     if (fd_ < 0) {
       VS_RETURN_IF_ERROR(Connect());
     }

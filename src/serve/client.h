@@ -48,6 +48,11 @@ class HttpClient {
   /// Drops the current connection (next Request reconnects).
   void Disconnect();
 
+  /// How many times Request() re-sent after a stale-connection failure.
+  /// Each retry may have executed the request server-side twice — stress
+  /// accounting widens its upper bounds by this count.
+  uint64_t retries() const { return retries_; }
+
  private:
   vs::Status Connect();
   vs::Status SendAll(std::string_view data);
@@ -57,6 +62,7 @@ class HttpClient {
   const int port_;
   const double timeout_seconds_;
   int fd_ = -1;
+  uint64_t retries_ = 0;
   std::string pending_;  ///< bytes read past the previous response
 };
 

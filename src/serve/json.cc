@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/metrics.h"  // JsonEscape
@@ -318,6 +319,93 @@ vs::Result<double> JsonValue::RequiredNumber(std::string_view key) const {
 
 std::string JsonQuote(std::string_view s) {
   return "\"" + obs::JsonEscape(s) + "\"";
+}
+
+namespace {
+
+void WriteValue(const JsonValue& value, std::string* out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      *out += value.bool_value() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      // 17 significant digits round-trip any finite double through strtod.
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value.number_value());
+      *out += buffer;
+      return;
+    }
+    case JsonValue::Type::kString:
+      *out += JsonQuote(value.string_value());
+      return;
+    case JsonValue::Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& element : value.array()) {
+        if (!first) *out += ',';
+        first = false;
+        WriteValue(element, out);
+      }
+      *out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members()) {
+        if (!first) *out += ',';
+        first = false;
+        *out += JsonQuote(key);
+        *out += ':';
+        WriteValue(member, out);
+      }
+      *out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteValue(value, &out);
+  return out;
+}
+
+bool JsonEquals(const JsonValue& a, const JsonValue& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case JsonValue::Type::kNull:
+      return true;
+    case JsonValue::Type::kBool:
+      return a.bool_value() == b.bool_value();
+    case JsonValue::Type::kNumber:
+      return a.number_value() == b.number_value();
+    case JsonValue::Type::kString:
+      return a.string_value() == b.string_value();
+    case JsonValue::Type::kArray: {
+      if (a.array().size() != b.array().size()) return false;
+      for (size_t i = 0; i < a.array().size(); ++i) {
+        if (!JsonEquals(a.array()[i], b.array()[i])) return false;
+      }
+      return true;
+    }
+    case JsonValue::Type::kObject: {
+      if (a.members().size() != b.members().size()) return false;
+      for (size_t i = 0; i < a.members().size(); ++i) {
+        if (a.members()[i].first != b.members()[i].first) return false;
+        if (!JsonEquals(a.members()[i].second, b.members()[i].second)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace vs::serve

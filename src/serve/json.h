@@ -86,6 +86,17 @@ class JsonValue {
 /// hand-written response bodies.
 std::string JsonQuote(std::string_view s);
 
+/// Serializes \p value back to JSON text (compact, no insignificant
+/// whitespace).  Finite numbers render with enough digits that
+/// Parse(WriteJson(v)) reproduces v exactly — the round-trip property the
+/// fuzz suite asserts.  Object member order (and duplicate keys) are
+/// preserved.
+std::string WriteJson(const JsonValue& value);
+
+/// Deep structural equality: same type, same value, arrays/objects
+/// compared element-by-element in order (duplicate keys included).
+bool JsonEquals(const JsonValue& a, const JsonValue& b);
+
 }  // namespace vs::serve
 
 #endif  // VS_SERVE_JSON_H_

@@ -10,8 +10,8 @@
 #include <cerrno>
 #include <cstring>
 
-#include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "testing/fault_injection.h"
 
 namespace vs::serve {
 
@@ -46,14 +46,20 @@ void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+/// Elapsed seconds on \p clock since the \p start_us reading.
+double SecondsSince(const Clock* clock, int64_t start_us) {
+  return static_cast<double>(clock->NowMicros() - start_us) * 1e-6;
+}
+
 /// Blocking send of the whole buffer with poll-guarded timeout slices.
 /// Returns false on error, timeout, or server stop.
 bool WriteAll(int fd, std::string_view data, double timeout_seconds,
-              const std::atomic<bool>& stopping) {
-  Stopwatch watch;
+              const std::atomic<bool>& stopping, const Clock* clock) {
+  if (VS_FAULT("http.send_fail")) return false;  // peer vanished mid-write
+  const int64_t start_us = clock->NowMicros();
   size_t offset = 0;
   while (offset < data.size()) {
-    if (watch.ElapsedSeconds() > timeout_seconds) return false;
+    if (SecondsSince(clock, start_us) > timeout_seconds) return false;
     struct pollfd pfd = {fd, POLLOUT, 0};
     const int ready = ::poll(&pfd, 1, kPollSliceMs);
     if (ready < 0) {
@@ -64,7 +70,7 @@ bool WriteAll(int fd, std::string_view data, double timeout_seconds,
       // Writes finish the in-flight response even while stopping, but a
       // peer that stops reading should not hold shutdown hostage.
       if (stopping.load(std::memory_order_relaxed) &&
-          watch.ElapsedSeconds() > 1.0) {
+          SecondsSince(clock, start_us) > 1.0) {
         return false;
       }
       continue;
@@ -84,15 +90,18 @@ bool WriteAll(int fd, std::string_view data, double timeout_seconds,
 
 void SendResponseAndMaybeClose(int fd, const HttpResponse& response,
                                bool keep_alive, double timeout_seconds,
-                               const std::atomic<bool>& stopping) {
+                               const std::atomic<bool>& stopping,
+                               const Clock* clock) {
   WriteAll(fd, SerializeResponse(response, keep_alive), timeout_seconds,
-           stopping);
+           stopping, clock);
 }
 
 }  // namespace
 
 HttpServer::HttpServer(HttpServerOptions options, Handler handler)
-    : options_(std::move(options)), handler_(std::move(handler)) {}
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Real()) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -203,7 +212,7 @@ void HttpServer::AcceptLoop() {
           fd,
           JsonErrorResponse(503, "ResourceExhausted",
                             "server overloaded, retry later"),
-          /*keep_alive=*/false, /*timeout_seconds=*/1.0, stopping_);
+          /*keep_alive=*/false, /*timeout_seconds=*/1.0, stopping_, clock_);
       CloseFd(fd);
     }
   }
@@ -217,7 +226,7 @@ void HttpServer::ServeConnection(int fd) {
 
   while (served < options_.max_requests_per_connection) {
     // Read until one full request is buffered (or give up).
-    Stopwatch wait;
+    int64_t wait_start_us = clock_->NowMicros();
     bool mid_request = parser.mid_request();
     while (!have_request) {
       // Keep-alive idle time is budgeted separately from request-read
@@ -225,13 +234,13 @@ void HttpServer::ServeConnection(int fd) {
       const double deadline = mid_request
                                   ? options_.io_timeout_seconds
                                   : options_.keepalive_timeout_seconds;
-      if (wait.ElapsedSeconds() > deadline) {
+      if (SecondsSince(clock_, wait_start_us) > deadline) {
         if (parser.mid_request()) {
           SendResponseAndMaybeClose(
               fd,
               JsonErrorResponse(408, "TimedOut",
                                 "timed out reading request"),
-              false, options_.io_timeout_seconds, stopping_);
+              false, options_.io_timeout_seconds, stopping_, clock_);
         }
         CloseFd(fd);
         return;
@@ -250,7 +259,16 @@ void HttpServer::ServeConnection(int fd) {
         return;
       }
       if (ready == 0) continue;
-      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (VS_FAULT("http.recv_eagain")) continue;  // spurious-wakeup storm
+      if (VS_FAULT("http.recv_disconnect")) {      // peer reset mid-request
+        CloseFd(fd);
+        return;
+      }
+      // A slow-loris peer dribbles one byte per read; the parser must
+      // stay incremental and the io deadline must still fire.
+      const size_t want =
+          VS_FAULT("http.recv_short") ? 1 : sizeof(buffer);
+      const ssize_t n = ::recv(fd, buffer, want, 0);
       if (n == 0) {  // peer closed
         CloseFd(fd);
         return;
@@ -272,14 +290,14 @@ void HttpServer::ServeConnection(int fd) {
             fd,
             JsonErrorResponse(status, "InvalidArgument",
                               result.status().message()),
-            false, options_.io_timeout_seconds, stopping_);
+            false, options_.io_timeout_seconds, stopping_, clock_);
         CloseFd(fd);
         return;
       }
       have_request = *result;
       if (!mid_request) {
         mid_request = true;
-        wait.Restart();
+        wait_start_us = clock_->NowMicros();
       }
     }
 
@@ -290,7 +308,7 @@ void HttpServer::ServeConnection(int fd) {
         !stopping_.load(std::memory_order_relaxed);
     const HttpResponse response = handler_(request);
     if (!WriteAll(fd, SerializeResponse(response, keep_alive),
-                  options_.io_timeout_seconds, stopping_)) {
+                  options_.io_timeout_seconds, stopping_, clock_)) {
       CloseFd(fd);
       return;
     }
@@ -307,7 +325,7 @@ void HttpServer::ServeConnection(int fd) {
           JsonErrorResponse(parser.http_status() != 0 ? parser.http_status()
                                                       : 400,
                             "InvalidArgument", next.status().message()),
-          false, options_.io_timeout_seconds, stopping_);
+          false, options_.io_timeout_seconds, stopping_, clock_);
       CloseFd(fd);
       return;
     }

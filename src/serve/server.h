@@ -26,6 +26,7 @@
 #include <string>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "serve/http.h"
@@ -45,6 +46,9 @@ struct HttpServerOptions {
   /// Idle keep-alive connections are closed after this long.
   double keepalive_timeout_seconds = 15.0;
   int max_requests_per_connection = 100000;
+  /// Time source for the I/O and keep-alive deadlines; nullptr = the real
+  /// steady clock.  Tests inject a FakeClock to fire timeouts instantly.
+  const Clock* clock = nullptr;
 };
 
 /// \brief The transport; protocol logic is injected as a handler.
@@ -85,6 +89,7 @@ class HttpServer {
 
   const HttpServerOptions options_;
   const Handler handler_;
+  const Clock* const clock_;  ///< options_.clock or the real clock
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< self-pipe: Stop() wakes the accept poll

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/session_io.h"
 #include "core/view.h"
@@ -14,6 +15,7 @@
 #include "data/query.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/fault_injection.h"
 
 namespace vs::serve {
 
@@ -63,6 +65,9 @@ vs::Result<data::Table> LoadTableFile(const std::string& path) {
 }
 
 vs::Result<std::string> ReadFileToString(const std::string& path) {
+  if (VS_FAULT("session.spill_read")) {
+    return vs::Status::IOError("injected spill read failure: " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return vs::Status::IOError("cannot open: " + path);
@@ -79,11 +84,19 @@ vs::Result<std::string> ReadFileToString(const std::string& path) {
 
 vs::Status WriteStringToFile(const std::string& path,
                              const std::string& content) {
+  if (VS_FAULT("session.spill_enospc")) {
+    return vs::Status::IOError("injected ENOSPC writing: " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return vs::Status::IOError("cannot open for writing: " + path);
   }
-  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  // A short write leaves a truncated file behind, exactly like a disk
+  // filling up mid-write; callers must treat the spill as failed.
+  const size_t intent = VS_FAULT("session.spill_short_write")
+                            ? content.size() / 2
+                            : content.size();
+  const size_t written = std::fwrite(content.data(), 1, intent, f);
   std::fclose(f);
   if (written != content.size()) {
     return vs::Status::IOError("short write: " + path);
@@ -98,6 +111,7 @@ SessionManager::SessionManager(const SessionManagerOptions& options,
     : options_(options),
       default_table_path_(std::move(default_table_path)),
       registry_(core::UtilityFeatureRegistry::Default()),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
       id_rng_(options.seed) {
   SessionMetrics::Get();  // register eagerly
   if (!options_.spill_dir.empty()) {
@@ -115,7 +129,7 @@ SessionManager::~SessionManager() {
   if (reaper_.joinable()) reaper_.join();
 }
 
-int64_t SessionManager::NowMicros() const { return epoch_.ElapsedMicros(); }
+int64_t SessionManager::NowMicros() const { return clock_->NowMicros(); }
 
 std::string SessionManager::NewSessionId() {
   // Caller holds mu_.
@@ -287,6 +301,11 @@ vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Restore(
     const std::string& id, const SpilledSession& spill) {
   obs::ScopedSpan span("serve.session_restore");
   VS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(spill.file_path));
+  if (VS_FAULT("session.spill_corrupt")) {
+    // Corrupt the in-memory copy only: the file stays intact, so a retry
+    // without the fault succeeds (models a torn read, not a torn write).
+    text.resize(text.size() / 2);
+  }
 
   // Spill envelope: magic line, table path, filter, then the session_io
   // payload verbatim.

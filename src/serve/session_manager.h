@@ -33,9 +33,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/result.h"
-#include "common/stopwatch.h"
 #include "core/feature_matrix.h"
 #include "core/seeker.h"
 #include "core/utility_features.h"
@@ -58,6 +58,10 @@ struct SessionManagerOptions {
   int max_k = 100;
   /// Salt for session-id generation.
   uint64_t seed = 0x5e551011;
+  /// Time source for idle accounting (TTL eviction); nullptr = the real
+  /// steady clock.  Tests inject a FakeClock so reaper/timeout tests
+  /// advance time explicitly instead of sleeping.
+  const Clock* clock = nullptr;
 };
 
 /// \brief A table plus its enumerated views, shared across sessions.
@@ -177,7 +181,7 @@ class SessionManager {
   const SessionManagerOptions options_;
   const std::string default_table_path_;
   core::UtilityFeatureRegistry registry_;
-  Stopwatch epoch_;  ///< monotonic base for last_used_us
+  const Clock* const clock_;  ///< source of last_used_us timestamps
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;

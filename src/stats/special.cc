@@ -2,6 +2,12 @@
 
 #include <cmath>
 
+#if defined(__GLIBC__)
+// Strict -std=c++20 can hide the POSIX declaration; the symbol is always
+// in libm on glibc.
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace vs::stats {
 
 namespace {
@@ -9,6 +15,19 @@ namespace {
 constexpr int kMaxIterations = 500;
 constexpr double kEpsilon = 1e-14;
 constexpr double kTiny = 1e-300;
+
+/// Thread-safe log-gamma.  glibc's lgamma writes the process-global
+/// `signgam`, a data race when feature builds run concurrently; the
+/// reentrant form keeps the sign local (and the sign is irrelevant here —
+/// every caller passes a > 0).
+double LogGamma(double a) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
 
 /// Series expansion of P(a, x); converges quickly for x < a + 1.
 double GammaPSeries(double a, double x) {
@@ -21,7 +40,7 @@ double GammaPSeries(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 /// Continued-fraction expansion of Q(a, x); converges for x >= a + 1.
@@ -42,7 +61,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 }  // namespace

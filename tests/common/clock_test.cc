@@ -1,0 +1,55 @@
+#include "common/clock.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace vs {
+namespace {
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  const Clock* clock = Clock::Real();
+  const int64_t a = clock->NowMicros();
+  const int64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, RealClockAdvancesAcrossSleep) {
+  const Clock* clock = Clock::Real();
+  const int64_t before = clock->NowMicros();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(clock->NowMicros() - before, 4000);
+}
+
+TEST(ClockTest, RealIsASingleton) {
+  EXPECT_EQ(Clock::Real(), Clock::Real());
+}
+
+TEST(ClockTest, FakeClockStartsWhereTold) {
+  FakeClock clock(1'000'000);
+  EXPECT_EQ(clock.NowMicros(), 1'000'000);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 1.0);
+}
+
+TEST(ClockTest, FakeClockOnlyMovesWhenAdvanced) {
+  FakeClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.AdvanceMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 250);
+  clock.AdvanceSeconds(1.5);
+  EXPECT_EQ(clock.NowMicros(), 1'500'250);
+  clock.SetMicros(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+}
+
+TEST(ClockTest, FakeClockAdvancesAreVisibleAcrossThreads) {
+  FakeClock clock;
+  std::thread t([&clock] { clock.AdvanceMicros(777); });
+  t.join();
+  EXPECT_EQ(clock.NowMicros(), 777);
+}
+
+}  // namespace
+}  // namespace vs

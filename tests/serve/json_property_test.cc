@@ -1,0 +1,193 @@
+/// Property and fuzz tests for the serve JSON layer.
+///
+/// The core property: for any value v produced by the parser,
+/// Parse(WriteJson(v)) succeeds and is structurally equal to v (numbers
+/// bit-exact via 17-significant-digit formatting, member order and
+/// duplicate keys preserved).  Inputs are random JSON documents grown from
+/// a seeded Rng, so every run covers the same trees.  The malformed-input
+/// half feeds truncations, hostile nesting, out-of-range numbers, and raw
+/// garbage through Parse and asserts it errors (or parses) without
+/// crashing — the sanitizer jobs turn any UB here into a test failure.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "serve/json.h"
+
+namespace vs::serve {
+namespace {
+
+/// Builds a random JSON document as text.  Depth-bounded so it always
+/// parses under the default nesting limit.
+std::string RandomJsonText(Rng& rng, int depth) {
+  const uint64_t kind = rng.NextBounded(depth >= 4 ? 4 : 6);
+  switch (kind) {
+    case 0:
+      return "null";
+    case 1:
+      return rng.NextBounded(2) == 0 ? "true" : "false";
+    case 2: {
+      // Mix integer, fractional, and extreme-exponent shapes.
+      switch (rng.NextBounded(4)) {
+        case 0:
+          return StrFormat("%lld",
+                           static_cast<long long>(rng.NextUint64() >> 12) -
+                               (1LL << 51));
+        case 1:
+          return StrFormat("%.17g", rng.NextDouble() * 2e3 - 1e3);
+        case 2:
+          return StrFormat("%.17g", rng.NextDouble() * 1e-300);
+        default:
+          return StrFormat("%.17g", (rng.NextDouble() + 0.5) * 1e300);
+      }
+    }
+    case 3: {
+      std::string s = "\"";
+      const uint64_t len = rng.NextBounded(12);
+      for (uint64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters the quoter must escape.
+        const char c = static_cast<char>(0x20 + rng.NextBounded(95));
+        if (c == '"' || c == '\\') s += '\\';
+        s += c;
+      }
+      return s + "\"";
+    }
+    case 4: {
+      std::string s = "[";
+      const uint64_t len = rng.NextBounded(4);
+      for (uint64_t i = 0; i < len; ++i) {
+        if (i > 0) s += ",";
+        s += RandomJsonText(rng, depth + 1);
+      }
+      return s + "]";
+    }
+    default: {
+      std::string s = "{";
+      const uint64_t len = rng.NextBounded(4);
+      for (uint64_t i = 0; i < len; ++i) {
+        if (i > 0) s += ",";
+        // Small key space on purpose: collisions exercise the
+        // duplicate-key path.
+        s += StrFormat("\"k%llu\":",
+                       static_cast<unsigned long long>(rng.NextBounded(3)));
+        s += RandomJsonText(rng, depth + 1);
+      }
+      return s + "}";
+    }
+  }
+}
+
+TEST(JsonPropertyTest, ParseWriteParseRoundTripsRandomDocuments) {
+  Rng rng(20260805);
+  for (int i = 0; i < 300; ++i) {
+    const std::string text = RandomJsonText(rng, 0);
+    auto first = JsonValue::Parse(text);
+    ASSERT_TRUE(first.ok()) << "doc " << i << ": " << text;
+    const std::string written = WriteJson(*first);
+    auto second = JsonValue::Parse(written);
+    ASSERT_TRUE(second.ok()) << "rewritten doc " << i << ": " << written;
+    EXPECT_TRUE(JsonEquals(*first, *second))
+        << "doc " << i << "\n  original:  " << text
+        << "\n  rewritten: " << written;
+    // Serialization is a fixed point: writing the reparse changes nothing.
+    EXPECT_EQ(written, WriteJson(*second)) << "doc " << i;
+  }
+}
+
+TEST(JsonPropertyTest, RoundTripPreservesDuplicateKeysAndOrder) {
+  auto parsed = JsonValue::Parse("{\"b\":1,\"a\":2,\"b\":3}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(WriteJson(*parsed), "{\"b\":1,\"a\":2,\"b\":3}");
+  // Find still resolves duplicates to the last occurrence after a trip.
+  auto again = JsonValue::Parse(WriteJson(*parsed));
+  ASSERT_TRUE(again.ok());
+  ASSERT_NE(again->Find("b"), nullptr);
+  EXPECT_EQ(again->Find("b")->number_value(), 3.0);
+}
+
+TEST(JsonPropertyTest, RoundTripControlCharactersInStrings) {
+  auto parsed = JsonValue::Parse("\"a\\u0001\\n\\t\\\"\\\\b\"");
+  ASSERT_TRUE(parsed.ok());
+  auto again = JsonValue::Parse(WriteJson(*parsed));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(JsonEquals(*parsed, *again));
+  EXPECT_EQ(again->string_value(), parsed->string_value());
+}
+
+// Every proper prefix of a compound document is an incomplete document;
+// the parser must reject each one cleanly.
+TEST(JsonPropertyTest, AllTruncationsOfACompoundDocumentError) {
+  const std::string docs[] = {
+      "{\"a\":[1,2.5,null],\"bc\":{\"d\":\"ef\\\"g\"},\"h\":true}",
+      "[[1,2],[3,[4,{\"x\":-1.25e-3}]],\"tail\"]",
+  };
+  for (const std::string& doc : docs) {
+    ASSERT_TRUE(JsonValue::Parse(doc).ok()) << doc;
+    for (size_t cut = 0; cut < doc.size(); ++cut) {
+      EXPECT_FALSE(JsonValue::Parse(doc.substr(0, cut)).ok())
+          << "prefix of length " << cut << " of " << doc;
+    }
+  }
+}
+
+TEST(JsonPropertyTest, HostileNestingErrorsInsteadOfOverflowing) {
+  for (const size_t depth : {33u, 100u, 10000u}) {
+    // A scalar buried `depth` containers down trips the nesting limit; an
+    // error (not a stack overflow) is the required outcome.
+    const std::string deep_array =
+        std::string(depth, '[') + "1" + std::string(depth, ']');
+    EXPECT_FALSE(JsonValue::Parse(deep_array).ok()) << "depth " << depth;
+    std::string deep_object;
+    for (size_t i = 0; i < depth; ++i) deep_object += "{\"k\":";
+    deep_object += "1";
+    deep_object.append(depth, '}');
+    EXPECT_FALSE(JsonValue::Parse(deep_object).ok()) << "depth " << depth;
+  }
+  // The limit counts the depth of each parsed value: a scalar at
+  // max_depth parses, one level deeper errors.
+  EXPECT_TRUE(JsonValue::Parse("[[[[1]]]]", /*max_depth=*/4).ok());
+  EXPECT_FALSE(JsonValue::Parse("[[[[[1]]]]]", /*max_depth=*/4).ok());
+}
+
+TEST(JsonPropertyTest, NumbersOutsideDoubleRangeError) {
+  for (const char* text : {"1e999", "-1e999", "1e99999999", "-1.5e308999",
+                           "123456789e400"}) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+  // Denormal underflow is representable (rounds toward zero), not an error.
+  EXPECT_TRUE(JsonValue::Parse("1e-999").ok());
+}
+
+TEST(JsonPropertyTest, RandomGarbageNeverCrashesTheParser) {
+  Rng rng(424242);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t len = rng.NextBounded(64);
+    std::string garbage;
+    garbage.reserve(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      garbage += static_cast<char>(rng.NextBounded(256));
+    }
+    // Any outcome is fine; reaching the next iteration without UB is the
+    // assertion (the sanitizer jobs enforce it).
+    (void)JsonValue::Parse(garbage);
+  }
+}
+
+TEST(JsonPropertyTest, MutatedValidDocumentsNeverCrashTheParser) {
+  Rng rng(777);
+  const std::string base =
+      "{\"id\":\"s-1\",\"k\":3,\"views\":[1,2,3],\"cold\":false}";
+  for (int i = 0; i < 500; ++i) {
+    std::string doc = base;
+    const size_t pos = rng.NextBounded(doc.size());
+    doc[pos] = static_cast<char>(rng.NextBounded(256));
+    (void)JsonValue::Parse(doc);
+  }
+}
+
+}  // namespace
+}  // namespace vs::serve

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "serve/app.h"
@@ -270,11 +271,15 @@ TEST_F(ServerTest, SessionCapMapsTo429) {
 }
 
 TEST_F(ServerTest, TtlEvictionRestoresTransparently) {
+  // The injected FakeClock replaces the old wall-clock dance (a tight TTL,
+  // StartReaper, and a sleep-poll loop): idle time only passes when the
+  // test advances it, so the eviction is deterministic and instant.
+  FakeClock clock;
   SessionManagerOptions manager_options;
-  manager_options.session_ttl_seconds = 0.1;
+  manager_options.session_ttl_seconds = 60.0;
   manager_options.spill_dir = ::testing::TempDir() + "serve_http_spill";
+  manager_options.clock = &clock;
   StartStack(manager_options);
-  manager_->StartReaper();
 
   HttpClient client = Client();
   const std::string id = CreateSession(client);
@@ -290,10 +295,11 @@ TEST_F(ServerTest, TtlEvictionRestoresTransparently) {
                                ",\"label\":1}")
                   .ok());
 
-  // Wait for the reaper to spill the idle session.
-  for (int i = 0; i < 100 && manager_->active_sessions() > 0; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
+  // The session ages past its TTL and the next sweep spills it.
+  clock.AdvanceSeconds(manager_options.session_ttl_seconds + 1);
+  EXPECT_EQ(manager_->EvictIdleOlderThan(
+                manager_options.session_ttl_seconds),
+            1u);
   EXPECT_EQ(manager_->active_sessions(), 0u);
   EXPECT_EQ(manager_->evicted_sessions(), 1u);
 

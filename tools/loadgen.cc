@@ -213,10 +213,27 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
 }
 
 double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
   const size_t index = static_cast<size_t>(
       p * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// A tail percentile is only meaningful with at least 1/(1-p) samples
+/// (p99 needs 100); below that the nearest-rank estimate is just the max
+/// sample dressed up as a tail, so the report prints n/a instead of a
+/// number that looks authoritative.
+bool PercentileDefined(size_t samples, double p) {
+  if (samples == 0) return false;
+  return static_cast<double>(samples) * (1.0 - p) >= 1.0;
+}
+
+void PrintLatency(const char* name, const std::vector<double>& sorted,
+                  double p) {
+  if (!PercentileDefined(sorted.size(), p)) {
+    std::printf("latency %s:  n/a (%zu samples)\n", name, sorted.size());
+    return;
+  }
+  std::printf("latency %s:  %.2f ms\n", name, Percentile(sorted, p) * 1e3);
 }
 
 }  // namespace
@@ -282,11 +299,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.backpressure));
   std::printf("errors:       %llu\n",
               static_cast<unsigned long long>(total.errors));
-  std::printf("latency p50:  %.2f ms\n",
-              Percentile(total.latencies, 0.50) * 1e3);
-  std::printf("latency p95:  %.2f ms\n",
-              Percentile(total.latencies, 0.95) * 1e3);
-  std::printf("latency p99:  %.2f ms\n",
-              Percentile(total.latencies, 0.99) * 1e3);
+  PrintLatency("p50", total.latencies, 0.50);
+  PrintLatency("p95", total.latencies, 0.95);
+  PrintLatency("p99", total.latencies, 0.99);
   return total.errors == 0 ? 0 : 1;
 }
