@@ -1,0 +1,191 @@
+/// Serving-throughput benchmark for the shared offline-initialization
+/// (feature-matrix) cache.
+///
+///   bench_serve_cache [--rows=N] [--sessions=N] [--out=PATH]
+///                     [--min-speedup=X]
+///
+/// Measures session-creation throughput against an in-process
+/// SessionManager twice over the same generated diabetes table:
+///
+///   cold — cache disabled (matrix_cache_entries = 0): every create runs
+///          Algorithm 1's offline initialization (the full utility
+///          feature-matrix build) privately, which is exactly the seed
+///          repo's per-session cost;
+///   warm — cache enabled: after one priming create, every create is a
+///          content-hash hit and receives a COW handle onto the shared
+///          canonical matrix.
+///
+/// Each phase churns --sessions create+delete pairs of an identical
+/// CreateSpec and reports sessions/second.  Writes a JSON report (default
+/// BENCH_PR4.json) and exits nonzero when warm/cold speedup falls below
+/// --min-speedup — CI runs a small configuration with --min-speedup=2 as
+/// a smoke gate (docs/TESTING.md).
+///
+/// The numbers isolate manager-level cost (no HTTP): the cache's target
+/// is the offline-initialization build, and the benchmark shows how much
+/// of the cold create path it was.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "serve/session_manager.h"
+
+namespace {
+
+using namespace vs;
+
+struct BenchConfig {
+  size_t rows = 20'000;
+  int sessions = 50;
+  std::string out = "BENCH_PR4.json";
+  double min_speedup = 0.0;  ///< 0 = report only, no gate
+};
+
+BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (!StartsWith(arg, "--") || eq == std::string::npos) continue;
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "rows") {
+      config.rows = static_cast<size_t>(
+          ParseInt64(value).ValueOr(static_cast<int64_t>(config.rows)));
+    } else if (key == "sessions") {
+      config.sessions = static_cast<int>(
+          ParseInt64(value).ValueOr(config.sessions));
+    } else if (key == "out") {
+      config.out = value;
+    } else if (key == "min-speedup") {
+      config.min_speedup = ParseDouble(value).ValueOr(config.min_speedup);
+    }
+  }
+  return config;
+}
+
+serve::CreateSpec Spec() {
+  serve::CreateSpec spec;
+  spec.options.k = 3;
+  spec.options.seed = 7;
+  return spec;
+}
+
+/// Churns `sessions` create+delete pairs and returns sessions/second.
+/// Returns a negative rate on error (message already printed).
+double RunPhase(serve::SessionManager& manager, int sessions) {
+  Stopwatch watch;
+  for (int i = 0; i < sessions; ++i) {
+    auto info = manager.Create(Spec());
+    if (!info.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   info.status().ToString().c_str());
+      return -1.0;
+    }
+    if (const auto status = manager.Delete(info->id); !status.ok()) {
+      std::fprintf(stderr, "delete failed: %s\n",
+                   status.ToString().c_str());
+      return -1.0;
+    }
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  return elapsed > 0 ? sessions / elapsed : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+
+  data::DiabetesOptions table_options;
+  table_options.num_rows = config.rows;
+  table_options.seed = 11;
+  auto table = data::GenerateDiabetes(table_options);
+  if (!table.ok()) {
+    std::fprintf(stderr, "table generation failed: %s\n",
+                 table.status().ToString().c_str());
+    return 2;
+  }
+  const std::string table_path =
+      "/tmp/vs_bench_serve_cache_" + std::to_string(config.rows) + ".vst";
+  if (const auto status = data::WriteTableFile(*table, table_path);
+      !status.ok()) {
+    std::fprintf(stderr, "table write failed: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+
+  std::printf("bench_serve_cache: %zu rows, %d sessions per phase\n",
+              config.rows, config.sessions);
+
+  serve::SessionManagerOptions cold_options;
+  cold_options.max_sessions = 8;
+  cold_options.matrix_cache_entries = 0;  // disable: seed-repo behavior
+  serve::SessionManager cold_manager(cold_options, table_path);
+  const double cold_rate = RunPhase(cold_manager, config.sessions);
+  if (cold_rate < 0) return 2;
+  std::printf("cold (no cache):   %.2f sessions/s\n", cold_rate);
+
+  serve::SessionManagerOptions warm_options;
+  warm_options.max_sessions = 8;
+  serve::SessionManager warm_manager(warm_options, table_path);
+  {
+    // Prime: the single miss that builds the shared canonical matrix.
+    auto primed = warm_manager.Create(Spec());
+    if (!primed.ok() || !warm_manager.Delete(primed->id).ok()) {
+      std::fprintf(stderr, "priming create failed\n");
+      return 2;
+    }
+  }
+  const double warm_rate = RunPhase(warm_manager, config.sessions);
+  if (warm_rate < 0) return 2;
+  const serve::FeatureMatrixCacheStats stats =
+      warm_manager.matrix_cache().stats();
+  std::printf("warm (cache hits): %.2f sessions/s\n", warm_rate);
+
+  const double speedup = cold_rate > 0 ? warm_rate / cold_rate : 0.0;
+  std::printf("warm/cold speedup: %.2fx (%llu hits / %llu misses)\n",
+              speedup, static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+
+  if (!config.out.empty()) {
+    std::FILE* out = std::fopen(config.out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.out.c_str());
+      return 2;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"bench_serve_cache\",\n"
+        "  \"claim\": \"shared offline-initialization cache makes warm "
+        "session creation >= 5x faster than per-session builds\",\n"
+        "  \"rows\": %zu,\n"
+        "  \"sessions_per_phase\": %d,\n"
+        "  \"cold_sessions_per_sec\": %.3f,\n"
+        "  \"warm_sessions_per_sec\": %.3f,\n"
+        "  \"warm_cold_speedup\": %.3f,\n"
+        "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"inflight_waits\": %llu, \"evictions\": %llu}\n"
+        "}\n",
+        config.rows, config.sessions, cold_rate, warm_rate, speedup,
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.inflight_waits),
+        static_cast<unsigned long long>(stats.evictions));
+    std::fclose(out);
+    std::printf("wrote %s\n", config.out.c_str());
+  }
+
+  if (config.min_speedup > 0 && speedup < config.min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below gate %.2fx\n", speedup,
+                 config.min_speedup);
+    return 1;
+  }
+  return 0;
+}

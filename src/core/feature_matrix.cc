@@ -34,6 +34,7 @@ struct BuildMetrics {
   obs::Counter* views_built;
   obs::Counter* rough_rows;
   obs::Counter* rows_refined;
+  obs::Counter* cow_detaches;
 
   static const BuildMetrics& Get() {
     static const BuildMetrics m = [] {
@@ -57,6 +58,8 @@ struct BuildMetrics {
                        "view rows built on the sample (rough)"),
           r.GetCounter("feature_matrix.rows_refined",
                        "rough rows recomputed on the full data"),
+          r.GetCounter("feature_matrix.cow_detaches",
+                       "refinements that deep-copied a shared state"),
       };
     }();
     return m;
@@ -96,10 +99,12 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
   FeatureMatrix fm;
   fm.table_ = table;
   fm.registry_ = registry;
-  fm.views_ = std::move(views);
-  fm.query_selection_ = std::move(query_selection);
-  fm.raw_ = ml::Matrix(fm.views_.size(), registry->size());
-  fm.exact_.assign(fm.views_.size(), false);
+  auto imm = std::make_shared<Immutable>();
+  imm->views = std::move(views);
+  imm->query_selection = std::move(query_selection);
+  auto state = std::make_shared<State>();
+  state->raw = ml::Matrix(imm->views.size(), registry->size());
+  state->exact.assign(imm->views.size(), false);
 
   const bool exact_build = options.sample_rate >= 1.0;
   data::GroupByExecutor executor(table);
@@ -107,17 +112,17 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
   data::SelectionVector ref_sample;
   data::SelectionVector target_sample;
   const data::SelectionVector* ref_sel = nullptr;  // nullptr = all rows
-  const data::SelectionVector* target_sel = &fm.query_selection_;
+  const data::SelectionVector* target_sel = &imm->query_selection;
   if (!exact_build) {
     vs::Rng rng(options.seed);
     ref_sample =
         data::BernoulliSample(table->num_rows(), options.sample_rate, &rng);
-    target_sample = Intersect(fm.query_selection_, ref_sample);
+    target_sample = Intersect(imm->query_selection, ref_sample);
     if (target_sample.empty() || ref_sample.empty()) {
       // The sample missed the (small) query subset entirely; rough
       // features would be vacuous, so fall back to the full selections.
       ref_sel = nullptr;
-      target_sel = &fm.query_selection_;
+      target_sel = &imm->query_selection;
     } else {
       ref_sel = &ref_sample;
       target_sel = &target_sample;
@@ -133,16 +138,16 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
   std::vector<std::vector<size_t>> groups;
   if (options.shared_scan) {
     std::map<std::pair<std::string, int32_t>, size_t> group_of;
-    for (size_t i = 0; i < fm.views_.size(); ++i) {
+    for (size_t i = 0; i < imm->views.size(); ++i) {
       const auto key =
-          std::make_pair(fm.views_[i].dimension, fm.views_[i].num_bins);
+          std::make_pair(imm->views[i].dimension, imm->views[i].num_bins);
       auto [it, inserted] = group_of.emplace(key, groups.size());
       if (inserted) groups.emplace_back();
       groups[it->second].push_back(i);
     }
   } else {
-    groups.resize(fm.views_.size());
-    for (size_t i = 0; i < fm.views_.size(); ++i) groups[i] = {i};
+    groups.resize(imm->views.size());
+    for (size_t i = 0; i < imm->views.size(); ++i) groups[i] = {i};
   }
 
   auto compute_group = [&](size_t g) -> vs::Status {
@@ -151,7 +156,7 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
     std::vector<data::GroupBySpec> specs;
     specs.reserve(members.size());
     for (size_t i : members) {
-      specs.push_back(fm.views_[i].ToGroupBySpec());
+      specs.push_back(imm->views[i].ToGroupBySpec());
     }
     VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> targets,
                         executor.ExecuteBatch(specs, target_sel));
@@ -171,7 +176,7 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
       if (observe) feature_seconds = feature_clock.ElapsedSeconds();
       const size_t row = members[k];
       for (size_t j = 0; j < features.size(); ++j) {
-        fm.raw_(row, j) = features[j];
+        state->raw(row, j) = features[j];
       }
       if (observe) metrics.feature_seconds->Observe(feature_seconds);
     }
@@ -196,7 +201,7 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
     // Groups are independent and write disjoint rows.  Prewarming the
     // executor's numeric-range cache first makes ExecuteBatch read-only,
     // so a single executor can be shared across workers.
-    for (const ViewSpec& view : fm.views_) {
+    for (const ViewSpec& view : imm->views) {
       VS_RETURN_IF_ERROR(executor.Prewarm(view.ToGroupBySpec()));
     }
     std::vector<vs::Status> group_status(groups.size());
@@ -209,41 +214,51 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
     }
   }
   if (exact_build) {
-    fm.exact_.assign(fm.views_.size(), true);
-    fm.num_exact_ = fm.views_.size();
+    state->exact.assign(imm->views.size(), true);
+    state->num_exact = imm->views.size();
   }
-  fm.normalized_dirty_ = true;
+  state->normalized_dirty = true;
+  fm.imm_ = std::move(imm);
+  fm.state_ = std::move(state);
   metrics.builds_total->Increment();
-  metrics.views_built->Increment(fm.views_.size());
-  if (!exact_build) metrics.rough_rows->Increment(fm.views_.size());
+  metrics.views_built->Increment(fm.num_views());
+  if (!exact_build) metrics.rough_rows->Increment(fm.num_views());
   metrics.build_seconds->Observe(build_clock.ElapsedSeconds());
   return fm;
 }
 
 const ml::Matrix& FeatureMatrix::normalized() const {
-  if (normalized_dirty_) {
-    normalized_ = raw_;
-    const size_t rows = raw_.rows();
-    const size_t cols = raw_.cols();
+  State& state = *state_;
+  if (state.normalized_dirty) {
+    state.normalized = state.raw;
+    const size_t rows = state.raw.rows();
+    const size_t cols = state.raw.cols();
     for (size_t j = 0; j < cols; ++j) {
-      double lo = raw_(0, j);
-      double hi = raw_(0, j);
+      double lo = state.raw(0, j);
+      double hi = state.raw(0, j);
       for (size_t i = 1; i < rows; ++i) {
-        lo = std::min(lo, raw_(i, j));
-        hi = std::max(hi, raw_(i, j));
+        lo = std::min(lo, state.raw(i, j));
+        hi = std::max(hi, state.raw(i, j));
       }
       const double span = hi - lo;
       for (size_t i = 0; i < rows; ++i) {
-        normalized_(i, j) = span > 0.0 ? (raw_(i, j) - lo) / span : 0.0;
+        state.normalized(i, j) =
+            span > 0.0 ? (state.raw(i, j) - lo) / span : 0.0;
       }
     }
-    normalized_dirty_ = false;
+    state.normalized_dirty = false;
   }
-  return normalized_;
+  return state.normalized;
 }
 
 ml::Vector FeatureMatrix::NormalizedRow(size_t view_index) const {
   return normalized().Row(view_index);
+}
+
+void FeatureMatrix::DetachStateIfShared() {
+  if (state_.use_count() == 1) return;
+  state_ = std::make_shared<State>(*state_);
+  BuildMetrics::Get().cow_detaches->Increment();
 }
 
 vs::Status FeatureMatrix::RefineRow(size_t view_index) {
@@ -252,32 +267,39 @@ vs::Status FeatureMatrix::RefineRow(size_t view_index) {
 
 vs::Status FeatureMatrix::RefineRows(
     const std::vector<size_t>& view_indices) {
+  const std::vector<ViewSpec>& views = imm_->views;
   // Group the rough rows by (dimension, bin count) for shared scans; in
   // per-view mode (shared_scan = false) each row is its own scan.
   std::map<std::pair<std::string, int32_t>, std::vector<size_t>> groups;
   int32_t next_unique = 0;
   for (size_t view_index : view_indices) {
-    if (view_index >= views_.size()) {
+    if (view_index >= views.size()) {
       return vs::Status::OutOfRange("view index out of range");
     }
-    if (exact_[view_index]) continue;
+    if (state_->exact[view_index]) continue;
     if (shared_scan_) {
-      groups[{views_[view_index].dimension, views_[view_index].num_bins}]
+      groups[{views[view_index].dimension, views[view_index].num_bins}]
           .push_back(view_index);
     } else {
-      groups[{views_[view_index].dimension, --next_unique}] = {view_index};
+      groups[{views[view_index].dimension, --next_unique}] = {view_index};
     }
   }
   if (groups.empty()) return vs::Status::OK();
+
+  // The write below must not be visible to other handles sharing this
+  // state (one serving session's refinement must never leak into
+  // another's, nor into the cache's canonical copy).
+  DetachStateIfShared();
+  State& state = *state_;
 
   obs::ScopedSpan refine_span("FeatureMatrix::RefineRows");
   data::GroupByExecutor executor(table_);
   for (const auto& [key, members] : groups) {
     std::vector<data::GroupBySpec> specs;
     specs.reserve(members.size());
-    for (size_t i : members) specs.push_back(views_[i].ToGroupBySpec());
+    for (size_t i : members) specs.push_back(views[i].ToGroupBySpec());
     VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> targets,
-                        executor.ExecuteBatch(specs, &query_selection_));
+                        executor.ExecuteBatch(specs, &imm_->query_selection));
     VS_ASSIGN_OR_RETURN(std::vector<data::GroupByResult> references,
                         executor.ExecuteBatch(specs, nullptr));
     for (size_t k = 0; k < members.size(); ++k) {
@@ -291,21 +313,33 @@ vs::Status FeatureMatrix::RefineRows(
       VS_ASSIGN_OR_RETURN(ml::Vector features, registry_->ComputeAll(mat));
       const size_t row = members[k];
       for (size_t j = 0; j < features.size(); ++j) {
-        raw_(row, j) = features[j];
+        state.raw(row, j) = features[j];
       }
-      exact_[row] = true;
-      ++num_exact_;
+      state.exact[row] = true;
+      ++state.num_exact;
       BuildMetrics::Get().rows_refined->Increment();
     }
   }
-  normalized_dirty_ = true;
+  state.normalized_dirty = true;
   return vs::Status::OK();
 }
 
 int64_t FeatureMatrix::RefineCostPerRow() const {
   // One refinement scans the full table (reference) plus the query subset
   // (target).
-  return static_cast<int64_t>(table_->num_rows() + query_selection_.size());
+  return static_cast<int64_t>(table_->num_rows() +
+                              imm_->query_selection.size());
+}
+
+size_t FeatureMatrix::ApproxBytes() const {
+  const size_t cells = state_->raw.rows() * state_->raw.cols();
+  size_t bytes = 2 * cells * sizeof(double);       // raw + normalized
+  bytes += state_->exact.size() / 8 + 1;           // exactness bitmap
+  bytes += imm_->query_selection.size() * sizeof(uint32_t);
+  for (const ViewSpec& view : imm_->views) {
+    bytes += sizeof(ViewSpec) + view.dimension.size() + view.measure.size();
+  }
+  return bytes;
 }
 
 }  // namespace vs::core

@@ -11,8 +11,25 @@
 /// incremental-refinement optimizer does between user prompts.  Feature
 /// columns are min-max normalized to [0, 1] so that learned weights and
 /// simulated ideal utility functions operate on comparable scales.
+///
+/// Sharing and copy-on-write: a FeatureMatrix is a cheap handle over two
+/// internal blocks — an immutable part (view specs + query selection,
+/// fixed at build time) and a refinement state (raw/normalized values,
+/// exactness bitmap).  Copying a FeatureMatrix shares both blocks;
+/// RefineRows() detaches a private copy of the state first whenever it is
+/// shared, so refining one copy never changes the values another copy
+/// observes.  This is what lets the serving layer keep one canonical
+/// matrix per (table, query, view space, options) in a cross-session
+/// cache and hand each session its own refinable handle.
+///
+/// Thread-safety of shared handles: concurrent *reads* of copies that
+/// share state are safe once the lazy normalization cache has been
+/// materialized (call normalized() once before publishing a matrix to
+/// other threads — FeatureMatrixCache does this).  Refinement must be
+/// externally serialized per handle, as before.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -56,17 +73,17 @@ class FeatureMatrix {
       const UtilityFeatureRegistry* registry,
       const FeatureMatrixOptions& options);
 
-  size_t num_views() const { return views_.size(); }
+  size_t num_views() const { return imm_->views.size(); }
   size_t num_features() const { return registry_->size(); }
-  const std::vector<ViewSpec>& views() const { return views_; }
+  const std::vector<ViewSpec>& views() const { return imm_->views; }
   const UtilityFeatureRegistry& registry() const { return *registry_; }
   const data::Table& table() const { return *table_; }
   const data::SelectionVector& query_selection() const {
-    return query_selection_;
+    return imm_->query_selection;
   }
 
   /// Raw feature values (rough or exact per row; see IsExact).
-  const ml::Matrix& raw() const { return raw_; }
+  const ml::Matrix& raw() const { return state_->raw; }
 
   /// Min-max normalized features over the *current* raw values; refreshed
   /// lazily after refinements.
@@ -76,13 +93,13 @@ class FeatureMatrix {
   ml::Vector NormalizedRow(size_t view_index) const;
 
   /// True when row \p view_index was computed on the full data.
-  bool IsExact(size_t view_index) const { return exact_[view_index]; }
+  bool IsExact(size_t view_index) const { return state_->exact[view_index]; }
 
   /// Number of exact rows.
-  size_t num_exact() const { return num_exact_; }
+  size_t num_exact() const { return state_->num_exact; }
 
   /// True when every row is exact.
-  bool AllExact() const { return num_exact_ == views_.size(); }
+  bool AllExact() const { return state_->num_exact == imm_->views.size(); }
 
   /// Recomputes row \p view_index on the full data (no-op if already
   /// exact).  Normalization is invalidated.
@@ -91,27 +108,53 @@ class FeatureMatrix {
   /// Batch refinement: recomputes every rough row in \p view_indices on
   /// the full data, sharing one scan per (dimension, bin count) group —
   /// the same SeeDB-style batching Build() uses.  Already-exact rows are
-  /// skipped.
+  /// skipped.  Detaches a private state copy first when this handle
+  /// shares state with another (copy-on-write).
   vs::Status RefineRows(const std::vector<size_t>& view_indices);
 
   /// Approximate work units (rows scanned) one RefineRow costs; used to
   /// charge deterministic Deadlines.
   int64_t RefineCostPerRow() const;
 
+  /// Approximate heap footprint of the shared blocks (raw + normalized
+  /// values, exactness bitmap, view specs, query selection) — the unit of
+  /// the serving cache's byte budget.
+  size_t ApproxBytes() const;
+
+  /// True when this handle reads the same refinement state as \p other
+  /// (i.e. neither side has detached since they were copies of each
+  /// other).  Test/introspection hook for the COW contract.
+  bool SharesStateWith(const FeatureMatrix& other) const {
+    return state_ == other.state_;
+  }
+
  private:
   FeatureMatrix() = default;
 
+  /// Fixed at build time, shared by every copy, never detached.
+  struct Immutable {
+    std::vector<ViewSpec> views;
+    data::SelectionVector query_selection;
+  };
+
+  /// The refinable block; detached (deep-copied) on first refinement of a
+  /// shared handle.
+  struct State {
+    ml::Matrix raw;
+    std::vector<bool> exact;
+    size_t num_exact = 0;
+    /// Lazy min-max normalization cache over raw.
+    mutable ml::Matrix normalized;
+    mutable bool normalized_dirty = true;
+  };
+
+  /// Gives this handle sole ownership of its state (copy-on-write).
+  void DetachStateIfShared();
+
   const data::Table* table_ = nullptr;
   const UtilityFeatureRegistry* registry_ = nullptr;
-  std::vector<ViewSpec> views_;
-  data::SelectionVector query_selection_;
-
-  ml::Matrix raw_;
-  std::vector<bool> exact_;
-  size_t num_exact_ = 0;
-
-  mutable ml::Matrix normalized_;
-  mutable bool normalized_dirty_ = true;
+  std::shared_ptr<const Immutable> imm_;
+  std::shared_ptr<State> state_;
   bool shared_scan_ = true;
 };
 

@@ -253,10 +253,16 @@ HttpResponse ServeApp::DeleteSession(const std::vector<std::string>& params) {
 }
 
 HttpResponse ServeApp::Healthz() {
+  const FeatureMatrixCacheStats cache = manager_->matrix_cache().stats();
   return JsonOk(StrFormat(
       "{\"status\":\"ok\",\"active_sessions\":%zu,"
+      "\"matrix_cache\":{\"entries\":%zu,\"bytes\":%zu,\"hits\":%llu,"
+      "\"misses\":%llu},"
       "\"uptime_seconds\":%.3f}\n",
-      manager_->active_sessions(), uptime_.ElapsedSeconds()));
+      manager_->active_sessions(), cache.entries, cache.bytes,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      uptime_.ElapsedSeconds()));
 }
 
 HttpResponse ServeApp::Metrics() {

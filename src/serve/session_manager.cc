@@ -7,6 +7,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/matrix_identity.h"
 #include "core/session_io.h"
 #include "core/view.h"
 #include "data/csv.h"
@@ -104,6 +105,16 @@ vs::Status WriteStringToFile(const std::string& path,
   return vs::Status::OK();
 }
 
+FeatureMatrixCacheOptions MatrixCacheOptions(
+    const SessionManagerOptions& options) {
+  FeatureMatrixCacheOptions cache_options;
+  cache_options.max_entries = options.matrix_cache_entries;
+  cache_options.max_bytes = options.matrix_cache_bytes;
+  cache_options.ttl_seconds = options.matrix_cache_ttl_seconds;
+  cache_options.clock = options.clock;
+  return cache_options;
+}
+
 }  // namespace
 
 SessionManager::SessionManager(const SessionManagerOptions& options,
@@ -112,6 +123,7 @@ SessionManager::SessionManager(const SessionManagerOptions& options,
       default_table_path_(std::move(default_table_path)),
       registry_(core::UtilityFeatureRegistry::Default()),
       clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      matrix_cache_(MatrixCacheOptions(options)),
       id_rng_(options.seed) {
   SessionMetrics::Get();  // register eagerly
   if (!options_.spill_dir.empty()) {
@@ -190,18 +202,28 @@ SessionManager::BuildSession(const std::string& table_path,
 
   core::FeatureMatrixOptions build_options;
   build_options.num_threads = options_.feature_threads;
+  // Canonical matrices are shared across sessions through the cache; the
+  // table id folds in the row count so a reloaded-and-changed file under
+  // the same path cannot alias a stale entry.
+  const std::string cache_key = core::FeatureMatrixCacheKey(
+      table_path + "#" + std::to_string(loaded->table.num_rows()),
+      selection, loaded->views, registry_, build_options);
   VS_ASSIGN_OR_RETURN(
-      core::FeatureMatrix matrix,
-      core::FeatureMatrix::Build(&loaded->table, loaded->views,
-                                 std::move(selection), &registry_,
-                                 build_options));
+      std::shared_ptr<const core::FeatureMatrix> canonical,
+      matrix_cache_.GetOrBuild(
+          cache_key, [this, &loaded, &selection, &build_options]() {
+            return core::FeatureMatrix::Build(&loaded->table, loaded->views,
+                                              selection, &registry_,
+                                              build_options);
+          }));
 
   auto session = std::make_shared<Session>();
   session->loaded = std::move(loaded);
   session->table_path = table_path;
   session->filter = filter;
-  session->matrix =
-      std::make_unique<core::FeatureMatrix>(std::move(matrix));
+  // A cheap COW copy: refinements this session makes detach private state
+  // instead of mutating the shared canonical matrix.
+  session->matrix = std::make_unique<core::FeatureMatrix>(*canonical);
   if (restore_text != nullptr) {
     VS_ASSIGN_OR_RETURN(
         core::ViewSeeker seeker,

@@ -40,6 +40,7 @@
 #include "core/seeker.h"
 #include "core/utility_features.h"
 #include "data/table.h"
+#include "serve/feature_matrix_cache.h"
 
 namespace vs::serve {
 
@@ -62,6 +63,14 @@ struct SessionManagerOptions {
   /// steady clock.  Tests inject a FakeClock so reaper/timeout tests
   /// advance time explicitly instead of sleeping.
   const Clock* clock = nullptr;
+  /// \name Shared feature-matrix cache (see serve/feature_matrix_cache.h).
+  /// Entries are keyed by build-content identity; 0 entries or bytes
+  /// disables the cache (every session builds privately).
+  /// @{
+  size_t matrix_cache_entries = 64;
+  size_t matrix_cache_bytes = 512ull * 1024 * 1024;
+  double matrix_cache_ttl_seconds = 0.0;
+  /// @}
 };
 
 /// \brief A table plus its enumerated views, shared across sessions.
@@ -140,6 +149,8 @@ class SessionManager {
   size_t active_sessions() const;
   size_t evicted_sessions() const;
   size_t cached_tables() const;
+  size_t cached_matrices() const { return matrix_cache_.entries(); }
+  FeatureMatrixCache& matrix_cache() { return matrix_cache_; }
   const SessionManagerOptions& options() const { return options_; }
   /// @}
 
@@ -182,6 +193,10 @@ class SessionManager {
   const std::string default_table_path_;
   core::UtilityFeatureRegistry registry_;
   const Clock* const clock_;  ///< source of last_used_us timestamps
+  /// Cross-session cache of built matrices.  Its entries borrow tables out
+  /// of tables_ below, which only grows — a cached matrix's table is never
+  /// freed while the manager lives.
+  FeatureMatrixCache matrix_cache_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;

@@ -250,6 +250,74 @@ TEST(FeatureMatrixTest, PerViewRefinementMatchesSharedScanRefinement) {
   EXPECT_EQ(per_view->num_exact(), rows.size());
 }
 
+TEST(FeatureMatrixTest, CopySharesState) {
+  auto world = testutil::MakeMiniWorld();
+  FeatureMatrix copy = *world.matrix;
+  EXPECT_TRUE(copy.SharesStateWith(*world.matrix));
+  // Shared state means shared storage, not merely equal values.
+  EXPECT_EQ(&copy.raw(), &world.matrix->raw());
+  EXPECT_EQ(&copy.views(), &world.matrix->views());
+  EXPECT_EQ(copy.ApproxBytes(), world.matrix->ApproxBytes());
+  EXPECT_GT(copy.ApproxBytes(), 0u);
+}
+
+TEST(FeatureMatrixTest, RefineDetachesSharedState) {
+  auto rough = testutil::MakeMiniWorld(0.3, 7);
+  FeatureMatrix session_copy = *rough.matrix;
+  ASSERT_TRUE(session_copy.SharesStateWith(*rough.matrix));
+
+  ASSERT_TRUE(session_copy.RefineRows({0, 1, 2}).ok());
+  EXPECT_FALSE(session_copy.SharesStateWith(*rough.matrix));
+  EXPECT_EQ(session_copy.num_exact(), 3u);
+  // The canonical matrix is untouched by the copy's refinement.
+  EXPECT_EQ(rough.matrix->num_exact(), 0u);
+  EXPECT_FALSE(rough.matrix->IsExact(0));
+}
+
+TEST(FeatureMatrixTest, CowIsolatesSiblingCopies) {
+  auto rough = testutil::MakeMiniWorld(0.3, 7);
+  FeatureMatrix session_a = *rough.matrix;
+  FeatureMatrix session_b = *rough.matrix;
+
+  ASSERT_TRUE(session_a.RefineRows({0, 1, 2, 3}).ok());
+  // B still shares the canonical state and sees pre-refinement values.
+  EXPECT_TRUE(session_b.SharesStateWith(*rough.matrix));
+  for (size_t j = 0; j < session_b.num_features(); ++j) {
+    EXPECT_DOUBLE_EQ(session_b.raw()(0, j), rough.matrix->raw()(0, j));
+  }
+  // Refining B now detaches it too; A's exact rows are unaffected.
+  ASSERT_TRUE(session_b.RefineRows({5}).ok());
+  EXPECT_FALSE(session_b.SharesStateWith(session_a));
+  EXPECT_EQ(session_a.num_exact(), 4u);
+  EXPECT_EQ(session_b.num_exact(), 1u);
+  EXPECT_EQ(rough.matrix->num_exact(), 0u);
+}
+
+TEST(FeatureMatrixTest, RefineOnUniqueHandleDoesNotCopy) {
+  auto rough = testutil::MakeMiniWorld(0.3, 7);
+  const double* storage = rough.matrix->raw().data().data();
+  ASSERT_TRUE(rough.matrix->RefineRows({0}).ok());
+  // Sole owner: refinement writes in place instead of detaching.
+  EXPECT_EQ(rough.matrix->raw().data().data(), storage);
+}
+
+TEST(FeatureMatrixTest, NormalizedIsPerHandleAfterDetach) {
+  auto rough = testutil::MakeMiniWorld(0.3, 7);
+  const ml::Matrix canonical_norm = rough.matrix->normalized();
+  FeatureMatrix session_copy = *rough.matrix;
+  for (size_t i = 0; i < session_copy.num_views(); ++i) {
+    ASSERT_TRUE(session_copy.RefineRow(i).ok());
+  }
+  // The copy renormalizes over refined values; the canonical handle's
+  // normalization is untouched.
+  const ml::Matrix& after = rough.matrix->normalized();
+  for (size_t i = 0; i < canonical_norm.rows(); ++i) {
+    for (size_t j = 0; j < canonical_norm.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(after(i, j), canonical_norm(i, j));
+    }
+  }
+}
+
 TEST(FeatureMatrixTest, DeterministicAcrossBuilds) {
   auto a = testutil::MakeMiniWorld(0.4, 9);
   auto b = testutil::MakeMiniWorld(0.4, 9);

@@ -1,0 +1,399 @@
+#include "serve/feature_matrix_cache.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "core/matrix_identity.h"
+#include "core/view.h"
+#include "data/generator.h"
+#include "data/predicate.h"
+#include "data/query.h"
+#include "testing/fault_injection.h"
+
+#include "../core/core_test_util.h"
+
+namespace vs::serve {
+namespace {
+
+using core::FeatureMatrix;
+using core::FeatureMatrixOptions;
+
+/// A builder over the shared MiniWorld; counts invocations so tests can
+/// assert single-flight behaviour.
+struct CountingBuilder {
+  explicit CountingBuilder(const core::testutil::MiniWorld& world,
+                           double sample_rate = 1.0)
+      : world(&world), sample_rate(sample_rate) {}
+
+  vs::Result<FeatureMatrix> operator()() const {
+    ++calls;
+    FeatureMatrixOptions options;
+    options.sample_rate = sample_rate;
+    return FeatureMatrix::Build(world->table.get(), world->views,
+                                world->query, world->registry.get(),
+                                options);
+  }
+
+  const core::testutil::MiniWorld* world;
+  double sample_rate;
+  mutable std::atomic<int> calls{0};
+};
+
+TEST(FeatureMatrixCacheTest, MissBuildsThenHitsShareOneMatrix) {
+  auto world = core::testutil::MakeMiniWorld();
+  FeatureMatrixCache cache(FeatureMatrixCacheOptions{});
+  CountingBuilder builder(world);
+
+  auto first = cache.GetOrBuild("k1", std::ref(builder));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.GetOrBuild("k1", std::ref(builder));
+  ASSERT_TRUE(second.ok());
+
+  EXPECT_EQ(builder.calls.load(), 1);
+  EXPECT_EQ(first->get(), second->get());  // the same canonical matrix
+  const FeatureMatrixCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, (*first)->ApproxBytes());
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(FeatureMatrixCacheTest, CachedMatrixBitIdenticalToFreshBuild) {
+  auto world = core::testutil::MakeMiniWorld();
+  FeatureMatrixCache cache(FeatureMatrixCacheOptions{});
+  CountingBuilder builder(world);
+
+  auto cached = cache.GetOrBuild("k1", std::ref(builder));
+  ASSERT_TRUE(cached.ok());
+  auto fresh = builder();
+  ASSERT_TRUE(fresh.ok());
+
+  ASSERT_EQ((*cached)->num_views(), fresh->num_views());
+  ASSERT_EQ((*cached)->num_features(), fresh->num_features());
+  // Bit-identical, not merely close: both are the same pure function of
+  // the same inputs.
+  EXPECT_EQ((*cached)->raw().data(), fresh->raw().data());
+  EXPECT_EQ((*cached)->normalized().data(), fresh->normalized().data());
+}
+
+/// Property: across random sampled/exact builds, a hit is bit-identical
+/// to a fresh build, and refinement through one session's COW copy never
+/// changes another session's values.
+TEST(FeatureMatrixCacheTest, PropertyHitsBitIdenticalAndCowIsolated) {
+  vs::Rng rng(2026);
+  for (int trial = 0; trial < 6; ++trial) {
+    data::DiabetesOptions table_options;
+    table_options.num_rows = 150 + rng.NextBounded(150);
+    table_options.seed = 100 + trial;
+    auto table_or = data::GenerateDiabetes(table_options);
+    ASSERT_TRUE(table_or.ok());
+    data::Table table = std::move(*table_or);
+    auto views_or =
+        core::EnumerateViews(table, core::ViewEnumerationOptions{});
+    ASSERT_TRUE(views_or.ok());
+    auto registry = core::UtilityFeatureRegistry::Default();
+    const data::SelectionVector selection = table.AllRows();
+
+    FeatureMatrixOptions options;
+    options.sample_rate = trial % 2 == 0 ? 1.0 : 0.4;
+    options.seed = 7 + trial;
+    const std::string key = core::FeatureMatrixCacheKey(
+        "prop", selection, *views_or, registry, options);
+
+    FeatureMatrixCache cache(FeatureMatrixCacheOptions{});
+    auto build = [&]() {
+      return FeatureMatrix::Build(&table, *views_or, selection, &registry,
+                                  options);
+    };
+    auto canonical = cache.GetOrBuild(key, build);
+    ASSERT_TRUE(canonical.ok()) << canonical.status().ToString();
+    auto hit = cache.GetOrBuild(key, build);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(canonical->get(), hit->get());
+
+    auto fresh = build();
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ((*hit)->raw().data(), fresh->raw().data()) << "trial "
+                                                         << trial;
+
+    // Session A refines its COW copy; session B and the canonical matrix
+    // must keep the pre-refinement bits.
+    FeatureMatrix session_a = **hit;
+    FeatureMatrix session_b = **hit;
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < std::min<size_t>(4, session_a.num_views()); ++i) {
+      rows.push_back(rng.NextBounded(session_a.num_views()));
+    }
+    ASSERT_TRUE(session_a.RefineRows(rows).ok());
+    EXPECT_EQ(session_b.raw().data(), (*canonical)->raw().data());
+    EXPECT_EQ((*canonical)->raw().data(), fresh->raw().data());
+    EXPECT_TRUE(session_b.SharesStateWith(**canonical));
+    if (options.sample_rate < 1.0) {
+      EXPECT_FALSE(session_a.SharesStateWith(session_b));
+    }
+  }
+}
+
+TEST(FeatureMatrixCacheTest, SingleFlightUnderConcurrentMisses) {
+  auto world = core::testutil::MakeMiniWorld();
+  FeatureMatrixCache cache(FeatureMatrixCacheOptions{});
+  std::atomic<int> builder_calls{0};
+  const int kThreads = 8;
+
+  auto build = [&]() -> vs::Result<FeatureMatrix> {
+    ++builder_calls;
+    // Widen the window so every other thread reaches the inflight wait.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    FeatureMatrixOptions options;
+    return FeatureMatrix::Build(world.table.get(), world.views,
+                                world.query, world.registry.get(), options);
+  };
+
+  std::vector<std::shared_ptr<const FeatureMatrix>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto result = cache.GetOrBuild("shared", build);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      results[t] = *result;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(builder_calls.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  const FeatureMatrixCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.inflight_waits,
+            static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(FeatureMatrixCacheTest, FakeClockTtlExpiry) {
+  auto world = core::testutil::MakeMiniWorld();
+  FakeClock clock(1'000'000);
+  FeatureMatrixCacheOptions options;
+  options.ttl_seconds = 10.0;
+  options.clock = &clock;
+  FeatureMatrixCache cache(options);
+  CountingBuilder builder(world);
+
+  ASSERT_TRUE(cache.GetOrBuild("a", std::ref(builder)).ok());
+  clock.AdvanceSeconds(5.0);
+  ASSERT_TRUE(cache.GetOrBuild("a", std::ref(builder)).ok());  // hit, touch
+  EXPECT_EQ(cache.entries(), 1u);
+
+  // 11 idle seconds later, any lookup expires "a" first.
+  clock.AdvanceSeconds(11.0);
+  ASSERT_TRUE(cache.GetOrBuild("b", std::ref(builder)).ok());
+  EXPECT_EQ(cache.entries(), 1u);
+  const FeatureMatrixCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // "a" then "b"
+  EXPECT_EQ(stats.hits, 1u);
+
+  // "a" was expired, so it rebuilds.
+  ASSERT_TRUE(cache.GetOrBuild("a", std::ref(builder)).ok());
+  EXPECT_EQ(builder.calls.load(), 3);
+}
+
+TEST(FeatureMatrixCacheTest, LruEvictionUnderEntryBudget) {
+  auto world = core::testutil::MakeMiniWorld();
+  FakeClock clock;
+  FeatureMatrixCacheOptions options;
+  options.max_entries = 2;
+  options.clock = &clock;
+  FeatureMatrixCache cache(options);
+  CountingBuilder builder(world);
+
+  ASSERT_TRUE(cache.GetOrBuild("a", std::ref(builder)).ok());
+  clock.AdvanceSeconds(1.0);
+  ASSERT_TRUE(cache.GetOrBuild("b", std::ref(builder)).ok());
+  clock.AdvanceSeconds(1.0);
+  ASSERT_TRUE(cache.GetOrBuild("a", std::ref(builder)).ok());  // touch "a"
+  clock.AdvanceSeconds(1.0);
+  // "b" is now least recently used and must be the victim.
+  ASSERT_TRUE(cache.GetOrBuild("c", std::ref(builder)).ok());
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  ASSERT_TRUE(cache.GetOrBuild("a", std::ref(builder)).ok());  // still hot
+  EXPECT_EQ(builder.calls.load(), 3);                          // a, b, c
+  ASSERT_TRUE(cache.GetOrBuild("b", std::ref(builder)).ok());  // rebuilt
+  EXPECT_EQ(builder.calls.load(), 4);
+}
+
+TEST(FeatureMatrixCacheTest, ByteBudgetEvictionKeepsBytesBounded) {
+  auto world = core::testutil::MakeMiniWorld();
+  CountingBuilder probe(world);
+  auto probe_matrix = probe();
+  ASSERT_TRUE(probe_matrix.ok());
+  const size_t one_matrix = probe_matrix->ApproxBytes();
+
+  FakeClock clock;
+  FeatureMatrixCacheOptions options;
+  options.max_bytes = one_matrix * 2;  // room for two, not three
+  options.clock = &clock;
+  FeatureMatrixCache cache(options);
+  CountingBuilder builder(world);
+
+  for (const char* key : {"a", "b", "c"}) {
+    ASSERT_TRUE(cache.GetOrBuild(key, std::ref(builder)).ok());
+    clock.AdvanceSeconds(1.0);
+  }
+  EXPECT_LE(cache.bytes(), options.max_bytes);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(FeatureMatrixCacheTest, BuildFailureDoesNotPoisonKey) {
+  auto world = core::testutil::MakeMiniWorld();
+  FeatureMatrixCache cache(FeatureMatrixCacheOptions{});
+  CountingBuilder builder(world);
+
+  fault::FaultInjector injector(99);
+  injector.SetSchedule("fmcache.build_fail", {1});
+  fault::ScopedFaultInjector installed(&injector);
+
+  auto failed = cache.GetOrBuild("k", std::ref(builder));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(builder.calls.load(), 0);  // fault fires before the builder
+  EXPECT_EQ(cache.entries(), 0u);
+
+  // The key is retryable: the next lookup builds and caches normally.
+  auto retried = cache.GetOrBuild("k", std::ref(builder));
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(builder.calls.load(), 1);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(FeatureMatrixCacheTest, BuildFailureMidSingleFlightDoesNotWedge) {
+  auto world = core::testutil::MakeMiniWorld();
+  FeatureMatrixCache cache(FeatureMatrixCacheOptions{});
+  const int kThreads = 6;
+
+  fault::FaultInjector injector(99);
+  // The first leader's build fails; whichever waiter retakes leadership
+  // succeeds, so every thread must come back with an answer.
+  injector.SetSchedule("fmcache.build_fail", {1});
+  fault::ScopedFaultInjector installed(&injector);
+
+  std::atomic<int> builder_calls{0};
+  auto build = [&]() -> vs::Result<FeatureMatrix> {
+    ++builder_calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    FeatureMatrixOptions options;
+    return FeatureMatrix::Build(world.table.get(), world.views,
+                                world.query, world.registry.get(), options);
+  };
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> failed_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto result = cache.GetOrBuild("k", build);
+      if (result.ok()) {
+        ++ok_count;
+      } else {
+        ++failed_count;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Exactly the faulted leader observes the failure; nobody deadlocks.
+  EXPECT_EQ(failed_count.load(), 1);
+  EXPECT_EQ(ok_count.load(), kThreads - 1);
+  EXPECT_EQ(cache.entries(), 1u);
+  // The canonical build ran at most a handful of times (leader retries),
+  // never once per thread.
+  EXPECT_GE(builder_calls.load(), 1);
+  EXPECT_LE(builder_calls.load(), 2);
+}
+
+TEST(FeatureMatrixCacheTest, EvictDeferFaultNeverLoopsForever) {
+  auto world = core::testutil::MakeMiniWorld();
+  FakeClock clock;
+  FeatureMatrixCacheOptions options;
+  options.max_entries = 1;
+  options.clock = &clock;
+  FeatureMatrixCache cache(options);
+  CountingBuilder builder(world);
+
+  fault::FaultInjector injector(7);
+  injector.SetProbability("fmcache.evict_defer", 1.0);
+  fault::ScopedFaultInjector installed(&injector);
+
+  ASSERT_TRUE(cache.GetOrBuild("a", std::ref(builder)).ok());
+  clock.AdvanceSeconds(1.0);
+  // Over budget, but every victim defers: the insert must still return
+  // (temporarily holding 2 entries) instead of spinning.
+  ASSERT_TRUE(cache.GetOrBuild("b", std::ref(builder)).ok());
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // With the fault cleared the next insert shrinks back to budget.
+  injector.ClearAll();
+  clock.AdvanceSeconds(1.0);
+  ASSERT_TRUE(cache.GetOrBuild("c", std::ref(builder)).ok());
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(FeatureMatrixCacheTest, DisabledCacheBuildsPrivately) {
+  auto world = core::testutil::MakeMiniWorld();
+  FeatureMatrixCacheOptions options;
+  options.max_entries = 0;
+  FeatureMatrixCache cache(options);
+  CountingBuilder builder(world);
+  EXPECT_FALSE(cache.enabled());
+
+  auto first = cache.GetOrBuild("k", std::ref(builder));
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrBuild("k", std::ref(builder));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(builder.calls.load(), 2);
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(FeatureMatrixCacheTest, EvictIdleAndClearKeepHandlesAlive) {
+  auto world = core::testutil::MakeMiniWorld();
+  FakeClock clock;
+  FeatureMatrixCacheOptions options;
+  options.clock = &clock;
+  FeatureMatrixCache cache(options);
+  CountingBuilder builder(world);
+
+  auto held = cache.GetOrBuild("a", std::ref(builder));
+  ASSERT_TRUE(held.ok());
+  clock.AdvanceSeconds(100.0);
+  ASSERT_TRUE(cache.GetOrBuild("b", std::ref(builder)).ok());
+
+  EXPECT_EQ(cache.EvictIdleOlderThan(50.0), 1u);  // only "a" is idle
+  EXPECT_EQ(cache.entries(), 1u);
+  // The evicted matrix stays valid through the session's shared_ptr.
+  EXPECT_GT((*held)->num_views(), 0u);
+  EXPECT_TRUE(std::isfinite((*held)->raw()(0, 0)));
+
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace vs::serve

@@ -2,6 +2,7 @@
 ///
 ///   loadgen --port=P [--host=127.0.0.1] [--users=8] [--duration=10]
 ///           [--think-ms=0] [--table=F] [--k=5] [--seed=1]
+///           [--repeat-query] [--filter-col=num_lab_procedures]
 ///
 /// Each simulated user runs one session through the full protocol loop:
 /// POST /sessions, then GET next → POST label (random labels) → GET topk,
@@ -10,6 +11,14 @@
 /// latency.  Backpressure responses (429/503) are counted separately from
 /// protocol errors; the exit code is non-zero iff protocol errors occurred,
 /// which is what the CI smoke job asserts on.
+///
+/// --repeat-query switches to session-churn mode, which measures the
+/// server's shared feature-matrix cache: a *cold* phase where every create
+/// carries a distinct --filter-col range filter (distinct query selection
+/// => cache miss => full offline initialization per session), then a
+/// *warm* phase where every create repeats one identical query (all hits
+/// after the first).  Reports sessions/sec for each phase and the
+/// warm/cold speedup.
 
 #include <algorithm>
 #include <atomic>
@@ -91,6 +100,8 @@ struct LoadgenConfig {
   std::string table;
   int k = 5;
   uint64_t seed = 1;
+  bool repeat_query = false;     ///< session-churn cache measurement mode
+  std::string filter_col;        ///< numeric column for cold-phase filters
 };
 
 /// One timed request; records latency and backpressure into \p stats and
@@ -212,6 +223,95 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
   }
 }
 
+/// Global churn-session counter; drives the cold phase's distinct filters
+/// so no two creates (across all users) share a query selection.
+std::atomic<uint64_t> g_churn_counter{0};
+
+/// One create → next → delete churn loop.  \p distinct_filters picks the
+/// cold behaviour (a unique range filter per create) vs the warm one (the
+/// same shared filter every time).  Returns sessions completed.
+uint64_t RunChurnUser(const LoadgenConfig& config, int user_index,
+                      bool distinct_filters, double duration_seconds,
+                      UserStats& stats) {
+  serve::HttpClient client(config.host, config.port);
+  std::string body;
+  uint64_t sessions = 0;
+
+  Stopwatch elapsed;
+  while (elapsed.ElapsedSeconds() < duration_seconds) {
+    std::string create = StrFormat("{\"k\":%d,\"seed\":%llu", config.k,
+                                   static_cast<unsigned long long>(
+                                       config.seed + user_index));
+    if (!config.table.empty()) {
+      create += ",\"table\":" + serve::JsonQuote(config.table);
+    }
+    std::string filter;
+    if (distinct_filters) {
+      // Distinct ascending thresholds give distinct query selections (the
+      // cache keys selection *content*, so only genuinely different row
+      // sets miss).  One-sided >= keeps the selection non-empty: every
+      // threshold retains the column's upper tail.  A second, slowly
+      // advancing threshold on num_medications extends the distinct pool
+      // past 60 creates.
+      const uint64_t n = g_churn_counter.fetch_add(1);
+      const uint64_t t = 1 + n % 60;
+      const uint64_t u = (n / 60) % 20;
+      filter = StrFormat("%s >= %llu AND num_medications >= %llu",
+                         config.filter_col.c_str(),
+                         static_cast<unsigned long long>(t),
+                         static_cast<unsigned long long>(u));
+    } else {
+      filter = config.filter_col + " >= 1";  // one shared query for all
+    }
+    create += ",\"filter\":" + serve::JsonQuote(filter) + "}";
+
+    const int created =
+        TimedRequest(client, stats, "POST", "/sessions", create, &body);
+    if (created == 429 || created == 503 || created == -1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (!IsOk(created)) {
+      stats.RecordError(StrFormat("create: HTTP %d %s", created,
+                                  body.substr(0, 120).c_str()));
+      continue;
+    }
+    auto parsed = serve::JsonValue::Parse(body);
+    const std::string session_id =
+        parsed.ok() ? parsed->GetString("id", "") : "";
+    if (session_id.empty()) {
+      stats.RecordError("create: unparseable body " + body.substr(0, 120));
+      continue;
+    }
+    ++sessions;
+    // One /next validates the session is actually servable, then churn.
+    TimedRequest(client, stats, "GET", "/sessions/" + session_id + "/next",
+                 {}, &body);
+    TimedRequest(client, stats, "DELETE", "/sessions/" + session_id, {},
+                 &body);
+  }
+  return sessions;
+}
+
+/// Runs one churn phase across all users; returns sessions/sec.
+double RunChurnPhase(const LoadgenConfig& config, bool distinct_filters,
+                     double duration_seconds,
+                     std::vector<UserStats>& stats) {
+  std::atomic<uint64_t> sessions{0};
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+  for (int u = 0; u < config.users; ++u) {
+    threads.emplace_back([&, u] {
+      sessions += RunChurnUser(config, u, distinct_filters,
+                               duration_seconds,
+                               stats[static_cast<size_t>(u)]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+  return elapsed > 0 ? static_cast<double>(sessions.load()) / elapsed : 0.0;
+}
+
 double Percentile(const std::vector<double>& sorted, double p) {
   const size_t index = static_cast<size_t>(
       p * static_cast<double>(sorted.size() - 1) + 0.5);
@@ -249,10 +349,42 @@ int main(int argc, char** argv) {
   config.table = args.Get("table");
   config.k = static_cast<int>(args.GetInt("k", 5));
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  config.repeat_query = args.Get("repeat-query") == "true";
+  config.filter_col = args.Get("filter-col", "num_lab_procedures");
   if (config.port <= 0) {
     std::fprintf(stderr, "usage: loadgen --port=P [--users=M] [--duration=S]"
-                         " [--think-ms=T] [--table=F] [--k=K] [--seed=S]\n");
+                         " [--think-ms=T] [--table=F] [--k=K] [--seed=S]"
+                         " [--repeat-query] [--filter-col=C]\n");
     return 2;
+  }
+
+  if (config.repeat_query) {
+    // Cache measurement: cold phase (distinct queries, every create pays
+    // offline initialization) then warm phase (one shared query, creates
+    // after the first are cache hits).
+    std::printf("loadgen: repeat-query churn, %d users, %.1fs per phase, "
+                "filter column %s\n",
+                config.users, config.duration_seconds / 2.0,
+                config.filter_col.c_str());
+    std::vector<UserStats> churn_stats(static_cast<size_t>(config.users));
+    const double cold = RunChurnPhase(config, /*distinct_filters=*/true,
+                                      config.duration_seconds / 2.0,
+                                      churn_stats);
+    const double warm = RunChurnPhase(config, /*distinct_filters=*/false,
+                                      config.duration_seconds / 2.0,
+                                      churn_stats);
+    uint64_t errors = 0;
+    for (const UserStats& s : churn_stats) {
+      errors += s.errors;
+      for (const std::string& sample : s.error_samples) {
+        std::fprintf(stderr, "error sample: %s\n", sample.c_str());
+      }
+    }
+    std::printf("cold sessions/s: %.2f\n", cold);
+    std::printf("warm sessions/s: %.2f\n", warm);
+    std::printf("warm/cold speedup: %.2fx\n", cold > 0 ? warm / cold : 0.0);
+    std::printf("errors: %llu\n", static_cast<unsigned long long>(errors));
+    return errors == 0 ? 0 : 1;
   }
 
   std::printf("loadgen: %d users x %.1fs against %s:%d (think %d ms)\n",

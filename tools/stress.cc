@@ -21,7 +21,17 @@
 ///       /topk serves k views over them once past cold start;
 ///   I3  accounting: live+evicted session counts and the serve.* /
 ///       fault.* metrics counters stay consistent with the client-side
-///       tallies.
+///       tallies;
+///   I4  matrix-cache accounting: every acknowledged create consulted the
+///       shared feature-matrix cache (hits + misses >= creates acked) and
+///       the fmcache.bytes / fmcache.entries gauges agree with the
+///       cache's own books after quiescence.
+///
+/// Creates draw from a small shared pool of query filters, so concurrent
+/// sessions collide on cache keys (single-flight builds, COW sharing) and
+/// the chaos thread periodically flushes the matrix cache, racing entry
+/// eviction against session restore.  fmcache.build_fail and
+/// fmcache.evict_defer are armed along with the spill/socket faults.
 ///
 /// Exit code: 0 = all invariants hold, 1 = violation, 2 = setup error.
 ///
@@ -166,13 +176,25 @@ void UserLoop(const StressConfig& config, int index, int port,
               const std::atomic<bool>& stop, UserState& user) {
   serve::HttpClient client("127.0.0.1", port, /*timeout_seconds=*/20.0);
   Rng rng(config.fault_seed ^ (0xABCDULL + static_cast<uint64_t>(index)));
-  const std::string create_body = StrFormat(
-      "{\"k\":%d,\"seed\":%d}", config.k, index + 1);
+  // A small shared filter pool: most creates repeat a query some other
+  // session also runs, so the matrix cache's single-flight and COW paths
+  // are constantly exercised under chaos.  All three filters keep a
+  // healthy share of the diabetes rows (non-empty selections).
+  const std::vector<std::string> filter_pool = {
+      "", "time_in_hospital >= 4", "num_medications >= 10"};
   std::string body;
   int current = -1;  ///< index into user.records, -1 = no live session
 
   while (!stop.load(std::memory_order_relaxed)) {
     if (current < 0) {
+      const std::string& filter =
+          filter_pool[rng.NextBounded(filter_pool.size())];
+      std::string create_body = StrFormat(
+          "{\"k\":%d,\"seed\":%d", config.k, index + 1);
+      if (!filter.empty()) {
+        create_body += ",\"filter\":" + serve::JsonQuote(filter);
+      }
+      create_body += "}";
       ++user.creates_attempted;
       const int status =
           DoRequest(client, user, "POST", "/sessions", create_body, &body);
@@ -245,6 +267,12 @@ void ChaosLoop(const StressConfig& config, FakeClock& clock,
     // points) under concurrency.
     const bool flush_all = (*sweeps % 8) == 7;
     manager.EvictIdleOlderThan(flush_all ? 0.0 : config.ttl_seconds);
+    // Every 4th sweep drops every cached feature matrix, so cache
+    // eviction races live creates and restores: in-flight sessions keep
+    // their shared_ptr handles while the next miss rebuilds.
+    if ((*sweeps % 4) == 1) {
+      manager.matrix_cache().EvictIdleOlderThan(0.0);
+    }
     ++*sweeps;
   }
 }
@@ -263,6 +291,8 @@ std::vector<std::pair<std::string, double>> FaultPlan(double p) {
       {"http.recv_disconnect", p / 5},
       {"http.send_fail", p / 5},
       {"threadpool.submit_reject", p / 5},
+      {"fmcache.build_fail", p / 5},
+      {"fmcache.evict_defer", p},
   };
 }
 
@@ -531,6 +561,31 @@ int main(int argc, char** argv) {
                          static_cast<unsigned long long>(
                              injector.total_fires())));
 
+  // I4: matrix-cache accounting.  Every acknowledged create consulted the
+  // shared cache exactly once (hit, miss, or single-flight wait), and
+  // restores during verification only add lookups, so the sum is a lower
+  // bound.  After quiescence the exported gauges must agree with the
+  // cache's own books -- they are updated under the same lock as every
+  // insert and eviction.
+  const serve::FeatureMatrixCacheStats cache = manager.matrix_cache().stats();
+  verify.Check(
+      cache.hits + cache.misses + cache.inflight_waits >= creates_acked,
+      StrFormat("fmcache lookups %llu+%llu+%llu < creates acked %llu",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.inflight_waits),
+                static_cast<unsigned long long>(creates_acked)));
+  verify.Check(registry.GetGauge("fmcache.bytes")->value() ==
+                   static_cast<double>(cache.bytes),
+               StrFormat("fmcache.bytes gauge %.0f != cache books %llu",
+                         registry.GetGauge("fmcache.bytes")->value(),
+                         static_cast<unsigned long long>(cache.bytes)));
+  verify.Check(registry.GetGauge("fmcache.entries")->value() ==
+                   static_cast<double>(cache.entries),
+               StrFormat("fmcache.entries gauge %.0f != cache books %llu",
+                         registry.GetGauge("fmcache.entries")->value(),
+                         static_cast<unsigned long long>(cache.entries)));
+
   server.Stop();
 
   // ---- report --------------------------------------------------------
@@ -552,6 +607,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(retries));
   std::printf("evict sweeps:  %llu (final live %zu, evicted %zu)\n",
               static_cast<unsigned long long>(sweeps), live, evicted);
+  std::printf("matrix cache:  %llu hits / %llu misses / %llu waits, "
+              "%llu evictions (%zu entries, %zu bytes held)\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.inflight_waits),
+              static_cast<unsigned long long>(cache.evictions),
+              cache.entries, cache.bytes);
   if (config.faults_enabled) {
     std::printf("faults (hits/fires by point):\n");
     for (const auto& [point, stats] : injector.AllStats()) {
