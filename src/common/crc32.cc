@@ -1,0 +1,37 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace vs {
+
+namespace {
+
+/// The classic reflected table, computed once at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  const auto& table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace vs

@@ -1,0 +1,30 @@
+#ifndef VS_COMMON_CRC32_H_
+#define VS_COMMON_CRC32_H_
+
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the
+/// checksum behind every durability artifact: session_io v2 trailers,
+/// write-ahead journal record frames, and snapshot validation.
+///
+/// The call is chainable: pass the previous return value as \p crc to
+/// checksum data arriving in pieces.  `Crc32("") == 0`, and the result
+/// matches zlib's crc32() / `cksum -o3` for the same bytes, so artifacts
+/// can be checked from the shell while debugging.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vs {
+
+/// CRC-32 of \p size bytes at \p data, continuing from \p crc (0 starts a
+/// fresh checksum).
+uint32_t Crc32(const void* data, size_t size, uint32_t crc = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t crc = 0) {
+  return Crc32(s.data(), s.size(), crc);
+}
+
+}  // namespace vs
+
+#endif  // VS_COMMON_CRC32_H_

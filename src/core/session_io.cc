@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
 #include "testing/fault_injection.h"
 
@@ -12,7 +13,7 @@ vs::Result<std::string> SaveSession(const ViewSeeker& seeker) {
     return vs::Status::IOError("injected session save failure");
   }
   const ViewSeekerOptions& options = seeker.options();
-  std::string out = "viewseeker-session v1\n";
+  std::string out = "viewseeker-session v2\n";
   out += vs::StrFormat("k: %d\n", options.k);
   out += "strategy: " + options.strategy + "\n";
   out += vs::StrFormat("views_per_iteration: %d\n",
@@ -28,6 +29,7 @@ vs::Result<std::string> SaveSession(const ViewSeeker& seeker) {
     out += views[view_index].Id() + "\t" +
            vs::StrFormat("%.17g", seeker.labels()[i]) + "\n";
   }
+  out += vs::StrFormat("crc32: %08x\n", vs::Crc32(out));
   return out;
 }
 
@@ -46,6 +48,51 @@ vs::Result<std::string> ExpectPrefixed(const std::vector<std::string>& lines,
   return std::string(vs::Trim(lines[index].substr(prefix.size())));
 }
 
+vs::Result<uint32_t> ParseHex32(std::string_view s) {
+  if (s.empty() || s.size() > 8) {
+    return vs::Status::InvalidArgument("bad hex crc field");
+  }
+  uint32_t value = 0;
+  for (char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+    else return vs::Status::InvalidArgument("bad hex crc field");
+  }
+  return value;
+}
+
+/// Verifies the v2 `crc32:` trailer: it must be the final line, and the
+/// stored checksum must match every byte above it.
+vs::Status VerifySessionCrc(const std::string& text) {
+  size_t trailer = std::string::npos;
+  const size_t at = text.rfind("\ncrc32: ");
+  if (at != std::string::npos) {
+    trailer = at + 1;
+  } else if (vs::StartsWith(text, "crc32: ")) {
+    trailer = 0;
+  }
+  if (trailer == std::string::npos) {
+    return vs::Status::InvalidArgument("v2 session missing crc32 trailer");
+  }
+  size_t eol = text.find('\n', trailer);
+  if (eol == std::string::npos) eol = text.size();
+  if (!vs::Trim(text.substr(eol)).empty()) {
+    return vs::Status::InvalidArgument("v2 crc32 trailer is not final");
+  }
+  VS_ASSIGN_OR_RETURN(uint32_t stored,
+                      ParseHex32(vs::Trim(std::string_view(text).substr(
+                          trailer + 7, eol - trailer - 7))));
+  const uint32_t computed = vs::Crc32(std::string_view(text).substr(0, trailer));
+  if (stored != computed) {
+    return vs::Status::InvalidArgument(
+        vs::StrFormat("session crc mismatch: stored %08x, computed %08x",
+                      stored, computed));
+  }
+  return vs::Status::OK();
+}
+
 }  // namespace
 
 vs::Result<ViewSeeker> RestoreSession(const FeatureMatrix* matrix,
@@ -57,8 +104,16 @@ vs::Result<ViewSeeker> RestoreSession(const FeatureMatrix* matrix,
     return vs::Status::IOError("injected session restore failure");
   }
   const std::vector<std::string> lines = vs::Split(text, '\n');
-  if (lines.empty() || vs::Trim(lines[0]) != "viewseeker-session v1") {
+  if (lines.empty()) {
     return vs::Status::InvalidArgument("bad session header");
+  }
+  const std::string_view header = vs::Trim(lines[0]);
+  if (header != "viewseeker-session v1" &&
+      header != "viewseeker-session v2") {
+    return vs::Status::InvalidArgument("bad session header");
+  }
+  if (header == "viewseeker-session v2") {
+    VS_RETURN_IF_ERROR(VerifySessionCrc(text));
   }
 
   ViewSeekerOptions options;

@@ -9,7 +9,7 @@
 /// matrix, arriving at bit-identical estimators.
 ///
 /// Format (line-oriented):
-///   viewseeker-session v1
+///   viewseeker-session v2
 ///   k: <int>
 ///   strategy: <name>
 ///   views_per_iteration: <int>
@@ -17,6 +17,12 @@
 ///   seed: <uint64>
 ///   labels: <count>
 ///   <view id>\t<label>          (one per labeled view, in label order)
+///   crc32: <8 lowercase hex>    (CRC-32 of every byte above this line)
+///
+/// v2 appends the `crc32:` trailer so a torn or bit-rotted save is
+/// detected instead of silently replaying a prefix of the labels.  The
+/// reader still accepts v1 text (identical layout, no trailer) — old
+/// spill files keep restoring.
 ///
 /// View identity crosses processes via ViewSpec::Id(), so the restored
 /// matrix may be built fresh (even at a different sample rate) as long as

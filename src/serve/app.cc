@@ -143,6 +143,11 @@ ServeApp::ServeApp(SessionManager* manager) : manager_(manager) {
                      const std::vector<std::string>& params) {
                 return GetTopK(request, params);
               });
+  router_.Add("GET", "/sessions/{id}/labels",
+              [this](const HttpRequest&,
+                     const std::vector<std::string>& params) {
+                return GetLabels(params);
+              });
   router_.Add("DELETE", "/sessions/{id}",
               [this](const HttpRequest&,
                      const std::vector<std::string>& params) {
@@ -246,6 +251,22 @@ HttpResponse ServeApp::GetTopK(const HttpRequest& request,
       ViewArrayJson(topk->views, topk->view_ids, &topk->scores).c_str()));
 }
 
+HttpResponse ServeApp::GetLabels(const std::vector<std::string>& params) {
+  auto labels = manager_->Labels(params[0]);
+  if (!labels.ok()) return ErrorResponseFor(labels.status());
+  std::string items = "[";
+  for (size_t i = 0; i < labels->views.size(); ++i) {
+    if (i > 0) items += ",";
+    items += StrFormat("{\"view\":%zu,\"id\":%s,\"label\":%.17g}",
+                       labels->views[i],
+                       JsonQuote(labels->view_ids[i]).c_str(),
+                       labels->values[i]);
+  }
+  items += "]";
+  return JsonOk(StrFormat("{\"num_labeled\":%zu,\"labels\":%s}\n",
+                          labels->views.size(), items.c_str()));
+}
+
 HttpResponse ServeApp::DeleteSession(const std::vector<std::string>& params) {
   const vs::Status status = manager_->Delete(params[0]);
   if (!status.ok()) return ErrorResponseFor(status);
@@ -254,14 +275,31 @@ HttpResponse ServeApp::DeleteSession(const std::vector<std::string>& params) {
 
 HttpResponse ServeApp::Healthz() {
   const FeatureMatrixCacheStats cache = manager_->matrix_cache().stats();
+  std::string durability = "{\"enabled\":false}";
+  if (manager_->durability_enabled()) {
+    const DurabilityStats d = manager_->durability_stats();
+    durability = StrFormat(
+        "{\"enabled\":true,\"wal_bytes\":%llu,\"pending_records\":%llu,"
+        "\"last_snapshot_age_seconds\":%.3f,\"recovered_sessions\":%llu,"
+        "\"replayed_labels\":%llu,\"torn_tails\":%llu,"
+        "\"quarantined\":%llu}",
+        static_cast<unsigned long long>(d.wal_bytes),
+        static_cast<unsigned long long>(d.pending_records),
+        d.last_snapshot_age_seconds,
+        static_cast<unsigned long long>(d.recovered_sessions),
+        static_cast<unsigned long long>(d.replayed_labels),
+        static_cast<unsigned long long>(d.torn_tails),
+        static_cast<unsigned long long>(d.quarantined));
+  }
   return JsonOk(StrFormat(
       "{\"status\":\"ok\",\"active_sessions\":%zu,"
       "\"matrix_cache\":{\"entries\":%zu,\"bytes\":%zu,\"hits\":%llu,"
       "\"misses\":%llu},"
+      "\"durability\":%s,"
       "\"uptime_seconds\":%.3f}\n",
       manager_->active_sessions(), cache.entries, cache.bytes,
       static_cast<unsigned long long>(cache.hits),
-      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.misses), durability.c_str(),
       uptime_.ElapsedSeconds()));
 }
 

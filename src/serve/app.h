@@ -12,8 +12,9 @@
 /// | GET    /sessions/{id}/next | → views to label next                   |
 /// | POST   /sessions/{id}/label| {view,label} → new label count          |
 /// | GET    /sessions/{id}/topk | [?lambda=f] → current top-k + scores    |
+/// | GET    /sessions/{id}/labels| → full label history                   |
 /// | DELETE /sessions/{id}      | → {"deleted":true}                      |
-/// | GET    /healthz            | → liveness + session gauge              |
+/// | GET    /healthz            | → liveness + session gauge + durability |
 /// | GET    /metrics            | → Prometheus text exposition            |
 ///
 /// Errors are JSON {"error":{"code","message"}} with the HTTP status
@@ -53,6 +54,7 @@ class ServeApp {
                          const std::vector<std::string>& params);
   HttpResponse GetTopK(const HttpRequest& request,
                        const std::vector<std::string>& params);
+  HttpResponse GetLabels(const std::vector<std::string>& params);
   HttpResponse DeleteSession(const std::vector<std::string>& params);
   HttpResponse Healthz();
   HttpResponse Metrics();

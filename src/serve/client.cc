@@ -7,9 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -222,6 +225,34 @@ vs::Result<ClientResponse> HttpClient::Request(std::string_view method,
   request.append("\r\n");
   request.append(body);
 
+  const int max_attempts = std::max(1, retry_options_.max_attempts);
+  Stopwatch deadline_watch;
+  double backoff = retry_options_.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    vs::Result<ClientResponse> response = RequestOnce(request);
+    // Only transport failures are worth another attempt — the server
+    // never saw (or never answered) the request.  Timeouts are excluded:
+    // the request may still be executing.
+    if (response.ok() || !response.status().IsIOError()) return response;
+    if (attempt >= max_attempts) return response;
+    const double sleep_seconds = backoff * jitter_rng_.NextDouble();
+    if (retry_options_.deadline_seconds > 0.0 &&
+        deadline_watch.ElapsedSeconds() + sleep_seconds >=
+            retry_options_.deadline_seconds) {
+      return response;
+    }
+    if (sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_seconds));
+    }
+    backoff = std::min(backoff * retry_options_.backoff_multiplier,
+                       retry_options_.max_backoff_seconds);
+    ++backoff_retries_;
+  }
+}
+
+vs::Result<ClientResponse> HttpClient::RequestOnce(
+    const std::string& request) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (attempt > 0) ++retries_;
     if (fd_ < 0) {

@@ -10,11 +10,35 @@
 #include <string>
 #include <string_view>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "serve/http.h"
 
 namespace vs::serve {
+
+/// \brief Bounded-retry policy for Request(): transport-level failures
+/// (Status::IOError — refused connections, resets, closed sockets) are
+/// retried with full-jitter exponential backoff until the attempt budget
+/// or the per-request deadline runs out.  Non-transport errors (timeouts,
+/// malformed responses) and HTTP error statuses are never retried.
+///
+/// Retrying a non-idempotent request (POST /label) can re-execute it
+/// server-side; the protocol makes that safe — a duplicate label answers
+/// 409 AlreadyExists, which callers treat as "first attempt landed".
+struct RetryOptions {
+  /// Total attempts (1 = no retries).
+  int max_attempts = 1;
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
+  /// Hard cap on time spent across attempts and backoff sleeps; a retry
+  /// that cannot finish its sleep before the deadline is not taken.
+  /// 0 disables the cap.
+  double deadline_seconds = 0.0;
+  /// Seed for the jitter stream (deterministic load generation).
+  uint64_t jitter_seed = 0x7e77;
+};
 
 /// \brief Response as seen by the client (status + headers + body).
 struct ClientResponse {
@@ -36,10 +60,18 @@ class HttpClient {
 
   /// Sends one request and blocks for the full response.  `body` may be
   /// empty; a Content-Length header is always emitted for methods with a
-  /// body.  Reconnects once if the kept-alive connection went stale.
+  /// body.  Reconnects once if the kept-alive connection went stale, and
+  /// retries transport failures per set_retry_options().
   vs::Result<ClientResponse> Request(std::string_view method,
                                      std::string_view target,
                                      std::string_view body = {});
+
+  /// Replaces the retry policy (default: no retries).
+  void set_retry_options(const RetryOptions& options) {
+    retry_options_ = options;
+    jitter_rng_ = Rng(options.jitter_seed);
+  }
+  const RetryOptions& retry_options() const { return retry_options_; }
 
   /// Sends raw bytes on a fresh connection and returns everything the
   /// server wrote until it closed (for malformed-request tests).
@@ -53,16 +85,26 @@ class HttpClient {
   /// accounting widens its upper bounds by this count.
   uint64_t retries() const { return retries_; }
 
+  /// How many backoff retries (RetryOptions attempts past the first)
+  /// Request() has taken.  Disjoint from retries(): those reconnects
+  /// happen inside a single attempt.
+  uint64_t backoff_retries() const { return backoff_retries_; }
+
  private:
   vs::Status Connect();
   vs::Status SendAll(std::string_view data);
   vs::Result<ClientResponse> ReadResponse();
+  /// One attempt: send + read, with the single stale-keep-alive resend.
+  vs::Result<ClientResponse> RequestOnce(const std::string& request);
 
   const std::string host_;
   const int port_;
   const double timeout_seconds_;
   int fd_ = -1;
   uint64_t retries_ = 0;
+  uint64_t backoff_retries_ = 0;
+  RetryOptions retry_options_;
+  Rng jitter_rng_{0x7e77};
   std::string pending_;  ///< bytes read past the previous response
 };
 

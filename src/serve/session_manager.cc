@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <unordered_map>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -115,6 +116,62 @@ FeatureMatrixCacheOptions MatrixCacheOptions(
   return cache_options;
 }
 
+/// A parsed spill/snapshot envelope: magic line, table path, filter, then
+/// the session_io payload verbatim.
+struct SpillEnvelope {
+  std::string table_path;
+  std::string filter;
+  std::string session_text;
+};
+
+vs::Result<SpillEnvelope> ParseSpillEnvelope(const std::string& text,
+                                             const std::string& origin) {
+  size_t pos = 0;
+  auto next_line = [&text, &pos]() -> std::string {
+    const size_t eol = text.find('\n', pos);
+    const size_t end = eol == std::string::npos ? text.size() : eol;
+    std::string line = text.substr(pos, end - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    return line;
+  };
+  const std::string header = next_line();
+  // v2 envelopes carry a session_io v2 payload (self-checksummed); the
+  // layout is otherwise identical, so both versions parse here.
+  if (header != "viewseeker-spill v1" && header != "viewseeker-spill v2") {
+    return vs::Status::InvalidArgument("bad spill header: " + origin);
+  }
+  const std::string table_line = next_line();
+  const std::string filter_line = next_line();
+  if (!StartsWith(table_line, "table: ") ||
+      !StartsWith(filter_line, "filter: ")) {
+    return vs::Status::InvalidArgument("bad spill envelope: " + origin);
+  }
+  SpillEnvelope envelope;
+  envelope.table_path = table_line.substr(7);
+  envelope.filter = filter_line.substr(8);
+  envelope.session_text = text.substr(pos);
+  return envelope;
+}
+
+/// Journal record payload for one acknowledged label.
+std::string WalLabelPayload(const std::string& view_id, double value) {
+  return "label\t" + view_id + "\t" + StrFormat("%.17g", value);
+}
+
+/// Inverse of WalLabelPayload.
+vs::Result<std::pair<std::string, double>> ParseWalLabel(
+    const std::string& payload) {
+  if (!StartsWith(payload, "label\t")) {
+    return vs::Status::InvalidArgument("bad journal record: " + payload);
+  }
+  const size_t tab = payload.find('\t', 6);
+  if (tab == std::string::npos) {
+    return vs::Status::InvalidArgument("bad journal record: " + payload);
+  }
+  VS_ASSIGN_OR_RETURN(double value, ParseDouble(payload.substr(tab + 1)));
+  return std::make_pair(payload.substr(6, tab - 6), value);
+}
+
 }  // namespace
 
 SessionManager::SessionManager(const SessionManagerOptions& options,
@@ -130,6 +187,14 @@ SessionManager::SessionManager(const SessionManagerOptions& options,
     std::error_code ec;
     std::filesystem::create_directories(options_.spill_dir, ec);
   }
+  if (!options_.durability_dir.empty()) {
+    DurabilityOptions durability_options;
+    durability_options.dir = options_.durability_dir;
+    durability_options.fsync = options_.durability_fsync;
+    durability_options.clock = options_.clock;
+    durability_ = std::make_unique<DurabilityManager>(durability_options);
+    durability_->Init().ok();  // re-attempted (and surfaced) by Recover
+  }
 }
 
 SessionManager::~SessionManager() {
@@ -144,11 +209,20 @@ SessionManager::~SessionManager() {
 int64_t SessionManager::NowMicros() const { return clock_->NowMicros(); }
 
 std::string SessionManager::NewSessionId() {
-  // Caller holds mu_.
-  return StrFormat("s%04llx%08llx",
-                   static_cast<unsigned long long>(++id_counter_),
-                   static_cast<unsigned long long>(id_rng_.NextUint64() &
-                                                   0xffffffffULL));
+  // Caller holds mu_.  A freshly recovered registry can already hold ids
+  // from a previous process that ran the same counter/seed sequence, so
+  // loop until the id is genuinely unused.
+  while (true) {
+    std::string id =
+        StrFormat("s%04llx%08llx",
+                  static_cast<unsigned long long>(++id_counter_),
+                  static_cast<unsigned long long>(id_rng_.NextUint64() &
+                                                  0xffffffffULL));
+    if (sessions_.find(id) == sessions_.end() &&
+        evicted_.find(id) == evicted_.end()) {
+      return id;
+    }
+  }
 }
 
 vs::Status SessionManager::PreloadDefaultTable() {
@@ -283,6 +357,20 @@ vs::Result<SessionInfo> SessionManager::Create(const CreateSpec& spec) {
     sessions_.emplace(session->id, session);
     m.active_sessions->Set(static_cast<double>(sessions_.size()));
   }
+  if (durability_ != nullptr) {
+    // The create is only acknowledged once the session exists on disk —
+    // otherwise a crash right after the ack would 404 a session the
+    // client was told about.
+    std::unique_lock<std::mutex> session_lock(session->mu);
+    const vs::Status rotated = RotateLocked(*session);
+    if (!rotated.ok()) {
+      session_lock.unlock();
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(session->id);
+      m.active_sessions->Set(static_cast<double>(sessions_.size()));
+      return rotated;
+    }
+  }
   m.created->Increment();
   m.create_seconds->Observe(watch.ElapsedSeconds());
   std::lock_guard<std::mutex> session_lock(session->mu);
@@ -319,46 +407,122 @@ vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Acquire(
   return restored;
 }
 
+vs::Result<SessionManager::LockedSession> SessionManager::AcquireLocked(
+    const std::string& id) {
+  // Acquire returns the shared_ptr before the session lock is taken, so
+  // an eviction can slip in between: it spills the object's state and
+  // drops it from the live map while we are still about to lock it.
+  // Mutating a detached object loses the write on the next restore (the
+  // spill, which predates it, is authoritative).  Eviction marks the
+  // object under its lock, so once we hold the lock the flag is stable:
+  // retry the lookup, which restores the spill into a fresh live object.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
+    std::unique_lock<std::mutex> lock(session->mu);
+    if (!session->detached) {
+      return LockedSession{std::move(session), std::move(lock)};
+    }
+  }
+  return vs::Status::Internal("session kept vanishing mid-acquire: " + id);
+}
+
 vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Restore(
     const std::string& id, const SpilledSession& spill) {
   obs::ScopedSpan span("serve.session_restore");
+  if (spill.durable) return RestoreDurable(id);
   VS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(spill.file_path));
   if (VS_FAULT("session.spill_corrupt")) {
     // Corrupt the in-memory copy only: the file stays intact, so a retry
     // without the fault succeeds (models a torn read, not a torn write).
     text.resize(text.size() / 2);
   }
-
-  // Spill envelope: magic line, table path, filter, then the session_io
-  // payload verbatim.
-  size_t pos = 0;
-  auto next_line = [&text, &pos]() -> std::string {
-    const size_t eol = text.find('\n', pos);
-    const size_t end = eol == std::string::npos ? text.size() : eol;
-    std::string line = text.substr(pos, end - pos);
-    pos = eol == std::string::npos ? text.size() : eol + 1;
-    return line;
-  };
-  if (next_line() != "viewseeker-spill v1") {
-    return vs::Status::InvalidArgument("bad spill header: " +
-                                       spill.file_path);
-  }
-  const std::string table_line = next_line();
-  const std::string filter_line = next_line();
-  if (!StartsWith(table_line, "table: ") ||
-      !StartsWith(filter_line, "filter: ")) {
-    return vs::Status::InvalidArgument("bad spill envelope: " +
-                                       spill.file_path);
-  }
-  const std::string table_path = table_line.substr(7);
-  const std::string filter = filter_line.substr(8);
-  const std::string session_text = text.substr(pos);
+  VS_ASSIGN_OR_RETURN(SpillEnvelope envelope,
+                      ParseSpillEnvelope(text, spill.file_path));
 
   VS_ASSIGN_OR_RETURN(
       std::shared_ptr<Session> session,
-      BuildSession(table_path, filter, core::ViewSeekerOptions{},
-                   &session_text));
+      BuildSession(envelope.table_path, envelope.filter,
+                   core::ViewSeekerOptions{}, &envelope.session_text));
   session->id = id;
+
+  const SessionMetrics& m = SessionMetrics::Get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) return it->second;  // raced restore: reuse
+    if (sessions_.size() >= options_.max_sessions) {
+      m.rejected->Increment();
+      return vs::Status::ResourceExhausted(
+          "session limit reached; cannot restore " + id);
+    }
+    sessions_.emplace(id, session);
+    evicted_.erase(id);
+    session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+    // Unlink under mu_, atomically with the erase: eviction writes spills
+    // under mu_ too, so it cannot interleave a fresh spill at this path
+    // between our erase and this remove (which would delete that fresh
+    // spill and strand the new evicted_ entry on a missing file).
+    std::remove(spill.file_path.c_str());
+    m.active_sessions->Set(static_cast<double>(sessions_.size()));
+  }
+  m.restored->Increment();
+  return session;
+}
+
+vs::Result<std::shared_ptr<SessionManager::Session>>
+SessionManager::RestoreDurable(const std::string& id) {
+  auto quarantine_and_fail = [this, &id](vs::Status status) -> vs::Status {
+    durability_->Quarantine(id);
+    std::lock_guard<std::mutex> lock(mu_);
+    evicted_.erase(id);
+    return status;
+  };
+
+  vs::Result<std::string> text = ReadFileFully(durability_->SnapshotPath(id));
+  if (!text.ok()) return quarantine_and_fail(text.status());
+  vs::Result<SpillEnvelope> envelope =
+      ParseSpillEnvelope(*text, durability_->SnapshotPath(id));
+  if (!envelope.ok()) return quarantine_and_fail(envelope.status());
+
+  WalScan scan;
+  vs::Result<WalScan> scanned = ReadWalFile(durability_->WalPath(id));
+  if (scanned.ok()) {
+    scan = std::move(*scanned);
+  } else {
+    // Snapshot intact, journal unreadable: recover the snapshot state
+    // and lose only the (quarantined) tail.
+    durability_->QuarantineWal(id);
+  }
+
+  vs::Result<std::shared_ptr<Session>> built =
+      BuildSession(envelope->table_path, envelope->filter,
+                   core::ViewSeekerOptions{}, &envelope->session_text);
+  if (!built.ok()) return quarantine_and_fail(built.status());
+  std::shared_ptr<Session> session = std::move(*built);
+  session->id = id;
+
+  // Replay the journal tail: labels acknowledged after the snapshot.
+  // AlreadyExists means the record is covered by the snapshot (a rotation
+  // wrote the snapshot but failed to truncate) — replay is idempotent.
+  uint64_t replayed = 0;
+  if (!scan.records.empty()) {
+    std::unordered_map<std::string, size_t> id_to_index;
+    const auto& specs = session->matrix->views();
+    for (size_t i = 0; i < specs.size(); ++i) {
+      id_to_index.emplace(specs[i].Id(), i);
+    }
+    for (const std::string& record : scan.records) {
+      vs::Result<std::pair<std::string, double>> parsed =
+          ParseWalLabel(record);
+      if (!parsed.ok()) continue;
+      auto view = id_to_index.find(parsed->first);
+      if (view == id_to_index.end()) continue;
+      if (session->seeker->SubmitLabel(view->second, parsed->second).ok()) {
+        ++replayed;
+      }
+    }
+  }
+  durability_->CountReplayedLabels(replayed);
 
   const SessionMetrics& m = SessionMetrics::Get();
   {
@@ -374,15 +538,104 @@ vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Restore(
     evicted_.erase(id);
     m.active_sessions->Set(static_cast<double>(sessions_.size()));
   }
-  std::remove(spill.file_path.c_str());
+  {
+    // Reopen the journal only if a concurrent request did not get there
+    // first — a second open would truncate records it has since appended.
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    if (session->wal == nullptr) {
+      vs::Result<WalWriter> wal = durability_->OpenWal(id, scan.valid_bytes);
+      if (wal.ok()) {
+        session->wal = std::make_unique<WalWriter>(std::move(*wal));
+      }
+      // On failure the session still serves; Label's rotation repair
+      // path re-establishes durability on the next write.
+    }
+  }
   m.restored->Increment();
   session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
   return session;
 }
 
+vs::Result<std::string> SessionManager::EnvelopeLocked(
+    Session& session) const {
+  VS_ASSIGN_OR_RETURN(std::string saved, core::SaveSession(*session.seeker));
+  return "viewseeker-spill v2\ntable: " + session.table_path +
+         "\nfilter: " + session.filter + "\n" + saved;
+}
+
+vs::Status SessionManager::RotateLocked(Session& session) {
+  VS_ASSIGN_OR_RETURN(std::string envelope, EnvelopeLocked(session));
+  VS_RETURN_IF_ERROR(durability_->SaveSnapshot(session.id, envelope));
+  // The snapshot now carries the full state, so an empty journal is the
+  // correct complement.  A failed truncate only leaves records the
+  // snapshot already covers — replay skips them — and a failed open
+  // leaves wal null, which Label repairs by rotating per write.
+  if (session.wal != nullptr && session.wal->valid()) {
+    session.wal->Reset().ok();
+  } else {
+    vs::Result<WalWriter> wal = durability_->OpenWal(session.id, 0);
+    if (wal.ok()) {
+      session.wal = std::make_unique<WalWriter>(std::move(*wal));
+    } else {
+      session.wal.reset();
+    }
+  }
+  return vs::Status::OK();
+}
+
+vs::Status SessionManager::RecoverFromDisk() {
+  if (durability_ == nullptr) return vs::Status::OK();
+  VS_RETURN_IF_ERROR(durability_->Init());
+  VS_ASSIGN_OR_RETURN(std::vector<RecoveredSession> found,
+                      durability_->ScanForRecovery());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const RecoveredSession& rec : found) {
+      if (sessions_.find(rec.id) != sessions_.end() ||
+          evicted_.find(rec.id) != evicted_.end()) {
+        continue;
+      }
+      evicted_[rec.id] =
+          SpilledSession{durability_->SnapshotPath(rec.id), true};
+      durability_->CountRecoveredSession();
+    }
+  }
+  // Warm up to the session cap eagerly so recovered sessions answer their
+  // first request fast and unparseable ones quarantine now, not later.
+  for (const RecoveredSession& rec : found) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sessions_.size() >= options_.max_sessions) break;
+      if (evicted_.find(rec.id) == evicted_.end()) continue;
+    }
+    Acquire(rec.id).ok();  // failures are quarantined by RestoreDurable
+  }
+  return vs::Status::OK();
+}
+
+size_t SessionManager::PersistAllSessions() {
+  if (durability_ == nullptr) return 0;
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) live.push_back(session);
+  }
+  size_t persisted = 0;
+  for (const std::shared_ptr<Session>& session : live) {
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    if (RotateLocked(*session).ok()) ++persisted;
+  }
+  return persisted;
+}
+
+DurabilityStats SessionManager::durability_stats() const {
+  return durability_ == nullptr ? DurabilityStats{} : durability_->stats();
+}
+
 vs::Result<NextBatch> SessionManager::Next(const std::string& id) {
-  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
-  std::lock_guard<std::mutex> lock(session->mu);
+  VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
+  const std::shared_ptr<Session>& session = locked.session;
   VS_ASSIGN_OR_RETURN(std::vector<size_t> views,
                       session->seeker->NextQueries());
   NextBatch batch;
@@ -396,17 +649,38 @@ vs::Result<NextBatch> SessionManager::Next(const std::string& id) {
 
 vs::Result<size_t> SessionManager::Label(const std::string& id, size_t view,
                                          double label) {
-  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
-  std::lock_guard<std::mutex> lock(session->mu);
+  VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
+  const std::shared_ptr<Session>& session = locked.session;
   VS_RETURN_IF_ERROR(session->seeker->SubmitLabel(view, label));
   session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  if (durability_ != nullptr) {
+    // Applied in memory; make it durable before acknowledging.  On a
+    // journal failure a snapshot rotation is the repair: it captures the
+    // full state (this label included) atomically and heals a poisoned
+    // journal.  If that fails too, the error response tells the client
+    // the outcome is indeterminate — the label is in memory but may not
+    // survive a crash.
+    const std::string& view_id = session->matrix->views()[view].Id();
+    const vs::Status appended =
+        session->wal != nullptr && session->wal->valid()
+            ? session->wal->Append(WalLabelPayload(view_id, label))
+            : vs::Status::FailedPrecondition("journal not open");
+    if (!appended.ok()) {
+      VS_RETURN_IF_ERROR(RotateLocked(*session));
+    } else if (session->wal->pending_records() >=
+               options_.snapshot_every_labels) {
+      // Cadence rotation bounds replay time; the journal already holds
+      // the label, so a rotation failure here costs nothing.
+      RotateLocked(*session).ok();
+    }
+  }
   return session->seeker->num_labeled();
 }
 
 vs::Result<TopKResult> SessionManager::TopK(const std::string& id,
                                             double lambda) {
-  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
-  std::lock_guard<std::mutex> lock(session->mu);
+  VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
+  const std::shared_ptr<Session>& session = locked.session;
   vs::Result<std::vector<size_t>> topk =
       lambda > 0.0 ? session->seeker->RecommendDiverseTopK(lambda)
                    : session->seeker->RecommendTopK();
@@ -425,13 +699,33 @@ vs::Result<TopKResult> SessionManager::TopK(const std::string& id,
 }
 
 vs::Result<SessionInfo> SessionManager::Info(const std::string& id) {
-  VS_ASSIGN_OR_RETURN(std::shared_ptr<Session> session, Acquire(id));
-  std::lock_guard<std::mutex> lock(session->mu);
+  VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
+  const std::shared_ptr<Session>& session = locked.session;
   return InfoLocked(*session);
+}
+
+vs::Result<LabeledViews> SessionManager::Labels(const std::string& id) {
+  VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
+  const std::shared_ptr<Session>& session = locked.session;
+  LabeledViews out;
+  const auto& specs = session->matrix->views();
+  const size_t count = session->seeker->num_labeled();
+  out.views.reserve(count);
+  out.view_ids.reserve(count);
+  out.values.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t view = session->seeker->labeled()[i];
+    out.views.push_back(view);
+    out.view_ids.push_back(specs[view].Id());
+    out.values.push_back(session->seeker->labels()[i]);
+  }
+  session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  return out;
 }
 
 vs::Status SessionManager::Delete(const std::string& id) {
   std::string spill_file;
+  bool durable_spill = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(id);
@@ -439,16 +733,22 @@ vs::Status SessionManager::Delete(const std::string& id) {
       sessions_.erase(it);
       SessionMetrics::Get().active_sessions->Set(
           static_cast<double>(sessions_.size()));
-      return vs::Status::OK();
+    } else {
+      auto ev = evicted_.find(id);
+      if (ev == evicted_.end()) {
+        return vs::Status::NotFound("no such session: " + id);
+      }
+      spill_file = ev->second.file_path;
+      durable_spill = ev->second.durable;
+      evicted_.erase(ev);
     }
-    auto ev = evicted_.find(id);
-    if (ev == evicted_.end()) {
-      return vs::Status::NotFound("no such session: " + id);
-    }
-    spill_file = ev->second.file_path;
-    evicted_.erase(ev);
   }
-  std::remove(spill_file.c_str());
+  // Files go before the acknowledgement: a crash after the ack must not
+  // resurrect a session the client was told is gone.
+  if (durability_ != nullptr) durability_->RemoveSession(id);
+  if (!spill_file.empty() && !durable_spill) {
+    std::remove(spill_file.c_str());
+  }
   return vs::Status::OK();
 }
 
@@ -471,24 +771,33 @@ size_t SessionManager::EvictIdleOlderThan(double idle_seconds) {
       ++it;
       continue;
     }
-    if (!options_.spill_dir.empty()) {
-      const vs::Result<std::string> saved =
-          core::SaveSession(*session.seeker);
-      if (!saved.ok()) {
+    if (durability_ != nullptr) {
+      // Durable sessions evict by rotating: the fresh snapshot is the
+      // spill, the on-disk pair stays authoritative.
+      if (!RotateLocked(session).ok()) {
+        ++it;
+        continue;
+      }
+      evicted_[session.id] =
+          SpilledSession{durability_->SnapshotPath(session.id), true};
+    } else if (!options_.spill_dir.empty()) {
+      const vs::Result<std::string> envelope = EnvelopeLocked(session);
+      if (!envelope.ok()) {
         ++it;
         continue;
       }
       const std::string file_path =
           options_.spill_dir + "/" + session.id + ".session";
-      const std::string envelope = "viewseeker-spill v1\ntable: " +
-                                   session.table_path + "\nfilter: " +
-                                   session.filter + "\n" + *saved;
-      if (!WriteStringToFile(file_path, envelope).ok()) {
+      if (!WriteStringToFile(file_path, *envelope).ok()) {
         ++it;
         continue;
       }
-      evicted_[session.id] = SpilledSession{file_path};
+      evicted_[session.id] = SpilledSession{file_path, false};
     }
+    // Marked under session.mu: anyone who looked this object up before
+    // the erase but locks it after will see the flag and re-acquire
+    // instead of writing to a dead copy (AcquireLocked).
+    session.detached = true;
     it = sessions_.erase(it);
     m.evicted->Increment();
     ++count;

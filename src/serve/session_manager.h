@@ -15,7 +15,12 @@
 ///  * TTL idle eviction: sessions idle past the TTL are persisted through
 ///    core/session_io into the spill directory and dropped from memory;
 ///    any later request on the id transparently restores them (rebuilding
-///    the feature matrix and replaying labels — bit-identical estimators).
+///    the feature matrix and replaying labels — bit-identical estimators);
+///  * crash safety (optional, serve/durability.h): with a durability
+///    directory configured, every acknowledged label is journaled and
+///    fsync'd before the ack, snapshots rotate atomically, and
+///    RecoverFromDisk() rebuilds the session registry after a crash —
+///    acknowledged labels survive, torn in-flight writes are dropped.
 ///
 /// Lock order: the registry mutex is never held while building matrices or
 /// while a session mutex is held by the same thread *after* it; request
@@ -40,6 +45,7 @@
 #include "core/seeker.h"
 #include "core/utility_features.h"
 #include "data/table.h"
+#include "serve/durability.h"
 #include "serve/feature_matrix_cache.h"
 
 namespace vs::serve {
@@ -70,6 +76,17 @@ struct SessionManagerOptions {
   size_t matrix_cache_entries = 64;
   size_t matrix_cache_bytes = 512ull * 1024 * 1024;
   double matrix_cache_ttl_seconds = 0.0;
+  /// @}
+  /// \name Crash-safe durability (see serve/durability.h).  Empty dir
+  /// disables it (sessions live in memory / the spill dir only).
+  /// @{
+  std::string durability_dir;
+  /// fsync journal appends + snapshots.  Leave on in production — it *is*
+  /// the durability guarantee; tests may disable it for speed.
+  bool durability_fsync = true;
+  /// Rotate (snapshot + journal truncate) after this many journaled
+  /// labels, bounding both journal size and recovery replay time.
+  size_t snapshot_every_labels = 128;
   /// @}
 };
 
@@ -112,6 +129,13 @@ struct TopKResult {
   std::vector<double> scores;
 };
 
+/// \brief Result of Labels: everything the user has labeled, in order.
+struct LabeledViews {
+  std::vector<size_t> views;
+  std::vector<std::string> view_ids;
+  std::vector<double> values;
+};
+
 class SessionManager {
  public:
   SessionManager(const SessionManagerOptions& options,
@@ -134,7 +158,24 @@ class SessionManager {
   /// \p lambda > 0 selects DiVE-style diversified top-k.
   vs::Result<TopKResult> TopK(const std::string& id, double lambda = 0.0);
   vs::Result<SessionInfo> Info(const std::string& id);
+  /// The session's full label history (crash-harness verification and
+  /// client resync after reconnect).
+  vs::Result<LabeledViews> Labels(const std::string& id);
   vs::Status Delete(const std::string& id);
+  /// @}
+
+  /// \name Crash-safe durability (no-ops when durability_dir is empty).
+  /// @{
+  /// Scans the durability directory and re-registers every recoverable
+  /// session (newest valid snapshot + journal tail; torn tails clipped,
+  /// unreadable files quarantined).  Call once at startup, before serving.
+  vs::Status RecoverFromDisk();
+  /// Snapshots every live session (graceful drain on SIGTERM/SIGINT);
+  /// returns how many were persisted.
+  size_t PersistAllSessions();
+  bool durability_enabled() const { return durability_ != nullptr; }
+  /// Zero stats when durability is disabled.
+  DurabilityStats durability_stats() const;
   /// @}
 
   /// Evicts sessions idle longer than \p idle_seconds right now; returns
@@ -166,11 +207,29 @@ class SessionManager {
     std::unique_ptr<core::ViewSeeker> seeker;
     /// Microseconds on the manager's monotonic clock of the last request.
     std::atomic<int64_t> last_used_us{0};
+    /// Open journal handle when durability is on (guarded by mu).
+    std::unique_ptr<WalWriter> wal;
+    /// Set (under mu) when eviction spills this object and drops it from
+    /// the live map.  From then on the spill is the authoritative copy;
+    /// a caller that locked a detached object must re-acquire, or any
+    /// state it writes here is silently lost on the next restore.
+    bool detached = false;
+  };
+
+  /// A live session together with its held lock.  `session->detached` is
+  /// guaranteed false while `lock` is held.
+  struct LockedSession {
+    std::shared_ptr<Session> session;
+    std::unique_lock<std::mutex> lock;
   };
 
   /// Where an evicted session went, kept in memory for restore.
   struct SpilledSession {
     std::string file_path;
+    /// True = lives as `<id>.snap` + `<id>.wal` in the durability dir
+    /// (restore replays the journal tail and keeps the files); false =
+    /// a plain spill file (restore deletes it).
+    bool durable = false;
   };
 
   int64_t NowMicros() const;
@@ -184,8 +243,19 @@ class SessionManager {
       const std::string* restore_text);
   /// Looks up a live session, restoring from spill when needed.
   vs::Result<std::shared_ptr<Session>> Acquire(const std::string& id);
+  /// Acquire + lock, retrying when the object was detached by a
+  /// concurrent eviction between the lookup and the lock.
+  vs::Result<LockedSession> AcquireLocked(const std::string& id);
   vs::Result<std::shared_ptr<Session>> Restore(const std::string& id,
                                                const SpilledSession& spill);
+  /// Rebuilds a session from `<id>.snap` + `<id>.wal` (journal replayed,
+  /// files kept — the disk state stays the authoritative copy).
+  vs::Result<std::shared_ptr<Session>> RestoreDurable(const std::string& id);
+  /// Spill-envelope text for the session's current state (mu held).
+  vs::Result<std::string> EnvelopeLocked(Session& session) const;
+  /// Writes a fresh snapshot and truncates the journal (mu held).  OK
+  /// means the session's full state is durable in the snapshot.
+  vs::Status RotateLocked(Session& session);
   SessionInfo InfoLocked(Session& session) const;
   void ReaperLoop();
 
@@ -197,6 +267,8 @@ class SessionManager {
   /// of tables_ below, which only grows — a cached matrix's table is never
   /// freed while the manager lives.
   FeatureMatrixCache matrix_cache_;
+  /// Null when durability is disabled.
+  std::unique_ptr<DurabilityManager> durability_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;

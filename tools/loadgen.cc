@@ -83,6 +83,8 @@ struct UserStats {
   uint64_t errors = 0;        ///< transport failures + unexpected status
   uint64_t backpressure = 0;  ///< 429/503 — the server shedding load
   uint64_t labels = 0;
+  uint64_t reconnects = 0;       ///< stale keep-alive resends
+  uint64_t backoff_retries = 0;  ///< RetryOptions attempts past the first
   std::vector<std::string> error_samples;  ///< first few, for the report
 
   void RecordError(std::string what) {
@@ -102,7 +104,20 @@ struct LoadgenConfig {
   uint64_t seed = 1;
   bool repeat_query = false;     ///< session-churn cache measurement mode
   std::string filter_col;        ///< numeric column for cold-phase filters
+  int retries = 0;               ///< transport retries per request
+  double retry_deadline_seconds = 0.0;  ///< cap across attempts (0 = none)
 };
+
+/// Applies the run's retry policy to a freshly constructed client.
+void ConfigureRetries(serve::HttpClient& client, const LoadgenConfig& config,
+                      int user_index) {
+  if (config.retries <= 0) return;
+  serve::RetryOptions retry;
+  retry.max_attempts = config.retries + 1;
+  retry.deadline_seconds = config.retry_deadline_seconds;
+  retry.jitter_seed = config.seed + static_cast<uint64_t>(user_index);
+  client.set_retry_options(retry);
+}
 
 /// One timed request; records latency and backpressure into \p stats and
 /// writes the body to \p out.  Returns the HTTP status (-1 on transport
@@ -131,6 +146,7 @@ bool IsOk(int status) { return status >= 200 && status < 300; }
 
 void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
   serve::HttpClient client(config.host, config.port);
+  ConfigureRetries(client, config, user_index);
   Rng rng(config.seed + static_cast<uint64_t>(user_index) * 7919);
   std::string body;
 
@@ -221,6 +237,8 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
     TimedRequest(client, stats, "DELETE", "/sessions/" + session_id, {},
                  &body);
   }
+  stats.reconnects += client.retries();
+  stats.backoff_retries += client.backoff_retries();
 }
 
 /// Global churn-session counter; drives the cold phase's distinct filters
@@ -234,6 +252,7 @@ uint64_t RunChurnUser(const LoadgenConfig& config, int user_index,
                       bool distinct_filters, double duration_seconds,
                       UserStats& stats) {
   serve::HttpClient client(config.host, config.port);
+  ConfigureRetries(client, config, user_index);
   std::string body;
   uint64_t sessions = 0;
 
@@ -290,6 +309,8 @@ uint64_t RunChurnUser(const LoadgenConfig& config, int user_index,
     TimedRequest(client, stats, "DELETE", "/sessions/" + session_id, {},
                  &body);
   }
+  stats.reconnects += client.retries();
+  stats.backoff_retries += client.backoff_retries();
   return sessions;
 }
 
@@ -351,10 +372,13 @@ int main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   config.repeat_query = args.Get("repeat-query") == "true";
   config.filter_col = args.Get("filter-col", "num_lab_procedures");
+  config.retries = static_cast<int>(args.GetInt("retries", 0));
+  config.retry_deadline_seconds = args.GetDouble("retry-deadline", 0.0);
   if (config.port <= 0) {
     std::fprintf(stderr, "usage: loadgen --port=P [--users=M] [--duration=S]"
                          " [--think-ms=T] [--table=F] [--k=K] [--seed=S]"
-                         " [--repeat-query] [--filter-col=C]\n");
+                         " [--repeat-query] [--filter-col=C] [--retries=N]"
+                         " [--retry-deadline=S]\n");
     return 2;
   }
 
@@ -374,8 +398,10 @@ int main(int argc, char** argv) {
                                       config.duration_seconds / 2.0,
                                       churn_stats);
     uint64_t errors = 0;
+    uint64_t retries = 0;
     for (const UserStats& s : churn_stats) {
       errors += s.errors;
+      retries += s.backoff_retries + s.reconnects;
       for (const std::string& sample : s.error_samples) {
         std::fprintf(stderr, "error sample: %s\n", sample.c_str());
       }
@@ -383,7 +409,9 @@ int main(int argc, char** argv) {
     std::printf("cold sessions/s: %.2f\n", cold);
     std::printf("warm sessions/s: %.2f\n", warm);
     std::printf("warm/cold speedup: %.2fx\n", cold > 0 ? warm / cold : 0.0);
-    std::printf("errors: %llu\n", static_cast<unsigned long long>(errors));
+    std::printf("errors: %llu (retries: %llu)\n",
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(retries));
     return errors == 0 ? 0 : 1;
   }
 
@@ -408,6 +436,8 @@ int main(int argc, char** argv) {
     total.errors += s.errors;
     total.backpressure += s.backpressure;
     total.labels += s.labels;
+    total.reconnects += s.reconnects;
+    total.backoff_retries += s.backoff_retries;
     total.latencies.insert(total.latencies.end(), s.latencies.begin(),
                            s.latencies.end());
     for (const std::string& sample : s.error_samples) {
@@ -431,6 +461,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.backpressure));
   std::printf("errors:       %llu\n",
               static_cast<unsigned long long>(total.errors));
+  std::printf("retries:      %llu backoff, %llu reconnects\n",
+              static_cast<unsigned long long>(total.backoff_retries),
+              static_cast<unsigned long long>(total.reconnects));
   PrintLatency("p50", total.latencies, 0.50);
   PrintLatency("p95", total.latencies, 0.95);
   PrintLatency("p99", total.latencies, 0.99);

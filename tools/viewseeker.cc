@@ -19,8 +19,13 @@
 ///                        [--max-sessions=256] [--session-ttl=300]
 ///                        [--workers=N] [--max-queued=64]
 ///                        [--spill-dir=DIR] [--threads=N]
+///                        [--durability-dir=DIR] [--snapshot-every=128]
+///                        [--no-fsync]
 ///                        (JSON-over-HTTP session server; see
-///                         docs/ARCHITECTURE.md "Serving" for the protocol)
+///                         docs/ARCHITECTURE.md "Serving" for the protocol.
+///                         --durability-dir enables the crash-safe label
+///                         journal + snapshot recovery described in
+///                         docs/ARCHITECTURE.md "Durability & recovery")
 ///
 /// Tables are read by extension: .vst (binary, see data/io.h) or .csv.
 /// --filter takes the WHERE sub-grammar ("age >= 30 AND city = 'NYC'").
@@ -89,6 +94,13 @@ class Args {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
     return ParseDouble(it->second).ValueOr(fallback);
+  }
+
+  /// Bare flags (--no-fsync) parse as "true"; --key=false opts out.
+  bool GetBool(const std::string& key, bool fallback = false) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
   }
 
   /// Warns on stderr for every parsed flag not in \p known — catches typos
@@ -392,7 +404,8 @@ int CmdSession(const Args& args) {
 int CmdServe(const Args& args) {
   args.WarnUnrecognized({"table", "host", "port", "max-sessions",
                          "session-ttl", "workers", "max-queued", "spill-dir",
-                         "threads", "seed"});
+                         "threads", "seed", "durability-dir",
+                         "snapshot-every", "no-fsync"});
 
   // /metrics and per-request spans are the point of a server, so the obs
   // subsystem is always on in serve mode (the trace ring is bounded).
@@ -407,10 +420,25 @@ int CmdServe(const Args& args) {
   manager_options.feature_threads =
       static_cast<size_t>(args.GetInt("threads", 0));
   manager_options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  manager_options.durability_dir = args.Get("durability-dir");
+  manager_options.snapshot_every_labels =
+      static_cast<size_t>(args.GetInt("snapshot-every", 128));
+  manager_options.durability_fsync = !args.GetBool("no-fsync");
   serve::SessionManager manager(manager_options, args.Get("table"));
   if (!args.Get("table").empty()) {
     Status preload = manager.PreloadDefaultTable();
     if (!preload.ok()) return Fail(preload);
+  }
+  if (manager.durability_enabled()) {
+    Status recovered = manager.RecoverFromDisk();
+    if (!recovered.ok()) return Fail(recovered);
+    const serve::DurabilityStats d = manager.durability_stats();
+    std::printf("durability: recovered %llu sessions, replayed %llu "
+                "labels, %llu torn tails, %llu quarantined\n",
+                static_cast<unsigned long long>(d.recovered_sessions),
+                static_cast<unsigned long long>(d.replayed_labels),
+                static_cast<unsigned long long>(d.torn_tails),
+                static_cast<unsigned long long>(d.quarantined));
   }
   manager.StartReaper();
   serve::ServeApp app(&manager);
@@ -451,6 +479,13 @@ int CmdServe(const Args& args) {
               sig == SIGTERM ? "SIGTERM" : "SIGINT");
   std::fflush(stdout);
   server.Stop();
+  if (manager.durability_enabled()) {
+    // Graceful drain: every live session gets a final snapshot so the
+    // next start recovers without journal replay.
+    const size_t persisted = manager.PersistAllSessions();
+    std::printf("persisted %zu sessions to %s\n", persisted,
+                manager.options().durability_dir.c_str());
+  }
   std::printf("drained: %llu connections served, %llu rejected, "
               "%zu sessions live at exit\n",
               static_cast<unsigned long long>(server.connections_accepted()),
