@@ -1,0 +1,31 @@
+#ifndef VS_COMMON_BUILD_INFO_H_
+#define VS_COMMON_BUILD_INFO_H_
+
+/// \file build_info.h
+/// \brief Build provenance embedded at compile time (CMake configures
+/// build_info.cc.in with `git describe` output, the compiler id and the
+/// flags in effect).  Surfaces in `viewseeker serve --build-info`, the
+/// `viewseeker_build_info` gauge on /metrics, and /statusz — so a metrics
+/// scrape always says which binary produced it.
+
+#include <string>
+
+namespace vs {
+
+struct BuildInfo {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string revision;    ///< `git describe --always --dirty`, or "unknown"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string compiler;    ///< id + version ("GNU 12.2.0")
+  std::string flags;       ///< CMAKE_CXX_FLAGS (may be empty)
+};
+
+/// The build this binary was produced by (static data, always available).
+const BuildInfo& GetBuildInfo();
+
+/// One-line human-readable rendering ("viewseeker 1.0.0 (abc1234, ...)").
+std::string BuildInfoLine();
+
+}  // namespace vs
+
+#endif  // VS_COMMON_BUILD_INFO_H_

@@ -196,24 +196,50 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+/// Escapes HELP text per the exposition format: backslash and newline
+/// must be escaped or a multi-line help string corrupts the entire
+/// scrape (the continuation lines parse as bogus samples).
+std::string PromHelpEscape(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& c : snapshot.counters) {
     const std::string name = PromName(c.name);
-    if (!c.help.empty()) out += "# HELP " + name + " " + c.help + "\n";
+    if (!c.help.empty()) {
+      out += "# HELP " + name + " " + PromHelpEscape(c.help) + "\n";
+    }
     out += "# TYPE " + name + " counter\n";
     out += name + " " +
            StrFormat("%llu", static_cast<unsigned long long>(c.value)) + "\n";
   }
   for (const auto& g : snapshot.gauges) {
     const std::string name = PromName(g.name);
-    if (!g.help.empty()) out += "# HELP " + name + " " + g.help + "\n";
+    if (!g.help.empty()) {
+      out += "# HELP " + name + " " + PromHelpEscape(g.help) + "\n";
+    }
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + FmtDouble(g.value) + "\n";
   }
   for (const auto& h : snapshot.histograms) {
     const std::string name = PromName(h.name);
-    if (!h.help.empty()) out += "# HELP " + name + " " + h.help + "\n";
+    if (!h.help.empty()) {
+      out += "# HELP " + name + " " + PromHelpEscape(h.help) + "\n";
+    }
     out += "# TYPE " + name + " histogram\n";
     uint64_t cumulative = 0;
     for (size_t b = 0; b < h.counts.size(); ++b) {

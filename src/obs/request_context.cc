@@ -1,0 +1,128 @@
+#include "obs/request_context.h"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace vs::obs {
+
+namespace {
+
+thread_local RequestContext* t_current_context = nullptr;
+
+/// Stage-name → histogram handle, keyed by the literal's address (the
+/// StageTimer contract).  Amortized: each distinct stage registers once;
+/// later lookups are one small map probe under a short-lived lock.
+Histogram* StageHistogram(const char* stage) {
+  static std::mutex mu;
+  static std::map<const void*, Histogram*>* handles =
+      new std::map<const void*, Histogram*>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = handles->find(stage);
+    if (it != handles->end()) return it->second;
+  }
+  Histogram* histogram = MetricsRegistry::Default().GetHistogram(
+      std::string("serve.stage_seconds.") + stage, DefaultLatencyBuckets(),
+      "per-request stage latency (inclusive)");
+  std::lock_guard<std::mutex> lock(mu);
+  return handles->emplace(stage, histogram).first->second;
+}
+
+}  // namespace
+
+RequestContext::RequestContext(std::string id, std::string method,
+                               std::string path)
+    : id_(std::move(id)),
+      method_(std::move(method)),
+      path_(std::move(path)) {}
+
+void RequestContext::set_endpoint(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoint_ = endpoint;
+}
+
+std::string RequestContext::endpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoint_;
+}
+
+void RequestContext::AddStage(const char* stage, int64_t start_us,
+                              int64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.push_back(StageRecord{stage, start_us, duration_us});
+}
+
+std::vector<StageRecord> RequestContext::stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+RequestContext* CurrentRequestContext() { return t_current_context; }
+
+ScopedRequestContext::ScopedRequestContext(RequestContext* context)
+    : previous_(t_current_context) {
+  t_current_context = context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() {
+  t_current_context = previous_;
+}
+
+StageTimer::StageTimer(const char* stage)
+    : context_(t_current_context), stage_(stage), parent_stage_(nullptr) {
+  if (context_ == nullptr) return;
+  parent_stage_ = context_->current_stage();
+  context_->set_current_stage(stage_);
+  start_us_ = context_->ElapsedMicros();
+}
+
+StageTimer::~StageTimer() {
+  if (context_ == nullptr) return;
+  const int64_t duration_us = context_->ElapsedMicros() - start_us_;
+  context_->set_current_stage(parent_stage_);
+  context_->AddStage(stage_, start_us_, duration_us);
+  StageHistogram(stage_)->Observe(static_cast<double>(duration_us) * 1e-6);
+}
+
+void InflightRegistry::Register(
+    const std::shared_ptr<RequestContext>& context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.push_back(context);
+}
+
+void InflightRegistry::Unregister(const RequestContext* context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(
+      std::remove_if(inflight_.begin(), inflight_.end(),
+                     [context](const std::shared_ptr<RequestContext>& c) {
+                       return c.get() == context;
+                     }),
+      inflight_.end());
+}
+
+std::vector<InflightRequest> InflightRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<InflightRequest> out;
+  out.reserve(inflight_.size());
+  for (const std::shared_ptr<RequestContext>& c : inflight_) {
+    InflightRequest row;
+    row.id = c->id();
+    row.endpoint = c->endpoint();
+    if (row.endpoint.empty()) row.endpoint = "-";
+    row.method = c->method();
+    row.path = c->path();
+    row.age_seconds = static_cast<double>(c->ElapsedMicros()) * 1e-6;
+    row.stage = c->current_stage();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+size_t InflightRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+}  // namespace vs::obs

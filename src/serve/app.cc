@@ -1,11 +1,17 @@
 #include "serve/app.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <map>
+#include <thread>
 
+#include "common/build_info.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/json.h"
+#include "testing/fault_injection.h"
 
 namespace vs::serve {
 
@@ -32,6 +38,28 @@ struct AppMetrics {
     return m;
   }
 };
+
+/// Per-endpoint latency histogram, registered on first use.
+obs::Histogram* EndpointHistogram(const std::string& endpoint) {
+  return obs::MetricsRegistry::Default().GetHistogram(
+      "serve.endpoint_seconds." + endpoint, obs::DefaultLatencyBuckets(),
+      "dispatch latency of one endpoint");
+}
+
+/// Escapes a Prometheus label value: backslash, double-quote, newline.
+std::string PromLabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 /// Parses the request body as a JSON object (empty body = empty object).
 vs::Result<JsonValue> ParseBodyObject(const HttpRequest& request) {
@@ -91,6 +119,36 @@ HttpResponse JsonOk(std::string body, int status = 200) {
   return response;
 }
 
+/// Aggregates stage records by name (first-seen order preserved):
+/// repeated spans of one stage (several WAL appends) sum their durations.
+std::vector<std::pair<const char*, int64_t>> AggregateStages(
+    const std::vector<obs::StageRecord>& stages) {
+  std::vector<std::pair<const char*, int64_t>> totals;
+  for (const obs::StageRecord& record : stages) {
+    bool merged = false;
+    for (auto& [stage, total_us] : totals) {
+      if (std::string_view(stage) == record.stage) {
+        total_us += record.duration_us;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) totals.emplace_back(record.stage, record.duration_us);
+  }
+  return totals;
+}
+
+/// `stage=micros;stage=micros` rendering for the X-Request-Stages header.
+std::string StagesHeaderValue(
+    const std::vector<obs::StageRecord>& stages) {
+  std::string out;
+  for (const auto& [stage, total_us] : AggregateStages(stages)) {
+    if (!out.empty()) out += ";";
+    out += StrFormat("%s=%lld", stage, static_cast<long long>(total_us));
+  }
+  return out;
+}
+
 }  // namespace
 
 int HttpStatusFor(const vs::Status& status) {
@@ -117,61 +175,178 @@ HttpResponse ErrorResponseFor(const vs::Status& status) {
                            status.message());
 }
 
-ServeApp::ServeApp(SessionManager* manager) : manager_(manager) {
-  router_.Add("POST", "/sessions",
-              [this](const HttpRequest& request,
-                     const std::vector<std::string>&) {
-                return CreateSession(request);
-              });
-  router_.Add("GET", "/sessions/{id}",
-              [this](const HttpRequest&,
-                     const std::vector<std::string>& params) {
-                return GetInfo(params);
-              });
-  router_.Add("GET", "/sessions/{id}/next",
-              [this](const HttpRequest&,
-                     const std::vector<std::string>& params) {
-                return GetNext(params);
-              });
-  router_.Add("POST", "/sessions/{id}/label",
-              [this](const HttpRequest& request,
-                     const std::vector<std::string>& params) {
-                return PostLabel(request, params);
-              });
-  router_.Add("GET", "/sessions/{id}/topk",
-              [this](const HttpRequest& request,
-                     const std::vector<std::string>& params) {
-                return GetTopK(request, params);
-              });
-  router_.Add("GET", "/sessions/{id}/labels",
-              [this](const HttpRequest&,
-                     const std::vector<std::string>& params) {
-                return GetLabels(params);
-              });
-  router_.Add("DELETE", "/sessions/{id}",
-              [this](const HttpRequest&,
-                     const std::vector<std::string>& params) {
-                return DeleteSession(params);
-              });
-  router_.Add("GET", "/healthz",
-              [this](const HttpRequest&, const std::vector<std::string>&) {
-                return Healthz();
-              });
-  router_.Add("GET", "/metrics",
-              [this](const HttpRequest&, const std::vector<std::string>&) {
-                return Metrics();
-              });
+std::string SanitizeRequestId(std::string_view candidate) {
+  if (candidate.empty() || candidate.size() > 64) return "";
+  for (char c : candidate) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == ':' || c == '-';
+    if (!ok) return "";
+  }
+  return std::string(candidate);
+}
+
+void ServeApp::AddRoute(const char* method, const char* pattern,
+                        const char* name, RouteHandler handler) {
+  router_.Add(
+      method, pattern,
+      [name, handler = std::move(handler)](
+          const HttpRequest& request,
+          const std::vector<std::string>& params) {
+        // Stamp the endpoint before the handler body so a request stuck
+        // inside it is already attributable in the /statusz table; the
+        // fault point below lets tests freeze a request mid-dispatch
+        // deterministically (armed with probability 1, released by
+        // FaultInjector::Clear()).  Introspection routes never stall —
+        // observing a stall through /statusz is the point.
+        if (obs::RequestContext* context = obs::CurrentRequestContext()) {
+          context->set_endpoint(name);
+        }
+        const bool introspection = std::strcmp(name, "healthz") == 0 ||
+                                   std::strcmp(name, "metrics") == 0 ||
+                                   std::strcmp(name, "statusz") == 0;
+        if (!introspection) {
+          while (VS_FAULT("serve.handler_stall")) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        }
+        return handler(request, params);
+      },
+      name);
+}
+
+ServeApp::ServeApp(SessionManager* manager, ServeAppOptions options)
+    : manager_(manager),
+      options_(std::move(options)),
+      slo_([&] {
+        SloOptions slo;
+        slo.window_seconds = options_.slo_window_seconds;
+        slo.budget_ms = options_.slo_budget_ms;
+        slo.clock = options_.clock;
+        return slo;
+      }()) {
+  AddRoute("POST", "/sessions", "create_session",
+           [this](const HttpRequest& request,
+                  const std::vector<std::string>&) {
+             return CreateSession(request);
+           });
+  AddRoute("GET", "/sessions/{id}", "get_info",
+           [this](const HttpRequest&,
+                  const std::vector<std::string>& params) {
+             return GetInfo(params);
+           });
+  AddRoute("GET", "/sessions/{id}/next", "next",
+           [this](const HttpRequest&,
+                  const std::vector<std::string>& params) {
+             return GetNext(params);
+           });
+  AddRoute("POST", "/sessions/{id}/label", "label",
+           [this](const HttpRequest& request,
+                  const std::vector<std::string>& params) {
+             return PostLabel(request, params);
+           });
+  AddRoute("GET", "/sessions/{id}/topk", "topk",
+           [this](const HttpRequest& request,
+                  const std::vector<std::string>& params) {
+             return GetTopK(request, params);
+           });
+  AddRoute("GET", "/sessions/{id}/labels", "labels",
+           [this](const HttpRequest&,
+                  const std::vector<std::string>& params) {
+             return GetLabels(params);
+           });
+  AddRoute("DELETE", "/sessions/{id}", "delete",
+           [this](const HttpRequest&,
+                  const std::vector<std::string>& params) {
+             return DeleteSession(params);
+           });
+  AddRoute("GET", "/healthz", "healthz",
+           [this](const HttpRequest&, const std::vector<std::string>&) {
+             return Healthz();
+           });
+  AddRoute("GET", "/metrics", "metrics",
+           [this](const HttpRequest&, const std::vector<std::string>&) {
+             return Metrics();
+           });
+  AddRoute("GET", "/statusz", "statusz",
+           [this](const HttpRequest&, const std::vector<std::string>&) {
+             return Statusz();
+           });
 }
 
 HttpResponse ServeApp::Handle(const HttpRequest& request) {
   obs::ScopedSpan span("serve.request");
-  Stopwatch watch;
-  HttpResponse response = router_.Dispatch(request);
+  const uint64_t seq =
+      request_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  std::string id;
+  if (const std::string* header = request.FindHeader("x-request-id")) {
+    id = SanitizeRequestId(*header);
+  }
+  if (id.empty()) id = StrFormat("req-%llu", (unsigned long long)seq);
+
+  auto context = std::make_shared<obs::RequestContext>(id, request.method,
+                                                       request.path);
+  inflight_.Register(context);
+  std::string endpoint;
+  HttpResponse response;
+  {
+    obs::ScopedRequestContext scoped(context.get());
+    obs::StageTimer dispatch_stage("http.dispatch");
+    response = router_.Dispatch(request, &endpoint);
+  }
+  if (endpoint.empty()) endpoint = "unmatched";
+  context->set_endpoint(endpoint);
+  inflight_.Unregister(context.get());
+
+  const double seconds =
+      static_cast<double>(context->ElapsedMicros()) * 1e-6;
+  const double duration_ms = seconds * 1e3;
   const AppMetrics& m = AppMetrics::Get();
   m.requests_total->Increment();
   if (response.status >= 400) m.errors_total->Increment();
-  m.request_seconds->Observe(watch.ElapsedSeconds());
+  m.request_seconds->Observe(seconds);
+  EndpointHistogram(endpoint)->Observe(seconds);
+  slo_.Record(endpoint, seconds, response.status >= 500);
+
+  const bool slow =
+      options_.slow_request_ms > 0.0 && duration_ms > options_.slow_request_ms;
+  const bool sampled = options_.wide_event_sample > 0 &&
+                       seq % options_.wide_event_sample == 0;
+  if (options_.wide_event_sink != nullptr && (slow || sampled)) {
+    EmitWideEvent(*context, endpoint, response.status, duration_ms, slow,
+                  sampled);
+  }
+
+  // Echo the id on every response (success and error alike) and expose
+  // the per-stage breakdown so clients (loadgen) can report server-side
+  // time without a second round trip.
+  response.extra_headers.emplace_back("X-Request-Id", id);
+  const std::string stages = StagesHeaderValue(context->stages());
+  if (!stages.empty()) {
+    response.extra_headers.emplace_back("X-Request-Stages", stages);
+  }
   return response;
+}
+
+void ServeApp::EmitWideEvent(const obs::RequestContext& context,
+                             const std::string& endpoint, int status,
+                             double duration_ms, bool slow, bool sampled) {
+  obs::Event event("request");
+  event.SetStr("request_id", context.id())
+      .SetStr("method", context.method())
+      .SetStr("path", context.path())
+      .SetStr("endpoint", endpoint)
+      .SetInt("status", status)
+      .SetNum("duration_ms", duration_ms)
+      .SetBool("slow", slow)
+      .SetBool("sampled", sampled);
+  const std::vector<obs::StageRecord> stages = context.stages();
+  event.SetInt("stage_count", static_cast<int64_t>(stages.size()));
+  for (const auto& [stage, total_us] : AggregateStages(stages)) {
+    event.SetInt(std::string("stage_us.") + stage, total_us);
+  }
+  options_.wide_event_sink->Emit(event);
 }
 
 HttpResponse ServeApp::CreateSession(const HttpRequest& request) {
@@ -304,11 +479,101 @@ HttpResponse ServeApp::Healthz() {
 }
 
 HttpResponse ServeApp::Metrics() {
+  // Window gauges are computed at scrape time (counters update at Record
+  // time); the build-info gauge is hand-rendered because the registry has
+  // no label support — it is the one labelled series we export.
+  slo_.ExportMetrics();
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4";
   response.body =
       obs::ToPrometheusText(obs::MetricsRegistry::Default().SnapshotAll());
+  const BuildInfo& build = GetBuildInfo();
+  response.body +=
+      "# HELP viewseeker_build_info build provenance; value is always 1\n"
+      "# TYPE viewseeker_build_info gauge\n" +
+      StrFormat(
+          "viewseeker_build_info{version=\"%s\",revision=\"%s\","
+          "build_type=\"%s\",compiler=\"%s\"} 1\n",
+          PromLabelEscape(build.version).c_str(),
+          PromLabelEscape(build.revision).c_str(),
+          PromLabelEscape(build.build_type).c_str(),
+          PromLabelEscape(build.compiler).c_str());
   return response;
+}
+
+HttpResponse ServeApp::Statusz() {
+  const BuildInfo& build = GetBuildInfo();
+  std::string out = "{";
+  out += StrFormat(
+      "\"build\":{\"version\":%s,\"revision\":%s,\"build_type\":%s,"
+      "\"compiler\":%s,\"flags\":%s}",
+      JsonQuote(build.version).c_str(), JsonQuote(build.revision).c_str(),
+      JsonQuote(build.build_type).c_str(),
+      JsonQuote(build.compiler).c_str(), JsonQuote(build.flags).c_str());
+  out += StrFormat(",\"uptime_seconds\":%.3f", uptime_.ElapsedSeconds());
+  out += ",\"config\":" +
+         (options_.config_json.empty() ? std::string("{}")
+                                       : options_.config_json);
+
+  out += ",\"inflight\":[";
+  bool first = true;
+  for (const obs::InflightRequest& row : inflight_.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"id\":%s,\"endpoint\":%s,\"method\":%s,\"path\":%s,"
+        "\"age_seconds\":%.3f,\"stage\":%s}",
+        JsonQuote(row.id).c_str(), JsonQuote(row.endpoint).c_str(),
+        JsonQuote(row.method).c_str(), JsonQuote(row.path).c_str(),
+        row.age_seconds,
+        JsonQuote(row.stage != nullptr ? row.stage : "-").c_str());
+  }
+  out += "]";
+
+  out += StrFormat(
+      ",\"slo\":{\"window_seconds\":%.1f,\"budget_ms\":%.1f,"
+      "\"endpoints\":[",
+      slo_.options().window_seconds, slo_.options().budget_ms);
+  first = true;
+  for (const SloEndpointSnapshot& snap : slo_.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"endpoint\":%s,\"window_samples\":%zu,"
+        "\"total_requests\":%llu,\"total_errors\":%llu,"
+        "\"budget_breaches\":%llu,\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
+        "\"p99_ms\":%.3f,\"window_error_rate\":%.6f,\"healthy\":%s}",
+        JsonQuote(snap.endpoint).c_str(), snap.window_samples,
+        static_cast<unsigned long long>(snap.total_requests),
+        static_cast<unsigned long long>(snap.total_errors),
+        static_cast<unsigned long long>(snap.budget_breaches), snap.p50_ms,
+        snap.p95_ms, snap.p99_ms, snap.window_error_rate,
+        snap.healthy ? "true" : "false");
+  }
+  out += "]}";
+
+  const FeatureMatrixCacheStats cache = manager_->matrix_cache().stats();
+  out += StrFormat(
+      ",\"matrix_cache\":{\"entries\":%zu,\"bytes\":%zu,\"hits\":%llu,"
+      "\"misses\":%llu}",
+      cache.entries, cache.bytes,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses));
+  out += StrFormat(",\"active_sessions\":%zu", manager_->active_sessions());
+
+  if (manager_->durability_enabled()) {
+    const DurabilityStats d = manager_->durability_stats();
+    out += StrFormat(
+        ",\"durability\":{\"enabled\":true,\"wal_bytes\":%llu,"
+        "\"pending_records\":%llu,\"last_snapshot_age_seconds\":%.3f}",
+        static_cast<unsigned long long>(d.wal_bytes),
+        static_cast<unsigned long long>(d.pending_records),
+        d.last_snapshot_age_seconds);
+  } else {
+    out += ",\"durability\":{\"enabled\":false}";
+  }
+  out += "}\n";
+  return JsonOk(std::move(out));
 }
 
 }  // namespace vs::serve

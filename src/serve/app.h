@@ -16,18 +16,37 @@
 /// | DELETE /sessions/{id}      | → {"deleted":true}                      |
 /// | GET    /healthz            | → liveness + session gauge + durability |
 /// | GET    /metrics            | → Prometheus text exposition            |
+/// | GET    /statusz            | → introspection snapshot (JSON)         |
 ///
 /// Errors are JSON {"error":{"code","message"}} with the HTTP status
 /// derived from the vs::Status code (NotFound→404, InvalidArgument→400,
 /// ResourceExhausted→429, FailedPrecondition→409, ...).
+///
+/// Request-scoped observability: every dispatched request gets a request
+/// id — the client's `X-Request-Id` when present (sanitized), otherwise a
+/// generated `req-<n>` — installed as the thread-local RequestContext for
+/// the duration of handling.  Instrumented stages below (session manager,
+/// feature-matrix cache, durability) record into it; the response echoes
+/// the id (`X-Request-Id`) and the stage breakdown (`X-Request-Stages`,
+/// `stage=micros;...`), the SLO tracker records the latency under the
+/// endpoint name, and a structured wide event is emitted to the
+/// configured sink for sampled and over-budget ("slow") requests.
+/// `GET /statusz` renders build info, config, the in-flight request
+/// table, SLO window state and subsystem summaries.
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "obs/events.h"
+#include "obs/request_context.h"
 #include "serve/http.h"
 #include "serve/router.h"
 #include "serve/session_manager.h"
+#include "serve/slo.h"
 
 namespace vs::serve {
 
@@ -37,16 +56,50 @@ int HttpStatusFor(const vs::Status& status);
 /// Renders \p status as the standard JSON error response.
 HttpResponse ErrorResponseFor(const vs::Status& status);
 
+/// Sanitized request id: \p candidate when it is 1..64 chars drawn from
+/// [A-Za-z0-9._:-], empty string otherwise (caller generates one).
+std::string SanitizeRequestId(std::string_view candidate);
+
+struct ServeAppOptions {
+  /// Requests slower than this always emit a wide event (when a sink is
+  /// configured); <= 0 disables the slow-request trigger.
+  double slow_request_ms = 500.0;
+  /// Emit a wide event for every Nth request (1 = all, 0 = none beyond
+  /// slow requests).
+  uint64_t wide_event_sample = 0;
+  /// Destination for wide events; nullptr disables emission entirely.
+  /// Borrowed — must outlive the app.
+  obs::EventSink* wide_event_sink = nullptr;
+  /// SLO window + per-endpoint latency budget (0 = no budget).
+  double slo_window_seconds = 60.0;
+  double slo_budget_ms = 0.0;
+  /// Serving configuration as a JSON object, rendered verbatim in
+  /// /statusz ("{}" when empty).  The tool layer fills this from flags.
+  std::string config_json;
+  /// Time source for the SLO window; nullptr = real clock.
+  const Clock* clock = nullptr;
+};
+
 /// \brief Stateless protocol adapter over a borrowed SessionManager.
 class ServeApp {
  public:
-  explicit ServeApp(SessionManager* manager);
+  explicit ServeApp(SessionManager* manager, ServeAppOptions options = {});
 
   /// Entry point the transport calls for every parsed request; records
   /// serve-layer metrics and a per-request trace span around dispatch.
   HttpResponse Handle(const HttpRequest& request);
 
+  /// Observability state, exposed for /statusz and tests.
+  const SloTracker& slo() const { return slo_; }
+  const obs::InflightRegistry& inflight() const { return inflight_; }
+
  private:
+  /// Registers method+pattern under a stable endpoint \p name; the
+  /// wrapper stamps the name into the current RequestContext *before*
+  /// the handler runs, so a stalled request is attributable in /statusz.
+  void AddRoute(const char* method, const char* pattern, const char* name,
+                RouteHandler handler);
+
   HttpResponse CreateSession(const HttpRequest& request);
   HttpResponse GetInfo(const std::vector<std::string>& params);
   HttpResponse GetNext(const std::vector<std::string>& params);
@@ -58,10 +111,19 @@ class ServeApp {
   HttpResponse DeleteSession(const std::vector<std::string>& params);
   HttpResponse Healthz();
   HttpResponse Metrics();
+  HttpResponse Statusz();
+
+  void EmitWideEvent(const obs::RequestContext& context,
+                     const std::string& endpoint, int status,
+                     double duration_ms, bool slow, bool sampled);
 
   SessionManager* manager_;
+  ServeAppOptions options_;
   Router router_;
   Stopwatch uptime_;
+  SloTracker slo_;
+  obs::InflightRegistry inflight_;
+  std::atomic<uint64_t> request_sequence_{0};
 };
 
 }  // namespace vs::serve

@@ -210,13 +210,16 @@ vs::Result<ClientResponse> HttpClient::ReadResponse() {
   return response;
 }
 
-vs::Result<ClientResponse> HttpClient::Request(std::string_view method,
-                                               std::string_view target,
-                                               std::string_view body) {
+vs::Result<ClientResponse> HttpClient::Request(
+    std::string_view method, std::string_view target, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string request;
   request.reserve(128 + body.size());
   request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
   request.append("Host: ").append(host_).append("\r\n");
+  for (const auto& [name, value] : extra_headers) {
+    request.append(name).append(": ").append(value).append("\r\n");
+  }
   if (!body.empty() || method == "POST" || method == "PUT") {
     request.append(
         StrFormat("Content-Length: %zu\r\n", body.size()));

@@ -9,6 +9,8 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -60,11 +62,14 @@ class HttpClient {
 
   /// Sends one request and blocks for the full response.  `body` may be
   /// empty; a Content-Length header is always emitted for methods with a
-  /// body.  Reconnects once if the kept-alive connection went stale, and
+  /// body.  `extra_headers` are appended verbatim (e.g. X-Request-Id).
+  /// Reconnects once if the kept-alive connection went stale, and
   /// retries transport failures per set_retry_options().
-  vs::Result<ClientResponse> Request(std::string_view method,
-                                     std::string_view target,
-                                     std::string_view body = {});
+  vs::Result<ClientResponse> Request(
+      std::string_view method, std::string_view target,
+      std::string_view body = {},
+      const std::vector<std::pair<std::string, std::string>>&
+          extra_headers = {});
 
   /// Replaces the retry policy (default: no retries).
   void set_retry_options(const RetryOptions& options) {

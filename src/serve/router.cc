@@ -5,9 +5,13 @@
 namespace vs::serve {
 
 void Router::Add(std::string_view method, std::string_view pattern,
-                 RouteHandler handler) {
-  routes_.push_back(
-      Route{std::string(method), SplitPath(pattern), std::move(handler)});
+                 RouteHandler handler, std::string_view name) {
+  std::string label(name);
+  if (label.empty()) {
+    label = std::string(method) + " /" + Join(SplitPath(pattern), "/");
+  }
+  routes_.push_back(Route{std::string(method), SplitPath(pattern),
+                          std::move(handler), std::move(label)});
 }
 
 std::vector<std::string> Router::SplitPath(std::string_view path) {
@@ -36,24 +40,28 @@ bool Router::Match(const Route& route,
   return true;
 }
 
-HttpResponse Router::Dispatch(const HttpRequest& request) const {
+HttpResponse Router::Dispatch(const HttpRequest& request,
+                              std::string* matched_name) const {
   const std::vector<std::string> segments = SplitPath(request.path);
   std::vector<std::string> params;
   std::vector<std::string> allowed;  // methods matching the path
   for (const Route& route : routes_) {
     if (!Match(route, segments, &params)) continue;
     if (route.method == request.method) {
+      if (matched_name != nullptr) *matched_name = route.name;
       return route.handler(request, params);
     }
     allowed.push_back(route.method);
   }
   if (!allowed.empty()) {
+    if (matched_name != nullptr) *matched_name = "method_not_allowed";
     HttpResponse response = JsonErrorResponse(
         405, "MethodNotAllowed",
         request.method + " not allowed on " + request.path);
     response.extra_headers.emplace_back("Allow", Join(allowed, ", "));
     return response;
   }
+  if (matched_name != nullptr) *matched_name = "not_found";
   return JsonErrorResponse(404, "NotFound",
                            "no route for " + request.path);
 }

@@ -24,19 +24,26 @@ using RouteHandler = std::function<HttpResponse(
 class Router {
  public:
   /// Registers \p handler for \p method + \p pattern.  Routes are matched
-  /// in registration order; the first match wins.
+  /// in registration order; the first match wins.  \p name is the stable
+  /// endpoint label used for per-endpoint metrics/SLO attribution; empty
+  /// defaults to "METHOD /pattern".
   void Add(std::string_view method, std::string_view pattern,
-           RouteHandler handler);
+           RouteHandler handler, std::string_view name = "");
 
   /// Dispatches \p request, producing the handler's response or a typed
-  /// 404/405 error.
-  HttpResponse Dispatch(const HttpRequest& request) const;
+  /// 404/405 error.  When \p matched_name is non-null it receives the
+  /// matched route's endpoint name ("not_found" / "method_not_allowed"
+  /// for the typed errors) before the handler runs, so observers can
+  /// attribute a request even if the handler throws or stalls.
+  HttpResponse Dispatch(const HttpRequest& request,
+                        std::string* matched_name = nullptr) const;
 
  private:
   struct Route {
     std::string method;
     std::vector<std::string> segments;  ///< "{...}" marks a capture
     RouteHandler handler;
+    std::string name;  ///< endpoint label for metrics/SLO
   };
 
   static std::vector<std::string> SplitPath(std::string_view path);

@@ -42,6 +42,18 @@ struct ServerMetrics {
   }
 };
 
+/// Counts one response about to be written, by status code, in the
+/// `http.responses.<code>` counter family.  Every write site goes through
+/// this — including pre-routing errors (parse failures, 408 timeouts,
+/// 503 shedding) that never reach the app layer — so the /metrics totals
+/// reconcile with what a load generator observes on the wire.
+void CountResponse(int status) {
+  obs::MetricsRegistry::Default()
+      .GetCounter("http.responses." + std::to_string(status),
+                  "HTTP responses written, by status code")
+      ->Increment();
+}
+
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
@@ -92,6 +104,7 @@ void SendResponseAndMaybeClose(int fd, const HttpResponse& response,
                                bool keep_alive, double timeout_seconds,
                                const std::atomic<bool>& stopping,
                                const Clock* clock) {
+  CountResponse(response.status);
   WriteAll(fd, SerializeResponse(response, keep_alive), timeout_seconds,
            stopping, clock);
 }
@@ -307,6 +320,7 @@ void HttpServer::ServeConnection(int fd) {
         served + 1 < options_.max_requests_per_connection &&
         !stopping_.load(std::memory_order_relaxed);
     const HttpResponse response = handler_(request);
+    CountResponse(response.status);
     if (!WriteAll(fd, SerializeResponse(response, keep_alive),
                   options_.io_timeout_seconds, stopping_, clock_)) {
       CloseFd(fd);

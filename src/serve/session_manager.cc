@@ -16,6 +16,7 @@
 #include "data/predicate.h"
 #include "data/query.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "testing/fault_injection.h"
 
@@ -330,6 +331,7 @@ SessionInfo SessionManager::InfoLocked(Session& session) const {
 
 vs::Result<SessionInfo> SessionManager::Create(const CreateSpec& spec) {
   obs::ScopedSpan span("serve.session_create");
+  obs::StageTimer stage("session_manager.create");
   Stopwatch watch;
   const SessionMetrics& m = SessionMetrics::Get();
   const std::string path =
@@ -429,6 +431,7 @@ vs::Result<SessionManager::LockedSession> SessionManager::AcquireLocked(
 vs::Result<std::shared_ptr<SessionManager::Session>> SessionManager::Restore(
     const std::string& id, const SpilledSession& spill) {
   obs::ScopedSpan span("serve.session_restore");
+  obs::StageTimer stage("session_manager.restore");
   if (spill.durable) return RestoreDurable(id);
   VS_ASSIGN_OR_RETURN(std::string text, ReadFileToString(spill.file_path));
   if (VS_FAULT("session.spill_corrupt")) {
@@ -634,6 +637,7 @@ DurabilityStats SessionManager::durability_stats() const {
 }
 
 vs::Result<NextBatch> SessionManager::Next(const std::string& id) {
+  obs::StageTimer stage("session_manager.next");
   VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
   const std::shared_ptr<Session>& session = locked.session;
   VS_ASSIGN_OR_RETURN(std::vector<size_t> views,
@@ -649,6 +653,7 @@ vs::Result<NextBatch> SessionManager::Next(const std::string& id) {
 
 vs::Result<size_t> SessionManager::Label(const std::string& id, size_t view,
                                          double label) {
+  obs::StageTimer stage("session_manager.label");
   VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
   const std::shared_ptr<Session>& session = locked.session;
   VS_RETURN_IF_ERROR(session->seeker->SubmitLabel(view, label));
@@ -679,6 +684,7 @@ vs::Result<size_t> SessionManager::Label(const std::string& id, size_t view,
 
 vs::Result<TopKResult> SessionManager::TopK(const std::string& id,
                                             double lambda) {
+  obs::StageTimer stage("session_manager.topk");
   VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
   const std::shared_ptr<Session>& session = locked.session;
   vs::Result<std::vector<size_t>> topk =
@@ -753,6 +759,9 @@ vs::Status SessionManager::Delete(const std::string& id) {
 }
 
 size_t SessionManager::EvictIdleOlderThan(double idle_seconds) {
+  // A no-op on the reaper thread (no request context); records when a
+  // request-path caller (tests, admin endpoints) drives eviction.
+  obs::StageTimer stage("session_manager.evict");
   const int64_t cutoff =
       NowMicros() - static_cast<int64_t>(idle_seconds * 1e6);
   const SessionMetrics& m = SessionMetrics::Get();

@@ -1,0 +1,153 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace vs::serve {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted copy of the window.
+double PercentileMs(std::vector<float> values, double p) {
+  if (values.empty()) return -1.0;
+  const size_t index = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(index),
+                   values.end());
+  return static_cast<double>(values[index]);
+}
+
+}  // namespace
+
+bool SloPercentileDefined(size_t samples, double p) {
+  if (samples == 0) return false;
+  return static_cast<double>(samples) * (1.0 - p) >= 1.0;
+}
+
+SloTracker::SloTracker(const SloOptions& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {}
+
+void SloTracker::Record(const std::string& endpoint, double latency_seconds,
+                        bool error) {
+  const int64_t now_us = NowMicros();
+  const double latency_ms = latency_seconds * 1e3;
+  bool breached = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Endpoint& e = endpoints_[endpoint];
+    PruneLocked(e, now_us);
+    e.window.push_back(
+        Sample{now_us, static_cast<float>(latency_ms), error});
+    if (e.window.size() > options_.max_samples_per_endpoint) {
+      e.window.pop_front();
+    }
+    ++e.total_requests;
+    if (error) ++e.total_errors;
+    if (options_.budget_ms > 0.0 && latency_ms > options_.budget_ms) {
+      ++e.budget_breaches;
+      breached = true;
+    }
+  }
+  // Cumulative counters live in the registry so alerting sees them
+  // without a tracker snapshot; registration is amortized per endpoint.
+  auto& registry = obs::MetricsRegistry::Default();
+  if (breached) {
+    registry
+        .GetCounter("slo.breaches." + endpoint,
+                    "requests over the endpoint's latency budget")
+        ->Increment();
+  }
+  if (error) {
+    registry
+        .GetCounter("slo.errors." + endpoint,
+                    "requests answered with a server-side error (5xx)")
+        ->Increment();
+  }
+}
+
+void SloTracker::PruneLocked(Endpoint& endpoint, int64_t now_us) const {
+  const int64_t cutoff_us =
+      now_us - static_cast<int64_t>(options_.window_seconds * 1e6);
+  while (!endpoint.window.empty() &&
+         endpoint.window.front().t_us < cutoff_us) {
+    endpoint.window.pop_front();
+  }
+}
+
+SloEndpointSnapshot SloTracker::SnapshotLocked(
+    const std::string& name, const Endpoint& endpoint) const {
+  SloEndpointSnapshot snap;
+  snap.endpoint = name;
+  snap.window_samples = endpoint.window.size();
+  snap.total_requests = endpoint.total_requests;
+  snap.total_errors = endpoint.total_errors;
+  snap.budget_breaches = endpoint.budget_breaches;
+  snap.budget_ms = options_.budget_ms;
+
+  std::vector<float> values;
+  values.reserve(endpoint.window.size());
+  size_t window_errors = 0;
+  for (const Sample& s : endpoint.window) {
+    values.push_back(s.latency_ms);
+    if (s.error) ++window_errors;
+  }
+  if (!values.empty()) {
+    snap.window_error_rate = static_cast<double>(window_errors) /
+                             static_cast<double>(values.size());
+  }
+  if (SloPercentileDefined(values.size(), 0.50)) {
+    snap.p50_ms = PercentileMs(values, 0.50);
+  }
+  if (SloPercentileDefined(values.size(), 0.95)) {
+    snap.p95_ms = PercentileMs(values, 0.95);
+  }
+  if (SloPercentileDefined(values.size(), 0.99)) {
+    snap.p99_ms = PercentileMs(values, 0.99);
+  }
+  if (options_.budget_ms > 0.0) {
+    const double tail = snap.p99_ms >= 0.0 ? snap.p99_ms : snap.p50_ms;
+    snap.healthy = tail < 0.0 || tail <= options_.budget_ms;
+  }
+  return snap;
+}
+
+std::vector<SloEndpointSnapshot> SloTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_us = NowMicros();
+  std::vector<SloEndpointSnapshot> out;
+  out.reserve(endpoints_.size());
+  for (auto& [name, endpoint] : endpoints_) {
+    PruneLocked(endpoint, now_us);
+    out.push_back(SnapshotLocked(name, endpoint));
+  }
+  return out;
+}
+
+void SloTracker::ExportMetrics() const {
+  auto& registry = obs::MetricsRegistry::Default();
+  for (const SloEndpointSnapshot& snap : Snapshot()) {
+    registry
+        .GetGauge("slo.window_p50_ms." + snap.endpoint,
+                  "windowed p50 latency (-1 = undefined)")
+        ->Set(snap.p50_ms);
+    registry
+        .GetGauge("slo.window_p95_ms." + snap.endpoint,
+                  "windowed p95 latency (-1 = undefined)")
+        ->Set(snap.p95_ms);
+    registry
+        .GetGauge("slo.window_p99_ms." + snap.endpoint,
+                  "windowed p99 latency (-1 = undefined)")
+        ->Set(snap.p99_ms);
+    registry
+        .GetGauge("slo.window_error_rate." + snap.endpoint,
+                  "windowed server-error rate")
+        ->Set(snap.window_error_rate);
+  }
+}
+
+}  // namespace vs::serve

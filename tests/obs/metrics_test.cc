@@ -156,6 +156,87 @@ TEST(Exporters, PrometheusRenamesDotsAndAccumulatesBuckets) {
   EXPECT_NE(text.find("prom_hist_count 3"), std::string::npos) << text;
 }
 
+TEST(Exporters, PrometheusEscapesHelpText) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc.count", "line one\nline two \\ done")
+      ->Increment();
+  const std::string text = ToPrometheusText(registry.SnapshotAll());
+  // The newline and backslash are escaped inside the HELP line...
+  EXPECT_NE(text.find("# HELP esc_count line one\\nline two \\\\ done"),
+            std::string::npos)
+      << text;
+  // ...so no physical line of the exposition starts with stray help text
+  // (an unescaped newline would make "line two" a malformed sample line).
+  EXPECT_EQ(text.find("\nline two"), std::string::npos) << text;
+}
+
+TEST(Exporters, PrometheusHistogramBucketsAreCumulativeMonotone) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("mono.hist", {1.0, 2.0, 4.0, 8.0});
+  // Deliberately uneven fill, including empty interior buckets.
+  h->Observe(0.5);
+  h->Observe(0.9);
+  h->Observe(3.0);
+  h->Observe(100.0);
+  h->Observe(200.0);
+  h->Observe(300.0);
+  const MetricsSnapshot snapshot = registry.SnapshotAll();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snapshot.histograms[0];
+  // The snapshot stores per-bucket counts; the exporter accumulates.
+  const std::string text = ToPrometheusText(snapshot);
+  uint64_t cumulative = 0;
+  std::vector<uint64_t> expected;
+  for (uint64_t count : hs.counts) {
+    cumulative += count;
+    expected.push_back(cumulative);
+  }
+  EXPECT_NE(text.find("mono_hist_bucket{le=\"1\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mono_hist_bucket{le=\"2\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mono_hist_bucket{le=\"4\"} 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mono_hist_bucket{le=\"8\"} 3"), std::string::npos)
+      << text;
+  // Each exported cumulative value is the running sum (never decreases).
+  for (size_t i = 1; i < expected.size(); ++i) {
+    EXPECT_GE(expected[i], expected[i - 1]);
+  }
+}
+
+TEST(Exporters, PrometheusHistogramInfBucketEqualsCount) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("inf.hist", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  h->Observe(500.0);
+  const std::string text = ToPrometheusText(registry.SnapshotAll());
+  EXPECT_NE(text.find("inf_hist_bucket{le=\"+Inf\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("inf_hist_count 4"), std::string::npos) << text;
+}
+
+TEST(Histogram, BoundaryValuesLandInInclusiveUpperBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("edge.hist", {1.0, 2.0});
+  // Bounds are inclusive upper bounds (Observe places v where v <= bound):
+  // 1.0 lands in le=1, the next representable double above 1.0 in le=2,
+  // 2.0 in le=2, and just above 2.0 overflows to +Inf.
+  h->Observe(1.0);
+  h->Observe(std::nextafter(1.0, 2.0));
+  h->Observe(2.0);
+  h->Observe(std::nextafter(2.0, 3.0));
+  const MetricsSnapshot snapshot = registry.SnapshotAll();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snapshot.histograms[0];
+  ASSERT_EQ(hs.counts.size(), 3u);
+  EXPECT_EQ(hs.counts[0], 1u);  // exactly 1.0
+  EXPECT_EQ(hs.counts[1], 2u);  // (1.0, 2.0]
+  EXPECT_EQ(hs.counts[2], 1u);  // (2.0, +Inf)
+}
+
 TEST(Buckets, GeneratorsProduceIncreasingBounds) {
   const auto exp = ExponentialBuckets(1e-6, 10.0, 5);
   ASSERT_EQ(exp.size(), 5u);

@@ -3,6 +3,7 @@
 ///   loadgen --port=P [--host=127.0.0.1] [--users=8] [--duration=10]
 ///           [--think-ms=0] [--table=F] [--k=5] [--seed=1]
 ///           [--repeat-query] [--filter-col=num_lab_procedures]
+///           [--slo-ms=B] [--worst=N]
 ///
 /// Each simulated user runs one session through the full protocol loop:
 /// POST /sessions, then GET next → POST label (random labels) → GET topk,
@@ -11,6 +12,14 @@
 /// latency.  Backpressure responses (429/503) are counted separately from
 /// protocol errors; the exit code is non-zero iff protocol errors occurred,
 /// which is what the CI smoke job asserts on.
+///
+/// Every request carries a distinct `X-Request-Id` (`lg<user>-<seq>`), so
+/// a slow request found here can be located in the server's wide-event
+/// log and /statusz by id.  The per-endpoint report prints p50/p95/p99
+/// per endpoint and, when --slo-ms is given, a PASS/FAIL verdict against
+/// that budget (p99 when defined, else p50 — same rule the server's SLO
+/// tracker uses).  --worst=N dumps the N slowest requests with the
+/// server-side stage breakdown echoed in `X-Request-Stages`.
 ///
 /// --repeat-query switches to session-churn mode, which measures the
 /// server's shared feature-matrix cache: a *cold* phase where every create
@@ -77,8 +86,18 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// One completed request worth remembering in the worst-N report.
+struct WorstRequest {
+  double seconds = 0.0;
+  int status = 0;
+  std::string id;        ///< the X-Request-Id this client sent
+  std::string endpoint;
+  std::string stages;    ///< server-side X-Request-Stages echo ("" if none)
+};
+
 struct UserStats {
   std::vector<double> latencies;  ///< seconds, successful requests only
+  std::map<std::string, std::vector<double>> endpoint_latencies;
   uint64_t requests = 0;
   uint64_t errors = 0;        ///< transport failures + unexpected status
   uint64_t backpressure = 0;  ///< 429/503 — the server shedding load
@@ -86,10 +105,29 @@ struct UserStats {
   uint64_t reconnects = 0;       ///< stale keep-alive resends
   uint64_t backoff_retries = 0;  ///< RetryOptions attempts past the first
   std::vector<std::string> error_samples;  ///< first few, for the report
+  std::vector<WorstRequest> worst;  ///< up to worst_n slowest, unsorted
+  size_t worst_n = 0;
+  int user_index = 0;
+  uint64_t seq = 0;  ///< per-user request counter (request-id suffix)
 
   void RecordError(std::string what) {
     ++errors;
     if (error_samples.size() < 3) error_samples.push_back(std::move(what));
+  }
+
+  void RecordWorst(WorstRequest request) {
+    if (worst_n == 0) return;
+    if (worst.size() < worst_n) {
+      worst.push_back(std::move(request));
+      return;
+    }
+    size_t min_index = 0;
+    for (size_t i = 1; i < worst.size(); ++i) {
+      if (worst[i].seconds < worst[min_index].seconds) min_index = i;
+    }
+    if (request.seconds > worst[min_index].seconds) {
+      worst[min_index] = std::move(request);
+    }
   }
 };
 
@@ -106,6 +144,8 @@ struct LoadgenConfig {
   std::string filter_col;        ///< numeric column for cold-phase filters
   int retries = 0;               ///< transport retries per request
   double retry_deadline_seconds = 0.0;  ///< cap across attempts (0 = none)
+  double slo_ms = 0.0;           ///< per-endpoint budget (0 = no verdicts)
+  size_t worst = 5;              ///< slowest requests to dump (0 = none)
 };
 
 /// Applies the run's retry policy to a freshly constructed client.
@@ -123,17 +163,36 @@ void ConfigureRetries(serve::HttpClient& client, const LoadgenConfig& config,
 /// writes the body to \p out.  Returns the HTTP status (-1 on transport
 /// failure).  Callers decide which statuses are protocol errors — 409 on
 /// /next, for instance, just means the view space is exhausted.
+/// \p endpoint labels the request in the per-endpoint and worst-N reports
+/// with the same name the server's SLO tracker uses.
 int TimedRequest(serve::HttpClient& client, UserStats& stats,
                  std::string_view method, const std::string& target,
-                 std::string_view body, std::string* out) {
+                 std::string_view body, std::string* out,
+                 const char* endpoint) {
+  const std::string request_id =
+      StrFormat("lg%d-%llu", stats.user_index,
+                static_cast<unsigned long long>(++stats.seq));
   Stopwatch watch;
-  auto response = client.Request(method, target, body);
+  auto response =
+      client.Request(method, target, body, {{"X-Request-Id", request_id}});
   ++stats.requests;
   if (!response.ok()) {
     stats.RecordError(target + ": " + response.status().ToString());
     return -1;
   }
-  stats.latencies.push_back(watch.ElapsedSeconds());
+  const double seconds = watch.ElapsedSeconds();
+  stats.latencies.push_back(seconds);
+  stats.endpoint_latencies[endpoint].push_back(seconds);
+  WorstRequest worst;
+  worst.seconds = seconds;
+  worst.status = response->status;
+  worst.id = request_id;
+  worst.endpoint = endpoint;
+  if (const std::string* stages =
+          response->FindHeader("x-request-stages")) {
+    worst.stages = *stages;
+  }
+  stats.RecordWorst(std::move(worst));
   if (response->status == 429 || response->status == 503) {
     ++stats.backpressure;
     return response->status;
@@ -145,6 +204,8 @@ int TimedRequest(serve::HttpClient& client, UserStats& stats,
 bool IsOk(int status) { return status >= 200 && status < 300; }
 
 void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
+  stats.user_index = user_index;
+  stats.worst_n = config.worst;
   serve::HttpClient client(config.host, config.port);
   ConfigureRetries(client, config, user_index);
   Rng rng(config.seed + static_cast<uint64_t>(user_index) * 7919);
@@ -163,7 +224,8 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
   while (elapsed.ElapsedSeconds() < config.duration_seconds) {
     if (session_id.empty()) {
       const int created =
-          TimedRequest(client, stats, "POST", "/sessions", create, &body);
+          TimedRequest(client, stats, "POST", "/sessions", create, &body,
+                       "create_session");
       if (created == 429 || created == 503 || created == -1) {
         // Creation rejected (cap) or failed — back off briefly and retry.
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -185,12 +247,12 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
     // One interactive iteration: fetch views, label them, peek at top-k.
     const std::string base = "/sessions/" + session_id;
     const int next_status =
-        TimedRequest(client, stats, "GET", base + "/next", {}, &body);
+        TimedRequest(client, stats, "GET", base + "/next", {}, &body, "next");
     if (next_status == 409) {
       // Every view labeled — this user is done exploring; start over with
       // a fresh session, like a new analyst arriving.
-      TimedRequest(client, stats, "GET", base + "/topk", {}, &body);
-      TimedRequest(client, stats, "DELETE", base, {}, &body);
+      TimedRequest(client, stats, "GET", base + "/topk", {}, &body, "topk");
+      TimedRequest(client, stats, "DELETE", base, {}, &body, "delete");
       session_id.clear();
       continue;
     }
@@ -213,7 +275,8 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
           "{\"view\":%.0f,\"label\":%d}", index,
           rng.NextDouble() < 0.3 ? 1 : 0);
       const int labeled = TimedRequest(client, stats, "POST",
-                                       base + "/label", label, &body);
+                                       base + "/label", label, &body,
+                                       "label");
       if (IsOk(labeled)) {
         ++stats.labels;
       } else if (labeled != 429 && labeled != 503 && labeled != -1) {
@@ -222,7 +285,7 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
       }
     }
     const int topk =
-        TimedRequest(client, stats, "GET", base + "/topk", {}, &body);
+        TimedRequest(client, stats, "GET", base + "/topk", {}, &body, "topk");
     if (!IsOk(topk) && topk != 429 && topk != 503 && topk != -1) {
       stats.RecordError(StrFormat("topk: HTTP %d %s", topk,
                                   body.substr(0, 120).c_str()));
@@ -235,7 +298,7 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
 
   if (!session_id.empty()) {
     TimedRequest(client, stats, "DELETE", "/sessions/" + session_id, {},
-                 &body);
+                 &body, "delete");
   }
   stats.reconnects += client.retries();
   stats.backoff_retries += client.backoff_retries();
@@ -251,6 +314,8 @@ std::atomic<uint64_t> g_churn_counter{0};
 uint64_t RunChurnUser(const LoadgenConfig& config, int user_index,
                       bool distinct_filters, double duration_seconds,
                       UserStats& stats) {
+  stats.user_index = user_index;
+  stats.worst_n = config.worst;
   serve::HttpClient client(config.host, config.port);
   ConfigureRetries(client, config, user_index);
   std::string body;
@@ -284,8 +349,8 @@ uint64_t RunChurnUser(const LoadgenConfig& config, int user_index,
     }
     create += ",\"filter\":" + serve::JsonQuote(filter) + "}";
 
-    const int created =
-        TimedRequest(client, stats, "POST", "/sessions", create, &body);
+    const int created = TimedRequest(client, stats, "POST", "/sessions",
+                                     create, &body, "create_session");
     if (created == 429 || created == 503 || created == -1) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       continue;
@@ -305,9 +370,9 @@ uint64_t RunChurnUser(const LoadgenConfig& config, int user_index,
     ++sessions;
     // One /next validates the session is actually servable, then churn.
     TimedRequest(client, stats, "GET", "/sessions/" + session_id + "/next",
-                 {}, &body);
+                 {}, &body, "next");
     TimedRequest(client, stats, "DELETE", "/sessions/" + session_id, {},
-                 &body);
+                 &body, "delete");
   }
   stats.reconnects += client.retries();
   stats.backoff_retries += client.backoff_retries();
@@ -357,6 +422,61 @@ void PrintLatency(const char* name, const std::vector<double>& sorted,
   std::printf("latency %s:  %.2f ms\n", name, Percentile(sorted, p) * 1e3);
 }
 
+/// Per-endpoint percentile table with an SLO verdict column when a budget
+/// was given.  Returns the number of endpoints over budget.
+int PrintEndpointReport(
+    const std::map<std::string, std::vector<double>>& by_endpoint,
+    double slo_ms) {
+  int failed = 0;
+  std::printf("per-endpoint latency%s:\n",
+              slo_ms > 0.0
+                  ? StrFormat(" (SLO budget %.1f ms)", slo_ms).c_str()
+                  : "");
+  for (const auto& [endpoint, latencies] : by_endpoint) {
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    auto cell = [&sorted](double p) {
+      return PercentileDefined(sorted.size(), p)
+                 ? StrFormat("%8.2f", Percentile(sorted, p) * 1e3)
+                 : std::string("     n/a");
+    };
+    std::string verdict;
+    if (slo_ms > 0.0) {
+      // The tail is p99 when defined, else p50 — the server-side rule.
+      double tail = -1.0;
+      if (PercentileDefined(sorted.size(), 0.99)) {
+        tail = Percentile(sorted, 0.99);
+      } else if (PercentileDefined(sorted.size(), 0.50)) {
+        tail = Percentile(sorted, 0.50);
+      }
+      const bool pass = tail < 0.0 || tail * 1e3 <= slo_ms;
+      if (!pass) ++failed;
+      verdict = pass ? "  PASS" : "  FAIL";
+    }
+    std::printf("  %-16s n=%-7zu p50%s ms  p95%s ms  p99%s ms%s\n",
+                endpoint.c_str(), sorted.size(), cell(0.50).c_str(),
+                cell(0.95).c_str(), cell(0.99).c_str(), verdict.c_str());
+  }
+  return failed;
+}
+
+/// Dumps the globally slowest requests with their server-side stage
+/// breakdowns, slowest first.
+void PrintWorstRequests(std::vector<WorstRequest> worst, size_t limit) {
+  if (worst.empty() || limit == 0) return;
+  std::sort(worst.begin(), worst.end(),
+            [](const WorstRequest& a, const WorstRequest& b) {
+              return a.seconds > b.seconds;
+            });
+  if (worst.size() > limit) worst.resize(limit);
+  std::printf("worst requests:\n");
+  for (const WorstRequest& w : worst) {
+    std::printf("  %8.2f ms  %-16s HTTP %d  id=%s  stages=%s\n",
+                w.seconds * 1e3, w.endpoint.c_str(), w.status, w.id.c_str(),
+                w.stages.empty() ? "-" : w.stages.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,11 +494,14 @@ int main(int argc, char** argv) {
   config.filter_col = args.Get("filter-col", "num_lab_procedures");
   config.retries = static_cast<int>(args.GetInt("retries", 0));
   config.retry_deadline_seconds = args.GetDouble("retry-deadline", 0.0);
+  config.slo_ms = args.GetDouble("slo-ms", 0.0);
+  config.worst = static_cast<size_t>(std::max<int64_t>(
+      0, args.GetInt("worst", 5)));
   if (config.port <= 0) {
     std::fprintf(stderr, "usage: loadgen --port=P [--users=M] [--duration=S]"
                          " [--think-ms=T] [--table=F] [--k=K] [--seed=S]"
                          " [--repeat-query] [--filter-col=C] [--retries=N]"
-                         " [--retry-deadline=S]\n");
+                         " [--retry-deadline=S] [--slo-ms=B] [--worst=N]\n");
     return 2;
   }
 
@@ -399,12 +522,19 @@ int main(int argc, char** argv) {
                                       churn_stats);
     uint64_t errors = 0;
     uint64_t retries = 0;
+    std::map<std::string, std::vector<double>> by_endpoint;
+    std::vector<WorstRequest> worst;
     for (const UserStats& s : churn_stats) {
       errors += s.errors;
       retries += s.backoff_retries + s.reconnects;
       for (const std::string& sample : s.error_samples) {
         std::fprintf(stderr, "error sample: %s\n", sample.c_str());
       }
+      for (const auto& [endpoint, latencies] : s.endpoint_latencies) {
+        by_endpoint[endpoint].insert(by_endpoint[endpoint].end(),
+                                     latencies.begin(), latencies.end());
+      }
+      worst.insert(worst.end(), s.worst.begin(), s.worst.end());
     }
     std::printf("cold sessions/s: %.2f\n", cold);
     std::printf("warm sessions/s: %.2f\n", warm);
@@ -412,6 +542,8 @@ int main(int argc, char** argv) {
     std::printf("errors: %llu (retries: %llu)\n",
                 static_cast<unsigned long long>(errors),
                 static_cast<unsigned long long>(retries));
+    PrintEndpointReport(by_endpoint, config.slo_ms);
+    PrintWorstRequests(std::move(worst), config.worst);
     return errors == 0 ? 0 : 1;
   }
 
@@ -431,6 +563,7 @@ int main(int argc, char** argv) {
   const double elapsed = wall.ElapsedSeconds();
 
   UserStats total;
+  std::vector<WorstRequest> worst;
   for (const UserStats& s : stats) {
     total.requests += s.requests;
     total.errors += s.errors;
@@ -440,6 +573,12 @@ int main(int argc, char** argv) {
     total.backoff_retries += s.backoff_retries;
     total.latencies.insert(total.latencies.end(), s.latencies.begin(),
                            s.latencies.end());
+    for (const auto& [endpoint, latencies] : s.endpoint_latencies) {
+      total.endpoint_latencies[endpoint].insert(
+          total.endpoint_latencies[endpoint].end(), latencies.begin(),
+          latencies.end());
+    }
+    worst.insert(worst.end(), s.worst.begin(), s.worst.end());
     for (const std::string& sample : s.error_samples) {
       if (total.error_samples.size() < 8) {
         total.error_samples.push_back(sample);
@@ -467,5 +606,11 @@ int main(int argc, char** argv) {
   PrintLatency("p50", total.latencies, 0.50);
   PrintLatency("p95", total.latencies, 0.95);
   PrintLatency("p99", total.latencies, 0.99);
+  const int slo_failures =
+      PrintEndpointReport(total.endpoint_latencies, config.slo_ms);
+  PrintWorstRequests(std::move(worst), config.worst);
+  if (config.slo_ms > 0.0) {
+    std::printf("slo: %s\n", slo_failures == 0 ? "PASS" : "FAIL");
+  }
   return total.errors == 0 ? 0 : 1;
 }

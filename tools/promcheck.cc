@@ -1,0 +1,290 @@
+/// Prometheus text-exposition checker for the CI smoke job.
+///
+///   promcheck [file]        (reads stdin when no file is given)
+///
+/// Validates the subset of the exposition format the server emits:
+///
+///   - `# HELP <name> <text>` / `# TYPE <name> <type>` well-formedness,
+///     with type one of counter|gauge|histogram|summary|untyped;
+///   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+///   - label blocks parse (`name{k="v",...}`) and label values have no raw
+///     newline (escaping bugs surface as a truncated line instead);
+///   - sample values parse as a float, NaN, or +/-Inf;
+///   - every histogram's `_bucket` series is cumulative-monotone in `le`
+///     order and its `+Inf` bucket equals the `_count` sample.
+///
+/// Exit code 0 when the input is well-formed, 1 with one line per problem
+/// on stderr otherwise.  No HTTP: the smoke script curls /metrics and
+/// pipes the body in.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+int g_errors = 0;
+
+void Fail(size_t line_number, const std::string& message) {
+  std::fprintf(stderr, "promcheck: line %zu: %s\n", line_number,
+               message.c_str());
+  ++g_errors;
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!head(name[i]) && !std::isdigit(static_cast<unsigned char>(name[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  if (text == "NaN") {
+    *out = 0.0;  // NaN never participates in monotonicity checks
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// One parsed sample line: name, labels, value.
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+  size_t line_number = 0;
+};
+
+/// Parses `name{k="v",...} value` (label block optional).  Returns false
+/// after reporting the malformation.
+bool ParseSample(const std::string& line, size_t line_number, Sample* out) {
+  size_t pos = 0;
+  while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+  out->name = line.substr(0, pos);
+  out->line_number = line_number;
+  if (!IsValidMetricName(out->name)) {
+    Fail(line_number, "invalid metric name '" + out->name + "'");
+    return false;
+  }
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      size_t eq = line.find('=', pos);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        Fail(line_number, "malformed label block");
+        return false;
+      }
+      std::string key = line.substr(pos, eq - pos);
+      if (!IsValidMetricName(key)) {
+        Fail(line_number, "invalid label name '" + key + "'");
+        return false;
+      }
+      std::string value;
+      size_t v = eq + 2;
+      bool closed = false;
+      while (v < line.size()) {
+        char c = line[v];
+        if (c == '\\') {
+          if (v + 1 >= line.size()) break;
+          char esc = line[v + 1];
+          if (esc != '\\' && esc != '"' && esc != 'n') {
+            Fail(line_number, std::string("invalid escape '\\") + esc +
+                                  "' in label value");
+            return false;
+          }
+          value += esc == 'n' ? '\n' : esc;
+          v += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++v;
+          break;
+        }
+        value += c;
+        ++v;
+      }
+      if (!closed) {
+        Fail(line_number, "unterminated label value");
+        return false;
+      }
+      out->labels[key] = value;
+      pos = v;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      Fail(line_number, "unterminated label block");
+      return false;
+    }
+    ++pos;
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  // Value runs to the next space (an optional timestamp may follow).
+  size_t value_end = line.find(' ', pos);
+  const std::string value_text =
+      line.substr(pos, value_end == std::string::npos ? std::string::npos
+                                                      : value_end - pos);
+  if (!ParseDouble(value_text, &out->value)) {
+    Fail(line_number, "unparseable sample value '" + value_text + "'");
+    return false;
+  }
+  return true;
+}
+
+/// Strips a trailing `_bucket`/`_count`/`_sum` to find the histogram family.
+std::string HistogramFamily(const std::string& name, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+    return name.substr(0, name.size() - n);
+  }
+  return "";
+}
+
+struct HistogramSeries {
+  /// (le, cumulative count) in emission order.
+  std::vector<std::pair<std::string, double>> buckets;
+  double count = 0.0;
+  bool has_count = false;
+  size_t first_line = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::FILE* in = stdin;
+  if (argc > 1) {
+    in = std::fopen(argv[1], "rb");
+    if (in == nullptr) {
+      std::fprintf(stderr, "promcheck: cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+  std::string input;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    input.append(buffer, n);
+  }
+  if (in != stdin) std::fclose(in);
+
+  std::map<std::string, std::string> declared_types;  // name -> TYPE
+  std::map<std::string, HistogramSeries> histograms;
+  size_t line_number = 0;
+  size_t samples = 0;
+  size_t start = 0;
+  while (start <= input.size()) {
+    size_t end = input.find('\n', start);
+    if (end == std::string::npos) end = input.size();
+    std::string line = input.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (end == input.size() && line.empty()) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // `# HELP name text` or `# TYPE name type`; other comments pass.
+      if (line.size() < 2 || line[1] != ' ') {
+        Fail(line_number, "comment must start with '# '");
+        continue;
+      }
+      const bool is_help = line.compare(0, 7, "# HELP ") == 0;
+      const bool is_type = line.compare(0, 7, "# TYPE ") == 0;
+      if (!is_help && !is_type) continue;
+      const size_t name_start = 7;
+      const size_t name_end = line.find(' ', name_start);
+      const std::string name =
+          line.substr(name_start, name_end == std::string::npos
+                                      ? std::string::npos
+                                      : name_end - name_start);
+      if (!IsValidMetricName(name)) {
+        Fail(line_number, "invalid metric name in comment: '" + name + "'");
+        continue;
+      }
+      if (is_type) {
+        const std::string type =
+            name_end == std::string::npos ? "" : line.substr(name_end + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          Fail(line_number, "unknown TYPE '" + type + "' for " + name);
+          continue;
+        }
+        if (!declared_types.emplace(name, type).second) {
+          Fail(line_number, "duplicate TYPE declaration for " + name);
+        }
+      }
+      continue;
+    }
+
+    Sample sample;
+    if (!ParseSample(line, line_number, &sample)) continue;
+    ++samples;
+    const std::string bucket_family = HistogramFamily(sample.name, "_bucket");
+    if (!bucket_family.empty() &&
+        declared_types.count(bucket_family) != 0 &&
+        declared_types[bucket_family] == "histogram") {
+      auto le = sample.labels.find("le");
+      if (le == sample.labels.end()) {
+        Fail(line_number, sample.name + " has no 'le' label");
+        continue;
+      }
+      HistogramSeries& series = histograms[bucket_family];
+      if (series.buckets.empty()) series.first_line = line_number;
+      series.buckets.emplace_back(le->second, sample.value);
+      continue;
+    }
+    const std::string count_family = HistogramFamily(sample.name, "_count");
+    if (!count_family.empty() && declared_types.count(count_family) != 0 &&
+        declared_types[count_family] == "histogram") {
+      histograms[count_family].count = sample.value;
+      histograms[count_family].has_count = true;
+    }
+  }
+
+  for (const auto& [family, series] : histograms) {
+    double previous = -1.0;
+    bool has_inf = false;
+    double inf_value = 0.0;
+    for (const auto& [le, value] : series.buckets) {
+      if (value < previous) {
+        Fail(series.first_line,
+             family + ": bucket le=\"" + le + "\" not cumulative (" +
+                 std::to_string(value) + " < " + std::to_string(previous) +
+                 ")");
+      }
+      previous = value;
+      if (le == "+Inf") {
+        has_inf = true;
+        inf_value = value;
+      }
+    }
+    if (!has_inf) {
+      Fail(series.first_line, family + ": missing le=\"+Inf\" bucket");
+    } else if (series.has_count && inf_value != series.count) {
+      Fail(series.first_line,
+           family + ": +Inf bucket " + std::to_string(inf_value) +
+               " != _count " + std::to_string(series.count));
+    }
+  }
+
+  if (g_errors > 0) {
+    std::fprintf(stderr, "promcheck: %d problem(s)\n", g_errors);
+    return 1;
+  }
+  std::printf("promcheck: ok (%zu samples, %zu histograms)\n", samples,
+              histograms.size());
+  return 0;
+}

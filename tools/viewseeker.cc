@@ -21,11 +21,19 @@
 ///                        [--spill-dir=DIR] [--threads=N]
 ///                        [--durability-dir=DIR] [--snapshot-every=128]
 ///                        [--no-fsync]
+///                        [--slow-request-ms=500] [--slo-ms=0]
+///                        [--slo-window=60]
+///                        [--wide-events-out=F.jsonl]
+///                        [--wide-event-sample=N]
+///                        [--build-info]  (print build provenance, exit)
 ///                        (JSON-over-HTTP session server; see
 ///                         docs/ARCHITECTURE.md "Serving" for the protocol.
 ///                         --durability-dir enables the crash-safe label
 ///                         journal + snapshot recovery described in
-///                         docs/ARCHITECTURE.md "Durability & recovery")
+///                         docs/ARCHITECTURE.md "Durability & recovery";
+///                         request tracing, SLO tracking and /statusz are
+///                         described in docs/ARCHITECTURE.md "Request
+///                         lifecycle & observability")
 ///
 /// Tables are read by extension: .vst (binary, see data/io.h) or .csv.
 /// --filter takes the WHERE sub-grammar ("age >= 30 AND city = 'NYC'").
@@ -41,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
 #include "core/experiment.h"
@@ -55,6 +64,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/app.h"
+#include "serve/json.h"
 #include "serve/server.h"
 #include "serve/session_manager.h"
 
@@ -405,7 +415,14 @@ int CmdServe(const Args& args) {
   args.WarnUnrecognized({"table", "host", "port", "max-sessions",
                          "session-ttl", "workers", "max-queued", "spill-dir",
                          "threads", "seed", "durability-dir",
-                         "snapshot-every", "no-fsync"});
+                         "snapshot-every", "no-fsync", "slow-request-ms",
+                         "slo-ms", "slo-window", "wide-events-out",
+                         "wide-event-sample", "build-info"});
+
+  if (args.GetBool("build-info")) {
+    std::printf("%s\n", BuildInfoLine().c_str());
+    return 0;
+  }
 
   // /metrics and per-request spans are the point of a server, so the obs
   // subsystem is always on in serve mode (the trace ring is bounded).
@@ -441,7 +458,37 @@ int CmdServe(const Args& args) {
                 static_cast<unsigned long long>(d.quarantined));
   }
   manager.StartReaper();
-  serve::ServeApp app(&manager);
+
+  serve::ServeAppOptions app_options;
+  app_options.slow_request_ms = args.GetDouble("slow-request-ms", 500.0);
+  app_options.slo_budget_ms = args.GetDouble("slo-ms", 0.0);
+  app_options.slo_window_seconds = args.GetDouble("slo-window", 60.0);
+  std::unique_ptr<obs::JsonlFileSink> wide_events;
+  const std::string wide_events_out = args.Get("wide-events-out");
+  if (!wide_events_out.empty()) {
+    auto sink = obs::JsonlFileSink::Open(wide_events_out);
+    if (!sink.ok()) return Fail(sink.status());
+    wide_events = std::move(*sink);
+    app_options.wide_event_sink = wide_events.get();
+    // With a sink configured, default to sampling every request; tune
+    // down with --wide-event-sample=N for high-throughput serving.
+    app_options.wide_event_sample =
+        static_cast<uint64_t>(args.GetInt("wide-event-sample", 1));
+  }
+  // The effective serving configuration, echoed verbatim by /statusz so
+  // an operator reading a snapshot knows exactly what flags produced it.
+  app_options.config_json = StrFormat(
+      "{\"table\":%s,\"max_sessions\":%lld,\"session_ttl_seconds\":%.1f,"
+      "\"durability\":%s,\"slow_request_ms\":%.1f,\"slo_budget_ms\":%.1f,"
+      "\"slo_window_seconds\":%.1f,\"wide_event_sample\":%llu}",
+      serve::JsonQuote(args.Get("table")).c_str(),
+      static_cast<long long>(args.GetInt("max-sessions", 256)),
+      args.GetDouble("session-ttl", 300.0),
+      manager.durability_enabled() ? "true" : "false",
+      app_options.slow_request_ms, app_options.slo_budget_ms,
+      app_options.slo_window_seconds,
+      static_cast<unsigned long long>(app_options.wide_event_sample));
+  serve::ServeApp app(&manager, app_options);
 
   serve::HttpServerOptions server_options;
   server_options.host = args.Get("host", "127.0.0.1");
