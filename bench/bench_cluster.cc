@@ -1,0 +1,355 @@
+/// Scaling benchmark for the sharded serving tier.
+///
+///   bench_cluster [--rows=N] [--users=N] [--sessions-per-user=N]
+///                 [--service-ms=X] [--out=PATH] [--min-scaling=X]
+///
+/// Stands up an in-process cluster — N `serve`-equivalent workers (real
+/// HttpServers on ephemeral ports, 2 worker threads each) behind one
+/// ClusterRouter fronted by its own HttpServer — and measures end-to-end
+/// session throughput at 1, 2, 4 and 8 shards.  Each of --users
+/// closed-loop clients runs --sessions-per-user full protocol rounds
+/// through the router: create, next, two labels, top-k, delete.
+///
+/// Workers simulate --service-ms of per-request work (ServeApp's
+/// simulate_service_ms), modeling the compute-bound regime the sharding
+/// targets; on one machine the shards otherwise share cores and the
+/// interesting quantity — how much throughput the router's consistent-
+/// hash fan-out recovers as shards are added — would be drowned in
+/// scheduler noise.  With 2 simulated cores x --service-ms per worker
+/// the capacity is known exactly, so the scaling number isolates router
+/// overhead (forwarding, placement, header plumbing) and placement
+/// imbalance.  Session ids are router-minted from a fixed seed, so
+/// placement — and therefore the result — is stable run to run.
+///
+/// Writes a JSON report (default BENCH_PR7.json) and exits nonzero when
+/// the 4-shard/1-shard scaling falls below --min-scaling; CI runs a
+/// small configuration with --min-scaling=3 as a smoke gate
+/// (docs/TESTING.md).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router_app.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "serve/app.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+
+namespace {
+
+using namespace vs;
+
+struct BenchConfig {
+  size_t rows = 1'000;
+  int users = 32;
+  int sessions_per_user = 12;
+  double service_ms = 10.0;
+  std::string out = "BENCH_PR7.json";
+  double min_scaling = 0.0;  ///< 0 = report only, no gate
+};
+
+BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (!StartsWith(arg, "--") || eq == std::string::npos) continue;
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "rows") {
+      config.rows = static_cast<size_t>(
+          ParseInt64(value).ValueOr(static_cast<int64_t>(config.rows)));
+    } else if (key == "users") {
+      config.users = static_cast<int>(ParseInt64(value).ValueOr(config.users));
+    } else if (key == "sessions-per-user") {
+      config.sessions_per_user = static_cast<int>(
+          ParseInt64(value).ValueOr(config.sessions_per_user));
+    } else if (key == "service-ms") {
+      config.service_ms = ParseDouble(value).ValueOr(config.service_ms);
+    } else if (key == "out") {
+      config.out = value;
+    } else if (key == "min-scaling") {
+      config.min_scaling = ParseDouble(value).ValueOr(config.min_scaling);
+    }
+  }
+  return config;
+}
+
+/// One in-process worker, identical in shape to a `viewseeker serve`
+/// process: manager + app (shard-named, simulated service) + HTTP server
+/// on an ephemeral port.  No durability — the benchmark measures routing
+/// and fan-out, not the journal.  The transport is thread-per-connection,
+/// so threads scale with users; capacity is capped by the app's
+/// simulated-core gate (2 cores x service-ms), not the thread count.
+struct Worker {
+  std::unique_ptr<serve::SessionManager> manager;
+  std::unique_ptr<serve::ServeApp> app;
+  std::unique_ptr<serve::HttpServer> server;
+
+  bool Start(const std::string& shard_name, const std::string& table_path,
+             int max_sessions, int users, double service_ms) {
+    serve::SessionManagerOptions manager_options;
+    manager_options.max_sessions = static_cast<size_t>(max_sessions);
+    manager = std::make_unique<serve::SessionManager>(manager_options,
+                                                      table_path);
+    serve::ServeAppOptions app_options;
+    app_options.shard_name = shard_name;
+    app_options.simulate_service_ms = service_ms;
+    app_options.simulate_cores = 2;
+    app = std::make_unique<serve::ServeApp>(manager.get(), app_options);
+    serve::HttpServerOptions server_options;
+    server_options.port = 0;
+    // One connection per user (worst case: every user's session lands
+    // here) plus headroom for the router's probes and admin traffic.
+    server_options.worker_threads = static_cast<size_t>(users) + 8;
+    server_options.max_queued_connections = 256;
+    server = std::make_unique<serve::HttpServer>(
+        server_options, [this](const serve::HttpRequest& request) {
+          return app->Handle(request);
+        });
+    return server->Start().ok();
+  }
+};
+
+/// One closed-loop user: full protocol rounds through the router.
+/// Returns the number of completed sessions (== rounds unless something
+/// errored; errors are printed).
+int RunUser(int router_port, int user_index, int rounds) {
+  serve::HttpClient client("127.0.0.1", router_port, /*timeout_seconds=*/60.0);
+  const std::string create =
+      StrFormat("{\"k\":3,\"seed\":%d}", 100 + user_index);
+  int completed = 0;
+  for (int round = 0; round < rounds; ++round) {
+    auto created = client.Request("POST", "/sessions", create);
+    if (!created.ok() || created->status != 201) {
+      std::fprintf(stderr, "user %d: create failed (%s)\n", user_index,
+                   created.ok() ? created->body.substr(0, 120).c_str()
+                                : created.status().ToString().c_str());
+      continue;
+    }
+    auto parsed = serve::JsonValue::Parse(created->body);
+    const std::string id = parsed.ok() ? parsed->GetString("id", "") : "";
+    if (id.empty()) continue;
+    const std::string base = "/sessions/" + id;
+    bool ok = true;
+    auto expect = [&](const char* method, const std::string& target,
+                      std::string_view body, int want) {
+      auto response = client.Request(method, target, body);
+      if (!response.ok() || response->status != want) ok = false;
+    };
+    expect("GET", base + "/next", {}, 200);
+    expect("POST", base + "/label", "{\"view\":0,\"label\":1}", 200);
+    expect("POST", base + "/label", "{\"view\":1,\"label\":0}", 200);
+    expect("GET", base + "/topk", {}, 200);
+    expect("DELETE", base, {}, 200);
+    if (ok) ++completed;
+  }
+  return completed;
+}
+
+struct RunResult {
+  int shards = 0;
+  double sessions_per_sec = 0.0;
+  int completed = 0;
+};
+
+/// Builds a cluster of `num_shards` workers + router, primes every
+/// worker's feature-matrix cache off the clock, runs the closed-loop
+/// users and tears everything down.  Returns a negative rate on setup
+/// failure.
+RunResult RunCluster(const BenchConfig& config, int num_shards,
+                     const std::string& table_path) {
+  RunResult result;
+  result.shards = num_shards;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  cluster::ClusterRouterOptions router_options;
+  for (int i = 0; i < num_shards; ++i) {
+    const std::string name = StrFormat("shard%d", i);
+    auto worker = std::make_unique<Worker>();
+    if (!worker->Start(name, table_path, config.users * 2, config.users,
+                       config.service_ms)) {
+      std::fprintf(stderr, "worker %d failed to start\n", i);
+      result.sessions_per_sec = -1.0;
+      return result;
+    }
+    router_options.shards.push_back({name, "127.0.0.1",
+                                     worker->server->port()});
+    workers.push_back(std::move(worker));
+  }
+  router_options.probe_interval_seconds = 1.0;
+  router_options.forward_timeout_seconds = 60.0;
+  cluster::ClusterRouter router(router_options);
+  if (!router.Start().ok()) {
+    std::fprintf(stderr, "router failed to start\n");
+    result.sessions_per_sec = -1.0;
+    return result;
+  }
+  serve::HttpServerOptions front_options;
+  front_options.port = 0;
+  // The router must never be the bottleneck: one thread per user plus
+  // headroom for probes.
+  front_options.worker_threads = static_cast<size_t>(config.users) + 8;
+  front_options.max_queued_connections = 256;
+  serve::HttpServer front(front_options,
+                          [&router](const serve::HttpRequest& request) {
+                            return router.Handle(request);
+                          });
+  if (!front.Start().ok()) {
+    std::fprintf(stderr, "front server failed to start\n");
+    result.sessions_per_sec = -1.0;
+    return result;
+  }
+
+  // Prime each worker's offline-initialization (feature-matrix) cache
+  // directly, off the clock — the first create per manager pays the full
+  // matrix build, which is a fixed per-process cost unrelated to routing.
+  {
+    std::vector<std::thread> primers;
+    std::vector<bool> primed(static_cast<size_t>(num_shards), false);
+    for (int i = 0; i < num_shards; ++i) {
+      primers.emplace_back([&, i] {
+        serve::HttpClient direct("127.0.0.1", workers[i]->server->port(),
+                                 /*timeout_seconds=*/120.0);
+        auto created =
+            direct.Request("POST", "/sessions", "{\"k\":3,\"seed\":1}");
+        if (!created.ok() || created->status != 201) return;
+        auto parsed = serve::JsonValue::Parse(created->body);
+        const std::string id = parsed.ok() ? parsed->GetString("id", "") : "";
+        if (id.empty()) return;
+        direct.Request("DELETE", "/sessions/" + id, {});
+        primed[static_cast<size_t>(i)] = true;
+      });
+    }
+    for (std::thread& t : primers) t.join();
+    for (int i = 0; i < num_shards; ++i) {
+      if (!primed[static_cast<size_t>(i)]) {
+        std::fprintf(stderr, "priming shard %d failed\n", i);
+        result.sessions_per_sec = -1.0;
+        return result;
+      }
+    }
+  }
+
+  std::vector<int> completed(static_cast<size_t>(config.users), 0);
+  Stopwatch watch;
+  {
+    std::vector<std::thread> users;
+    for (int u = 0; u < config.users; ++u) {
+      users.emplace_back([&, u] {
+        completed[static_cast<size_t>(u)] =
+            RunUser(front.port(), u, config.sessions_per_user);
+      });
+    }
+    for (std::thread& t : users) t.join();
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  for (int c : completed) result.completed += c;
+  result.sessions_per_sec =
+      elapsed > 0 ? result.completed / elapsed : 0.0;
+
+  front.Stop();
+  router.Stop();
+  for (auto& worker : workers) worker->server->Stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseArgs(argc, argv);
+
+  data::DiabetesOptions table_options;
+  table_options.num_rows = config.rows;
+  table_options.seed = 11;
+  auto table = data::GenerateDiabetes(table_options);
+  if (!table.ok()) {
+    std::fprintf(stderr, "table generation failed: %s\n",
+                 table.status().ToString().c_str());
+    return 2;
+  }
+  const std::string table_path =
+      "/tmp/vs_bench_cluster_" + std::to_string(config.rows) + ".vst";
+  if (const auto status = data::WriteTableFile(*table, table_path);
+      !status.ok()) {
+    std::fprintf(stderr, "table write failed: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+
+  const int total_sessions = config.users * config.sessions_per_user;
+  std::printf(
+      "bench_cluster: %zu rows, %d users x %d sessions, %.1f ms simulated "
+      "service\n",
+      config.rows, config.users, config.sessions_per_user,
+      config.service_ms);
+
+  const int kShardCounts[] = {1, 2, 4, 8};
+  std::vector<RunResult> results;
+  for (int shards : kShardCounts) {
+    const RunResult result = RunCluster(config, shards, table_path);
+    if (result.sessions_per_sec < 0) return 2;
+    std::printf("%d shard%s: %7.2f sessions/s (%d/%d sessions completed)\n",
+                result.shards, result.shards == 1 ? " " : "s",
+                result.sessions_per_sec, result.completed, total_sessions);
+    if (result.completed < total_sessions) {
+      std::fprintf(stderr, "FAIL: %d sessions errored\n",
+                   total_sessions - result.completed);
+      return 2;
+    }
+    results.push_back(result);
+  }
+
+  const double base = results[0].sessions_per_sec;
+  auto scaling = [&](size_t i) {
+    return base > 0 ? results[i].sessions_per_sec / base : 0.0;
+  };
+  std::printf("scaling vs 1 shard: 2=%.2fx 4=%.2fx 8=%.2fx\n", scaling(1),
+              scaling(2), scaling(3));
+
+  if (!config.out.empty()) {
+    std::FILE* out = std::fopen(config.out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", config.out.c_str());
+      return 2;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"bench_cluster\",\n"
+        "  \"claim\": \"consistent-hash session routing scales serving "
+        "throughput >= 3x at 4 shards vs 1 in the compute-bound regime "
+        "(simulated per-request service time; one machine, shards share "
+        "cores otherwise)\",\n"
+        "  \"rows\": %zu,\n"
+        "  \"users\": %d,\n"
+        "  \"sessions_per_user\": %d,\n"
+        "  \"service_ms\": %.1f,\n"
+        "  \"requests_per_session\": 6,\n"
+        "  \"sessions_per_sec\": {\"1\": %.3f, \"2\": %.3f, \"4\": %.3f, "
+        "\"8\": %.3f},\n"
+        "  \"scaling_vs_1\": {\"2\": %.3f, \"4\": %.3f, \"8\": %.3f}\n"
+        "}\n",
+        config.rows, config.users, config.sessions_per_user,
+        config.service_ms, results[0].sessions_per_sec,
+        results[1].sessions_per_sec, results[2].sessions_per_sec,
+        results[3].sessions_per_sec, scaling(1), scaling(2), scaling(3));
+    std::fclose(out);
+    std::printf("wrote %s\n", config.out.c_str());
+  }
+
+  if (config.min_scaling > 0 && scaling(2) < config.min_scaling) {
+    std::fprintf(stderr, "FAIL: 4-shard scaling %.2fx below gate %.2fx\n",
+                 scaling(2), config.min_scaling);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "cluster/failure_detector.h"
+
+namespace vs::cluster {
+
+FailureDetector::FailureDetector(FailureDetectorOptions options)
+    : options_(options) {
+  if (options_.eject_after < 1) options_.eject_after = 1;
+}
+
+bool FailureDetector::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (!ejected_) return false;
+  ejected_ = false;
+  ++readmissions_;
+  return true;
+}
+
+bool FailureDetector::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (ejected_ || consecutive_failures_ < options_.eject_after) return false;
+  ejected_ = true;
+  ++ejections_;
+  return true;
+}
+
+bool FailureDetector::ejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ejected_;
+}
+
+std::uint64_t FailureDetector::ejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ejections_;
+}
+
+std::uint64_t FailureDetector::readmissions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return readmissions_;
+}
+
+int FailureDetector::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+}  // namespace vs::cluster

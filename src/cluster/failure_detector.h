@@ -1,0 +1,67 @@
+#ifndef VS_CLUSTER_FAILURE_DETECTOR_H_
+#define VS_CLUSTER_FAILURE_DETECTOR_H_
+
+/// \file failure_detector.h
+/// \brief Per-shard consecutive-miss failure detector.
+///
+/// The router keeps one of these per worker and feeds it two signals:
+/// health-probe outcomes from the background checker thread and forward
+/// outcomes from the data path (a request that reached the worker and
+/// got any HTTP response counts as a success; a transport error counts
+/// as a failure).  The policy is deliberately simple and *clock-free* —
+/// `eject_after` consecutive failures ejects the shard, one success
+/// re-admits it — which makes it a pure state machine the tests can
+/// drive without sleeps, and leaves cadence entirely to the caller's
+/// probe loop.
+///
+/// Ejection is advisory: the ring (hash_ring.h) keeps the shard's arcs,
+/// the router just refuses to forward to it (503 to the client) while
+/// probes keep running, so a bounced worker gets its exact key range
+/// back on re-admission with caches and durable sessions intact.
+///
+/// Thread-safe; data path and probe thread record concurrently.
+
+#include <cstdint>
+#include <mutex>
+
+namespace vs::cluster {
+
+struct FailureDetectorOptions {
+  /// Consecutive failures before ejection.  >= 1.
+  int eject_after = 3;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(FailureDetectorOptions options = {});
+
+  /// Probe or forward succeeded: clears the miss streak; if the shard
+  /// was ejected, re-admits it.  Returns true on that transition (the
+  /// caller bumps its re-admission metric — the transition decision is
+  /// made under the detector's lock, so callers never double-count).
+  bool RecordSuccess();
+
+  /// Probe or forward hit a transport failure: extends the streak and
+  /// ejects at the threshold.  Returns true on the ejection transition.
+  bool RecordFailure();
+
+  bool ejected() const;
+
+  /// Lifetime transition counts (for cluster.shard_ejections /
+  /// cluster.shard_readmissions metrics and /statusz).
+  std::uint64_t ejections() const;
+  std::uint64_t readmissions() const;
+  int consecutive_failures() const;
+
+ private:
+  FailureDetectorOptions options_;
+  mutable std::mutex mu_;
+  int consecutive_failures_ = 0;
+  bool ejected_ = false;
+  std::uint64_t ejections_ = 0;
+  std::uint64_t readmissions_ = 0;
+};
+
+}  // namespace vs::cluster
+
+#endif  // VS_CLUSTER_FAILURE_DETECTOR_H_

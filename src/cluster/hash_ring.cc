@@ -1,0 +1,99 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vs::cluster {
+
+std::uint64_t HashKey64(std::string_view key) {
+  // FNV-1a, 64-bit offset basis / prime.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// FNV-1a alone scatters short, similar keys ("s0#17", "s0#18") badly —
+/// measured per-shard load can be 2x fair share at 128 virtual nodes.
+/// A 64-bit finalizer (Murmur3's fmix64: fixed xor-shift-multiply, no
+/// data-dependent state) avalanches every input bit across the word, and
+/// the balance test tightens to the promised 20%.  Applied identically
+/// to ring points and lookup keys, so placement stays a pure,
+/// platform-stable function.
+std::uint64_t RingPosition(std::string_view key) {
+  std::uint64_t h = HashKey64(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(HashRingOptions options) : options_(options) {
+  if (options_.virtual_nodes < 1) options_.virtual_nodes = 1;
+}
+
+Status HashRing::AddShard(std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("hash ring: empty shard name");
+  }
+  for (const auto& existing : shards_) {
+    if (existing == name) {
+      return Status::AlreadyExists(
+          StrFormat("hash ring: duplicate shard '%s'", existing.c_str()));
+    }
+  }
+  shards_.emplace_back(name);
+  Rebuild();
+  return Status::OK();
+}
+
+Status HashRing::RemoveShard(std::string_view name) {
+  auto it = std::find(shards_.begin(), shards_.end(), name);
+  if (it == shards_.end()) {
+    return Status::NotFound(StrFormat("hash ring: unknown shard '%s'",
+                                      std::string(name).c_str()));
+  }
+  shards_.erase(it);
+  Rebuild();
+  return Status::OK();
+}
+
+void HashRing::Rebuild() {
+  points_.clear();
+  points_.reserve(shards_.size() *
+                  static_cast<size_t>(options_.virtual_nodes));
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    for (int i = 0; i < options_.virtual_nodes; ++i) {
+      const std::string point_key =
+          StrFormat("%s#%d", shards_[s].c_str(), i);
+      points_.emplace_back(RingPosition(point_key), s);
+    }
+  }
+  // Ties on the hash value are broken by shard index so the ring order —
+  // and therefore placement — is independent of insertion order.
+  std::sort(points_.begin(), points_.end());
+}
+
+Result<std::string> HashRing::ShardFor(std::string_view key) const {
+  if (points_.empty()) {
+    return Status::FailedPrecondition("hash ring: no shards");
+  }
+  const std::uint64_t h = RingPosition(key);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](std::uint64_t value, const std::pair<std::uint64_t, std::uint32_t>&
+             point) { return value < point.first; });
+  if (it == points_.end()) it = points_.begin();  // Wrap past the top.
+  return shards_[it->second];
+}
+
+}  // namespace vs::cluster

@@ -1,0 +1,193 @@
+#include "cluster/prom_merge.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string_view>
+
+#include "common/string_util.h"
+
+namespace vs::cluster {
+namespace {
+
+struct Family {
+  std::string name;
+  std::string help_line;  // Verbatim "# HELP ..." (first shard wins).
+  std::string type_line;  // Verbatim "# TYPE ..." (first shard wins).
+  /// Series keys ("name" or "name{labels}") in first-appearance order,
+  /// which preserves each shard's sorted histogram-bucket emission.
+  std::vector<std::string> order;
+  std::map<std::string, double> values;
+};
+
+/// Splits a sample line into (series key, value text).  The series key
+/// ends after the label block's closing '}' — found with quote and
+/// backslash awareness, since a '}' may legally appear inside a quoted
+/// label value — or at the first space for label-less samples.  Returns
+/// false for lines this parser can't shape (passed through verbatim so
+/// promcheck sees them).
+bool SplitSample(const std::string& line, std::string* key,
+                 std::string* value_text) {
+  size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ' &&
+         line[i] != '\t') {
+    ++i;
+  }
+  if (i == 0 || i == line.size()) return false;
+  if (line[i] == '{') {
+    bool in_quotes = false;
+    ++i;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (in_quotes) {
+        if (c == '\\' && i + 1 < line.size()) {
+          ++i;  // Skip the escaped character.
+        } else if (c == '"') {
+          in_quotes = false;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == '}') {
+        break;
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;  // Unterminated label block.
+    ++i;  // Past '}'.
+  }
+  *key = line.substr(0, i);
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i == line.size()) return false;  // No value.
+  *value_text = line.substr(i);
+  // The value must parse as a float for summing to be meaningful.
+  char* end = nullptr;
+  std::strtod(value_text->c_str(), &end);
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  return end != nullptr && *end == '\0';
+}
+
+/// Metric name portion of a series key (text before '{' or whole key).
+std::string_view SeriesName(std::string_view key) {
+  const size_t brace = key.find('{');
+  return brace == std::string_view::npos ? key : key.substr(0, brace);
+}
+
+/// Second whitespace-separated token of "# HELP name ..." / "# TYPE
+/// name ..." comment lines; empty when the line doesn't have one.
+std::string CommentMetricName(const std::string& line, size_t prefix_len) {
+  size_t start = prefix_len;
+  while (start < line.size() && line[start] == ' ') ++start;
+  size_t end = start;
+  while (end < line.size() && line[end] != ' ') ++end;
+  return line.substr(start, end - start);
+}
+
+std::string FormatValue(double value) {
+  if (std::isfinite(value) && value == static_cast<double>(
+                                           static_cast<std::int64_t>(value)) &&
+      std::fabs(value) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  return StrFormat("%.17g", value);
+}
+
+}  // namespace
+
+std::string MergePrometheusExpositions(
+    const std::vector<std::string>& expositions) {
+  std::vector<Family> families;
+  std::map<std::string, size_t> family_index;
+  std::vector<std::string> raw_lines;  // Unparseable; surfaced verbatim.
+
+  auto family_for = [&](std::string_view name) -> Family& {
+    auto [it, inserted] =
+        family_index.emplace(std::string(name), families.size());
+    if (inserted) {
+      families.emplace_back();
+      families.back().name = std::string(name);
+    }
+    return families[it->second];
+  };
+
+  // A histogram/summary sample like foo_bucket belongs to family foo when
+  // foo has been declared; otherwise the suffixed name is its own family.
+  auto family_for_sample = [&](std::string_view name) -> Family& {
+    if (family_index.count(std::string(name)) > 0) return family_for(name);
+    for (std::string_view suffix :
+         {std::string_view("_bucket"), std::string_view("_sum"),
+          std::string_view("_count")}) {
+      if (name.size() > suffix.size() &&
+          name.substr(name.size() - suffix.size()) == suffix) {
+        const std::string_view base =
+            name.substr(0, name.size() - suffix.size());
+        if (family_index.count(std::string(base)) > 0) {
+          return family_for(base);
+        }
+      }
+    }
+    return family_for(name);
+  };
+
+  for (const std::string& page : expositions) {
+    size_t pos = 0;
+    while (pos <= page.size()) {
+      size_t eol = page.find('\n', pos);
+      if (eol == std::string::npos) eol = page.size();
+      std::string line = page.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line.rfind("# HELP ", 0) == 0) {
+        Family& fam = family_for(CommentMetricName(line, 7));
+        if (fam.help_line.empty()) fam.help_line = line;
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        Family& fam = family_for(CommentMetricName(line, 7));
+        if (fam.type_line.empty()) fam.type_line = line;
+        continue;
+      }
+      if (line[0] == '#') continue;  // Other comments add nothing.
+      std::string key, value_text;
+      if (!SplitSample(line, &key, &value_text)) {
+        raw_lines.push_back(line);
+        continue;
+      }
+      Family& fam = family_for_sample(SeriesName(key));
+      auto [it, inserted] = fam.values.emplace(key, 0.0);
+      if (inserted) fam.order.push_back(key);
+      if (fam.name == "viewseeker_build_info") {
+        // One build-info gauge per binary; N shards of the same build
+        // still describe one build, so dedupe at 1 instead of summing.
+        it->second = 1.0;
+      } else {
+        it->second += std::strtod(value_text.c_str(), nullptr);
+      }
+    }
+  }
+
+  std::string out;
+  for (const Family& fam : families) {
+    if (!fam.help_line.empty()) {
+      out += fam.help_line;
+      out += '\n';
+    }
+    if (!fam.type_line.empty()) {
+      out += fam.type_line;
+      out += '\n';
+    }
+    for (const std::string& key : fam.order) {
+      out += key;
+      out += ' ';
+      out += FormatValue(fam.values.at(key));
+      out += '\n';
+    }
+  }
+  for (const std::string& line : raw_lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vs::cluster

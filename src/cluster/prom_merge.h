@@ -1,0 +1,44 @@
+#ifndef VS_CLUSTER_PROM_MERGE_H_
+#define VS_CLUSTER_PROM_MERGE_H_
+
+/// \file prom_merge.h
+/// \brief Merge N workers' Prometheus expositions into one valid page.
+///
+/// The router's /metrics scrapes every live shard and must present one
+/// exposition that still passes tools/promcheck: one HELP/TYPE per
+/// metric family (duplicate TYPE lines are an error there), samples
+/// grouped under their family, histogram buckets cumulative.  Since all
+/// shards run the same binary, identical series keys (name + label set)
+/// describe the same thing, so the merge is:
+///
+///  - families keyed by metric name; first shard's HELP/TYPE wins,
+///  - samples with the same (name, labels) key are *summed* — counters
+///    and histogram bucket/sum/count lines add across shards, and
+///    histograms stay cumulative because every shard uses the same
+///    bucket bounds (same binary),
+///  - `viewseeker_build_info` is deduplicated at value 1 instead of
+///    summed (a build-info gauge reading "4" would be nonsense),
+///  - family order = order of first appearance, sample order within a
+///    family = order of first appearance (preserves each exposition's
+///    sorted bucket order).
+///
+/// Gauges are also summed; for the worker gauges this aggregates (total
+/// sessions across the cluster, total cache bytes), which is the number
+/// an operator wants at the router level.  Per-shard views stay
+/// available on each worker's own /metrics.
+
+#include <string>
+#include <vector>
+
+namespace vs::cluster {
+
+/// `expositions` are full text/plain pages as served by workers.
+/// Malformed lines are passed through verbatim (promcheck will flag
+/// them at the aggregate, which is what we want — aggregation must not
+/// mask a worker emitting garbage).
+std::string MergePrometheusExpositions(
+    const std::vector<std::string>& expositions);
+
+}  // namespace vs::cluster
+
+#endif  // VS_CLUSTER_PROM_MERGE_H_

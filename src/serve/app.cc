@@ -190,7 +190,7 @@ void ServeApp::AddRoute(const char* method, const char* pattern,
                         const char* name, RouteHandler handler) {
   router_.Add(
       method, pattern,
-      [name, handler = std::move(handler)](
+      [this, name, handler = std::move(handler)](
           const HttpRequest& request,
           const std::vector<std::string>& params) {
         // Stamp the endpoint before the handler body so a request stuck
@@ -205,9 +205,33 @@ void ServeApp::AddRoute(const char* method, const char* pattern,
         const bool introspection = std::strcmp(name, "healthz") == 0 ||
                                    std::strcmp(name, "metrics") == 0 ||
                                    std::strcmp(name, "statusz") == 0;
+        const bool admin = std::strncmp(name, "admin_", 6) == 0;
         if (!introspection) {
           while (VS_FAULT("serve.handler_stall")) {
             std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        }
+        // Session traffic only: health probes must stay instant for the
+        // router's failure detector and migration must not pay a fake
+        // service delay per admin hop.
+        if (!introspection && !admin && options_.simulate_service_ms > 0.0) {
+          if (options_.simulate_cores > 0) {
+            std::unique_lock<std::mutex> lock(sim_mu_);
+            sim_cv_.wait(lock, [this] {
+              return sim_in_service_ < options_.simulate_cores;
+            });
+            ++sim_in_service_;
+            lock.unlock();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    options_.simulate_service_ms));
+            lock.lock();
+            --sim_in_service_;
+            sim_cv_.notify_one();
+          } else {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    options_.simulate_service_ms));
           }
         }
         return handler(request, params);
@@ -259,6 +283,16 @@ ServeApp::ServeApp(SessionManager* manager, ServeAppOptions options)
            [this](const HttpRequest&,
                   const std::vector<std::string>& params) {
              return DeleteSession(params);
+           });
+  AddRoute("GET", "/admin/sessions/{id}/export", "admin_export",
+           [this](const HttpRequest&,
+                  const std::vector<std::string>& params) {
+             return ExportSession(params);
+           });
+  AddRoute("POST", "/admin/sessions/{id}/import", "admin_import",
+           [this](const HttpRequest& request,
+                  const std::vector<std::string>& params) {
+             return ImportSession(request, params);
            });
   AddRoute("GET", "/healthz", "healthz",
            [this](const HttpRequest&, const std::vector<std::string>&) {
@@ -322,6 +356,9 @@ HttpResponse ServeApp::Handle(const HttpRequest& request) {
   // the per-stage breakdown so clients (loadgen) can report server-side
   // time without a second round trip.
   response.extra_headers.emplace_back("X-Request-Id", id);
+  if (!options_.shard_name.empty()) {
+    response.extra_headers.emplace_back("X-Shard", options_.shard_name);
+  }
   const std::string stages = StagesHeaderValue(context->stages());
   if (!stages.empty()) {
     response.extra_headers.emplace_back("X-Request-Stages", stages);
@@ -341,6 +378,9 @@ void ServeApp::EmitWideEvent(const obs::RequestContext& context,
       .SetNum("duration_ms", duration_ms)
       .SetBool("slow", slow)
       .SetBool("sampled", sampled);
+  if (!options_.shard_name.empty()) {
+    event.SetStr("shard", options_.shard_name);
+  }
   const std::vector<obs::StageRecord> stages = context.stages();
   event.SetInt("stage_count", static_cast<int64_t>(stages.size()));
   for (const auto& [stage, total_us] : AggregateStages(stages)) {
@@ -356,6 +396,12 @@ HttpResponse ServeApp::CreateSession(const HttpRequest& request) {
   CreateSpec spec;
   spec.table_path = body->GetString("table", "");
   spec.filter = body->GetString("filter", "");
+  // The cluster router pre-assigns placement-hashed ids; the query param
+  // exists so it can do that without rewriting the client's JSON body.
+  spec.requested_id = QueryParam(request.query, "id", "");
+  if (spec.requested_id.empty()) {
+    spec.requested_id = body->GetString("id", "");
+  }
   spec.options.k = static_cast<int>(body->GetInt("k", spec.options.k));
   spec.options.strategy = body->GetString("strategy", spec.options.strategy);
   spec.options.views_per_iteration = static_cast<int>(
@@ -448,6 +494,25 @@ HttpResponse ServeApp::DeleteSession(const std::vector<std::string>& params) {
   return JsonOk("{\"deleted\":true}\n");
 }
 
+HttpResponse ServeApp::ExportSession(const std::vector<std::string>& params) {
+  auto envelope = manager_->ExportSession(params[0]);
+  if (!envelope.ok()) return ErrorResponseFor(envelope.status());
+  return JsonOk(StrFormat("{\"id\":%s,\"envelope\":%s}\n",
+                          JsonQuote(params[0]).c_str(),
+                          JsonQuote(*envelope).c_str()));
+}
+
+HttpResponse ServeApp::ImportSession(const HttpRequest& request,
+                                     const std::vector<std::string>& params) {
+  auto body = ParseBodyObject(request);
+  if (!body.ok()) return ErrorResponseFor(body.status());
+  auto envelope = body->RequiredString("envelope");
+  if (!envelope.ok()) return ErrorResponseFor(envelope.status());
+  auto info = manager_->ImportSession(params[0], *envelope);
+  if (!info.ok()) return ErrorResponseFor(info.status());
+  return JsonOk(InfoJson(*info), 201);
+}
+
 HttpResponse ServeApp::Healthz() {
   const FeatureMatrixCacheStats cache = manager_->matrix_cache().stats();
   std::string durability = "{\"enabled\":false}";
@@ -467,11 +532,12 @@ HttpResponse ServeApp::Healthz() {
         static_cast<unsigned long long>(d.quarantined));
   }
   return JsonOk(StrFormat(
-      "{\"status\":\"ok\",\"active_sessions\":%zu,"
+      "{\"status\":\"ok\",\"shard\":%s,\"active_sessions\":%zu,"
       "\"matrix_cache\":{\"entries\":%zu,\"bytes\":%zu,\"hits\":%llu,"
       "\"misses\":%llu},"
       "\"durability\":%s,"
       "\"uptime_seconds\":%.3f}\n",
+      JsonQuote(options_.shard_name).c_str(),
       manager_->active_sessions(), cache.entries, cache.bytes,
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses), durability.c_str(),

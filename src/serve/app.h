@@ -14,6 +14,8 @@
 /// | GET    /sessions/{id}/topk | [?lambda=f] → current top-k + scores    |
 /// | GET    /sessions/{id}/labels| → full label history                   |
 /// | DELETE /sessions/{id}      | → {"deleted":true}                      |
+/// | GET  /admin/sessions/{id}/export | → {"id","envelope"} (migration)   |
+/// | POST /admin/sessions/{id}/import | {envelope} → 201 session info     |
 /// | GET    /healthz            | → liveness + session gauge + durability |
 /// | GET    /metrics            | → Prometheus text exposition            |
 /// | GET    /statusz            | → introspection snapshot (JSON)         |
@@ -35,7 +37,9 @@
 /// table, SLO window state and subsystem summaries.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/clock.h"
@@ -76,6 +80,24 @@ struct ServeAppOptions {
   /// Serving configuration as a JSON object, rendered verbatim in
   /// /statusz ("{}" when empty).  The tool layer fills this from flags.
   std::string config_json;
+  /// Cluster shard identity.  Non-empty = every response carries an
+  /// `X-Shard: <name>` header, wide events gain a `shard` field and
+  /// /healthz reports the name — the debuggability contract the cluster
+  /// router's clients rely on.  Empty = single-process serving, no
+  /// cluster headers.
+  std::string shard_name;
+  /// Artificial per-request service time for session endpoints (admin
+  /// and introspection routes excluded), in milliseconds.  Models a
+  /// deployment whose workers are latency-bound (I/O, model inference)
+  /// rather than CPU-bound, which is what makes shard-scaling benchmarks
+  /// honest on small machines — see bench/bench_cluster.cc.  <= 0 off.
+  double simulate_service_ms = 0.0;
+  /// With simulate_service_ms: at most this many requests are inside the
+  /// simulated service at once (a worker with N cores); excess requests
+  /// queue at the gate.  The transport is thread-per-connection, so
+  /// capping its thread count would starve keep-alive connections — this
+  /// caps service capacity instead.  <= 0 = unbounded.
+  int simulate_cores = 0;
   /// Time source for the SLO window; nullptr = real clock.
   const Clock* clock = nullptr;
 };
@@ -109,6 +131,9 @@ class ServeApp {
                        const std::vector<std::string>& params);
   HttpResponse GetLabels(const std::vector<std::string>& params);
   HttpResponse DeleteSession(const std::vector<std::string>& params);
+  HttpResponse ExportSession(const std::vector<std::string>& params);
+  HttpResponse ImportSession(const HttpRequest& request,
+                             const std::vector<std::string>& params);
   HttpResponse Healthz();
   HttpResponse Metrics();
   HttpResponse Statusz();
@@ -124,6 +149,10 @@ class ServeApp {
   SloTracker slo_;
   obs::InflightRegistry inflight_;
   std::atomic<uint64_t> request_sequence_{0};
+  /// Simulated-core gate for simulate_service_ms (see ServeAppOptions).
+  std::mutex sim_mu_;
+  std::condition_variable sim_cv_;
+  int sim_in_service_ = 0;
 };
 
 }  // namespace vs::serve

@@ -233,10 +233,16 @@ vs::Result<ClientResponse> HttpClient::Request(
   double backoff = retry_options_.initial_backoff_seconds;
   for (int attempt = 1;; ++attempt) {
     vs::Result<ClientResponse> response = RequestOnce(request);
-    // Only transport failures are worth another attempt — the server
-    // never saw (or never answered) the request.  Timeouts are excluded:
-    // the request may still be executing.
-    if (response.ok() || !response.status().IsIOError()) return response;
+    // Transport failures are worth another attempt — the server never
+    // saw (or never answered) the request.  Timeouts are excluded: the
+    // request may still be executing.  A 503 is the same story at the
+    // HTTP layer (the worker shed the connection before dispatch) but is
+    // only retried when the caller opted in for idempotent traffic.
+    const bool retryable =
+        response.ok()
+            ? (retry_options_.retry_503 && response->status == 503)
+            : response.status().IsIOError();
+    if (!retryable) return response;
     if (attempt >= max_attempts) return response;
     const double sleep_seconds = backoff * jitter_rng_.NextDouble();
     if (retry_options_.deadline_seconds > 0.0 &&

@@ -40,6 +40,12 @@ struct RetryOptions {
   double deadline_seconds = 0.0;
   /// Seed for the jitter stream (deterministic load generation).
   uint64_t jitter_seed = 0x7e77;
+  /// Also retry HTTP 503 responses (a shedding worker, not a dead one).
+  /// Off by default: 503 means the server *executed nothing*, but only
+  /// the caller knows whether re-sending is safe — the cluster router
+  /// enables this solely for idempotent forwards (GET/DELETE), where a
+  /// moment later the queue has drained or another shard answers.
+  bool retry_503 = false;
 };
 
 /// \brief Response as seen by the client (status + headers + body).

@@ -175,6 +175,22 @@ vs::Result<std::pair<std::string, double>> ParseWalLabel(
 
 }  // namespace
 
+bool ValidSessionId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  const char first = id[0];
+  if (!((first >= 'a' && first <= 'z') || (first >= 'A' && first <= 'Z') ||
+        (first >= '0' && first <= '9'))) {
+    return false;
+  }
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 SessionManager::SessionManager(const SessionManagerOptions& options,
                                std::string default_table_path)
     : options_(options),
@@ -336,6 +352,12 @@ vs::Result<SessionInfo> SessionManager::Create(const CreateSpec& spec) {
   const SessionMetrics& m = SessionMetrics::Get();
   const std::string path =
       spec.table_path.empty() ? default_table_path_ : spec.table_path;
+  if (!spec.requested_id.empty() && !ValidSessionId(spec.requested_id)) {
+    return vs::Status::InvalidArgument(
+        "invalid session id (want 1..64 of [A-Za-z0-9._-], alphanumeric "
+        "first): " +
+        spec.requested_id);
+  }
   {
     // Fast-fail before the expensive build; re-checked at insert.
     std::lock_guard<std::mutex> lock(mu_);
@@ -343,6 +365,12 @@ vs::Result<SessionInfo> SessionManager::Create(const CreateSpec& spec) {
       m.rejected->Increment();
       return vs::Status::ResourceExhausted(
           StrFormat("session limit reached (%zu live)", sessions_.size()));
+    }
+    if (!spec.requested_id.empty() &&
+        (sessions_.count(spec.requested_id) > 0 ||
+         evicted_.count(spec.requested_id) > 0)) {
+      return vs::Status::AlreadyExists("session id taken: " +
+                                       spec.requested_id);
     }
   }
   VS_ASSIGN_OR_RETURN(
@@ -355,7 +383,18 @@ vs::Result<SessionInfo> SessionManager::Create(const CreateSpec& spec) {
       return vs::Status::ResourceExhausted(
           StrFormat("session limit reached (%zu live)", sessions_.size()));
     }
-    session->id = NewSessionId();
+    if (spec.requested_id.empty()) {
+      session->id = NewSessionId();
+    } else {
+      // Re-checked under mu_: a racing create with the same id may have
+      // landed while the matrix built.
+      if (sessions_.count(spec.requested_id) > 0 ||
+          evicted_.count(spec.requested_id) > 0) {
+        return vs::Status::AlreadyExists("session id taken: " +
+                                         spec.requested_id);
+      }
+      session->id = spec.requested_id;
+    }
     sessions_.emplace(session->id, session);
     m.active_sessions->Set(static_cast<double>(sessions_.size()));
   }
@@ -568,6 +607,11 @@ vs::Result<std::string> SessionManager::EnvelopeLocked(
 
 vs::Status SessionManager::RotateLocked(Session& session) {
   VS_ASSIGN_OR_RETURN(std::string envelope, EnvelopeLocked(session));
+  return PersistEnvelopeLocked(session, envelope);
+}
+
+vs::Status SessionManager::PersistEnvelopeLocked(
+    Session& session, const std::string& envelope) {
   VS_RETURN_IF_ERROR(durability_->SaveSnapshot(session.id, envelope));
   // The snapshot now carries the full state, so an empty journal is the
   // correct complement.  A failed truncate only leaves records the
@@ -727,6 +771,81 @@ vs::Result<LabeledViews> SessionManager::Labels(const std::string& id) {
   }
   session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
   return out;
+}
+
+vs::Result<std::string> SessionManager::ExportSession(const std::string& id) {
+  obs::StageTimer stage("session_manager.export");
+  VS_ASSIGN_OR_RETURN(LockedSession locked, AcquireLocked(id));
+  const std::shared_ptr<Session>& session = locked.session;
+  VS_ASSIGN_OR_RETURN(std::string envelope, EnvelopeLocked(*session));
+  if (durability_ != nullptr) {
+    // Persist exactly the bytes we hand out.  If this shard's disk won't
+    // take the snapshot (wal.append_fail / snapshot.rename_fail drills,
+    // a full disk), the export fails and the migration aborts with the
+    // session still healthy here — the caller must never hold a copy
+    // this shard couldn't also recover.
+    VS_RETURN_IF_ERROR(PersistEnvelopeLocked(*session, envelope));
+  }
+  session->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  return envelope;
+}
+
+vs::Result<SessionInfo> SessionManager::ImportSession(
+    const std::string& id, const std::string& envelope) {
+  obs::StageTimer stage("session_manager.import");
+  const SessionMetrics& m = SessionMetrics::Get();
+  if (!ValidSessionId(id)) {
+    return vs::Status::InvalidArgument("invalid session id: " + id);
+  }
+  VS_ASSIGN_OR_RETURN(SpillEnvelope parsed,
+                      ParseSpillEnvelope(envelope, "import:" + id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(id) > 0 || evicted_.count(id) > 0) {
+      return vs::Status::AlreadyExists("session id taken: " + id);
+    }
+    if (sessions_.size() >= options_.max_sessions) {
+      m.rejected->Increment();
+      return vs::Status::ResourceExhausted(
+          StrFormat("session limit reached (%zu live)", sessions_.size()));
+    }
+  }
+  VS_ASSIGN_OR_RETURN(
+      std::shared_ptr<Session> session,
+      BuildSession(parsed.table_path, parsed.filter,
+                   core::ViewSeekerOptions{}, &parsed.session_text));
+  session->id = id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(id) > 0 || evicted_.count(id) > 0) {
+      return vs::Status::AlreadyExists("session id taken: " + id);
+    }
+    if (sessions_.size() >= options_.max_sessions) {
+      m.rejected->Increment();
+      return vs::Status::ResourceExhausted(
+          StrFormat("session limit reached (%zu live)", sessions_.size()));
+    }
+    sessions_.emplace(id, session);
+    m.active_sessions->Set(static_cast<double>(sessions_.size()));
+  }
+  if (durability_ != nullptr) {
+    // Same ack rule as Create: the import is only acknowledged once the
+    // received bytes are on this shard's disk, and a failure unwinds the
+    // registration so the id does not exist here at all.
+    std::unique_lock<std::mutex> session_lock(session->mu);
+    const vs::Status persisted = PersistEnvelopeLocked(*session, envelope);
+    if (!persisted.ok()) {
+      session_lock.unlock();
+      durability_->RemoveSession(id);
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(id);
+      m.active_sessions->Set(static_cast<double>(sessions_.size()));
+      return persisted;
+    }
+  }
+  m.created->Increment();
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  return InfoLocked(*session);
 }
 
 vs::Status SessionManager::Delete(const std::string& id) {

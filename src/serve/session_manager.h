@@ -112,8 +112,18 @@ struct SessionInfo {
 struct CreateSpec {
   std::string table_path;  ///< empty = the manager's default table
   std::string filter;      ///< WHERE sub-grammar; empty = all rows
+  /// Non-empty = use this id instead of generating one (the cluster
+  /// router places sessions by hashing an id *it* chose).  Validated by
+  /// ValidSessionId(); a live or evicted session under the id answers
+  /// AlreadyExists.
+  std::string requested_id;
   core::ViewSeekerOptions options;
 };
+
+/// Ids become durability/spill filenames, so the alphabet is restricted:
+/// 1..64 chars of [A-Za-z0-9._-], first char alphanumeric (no dotfiles,
+/// no option-looking names, no path separators).
+bool ValidSessionId(const std::string& id);
 
 /// \brief Result of Next: the views the user should label now.
 struct NextBatch {
@@ -162,6 +172,25 @@ class SessionManager {
   /// client resync after reconnect).
   vs::Result<LabeledViews> Labels(const std::string& id);
   vs::Status Delete(const std::string& id);
+  /// @}
+
+  /// \name Live migration (cluster router, see src/cluster/).
+  /// @{
+  /// The session's current state as a self-contained spill envelope
+  /// (same format the durability snapshots use).  The session stays
+  /// live and serving here — export does not detach it; the *router*
+  /// deletes it from the source once the target has it.  With
+  /// durability on, the returned envelope is also persisted as the
+  /// authoritative snapshot first, so an export the caller acts on is
+  /// never ahead of this shard's own disk.
+  vs::Result<std::string> ExportSession(const std::string& id);
+  /// Registers a session under `id` from an exported envelope.
+  /// All-or-nothing: on any failure (parse, cap, durability) the id does
+  /// not exist here afterwards.  With durability on, the received bytes
+  /// are persisted verbatim as the snapshot — the target's on-disk state
+  /// is byte-identical to the source's export.
+  vs::Result<SessionInfo> ImportSession(const std::string& id,
+                                        const std::string& envelope);
   /// @}
 
   /// \name Crash-safe durability (no-ops when durability_dir is empty).
@@ -253,8 +282,11 @@ class SessionManager {
   vs::Result<std::shared_ptr<Session>> RestoreDurable(const std::string& id);
   /// Spill-envelope text for the session's current state (mu held).
   vs::Result<std::string> EnvelopeLocked(Session& session) const;
-  /// Writes a fresh snapshot and truncates the journal (mu held).  OK
-  /// means the session's full state is durable in the snapshot.
+  /// Writes `envelope` as the session's snapshot and truncates the
+  /// journal (mu held).  OK means that exact state is durable.
+  vs::Status PersistEnvelopeLocked(Session& session,
+                                   const std::string& envelope);
+  /// EnvelopeLocked + PersistEnvelopeLocked: snapshot the current state.
   vs::Status RotateLocked(Session& session);
   SessionInfo InfoLocked(Session& session) const;
   void ReaperLoop();

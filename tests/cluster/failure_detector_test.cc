@@ -1,0 +1,71 @@
+#include "cluster/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::cluster {
+namespace {
+
+TEST(FailureDetectorTest, StartsHealthy) {
+  FailureDetector detector(FailureDetectorOptions{3});
+  EXPECT_FALSE(detector.ejected());
+  EXPECT_EQ(detector.ejections(), 0u);
+  EXPECT_EQ(detector.consecutive_failures(), 0);
+}
+
+TEST(FailureDetectorTest, EjectsAfterConsecutiveMisses) {
+  FailureDetector detector(FailureDetectorOptions{3});
+  EXPECT_FALSE(detector.RecordFailure());
+  EXPECT_FALSE(detector.RecordFailure());
+  EXPECT_FALSE(detector.ejected());
+  // The third consecutive miss is the ejection transition — exactly once.
+  EXPECT_TRUE(detector.RecordFailure());
+  EXPECT_TRUE(detector.ejected());
+  EXPECT_EQ(detector.ejections(), 1u);
+  // Further misses while ejected are not new transitions.
+  EXPECT_FALSE(detector.RecordFailure());
+  EXPECT_EQ(detector.ejections(), 1u);
+}
+
+TEST(FailureDetectorTest, SuccessResetsTheStreak) {
+  FailureDetector detector(FailureDetectorOptions{3});
+  detector.RecordFailure();
+  detector.RecordFailure();
+  EXPECT_FALSE(detector.RecordSuccess());  // healthy -> healthy: no event
+  EXPECT_EQ(detector.consecutive_failures(), 0);
+  // The streak restarts from zero; two more misses do not eject.
+  detector.RecordFailure();
+  detector.RecordFailure();
+  EXPECT_FALSE(detector.ejected());
+}
+
+TEST(FailureDetectorTest, ReadmitsOnFirstSuccess) {
+  FailureDetector detector(FailureDetectorOptions{2});
+  detector.RecordFailure();
+  EXPECT_TRUE(detector.RecordFailure());
+  ASSERT_TRUE(detector.ejected());
+  // First success after ejection is the re-admission transition.
+  EXPECT_TRUE(detector.RecordSuccess());
+  EXPECT_FALSE(detector.ejected());
+  EXPECT_EQ(detector.readmissions(), 1u);
+  EXPECT_FALSE(detector.RecordSuccess());
+  EXPECT_EQ(detector.readmissions(), 1u);
+}
+
+TEST(FailureDetectorTest, FlappingCountsEveryTransition) {
+  FailureDetector detector(FailureDetectorOptions{1});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(detector.RecordFailure());
+    EXPECT_TRUE(detector.RecordSuccess());
+  }
+  EXPECT_EQ(detector.ejections(), 3u);
+  EXPECT_EQ(detector.readmissions(), 3u);
+}
+
+TEST(FailureDetectorTest, ClampsEjectAfterToAtLeastOne) {
+  FailureDetector detector(FailureDetectorOptions{0});
+  EXPECT_TRUE(detector.RecordFailure());
+  EXPECT_TRUE(detector.ejected());
+}
+
+}  // namespace
+}  // namespace vs::cluster

@@ -1,0 +1,156 @@
+#include "cluster/prom_merge.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vs::cluster {
+namespace {
+
+/// True iff `line` appears exactly once in `text` as a full line.
+int CountLine(const std::string& text, const std::string& line) {
+  int count = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (text.compare(start, end - start, line) == 0) ++count;
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return count;
+}
+
+TEST(PromMergeTest, EmptyInput) {
+  EXPECT_EQ(MergePrometheusExpositions({}), "");
+  EXPECT_EQ(MergePrometheusExpositions({""}), "");
+}
+
+TEST(PromMergeTest, SingleExpositionPassesThroughSemantically) {
+  const std::string page =
+      "# HELP serve_requests total\n"
+      "# TYPE serve_requests counter\n"
+      "serve_requests 7\n";
+  const std::string merged = MergePrometheusExpositions({page});
+  EXPECT_EQ(CountLine(merged, "# TYPE serve_requests counter"), 1);
+  EXPECT_EQ(CountLine(merged, "serve_requests 7"), 1);
+}
+
+TEST(PromMergeTest, SumsIdenticalSeriesAcrossShards) {
+  const std::string a =
+      "# HELP serve_requests total\n"
+      "# TYPE serve_requests counter\n"
+      "serve_requests 7\n";
+  const std::string b =
+      "# HELP serve_requests total\n"
+      "# TYPE serve_requests counter\n"
+      "serve_requests 5\n";
+  const std::string merged = MergePrometheusExpositions({a, b});
+  // One family header (duplicate TYPE lines fail promcheck), one summed
+  // sample.
+  EXPECT_EQ(CountLine(merged, "# TYPE serve_requests counter"), 1);
+  EXPECT_EQ(CountLine(merged, "serve_requests 12"), 1);
+  EXPECT_EQ(CountLine(merged, "serve_requests 7"), 0);
+}
+
+TEST(PromMergeTest, DistinctLabelSetsStaySeparate) {
+  const std::string a =
+      "# TYPE http_responses counter\n"
+      "http_responses{code=\"200\"} 3\n";
+  const std::string b =
+      "# TYPE http_responses counter\n"
+      "http_responses{code=\"200\"} 4\n"
+      "http_responses{code=\"503\"} 1\n";
+  const std::string merged = MergePrometheusExpositions({a, b});
+  EXPECT_EQ(CountLine(merged, "http_responses{code=\"200\"} 7"), 1);
+  EXPECT_EQ(CountLine(merged, "http_responses{code=\"503\"} 1"), 1);
+}
+
+/// Same binary on every shard means same bucket bounds, so bucket-wise
+/// summation preserves cumulativity — the promcheck invariant.
+TEST(PromMergeTest, HistogramsStayCumulative) {
+  const std::string a =
+      "# TYPE latency histogram\n"
+      "latency_bucket{le=\"0.1\"} 2\n"
+      "latency_bucket{le=\"1\"} 5\n"
+      "latency_bucket{le=\"+Inf\"} 6\n"
+      "latency_sum 3.5\n"
+      "latency_count 6\n";
+  const std::string b =
+      "# TYPE latency histogram\n"
+      "latency_bucket{le=\"0.1\"} 1\n"
+      "latency_bucket{le=\"1\"} 1\n"
+      "latency_bucket{le=\"+Inf\"} 4\n"
+      "latency_sum 9.25\n"
+      "latency_count 4\n";
+  const std::string merged = MergePrometheusExpositions({a, b});
+  EXPECT_EQ(CountLine(merged, "latency_bucket{le=\"0.1\"} 3"), 1);
+  EXPECT_EQ(CountLine(merged, "latency_bucket{le=\"1\"} 6"), 1);
+  EXPECT_EQ(CountLine(merged, "latency_bucket{le=\"+Inf\"} 10"), 1);
+  EXPECT_EQ(CountLine(merged, "latency_sum 12.75"), 1);
+  EXPECT_EQ(CountLine(merged, "latency_count 10"), 1);
+  EXPECT_EQ(CountLine(merged, "# TYPE latency histogram"), 1);
+  // _bucket/_sum/_count fold into the base family — no synthetic
+  // families with their own headers.
+  EXPECT_EQ(CountLine(merged, "# TYPE latency_bucket histogram"), 0);
+}
+
+TEST(PromMergeTest, BuildInfoDedupesInsteadOfSumming) {
+  const std::string page =
+      "# TYPE viewseeker_build_info gauge\n"
+      "viewseeker_build_info{version=\"1.0.0\"} 1\n";
+  const std::string merged = MergePrometheusExpositions({page, page, page});
+  EXPECT_EQ(CountLine(merged, "viewseeker_build_info{version=\"1.0.0\"} 1"),
+            1);
+}
+
+TEST(PromMergeTest, FirstHelpWins) {
+  const std::string a =
+      "# HELP m first help\n"
+      "# TYPE m counter\n"
+      "m 1\n";
+  const std::string b =
+      "# HELP m second help\n"
+      "# TYPE m counter\n"
+      "m 1\n";
+  const std::string merged = MergePrometheusExpositions({a, b});
+  EXPECT_EQ(CountLine(merged, "# HELP m first help"), 1);
+  EXPECT_EQ(CountLine(merged, "# HELP m second help"), 0);
+  EXPECT_EQ(CountLine(merged, "m 2"), 1);
+}
+
+TEST(PromMergeTest, FamiliesOnlyInOneShardSurvive) {
+  const std::string a =
+      "# TYPE only_a counter\n"
+      "only_a 1\n";
+  const std::string b =
+      "# TYPE only_b counter\n"
+      "only_b 2\n";
+  const std::string merged = MergePrometheusExpositions({a, b});
+  EXPECT_EQ(CountLine(merged, "only_a 1"), 1);
+  EXPECT_EQ(CountLine(merged, "only_b 2"), 1);
+}
+
+TEST(PromMergeTest, LabelValuesMayContainBraces) {
+  // The label-block scanner must not split on a '}' inside a quoted
+  // value.
+  const std::string page =
+      "# TYPE weird counter\n"
+      "weird{q=\"a}b\"} 2\n";
+  const std::string merged = MergePrometheusExpositions({page, page});
+  EXPECT_EQ(CountLine(merged, "weird{q=\"a}b\"} 4"), 1);
+}
+
+TEST(PromMergeTest, UnparseableLinesPassThrough) {
+  const std::string page =
+      "# TYPE good counter\n"
+      "good 1\n"
+      "this is not a sample line\n";
+  const std::string merged = MergePrometheusExpositions({page});
+  EXPECT_EQ(CountLine(merged, "good 1"), 1);
+  EXPECT_EQ(CountLine(merged, "this is not a sample line"), 1);
+}
+
+}  // namespace
+}  // namespace vs::cluster

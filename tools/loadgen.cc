@@ -3,7 +3,7 @@
 ///   loadgen --port=P [--host=127.0.0.1] [--users=8] [--duration=10]
 ///           [--think-ms=0] [--table=F] [--k=5] [--seed=1]
 ///           [--repeat-query] [--filter-col=num_lab_procedures]
-///           [--slo-ms=B] [--worst=N]
+///           [--slo-ms=B] [--worst=N] [--require-shards=N]
 ///
 /// Each simulated user runs one session through the full protocol loop:
 /// POST /sessions, then GET next → POST label (random labels) → GET topk,
@@ -20,6 +20,12 @@
 /// that budget (p99 when defined, else p50 — same rule the server's SLO
 /// tracker uses).  --worst=N dumps the N slowest requests with the
 /// server-side stage breakdown echoed in `X-Request-Stages`.
+///
+/// When pointed at a `viewseeker route` front-end, every response carries
+/// an `X-Shard` header naming the worker that served it; the report prints
+/// the per-shard request distribution, and --require-shards=N makes the
+/// run fail unless at least N distinct shards served traffic — the cluster
+/// smoke test's proof that the ring actually spreads sessions.
 ///
 /// --repeat-query switches to session-churn mode, which measures the
 /// server's shared feature-matrix cache: a *cold* phase where every create
@@ -98,6 +104,7 @@ struct WorstRequest {
 struct UserStats {
   std::vector<double> latencies;  ///< seconds, successful requests only
   std::map<std::string, std::vector<double>> endpoint_latencies;
+  std::map<std::string, uint64_t> shard_counts;  ///< X-Shard -> requests
   uint64_t requests = 0;
   uint64_t errors = 0;        ///< transport failures + unexpected status
   uint64_t backpressure = 0;  ///< 429/503 — the server shedding load
@@ -146,6 +153,7 @@ struct LoadgenConfig {
   double retry_deadline_seconds = 0.0;  ///< cap across attempts (0 = none)
   double slo_ms = 0.0;           ///< per-endpoint budget (0 = no verdicts)
   size_t worst = 5;              ///< slowest requests to dump (0 = none)
+  int require_shards = 0;        ///< fail unless >= N distinct X-Shards seen
 };
 
 /// Applies the run's retry policy to a freshly constructed client.
@@ -183,6 +191,9 @@ int TimedRequest(serve::HttpClient& client, UserStats& stats,
   const double seconds = watch.ElapsedSeconds();
   stats.latencies.push_back(seconds);
   stats.endpoint_latencies[endpoint].push_back(seconds);
+  if (const std::string* shard = response->FindHeader("x-shard")) {
+    ++stats.shard_counts[*shard];
+  }
   WorstRequest worst;
   worst.seconds = seconds;
   worst.status = response->status;
@@ -460,6 +471,31 @@ int PrintEndpointReport(
   return failed;
 }
 
+/// Prints the per-shard request distribution (when any X-Shard header was
+/// seen) and enforces --require-shards.  Returns true when the requirement
+/// is satisfied (or there is none).
+bool PrintShardReport(const std::map<std::string, uint64_t>& shard_counts,
+                      int require_shards) {
+  if (!shard_counts.empty()) {
+    uint64_t total = 0;
+    for (const auto& [shard, count] : shard_counts) total += count;
+    std::printf("shard distribution (%zu shards):\n", shard_counts.size());
+    for (const auto& [shard, count] : shard_counts) {
+      std::printf("  %-16s %llu (%.1f%%)\n", shard.c_str(),
+                  static_cast<unsigned long long>(count),
+                  total > 0 ? 100.0 * static_cast<double>(count) /
+                                  static_cast<double>(total)
+                            : 0.0);
+    }
+  }
+  if (require_shards <= 0) return true;
+  const bool ok =
+      shard_counts.size() >= static_cast<size_t>(require_shards);
+  std::printf("require-shards: %s (%zu distinct, need %d)\n",
+              ok ? "PASS" : "FAIL", shard_counts.size(), require_shards);
+  return ok;
+}
+
 /// Dumps the globally slowest requests with their server-side stage
 /// breakdowns, slowest first.
 void PrintWorstRequests(std::vector<WorstRequest> worst, size_t limit) {
@@ -497,11 +533,13 @@ int main(int argc, char** argv) {
   config.slo_ms = args.GetDouble("slo-ms", 0.0);
   config.worst = static_cast<size_t>(std::max<int64_t>(
       0, args.GetInt("worst", 5)));
+  config.require_shards = static_cast<int>(args.GetInt("require-shards", 0));
   if (config.port <= 0) {
     std::fprintf(stderr, "usage: loadgen --port=P [--users=M] [--duration=S]"
                          " [--think-ms=T] [--table=F] [--k=K] [--seed=S]"
                          " [--repeat-query] [--filter-col=C] [--retries=N]"
-                         " [--retry-deadline=S] [--slo-ms=B] [--worst=N]\n");
+                         " [--retry-deadline=S] [--slo-ms=B] [--worst=N]"
+                         " [--require-shards=N]\n");
     return 2;
   }
 
@@ -523,6 +561,7 @@ int main(int argc, char** argv) {
     uint64_t errors = 0;
     uint64_t retries = 0;
     std::map<std::string, std::vector<double>> by_endpoint;
+    std::map<std::string, uint64_t> shard_counts;
     std::vector<WorstRequest> worst;
     for (const UserStats& s : churn_stats) {
       errors += s.errors;
@@ -534,6 +573,9 @@ int main(int argc, char** argv) {
         by_endpoint[endpoint].insert(by_endpoint[endpoint].end(),
                                      latencies.begin(), latencies.end());
       }
+      for (const auto& [shard, count] : s.shard_counts) {
+        shard_counts[shard] += count;
+      }
       worst.insert(worst.end(), s.worst.begin(), s.worst.end());
     }
     std::printf("cold sessions/s: %.2f\n", cold);
@@ -543,8 +585,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(errors),
                 static_cast<unsigned long long>(retries));
     PrintEndpointReport(by_endpoint, config.slo_ms);
+    const bool shards_ok =
+        PrintShardReport(shard_counts, config.require_shards);
     PrintWorstRequests(std::move(worst), config.worst);
-    return errors == 0 ? 0 : 1;
+    return errors == 0 && shards_ok ? 0 : 1;
   }
 
   std::printf("loadgen: %d users x %.1fs against %s:%d (think %d ms)\n",
@@ -578,6 +622,9 @@ int main(int argc, char** argv) {
           total.endpoint_latencies[endpoint].end(), latencies.begin(),
           latencies.end());
     }
+    for (const auto& [shard, count] : s.shard_counts) {
+      total.shard_counts[shard] += count;
+    }
     worst.insert(worst.end(), s.worst.begin(), s.worst.end());
     for (const std::string& sample : s.error_samples) {
       if (total.error_samples.size() < 8) {
@@ -608,9 +655,11 @@ int main(int argc, char** argv) {
   PrintLatency("p99", total.latencies, 0.99);
   const int slo_failures =
       PrintEndpointReport(total.endpoint_latencies, config.slo_ms);
+  const bool shards_ok =
+      PrintShardReport(total.shard_counts, config.require_shards);
   PrintWorstRequests(std::move(worst), config.worst);
   if (config.slo_ms > 0.0) {
     std::printf("slo: %s\n", slo_failures == 0 ? "PASS" : "FAIL");
   }
-  return total.errors == 0 ? 0 : 1;
+  return total.errors == 0 && shards_ok ? 0 : 1;
 }

@@ -25,6 +25,12 @@
 ///                        [--slo-window=60]
 ///                        [--wide-events-out=F.jsonl]
 ///                        [--wide-event-sample=N]
+///                        [--shard-name=NAME]  (cluster identity: X-Shard
+///                         header + wide-event/healthz shard field)
+///                        [--simulate-service-ms=0]  (artificial per-
+///                         request service time for scaling benchmarks)
+///                        [--simulate-cores=0]  (cap on concurrently
+///                         simulated requests; 0 = unbounded)
 ///                        [--build-info]  (print build provenance, exit)
 ///                        (JSON-over-HTTP session server; see
 ///                         docs/ARCHITECTURE.md "Serving" for the protocol.
@@ -34,6 +40,20 @@
 ///                         request tracing, SLO tracking and /statusz are
 ///                         described in docs/ARCHITECTURE.md "Request
 ///                         lifecycle & observability")
+///   viewseeker route     --shards=host:port,name=host:port,...
+///                        [--host=127.0.0.1] [--port=8080]
+///                        [--virtual-nodes=128] [--eject-after=3]
+///                        [--probe-interval=1.0] [--forward-timeout=10]
+///                        [--forward-attempts=3] [--retry-backoff=0.05]
+///                        [--migrate-hold=10] [--workers=N]
+///                        [--max-queued=64] [--build-info]
+///                        (cluster front-end: consistent-hash session
+///                         routing over N `viewseeker serve` workers,
+///                         aggregated /healthz /metrics /statusz, and
+///                         POST /admin/migrate live session handoff; see
+///                         docs/ARCHITECTURE.md "Cluster topology".
+///                         Unnamed --shards entries are auto-named
+///                         shard0..shardN-1 in list order)
 ///
 /// Tables are read by extension: .vst (binary, see data/io.h) or .csv.
 /// --filter takes the WHERE sub-grammar ("age >= 30 AND city = 'NYC'").
@@ -49,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/router_app.h"
 #include "common/build_info.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
@@ -160,7 +181,8 @@ Status WriteTextFile(const std::string& path, const std::string& content) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: viewseeker <generate|info|views|sql|recommend|session|serve> "
+      "usage: viewseeker "
+      "<generate|info|views|sql|recommend|session|serve|route> "
       "[--key=value ...]\n"
       "see the header of tools/viewseeker.cc for the full synopsis\n");
   return 2;
@@ -417,7 +439,9 @@ int CmdServe(const Args& args) {
                          "threads", "seed", "durability-dir",
                          "snapshot-every", "no-fsync", "slow-request-ms",
                          "slo-ms", "slo-window", "wide-events-out",
-                         "wide-event-sample", "build-info"});
+                         "wide-event-sample", "shard-name",
+                         "simulate-service-ms", "simulate-cores",
+                         "build-info"});
 
   if (args.GetBool("build-info")) {
     std::printf("%s\n", BuildInfoLine().c_str());
@@ -460,6 +484,9 @@ int CmdServe(const Args& args) {
   manager.StartReaper();
 
   serve::ServeAppOptions app_options;
+  app_options.shard_name = args.Get("shard-name");
+  app_options.simulate_service_ms = args.GetDouble("simulate-service-ms", 0.0);
+  app_options.simulate_cores = static_cast<int>(args.GetInt("simulate-cores", 0));
   app_options.slow_request_ms = args.GetDouble("slow-request-ms", 500.0);
   app_options.slo_budget_ms = args.GetDouble("slo-ms", 0.0);
   app_options.slo_window_seconds = args.GetDouble("slo-window", 60.0);
@@ -478,10 +505,12 @@ int CmdServe(const Args& args) {
   // The effective serving configuration, echoed verbatim by /statusz so
   // an operator reading a snapshot knows exactly what flags produced it.
   app_options.config_json = StrFormat(
-      "{\"table\":%s,\"max_sessions\":%lld,\"session_ttl_seconds\":%.1f,"
+      "{\"table\":%s,\"shard\":%s,\"max_sessions\":%lld,"
+      "\"session_ttl_seconds\":%.1f,"
       "\"durability\":%s,\"slow_request_ms\":%.1f,\"slo_budget_ms\":%.1f,"
       "\"slo_window_seconds\":%.1f,\"wide_event_sample\":%llu}",
       serve::JsonQuote(args.Get("table")).c_str(),
+      serve::JsonQuote(app_options.shard_name).c_str(),
       static_cast<long long>(args.GetInt("max-sessions", 256)),
       args.GetDouble("session-ttl", 300.0),
       manager.durability_enabled() ? "true" : "false",
@@ -541,6 +570,144 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+/// Splits "a,b,c" on commas, dropping empty pieces.
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    if (comma > start) parts.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// Parses one --shards entry: "host:port" (auto-named shard<index>),
+/// "name=host:port", or ":port" / "name=:port" (host defaults to
+/// 127.0.0.1).
+Result<cluster::ShardAddress> ParseShardEntry(const std::string& entry,
+                                              size_t index) {
+  cluster::ShardAddress address;
+  std::string rest = entry;
+  const size_t eq = rest.find('=');
+  if (eq != std::string::npos) {
+    address.name = rest.substr(0, eq);
+    rest = rest.substr(eq + 1);
+  } else {
+    address.name = StrFormat("shard%zu", index);
+  }
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("--shards entry '%s' is not host:port", entry.c_str()));
+  }
+  if (colon > 0) address.host = rest.substr(0, colon);
+  Result<int64_t> port = ParseInt64(rest.substr(colon + 1));
+  if (!port.ok() || *port <= 0 || *port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("--shards entry '%s' has an invalid port", entry.c_str()));
+  }
+  address.port = static_cast<int>(*port);
+  return address;
+}
+
+int CmdRoute(const Args& args) {
+  args.WarnUnrecognized({"shards", "host", "port", "workers", "max-queued",
+                         "virtual-nodes", "eject-after", "probe-interval",
+                         "forward-timeout", "forward-attempts",
+                         "retry-backoff", "migrate-hold", "seed",
+                         "build-info"});
+
+  if (args.GetBool("build-info")) {
+    std::printf("%s\n", BuildInfoLine().c_str());
+    return 0;
+  }
+
+  obs::MetricsRegistry::Default().set_enabled(true);
+  obs::TraceCollector::Default().set_enabled(true);
+
+  cluster::ClusterRouterOptions options;
+  const std::vector<std::string> entries = SplitCommaList(args.Get("shards"));
+  if (entries.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--shards=host:port[,name=host:port,...] is required"));
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Result<cluster::ShardAddress> address = ParseShardEntry(entries[i], i);
+    if (!address.ok()) return Fail(address.status());
+    options.shards.push_back(std::move(*address));
+  }
+  options.virtual_nodes = static_cast<int>(args.GetInt("virtual-nodes", 128));
+  options.eject_after = static_cast<int>(args.GetInt("eject-after", 3));
+  options.probe_interval_seconds = args.GetDouble("probe-interval", 1.0);
+  options.forward_timeout_seconds = args.GetDouble("forward-timeout", 10.0);
+  options.forward_attempts =
+      static_cast<int>(args.GetInt("forward-attempts", 3));
+  options.retry_backoff_seconds = args.GetDouble("retry-backoff", 0.05);
+  options.migrate_hold_seconds = args.GetDouble("migrate-hold", 10.0);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 0xc105));
+  std::string shard_list;
+  for (const auto& shard : options.shards) {
+    if (!shard_list.empty()) shard_list += ",";
+    shard_list += StrFormat("\"%s=%s:%d\"", shard.name.c_str(),
+                            shard.host.c_str(), shard.port);
+  }
+  options.config_json = StrFormat(
+      "{\"shards\":[%s],\"virtual_nodes\":%d,\"eject_after\":%d,"
+      "\"probe_interval_seconds\":%.2f,\"forward_timeout_seconds\":%.1f,"
+      "\"forward_attempts\":%d,\"migrate_hold_seconds\":%.1f}",
+      shard_list.c_str(), options.virtual_nodes, options.eject_after,
+      options.probe_interval_seconds, options.forward_timeout_seconds,
+      options.forward_attempts, options.migrate_hold_seconds);
+
+  cluster::ClusterRouter router(options);
+  Status started_router = router.Start();
+  if (!started_router.ok()) return Fail(started_router);
+
+  serve::HttpServerOptions server_options;
+  server_options.host = args.Get("host", "127.0.0.1");
+  server_options.port = static_cast<int>(args.GetInt("port", 8080));
+  server_options.worker_threads = static_cast<size_t>(args.GetInt(
+      "workers",
+      static_cast<int64_t>(std::max<size_t>(8, ThreadPool::DefaultThreads()))));
+  server_options.max_queued_connections =
+      static_cast<size_t>(args.GetInt("max-queued", 64));
+
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  serve::HttpServer server(server_options,
+                           [&router](const serve::HttpRequest& request) {
+                             return router.Handle(request);
+                           });
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("viewseeker route: listening on %s:%d "
+              "(shards=%zu, vnodes=%d, workers=%zu)\n",
+              server_options.host.c_str(), server.port(),
+              options.shards.size(), options.virtual_nodes,
+              server_options.worker_threads);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("received %s, draining in-flight requests...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  server.Stop();
+  router.Stop();
+  std::printf("drained: %llu connections served, %llu rejected, "
+              "%llu migrations completed\n",
+              static_cast<unsigned long long>(server.connections_accepted()),
+              static_cast<unsigned long long>(server.connections_rejected()),
+              static_cast<unsigned long long>(router.migrations()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -554,5 +721,6 @@ int main(int argc, char** argv) {
   if (command == "recommend") return CmdRecommend(args);
   if (command == "session") return CmdSession(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "route") return CmdRoute(args);
   return Usage();
 }
