@@ -1,0 +1,74 @@
+#include "common/latency.h"
+
+#include <algorithm>
+
+namespace vs {
+
+bool LatencyPercentileDefined(size_t samples, double p) {
+  if (samples == 0) return false;
+  return static_cast<double>(samples) * (1.0 - p) >= 1.0;
+}
+
+size_t LatencyPercentileIndex(size_t n, double p) {
+  return std::min(n - 1,
+                  static_cast<size_t>(p * static_cast<double>(n - 1) + 0.5));
+}
+
+double LatencyPercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return -1.0;
+  return sorted[LatencyPercentileIndex(sorted.size(), p)];
+}
+
+double LatencySummary::WithinFraction() const {
+  if (count == 0) return 1.0;
+  return static_cast<double>(within_budget) / static_cast<double>(count);
+}
+
+double LatencySummary::TailMs() const {
+  return p99_ms >= 0.0 ? p99_ms : p50_ms;
+}
+
+bool LatencySummary::TailWithinBudget() const {
+  if (budget_ms <= 0.0) return true;
+  const double tail = TailMs();
+  return tail < 0.0 || tail <= budget_ms;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  seconds_.insert(seconds_.end(), other.seconds_.begin(),
+                  other.seconds_.end());
+}
+
+LatencySummary LatencyRecorder::Summarize(double budget_ms) const {
+  LatencySummary summary;
+  summary.count = seconds_.size();
+  summary.budget_ms = budget_ms;
+  if (seconds_.empty()) return summary;
+
+  std::vector<double> sorted = seconds_;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const double s : sorted) sum += s;
+  summary.mean_ms = sum / static_cast<double>(sorted.size()) * 1e3;
+  summary.max_ms = sorted.back() * 1e3;
+  if (LatencyPercentileDefined(sorted.size(), 0.50)) {
+    summary.p50_ms = LatencyPercentileSorted(sorted, 0.50) * 1e3;
+  }
+  if (LatencyPercentileDefined(sorted.size(), 0.95)) {
+    summary.p95_ms = LatencyPercentileSorted(sorted, 0.95) * 1e3;
+  }
+  if (LatencyPercentileDefined(sorted.size(), 0.99)) {
+    summary.p99_ms = LatencyPercentileSorted(sorted, 0.99) * 1e3;
+  }
+  if (budget_ms > 0.0) {
+    // sorted is ascending, so the within-budget count is the partition
+    // point of (latency_ms <= budget).
+    const double budget_seconds = budget_ms * 1e-3;
+    summary.within_budget = static_cast<size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), budget_seconds) -
+        sorted.begin());
+  }
+  return summary;
+}
+
+}  // namespace vs

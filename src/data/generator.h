@@ -59,6 +59,47 @@ vs::Result<Table> GenerateDiabetes(const DiabetesOptions& options);
 /// Cardinalities of the 7 DIAB dimensions, in schema order.
 std::vector<int32_t> DiabetesDimensionCardinalities();
 
+/// \brief Options for the large-scale testbed (10–100M rows): the dataset
+/// the workload harness (src/workload/) drives production-shaped traffic
+/// against.  High-cardinality zipf-popular categorical dimensions, uniform
+/// numeric dimensions, and lognormal-skewed measures with per-(dimension
+/// level, measure) multiplicative effects so query subsets genuinely
+/// deviate from the reference distribution.
+///
+/// Every cell is a pure function of (seed, column, row) — counter-based
+/// generation rather than a sequential PRNG stream — so the output is
+/// byte-identical regardless of chunking, and the streaming writer can
+/// materialize column-major in O(chunk_rows) memory.
+struct LargeScaleOptions {
+  uint64_t num_rows = 10'000'000;
+  /// Cardinality of categorical dimension g<i> (zipf-popular levels).
+  std::vector<int32_t> cardinalities = {12, 96, 1024};
+  int num_numeric_dims = 2;  ///< d0..: numeric dimensions, uniform [0, 1)
+  int num_measures = 4;      ///< m0..: lognormal-skewed measures
+  double zipf_s = 1.1;       ///< level-popularity exponent (0 = uniform)
+  double measure_sigma = 0.6;  ///< per-row lognormal noise sigma
+  double effect_sigma = 0.25;  ///< per-(level, measure) effect sigma
+  uint64_t seed = 99;
+  /// Rows materialized at a time by GenerateLargeScaleToFile; bounds
+  /// memory, never changes the generated values.
+  size_t chunk_rows = 1 << 20;
+};
+
+/// Generates the large-scale table in memory (tests and small scales; at
+/// 10M+ rows prefer the streaming writer below).
+vs::Result<Table> GenerateLargeScale(const LargeScaleOptions& options);
+
+/// Streams the large-scale table straight into the .vst format at \p path
+/// using O(chunk_rows) memory; the file is byte-identical to
+/// WriteTableFile(GenerateLargeScale(options)).
+vs::Status GenerateLargeScaleToFile(const LargeScaleOptions& options,
+                                    const std::string& path);
+
+/// Exact .vst file size GenerateLargeScaleToFile will produce — lets
+/// callers check disk headroom before a 100M-row write and lets tests
+/// verify a streamed file without loading it.
+vs::Result<uint64_t> LargeScaleFileBytes(const LargeScaleOptions& options);
+
 }  // namespace vs::data
 
 #endif  // VS_DATA_GENERATOR_H_

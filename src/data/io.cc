@@ -276,4 +276,154 @@ vs::Result<Table> ReadTableFile(const std::string& path) {
   return DeserializeTable(buffer.str());
 }
 
+// ---- TableStreamWriter ---------------------------------------------------
+
+TableStreamWriter::TableStreamWriter(std::FILE* file, Schema schema,
+                                     uint64_t num_rows)
+    : file_(file), schema_(std::move(schema)), num_rows_(num_rows) {}
+
+TableStreamWriter::~TableStreamWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+vs::Result<std::unique_ptr<TableStreamWriter>> TableStreamWriter::Open(
+    const std::string& path, const Schema& schema, uint64_t num_rows) {
+  if (schema.num_fields() == 0) {
+    return vs::Status::InvalidArgument("cannot stream an empty schema");
+  }
+  for (const Field& field : schema.fields()) {
+    if (field.type != DataType::kInt64 && field.type != DataType::kDouble &&
+        field.type != DataType::kString) {
+      return vs::Status::NotSupported("cannot stream column type " +
+                                      DataTypeName(field.type));
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return vs::Status::IOError("cannot open for writing: " + path);
+  }
+  auto writer = std::unique_ptr<TableStreamWriter>(
+      new TableStreamWriter(file, schema, num_rows));
+  std::string header;
+  header.append(kMagic, 4);
+  PutU32(&header, kVersion);
+  PutU64(&header, num_rows);
+  PutU32(&header, static_cast<uint32_t>(schema.num_fields()));
+  VS_RETURN_IF_ERROR(writer->WriteRaw(header.data(), header.size()));
+  return writer;
+}
+
+vs::Status TableStreamWriter::WriteRaw(const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return vs::Status::IOError("stream write failed");
+  }
+  return vs::Status::OK();
+}
+
+vs::Status TableStreamWriter::BeginColumn(
+    size_t index, const std::vector<std::string>* dictionary) {
+  if (finished_) return vs::Status::FailedPrecondition("writer finished");
+  if (index != current_column_) {
+    return vs::Status::InvalidArgument(vs::StrFormat(
+        "columns must be streamed in order: got %zu, expected %zu", index,
+        current_column_));
+  }
+  if (index > 0 && column_rows_ != num_rows_) {
+    return vs::Status::FailedPrecondition(vs::StrFormat(
+        "column %zu incomplete: %llu of %llu rows", index - 1,
+        static_cast<unsigned long long>(column_rows_),
+        static_cast<unsigned long long>(num_rows_)));
+  }
+  const Field& field = schema_.field(index);
+  if ((field.type == DataType::kString) != (dictionary != nullptr)) {
+    return vs::Status::InvalidArgument(
+        "dictionary must be given for string columns and only for them");
+  }
+  std::string meta;
+  PutU32(&meta, static_cast<uint32_t>(field.name.size()));
+  meta.append(field.name);
+  PutU8(&meta, static_cast<uint8_t>(field.type));
+  PutU8(&meta, static_cast<uint8_t>(field.role));
+  PutU8(&meta, 0);  // has_nulls: streamed tables are null-free
+  if (dictionary != nullptr) {
+    PutU32(&meta, static_cast<uint32_t>(dictionary->size()));
+    for (const std::string& label : *dictionary) {
+      PutU32(&meta, static_cast<uint32_t>(label.size()));
+      meta.append(label);
+    }
+    dictionary_size_ = static_cast<int32_t>(dictionary->size());
+  }
+  VS_RETURN_IF_ERROR(WriteRaw(meta.data(), meta.size()));
+  ++current_column_;
+  column_rows_ = 0;
+  return vs::Status::OK();
+}
+
+vs::Status TableStreamWriter::CheckAppend(DataType expected, size_t n) {
+  if (finished_) return vs::Status::FailedPrecondition("writer finished");
+  if (current_column_ == 0) {
+    return vs::Status::FailedPrecondition("BeginColumn not called");
+  }
+  const Field& field = schema_.field(current_column_ - 1);
+  if (field.type != expected) {
+    return vs::Status::InvalidArgument(
+        vs::StrFormat("append type mismatch for column %s",
+                      field.name.c_str()));
+  }
+  if (column_rows_ + n > num_rows_) {
+    return vs::Status::InvalidArgument(vs::StrFormat(
+        "column %s overflows %llu rows", field.name.c_str(),
+        static_cast<unsigned long long>(num_rows_)));
+  }
+  return vs::Status::OK();
+}
+
+vs::Status TableStreamWriter::AppendDoubles(const double* values, size_t n) {
+  VS_RETURN_IF_ERROR(CheckAppend(DataType::kDouble, n));
+  VS_RETURN_IF_ERROR(WriteRaw(values, n * sizeof(double)));
+  column_rows_ += n;
+  return vs::Status::OK();
+}
+
+vs::Status TableStreamWriter::AppendInt64s(const int64_t* values, size_t n) {
+  VS_RETURN_IF_ERROR(CheckAppend(DataType::kInt64, n));
+  VS_RETURN_IF_ERROR(WriteRaw(values, n * sizeof(int64_t)));
+  column_rows_ += n;
+  return vs::Status::OK();
+}
+
+vs::Status TableStreamWriter::AppendCodes(const int32_t* codes, size_t n) {
+  VS_RETURN_IF_ERROR(CheckAppend(DataType::kString, n));
+  for (size_t i = 0; i < n; ++i) {
+    if (codes[i] < 0 || codes[i] >= dictionary_size_) {
+      return vs::Status::InvalidArgument(vs::StrFormat(
+          "code %d outside dictionary of %d", codes[i], dictionary_size_));
+    }
+  }
+  VS_RETURN_IF_ERROR(WriteRaw(codes, n * sizeof(int32_t)));
+  column_rows_ += n;
+  return vs::Status::OK();
+}
+
+vs::Status TableStreamWriter::Finish() {
+  if (finished_) return vs::Status::FailedPrecondition("already finished");
+  if (current_column_ != schema_.num_fields() ||
+      column_rows_ != num_rows_) {
+    return vs::Status::FailedPrecondition(
+        vs::StrFormat("table incomplete: %zu of %zu columns, last has %llu "
+                      "of %llu rows",
+                      current_column_, schema_.num_fields(),
+                      static_cast<unsigned long long>(column_rows_),
+                      static_cast<unsigned long long>(num_rows_)));
+  }
+  finished_ = true;
+  const int flush_failed = std::fflush(file_);
+  const int close_failed = std::fclose(file_);
+  file_ = nullptr;
+  if (flush_failed != 0 || close_failed != 0) {
+    return vs::Status::IOError("stream flush/close failed");
+  }
+  return vs::Status::OK();
+}
+
 }  // namespace vs::data

@@ -21,7 +21,10 @@
 /// The format stores the dictionary, so categorical group-by performance
 /// survives the round trip.
 
+#include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/table.h"
@@ -40,6 +43,62 @@ vs::Status WriteTableFile(const Table& table, const std::string& path);
 
 /// Reads a table from \p path.
 vs::Result<Table> ReadTableFile(const std::string& path);
+
+/// \brief Streaming column-major .vst writer for null-free tables whose
+/// shape (schema + row count) is known up-front — the path the 10–100M-row
+/// generator takes so a file far larger than RAM budgets O(chunk) memory.
+///
+/// Usage: Open(), then per column in schema order BeginColumn() followed by
+/// Append*() calls totalling exactly num_rows values, then Finish().  The
+/// resulting file is byte-identical to WriteTableFile() of the equivalent
+/// in-memory table (all payloads are fixed-width, so column sizes are known
+/// without buffering).  Every step is validated; errors leave the partial
+/// file behind for the caller to unlink.
+class TableStreamWriter {
+ public:
+  /// Creates \p path (truncating) and writes the header for \p num_rows
+  /// rows of \p schema.  String columns must later provide their complete
+  /// dictionary to BeginColumn.
+  static vs::Result<std::unique_ptr<TableStreamWriter>> Open(
+      const std::string& path, const Schema& schema, uint64_t num_rows);
+
+  ~TableStreamWriter();
+
+  TableStreamWriter(const TableStreamWriter&) = delete;
+  TableStreamWriter& operator=(const TableStreamWriter&) = delete;
+
+  /// Starts column \p index (must advance 0, 1, ... in schema order, each
+  /// previous column complete).  \p dictionary is required for kString
+  /// columns (codes appended later must index into it) and must be null
+  /// for numeric columns.
+  vs::Status BeginColumn(size_t index,
+                         const std::vector<std::string>* dictionary);
+
+  /// \name Payload appends for the current column (type-checked).
+  /// @{
+  vs::Status AppendDoubles(const double* values, size_t n);
+  vs::Status AppendInt64s(const int64_t* values, size_t n);
+  vs::Status AppendCodes(const int32_t* codes, size_t n);
+  /// @}
+
+  /// Validates that every column received exactly num_rows values and
+  /// flushes + closes the file.
+  vs::Status Finish();
+
+ private:
+  TableStreamWriter(std::FILE* file, Schema schema, uint64_t num_rows);
+
+  vs::Status WriteRaw(const void* data, size_t n);
+  vs::Status CheckAppend(DataType expected, size_t n);
+
+  std::FILE* file_;
+  const Schema schema_;
+  const uint64_t num_rows_;
+  size_t current_column_ = 0;   ///< columns fully *begun* so far
+  uint64_t column_rows_ = 0;    ///< values appended to the current column
+  int32_t dictionary_size_ = 0;
+  bool finished_ = false;
+};
 
 }  // namespace vs::data
 

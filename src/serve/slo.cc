@@ -3,18 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/latency.h"
 #include "obs/metrics.h"
 
 namespace vs::serve {
 
 namespace {
 
-/// Nearest-rank percentile over an unsorted copy of the window.
+/// Nearest-rank percentile over an unsorted copy of the window; the rank
+/// formula is the shared one in common/latency.h, so the server's window
+/// percentiles and the load tools' reports agree by construction.
 double PercentileMs(std::vector<float> values, double p) {
   if (values.empty()) return -1.0;
-  const size_t index = std::min(
-      values.size() - 1,
-      static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5));
+  const size_t index = LatencyPercentileIndex(values.size(), p);
   std::nth_element(values.begin(),
                    values.begin() + static_cast<ptrdiff_t>(index),
                    values.end());
@@ -24,8 +25,7 @@ double PercentileMs(std::vector<float> values, double p) {
 }  // namespace
 
 bool SloPercentileDefined(size_t samples, double p) {
-  if (samples == 0) return false;
-  return static_cast<double>(samples) * (1.0 - p) >= 1.0;
+  return LatencyPercentileDefined(samples, p);
 }
 
 SloTracker::SloTracker(const SloOptions& options)

@@ -1,0 +1,78 @@
+#ifndef VS_WORKLOAD_PLAN_H_
+#define VS_WORKLOAD_PLAN_H_
+
+/// \file plan.h
+/// \brief Deterministic compilation of a WorkloadSpec into an executable
+/// plan: the full schedule of sessions (arrival times, filters) and their
+/// per-step op scripts (kinds + think times).
+///
+/// The plan *is* the reproducibility contract: compiling the same spec
+/// with the same seed yields a bit-identical op ledger (FormatLedger),
+/// independent of how the runner later interleaves execution — every
+/// session's draws come from its own SplitMix64-derived generator, so
+/// neither thread scheduling nor session order can perturb another
+/// session's script.  `workbench --dry-run` prints the ledger digest;
+/// CI diffs two compilations to prove determinism.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/spec.h"
+
+namespace vs::workload {
+
+enum class OpKind {
+  kNext,     ///< GET  /sessions/<id>/next
+  kLabel,    ///< POST /sessions/<id>/label (a previously fetched view)
+  kTopk,     ///< GET  /sessions/<id>/topk
+  kRequery,  ///< DELETE + POST /sessions with a fresh popular filter
+};
+
+const char* OpKindName(OpKind kind);
+
+struct PlannedOp {
+  OpKind kind = OpKind::kNext;
+  /// Lognormal think pause before this op, seconds.  The runner subtracts
+  /// the previous request's service time from the sleep (the pause starts
+  /// when the response arrives).
+  double think_before_seconds = 0.0;
+  /// For kRequery: index into WorkloadPlan::filters of the new query.
+  int filter_index = -1;
+};
+
+struct SessionPlan {
+  uint64_t index = 0;           ///< global session number
+  double arrival_seconds = 0.0; ///< offset from the run epoch (open-loop)
+  int lane = 0;                 ///< closed-loop user lane
+  int filter_index = 0;         ///< initial query (into plan.filters)
+  std::vector<PlannedOp> ops;
+};
+
+struct WorkloadPlan {
+  WorkloadSpec spec;
+  /// The popularity pool: overlapping half-open range predicates in
+  /// ParseFilter syntax ("d0 >= 0.125 AND d0 < 0.375").
+  std::vector<std::string> filters;
+  /// Sessions ordered by arrival (open) or lane-then-sequence (closed).
+  std::vector<SessionPlan> sessions;
+  uint64_t total_ops = 0;
+};
+
+/// Compiles \p spec into the deterministic schedule.  \p seed_override
+/// (when >= 0) replaces spec.seed — the workbench --seed flag.
+vs::Result<WorkloadPlan> CompilePlan(const WorkloadSpec& spec,
+                                     int64_t seed_override = -1);
+
+/// One line per session header and per op, fixed formatting — the op
+/// ledger two same-seed runs must reproduce byte-for-byte.
+std::string FormatLedger(const WorkloadPlan& plan);
+
+/// FNV-1a digest of the ledger text (printed by workbench so CI can
+/// compare runs without shipping the full ledger).
+uint64_t LedgerDigest(const std::string& ledger);
+
+}  // namespace vs::workload
+
+#endif  // VS_WORKLOAD_PLAN_H_

@@ -1,0 +1,379 @@
+#include "workload/spec.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "serve/json.h"
+
+namespace vs::workload {
+
+namespace {
+
+using serve::JsonValue;
+
+/// Shortest decimal text that strtod's back to exactly \p v — keeps the
+/// canonical spec text human-readable (0.5, not 0.50000000000000000).
+std::string NumberText(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return vs::StrFormat("%.0f", v);  // 30, not 3e+01
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::string text = vs::StrFormat("%.*g", precision, v);
+    if (std::strtod(text.c_str(), nullptr) == v) return text;
+  }
+  return vs::StrFormat("%.17g", v);
+}
+
+/// Rejects member keys outside \p known — a typo'd field would otherwise
+/// silently fall back to its default, which is exactly how a workload
+/// quietly stops measuring what its author intended.
+vs::Status CheckKnownKeys(const JsonValue& object, const char* context,
+                          std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : object.members()) {
+    (void)value;
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return vs::Status::InvalidArgument(
+          vs::StrFormat("%s: unknown field \"%s\"", context, key.c_str()));
+    }
+  }
+  return vs::Status::OK();
+}
+
+/// Reads an optional numeric field, requiring a finite value in
+/// [\p lo, \p hi]; absent keeps \p *out unchanged.
+vs::Status ReadNumber(const JsonValue& object, const char* context,
+                      const char* key, double lo, double hi, double* out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) return vs::Status::OK();
+  if (!value->is_number()) {
+    return vs::Status::InvalidArgument(
+        vs::StrFormat("%s.%s: expected a number", context, key));
+  }
+  const double v = value->number_value();
+  if (!std::isfinite(v) || v < lo || v > hi) {
+    return vs::Status::InvalidArgument(
+        vs::StrFormat("%s.%s: %g outside [%g, %g]", context, key, v, lo,
+                      hi));
+  }
+  *out = v;
+  return vs::Status::OK();
+}
+
+/// Like ReadNumber but additionally requires an integer value.
+vs::Status ReadInt(const JsonValue& object, const char* context,
+                   const char* key, int64_t lo, int64_t hi, int64_t* out) {
+  double v = static_cast<double>(*out);
+  VS_RETURN_IF_ERROR(ReadNumber(object, context, key,
+                                static_cast<double>(lo),
+                                static_cast<double>(hi), &v));
+  if (v != std::floor(v)) {
+    return vs::Status::InvalidArgument(
+        vs::StrFormat("%s.%s: %g is not an integer", context, key, v));
+  }
+  *out = static_cast<int64_t>(v);
+  return vs::Status::OK();
+}
+
+vs::Status ReadString(const JsonValue& object, const char* context,
+                      const char* key, std::string* out) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr) return vs::Status::OK();
+  if (!value->is_string()) {
+    return vs::Status::InvalidArgument(
+        vs::StrFormat("%s.%s: expected a string", context, key));
+  }
+  *out = value->string_value();
+  return vs::Status::OK();
+}
+
+vs::Status ParseArrival(const JsonValue& object, ArrivalSpec* out) {
+  VS_RETURN_IF_ERROR(CheckKnownKeys(
+      object, "arrival", {"mode", "rate_per_sec", "users",
+                          "max_concurrent"}));
+  std::string mode = out->mode == ArrivalMode::kOpen ? "open" : "closed";
+  VS_RETURN_IF_ERROR(ReadString(object, "arrival", "mode", &mode));
+  if (mode == "open") {
+    out->mode = ArrivalMode::kOpen;
+  } else if (mode == "closed") {
+    out->mode = ArrivalMode::kClosed;
+  } else {
+    return vs::Status::InvalidArgument(
+        "arrival.mode: must be \"open\" or \"closed\", got \"" + mode +
+        "\"");
+  }
+  double rate = out->rate_per_sec;
+  VS_RETURN_IF_ERROR(
+      ReadNumber(object, "arrival", "rate_per_sec", 1e-3, 1e4, &rate));
+  out->rate_per_sec = rate;
+  int64_t users = out->users;
+  VS_RETURN_IF_ERROR(ReadInt(object, "arrival", "users", 1, 4096, &users));
+  out->users = static_cast<int>(users);
+  int64_t max_concurrent = out->max_concurrent;
+  VS_RETURN_IF_ERROR(ReadInt(object, "arrival", "max_concurrent", 1, 4096,
+                             &max_concurrent));
+  out->max_concurrent = static_cast<int>(max_concurrent);
+  return vs::Status::OK();
+}
+
+vs::Status ParseThinkTime(const JsonValue& object, ThinkTimeSpec* out) {
+  VS_RETURN_IF_ERROR(CheckKnownKeys(object, "think_time",
+                                    {"median_ms", "sigma", "cap_ms"}));
+  VS_RETURN_IF_ERROR(ReadNumber(object, "think_time", "median_ms", 0.0,
+                                6e5, &out->median_ms));
+  VS_RETURN_IF_ERROR(
+      ReadNumber(object, "think_time", "sigma", 0.0, 10.0, &out->sigma));
+  VS_RETURN_IF_ERROR(
+      ReadNumber(object, "think_time", "cap_ms", 0.0, 6e5, &out->cap_ms));
+  if (out->cap_ms < out->median_ms) {
+    return vs::Status::InvalidArgument(
+        "think_time.cap_ms: below think_time.median_ms");
+  }
+  return vs::Status::OK();
+}
+
+vs::Status ParseSessionShape(const JsonValue& object,
+                             SessionShapeSpec* out) {
+  VS_RETURN_IF_ERROR(
+      CheckKnownKeys(object, "session", {"min_steps", "max_steps"}));
+  int64_t min_steps = out->min_steps;
+  int64_t max_steps = out->max_steps;
+  VS_RETURN_IF_ERROR(
+      ReadInt(object, "session", "min_steps", 1, 10000, &min_steps));
+  VS_RETURN_IF_ERROR(
+      ReadInt(object, "session", "max_steps", 1, 10000, &max_steps));
+  if (min_steps > max_steps) {
+    return vs::Status::InvalidArgument(
+        "session.min_steps exceeds session.max_steps");
+  }
+  out->min_steps = static_cast<int>(min_steps);
+  out->max_steps = static_cast<int>(max_steps);
+  return vs::Status::OK();
+}
+
+vs::Status ParseMix(const JsonValue& object, MixSpec* out) {
+  VS_RETURN_IF_ERROR(CheckKnownKeys(object, "mix",
+                                    {"next", "label", "topk", "requery"}));
+  VS_RETURN_IF_ERROR(ReadNumber(object, "mix", "next", 0.0, 1e6,
+                                &out->next));
+  VS_RETURN_IF_ERROR(ReadNumber(object, "mix", "label", 0.0, 1e6,
+                                &out->label));
+  VS_RETURN_IF_ERROR(ReadNumber(object, "mix", "topk", 0.0, 1e6,
+                                &out->topk));
+  VS_RETURN_IF_ERROR(ReadNumber(object, "mix", "requery", 0.0, 1e6,
+                                &out->requery));
+  if (out->next + out->label + out->topk + out->requery <= 0.0) {
+    return vs::Status::InvalidArgument("mix: weights sum to zero");
+  }
+  return vs::Status::OK();
+}
+
+vs::Status ParsePopularity(const JsonValue& object, PopularitySpec* out) {
+  VS_RETURN_IF_ERROR(CheckKnownKeys(
+      object, "popularity",
+      {"filters", "zipf_s", "overlap", "width", "column", "lo", "hi"}));
+  int64_t filters = out->filters;
+  VS_RETURN_IF_ERROR(
+      ReadInt(object, "popularity", "filters", 1, 100000, &filters));
+  out->filters = static_cast<int>(filters);
+  VS_RETURN_IF_ERROR(ReadNumber(object, "popularity", "zipf_s", 0.0, 10.0,
+                                &out->zipf_s));
+  VS_RETURN_IF_ERROR(ReadNumber(object, "popularity", "overlap", 0.0, 1.0,
+                                &out->overlap));
+  VS_RETURN_IF_ERROR(ReadNumber(object, "popularity", "width", 1e-6, 1.0,
+                                &out->width));
+  VS_RETURN_IF_ERROR(
+      ReadString(object, "popularity", "column", &out->column));
+  if (out->column.empty()) {
+    return vs::Status::InvalidArgument("popularity.column: empty");
+  }
+  VS_RETURN_IF_ERROR(
+      ReadNumber(object, "popularity", "lo", -1e12, 1e12, &out->lo));
+  VS_RETURN_IF_ERROR(
+      ReadNumber(object, "popularity", "hi", -1e12, 1e12, &out->hi));
+  if (out->lo >= out->hi) {
+    return vs::Status::InvalidArgument("popularity: lo must be < hi");
+  }
+  return vs::Status::OK();
+}
+
+vs::Status ParseSlo(const JsonValue& object, SloSpec* out) {
+  VS_RETURN_IF_ERROR(
+      CheckKnownKeys(object, "slo", {"target", "budget_ms"}));
+  VS_RETURN_IF_ERROR(
+      ReadNumber(object, "slo", "target", 1e-3, 1.0, &out->target));
+  const JsonValue* budgets = object.Find("budget_ms");
+  if (budgets == nullptr) return vs::Status::OK();
+  if (!budgets->is_object()) {
+    return vs::Status::InvalidArgument(
+        "slo.budget_ms: expected an object");
+  }
+  out->budget_ms.clear();
+  for (const auto& [endpoint, value] : budgets->members()) {
+    if (!value.is_number() || !std::isfinite(value.number_value()) ||
+        value.number_value() <= 0.0 || value.number_value() > 1e7) {
+      return vs::Status::InvalidArgument(vs::StrFormat(
+          "slo.budget_ms.%s: budgets are positive ms <= 1e7",
+          endpoint.c_str()));
+    }
+    if (endpoint != "create_session" && endpoint != "next" &&
+        endpoint != "label" && endpoint != "topk" && endpoint != "delete") {
+      return vs::Status::InvalidArgument(
+          vs::StrFormat("slo.budget_ms.%s: unknown endpoint",
+                        endpoint.c_str()));
+    }
+    out->budget_ms[endpoint] = value.number_value();
+  }
+  return vs::Status::OK();
+}
+
+}  // namespace
+
+vs::Result<WorkloadSpec> ParseWorkloadSpec(const std::string& json_text) {
+  VS_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(json_text));
+  if (!root.is_object()) {
+    return vs::Status::InvalidArgument("workload spec: expected an object");
+  }
+  VS_RETURN_IF_ERROR(CheckKnownKeys(
+      root, "spec",
+      {"name", "seed", "duration_seconds", "k", "table", "arrival",
+       "think_time", "session", "mix", "popularity", "slo"}));
+
+  WorkloadSpec spec;
+  VS_RETURN_IF_ERROR(ReadString(root, "spec", "name", &spec.name));
+  if (spec.name.empty()) {
+    return vs::Status::InvalidArgument("spec.name: required");
+  }
+  // Seeds live in the double-exact integer range so JSON (which only has
+  // doubles) round-trips them losslessly.
+  int64_t seed = static_cast<int64_t>(spec.seed);
+  VS_RETURN_IF_ERROR(
+      ReadInt(root, "spec", "seed", 0, (1LL << 53), &seed));
+  spec.seed = static_cast<uint64_t>(seed);
+  VS_RETURN_IF_ERROR(ReadNumber(root, "spec", "duration_seconds", 0.1,
+                                86400.0, &spec.duration_seconds));
+  int64_t k = spec.k;
+  VS_RETURN_IF_ERROR(ReadInt(root, "spec", "k", 1, 1000, &k));
+  spec.k = static_cast<int>(k);
+  VS_RETURN_IF_ERROR(ReadString(root, "spec", "table", &spec.table));
+
+  if (const JsonValue* arrival = root.Find("arrival")) {
+    if (!arrival->is_object()) {
+      return vs::Status::InvalidArgument("arrival: expected an object");
+    }
+    VS_RETURN_IF_ERROR(ParseArrival(*arrival, &spec.arrival));
+  }
+  if (const JsonValue* think = root.Find("think_time")) {
+    if (!think->is_object()) {
+      return vs::Status::InvalidArgument("think_time: expected an object");
+    }
+    VS_RETURN_IF_ERROR(ParseThinkTime(*think, &spec.think_time));
+  }
+  if (const JsonValue* session = root.Find("session")) {
+    if (!session->is_object()) {
+      return vs::Status::InvalidArgument("session: expected an object");
+    }
+    VS_RETURN_IF_ERROR(ParseSessionShape(*session, &spec.session));
+  }
+  if (const JsonValue* mix = root.Find("mix")) {
+    if (!mix->is_object()) {
+      return vs::Status::InvalidArgument("mix: expected an object");
+    }
+    VS_RETURN_IF_ERROR(ParseMix(*mix, &spec.mix));
+  }
+  if (const JsonValue* popularity = root.Find("popularity")) {
+    if (!popularity->is_object()) {
+      return vs::Status::InvalidArgument("popularity: expected an object");
+    }
+    VS_RETURN_IF_ERROR(ParsePopularity(*popularity, &spec.popularity));
+  }
+  if (const JsonValue* slo = root.Find("slo")) {
+    if (!slo->is_object()) {
+      return vs::Status::InvalidArgument("slo: expected an object");
+    }
+    VS_RETURN_IF_ERROR(ParseSlo(*slo, &spec.slo));
+  }
+
+  // Sessions the plan would hold must stay bounded: open-loop count is
+  // rate * duration, and both factors are individually capped above, but
+  // their product can still overflow the plan.
+  if (spec.arrival.mode == ArrivalMode::kOpen &&
+      spec.arrival.rate_per_sec * spec.duration_seconds > 1e6) {
+    return vs::Status::InvalidArgument(
+        "arrival.rate_per_sec * duration_seconds exceeds 1e6 sessions");
+  }
+  return spec;
+}
+
+std::string ToJsonText(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"name\": " << serve::JsonQuote(spec.name) << ",\n";
+  out << "  \"seed\": "
+      << NumberText(static_cast<double>(spec.seed)) << ",\n";
+  out << "  \"duration_seconds\": " << NumberText(spec.duration_seconds)
+      << ",\n";
+  out << "  \"k\": " << spec.k << ",\n";
+  if (!spec.table.empty()) {
+    out << "  \"table\": " << serve::JsonQuote(spec.table) << ",\n";
+  }
+  out << "  \"arrival\": {\"mode\": "
+      << (spec.arrival.mode == ArrivalMode::kOpen ? "\"open\""
+                                                  : "\"closed\"")
+      << ", \"rate_per_sec\": " << NumberText(spec.arrival.rate_per_sec)
+      << ", \"users\": " << spec.arrival.users
+      << ", \"max_concurrent\": " << spec.arrival.max_concurrent << "},\n";
+  out << "  \"think_time\": {\"median_ms\": "
+      << NumberText(spec.think_time.median_ms)
+      << ", \"sigma\": " << NumberText(spec.think_time.sigma)
+      << ", \"cap_ms\": " << NumberText(spec.think_time.cap_ms) << "},\n";
+  out << "  \"session\": {\"min_steps\": " << spec.session.min_steps
+      << ", \"max_steps\": " << spec.session.max_steps << "},\n";
+  out << "  \"mix\": {\"next\": " << NumberText(spec.mix.next)
+      << ", \"label\": " << NumberText(spec.mix.label)
+      << ", \"topk\": " << NumberText(spec.mix.topk)
+      << ", \"requery\": " << NumberText(spec.mix.requery) << "},\n";
+  out << "  \"popularity\": {\"filters\": " << spec.popularity.filters
+      << ", \"zipf_s\": " << NumberText(spec.popularity.zipf_s)
+      << ", \"overlap\": " << NumberText(spec.popularity.overlap)
+      << ", \"width\": " << NumberText(spec.popularity.width)
+      << ", \"column\": " << serve::JsonQuote(spec.popularity.column)
+      << ", \"lo\": " << NumberText(spec.popularity.lo)
+      << ", \"hi\": " << NumberText(spec.popularity.hi) << "},\n";
+  out << "  \"slo\": {\"target\": " << NumberText(spec.slo.target)
+      << ", \"budget_ms\": {";
+  bool first = true;
+  for (const auto& [endpoint, budget] : spec.slo.budget_ms) {
+    if (!first) out << ", ";
+    first = false;
+    out << serve::JsonQuote(endpoint) << ": " << NumberText(budget);
+  }
+  out << "}}\n}\n";
+  return out.str();
+}
+
+vs::Result<WorkloadSpec> LoadWorkloadSpecFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return vs::Status::IOError("cannot open workload spec: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto spec = ParseWorkloadSpec(buffer.str());
+  if (!spec.ok()) {
+    return vs::Status::InvalidArgument(path + ": " +
+                                       spec.status().message());
+  }
+  return spec;
+}
+
+}  // namespace vs::workload

@@ -1,0 +1,134 @@
+#ifndef VS_WORKLOAD_SPEC_H_
+#define VS_WORKLOAD_SPEC_H_
+
+/// \file spec.h
+/// \brief Declarative IDEBench-style workload specifications.
+///
+/// A workload spec is a JSON document describing *exploration traffic* the
+/// way IDEBench (arXiv 1804.02593) prescribes measuring an interactive
+/// data-exploration backend: sessions arrive open-loop (Poisson) or
+/// closed-loop, users pause between interactions for lognormal think
+/// times, the interaction mix spans the protocol (next / label / topk /
+/// re-query), query popularity is zipfian over a pool of overlapping
+/// range predicates, and every endpoint has a stated latency budget the
+/// run is judged against (%-of-ops-within-SLO).
+///
+/// Example (the committed workloads/*.json files follow this schema):
+///
+/// {
+///   "name": "mixed_smoke",
+///   "seed": 1,
+///   "duration_seconds": 30,
+///   "k": 5,
+///   "arrival": {"mode": "open", "rate_per_sec": 2.0, "max_concurrent": 8},
+///   "think_time": {"median_ms": 200, "sigma": 0.8, "cap_ms": 2000},
+///   "session": {"min_steps": 4, "max_steps": 16},
+///   "mix": {"next": 0.3, "label": 0.45, "topk": 0.15, "requery": 0.1},
+///   "popularity": {"filters": 8, "zipf_s": 1.1, "overlap": 0.5,
+///                  "width": 0.25, "column": "d0", "lo": 0.0, "hi": 1.0},
+///   "slo": {"target": 0.99,
+///           "budget_ms": {"create_session": 2000, "next": 400,
+///                         "label": 200, "topk": 200, "delete": 400}}
+/// }
+///
+/// Closed-loop arrival replaces rate_per_sec with "users": N lanes each
+/// running sessions back-to-back.  Parsing is strict: unknown arrival
+/// modes, out-of-range or non-finite numbers, and malformed structure are
+/// rejected with a message naming the field, so a bad spec fails the run
+/// up-front instead of generating nonsense traffic.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace vs::workload {
+
+enum class ArrivalMode {
+  kOpen,    ///< Poisson arrivals at rate_per_sec, independent of latency
+  kClosed,  ///< fixed user lanes, next session when the previous finishes
+};
+
+struct ArrivalSpec {
+  ArrivalMode mode = ArrivalMode::kOpen;
+  double rate_per_sec = 1.0;  ///< open-loop session arrival rate
+  int users = 4;              ///< closed-loop lanes
+  /// Open-loop cap on concurrently running sessions (runner worker pool);
+  /// arrivals beyond it queue and are reported as start lag.
+  int max_concurrent = 8;
+};
+
+/// Lognormal think time: median * exp(sigma * N(0,1)), capped at cap_ms.
+struct ThinkTimeSpec {
+  double median_ms = 200.0;
+  double sigma = 0.8;
+  double cap_ms = 5000.0;
+};
+
+struct SessionShapeSpec {
+  int min_steps = 4;   ///< interactions per session, uniform in
+  int max_steps = 16;  ///< [min_steps, max_steps]
+};
+
+/// Relative frequencies of the per-step interaction kinds.
+struct MixSpec {
+  double next = 0.3;
+  double label = 0.45;
+  double topk = 0.15;
+  double requery = 0.1;  ///< delete + create with a fresh popular filter
+};
+
+/// Zipf-popular pool of overlapping half-open range predicates
+/// `column >= a AND column < b` over [lo, hi).
+struct PopularitySpec {
+  int filters = 8;       ///< pool size
+  double zipf_s = 1.1;   ///< popularity skew over the pool (0 = uniform)
+  double overlap = 0.5;  ///< 0 = adjacent disjoint ranges, 1 = identical
+  double width = 0.25;   ///< each range covers width * (hi - lo)
+  std::string column = "d0";
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+struct SloSpec {
+  /// Required fraction of ops within budget per endpoint (the IDEBench
+  /// pass bar); an endpoint under this fraction fails the run.
+  double target = 0.99;
+  /// Per-endpoint latency budgets in ms, keyed by the server's endpoint
+  /// names (create_session, next, label, topk, delete).  Endpoints
+  /// without a budget are reported but not judged.
+  std::map<std::string, double> budget_ms;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  uint64_t seed = 1;
+  double duration_seconds = 30.0;
+  int k = 5;
+  /// Optional dataset the runner should ask the server to load per
+  /// session (empty = the server's default table).
+  std::string table;
+  ArrivalSpec arrival;
+  ThinkTimeSpec think_time;
+  SessionShapeSpec session;
+  MixSpec mix;
+  PopularitySpec popularity;
+  SloSpec slo;
+};
+
+/// Parses and validates a spec from JSON text; errors name the offending
+/// field.
+vs::Result<WorkloadSpec> ParseWorkloadSpec(const std::string& json_text);
+
+/// Serializes a spec back to canonical JSON (stable field order, numbers
+/// via the serve JSON writer).  ParseWorkloadSpec(ToJsonText(s)) == s —
+/// the golden round-trip property the spec tests pin.
+std::string ToJsonText(const WorkloadSpec& spec);
+
+/// Reads and parses a spec file.
+vs::Result<WorkloadSpec> LoadWorkloadSpecFile(const std::string& path);
+
+}  // namespace vs::workload
+
+#endif  // VS_WORKLOAD_SPEC_H_

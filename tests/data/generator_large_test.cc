@@ -1,0 +1,217 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/io.h"
+
+namespace vs::data {
+namespace {
+
+/// Small-scale options the statistical pins run at: large enough for
+/// tight frequency estimates, small enough for the unit label.
+LargeScaleOptions SmallOptions() {
+  LargeScaleOptions options;
+  options.num_rows = 60'000;
+  options.cardinalities = {8, 64};
+  options.num_numeric_dims = 2;
+  options.num_measures = 3;
+  options.seed = 5;
+  return options;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Normalized zipf level probabilities — the distribution CatCode samples.
+std::vector<double> ZipfProbabilities(int32_t cardinality, double s) {
+  std::vector<double> probs(static_cast<size_t>(cardinality));
+  double total = 0.0;
+  for (size_t l = 0; l < probs.size(); ++l) {
+    probs[l] = 1.0 / std::pow(static_cast<double>(l + 1), s);
+    total += probs[l];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+TEST(LargeScaleGeneratorTest, SchemaShape) {
+  auto t = GenerateLargeScale(SmallOptions());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 60'000u);
+  EXPECT_EQ(t->num_columns(), 7u);  // 2 categorical + 2 numeric + 3 measures
+  EXPECT_EQ(t->schema().field(0).name, "g0");
+  EXPECT_EQ(t->schema().field(2).name, "d0");
+  EXPECT_EQ(t->schema().field(4).name, "m0");
+  EXPECT_EQ(t->schema().FieldsWithRole(FieldRole::kDimension).size(), 4u);
+  EXPECT_EQ(t->schema().FieldsWithRole(FieldRole::kMeasure).size(), 3u);
+}
+
+TEST(LargeScaleGeneratorTest, ZipfLevelFrequenciesMatchTheory) {
+  const LargeScaleOptions options = SmallOptions();
+  auto t = GenerateLargeScale(options);
+  ASSERT_TRUE(t.ok());
+  const auto* g0 = *t->CategoricalColumnByName("g0");
+  ASSERT_EQ(g0->cardinality(), 8);
+  std::vector<double> freq(8, 0.0);
+  for (const int32_t code : g0->codes()) {
+    freq[static_cast<size_t>(code)] += 1.0;
+  }
+  const auto n = static_cast<double>(t->num_rows());
+  const std::vector<double> expected = ZipfProbabilities(8, options.zipf_s);
+  for (size_t l = 0; l < 8; ++l) {
+    // 60k draws: a 4-sigma band around p is well under ±0.01.
+    EXPECT_NEAR(freq[l] / n, expected[l], 0.01) << "level " << l;
+  }
+  // Tail mass pin: the head level dominates and the distribution is
+  // genuinely skewed, not uniform.
+  EXPECT_GT(freq[0] / n, 1.5 * freq[7] / n);
+}
+
+TEST(LargeScaleGeneratorTest, DistinctCountsPerDimension) {
+  auto t = GenerateLargeScale(SmallOptions());
+  ASSERT_TRUE(t.ok());
+  // With 60k rows every level of an 8-ary and a 64-ary zipf dimension is
+  // hit (the rarest 64-ary level still has p ~ 0.2%, expectation > 100).
+  for (const char* name : {"g0", "g1"}) {
+    const auto* column = *t->CategoricalColumnByName(name);
+    std::set<int32_t> distinct(column->codes().begin(),
+                               column->codes().end());
+    EXPECT_EQ(distinct.size(),
+              static_cast<size_t>(column->cardinality()))
+        << name;
+  }
+}
+
+TEST(LargeScaleGeneratorTest, NumericDimsUniformAndMeasuresSkewed) {
+  auto t = GenerateLargeScale(SmallOptions());
+  ASSERT_TRUE(t.ok());
+  const auto* d0 = *t->DoubleColumnByName("d0");
+  double sum = 0.0;
+  for (const double v : d0->data()) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(d0->size()), 0.5, 0.01);
+
+  // Lognormal-ish measures: strictly positive with mean above median
+  // (right skew) — the shape that makes tail-heavy aggregates realistic.
+  const auto* m0 = *t->DoubleColumnByName("m0");
+  std::vector<double> values(m0->data().begin(), m0->data().end());
+  double mean = 0.0;
+  for (const double v : values) {
+    ASSERT_GT(v, 0.0);
+    mean += v;
+  }
+  mean /= static_cast<double>(values.size());
+  std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                   values.end());
+  EXPECT_GT(mean, values[values.size() / 2]);
+}
+
+TEST(LargeScaleGeneratorTest, ChunkSizeNeverChangesTheBytes) {
+  // Counter-based generation makes the output a pure function of
+  // (seed, column, row): streaming with a tiny chunk, a huge chunk, or a
+  // chunk that straddles num_rows unevenly must give identical files.
+  LargeScaleOptions options = SmallOptions();
+  options.num_rows = 10'000;
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/vs_large_a.vst";
+  const std::string path_b = dir + "/vs_large_b.vst";
+  options.chunk_rows = 777;  // 10000 = 12*777 + 676: ragged final chunk
+  ASSERT_TRUE(GenerateLargeScaleToFile(options, path_a).ok());
+  options.chunk_rows = 1 << 20;  // one chunk holds everything
+  ASSERT_TRUE(GenerateLargeScaleToFile(options, path_b).ok());
+  const std::string bytes_a = ReadFileBytes(path_a);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, ReadFileBytes(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(LargeScaleGeneratorTest, StreamedFileMatchesInMemoryWriteExactly) {
+  LargeScaleOptions options = SmallOptions();
+  options.num_rows = 5'000;
+  options.chunk_rows = 1'000;
+  const std::string dir = ::testing::TempDir();
+  const std::string streamed = dir + "/vs_large_streamed.vst";
+  const std::string buffered = dir + "/vs_large_buffered.vst";
+  ASSERT_TRUE(GenerateLargeScaleToFile(options, streamed).ok());
+  auto table = GenerateLargeScale(options);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(WriteTableFile(*table, buffered).ok());
+  EXPECT_EQ(ReadFileBytes(streamed), ReadFileBytes(buffered));
+
+  auto bytes = LargeScaleFileBytes(options);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, ReadFileBytes(streamed).size());
+
+  auto reread = ReadTableFile(streamed);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_EQ(reread->num_rows(), 5'000u);
+  std::remove(streamed.c_str());
+  std::remove(buffered.c_str());
+}
+
+TEST(LargeScaleGeneratorTest, InvalidOptionsRejected) {
+  LargeScaleOptions bad = SmallOptions();
+  bad.num_rows = 0;
+  EXPECT_FALSE(GenerateLargeScale(bad).ok());
+  bad = SmallOptions();
+  bad.num_rows = 500'000'000ULL;  // above the 200M guard
+  EXPECT_FALSE(GenerateLargeScale(bad).ok());
+  bad = SmallOptions();
+  bad.cardinalities = {1};
+  EXPECT_FALSE(GenerateLargeScale(bad).ok());
+  bad = SmallOptions();
+  bad.cardinalities.clear();
+  bad.num_numeric_dims = 0;
+  EXPECT_FALSE(GenerateLargeScale(bad).ok());
+  bad = SmallOptions();
+  bad.zipf_s = -0.1;
+  EXPECT_FALSE(GenerateLargeScale(bad).ok());
+  bad = SmallOptions();
+  bad.chunk_rows = 0;
+  EXPECT_FALSE(GenerateLargeScaleToFile(bad, "/tmp/never.vst").ok());
+}
+
+/// 10M+ rows streamed to disk — minutes of CPU, hundreds of MB. Runs only
+/// under the stress ctest label (vs_generator_10m_smoke sets the env var);
+/// plain unit invocations skip it.
+TEST(LargeScaleGeneratorStressTest, TenMillionRowStreamedGeneration) {
+  const char* rows_env = std::getenv("VS_LARGE_ROWS");
+  if (rows_env == nullptr) {
+    GTEST_SKIP() << "set VS_LARGE_ROWS=10000000 to run the 10M-row case";
+  }
+  LargeScaleOptions options;  // defaults: 10M rows, 3 cat + 2 num + 4 meas
+  options.num_rows =
+      static_cast<uint64_t>(std::strtoull(rows_env, nullptr, 10));
+  ASSERT_GE(options.num_rows, 1'000'000u);
+  const std::string path = ::testing::TempDir() + "/vs_large_10m.vst";
+  auto expect_bytes = LargeScaleFileBytes(options);
+  ASSERT_TRUE(expect_bytes.ok());
+  ASSERT_TRUE(GenerateLargeScaleToFile(options, path).ok());
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(static_cast<uint64_t>(in.tellg()), *expect_bytes);
+  in.close();
+  auto reread = ReadTableFile(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_EQ(reread->num_rows(), options.num_rows);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vs::data

@@ -1,0 +1,141 @@
+#include "workload/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace vs::workload {
+namespace {
+
+WorkloadSpec TestSpec() {
+  WorkloadSpec spec;
+  spec.name = "plan_test";
+  spec.seed = 11;
+  spec.duration_seconds = 20.0;
+  spec.arrival.mode = ArrivalMode::kOpen;
+  spec.arrival.rate_per_sec = 3.0;
+  spec.arrival.max_concurrent = 4;
+  spec.think_time.median_ms = 100.0;
+  spec.think_time.cap_ms = 1000.0;
+  spec.session.min_steps = 3;
+  spec.session.max_steps = 9;
+  spec.popularity.filters = 5;
+  return spec;
+}
+
+TEST(WorkloadPlanTest, SameSeedYieldsBitIdenticalLedger) {
+  auto a = CompilePlan(TestSpec());
+  auto b = CompilePlan(TestSpec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::string ledger_a = FormatLedger(*a);
+  const std::string ledger_b = FormatLedger(*b);
+  EXPECT_EQ(ledger_a, ledger_b);  // the reproducibility contract
+  EXPECT_EQ(LedgerDigest(ledger_a), LedgerDigest(ledger_b));
+  EXPECT_GT(a->sessions.size(), 10u);
+  EXPECT_GT(a->total_ops, a->sessions.size());
+}
+
+TEST(WorkloadPlanTest, SeedOverrideChangesTheLedger) {
+  auto a = CompilePlan(TestSpec());
+  auto b = CompilePlan(TestSpec(), /*seed_override=*/999);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(b->spec.seed, 999u);
+  EXPECT_NE(FormatLedger(*a), FormatLedger(*b));
+}
+
+TEST(WorkloadPlanTest, OpenLoopArrivalsAreOrderedWithinDuration) {
+  auto plan = CompilePlan(TestSpec());
+  ASSERT_TRUE(plan.ok());
+  double previous = 0.0;
+  for (const SessionPlan& session : plan->sessions) {
+    EXPECT_GE(session.arrival_seconds, previous);
+    EXPECT_LT(session.arrival_seconds, 20.0);
+    EXPECT_GE(session.lane, 0);
+    EXPECT_LT(session.lane, 4);
+    previous = session.arrival_seconds;
+  }
+}
+
+TEST(WorkloadPlanTest, ScriptsAreExecutable) {
+  auto plan = CompilePlan(TestSpec());
+  ASSERT_TRUE(plan.ok());
+  for (const SessionPlan& session : plan->sessions) {
+    ASSERT_GE(session.filter_index, 0);
+    ASSERT_LT(session.filter_index, 5);
+    EXPECT_GE(session.ops.size(), 3u);
+    EXPECT_LE(session.ops.size(), 9u);
+    // A label is only ever scheduled with a fetched-but-unlabeled view
+    // outstanding (the generative model masks it otherwise), so every
+    // script is executable against an ideal server.
+    int fetched = 0;
+    for (const PlannedOp& op : session.ops) {
+      EXPECT_GE(op.think_before_seconds, 0.0);
+      EXPECT_LE(op.think_before_seconds, 1.0);  // cap_ms
+      switch (op.kind) {
+        case OpKind::kNext:
+          ++fetched;
+          break;
+        case OpKind::kLabel:
+          EXPECT_GT(fetched, 0);
+          --fetched;
+          break;
+        case OpKind::kRequery:
+          ASSERT_GE(op.filter_index, 0);
+          ASSERT_LT(op.filter_index, 5);
+          fetched = 0;
+          break;
+        case OpKind::kTopk:
+          break;
+      }
+    }
+  }
+}
+
+TEST(WorkloadPlanTest, FiltersAreOverlappingRangePredicates) {
+  auto plan = CompilePlan(TestSpec());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->filters.size(), 5u);
+  for (const std::string& filter : plan->filters) {
+    EXPECT_NE(filter.find("d0 >= "), std::string::npos) << filter;
+    EXPECT_NE(filter.find(" AND d0 < "), std::string::npos) << filter;
+  }
+  // Zipf popularity: the pool's head filter should be assigned to more
+  // sessions than its tail filter.
+  std::vector<int> counts(5, 0);
+  for (const SessionPlan& session : plan->sessions) {
+    ++counts[static_cast<size_t>(session.filter_index)];
+  }
+  EXPECT_GE(counts[0], counts[4]);
+}
+
+TEST(WorkloadPlanTest, ClosedModeFillsEveryLane) {
+  WorkloadSpec spec = TestSpec();
+  spec.arrival.mode = ArrivalMode::kClosed;
+  spec.arrival.users = 3;
+  auto plan = CompilePlan(spec);
+  ASSERT_TRUE(plan.ok());
+  std::vector<int> per_lane(3, 0);
+  for (const SessionPlan& session : plan->sessions) {
+    ASSERT_GE(session.lane, 0);
+    ASSERT_LT(session.lane, 3);
+    ++per_lane[static_cast<size_t>(session.lane)];
+  }
+  for (const int n : per_lane) EXPECT_GE(n, 4);
+}
+
+TEST(WorkloadPlanTest, MixChangeDoesNotShiftArrivals) {
+  // Arrival times come from their own derived stream: retuning the op mix
+  // must not move when sessions start (else A/B runs aren't comparable).
+  WorkloadSpec a = TestSpec();
+  WorkloadSpec b = TestSpec();
+  b.mix.topk = 0.9;
+  auto plan_a = CompilePlan(a);
+  auto plan_b = CompilePlan(b);
+  ASSERT_TRUE(plan_a.ok() && plan_b.ok());
+  ASSERT_EQ(plan_a->sessions.size(), plan_b->sessions.size());
+  for (size_t i = 0; i < plan_a->sessions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plan_a->sessions[i].arrival_seconds,
+                     plan_b->sessions[i].arrival_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace vs::workload

@@ -1,0 +1,141 @@
+#include "workload/spec.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace vs::workload {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string CommittedSpecPath() {
+  return std::string(VS_WORKLOADS_DIR) + "/mixed_smoke.json";
+}
+
+TEST(WorkloadSpecTest, GoldenCommittedSpecIsCanonical) {
+  // The committed example spec is written in canonical form: parsing and
+  // re-serializing reproduces the file byte-for-byte, so the schema shown
+  // in workloads/*.json can never drift from what the parser accepts.
+  const std::string text = ReadFileOrDie(CommittedSpecPath());
+  auto spec = ParseWorkloadSpec(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(ToJsonText(*spec), text);
+}
+
+TEST(WorkloadSpecTest, GoldenCommittedSpecValues) {
+  auto spec = LoadWorkloadSpecFile(CommittedSpecPath());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "mixed_smoke");
+  EXPECT_EQ(spec->seed, 1u);
+  EXPECT_EQ(spec->arrival.mode, ArrivalMode::kOpen);
+  EXPECT_DOUBLE_EQ(spec->arrival.rate_per_sec, 1.5);
+  EXPECT_EQ(spec->popularity.filters, 8);
+  EXPECT_EQ(spec->popularity.column, "d0");
+  EXPECT_DOUBLE_EQ(spec->slo.target, 0.9);
+  ASSERT_EQ(spec->slo.budget_ms.count("create_session"), 1u);
+  EXPECT_DOUBLE_EQ(spec->slo.budget_ms.at("next"), 3000.0);
+}
+
+TEST(WorkloadSpecTest, RoundTripPreservesEveryField) {
+  WorkloadSpec spec;
+  spec.name = "rt";
+  spec.seed = 12345;
+  spec.duration_seconds = 7.5;
+  spec.k = 9;
+  spec.table = "/data/t.vst";
+  spec.arrival.mode = ArrivalMode::kClosed;
+  spec.arrival.users = 17;
+  spec.arrival.max_concurrent = 33;
+  spec.arrival.rate_per_sec = 2.25;
+  spec.think_time.median_ms = 111.5;
+  spec.think_time.sigma = 1.25;
+  spec.think_time.cap_ms = 999.0;
+  spec.session.min_steps = 2;
+  spec.session.max_steps = 40;
+  spec.mix = {0.1, 0.2, 0.3, 0.4};
+  spec.popularity = {13, 1.3, 0.75, 0.125, "num_lab_procedures", -2.0, 50.0};
+  spec.slo.target = 0.95;
+  spec.slo.budget_ms = {{"next", 250.0}, {"topk", 125.5}};
+
+  auto parsed = ParseWorkloadSpec(ToJsonText(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(ToJsonText(*parsed), ToJsonText(spec));
+  EXPECT_EQ(parsed->seed, 12345u);
+  EXPECT_EQ(parsed->arrival.mode, ArrivalMode::kClosed);
+  EXPECT_DOUBLE_EQ(parsed->popularity.lo, -2.0);
+  EXPECT_DOUBLE_EQ(parsed->slo.budget_ms.at("topk"), 125.5);
+}
+
+TEST(WorkloadSpecTest, DefaultsApplyWhenSectionsOmitted) {
+  auto spec = ParseWorkloadSpec(R"({"name": "minimal"})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->arrival.mode, ArrivalMode::kOpen);
+  EXPECT_EQ(spec->session.min_steps, 4);
+  EXPECT_DOUBLE_EQ(spec->mix.label, 0.45);
+  EXPECT_TRUE(spec->slo.budget_ms.empty());
+}
+
+TEST(WorkloadSpecTest, RejectsMalformedStructure) {
+  EXPECT_FALSE(ParseWorkloadSpec("").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("[1,2]").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("{\"name\": \"x\"").ok());  // truncated
+  EXPECT_FALSE(ParseWorkloadSpec("{}").ok());  // name required
+  EXPECT_FALSE(
+      ParseWorkloadSpec(R"({"name": "x", "arrival": 3})").ok());
+}
+
+TEST(WorkloadSpecTest, RejectsUnknownFields) {
+  // A typo'd key must fail loudly, not silently measure the wrong thing.
+  EXPECT_FALSE(
+      ParseWorkloadSpec(R"({"name": "x", "durration_seconds": 5})").ok());
+  EXPECT_FALSE(ParseWorkloadSpec(
+                   R"({"name": "x", "mix": {"nxt": 1.0}})")
+                   .ok());
+  EXPECT_FALSE(ParseWorkloadSpec(
+                   R"({"name": "x", "slo": {"budget_ms": {"nope": 5}}})")
+                   .ok());
+}
+
+TEST(WorkloadSpecTest, RejectsOutOfRangeAndOverflowingFields) {
+  const auto bad = [](const std::string& body) {
+    return !ParseWorkloadSpec("{\"name\": \"x\", " + body + "}").ok();
+  };
+  EXPECT_TRUE(bad(R"("seed": -1)"));
+  EXPECT_TRUE(bad(R"("seed": 1.5)"));
+  EXPECT_TRUE(bad(R"("seed": 1e300)"));
+  EXPECT_TRUE(bad(R"("duration_seconds": 0)"));
+  EXPECT_TRUE(bad(R"("duration_seconds": 1e9)"));
+  EXPECT_TRUE(bad(R"("k": 0)"));
+  EXPECT_TRUE(bad(R"("arrival": {"mode": "poisson"})"));
+  EXPECT_TRUE(bad(R"("arrival": {"users": 1e6})"));
+  EXPECT_TRUE(bad(R"("think_time": {"median_ms": 100, "cap_ms": 50})"));
+  EXPECT_TRUE(bad(R"("session": {"min_steps": 9, "max_steps": 3})"));
+  EXPECT_TRUE(
+      bad(R"("mix": {"next": 0, "label": 0, "topk": 0, "requery": 0})"));
+  EXPECT_TRUE(bad(R"("popularity": {"lo": 2, "hi": 1})"));
+  EXPECT_TRUE(bad(R"("popularity": {"width": 0})"));
+  EXPECT_TRUE(bad(R"("slo": {"target": 0})"));
+  EXPECT_TRUE(bad(R"("slo": {"budget_ms": {"next": -5}})"));
+  // Individually legal rate and duration whose product overflows the
+  // 1e6-session plan cap.
+  EXPECT_TRUE(bad(
+      R"("duration_seconds": 86400, "arrival": {"rate_per_sec": 100})"));
+}
+
+TEST(WorkloadSpecTest, LoadFileErrorsNameThePath) {
+  auto missing = LoadWorkloadSpecFile("/nonexistent/spec.json");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("/nonexistent/spec.json"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vs::workload

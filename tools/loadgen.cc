@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/latency.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -233,6 +234,7 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
   std::string session_id;
   Stopwatch elapsed;
   while (elapsed.ElapsedSeconds() < config.duration_seconds) {
+    Stopwatch iteration;
     if (session_id.empty()) {
       const int created =
           TimedRequest(client, stats, "POST", "/sessions", create, &body,
@@ -303,7 +305,16 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
     }
 
     if (config.think_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(config.think_ms));
+      // The think pause starts when the previous response arrives, so the
+      // time this iteration's requests took comes out of the sleep; a
+      // fixed sleep_for would stretch the simulated inter-arrival gap by
+      // the request latency, understating offered load exactly when the
+      // server slows down.
+      const double remaining = static_cast<double>(config.think_ms) * 1e-3 -
+                               iteration.ElapsedSeconds();
+      if (remaining > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+      }
     }
   }
 
@@ -409,28 +420,24 @@ double RunChurnPhase(const LoadgenConfig& config, bool distinct_filters,
   return elapsed > 0 ? static_cast<double>(sessions.load()) / elapsed : 0.0;
 }
 
-double Percentile(const std::vector<double>& sorted, double p) {
-  const size_t index = static_cast<size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(index, sorted.size() - 1)];
-}
-
-/// A tail percentile is only meaningful with at least 1/(1-p) samples
-/// (p99 needs 100); below that the nearest-rank estimate is just the max
-/// sample dressed up as a tail, so the report prints n/a instead of a
-/// number that looks authoritative.
-bool PercentileDefined(size_t samples, double p) {
-  if (samples == 0) return false;
-  return static_cast<double>(samples) * (1.0 - p) >= 1.0;
+/// Summarizes raw latency seconds against a budget via the shared helper
+/// (common/latency.h) — the same formulas the server's SLO tracker and
+/// tools/workbench use.
+LatencySummary Summarize(const std::vector<double>& latencies,
+                         double budget_ms) {
+  LatencyRecorder recorder;
+  for (const double s : latencies) recorder.Record(s);
+  return recorder.Summarize(budget_ms);
 }
 
 void PrintLatency(const char* name, const std::vector<double>& sorted,
                   double p) {
-  if (!PercentileDefined(sorted.size(), p)) {
+  if (!LatencyPercentileDefined(sorted.size(), p)) {
     std::printf("latency %s:  n/a (%zu samples)\n", name, sorted.size());
     return;
   }
-  std::printf("latency %s:  %.2f ms\n", name, Percentile(sorted, p) * 1e3);
+  std::printf("latency %s:  %.2f ms\n", name,
+              LatencyPercentileSorted(sorted, p) * 1e3);
 }
 
 /// Per-endpoint percentile table with an SLO verdict column when a budget
@@ -444,29 +451,21 @@ int PrintEndpointReport(
                   ? StrFormat(" (SLO budget %.1f ms)", slo_ms).c_str()
                   : "");
   for (const auto& [endpoint, latencies] : by_endpoint) {
-    std::vector<double> sorted = latencies;
-    std::sort(sorted.begin(), sorted.end());
-    auto cell = [&sorted](double p) {
-      return PercentileDefined(sorted.size(), p)
-                 ? StrFormat("%8.2f", Percentile(sorted, p) * 1e3)
-                 : std::string("     n/a");
+    const LatencySummary summary = Summarize(latencies, slo_ms);
+    auto cell = [](double value_ms) {
+      return value_ms >= 0.0 ? StrFormat("%8.2f", value_ms)
+                             : std::string("     n/a");
     };
     std::string verdict;
     if (slo_ms > 0.0) {
       // The tail is p99 when defined, else p50 — the server-side rule.
-      double tail = -1.0;
-      if (PercentileDefined(sorted.size(), 0.99)) {
-        tail = Percentile(sorted, 0.99);
-      } else if (PercentileDefined(sorted.size(), 0.50)) {
-        tail = Percentile(sorted, 0.50);
-      }
-      const bool pass = tail < 0.0 || tail * 1e3 <= slo_ms;
-      if (!pass) ++failed;
-      verdict = pass ? "  PASS" : "  FAIL";
+      if (!summary.TailWithinBudget()) ++failed;
+      verdict = summary.TailWithinBudget() ? "  PASS" : "  FAIL";
     }
     std::printf("  %-16s n=%-7zu p50%s ms  p95%s ms  p99%s ms%s\n",
-                endpoint.c_str(), sorted.size(), cell(0.50).c_str(),
-                cell(0.95).c_str(), cell(0.99).c_str(), verdict.c_str());
+                endpoint.c_str(), summary.count, cell(summary.p50_ms).c_str(),
+                cell(summary.p95_ms).c_str(), cell(summary.p99_ms).c_str(),
+                verdict.c_str());
   }
   return failed;
 }

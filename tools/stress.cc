@@ -3,7 +3,7 @@
 ///   stress --fault-seed=S [--users=M] [--duration=SECONDS] [--k=K]
 ///          [--fault-prob=P] [--max-sessions=N] [--ttl=SECONDS]
 ///          [--table=F] [--spill-dir=D] [--no-faults] [--smoke]
-///          [--plan-hits=N]
+///          [--plan-hits=N] [--workload=SPEC.json]
 ///
 /// Runs M closed-loop client threads over HTTP against an in-process
 /// server while a seeded FaultInjector fires faults in the spill I/O,
@@ -40,6 +40,15 @@
 /// interleaving.  The "fault plan" block printed at startup (per-point
 /// decision bits and digest) is therefore bit-for-bit identical for equal
 /// seeds; rerun with the seed from a CI log to face the same faults.
+///
+/// --workload=SPEC.json replaces the uniform roll mix with the scripted
+/// traffic shape of an IDEBench-style workload spec (src/workload/): each
+/// user replays the compiled plan's session scripts — step counts, op mix,
+/// lognormal think pauses — through the same fault-injected stack, so
+/// chaos fires under realistic pacing instead of a tight request loop.
+/// The spec's filter pool is swapped for the stress pool (the spec's
+/// columns target the workload testbed, not the 300-row DIAB table) and
+/// every invariant (I1-I4) is verified exactly as in roll mode.
 
 #include <unistd.h>
 
@@ -67,6 +76,8 @@
 #include "serve/server.h"
 #include "serve/session_manager.h"
 #include "testing/fault_injection.h"
+#include "workload/plan.h"
+#include "workload/spec.h"
 
 namespace {
 
@@ -124,6 +135,8 @@ struct StressConfig {
   std::string spill_dir;
   bool faults_enabled = true;
   int plan_hits = 64;
+  /// Compiled workload plan driving scripted traffic (null = roll mix).
+  const workload::WorkloadPlan* workload_plan = nullptr;
 };
 
 /// One session as the client saw it; the verification pass replays these
@@ -252,6 +265,113 @@ void UserLoop(const StressConfig& config, int index, int port,
   user.retries = client.retries();
 }
 
+/// Replays the workload plan's session scripts through the faulted stack:
+/// the traffic *shape* (steps, mix, think pauses) comes from the compiled
+/// plan, while session bookkeeping stays identical to UserLoop so the
+/// invariant verification pass applies unchanged.  User u cycles scripts
+/// u, u+M, u+2M, ... so concurrent users never replay the same script in
+/// lockstep.
+void ScriptedUserLoop(const StressConfig& config, int index, int port,
+                      const std::atomic<bool>& stop, UserState& user) {
+  const workload::WorkloadPlan& plan = *config.workload_plan;
+  serve::HttpClient client("127.0.0.1", port, /*timeout_seconds=*/20.0);
+  const std::vector<std::string> filter_pool = {
+      "", "time_in_hospital >= 4", "num_medications >= 10"};
+  std::string body;
+  size_t at = static_cast<size_t>(index) % plan.sessions.size();
+
+  const auto create = [&](int filter_index) -> int {
+    const std::string& filter = filter_pool[static_cast<size_t>(
+        filter_index) % filter_pool.size()];
+    std::string create_body =
+        StrFormat("{\"k\":%d,\"seed\":%d", config.k, index + 1);
+    if (!filter.empty()) {
+      create_body += ",\"filter\":" + serve::JsonQuote(filter);
+    }
+    create_body += "}";
+    ++user.creates_attempted;
+    const int status =
+        DoRequest(client, user, "POST", "/sessions", create_body, &body);
+    if (status != 201) return -1;
+    auto parsed = serve::JsonValue::Parse(body);
+    if (!parsed.ok()) return -1;  // response body lost/garbled: leak it
+    SessionRecord record;
+    record.id = parsed->GetString("id", "");
+    record.num_views = static_cast<uint64_t>(
+        std::max<int64_t>(0, parsed->GetInt("num_views", 0)));
+    if (record.id.empty()) return -1;
+    ++user.creates_acked;
+    user.records.push_back(std::move(record));
+    return static_cast<int>(user.records.size()) - 1;
+  };
+  const auto destroy = [&](int current) {
+    SessionRecord& record = user.records[static_cast<size_t>(current)];
+    record.delete_attempted = true;
+    ++user.deletes_attempted;
+    if (IsOk(DoRequest(client, user, "DELETE", "/sessions/" + record.id,
+                       {}, &body))) {
+      record.deleted = true;
+      ++user.deletes_acked;
+    }
+  };
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    const workload::SessionPlan& script = plan.sessions[at];
+    at = (at + static_cast<size_t>(config.users)) % plan.sessions.size();
+    int current = create(script.filter_index);
+    if (current < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    for (const workload::PlannedOp& op : script.ops) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      if (op.think_before_seconds > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(op.think_before_seconds));
+      }
+      SessionRecord& record = user.records[static_cast<size_t>(current)];
+      const std::string base = "/sessions/" + record.id;
+      switch (op.kind) {
+        case workload::OpKind::kLabel:
+          if (record.next_view < record.num_views) {
+            // Same each-view-at-most-once discipline as the roll mix —
+            // the label-durability window (I2) depends on it.
+            const uint64_t view = record.next_view++;
+            ++record.labels_attempted;
+            const std::string label_body =
+                StrFormat("{\"view\":%llu,\"label\":%d}",
+                          static_cast<unsigned long long>(view),
+                          (script.index + view) % 5 < 2 ? 1 : 0);
+            const int status = DoRequest(client, user, "POST",
+                                         base + "/label", label_body, &body);
+            if (IsOk(status) || status == 409) ++record.labels_acked;
+            break;
+          }
+          [[fallthrough]];  // exhausted: the user fetches instead
+        case workload::OpKind::kNext:
+          DoRequest(client, user, "GET", base + "/next", {}, &body);
+          break;
+        case workload::OpKind::kTopk:
+          DoRequest(client, user, "GET", base + "/topk", {}, &body);
+          break;
+        case workload::OpKind::kRequery: {
+          destroy(current);
+          const int next = create(op.filter_index);
+          if (next < 0) {
+            current = -1;
+          } else {
+            current = next;
+          }
+          break;
+        }
+      }
+      if (current < 0) break;
+    }
+    if (current >= 0) destroy(current);  // recycle before the next script
+  }
+  user.retries = client.retries();
+}
+
 /// Advances the session manager's fake clock and sweeps TTL eviction, so
 /// sessions constantly churn through spill + transparent restore.
 void ChaosLoop(const StressConfig& config, FakeClock& clock,
@@ -373,8 +493,34 @@ int main(int argc, char** argv) {
                  "usage: stress --fault-seed=S [--users=M] [--duration=S]"
                  " [--k=K] [--fault-prob=P] [--max-sessions=N]"
                  " [--ttl=S] [--table=F] [--spill-dir=D] [--no-faults]"
-                 " [--smoke] [--plan-hits=N]\n");
+                 " [--smoke] [--plan-hits=N] [--workload=SPEC.json]\n");
     return 2;
+  }
+
+  workload::WorkloadPlan workload_plan;
+  const std::string workload_path = args.Get("workload");
+  if (!workload_path.empty()) {
+    auto spec = workload::LoadWorkloadSpecFile(workload_path);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "workload spec failed: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    auto plan = workload::CompilePlan(
+        *spec, static_cast<int64_t>(config.fault_seed));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "workload plan failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    workload_plan = std::move(*plan);
+    config.workload_plan = &workload_plan;
+    std::printf(
+        "workload shape: %s, %zu scripts, %llu ops, ledger digest %016llx\n",
+        workload_plan.spec.name.c_str(), workload_plan.sessions.size(),
+        static_cast<unsigned long long>(workload_plan.total_ops),
+        static_cast<unsigned long long>(workload::LedgerDigest(
+            workload::FormatLedger(workload_plan))));
   }
 
   const std::string work_dir =
@@ -451,8 +597,13 @@ int main(int argc, char** argv) {
     threads.reserve(users.size() + 1);
     for (int u = 0; u < config.users; ++u) {
       threads.emplace_back([&config, u, &server, &stop, &users] {
-        UserLoop(config, u, server.port(), stop,
-                 users[static_cast<size_t>(u)]);
+        if (config.workload_plan != nullptr) {
+          ScriptedUserLoop(config, u, server.port(), stop,
+                           users[static_cast<size_t>(u)]);
+        } else {
+          UserLoop(config, u, server.port(), stop,
+                   users[static_cast<size_t>(u)]);
+        }
       });
     }
     threads.emplace_back([&config, &session_clock, &manager, &stop,

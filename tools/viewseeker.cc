@@ -3,7 +3,9 @@
 /// sessions.  (For a live interactive session with a human, use
 /// examples/interactive_cli.)
 ///
-///   viewseeker generate  --dataset=diab|syn --rows=N [--seed=S] --out=F
+///   viewseeker generate  --dataset=diab|syn|big --rows=N [--seed=S] --out=F
+///                        (big = 10-100M-row workload testbed, streamed
+///                         to .vst in O(chunk) memory; see data/generator.h)
 ///   viewseeker info      --table=F
 ///   viewseeker views     --table=F [--bins=3,4]
 ///   viewseeker sql       --table=F --query="SELECT AVG(m) FROM t GROUP BY a"
@@ -204,8 +206,28 @@ int CmdGenerate(const Args& args) {
   const std::string out = args.Get("out");
   if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
 
+  // The large-scale testbed streams straight to .vst in O(chunk) memory —
+  // it never goes through an in-memory Table, so 100M rows need no RAM.
+  if (dataset == "big") {
+    if (out.size() < 4 || out.substr(out.size() - 4) != ".vst") {
+      return Fail(Status::InvalidArgument(
+          "--dataset=big streams columnar output; --out must end in .vst"));
+    }
+    data::LargeScaleOptions options;
+    options.num_rows = static_cast<uint64_t>(args.GetInt("rows", 10000000));
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 99));
+    auto bytes = data::LargeScaleFileBytes(options);
+    if (!bytes.ok()) return Fail(bytes.status());
+    Status write = data::GenerateLargeScaleToFile(options, out);
+    if (!write.ok()) return Fail(write);
+    std::printf("wrote %llu rows (%llu bytes) to %s\n",
+                static_cast<unsigned long long>(options.num_rows),
+                static_cast<unsigned long long>(*bytes), out.c_str());
+    return 0;
+  }
+
   Result<data::Table> table = Status::InvalidArgument(
-      "--dataset must be 'diab' or 'syn'");
+      "--dataset must be 'diab', 'syn', or 'big'");
   if (dataset == "diab") {
     data::DiabetesOptions options;
     options.num_rows = static_cast<size_t>(args.GetInt("rows", 100000));

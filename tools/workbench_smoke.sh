@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Smoke test for the workload harness, run by CI after a build:
+#  1. generate a small synthetic big-schema table,
+#  2. prove the plan compiler is bit-reproducible: two --dry-run passes
+#     over the committed spec must emit byte-identical op ledgers,
+#  3. start 2 `viewseeker serve` workers and one `viewseeker route`
+#     front-end over them,
+#  4. replay workloads/mixed_smoke.json (30s open-loop mixed traffic)
+#     through the router with --require-shards=2, and
+#  5. let workbench's SLO verdict be the exit code: PASS (every budgeted
+#     endpoint within target, zero errors, both shards hit) or FAIL.
+#
+# Usage: tools/workbench_smoke.sh <build-dir> [base-port]
+# Workers listen on base-port+1 .. base-port+2, the router on base-port.
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: workbench_smoke.sh <build-dir> [base-port]}"
+BASE_PORT="${2:-18400}"
+WORK_DIR="$(mktemp -d)"
+WORKER_PIDS=(0 0)
+
+# `kill 0` would signal the whole process group (CI's shell included), so
+# only ever kill pids we actually recorded.
+cleanup() {
+  for pid in "${ROUTER_PID:-0}" "${WORKER_PIDS[@]}"; do
+    [ "$pid" -gt 0 ] 2>/dev/null && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+VIEWSEEKER="$BUILD_DIR/tools/viewseeker"
+WORKBENCH="$BUILD_DIR/tools/workbench"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+SPEC="$REPO_DIR/workloads/mixed_smoke.json"
+TABLE="$WORK_DIR/bench.vst"
+ROUTER="http://127.0.0.1:$BASE_PORT"
+
+worker_port() { echo $((BASE_PORT + 1 + $1)); }
+
+start_worker() {
+  local i="$1"
+  "$VIEWSEEKER" serve --table="$TABLE" --port="$(worker_port "$i")" \
+      --shard-name="shard$i" --durability-dir="$WORK_DIR/shard$i" \
+      --no-fsync --max-sessions=64 \
+      >>"$WORK_DIR/shard$i.log" 2>&1 &
+  WORKER_PIDS[$i]=$!
+}
+
+echo "== build info"
+"$VIEWSEEKER" serve --build-info
+
+echo "== generate table (big-schema, small row count for CI)"
+"$VIEWSEEKER" generate --dataset=big --rows=20000 --seed=99 --out="$TABLE"
+
+echo "== dry-run reproducibility: same spec + seed => identical ledgers"
+"$WORKBENCH" --spec="$SPEC" --dry-run --ledger-out="$WORK_DIR/ledger_a.txt"
+"$WORKBENCH" --spec="$SPEC" --dry-run --ledger-out="$WORK_DIR/ledger_b.txt"
+cmp "$WORK_DIR/ledger_a.txt" "$WORK_DIR/ledger_b.txt" \
+  || { echo "FAIL: dry-run ledgers differ across runs"; exit 1; }
+
+echo "== start 2 workers + router"
+SHARDS=""
+for i in 0 1; do
+  start_worker "$i"
+  SHARDS+="${SHARDS:+,}shard$i=127.0.0.1:$(worker_port "$i")"
+done
+"$VIEWSEEKER" route --port="$BASE_PORT" --shards="$SHARDS" \
+    --probe-interval=0.5 --eject-after=3 \
+    >"$WORK_DIR/router.log" 2>&1 &
+ROUTER_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$ROUTER/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$ROUTER_PID" 2>/dev/null; then
+    echo "router died during startup"; cat "$WORK_DIR/router.log"; exit 1
+  fi
+  sleep 0.2
+done
+curl -sf "$ROUTER/healthz" > "$WORK_DIR/healthz.json"
+grep -q '"status":"ok"' "$WORK_DIR/healthz.json" \
+  || { echo "cluster not healthy"; cat "$WORK_DIR/healthz.json"; exit 1; }
+
+echo "== replay mixed_smoke through the router (SLO verdict = exit code)"
+RC=0
+"$WORKBENCH" --spec="$SPEC" --port="$BASE_PORT" --require-shards=2 \
+    --json-out="$WORK_DIR/report.json" || RC=$?
+echo "== machine-readable report"
+cat "$WORK_DIR/report.json"
+if [ "$RC" -ne 0 ]; then
+  echo "workbench verdict: FAIL (exit $RC)"
+  echo "== router log tail"; tail -20 "$WORK_DIR/router.log"
+  exit "$RC"
+fi
+
+echo "workbench smoke OK"
