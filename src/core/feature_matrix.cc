@@ -107,7 +107,9 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
   state->exact.assign(imm->views.size(), false);
 
   const bool exact_build = options.sample_rate >= 1.0;
-  data::GroupByExecutor executor(table);
+  data::GroupByExecutorOptions executor_options;
+  executor_options.use_kernel = options.use_kernels;
+  data::GroupByExecutor executor(table, executor_options);
 
   data::SelectionVector ref_sample;
   data::SelectionVector target_sample;
@@ -130,6 +132,7 @@ vs::Result<FeatureMatrix> FeatureMatrix::Build(
   }
 
   fm.shared_scan_ = options.shared_scan;
+  fm.use_kernels_ = options.use_kernels;
 
   // Shared-scan batching (SeeDB-style): all views over one (dimension,
   // bin count) share a single target pass and a single reference pass.
@@ -293,7 +296,9 @@ vs::Status FeatureMatrix::RefineRows(
   State& state = *state_;
 
   obs::ScopedSpan refine_span("FeatureMatrix::RefineRows");
-  data::GroupByExecutor executor(table_);
+  data::GroupByExecutorOptions executor_options;
+  executor_options.use_kernel = use_kernels_;
+  data::GroupByExecutor executor(table_, executor_options);
   for (const auto& [key, members] : groups) {
     std::vector<data::GroupBySpec> specs;
     specs.reserve(members.size());

@@ -57,6 +57,12 @@ struct FeatureMatrixOptions {
   /// cost is what the optimization amortizes.  Feature values are
   /// identical either way.
   bool shared_scan = true;
+  /// Route group-by execution through the typed aggregation kernel
+  /// (data/groupby_kernel.h).  false reinstates the scalar fold — the
+  /// oracle path of the differential kernel-equivalence tests.  Results
+  /// agree within accumulation tolerance, so (like num_threads) this
+  /// field is excluded from the cache-identity hash.
+  bool use_kernels = true;
 };
 
 /// \brief The materialized feature matrix with refinement state.
@@ -156,6 +162,7 @@ class FeatureMatrix {
   std::shared_ptr<const Immutable> imm_;
   std::shared_ptr<State> state_;
   bool shared_scan_ = true;
+  bool use_kernels_ = true;
 };
 
 }  // namespace vs::core

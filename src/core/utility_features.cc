@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "core/feature_kernels.h"
 #include "stats/distance.h"
 #include "stats/hypothesis.h"
 #include "stats/usability.h"
@@ -98,6 +99,9 @@ UtilityFeatureRegistry UtilityFeatureRegistry::Default() {
                           AccuracyFeature);
   (void)registry.Register(UtilityFeatureName(UtilityFeature::kPValue),
                           PValueFeature);
+  // The eight above are the unmodified built-ins, so ComputeAll may swap
+  // in the fused kernels for them.
+  registry.builtin_prefix_ = true;
   return registry;
 }
 
@@ -152,7 +156,13 @@ vs::Result<size_t> UtilityFeatureRegistry::IndexOf(
 vs::Result<ml::Vector> UtilityFeatureRegistry::ComputeAll(
     const ViewMaterialization& view) const {
   ml::Vector out(fns_.size(), 0.0);
-  for (size_t i = 0; i < fns_.size(); ++i) {
+  size_t start = 0;
+  if (builtin_prefix_ && use_kernels_ &&
+      fns_.size() >= static_cast<size_t>(kNumBuiltinFeatures)) {
+    VS_RETURN_IF_ERROR(ComputeBuiltinFeatures(view, out.data()));
+    start = static_cast<size_t>(kNumBuiltinFeatures);
+  }
+  for (size_t i = start; i < fns_.size(); ++i) {
     VS_ASSIGN_OR_RETURN(out[i], fns_[i](view));
   }
   return out;

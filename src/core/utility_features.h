@@ -74,11 +74,28 @@ class UtilityFeatureRegistry {
   vs::Result<size_t> IndexOf(const std::string& name) const;
 
   /// Evaluates every feature on \p view, in registration order.
+  ///
+  /// Registries created by Default() evaluate the built-in prefix through
+  /// the fused kernels of core/feature_kernels.h (one pass for the five
+  /// deviation distances) unless set_use_kernels(false) routes them back
+  /// through the per-feature scalar functions — the oracle path the
+  /// differential equivalence tests compare against.  Custom features
+  /// registered on top are always evaluated through their own function.
   vs::Result<ml::Vector> ComputeAll(const ViewMaterialization& view) const;
+
+  /// Toggles the fused-kernel fast path for the built-in prefix (only
+  /// meaningful on registries created by Default()).
+  void set_use_kernels(bool use_kernels) { use_kernels_ = use_kernels; }
+  bool use_kernels() const { return use_kernels_; }
 
  private:
   std::vector<std::string> names_;
   std::vector<FeatureFn> fns_;
+  /// True when indices [0, kNumBuiltinFeatures) hold the unmodified
+  /// built-in eight (set by Default()), making the fused kernel a valid
+  /// substitute for their scalar functions.
+  bool builtin_prefix_ = false;
+  bool use_kernels_ = true;
 };
 
 /// Builds the order-aware *trend* feature for line-chart-style views

@@ -5,9 +5,34 @@
 #include <functional>
 
 #include "common/string_util.h"
+#include "data/groupby_kernel.h"
 #include "data/predicate.h"
 
 namespace vs::data {
+
+namespace {
+
+/// Finalizes one SoA kernel slot with AggregateAccumulator semantics
+/// (empty bins yield 0 for every function).
+double FinalizeKernelSlot(const KernelGrid& grid, size_t b,
+                          AggregateFunction f) {
+  if (grid.counts[b] == 0) return 0.0;
+  switch (f) {
+    case AggregateFunction::kCount:
+      return static_cast<double>(grid.counts[b]);
+    case AggregateFunction::kSum:
+      return grid.sums[b];
+    case AggregateFunction::kAvg:
+      return grid.sums[b] / static_cast<double>(grid.counts[b]);
+    case AggregateFunction::kMin:
+      return grid.mins[b];
+    case AggregateFunction::kMax:
+      return grid.maxs[b];
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 std::string GroupBySpec::ToString() const {
   std::string out = AggregateFunctionName(func) + "(" + measure +
@@ -16,7 +41,9 @@ std::string GroupBySpec::ToString() const {
   return out;
 }
 
-GroupByExecutor::GroupByExecutor(const Table* table) : table_(table) {}
+GroupByExecutor::GroupByExecutor(const Table* table,
+                                 const GroupByExecutorOptions& options)
+    : table_(table), options_(options) {}
 
 vs::Result<GroupByExecutor::NumericBinDef> GroupByExecutor::NumericBins(
     const std::string& dimension, int32_t num_bins) const {
@@ -31,11 +58,20 @@ vs::Result<GroupByExecutor::NumericBinDef> GroupByExecutor::NumericBins(
                         NumericColumnView::Wrap(col.get()));
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
-    for (size_t r = 0; r < view.size(); ++r) {
-      if (view.IsNull(r)) continue;
-      const double v = view.at(r);
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
+    if (options_.use_kernel) {
+      // Typed unrolled scan; min/max are associative, so lo/hi — and
+      // therefore every bin boundary — are bit-identical to the scalar
+      // loop below.
+      VS_ASSIGN_OR_RETURN(auto range, KernelColumnRange(col.get()));
+      lo = range.first;
+      hi = range.second;
+    } else {
+      for (size_t r = 0; r < view.size(); ++r) {
+        if (view.IsNull(r)) continue;
+        const double v = view.at(r);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
     }
     if (!(lo <= hi)) {
       return vs::Status::FailedPrecondition(
@@ -82,6 +118,11 @@ vs::Status GroupByExecutor::Prewarm(const GroupBySpec& spec) const {
 
 vs::Result<GroupByResult> GroupByExecutor::Execute(
     const GroupBySpec& spec, const SelectionVector* selection) const {
+  if (options_.use_kernel) {
+    VS_ASSIGN_OR_RETURN(std::vector<GroupByResult> results,
+                        ExecuteBatchKernel({spec}, selection));
+    return std::move(results[0]);
+  }
   VS_ASSIGN_OR_RETURN(ColumnPtr dim_col,
                       table_->ColumnByName(spec.dimension));
   VS_ASSIGN_OR_RETURN(ColumnPtr measure_col,
@@ -175,6 +216,7 @@ vs::Result<std::vector<GroupByResult>> GroupByExecutor::ExecuteBatch(
           "all specs in a batch must share dimension and bin count");
     }
   }
+  if (options_.use_kernel) return ExecuteBatchKernel(specs, selection);
 
   // Distinct measures, decoded once per row.
   std::vector<std::string> measures;
@@ -280,6 +322,98 @@ vs::Result<std::vector<GroupByResult>> GroupByExecutor::ExecuteBatch(
       result.counts.push_back(acc.count);
       result.sums.push_back(acc.sum);
       result.sumsqs.push_back(acc.sumsq);
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+vs::Result<std::vector<GroupByResult>> GroupByExecutor::ExecuteBatchKernel(
+    const std::vector<GroupBySpec>& specs,
+    const SelectionVector* selection) const {
+  // Distinct measures, resolved and type-checked once (same validation
+  // and messages as the scalar path).
+  std::vector<std::string> measures;
+  std::vector<size_t> measure_of_spec(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    size_t index = measures.size();
+    for (size_t m = 0; m < measures.size(); ++m) {
+      if (measures[m] == specs[s].measure) {
+        index = m;
+        break;
+      }
+    }
+    if (index == measures.size()) measures.push_back(specs[s].measure);
+    measure_of_spec[s] = index;
+  }
+  std::vector<ColumnPtr> measure_owners;  // keep shared_ptrs alive
+  std::vector<const Column*> measure_cols;
+  measure_owners.reserve(measures.size());
+  measure_cols.reserve(measures.size());
+  for (const std::string& measure : measures) {
+    VS_ASSIGN_OR_RETURN(ColumnPtr col, table_->ColumnByName(measure));
+    VS_RETURN_IF_ERROR(NumericColumnView::Wrap(col.get()).status());
+    measure_cols.push_back(col.get());
+    measure_owners.push_back(std::move(col));
+  }
+
+  VS_ASSIGN_OR_RETURN(ColumnPtr dim_col,
+                      table_->ColumnByName(specs[0].dimension));
+  const auto* cat = dynamic_cast<const CategoricalColumn*>(dim_col.get());
+  int32_t num_bins = 0;
+  std::vector<std::string> bin_labels;
+  KernelBinDef kernel_bins;
+  const KernelBinDef* kernel_bins_ptr = nullptr;
+  if (cat != nullptr) {
+    if (specs[0].num_bins > 0) {
+      return vs::Status::InvalidArgument(
+          "categorical dimension '" + specs[0].dimension +
+          "' must use num_bins = 0");
+    }
+    num_bins = cat->cardinality();
+    bin_labels = cat->dictionary();
+  } else {
+    VS_RETURN_IF_ERROR(NumericColumnView::Wrap(dim_col.get()).status());
+    VS_ASSIGN_OR_RETURN(
+        NumericBinDef bins,
+        NumericBins(specs[0].dimension, specs[0].num_bins));
+    num_bins = specs[0].num_bins;
+    bin_labels.reserve(static_cast<size_t>(num_bins));
+    for (int32_t b = 0; b < num_bins; ++b) {
+      bin_labels.push_back(vs::StrFormat("[%g, %g)",
+                                         bins.lo + b * bins.width,
+                                         bins.lo + (b + 1) * bins.width));
+    }
+    kernel_bins.lo = bins.lo;
+    kernel_bins.width = bins.width;
+    kernel_bins_ptr = &kernel_bins;
+  }
+
+  GroupByKernelOptions kernel_options;
+  kernel_options.dense_bins_max = options_.dense_bins_max;
+  kernel_options.num_threads = options_.kernel_threads;
+  VS_ASSIGN_OR_RETURN(
+      std::vector<KernelGrid> grids,
+      GroupByKernelRun(dim_col.get(), kernel_bins_ptr, num_bins,
+                       measure_cols, selection, table_->num_rows(),
+                       kernel_options));
+  const auto rows_seen = static_cast<int64_t>(
+      selection != nullptr ? selection->size() : table_->num_rows());
+
+  std::vector<GroupByResult> results;
+  results.reserve(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    GroupByResult result;
+    result.bin_labels = bin_labels;
+    result.rows_seen = rows_seen;
+    const KernelGrid& grid = grids[measure_of_spec[s]];
+    const size_t nb = grid.size();
+    result.values.reserve(nb);
+    result.counts = grid.counts;
+    result.sums = grid.sums;
+    result.sumsqs = grid.sumsqs;
+    for (size_t b = 0; b < nb; ++b) {
+      result.values.push_back(FinalizeKernelSlot(grid, b, specs[s].func));
     }
     results.push_back(std::move(result));
   }

@@ -51,12 +51,26 @@ struct GroupByResult {
   size_t num_bins() const { return values.size(); }
 };
 
+/// \brief Execution-path knobs for GroupByExecutor.
+struct GroupByExecutorOptions {
+  /// Route Execute/ExecuteBatch through the typed aggregation kernel
+  /// (data/groupby_kernel.h).  false keeps the original scalar fold — the
+  /// reference oracle the differential kernel-equivalence tests compare
+  /// against.  Serial kernel runs are bit-identical to the oracle.
+  bool use_kernel = true;
+  /// Dense-grid / hash-table crossover, forwarded to the kernel.
+  int32_t dense_bins_max = 1 << 14;
+  /// Kernel partial-aggregate workers; 0 or 1 = serial.
+  size_t kernel_threads = 0;
+};
+
 /// \brief Executes GroupBySpecs against one table, with cached bin
 /// definitions shared by all selections.
 class GroupByExecutor {
  public:
   /// Binds to \p table (not owned; must outlive the executor).
-  explicit GroupByExecutor(const Table* table);
+  explicit GroupByExecutor(const Table* table,
+                           const GroupByExecutorOptions& options = {});
 
   /// Runs \p spec over the rows in \p selection (nullptr = all rows).
   ///
@@ -87,6 +101,15 @@ class GroupByExecutor {
   /// The bound table.
   const Table& table() const { return *table_; }
 
+  /// The execution-path options this executor was built with.
+  const GroupByExecutorOptions& options() const { return options_; }
+
+  /// Number of dimensions whose numeric range is cached — introspection
+  /// for the prewarm contract ("no cache writes after prewarm"): once
+  /// every dimension of a workload is prewarmed this value must not move
+  /// under any Execute/ExecuteBatch mix.
+  size_t num_cached_ranges() const { return range_cache_.size(); }
+
  private:
   struct NumericBinDef {
     double lo = 0.0;
@@ -97,7 +120,14 @@ class GroupByExecutor {
   vs::Result<NumericBinDef> NumericBins(const std::string& dimension,
                                         int32_t num_bins) const;
 
+  /// The typed-kernel implementation behind ExecuteBatch (specs already
+  /// validated to share dimension and bin count).
+  vs::Result<std::vector<GroupByResult>> ExecuteBatchKernel(
+      const std::vector<GroupBySpec>& specs,
+      const SelectionVector* selection) const;
+
   const Table* table_;
+  GroupByExecutorOptions options_;
   mutable std::unordered_map<std::string, std::pair<double, double>>
       range_cache_;  // dimension -> (min, max)
 };

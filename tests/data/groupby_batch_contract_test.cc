@@ -1,0 +1,159 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/groupby.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace vs::data {
+namespace {
+
+// The prewarm contract (data/groupby.h): once every dimension a workload
+// uses has been Prewarm()ed, no Execute/ExecuteBatch mix performs cache
+// writes — num_cached_ranges() must not move — so the executor may be
+// shared by concurrent readers.  Verified here on both the kernel path
+// and the scalar oracle path.
+
+Table MixedTable() {
+  auto schema = *Schema::Make({
+      {"c", DataType::kString, FieldRole::kDimension},
+      {"x", DataType::kDouble, FieldRole::kDimension},
+      {"i", DataType::kInt64, FieldRole::kDimension},
+      {"m", DataType::kDouble, FieldRole::kMeasure},
+  });
+  Rng rng(5);
+  TableBuilder b(schema);
+  for (int r = 0; r < 500; ++r) {
+    EXPECT_TRUE(b.AppendRow({Value("L" + std::to_string(rng.NextBounded(7))),
+                             Value(rng.NextDouble() * 40.0),
+                             Value(rng.NextInt64(0, 100)),
+                             Value(rng.NextGaussian())})
+                    .ok());
+  }
+  return *b.Build();
+}
+
+std::vector<GroupBySpec> WorkloadSpecs() {
+  return {
+      {"c", "m", AggregateFunction::kAvg, 0},
+      {"x", "m", AggregateFunction::kSum, 6},
+      {"x", "m", AggregateFunction::kMax, 6},
+      {"i", "m", AggregateFunction::kCount, 4},
+  };
+}
+
+TEST(GroupByBatchContractTest, NoCacheWritesAfterPrewarm) {
+  Table table = MixedTable();
+  for (const bool use_kernel : {false, true}) {
+    SCOPED_TRACE(use_kernel ? "kernel" : "scalar");
+    GroupByExecutorOptions options;
+    options.use_kernel = use_kernel;
+    GroupByExecutor executor(&table, options);
+    EXPECT_EQ(executor.num_cached_ranges(), 0u);
+
+    for (const GroupBySpec& spec : WorkloadSpecs()) {
+      ASSERT_TRUE(executor.Prewarm(spec).ok());
+    }
+    // Two numeric dimensions -> two cached ranges; the categorical
+    // prewarm is a no-op.
+    const size_t warmed = executor.num_cached_ranges();
+    EXPECT_EQ(warmed, 2u);
+
+    SelectionVector some_rows = {1, 3, 5, 7, 400};
+    for (const GroupBySpec& spec : WorkloadSpecs()) {
+      ASSERT_TRUE(executor.Execute(spec, nullptr).ok());
+      ASSERT_TRUE(executor.Execute(spec, &some_rows).ok());
+      EXPECT_EQ(executor.num_cached_ranges(), warmed) << spec.ToString();
+    }
+    // Shared-scan batches over each dimension group, same invariant.
+    std::vector<GroupBySpec> numeric_batch = {
+        {"x", "m", AggregateFunction::kSum, 6},
+        {"x", "m", AggregateFunction::kMin, 6},
+        {"x", "m", AggregateFunction::kAvg, 6},
+    };
+    ASSERT_TRUE(executor.ExecuteBatch(numeric_batch, nullptr).ok());
+    ASSERT_TRUE(executor.ExecuteBatch(numeric_batch, &some_rows).ok());
+    EXPECT_EQ(executor.num_cached_ranges(), warmed);
+  }
+}
+
+TEST(GroupByBatchContractTest, PrewarmIsIdempotent) {
+  Table table = MixedTable();
+  GroupByExecutor executor(&table, {});
+  const GroupBySpec spec{"x", "m", AggregateFunction::kSum, 6};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(executor.Prewarm(spec).ok());
+    EXPECT_EQ(executor.num_cached_ranges(), 1u);
+  }
+  // A different bin count over the same dimension reuses the cached
+  // range: the cache is keyed by dimension, not by binning.
+  ASSERT_TRUE(
+      executor.Execute({"x", "m", AggregateFunction::kSum, 9}, nullptr).ok());
+  EXPECT_EQ(executor.num_cached_ranges(), 1u);
+}
+
+// Identity between batch and per-spec execution is part of the batch
+// contract (and what makes the prewarm invariant meaningful: the batch
+// must not take a different, cache-writing route).
+TEST(GroupByBatchContractTest, BatchIdenticalToPerSpecOnBothPaths) {
+  Table table = MixedTable();
+  std::vector<GroupBySpec> batch = {
+      {"c", "m", AggregateFunction::kCount, 0},
+      {"c", "m", AggregateFunction::kSum, 0},
+      {"c", "m", AggregateFunction::kAvg, 0},
+      {"c", "m", AggregateFunction::kMin, 0},
+      {"c", "m", AggregateFunction::kMax, 0},
+  };
+  SelectionVector evens;
+  for (uint32_t r = 0; r < table.num_rows(); r += 2) evens.push_back(r);
+
+  for (const bool use_kernel : {false, true}) {
+    SCOPED_TRACE(use_kernel ? "kernel" : "scalar");
+    GroupByExecutorOptions options;
+    options.use_kernel = use_kernel;
+    GroupByExecutor executor(&table, options);
+    auto results = executor.ExecuteBatch(batch, &evens);
+    ASSERT_TRUE(results.ok());
+    ASSERT_EQ(results->size(), batch.size());
+    for (size_t s = 0; s < batch.size(); ++s) {
+      auto single = executor.Execute(batch[s], &evens);
+      ASSERT_TRUE(single.ok());
+      EXPECT_EQ(single->bin_labels, (*results)[s].bin_labels);
+      EXPECT_EQ(single->counts, (*results)[s].counts);
+      EXPECT_EQ(single->values, (*results)[s].values);
+      EXPECT_EQ(single->sums, (*results)[s].sums);
+      EXPECT_EQ(single->sumsqs, (*results)[s].sumsqs);
+      EXPECT_EQ(single->rows_seen, (*results)[s].rows_seen);
+    }
+  }
+}
+
+// Batch validation: mixed dimensions or bin counts are rejected up front
+// on both paths, with matching status codes.
+TEST(GroupByBatchContractTest, MixedDimensionBatchRejectedOnBothPaths) {
+  Table table = MixedTable();
+  const std::vector<GroupBySpec> mixed_dim = {
+      {"c", "m", AggregateFunction::kSum, 0},
+      {"x", "m", AggregateFunction::kSum, 6},
+  };
+  const std::vector<GroupBySpec> mixed_bins = {
+      {"x", "m", AggregateFunction::kSum, 6},
+      {"x", "m", AggregateFunction::kSum, 7},
+  };
+  for (const bool use_kernel : {false, true}) {
+    GroupByExecutorOptions options;
+    options.use_kernel = use_kernel;
+    GroupByExecutor executor(&table, options);
+    for (const auto* batch : {&mixed_dim, &mixed_bins}) {
+      auto r = executor.ExecuteBatch(*batch, nullptr);
+      EXPECT_FALSE(r.ok());
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vs::data

@@ -1,0 +1,468 @@
+#include "data/groupby_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/groupby.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace vs::data {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Differential kernel-equivalence suite: the typed aggregation kernel
+// (use_kernel=true, in its dense, hash-forced and multi-threaded
+// configurations) against the scalar fold oracle (use_kernel=false).
+//
+// Contract under test (data/groupby_kernel.h): bin assignment, counts,
+// mins and maxs are exact in every configuration; serial kernel runs over
+// small inputs are bit-identical to the oracle; partial-merging (threads)
+// and lane-replicated (large-input) runs reassociate sums/sumsqs and must
+// agree within accumulation tolerance.
+// ---------------------------------------------------------------------------
+
+struct RandomTable {
+  Table table;
+  std::vector<GroupBySpec> specs;  // valid specs for this table
+};
+
+// A random table exercising every kernel dispatch: a string dimension
+// (random cardinality, sometimes nullable), double and int64 numeric
+// dimensions, double and int64 measures (double one sometimes nullable).
+RandomTable MakeRandomTable(Rng& rng, size_t max_rows) {
+  auto schema = *Schema::Make({
+      {"c", DataType::kString, FieldRole::kDimension},
+      {"x", DataType::kDouble, FieldRole::kDimension},
+      {"i", DataType::kInt64, FieldRole::kDimension},
+      {"md", DataType::kDouble, FieldRole::kMeasure},
+      {"mi", DataType::kInt64, FieldRole::kMeasure},
+  });
+  const size_t rows = rng.NextBounded(max_rows + 1);
+  const int64_t cardinality = rng.NextInt64(1, 24);
+  const double dim_null_rate = rng.NextBernoulli(0.3) ? 0.1 : 0.0;
+  const double measure_null_rate = rng.NextBernoulli(0.3) ? 0.15 : 0.0;
+  // Occasionally a constant numeric dimension, so every row lands in one
+  // bin (degenerate range).
+  const bool constant_x = rng.NextBernoulli(0.1);
+
+  TableBuilder b(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    Value c = rng.NextBernoulli(dim_null_rate)
+                  ? Value()
+                  : Value("L" + std::to_string(rng.NextBounded(
+                                    static_cast<uint64_t>(cardinality))));
+    Value x = constant_x ? Value(3.25) : Value(rng.NextDouble() * 100.0 - 50.0);
+    Value i = Value(rng.NextInt64(-20, 20));
+    Value md = rng.NextBernoulli(measure_null_rate)
+                   ? Value()
+                   : Value(rng.NextGaussian() * 10.0);
+    Value mi = Value(rng.NextInt64(-1000, 1000));
+    EXPECT_TRUE(b.AppendRow({c, x, i, md, mi}).ok());
+  }
+
+  RandomTable out{*b.Build(), {}};
+  const AggregateFunction funcs[] = {
+      AggregateFunction::kCount, AggregateFunction::kSum,
+      AggregateFunction::kAvg, AggregateFunction::kMin,
+      AggregateFunction::kMax};
+  const char* dims[] = {"c", "x", "i"};
+  const char* measures[] = {"md", "mi"};
+  for (int s = 0; s < 4; ++s) {
+    GroupBySpec spec;
+    spec.dimension = dims[rng.NextBounded(3)];
+    spec.measure = measures[rng.NextBounded(2)];
+    spec.func = funcs[rng.NextBounded(5)];
+    spec.num_bins =
+        spec.dimension == "c" ? 0 : static_cast<int32_t>(rng.NextInt64(1, 9));
+    out.specs.push_back(spec);
+  }
+  return out;
+}
+
+// nullptr = all rows; otherwise empty, a single row, or a random subset.
+std::optional<SelectionVector> MakeRandomSelection(Rng& rng, size_t rows) {
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return std::nullopt;
+    case 1:
+      return SelectionVector{};
+    case 2: {
+      SelectionVector one;
+      if (rows > 0) one.push_back(static_cast<uint32_t>(rng.NextBounded(rows)));
+      return one;
+    }
+    default: {
+      SelectionVector sel;
+      const double keep = rng.NextDouble();
+      for (size_t r = 0; r < rows; ++r) {
+        if (rng.NextBernoulli(keep)) sel.push_back(static_cast<uint32_t>(r));
+      }
+      return sel;
+    }
+  }
+}
+
+void ExpectExactlyEqual(const GroupByResult& oracle, const GroupByResult& got,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(oracle.bin_labels, got.bin_labels);
+  EXPECT_EQ(oracle.counts, got.counts);
+  EXPECT_EQ(oracle.rows_seen, got.rows_seen);
+  // Bit-identical: the serial small-input kernel promises the oracle's
+  // exact accumulation order.
+  EXPECT_EQ(oracle.values, got.values);
+  EXPECT_EQ(oracle.sums, got.sums);
+  EXPECT_EQ(oracle.sumsqs, got.sumsqs);
+}
+
+void ExpectNear(double a, double b, const char* what, size_t bin) {
+  if (std::isnan(a) || std::isnan(b)) {
+    EXPECT_EQ(std::isnan(a), std::isnan(b)) << what << " bin " << bin;
+    return;
+  }
+  const double tolerance =
+      1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+  EXPECT_LE(std::fabs(a - b), tolerance) << what << " bin " << bin;
+}
+
+// Reassociated configurations: structure, counts and min/max stay exact,
+// floating-point accumulations agree within tolerance.
+void ExpectEquivalent(const GroupByResult& oracle, const GroupByResult& got,
+                      AggregateFunction func, const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(oracle.bin_labels, got.bin_labels);
+  EXPECT_EQ(oracle.counts, got.counts);
+  EXPECT_EQ(oracle.rows_seen, got.rows_seen);
+  ASSERT_EQ(oracle.values.size(), got.values.size());
+  const bool exact_values = func == AggregateFunction::kCount ||
+                            func == AggregateFunction::kMin ||
+                            func == AggregateFunction::kMax;
+  for (size_t bin = 0; bin < oracle.values.size(); ++bin) {
+    if (exact_values) {
+      EXPECT_EQ(oracle.values[bin], got.values[bin]) << "value bin " << bin;
+    } else {
+      ExpectNear(oracle.values[bin], got.values[bin], "value", bin);
+    }
+    ExpectNear(oracle.sums[bin], got.sums[bin], "sum", bin);
+    ExpectNear(oracle.sumsqs[bin], got.sumsqs[bin], "sumsq", bin);
+  }
+}
+
+// 150 random tables x 4 specs x random selections, each run through three
+// kernel configurations against the scalar oracle: 600 differential
+// cases, 1800 oracle-vs-kernel comparisons per run of this one test.
+TEST(GroupByKernelDifferentialTest, RandomTablesMatchScalarOracle) {
+  Rng rng(20260808);
+  for (int iteration = 0; iteration < 150; ++iteration) {
+    RandomTable random = MakeRandomTable(rng, /*max_rows=*/600);
+
+    GroupByExecutorOptions scalar_options;
+    scalar_options.use_kernel = false;
+    GroupByExecutor scalar(&random.table, scalar_options);
+
+    GroupByExecutor dense(&random.table, {});  // defaults: kernel, dense
+    GroupByExecutorOptions hash_options;
+    hash_options.dense_bins_max = 0;  // force the FNV hash path
+    GroupByExecutor hashed(&random.table, hash_options);
+    GroupByExecutorOptions threaded_options;
+    threaded_options.kernel_threads = 4;
+    GroupByExecutor threaded(&random.table, threaded_options);
+
+    for (const GroupBySpec& spec : random.specs) {
+      const auto selection = MakeRandomSelection(rng, random.table.num_rows());
+      const SelectionVector* sel = selection ? &*selection : nullptr;
+      const std::string context =
+          "iter " + std::to_string(iteration) + " " + spec.ToString() +
+          (sel == nullptr ? " all rows"
+                          : " sel " + std::to_string(sel->size()));
+
+      auto oracle = scalar.Execute(spec, sel);
+      ASSERT_TRUE(oracle.ok()) << context << ": " << oracle.status().ToString();
+
+      auto got_dense = dense.Execute(spec, sel);
+      ASSERT_TRUE(got_dense.ok()) << context;
+      ExpectExactlyEqual(*oracle, *got_dense, context + " [dense]");
+
+      auto got_hash = hashed.Execute(spec, sel);
+      ASSERT_TRUE(got_hash.ok()) << context;
+      ExpectExactlyEqual(*oracle, *got_hash, context + " [hash]");
+
+      auto got_threaded = threaded.Execute(spec, sel);
+      ASSERT_TRUE(got_threaded.ok()) << context;
+      ExpectEquivalent(*oracle, *got_threaded, spec.func,
+                       context + " [threads=4]");
+    }
+  }
+}
+
+// Above the lane-replication threshold (64k rows) the dense kernel
+// reassociates sums; counts/min/max/labels must stay exact and the
+// floating-point aggregates within tolerance.
+TEST(GroupByKernelDifferentialTest, LaneReplicatedLargeScanWithinTolerance) {
+  Rng rng(7);
+  auto schema = *Schema::Make({
+      {"c", DataType::kString, FieldRole::kDimension},
+      {"x", DataType::kDouble, FieldRole::kDimension},
+      {"m", DataType::kDouble, FieldRole::kMeasure},
+  });
+  TableBuilder b(schema);
+  const size_t kRows = 80'000;  // > kLaneMinRows
+  for (size_t r = 0; r < kRows; ++r) {
+    // Zipf-hot labels: the exact shape lane replication exists for.
+    const uint64_t code = std::min<uint64_t>(31, rng.NextBounded(64) / 3);
+    ASSERT_TRUE(b.AppendRow({Value("L" + std::to_string(code)),
+                             Value(rng.NextDouble() * 10.0),
+                             Value(rng.NextGaussian())})
+                    .ok());
+  }
+  Table table = *b.Build();
+
+  GroupByExecutorOptions scalar_options;
+  scalar_options.use_kernel = false;
+  GroupByExecutor scalar(&table, scalar_options);
+  GroupByExecutor kernel(&table, {});
+
+  for (const GroupBySpec& spec :
+       {GroupBySpec{"c", "m", AggregateFunction::kSum, 0},
+        GroupBySpec{"c", "m", AggregateFunction::kAvg, 0},
+        GroupBySpec{"c", "m", AggregateFunction::kMin, 0},
+        GroupBySpec{"c", "m", AggregateFunction::kMax, 0},
+        GroupBySpec{"x", "m", AggregateFunction::kSum, 8}}) {
+    auto oracle = scalar.Execute(spec, nullptr);
+    ASSERT_TRUE(oracle.ok());
+    auto got = kernel.Execute(spec, nullptr);
+    ASSERT_TRUE(got.ok());
+    ExpectEquivalent(*oracle, *got, spec.func, spec.ToString());
+  }
+}
+
+// ExecuteBatch must agree with per-spec Execute on both paths, and the
+// kernel batch with the scalar batch.
+TEST(GroupByKernelDifferentialTest, BatchMatchesPerSpecExecution) {
+  Rng rng(99);
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    RandomTable random = MakeRandomTable(rng, /*max_rows=*/400);
+    // Batch requires a shared dimension/bin count; derive variants of the
+    // first spec across measures and functions.
+    GroupBySpec base = random.specs[0];
+    std::vector<GroupBySpec> specs;
+    for (const char* measure : {"md", "mi"}) {
+      for (AggregateFunction func :
+           {AggregateFunction::kCount, AggregateFunction::kSum,
+            AggregateFunction::kAvg, AggregateFunction::kMin,
+            AggregateFunction::kMax}) {
+        GroupBySpec spec = base;
+        spec.measure = measure;
+        spec.func = func;
+        specs.push_back(spec);
+      }
+    }
+    const auto selection = MakeRandomSelection(rng, random.table.num_rows());
+    const SelectionVector* sel = selection ? &*selection : nullptr;
+
+    for (const bool use_kernel : {false, true}) {
+      GroupByExecutorOptions options;
+      options.use_kernel = use_kernel;
+      GroupByExecutor executor(&random.table, options);
+      auto batch = executor.ExecuteBatch(specs, sel);
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      ASSERT_EQ(batch->size(), specs.size());
+      for (size_t s = 0; s < specs.size(); ++s) {
+        auto single = executor.Execute(specs[s], sel);
+        ASSERT_TRUE(single.ok());
+        ExpectExactlyEqual(*single, (*batch)[s],
+                           specs[s].ToString() +
+                               (use_kernel ? " [kernel]" : " [scalar]"));
+      }
+    }
+  }
+}
+
+// Invalid inputs must fail identically on both paths: same ok-ness, same
+// status code.
+TEST(GroupByKernelDifferentialTest, ErrorStatusParity) {
+  Rng rng(3);
+  RandomTable random = MakeRandomTable(rng, 50);
+  GroupByExecutorOptions scalar_options;
+  scalar_options.use_kernel = false;
+  GroupByExecutor scalar(&random.table, scalar_options);
+  GroupByExecutor kernel(&random.table, {});
+
+  const GroupBySpec bad_specs[] = {
+      {"missing", "md", AggregateFunction::kSum, 0},
+      {"c", "missing", AggregateFunction::kSum, 0},
+      {"c", "md", AggregateFunction::kSum, 4},   // bins on categorical
+      {"x", "md", AggregateFunction::kSum, 0},   // no bins on numeric
+      {"x", "md", AggregateFunction::kSum, -3},  // negative bins
+      {"md", "md", AggregateFunction::kSum, 0},  // measure as dimension
+      {"c", "c", AggregateFunction::kSum, 0},    // dimension as measure
+  };
+  for (const GroupBySpec& spec : bad_specs) {
+    SCOPED_TRACE(spec.ToString());
+    auto oracle = scalar.Execute(spec, nullptr);
+    auto got = kernel.Execute(spec, nullptr);
+    EXPECT_EQ(oracle.ok(), got.ok());
+    if (!oracle.ok() && !got.ok()) {
+      EXPECT_EQ(oracle.status().code(), got.status().code());
+    }
+  }
+
+  // Out-of-range selection row ids.
+  SelectionVector bad_sel = {
+      static_cast<uint32_t>(random.table.num_rows() + 7)};
+  auto oracle =
+      scalar.Execute({"c", "md", AggregateFunction::kSum, 0}, &bad_sel);
+  auto got = kernel.Execute({"c", "md", AggregateFunction::kSum, 0}, &bad_sel);
+  EXPECT_EQ(oracle.ok(), got.ok());
+  if (!oracle.ok() && !got.ok()) {
+    EXPECT_EQ(oracle.status().code(), got.status().code());
+  }
+}
+
+// Many-thread stress, aimed at the sanitizer CI jobs: a prewarmed
+// executor with an 8-way kernel partial split shared by 4 concurrent
+// reader threads.  Every result must still match the scalar oracle
+// (TSan/ASan make any partial-buffer race or merge-order bug visible;
+// the assertions make silent corruption visible everywhere else).
+TEST(GroupByKernelStressTest, ConcurrentReadersOverThreadedKernel) {
+  Rng rng(1234);
+  auto schema = *Schema::Make({
+      {"c", DataType::kString, FieldRole::kDimension},
+      {"x", DataType::kDouble, FieldRole::kDimension},
+      {"m", DataType::kDouble, FieldRole::kMeasure},
+  });
+  TableBuilder b(schema);
+  const size_t kRows = 100'000;
+  for (size_t r = 0; r < kRows; ++r) {
+    ASSERT_TRUE(b.AppendRow({Value("L" + std::to_string(rng.NextBounded(17))),
+                             Value(rng.NextDouble() * 5.0),
+                             Value(rng.NextGaussian())})
+                    .ok());
+  }
+  Table table = *b.Build();
+
+  GroupByExecutorOptions scalar_options;
+  scalar_options.use_kernel = false;
+  GroupByExecutor scalar(&table, scalar_options);
+  GroupByExecutorOptions kernel_options;
+  kernel_options.kernel_threads = 8;
+  GroupByExecutor kernel(&table, kernel_options);
+
+  const std::vector<GroupBySpec> specs = {
+      {"c", "m", AggregateFunction::kSum, 0},
+      {"c", "m", AggregateFunction::kMin, 0},
+      {"x", "m", AggregateFunction::kAvg, 8},
+      {"x", "m", AggregateFunction::kCount, 8},
+  };
+  for (const GroupBySpec& spec : specs) {
+    ASSERT_TRUE(scalar.Prewarm(spec).ok());
+    ASSERT_TRUE(kernel.Prewarm(spec).ok());
+  }
+  std::vector<GroupByResult> oracles;
+  for (const GroupBySpec& spec : specs) {
+    auto r = scalar.Execute(spec, nullptr);
+    ASSERT_TRUE(r.ok());
+    oracles.push_back(std::move(*r));
+  }
+
+  constexpr int kReaders = 4;
+  constexpr int kRoundsPerReader = 3;
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerReader; ++round) {
+        const GroupBySpec& spec = specs[(t + round) % specs.size()];
+        const GroupByResult& oracle = oracles[(t + round) % specs.size()];
+        auto got = kernel.Execute(spec, nullptr);
+        if (!got.ok() || got->counts != oracle.counts ||
+            got->bin_labels != oracle.bin_labels ||
+            got->rows_seen != oracle.rows_seen) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Full-precision check once the swarm is done (tolerance: 8-way merge
+  // plus lane replication reassociate the sums).
+  for (size_t s = 0; s < specs.size(); ++s) {
+    auto got = kernel.Execute(specs[s], nullptr);
+    ASSERT_TRUE(got.ok());
+    ExpectEquivalent(oracles[s], *got, specs[s].func, specs[s].ToString());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KernelColumnRange: the typed range scan must be bit-identical to a
+// sequential min/max fold (associativity), across types and null shapes.
+// ---------------------------------------------------------------------------
+
+TEST(KernelColumnRangeTest, MatchesSequentialScanOnRandomColumns) {
+  Rng rng(41);
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    const size_t rows = rng.NextBounded(300);
+    const bool use_int = rng.NextBernoulli(0.5);
+    const double null_rate = rng.NextBernoulli(0.4) ? 0.2 : 0.0;
+    auto schema = *Schema::Make({
+        {"x", use_int ? DataType::kInt64 : DataType::kDouble,
+         FieldRole::kDimension},
+    });
+    TableBuilder b(schema);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng.NextBernoulli(null_rate)) {
+        ASSERT_TRUE(b.AppendRow({Value()}).ok());
+        continue;
+      }
+      if (use_int) {
+        const int64_t v = rng.NextInt64(-5000, 5000);
+        lo = std::min(lo, static_cast<double>(v));
+        hi = std::max(hi, static_cast<double>(v));
+        ASSERT_TRUE(b.AppendRow({Value(v)}).ok());
+      } else {
+        const double v = rng.NextGaussian() * 1e6;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        ASSERT_TRUE(b.AppendRow({Value(v)}).ok());
+      }
+    }
+    Table table = *b.Build();
+    auto column = table.ColumnByName("x");
+    ASSERT_TRUE(column.ok());
+    auto range = KernelColumnRange(column->get());
+    ASSERT_TRUE(range.ok());
+    EXPECT_EQ(range->first, lo) << "iter " << iteration;
+    EXPECT_EQ(range->second, hi) << "iter " << iteration;
+  }
+}
+
+TEST(KernelColumnRangeTest, RejectsNonNumericColumns) {
+  auto schema = *Schema::Make({
+      {"c", DataType::kString, FieldRole::kDimension},
+  });
+  TableBuilder b(schema);
+  ASSERT_TRUE(b.AppendRow({Value("a")}).ok());
+  Table table = *b.Build();
+  auto column = table.ColumnByName("c");
+  ASSERT_TRUE(column.ok());
+  auto range = KernelColumnRange(column->get());
+  EXPECT_FALSE(range.ok());
+  EXPECT_TRUE(range.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vs::data

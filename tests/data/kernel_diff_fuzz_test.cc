@@ -1,0 +1,256 @@
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/groupby.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace vs::data {
+namespace {
+
+// Corpus-driven differential fuzzer (ctest binary `vs_kernel_diff`): the
+// typed kernel against the scalar oracle on adversarial inputs — NaN/Inf
+// measures, all-null columns, empty tables, single-row tables, empty
+// groups and all-rows-filtered selections.  Serial kernel runs on these
+// (small) inputs promise bit-identical results, so the comparison is
+// exact, modulo NaN != NaN.
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void ExpectSameDoubles(const std::vector<double>& oracle,
+                       const std::vector<double>& got, const char* what) {
+  ASSERT_EQ(oracle.size(), got.size()) << what;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    if (std::isnan(oracle[i]) || std::isnan(got[i])) {
+      EXPECT_EQ(std::isnan(oracle[i]), std::isnan(got[i]))
+          << what << " bin " << i;
+    } else {
+      EXPECT_EQ(oracle[i], got[i]) << what << " bin " << i;
+    }
+  }
+}
+
+// Runs `spec` on both paths (plus the hash-forced kernel) and requires
+// identical outcomes: same status on failure, same result on success.
+void ExpectDifferentialMatch(const Table& table, const GroupBySpec& spec,
+                             const SelectionVector* selection,
+                             const std::string& context) {
+  SCOPED_TRACE(context + " " + spec.ToString());
+  GroupByExecutorOptions scalar_options;
+  scalar_options.use_kernel = false;
+  GroupByExecutor scalar(&table, scalar_options);
+  auto oracle = scalar.Execute(spec, selection);
+
+  GroupByExecutorOptions hash_options;
+  hash_options.dense_bins_max = 0;
+  for (const auto& kernel_options :
+       {GroupByExecutorOptions{}, hash_options}) {
+    GroupByExecutor kernel(&table, kernel_options);
+    auto got = kernel.Execute(spec, selection);
+    ASSERT_EQ(oracle.ok(), got.ok())
+        << (oracle.ok() ? got.status().ToString()
+                        : oracle.status().ToString());
+    if (!oracle.ok()) {
+      EXPECT_EQ(oracle.status().code(), got.status().code());
+      continue;
+    }
+    EXPECT_EQ(oracle->bin_labels, got->bin_labels);
+    EXPECT_EQ(oracle->counts, got->counts);
+    EXPECT_EQ(oracle->rows_seen, got->rows_seen);
+    ExpectSameDoubles(oracle->values, got->values, "values");
+    ExpectSameDoubles(oracle->sums, got->sums, "sums");
+    ExpectSameDoubles(oracle->sumsqs, got->sumsqs, "sumsqs");
+  }
+}
+
+std::vector<GroupBySpec> AllSpecs(const std::string& dimension,
+                                  int32_t num_bins,
+                                  const std::string& measure) {
+  std::vector<GroupBySpec> specs;
+  for (AggregateFunction func :
+       {AggregateFunction::kCount, AggregateFunction::kSum,
+        AggregateFunction::kAvg, AggregateFunction::kMin,
+        AggregateFunction::kMax}) {
+    specs.push_back({dimension, measure, func, num_bins});
+  }
+  return specs;
+}
+
+Table BuildTable(const std::vector<Value>& c, const std::vector<Value>& m) {
+  auto schema = *Schema::Make({
+      {"c", DataType::kString, FieldRole::kDimension},
+      {"m", DataType::kDouble, FieldRole::kMeasure},
+  });
+  TableBuilder b(schema);
+  for (size_t r = 0; r < c.size(); ++r) {
+    EXPECT_TRUE(b.AppendRow({c[r], m[r]}).ok());
+  }
+  return *b.Build();
+}
+
+TEST(KernelDiffFuzzTest, NanAndInfMeasures) {
+  Table table = BuildTable(
+      {Value("a"), Value("a"), Value("b"), Value("b"), Value("c"), Value("c")},
+      {Value(kNaN), Value(1.0), Value(kInf), Value(-kInf), Value(kNaN),
+       Value(kNaN)});
+  for (const GroupBySpec& spec : AllSpecs("c", 0, "m")) {
+    ExpectDifferentialMatch(table, spec, nullptr, "nan/inf measures");
+  }
+}
+
+TEST(KernelDiffFuzzTest, InfinityInMeasureUnderSelection) {
+  Table table = BuildTable(
+      {Value("a"), Value("b"), Value("a"), Value("b")},
+      {Value(kInf), Value(1.0), Value(-kInf), Value(kNaN)});
+  SelectionVector first_two = {0, 1};
+  SelectionVector just_nan = {3};
+  for (const GroupBySpec& spec : AllSpecs("c", 0, "m")) {
+    ExpectDifferentialMatch(table, spec, &first_two, "inf selection");
+    ExpectDifferentialMatch(table, spec, &just_nan, "nan-only selection");
+  }
+}
+
+TEST(KernelDiffFuzzTest, AllNullMeasure) {
+  Table table = BuildTable({Value("a"), Value("b"), Value("a")},
+                           {Value(), Value(), Value()});
+  for (const GroupBySpec& spec : AllSpecs("c", 0, "m")) {
+    ExpectDifferentialMatch(table, spec, nullptr, "all-null measure");
+  }
+}
+
+TEST(KernelDiffFuzzTest, AllNullDimension) {
+  Table table = BuildTable({Value(), Value(), Value()},
+                           {Value(1.0), Value(2.0), Value(3.0)});
+  for (const GroupBySpec& spec : AllSpecs("c", 0, "m")) {
+    ExpectDifferentialMatch(table, spec, nullptr, "all-null dimension");
+  }
+}
+
+TEST(KernelDiffFuzzTest, EmptyTable) {
+  Table table = BuildTable({}, {});
+  for (const GroupBySpec& spec : AllSpecs("c", 0, "m")) {
+    ExpectDifferentialMatch(table, spec, nullptr, "empty table");
+  }
+}
+
+TEST(KernelDiffFuzzTest, SingleRowTable) {
+  for (const Value& m : {Value(7.5), Value(kNaN), Value(kInf), Value()}) {
+    Table table = BuildTable({Value("only")}, {m});
+    for (const GroupBySpec& spec : AllSpecs("c", 0, "m")) {
+      ExpectDifferentialMatch(table, spec, nullptr, "single row");
+    }
+  }
+}
+
+TEST(KernelDiffFuzzTest, AllRowsFilteredSelection) {
+  Table table = BuildTable({Value("a"), Value("b"), Value("c")},
+                           {Value(1.0), Value(2.0), Value(3.0)});
+  SelectionVector empty;
+  for (const GroupBySpec& spec : AllSpecs("c", 0, "m")) {
+    ExpectDifferentialMatch(table, spec, &empty, "all rows filtered");
+  }
+}
+
+// Numeric dimension whose range degenerates (constant, or no non-null
+// values at all): empty-group shapes and error parity.
+TEST(KernelDiffFuzzTest, DegenerateNumericDimensions) {
+  auto schema = *Schema::Make({
+      {"x", DataType::kDouble, FieldRole::kDimension},
+      {"m", DataType::kDouble, FieldRole::kMeasure},
+  });
+  {
+    TableBuilder b(schema);
+    for (int r = 0; r < 5; ++r) {
+      ASSERT_TRUE(b.AppendRow({Value(42.0), Value(double(r))}).ok());
+    }
+    Table constant = *b.Build();
+    for (const GroupBySpec& spec : AllSpecs("x", 6, "m")) {
+      ExpectDifferentialMatch(constant, spec, nullptr, "constant dim");
+    }
+  }
+  {
+    TableBuilder b(schema);
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(b.AppendRow({Value(), Value(double(r))}).ok());
+    }
+    Table all_null = *b.Build();
+    // Range discovery must fail identically: no non-null values.
+    for (const GroupBySpec& spec : AllSpecs("x", 4, "m")) {
+      ExpectDifferentialMatch(all_null, spec, nullptr, "null numeric dim");
+    }
+  }
+}
+
+// Seeded randomized corpus: 120 tables with NaN/Inf/null injection in
+// every column, random selections (often empty), random specs — ~600
+// differential cases per run on top of the deterministic corpus above.
+TEST(KernelDiffFuzzTest, SeededRandomNastyTables) {
+  Rng rng(0xF0220);
+  for (int iteration = 0; iteration < 120; ++iteration) {
+    auto schema = *Schema::Make({
+        {"c", DataType::kString, FieldRole::kDimension},
+        {"x", DataType::kDouble, FieldRole::kDimension},
+        {"m", DataType::kDouble, FieldRole::kMeasure},
+        {"n", DataType::kInt64, FieldRole::kMeasure},
+    });
+    const size_t rows = rng.NextBounded(40);  // tiny tables hit edges most
+    TableBuilder b(schema);
+    for (size_t r = 0; r < rows; ++r) {
+      Value c = rng.NextBernoulli(0.2)
+                    ? Value()
+                    : Value("L" + std::to_string(rng.NextBounded(5)));
+      // Dimension values stay finite: non-finite bin arithmetic is
+      // undefined on both paths and excluded from the contract.
+      Value x = rng.NextBernoulli(0.2) ? Value()
+                                       : Value(rng.NextDouble() * 8.0 - 4.0);
+      Value m;
+      switch (rng.NextBounded(5)) {
+        case 0: m = Value(); break;
+        case 1: m = Value(kNaN); break;
+        case 2: m = Value(rng.NextBernoulli(0.5) ? kInf : -kInf); break;
+        default: m = Value(rng.NextGaussian()); break;
+      }
+      Value n = rng.NextBernoulli(0.2) ? Value()
+                                       : Value(rng.NextInt64(-9, 9));
+      ASSERT_TRUE(b.AppendRow({c, x, m, n}).ok());
+    }
+    Table table = *b.Build();
+
+    for (int s = 0; s < 5; ++s) {
+      GroupBySpec spec;
+      spec.dimension = rng.NextBernoulli(0.5) ? "c" : "x";
+      spec.num_bins = spec.dimension == "x"
+                          ? static_cast<int32_t>(rng.NextInt64(1, 5))
+                          : 0;
+      spec.measure = rng.NextBernoulli(0.5) ? "m" : "n";
+      const AggregateFunction funcs[] = {
+          AggregateFunction::kCount, AggregateFunction::kSum,
+          AggregateFunction::kAvg, AggregateFunction::kMin,
+          AggregateFunction::kMax};
+      spec.func = funcs[rng.NextBounded(5)];
+
+      std::optional<SelectionVector> selection;
+      if (rng.NextBernoulli(0.5)) {
+        selection.emplace();
+        for (size_t r = 0; r < rows; ++r) {
+          if (rng.NextBernoulli(0.3)) {
+            selection->push_back(static_cast<uint32_t>(r));
+          }
+        }
+      }
+      ExpectDifferentialMatch(table, spec,
+                              selection ? &*selection : nullptr,
+                              "fuzz iter " + std::to_string(iteration));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vs::data

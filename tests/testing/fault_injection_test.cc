@@ -1,10 +1,15 @@
 #include "testing/fault_injection.h"
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "data/groupby.h"
+#include "data/table.h"
+#include "data/value.h"
 
 namespace vs::fault {
 namespace {
@@ -176,6 +181,69 @@ TEST(FaultInjectionTest, ConcurrentHitsFireExactlyPerSchedule) {
   EXPECT_EQ(injector.Stats("swarm.point").hits,
             static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(injector.total_fires(), 3u);
+}
+
+// The kernel.partial_merge_fail point sits right before the group-by
+// kernel merges its partial aggregates: a scheduled fire must surface as
+// an Internal error from Execute, on both the serial and the
+// multi-threaded driver, and the very next (unscheduled) call succeeds.
+TEST(FaultInjectionTest, KernelPartialMergeFaultSurfacesAsInternal) {
+  auto schema = *data::Schema::Make({
+      {"c", data::DataType::kString, data::FieldRole::kDimension},
+      {"m", data::DataType::kDouble, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder b(schema);
+  for (int r = 0; r < 200; ++r) {
+    ASSERT_TRUE(b.AppendRow({data::Value("L" + std::to_string(r % 5)),
+                             data::Value(static_cast<double>(r))})
+                    .ok());
+  }
+  data::Table table = *b.Build();
+  const data::GroupBySpec spec{"c", "m", data::AggregateFunction::kSum, 0};
+
+  for (const size_t kernel_threads : {size_t{0}, size_t{4}}) {
+    SCOPED_TRACE(kernel_threads);
+    data::GroupByExecutorOptions options;
+    options.kernel_threads = kernel_threads;
+    data::GroupByExecutor executor(&table, options);
+
+    FaultInjector injector(1);
+    injector.SetSchedule("kernel.partial_merge_fail", {1});
+    ScopedFaultInjector scoped(&injector);
+
+    auto failed = executor.Execute(spec, nullptr);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+    EXPECT_NE(failed.status().message().find("partial"), std::string::npos);
+    EXPECT_EQ(injector.Stats("kernel.partial_merge_fail").fires, 1u);
+
+    auto recovered = executor.Execute(spec, nullptr);
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered->rows_seen, 200);
+  }
+}
+
+// The scalar oracle path never reaches the kernel, so the fault point
+// must not fire there even when armed for every hit.
+TEST(FaultInjectionTest, KernelFaultPointUnreachedOnScalarPath) {
+  auto schema = *data::Schema::Make({
+      {"c", data::DataType::kString, data::FieldRole::kDimension},
+      {"m", data::DataType::kDouble, data::FieldRole::kMeasure},
+  });
+  data::TableBuilder b(schema);
+  ASSERT_TRUE(b.AppendRow({data::Value("a"), data::Value(1.0)}).ok());
+  data::Table table = *b.Build();
+  data::GroupByExecutorOptions options;
+  options.use_kernel = false;
+  data::GroupByExecutor executor(&table, options);
+
+  FaultInjector injector(1);
+  injector.SetProbability("kernel.partial_merge_fail", 1.0);
+  ScopedFaultInjector scoped(&injector);
+  EXPECT_TRUE(
+      executor.Execute({"c", "m", data::AggregateFunction::kSum, 0}, nullptr)
+          .ok());
+  EXPECT_EQ(injector.Stats("kernel.partial_merge_fail").hits, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+#include "workload/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "workload/plan.h"
+#include "workload/spec.h"
+
+namespace vs::workload {
+namespace {
+
+// Regression pin for the open-loop think-time contract (runner.cc): the
+// pause before an op starts when the *previous response arrived*, i.e.
+// the server's service time is subtracted from the planned sleep.  If a
+// regression made the runner sleep the full think time on top of service
+// time, offered load would silently drop whenever the server slows down
+// — exactly what an open-loop harness must not do.
+//
+// The pin: a scripted session of kNext ops with fixed think times against
+// a stub server that sleeps a known service time per next.  With the
+// deduction, wall time ~= think_1 + sum(think - service) + sum(service);
+// without it, ~= sum(think) + sum(service).  The bounds below separate
+// the two by ~0.7s while leaving generous scheduler slack.
+
+constexpr double kServiceSeconds = 0.12;
+constexpr double kThinkSeconds = 0.20;
+constexpr int kNextOps = 8;
+
+class StubServer {
+ public:
+  StubServer() {
+    server_ = std::make_unique<serve::HttpServer>(
+        serve::HttpServerOptions{},
+        [this](const serve::HttpRequest& request) {
+          return Handle(request);
+        });
+  }
+
+  vs::Status Start() { return server_->Start(); }
+  void Stop() { server_->Stop(); }
+  int port() const { return server_->port(); }
+  int next_requests() const { return next_requests_.load(); }
+
+ private:
+  serve::HttpResponse Handle(const serve::HttpRequest& request) {
+    serve::HttpResponse response;
+    if (request.method == "POST" && request.path == "/sessions") {
+      response.status = 201;
+      response.body = "{\"id\":\"s1\"}";
+      return response;
+    }
+    if (request.method == "GET" && request.path == "/sessions/s1/next") {
+      const int fetched = next_requests_.fetch_add(1);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(kServiceSeconds));
+      response.body = "{\"views\":[{\"view\":" + std::to_string(fetched) +
+                      ",\"spec\":\"v\"}]}";
+      return response;
+    }
+    if (request.method == "POST" && request.path == "/sessions/s1/label") {
+      response.body = "{}";
+      return response;
+    }
+    if (request.method == "DELETE" && request.path == "/sessions/s1") {
+      response.body = "{}";
+      return response;
+    }
+    response.status = 404;
+    response.body = "{\"error\":\"unexpected request\"}";
+    return response;
+  }
+
+  std::unique_ptr<serve::HttpServer> server_;
+  std::atomic<int> next_requests_{0};
+};
+
+WorkloadPlan ThinkPlan() {
+  WorkloadPlan plan;
+  plan.spec.name = "think-pin";
+  plan.spec.arrival.mode = ArrivalMode::kOpen;
+  plan.spec.arrival.max_concurrent = 1;
+  plan.filters = {""};
+
+  SessionPlan session;
+  session.index = 0;
+  session.arrival_seconds = 0.0;
+  session.filter_index = 0;
+  for (int i = 0; i < kNextOps; ++i) {
+    PlannedOp op;
+    op.kind = OpKind::kNext;
+    op.think_before_seconds = kThinkSeconds;
+    session.ops.push_back(op);
+  }
+  plan.sessions.push_back(std::move(session));
+  plan.total_ops = kNextOps;
+  return plan;
+}
+
+TEST(RunnerThinkTimeTest, OpenLoopThinkSubtractsServiceTime) {
+  StubServer stub;
+  ASSERT_TRUE(stub.Start().ok());
+
+  const WorkloadPlan plan = ThinkPlan();
+  RunnerOptions options;
+  options.port = stub.port();
+
+  vs::Stopwatch watch;
+  auto report = RunWorkload(plan, options);
+  const double elapsed = watch.ElapsedSeconds();
+  stub.Stop();
+
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->sessions_completed, 1u);
+  EXPECT_EQ(report->ops_executed, static_cast<uint64_t>(kNextOps));
+  EXPECT_EQ(stub.next_requests(), kNextOps);
+
+  // With the service-time deduction: the first think runs in full (the
+  // create reply is immediate), every later sleep is cut to
+  // (think - service), and the service times themselves serialize:
+  //   ~ 0.20 + 7 * 0.08 + 8 * 0.12 = 1.72 s.
+  // Without the deduction the same script takes
+  //   ~ 8 * 0.20 + 8 * 0.12 = 2.56 s.
+  const double deducted_estimate =
+      kThinkSeconds + (kNextOps - 1) * (kThinkSeconds - kServiceSeconds) +
+      kNextOps * kServiceSeconds;
+  const double undeducted_estimate =
+      kNextOps * (kThinkSeconds + kServiceSeconds);
+  // Sanity: the two behaviours are far enough apart for the bound to
+  // discriminate (0.84 s here).
+  ASSERT_GT(undeducted_estimate - deducted_estimate, 0.5);
+
+  // Lower bound: the think pauses really happened (no think at all would
+  // finish in ~8 * 0.12 = 0.96 s).
+  EXPECT_GT(elapsed, deducted_estimate - 0.25);
+  // Upper bound: far below the no-deduction wall time even with sloppy
+  // scheduler wakeups.
+  EXPECT_LT(elapsed, undeducted_estimate - 0.4);
+}
+
+// A service time LONGER than the think pause must swallow the pause
+// entirely (remaining <= 0 -> no sleep), never sleep a negative-clamped
+// full think.
+TEST(RunnerThinkTimeTest, ServiceLongerThanThinkSkipsSleepEntirely) {
+  StubServer stub;
+  ASSERT_TRUE(stub.Start().ok());
+
+  WorkloadPlan plan = ThinkPlan();
+  // Shrink the thinks below the 0.12 s service time.
+  for (PlannedOp& op : plan.sessions[0].ops) op.think_before_seconds = 0.03;
+  RunnerOptions options;
+  options.port = stub.port();
+
+  vs::Stopwatch watch;
+  auto report = RunWorkload(plan, options);
+  const double elapsed = watch.ElapsedSeconds();
+  stub.Stop();
+
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->errors, 0u);
+  // First think (0.03) + 8 services (0.96): everything after the first
+  // op is service-bound.  A regression that sleeps the full think per op
+  // would add ~7 * 0.03 = 0.21 s on top.
+  EXPECT_GT(elapsed, 8 * kServiceSeconds - 0.05);
+  EXPECT_LT(elapsed, 8 * kServiceSeconds + 0.18);
+}
+
+}  // namespace
+}  // namespace vs::workload
