@@ -1,0 +1,97 @@
+#include "cluster/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace vs::cluster {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()) {
+  options_.trip_after = std::max(1, options_.trip_after);
+  options_.open_seconds = std::max(0.0, options_.open_seconds);
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const int64_t cooldown_us =
+          static_cast<int64_t>(options_.open_seconds * 1e6);
+      if (clock_->NowMicros() - opened_at_us_ < cooldown_us) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_inflight_ = true;
+      ++probes_;
+      return true;  // this caller is the probe
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_inflight_) return false;  // one probe at a time
+      probe_inflight_ = true;
+      ++probes_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_errors_ = 0;
+  probe_inflight_ = false;
+  // A success closes a half-open breaker; it is also accepted while the
+  // breaker is open (an in-flight request from before the trip finishing
+  // well) but does not close it — only the designated probe does that,
+  // which is what the half-open path is.
+  if (state_ == BreakerState::kHalfOpen) state_ = BreakerState::kClosed;
+}
+
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  probe_inflight_ = false;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to open for another full cool-down.
+    state_ = BreakerState::kOpen;
+    opened_at_us_ = clock_->NowMicros();
+    consecutive_errors_ = 0;
+    ++opens_;
+    return true;
+  }
+  if (state_ == BreakerState::kOpen) return false;
+  if (++consecutive_errors_ >= options_.trip_after) {
+    state_ = BreakerState::kOpen;
+    opened_at_us_ = clock_->NowMicros();
+    consecutive_errors_ = 0;
+    ++opens_;
+    return true;
+  }
+  return false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+std::uint64_t CircuitBreaker::probes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_;
+}
+
+}  // namespace vs::cluster

@@ -1,0 +1,93 @@
+#ifndef VS_CLUSTER_CIRCUIT_BREAKER_H_
+#define VS_CLUSTER_CIRCUIT_BREAKER_H_
+
+/// \file circuit_breaker.h
+/// \brief Per-shard overload circuit breaker (closed / open / half-open).
+///
+/// Complements the failure detector (failure_detector.h), which watches
+/// *liveness*: a transport error feeds the detector, but a worker that
+/// answers 500s is "alive" to the detector while actively struggling.
+/// The breaker watches *health under load* — HTTP-level server errors —
+/// and trips before the router piles more traffic onto a shard that is
+/// answering but failing:
+///
+///   closed    — traffic flows; `trip_after` consecutive server errors
+///               opens the breaker.
+///   open      — Allow() refuses everything (the router answers 503 with
+///               `Retry-After` and never dials) until `open_seconds` of
+///               cool-down elapse.
+///   half-open — exactly one request is admitted as a probe.  Its
+///               success closes the breaker; its failure re-opens it for
+///               another full cool-down.
+///
+/// Distinct from ejection by design: an ejected shard is presumed *down*
+/// (probes re-admit it), an open breaker means the shard is *up but
+/// overloaded* (letting it drain is the cure).  The two compose — the
+/// router checks ejection first, then the breaker.
+///
+/// Pure state machine over an injectable Clock; the tests drive it with
+/// a FakeClock and zero sleeps.  Thread-safe.
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace vs::cluster {
+
+struct CircuitBreakerOptions {
+  /// Consecutive server-error completions before the breaker opens.
+  int trip_after = 5;
+  /// Cool-down before an open breaker admits its half-open probe.
+  double open_seconds = 1.0;
+  /// Time source; nullptr = real clock.
+  const Clock* clock = nullptr;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Renders a state for /statusz ("closed" / "open" / "half_open").
+const char* BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// May a request pass right now?  In the open state this returns false
+  /// until the cool-down elapses, then transitions to half-open and
+  /// admits exactly one caller (the probe); subsequent callers are
+  /// refused until that probe completes via RecordSuccess/RecordFailure.
+  bool Allow();
+
+  /// The shard answered with a non-server-error status: clears the error
+  /// streak; a half-open probe success closes the breaker.
+  void RecordSuccess();
+
+  /// The shard answered a server error (or the transport failed while
+  /// the breaker was probing): extends the streak, opens at the
+  /// threshold, and re-opens a half-open breaker.  Returns true on a
+  /// transition into the open state (the caller bumps its metric; the
+  /// decision is made under the breaker's lock so it never double-counts).
+  bool RecordFailure();
+
+  BreakerState state() const;
+
+  /// Lifetime transition counts for /statusz.
+  std::uint64_t opens() const;
+  std::uint64_t probes() const;
+
+ private:
+  CircuitBreakerOptions options_;
+  const Clock* clock_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_errors_ = 0;
+  int64_t opened_at_us_ = 0;
+  bool probe_inflight_ = false;
+  std::uint64_t opens_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace vs::cluster
+
+#endif  // VS_CLUSTER_CIRCUIT_BREAKER_H_

@@ -1,0 +1,45 @@
+#include "cluster/retry_budget.h"
+
+#include <algorithm>
+
+namespace vs::cluster {
+
+RetryBudget::RetryBudget(RetryBudgetOptions options) : options_(options) {
+  options_.max_tokens = std::max(0.0, options_.max_tokens);
+  options_.deposit_per_success = std::max(0.0, options_.deposit_per_success);
+  tokens_ = options_.max_tokens;  // start full: a cold cluster may retry
+}
+
+void RetryBudget::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(options_.max_tokens,
+                     tokens_ + options_.deposit_per_success);
+}
+
+bool RetryBudget::TryWithdraw() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++withdrawals_;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+std::uint64_t RetryBudget::withdrawals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return withdrawals_;
+}
+
+std::uint64_t RetryBudget::suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+}  // namespace vs::cluster

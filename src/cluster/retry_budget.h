@@ -1,0 +1,61 @@
+#ifndef VS_CLUSTER_RETRY_BUDGET_H_
+#define VS_CLUSTER_RETRY_BUDGET_H_
+
+/// \file retry_budget.h
+/// \brief Router-global retry budget (token bucket fed by successes).
+///
+/// Per-request retry loops amplify overload: when every forward starts
+/// failing, N attempts per request multiplies offered load by N exactly
+/// when the cluster can least afford it.  The budget caps the *global*
+/// retry rate instead of the per-request attempt count: every successful
+/// forward deposits a fraction of a token, every retry (backoff retry,
+/// 503 re-forward, or create re-placement) withdraws a whole one, and
+/// when the bucket is dry retries are suppressed — first attempts always
+/// pass, so the budget degrades retry amplification to 1x without
+/// shedding fresh work.
+///
+/// With `deposit_per_success = 0.1`, retries are bounded to ~10% of the
+/// success rate in steady state, plus the `max_tokens` burst.
+///
+/// Clock-free (deposits come from traffic, not time) and thread-safe.
+
+#include <cstdint>
+#include <mutex>
+
+namespace vs::cluster {
+
+struct RetryBudgetOptions {
+  /// Bucket capacity (burst of retries tolerated from a cold start; the
+  /// bucket also starts full).
+  double max_tokens = 10.0;
+  /// Tokens deposited per successful forward.
+  double deposit_per_success = 0.1;
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetOptions options = {});
+
+  /// A forward completed successfully: deposit, capped at max_tokens.
+  void RecordSuccess();
+
+  /// Called before taking a retry.  True = one token withdrawn, proceed;
+  /// false = bucket dry, the caller must give up with what it has (the
+  /// suppression is counted for cluster.retries_suppressed).
+  bool TryWithdraw();
+
+  double tokens() const;
+  std::uint64_t withdrawals() const;
+  std::uint64_t suppressed() const;
+
+ private:
+  RetryBudgetOptions options_;
+  mutable std::mutex mu_;
+  double tokens_;
+  std::uint64_t withdrawals_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace vs::cluster
+
+#endif  // VS_CLUSTER_RETRY_BUDGET_H_

@@ -26,6 +26,11 @@ struct RouterMetrics {
   obs::Counter* readmissions;
   obs::Counter* migrations;
   obs::Counter* migration_failures;
+  obs::Counter* breaker_opens;
+  obs::Counter* breaker_rejects;
+  obs::Counter* retries_suppressed;
+  obs::Counter* deadline_rejects;
+  obs::Gauge* retry_budget_tokens;
 
   static const RouterMetrics& Get() {
     static const RouterMetrics m = [] {
@@ -50,6 +55,18 @@ struct RouterMetrics {
           r.GetCounter("cluster.migration_failures",
                        "migrations aborted with the session left on its "
                        "source shard"),
+          r.GetCounter("cluster.breaker_opens",
+                       "circuit-breaker trip transitions"),
+          r.GetCounter("cluster.breaker_rejects",
+                       "requests refused because the owning shard's "
+                       "breaker is open"),
+          r.GetCounter("cluster.retries_suppressed",
+                       "retries refused by the global retry budget"),
+          r.GetCounter("cluster.deadline_rejects",
+                       "requests answered 504 because their deadline was "
+                       "already spent"),
+          r.GetGauge("cluster.retry_budget_tokens",
+                     "tokens left in the global retry budget"),
       };
     }();
     return m;
@@ -77,11 +94,18 @@ HttpResponse JsonOk(std::string body, int status = 200) {
 
 }  // namespace
 
+double DecrementedDeadlineMs(double deadline_ms, double elapsed_ms) {
+  if (deadline_ms <= 0.0) return 0.0;
+  const double left = deadline_ms - std::max(0.0, elapsed_ms);
+  return left > 0.0 ? left : 0.0;
+}
+
 ClusterRouter::ClusterRouter(ClusterRouterOptions options)
     : options_(std::move(options)),
       ring_(HashRingOptions{std::max(1, options_.virtual_nodes)}),
-      id_rng_(options_.seed) {
-  RouterMetrics::Get();  // register eagerly
+      id_rng_(options_.seed),
+      retry_budget_(options_.retry_budget) {
+  RouterMetrics::Get().retry_budget_tokens->Set(retry_budget_.tokens());
 }
 
 ClusterRouter::~ClusterRouter() { Stop(); }
@@ -104,7 +128,8 @@ vs::Status ClusterRouter::Start() {
     }
     VS_RETURN_IF_ERROR(ring_.AddShard(address.name));
     auto shard = std::make_unique<Shard>(
-        address, FailureDetectorOptions{std::max(1, options_.eject_after)});
+        address, FailureDetectorOptions{std::max(1, options_.eject_after)},
+        options_.breaker);
     shard->requests = registry.GetCounter(
         "cluster.shard_requests." + address.name,
         "requests forwarded to one shard");
@@ -187,9 +212,15 @@ bool ClusterRouter::ShardEjected(const std::string& name) const {
   return shard == nullptr ? true : shard->detector.ejected();
 }
 
+BreakerState ClusterRouter::ShardBreakerState(const std::string& name) const {
+  const Shard* shard = FindShard(name);
+  return shard == nullptr ? BreakerState::kOpen : shard->breaker.state();
+}
+
 ClusterRouter::ForwardOutcome ClusterRouter::Exchange(
     Shard& shard, std::string_view method, std::string_view target,
-    std::string_view body, const std::string& request_id, bool retry_503) {
+    std::string_view body, const std::string& request_id, bool retry_503,
+    const RequestBudget* budget, bool data_path) {
   std::unique_ptr<serve::HttpClient> client;
   {
     std::lock_guard<std::mutex> lock(shard.pool_mu);
@@ -203,6 +234,7 @@ ClusterRouter::ForwardOutcome ClusterRouter::Exchange(
         shard.address.host, shard.address.port,
         options_.forward_timeout_seconds);
   }
+  const RouterMetrics& m = RouterMetrics::Get();
   serve::RetryOptions retry;
   retry.max_attempts = retry_503 ? std::max(1, options_.forward_attempts) : 1;
   retry.initial_backoff_seconds = options_.retry_backoff_seconds;
@@ -210,16 +242,34 @@ ClusterRouter::ForwardOutcome ClusterRouter::Exchange(
       std::max(options_.retry_backoff_seconds, 1.0);
   retry.deadline_seconds = options_.forward_timeout_seconds;
   retry.retry_503 = retry_503;
+  if (retry.max_attempts > 1) {
+    // Every backoff retry spends a token from the router-global budget;
+    // a dry bucket degrades this exchange to a single attempt.
+    retry.retry_gate = [this, &m] {
+      if (retry_budget_.TryWithdraw()) return true;
+      m.retries_suppressed->Increment();
+      return false;
+    };
+  }
+  std::vector<std::pair<std::string, std::string>> headers = {
+      {"X-Request-Id", request_id}};
+  if (budget != nullptr && budget->has_deadline()) {
+    // The worker receives what is *left* of the client's budget after
+    // this hop — the decrement that makes multi-hop deadlines honest.
+    const double remaining_ms = budget->remaining_ms();
+    headers.emplace_back("X-Deadline-Ms",
+                         StrFormat("%.3f", remaining_ms));
+    retry.deadline_seconds =
+        std::min(retry.deadline_seconds, remaining_ms * 1e-3);
+  }
   client->set_retry_options(retry);
   const uint64_t retries_before = client->backoff_retries();
 
   Stopwatch watch;
   ForwardOutcome out;
-  out.response =
-      client->Request(method, target, body, {{"X-Request-Id", request_id}});
+  out.response = client->Request(method, target, body, headers);
   out.seconds = watch.ElapsedSeconds();
 
-  const RouterMetrics& m = RouterMetrics::Get();
   m.forwarded->Increment();
   shard.requests->Increment();
   shard.forward_seconds->Observe(out.seconds);
@@ -237,16 +287,33 @@ ClusterRouter::ForwardOutcome ClusterRouter::Exchange(
     shard.up->Set(shard.detector.ejected() ? 0.0 : 1.0);
     // The connection is suspect; drop it and dial fresh next time.
   }
+
+  // Only client traffic feeds the breaker and the retry budget: a worker
+  // whose /healthz still answers 200 must not mask a failing data path,
+  // and probe successes must not mint retry tokens.
+  if (data_path) {
+    const bool server_error =
+        !out.response.ok() || out.response->status >= 500;
+    if (server_error) {
+      if (shard.breaker.RecordFailure()) m.breaker_opens->Increment();
+    } else {
+      shard.breaker.RecordSuccess();
+      retry_budget_.RecordSuccess();
+    }
+    m.retry_budget_tokens->Set(retry_budget_.tokens());
+  }
   return out;
 }
 
 HttpResponse ClusterRouter::ForwardToShard(Shard& shard,
                                            const HttpRequest& request,
                                            const std::string& request_id,
-                                           bool retry_503) {
+                                           bool retry_503,
+                                           const RequestBudget* budget) {
   ForwardOutcome out = Exchange(shard, request.method,
                                 ForwardTarget(request), request.body,
-                                request_id, retry_503);
+                                request_id, retry_503, budget,
+                                /*data_path=*/true);
   if (!out.response.ok()) {
     RouterMetrics::Get().forward_errors->Increment();
     return serve::JsonErrorResponse(
@@ -263,6 +330,17 @@ HttpResponse ClusterRouter::ForwardToShard(Shard& shard,
   if (const std::string* stages =
           out.response->FindHeader("x-request-stages")) {
     response.extra_headers.emplace_back("X-Request-Stages", *stages);
+  }
+  if (const std::string* quality = out.response->FindHeader("x-quality")) {
+    // Brownout marker: clients behind the router still learn the answer
+    // was served from a partially refined matrix.
+    response.extra_headers.emplace_back("X-Quality", *quality);
+  }
+  if (const std::string* echoed =
+          out.response->FindHeader("x-deadline-budget-ms")) {
+    // The worker echoes the deadline it received; copying it through
+    // makes the router's hop decrement observable at the client.
+    response.extra_headers.emplace_back("X-Deadline-Budget-Ms", *echoed);
   }
   // Stamped by the router, not copied: the worker only knows its name
   // when launched with --shard-name, and the router's view of who served
@@ -344,12 +422,26 @@ void ClusterRouter::EndMigrate(const std::string& id) {
 }
 
 HttpResponse ClusterRouter::HandleCreate(const HttpRequest& request,
-                                         const std::string& request_id) {
+                                         const std::string& request_id,
+                                         const RequestBudget& budget) {
   const RouterMetrics& m = RouterMetrics::Get();
   const int attempts = std::max(1, options_.forward_attempts);
   HttpResponse last = serve::JsonErrorResponse(
       503, "Unavailable", "no shard accepted the session");
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (budget.expired()) {
+      deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+      m.deadline_rejects->Increment();
+      return serve::JsonErrorResponse(
+          504, "TimedOut", "deadline spent before a shard accepted");
+    }
+    // Re-rolls spend from the global retry budget: the first attempt is
+    // always free, but a saturated cluster must not be hammered with
+    // fresh placements for the same create.
+    if (attempt > 0 && !retry_budget_.TryWithdraw()) {
+      m.retries_suppressed->Increment();
+      break;
+    }
     // The router owns placement: it mints the id, the ring names the
     // owner, and the worker is told the id via ?id=.  A failed attempt
     // re-rolls a *fresh* id — new placement, very likely a different
@@ -366,11 +458,21 @@ HttpResponse ClusterRouter::HandleCreate(const HttpRequest& request,
           StrFormat("shard %s is ejected", owner->c_str()));
       continue;
     }
+    if (!shard->breaker.Allow()) {
+      m.breaker_rejects->Increment();
+      last = serve::JsonErrorResponse(
+          503, "Unavailable",
+          StrFormat("shard %s breaker open", owner->c_str()));
+      last.extra_headers.emplace_back(
+          "Retry-After", StrFormat("%.3f", options_.breaker.open_seconds));
+      continue;
+    }
     std::string target = "/sessions?";
     if (!request.query.empty()) target += request.query + "&";
     target += "id=" + session_id;
     ForwardOutcome out = Exchange(*shard, "POST", target, request.body,
-                                  request_id, /*retry_503=*/false);
+                                  request_id, /*retry_503=*/false, &budget,
+                                  /*data_path=*/true);
     if (!out.response.ok()) {
       m.forward_errors->Increment();
       last = serve::JsonErrorResponse(
@@ -389,6 +491,13 @@ HttpResponse ClusterRouter::HandleCreate(const HttpRequest& request,
     if (const std::string* type = out.response->FindHeader("content-type")) {
       response.content_type = *type;
     }
+    if (const std::string* quality = out.response->FindHeader("x-quality")) {
+      response.extra_headers.emplace_back("X-Quality", *quality);
+    }
+    if (const std::string* echoed =
+            out.response->FindHeader("x-deadline-budget-ms")) {
+      response.extra_headers.emplace_back("X-Deadline-Budget-Ms", *echoed);
+    }
     response.extra_headers.emplace_back("X-Shard", shard->address.name);
     return response;
   }
@@ -397,7 +506,16 @@ HttpResponse ClusterRouter::HandleCreate(const HttpRequest& request,
 
 HttpResponse ClusterRouter::HandleSession(const HttpRequest& request,
                                           const std::string& session_id,
-                                          const std::string& request_id) {
+                                          const std::string& request_id,
+                                          const RequestBudget& budget) {
+  if (budget.expired()) {
+    // The budget may have been spent holding at a migration gate — check
+    // before entering so an expired request never dials a worker.
+    deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+    RouterMetrics::Get().deadline_rejects->Increment();
+    return serve::JsonErrorResponse(
+        504, "TimedOut", "deadline spent before forwarding");
+  }
   const vs::Status entered = EnterSession(session_id);
   if (!entered.ok()) return serve::ErrorResponseFor(entered);
   HttpResponse response;
@@ -411,10 +529,23 @@ HttpResponse ClusterRouter::HandleSession(const HttpRequest& request,
       response = serve::JsonErrorResponse(
           503, "Unavailable",
           StrFormat("shard %s is ejected", owner->c_str()));
+    } else if (budget.expired()) {
+      deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+      RouterMetrics::Get().deadline_rejects->Increment();
+      response = serve::JsonErrorResponse(
+          504, "TimedOut", "deadline spent before forwarding");
+    } else if (!shard->breaker.Allow()) {
+      RouterMetrics::Get().breaker_rejects->Increment();
+      response = serve::JsonErrorResponse(
+          503, "Unavailable",
+          StrFormat("shard %s breaker open", owner->c_str()));
+      response.extra_headers.emplace_back(
+          "Retry-After", StrFormat("%.3f", options_.breaker.open_seconds));
     } else {
       const bool idempotent =
           request.method == "GET" || request.method == "DELETE";
-      response = ForwardToShard(*shard, request, request_id, idempotent);
+      response =
+          ForwardToShard(*shard, request, request_id, idempotent, &budget);
       if (request.method == "DELETE" && response.status == 200) {
         std::lock_guard<std::mutex> lock(override_mu_);
         overrides_.erase(session_id);
@@ -605,6 +736,14 @@ HttpResponse ClusterRouter::AggregateStatusz() {
   out += StrFormat(",\"migrations\":%llu,\"migration_failures\":%llu",
                    static_cast<unsigned long long>(migrations()),
                    static_cast<unsigned long long>(migration_failures()));
+  out += StrFormat(",\"deadline_rejects\":%llu",
+                   static_cast<unsigned long long>(deadline_rejects()));
+  out += StrFormat(
+      ",\"retry_budget\":{\"tokens\":%.2f,\"withdrawals\":%llu,"
+      "\"suppressed\":%llu}",
+      retry_budget_.tokens(),
+      static_cast<unsigned long long>(retry_budget_.withdrawals()),
+      static_cast<unsigned long long>(retry_budget_.suppressed()));
 
   out += ",\"shards\":[";
   for (size_t i = 0; i < shards_.size(); ++i) {
@@ -622,13 +761,17 @@ HttpResponse ClusterRouter::AggregateStatusz() {
     out += StrFormat(
         "{\"name\":%s,\"host\":%s,\"port\":%d,\"ejected\":%s,"
         "\"consecutive_failures\":%d,\"ejections\":%llu,"
-        "\"readmissions\":%llu,\"statusz\":%s}",
+        "\"readmissions\":%llu,\"breaker\":%s,\"breaker_opens\":%llu,"
+        "\"breaker_probes\":%llu,\"statusz\":%s}",
         serve::JsonQuote(shard.address.name).c_str(),
         serve::JsonQuote(shard.address.host).c_str(), shard.address.port,
         shard.detector.ejected() ? "true" : "false",
         shard.detector.consecutive_failures(),
         static_cast<unsigned long long>(shard.detector.ejections()),
         static_cast<unsigned long long>(shard.detector.readmissions()),
+        serve::JsonQuote(BreakerStateName(shard.breaker.state())).c_str(),
+        static_cast<unsigned long long>(shard.breaker.opens()),
+        static_cast<unsigned long long>(shard.breaker.probes()),
         statusz.c_str());
   }
   out += "]";
@@ -649,6 +792,11 @@ HttpResponse ClusterRouter::AggregateStatusz() {
 
 HttpResponse ClusterRouter::Handle(const HttpRequest& request) {
   const std::string request_id = RequestId(request);
+  RequestBudget budget;
+  if (const std::string* header = request.FindHeader("x-deadline-ms")) {
+    vs::Result<double> parsed = ParseDouble(Trim(*header));
+    if (parsed.ok() && *parsed > 0.0) budget.deadline_ms = *parsed;
+  }
   HttpResponse response;
   if (request.path == "/healthz" && request.method == "GET") {
     response = AggregateHealthz();
@@ -659,7 +807,7 @@ HttpResponse ClusterRouter::Handle(const HttpRequest& request) {
   } else if (request.path == "/admin/migrate" && request.method == "POST") {
     response = HandleMigrate(request, request_id);
   } else if (request.path == "/sessions" && request.method == "POST") {
-    response = HandleCreate(request, request_id);
+    response = HandleCreate(request, request_id, budget);
   } else if (StartsWith(request.path, "/sessions/")) {
     const size_t start = std::string_view("/sessions/").size();
     const size_t slash = request.path.find('/', start);
@@ -671,7 +819,7 @@ HttpResponse ClusterRouter::Handle(const HttpRequest& request) {
       response = serve::JsonErrorResponse(404, "NotFound",
                                           "no route: " + request.path);
     } else {
-      response = HandleSession(request, session_id, request_id);
+      response = HandleSession(request, session_id, request_id, budget);
     }
   } else {
     response = serve::JsonErrorResponse(404, "NotFound",

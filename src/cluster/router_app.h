@@ -40,6 +40,23 @@
 ///    exactly where it was; the client sees held requests complete
 ///    normally, never a 5xx caused by the handoff.
 ///
+/// Overload resilience (docs/ARCHITECTURE.md "Overload & degradation"):
+///
+///  * *Deadline propagation*: a client `X-Deadline-Ms` header is parsed
+///    at arrival, decremented by the router's own elapsed time at every
+///    hop (DecrementedDeadlineMs), and forwarded to the worker as the
+///    *remaining* budget.  A request whose budget is already spent is
+///    answered 504 without dialing the worker.
+///  * *Circuit breakers*: each shard carries a CircuitBreaker fed by
+///    data-path forward outcomes (HTTP 5xx = failure).  An open breaker
+///    answers 503 + `Retry-After` without a connection attempt and
+///    half-open probing lets one request test recovery — distinct from
+///    detector ejection, which tracks transport-level liveness.
+///  * *Retry budget*: one RetryBudget gates every retry the router takes
+///    (client backoff retries, idempotent 503 re-forwards, create
+///    re-placements).  When the bucket is dry, first attempts still pass
+///    but retry amplification drops to 1x.
+///
 /// Exported metrics (default registry, prefix `cluster.`):
 ///   cluster.requests_forwarded      counter, forwards attempted
 ///   cluster.forward_errors          counter, forwards that answered 502
@@ -51,6 +68,11 @@
 ///   cluster.shard_readmissions      counter, detector re-admissions
 ///   cluster.migrations              counter, completed migrations
 ///   cluster.migration_failures      counter, aborted migrations
+///   cluster.breaker_opens           counter, breaker trip transitions
+///   cluster.breaker_rejects         counter, 503s for open breakers
+///   cluster.retries_suppressed      counter, retries the budget refused
+///   cluster.deadline_rejects        counter, 504s for spent deadlines
+///   cluster.retry_budget_tokens     gauge, tokens left in the budget
 ///   cluster.shard_requests.<name>   counter, forwards per shard
 ///   cluster.forward_seconds.<name>  histogram, forward latency
 ///   cluster.shard_up.<name>         gauge, 1 = serving, 0 = ejected
@@ -67,8 +89,10 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/circuit_breaker.h"
 #include "cluster/failure_detector.h"
 #include "cluster/hash_ring.h"
+#include "cluster/retry_budget.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
@@ -77,6 +101,12 @@
 #include "serve/http.h"
 
 namespace vs::cluster {
+
+/// Remaining deadline budget after spending \p elapsed_ms at this hop:
+/// `max(0, deadline_ms - elapsed_ms)`.  A zero/negative \p deadline_ms
+/// means "no deadline" and maps to 0 ("none") — callers must check
+/// has-deadline before interpreting the result as "expired".
+double DecrementedDeadlineMs(double deadline_ms, double elapsed_ms);
 
 struct ShardAddress {
   std::string name;  ///< [A-Za-z0-9._-], unique; appears in metric names
@@ -100,6 +130,12 @@ struct ClusterRouterOptions {
   /// Longest a request for a migrating session is held at the router
   /// (and the longest a migrate waits for in-flight drain).
   double migrate_hold_seconds = 10.0;
+  /// Per-shard overload breaker (circuit_breaker.h); trips on HTTP 5xx
+  /// from the data path, distinct from detector ejection.
+  CircuitBreakerOptions breaker;
+  /// Router-global retry budget (retry_budget.h) gating backoff retries,
+  /// idempotent 503 re-forwards and create re-placements.
+  RetryBudgetOptions retry_budget;
   /// Rendered verbatim in /statusz ("{}" when empty).
   std::string config_json;
   /// Session-id generation salt.
@@ -129,6 +165,13 @@ class ClusterRouter {
   /// Where a session routes right now (override map, then ring).
   vs::Result<std::string> ShardForSession(const std::string& id) const;
   bool ShardEjected(const std::string& name) const;
+  /// Breaker state for a shard (kOpen for unknown names — nothing routes
+  /// there anyway).
+  BreakerState ShardBreakerState(const std::string& name) const;
+  const RetryBudget& retry_budget() const { return retry_budget_; }
+  uint64_t deadline_rejects() const {
+    return deadline_rejects_.load(std::memory_order_relaxed);
+  }
   /// One synchronous probe sweep over all shards.
   void ProbeNow();
   uint64_t migrations() const {
@@ -141,11 +184,15 @@ class ClusterRouter {
 
  private:
   struct Shard {
-    Shard(ShardAddress addr, FailureDetectorOptions detector_options)
-        : address(std::move(addr)), detector(detector_options) {}
+    Shard(ShardAddress addr, FailureDetectorOptions detector_options,
+          CircuitBreakerOptions breaker_options)
+        : address(std::move(addr)),
+          detector(detector_options),
+          breaker(breaker_options) {}
 
     ShardAddress address;
     FailureDetector detector;
+    CircuitBreaker breaker;
     /// Idle keep-alive connections to this worker (HttpClient is
     /// single-connection and not thread-safe, so concurrent forwards
     /// each borrow one and return it after the exchange).
@@ -170,6 +217,20 @@ class ClusterRouter {
     double seconds = 0.0;
   };
 
+  /// Per-request deadline budget, decremented by this hop's elapsed time
+  /// (see DecrementedDeadlineMs).  deadline_ms == 0 means "none".
+  struct RequestBudget {
+    double deadline_ms = 0.0;
+    Stopwatch elapsed;
+
+    bool has_deadline() const { return deadline_ms > 0.0; }
+    double remaining_ms() const {
+      return DecrementedDeadlineMs(deadline_ms,
+                                   elapsed.ElapsedSeconds() * 1e3);
+    }
+    bool expired() const { return has_deadline() && remaining_ms() <= 0.0; }
+  };
+
   Shard* FindShard(const std::string& name);
   const Shard* FindShard(const std::string& name) const;
 
@@ -178,22 +239,32 @@ class ClusterRouter {
 
   /// Borrow-a-connection exchange with `shard`; feeds the detector and
   /// per-shard metrics.  `retry_503` selects the idempotent policy.
+  /// `budget` (nullable) forwards the remaining deadline as X-Deadline-Ms
+  /// and caps the retry deadline.  `data_path` = this exchange carries
+  /// client traffic: its outcome feeds the shard's circuit breaker and
+  /// the global retry budget (probes and aggregation stay out so a
+  /// healthy /healthz cannot mask a failing data path).
   ForwardOutcome Exchange(Shard& shard, std::string_view method,
                           std::string_view target, std::string_view body,
-                          const std::string& request_id, bool retry_503);
+                          const std::string& request_id, bool retry_503,
+                          const RequestBudget* budget = nullptr,
+                          bool data_path = false);
 
   /// Exchange + render: maps transport failure to 502 and stamps
   /// X-Request-Id / X-Shard / X-Request-Stages.
   serve::HttpResponse ForwardToShard(Shard& shard,
                                      const serve::HttpRequest& request,
                                      const std::string& request_id,
-                                     bool retry_503);
+                                     bool retry_503,
+                                     const RequestBudget* budget);
 
   serve::HttpResponse HandleCreate(const serve::HttpRequest& request,
-                                   const std::string& request_id);
+                                   const std::string& request_id,
+                                   const RequestBudget& budget);
   serve::HttpResponse HandleSession(const serve::HttpRequest& request,
                                     const std::string& session_id,
-                                    const std::string& request_id);
+                                    const std::string& request_id,
+                                    const RequestBudget& budget);
   serve::HttpResponse HandleMigrate(const serve::HttpRequest& request,
                                     const std::string& request_id);
   serve::HttpResponse AggregateHealthz();
@@ -229,6 +300,8 @@ class ClusterRouter {
   std::atomic<uint64_t> request_sequence_{0};
   std::atomic<uint64_t> migrations_{0};
   std::atomic<uint64_t> migration_failures_{0};
+  std::atomic<uint64_t> deadline_rejects_{0};
+  RetryBudget retry_budget_;
 
   std::thread prober_;
   std::mutex prober_mu_;

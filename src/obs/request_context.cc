@@ -1,6 +1,7 @@
 #include "obs/request_context.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "obs/metrics.h"
@@ -46,6 +47,13 @@ void RequestContext::set_endpoint(const std::string& endpoint) {
 std::string RequestContext::endpoint() const {
   std::lock_guard<std::mutex> lock(mu_);
   return endpoint_;
+}
+
+double RequestContext::remaining_seconds() const {
+  const int64_t deadline_us = deadline_us_.load(std::memory_order_relaxed);
+  if (deadline_us <= 0) return std::numeric_limits<double>::infinity();
+  const int64_t left_us = deadline_us - ElapsedMicros();
+  return left_us > 0 ? static_cast<double>(left_us) * 1e-6 : 0.0;
 }
 
 void RequestContext::AddStage(const char* stage, int64_t start_us,

@@ -73,6 +73,52 @@ class RequestContext {
   /// Microseconds since construction (the request's private epoch).
   int64_t ElapsedMicros() const { return epoch_.ElapsedMicros(); }
 
+  /// \name Request deadline — an absolute point relative to the request's
+  /// private epoch, set once by the transport when the client supplied
+  /// `X-Deadline-Ms`.  Subsystems below (admission, session manager,
+  /// refinement) read the *remaining* budget; no deadline means infinite.
+  /// @{
+  void set_deadline_ms(double ms) {
+    deadline_us_.store(static_cast<int64_t>(ms * 1000.0),
+                       std::memory_order_relaxed);
+  }
+  bool has_deadline() const {
+    return deadline_us_.load(std::memory_order_relaxed) > 0;
+  }
+  /// Seconds left before the deadline; clamped at 0, +inf with none set.
+  double remaining_seconds() const;
+  bool deadline_expired() const {
+    const int64_t d = deadline_us_.load(std::memory_order_relaxed);
+    return d > 0 && ElapsedMicros() >= d;
+  }
+  /// @}
+
+  /// \name Brownout hint — set by the admission layer when the server is
+  /// saturated (or the remaining deadline is short), read by the engine
+  /// to prefer a degraded α-sample / partially-refined answer over
+  /// shedding the request.
+  /// @{
+  void set_brownout(bool on) {
+    brownout_.store(on, std::memory_order_relaxed);
+  }
+  bool brownout() const { return brownout_.load(std::memory_order_relaxed); }
+  /// @}
+
+  /// \name Degraded marker — set by the engine when the answer it served
+  /// came from a rough or partially-refined matrix; the transport stamps
+  /// `X-Quality: degraded` from it.  refined_fraction is the share of
+  /// exact feature rows backing the answer (1.0 = full quality).
+  /// @{
+  void MarkDegraded(double refined_fraction) {
+    degraded_.store(true, std::memory_order_relaxed);
+    refined_fraction_.store(refined_fraction, std::memory_order_relaxed);
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  double refined_fraction() const {
+    return refined_fraction_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
   /// Appends one completed stage (called by StageTimer).
   void AddStage(const char* stage, int64_t start_us, int64_t duration_us);
 
@@ -96,6 +142,10 @@ class RequestContext {
   const std::string path_;
   Stopwatch epoch_;
   std::atomic<const char*> current_stage_{nullptr};
+  std::atomic<int64_t> deadline_us_{0};  ///< relative to epoch; <=0 = none
+  std::atomic<bool> brownout_{false};
+  std::atomic<bool> degraded_{false};
+  std::atomic<double> refined_fraction_{1.0};
 
   mutable std::mutex mu_;
   std::string endpoint_;

@@ -46,6 +46,37 @@ obs::Histogram* EndpointHistogram(const std::string& endpoint) {
       "dispatch latency of one endpoint");
 }
 
+obs::Counter* DeadlineExpiredCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "serve.deadline_expired",
+      "requests failed fast (504) because the propagated deadline expired "
+      "before the handler ran");
+  return c;
+}
+
+obs::Counter* DegradedResponseCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "degraded.responses",
+      "responses served from a rough or partially-refined matrix "
+      "(X-Quality: degraded)");
+  return c;
+}
+
+/// Inserts the brownout quality object before the body's closing brace
+/// when the engine marked this request degraded; identity otherwise, so
+/// full-quality responses stay byte-identical to the pre-brownout
+/// protocol.
+std::string AppendQualityField(std::string json) {
+  obs::RequestContext* context = obs::CurrentRequestContext();
+  if (context == nullptr || !context->degraded()) return json;
+  const size_t pos = json.rfind('}');
+  if (pos == std::string::npos) return json;
+  json.insert(pos, StrFormat(",\"quality\":{\"degraded\":true,"
+                             "\"refined_fraction\":%.4f}",
+                             context->refined_fraction()));
+  return json;
+}
+
 /// Escapes a Prometheus label value: backslash, double-quote, newline.
 std::string PromLabelEscape(std::string_view value) {
   std::string out;
@@ -199,13 +230,63 @@ void ServeApp::AddRoute(const char* method, const char* pattern,
         // deterministically (armed with probability 1, released by
         // FaultInjector::Clear()).  Introspection routes never stall —
         // observing a stall through /statusz is the point.
-        if (obs::RequestContext* context = obs::CurrentRequestContext()) {
-          context->set_endpoint(name);
-        }
+        obs::RequestContext* context = obs::CurrentRequestContext();
+        if (context != nullptr) context->set_endpoint(name);
         const bool introspection = std::strcmp(name, "healthz") == 0 ||
                                    std::strcmp(name, "metrics") == 0 ||
                                    std::strcmp(name, "statusz") == 0;
         const bool admin = std::strncmp(name, "admin_", 6) == 0;
+        // Priority classes: introspection must never go dark under load
+        // (the router's failure detector and /statusz depend on it),
+        // admin hops carry migrations, and label acks are cheap but carry
+        // user state — none of them may be shed behind expensive creates.
+        const bool critical =
+            introspection || admin || std::strcmp(name, "label") == 0;
+        const AdmissionClass admission_class = critical
+                                                   ? AdmissionClass::kCritical
+                                                   : AdmissionClass::kNormal;
+        AdmissionDecision decision;
+        decision.admitted = true;
+        if (options_.admission_enabled) {
+          // Charged to the "queue" stage: this is where an overloaded
+          // request dies, and the stage shows up in /statusz, wide
+          // events and X-Request-Stages.
+          obs::StageTimer queue_stage("queue");
+          decision = admission_.Acquire(name, admission_class);
+          if (!decision.admitted) {
+            HttpResponse shed = ErrorResponseFor(
+                vs::Status::ResourceExhausted(
+                    std::string("admission limit reached for ") + name));
+            shed.extra_headers.emplace_back("Retry-After", "0.1");
+            return shed;
+          }
+        }
+        // Expired-in-queue requests fail fast with 504 before touching
+        // the engine: the client already gave up, so any work done now
+        // is wasted capacity.
+        if (context != nullptr && context->deadline_expired()) {
+          if (options_.admission_enabled) {
+            admission_.Release(name, admission_class, /*congested=*/true);
+          }
+          DeadlineExpiredCounter()->Increment();
+          return ErrorResponseFor(vs::Status::TimedOut(
+              "deadline expired before the handler started"));
+        }
+        // Brownout: an admitted request that landed in the endpoint's
+        // last slots, or whose remaining deadline is short, is served in
+        // degraded-quality mode (α-sample / partially-refined matrix)
+        // instead of being queued or shed.  The fault point lets tests
+        // force the mode deterministically.
+        if (context != nullptr && !introspection) {
+          const bool short_deadline =
+              context->has_deadline() &&
+              context->remaining_seconds() * 1e3 <
+                  options_.brownout_deadline_ms;
+          if ((options_.admission_enabled && decision.saturated) ||
+              short_deadline || VS_FAULT("brownout.force")) {
+            context->set_brownout(true);
+          }
+        }
         if (!introspection) {
           while (VS_FAULT("serve.handler_stall")) {
             std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -217,9 +298,14 @@ void ServeApp::AddRoute(const char* method, const char* pattern,
         if (!introspection && !admin && options_.simulate_service_ms > 0.0) {
           if (options_.simulate_cores > 0) {
             std::unique_lock<std::mutex> lock(sim_mu_);
-            sim_cv_.wait(lock, [this] {
-              return sim_in_service_ < options_.simulate_cores;
-            });
+            {
+              // The simulated-core gate is the process's one real queue;
+              // charge the wait to the same "queue" stage.
+              obs::StageTimer queue_stage("queue");
+              sim_cv_.wait(lock, [this] {
+                return sim_in_service_ < options_.simulate_cores;
+              });
+            }
             ++sim_in_service_;
             lock.unlock();
             std::this_thread::sleep_for(
@@ -234,7 +320,20 @@ void ServeApp::AddRoute(const char* method, const char* pattern,
                     options_.simulate_service_ms));
           }
         }
-        return handler(request, params);
+        Stopwatch handler_watch;
+        HttpResponse response = handler(request, params);
+        if (options_.admission_enabled) {
+          // AIMD congestion signal: handler failure, a deadline blown
+          // while we held the slot, or latency beyond the SLO budget.
+          const bool congested =
+              response.status >= 500 ||
+              (context != nullptr && context->deadline_expired()) ||
+              (options_.slo_budget_ms > 0.0 &&
+               handler_watch.ElapsedSeconds() * 1e3 >
+                   options_.slo_budget_ms);
+          admission_.Release(name, admission_class, congested);
+        }
+        return response;
       },
       name);
 }
@@ -248,6 +347,11 @@ ServeApp::ServeApp(SessionManager* manager, ServeAppOptions options)
         slo.budget_ms = options_.slo_budget_ms;
         slo.clock = options_.clock;
         return slo;
+      }()),
+      admission_([&] {
+        AdmissionOptions admission = options_.admission;
+        if (admission.clock == nullptr) admission.clock = options_.clock;
+        return admission;
       }()) {
   AddRoute("POST", "/sessions", "create_session",
            [this](const HttpRequest& request,
@@ -321,6 +425,17 @@ HttpResponse ServeApp::Handle(const HttpRequest& request) {
 
   auto context = std::make_shared<obs::RequestContext>(id, request.method,
                                                        request.path);
+  // Deadline propagation: the client's (or upstream router's) remaining
+  // budget in milliseconds.  Everything below — admission, cold builds,
+  // refinement passes — reads the remaining budget from the context.
+  double deadline_ms = 0.0;
+  if (const std::string* header = request.FindHeader("x-deadline-ms")) {
+    auto parsed = ParseDouble(Trim(*header));
+    if (parsed.ok() && *parsed > 0.0) {
+      deadline_ms = *parsed;
+      context->set_deadline_ms(deadline_ms);
+    }
+  }
   inflight_.Register(context);
   std::string endpoint;
   HttpResponse response;
@@ -359,6 +474,16 @@ HttpResponse ServeApp::Handle(const HttpRequest& request) {
   if (!options_.shard_name.empty()) {
     response.extra_headers.emplace_back("X-Shard", options_.shard_name);
   }
+  // Echo the deadline we honoured (routers assert their hop decrement
+  // through this) and stamp brownout-quality responses.
+  if (deadline_ms > 0.0) {
+    response.extra_headers.emplace_back("X-Deadline-Budget-Ms",
+                                        StrFormat("%.3f", deadline_ms));
+  }
+  if (context->degraded()) {
+    response.extra_headers.emplace_back("X-Quality", "degraded");
+    DegradedResponseCounter()->Increment();
+  }
   const std::string stages = StagesHeaderValue(context->stages());
   if (!stages.empty()) {
     response.extra_headers.emplace_back("X-Request-Stages", stages);
@@ -380,6 +505,13 @@ void ServeApp::EmitWideEvent(const obs::RequestContext& context,
       .SetBool("sampled", sampled);
   if (!options_.shard_name.empty()) {
     event.SetStr("shard", options_.shard_name);
+  }
+  if (context.degraded()) {
+    event.SetBool("degraded", true);
+    event.SetNum("refined_fraction", context.refined_fraction());
+  }
+  if (context.has_deadline()) {
+    event.SetNum("deadline_remaining_ms", context.remaining_seconds() * 1e3);
   }
   const std::vector<obs::StageRecord> stages = context.stages();
   event.SetInt("stage_count", static_cast<int64_t>(stages.size()));
@@ -413,22 +545,22 @@ HttpResponse ServeApp::CreateSession(const HttpRequest& request) {
 
   auto info = manager_->Create(spec);
   if (!info.ok()) return ErrorResponseFor(info.status());
-  return JsonOk(InfoJson(*info), 201);
+  return JsonOk(AppendQualityField(InfoJson(*info)), 201);
 }
 
 HttpResponse ServeApp::GetInfo(const std::vector<std::string>& params) {
   auto info = manager_->Info(params[0]);
   if (!info.ok()) return ErrorResponseFor(info.status());
-  return JsonOk(InfoJson(*info));
+  return JsonOk(AppendQualityField(InfoJson(*info)));
 }
 
 HttpResponse ServeApp::GetNext(const std::vector<std::string>& params) {
   auto batch = manager_->Next(params[0]);
   if (!batch.ok()) return ErrorResponseFor(batch.status());
-  return JsonOk(StrFormat(
+  return JsonOk(AppendQualityField(StrFormat(
       "{\"views\":%s,\"cold_start\":%s}\n",
       ViewArrayJson(batch->views, batch->view_ids, nullptr).c_str(),
-      batch->cold_start ? "true" : "false"));
+      batch->cold_start ? "true" : "false")));
 }
 
 HttpResponse ServeApp::PostLabel(const HttpRequest& request,
@@ -467,9 +599,9 @@ HttpResponse ServeApp::GetTopK(const HttpRequest& request,
   }
   auto topk = manager_->TopK(params[0], lambda);
   if (!topk.ok()) return ErrorResponseFor(topk.status());
-  return JsonOk(StrFormat(
+  return JsonOk(AppendQualityField(StrFormat(
       "{\"views\":%s}\n",
-      ViewArrayJson(topk->views, topk->view_ids, &topk->scores).c_str()));
+      ViewArrayJson(topk->views, topk->view_ids, &topk->scores).c_str())));
 }
 
 HttpResponse ServeApp::GetLabels(const std::vector<std::string>& params) {
@@ -618,6 +750,22 @@ HttpResponse ServeApp::Statusz() {
   }
   out += "]}";
 
+  if (options_.admission_enabled) {
+    out += ",\"admission\":[";
+    first = true;
+    for (const AdmissionSnapshot& row : admission_.Snapshot()) {
+      if (!first) out += ",";
+      first = false;
+      out += StrFormat(
+          "{\"endpoint\":%s,\"limit\":%.2f,\"inflight\":%d,"
+          "\"admitted\":%llu,\"shed\":%llu}",
+          JsonQuote(row.endpoint).c_str(), row.limit, row.inflight,
+          static_cast<unsigned long long>(row.admitted),
+          static_cast<unsigned long long>(row.shed));
+    }
+    out += "]";
+  }
+
   const FeatureMatrixCacheStats cache = manager_->matrix_cache().stats();
   out += StrFormat(
       ",\"matrix_cache\":{\"entries\":%zu,\"bytes\":%zu,\"hits\":%llu,"
@@ -626,6 +774,8 @@ HttpResponse ServeApp::Statusz() {
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses));
   out += StrFormat(",\"active_sessions\":%zu", manager_->active_sessions());
+  out += StrFormat(",\"degraded_sessions\":%zu",
+                   manager_->degraded_sessions());
 
   if (manager_->durability_enabled()) {
     const DurabilityStats d = manager_->durability_stats();

@@ -47,6 +47,7 @@
 #include "common/stopwatch.h"
 #include "obs/events.h"
 #include "obs/request_context.h"
+#include "serve/admission.h"
 #include "serve/http.h"
 #include "serve/router.h"
 #include "serve/session_manager.h"
@@ -100,6 +101,18 @@ struct ServeAppOptions {
   int simulate_cores = 0;
   /// Time source for the SLO window; nullptr = real clock.
   const Clock* clock = nullptr;
+  /// Adaptive admission control (docs/ARCHITECTURE.md "Overload &
+  /// degradation").  When enabled, every non-critical request passes the
+  /// per-endpoint AIMD limiter before its handler runs; shed requests get
+  /// 429 + `Retry-After`.  Critical traffic (introspection, label acks)
+  /// is never shed.  Off by default so embedded uses keep the static
+  /// bounded-queue policy; the serve tool enables it.
+  bool admission_enabled = false;
+  AdmissionOptions admission;
+  /// Brownout trigger: an admitted request whose remaining deadline is
+  /// below this (or that was admitted into the endpoint's last slots)
+  /// is served in degraded-quality mode instead of being shed.
+  double brownout_deadline_ms = 50.0;
 };
 
 /// \brief Stateless protocol adapter over a borrowed SessionManager.
@@ -114,6 +127,7 @@ class ServeApp {
   /// Observability state, exposed for /statusz and tests.
   const SloTracker& slo() const { return slo_; }
   const obs::InflightRegistry& inflight() const { return inflight_; }
+  const AdmissionController& admission() const { return admission_; }
 
  private:
   /// Registers method+pattern under a stable endpoint \p name; the
@@ -147,6 +161,7 @@ class ServeApp {
   Router router_;
   Stopwatch uptime_;
   SloTracker slo_;
+  AdmissionController admission_;
   obs::InflightRegistry inflight_;
   std::atomic<uint64_t> request_sequence_{0};
   /// Simulated-core gate for simulate_service_ms (see ServeAppOptions).

@@ -235,19 +235,37 @@ vs::Result<ClientResponse> HttpClient::Request(
     vs::Result<ClientResponse> response = RequestOnce(request);
     // Transport failures are worth another attempt — the server never
     // saw (or never answered) the request.  Timeouts are excluded: the
-    // request may still be executing.  A 503 is the same story at the
-    // HTTP layer (the worker shed the connection before dispatch) but is
-    // only retried when the caller opted in for idempotent traffic.
+    // request may still be executing.  A 503 or 429 is the same story at
+    // the HTTP layer (the worker shed the request before dispatch) but
+    // is only retried when the caller opted in.
     const bool retryable =
         response.ok()
-            ? (retry_options_.retry_503 && response->status == 503)
+            ? ((retry_options_.retry_503 && response->status == 503) ||
+               (retry_options_.retry_429 && response->status == 429))
             : response.status().IsIOError();
     if (!retryable) return response;
     if (attempt >= max_attempts) return response;
-    const double sleep_seconds = backoff * jitter_rng_.NextDouble();
+    double sleep_seconds = backoff * jitter_rng_.NextDouble();
+    if (retry_options_.honor_retry_after && response.ok()) {
+      // The server advised a pause; honour it (bounded) even when the
+      // jittered backoff came out shorter.
+      if (const std::string* advised = response->FindHeader("retry-after")) {
+        vs::Result<double> seconds = ParseDouble(Trim(*advised));
+        if (seconds.ok() && *seconds >= 0.0) {
+          sleep_seconds = std::max(
+              sleep_seconds,
+              std::min(*seconds, retry_options_.max_backoff_seconds));
+        }
+      }
+    }
     if (retry_options_.deadline_seconds > 0.0 &&
         deadline_watch.ElapsedSeconds() + sleep_seconds >=
             retry_options_.deadline_seconds) {
+      ++retries_suppressed_by_budget_;
+      return response;
+    }
+    if (retry_options_.retry_gate && !retry_options_.retry_gate()) {
+      ++retries_suppressed_by_budget_;
       return response;
     }
     if (sleep_seconds > 0.0) {

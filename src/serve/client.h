@@ -7,6 +7,7 @@
 /// it reconnects transparently when the server closed the previous one.
 /// Not thread-safe — use one client per simulated user.
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -46,6 +47,20 @@ struct RetryOptions {
   /// enables this solely for idempotent forwards (GET/DELETE), where a
   /// moment later the queue has drained or another shard answers.
   bool retry_503 = false;
+  /// Also retry HTTP 429 (admission-control shed).  Same executed-nothing
+  /// contract as 503; the load generator enables it so shed requests are
+  /// re-offered after the server's advised pause.
+  bool retry_429 = false;
+  /// Honor the server's `Retry-After` header (delay in seconds) on a
+  /// retried 503/429: the backoff sleep is raised to at least the advised
+  /// delay, capped at max_backoff_seconds.
+  bool honor_retry_after = true;
+  /// Global retry gate, consulted before *each* retry in addition to the
+  /// attempt and deadline budgets; returning false suppresses the retry
+  /// (counted in retries_suppressed_by_budget()).  The cluster router
+  /// points this at its shared retry-token bucket so a saturated cluster
+  /// cannot be retried into the ground.  Null = always allowed.
+  std::function<bool()> retry_gate;
 };
 
 /// \brief Response as seen by the client (status + headers + body).
@@ -101,6 +116,14 @@ class HttpClient {
   /// happen inside a single attempt.
   uint64_t backoff_retries() const { return backoff_retries_; }
 
+  /// How many retries a budget refused: the per-request deadline would
+  /// have been blown by the backoff sleep, or the caller's retry_gate
+  /// said the shared retry budget is dry.  The workload tools report
+  /// this so suppressed retry pressure is visible, not silent.
+  uint64_t retries_suppressed_by_budget() const {
+    return retries_suppressed_by_budget_;
+  }
+
  private:
   vs::Status Connect();
   vs::Status SendAll(std::string_view data);
@@ -114,6 +137,7 @@ class HttpClient {
   int fd_ = -1;
   uint64_t retries_ = 0;
   uint64_t backoff_retries_ = 0;
+  uint64_t retries_suppressed_by_budget_ = 0;
   RetryOptions retry_options_;
   Rng jitter_rng_{0x7e77};
   std::string pending_;  ///< bytes read past the previous response

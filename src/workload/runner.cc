@@ -26,13 +26,18 @@ struct WorkerStats {
   std::map<std::string, vs::LatencyRecorder> recorders;
   std::map<std::string, uint64_t> backpressure;
   std::map<std::string, uint64_t> errors;
+  std::map<std::string, uint64_t> degraded;
+  std::map<std::string, uint64_t> deadline_expired;
   std::map<std::string, uint64_t> shard_counts;
   uint64_t sessions_started = 0;
   uint64_t sessions_completed = 0;
   uint64_t ops_executed = 0;
   uint64_t ops_skipped = 0;
   uint64_t requests = 0;
+  uint64_t retries_suppressed = 0;
   double max_start_lag_seconds = 0.0;
+  /// Per-request deadline to stamp (<= 0 none); copied from the options.
+  double deadline_ms = 0.0;
 };
 
 enum class Outcome { kOk, kBackpressure, kError };
@@ -47,17 +52,25 @@ struct Reply {
 /// One timed request.  Classification: transport failure and 5xx are
 /// errors; 429/503 is backpressure (the shed is charged against the SLO
 /// denominator but not the latency distribution — a fast rejection is not
-/// a fast answer); anything else is a completed response and lands in the
-/// endpoint's recorder.  Call sites still vet the status code — an
-/// unexpected 4xx is a protocol error even though it was timed.
+/// a fast answer); a 504 is backpressure too — the deadline the runner
+/// itself attached was spent, which is the system declining honestly,
+/// not failing; anything else is a completed response and lands in the
+/// endpoint's recorder, with `X-Quality: degraded` completions counted
+/// separately.  Call sites still vet the status code — an unexpected 4xx
+/// is a protocol error even though it was timed.
 Reply TimedRequest(HttpClient& client, WorkerStats& stats,
                    const std::string& endpoint, std::string_view method,
                    const std::string& target, const std::string& body,
                    const std::string& request_id) {
   Reply reply;
+  std::vector<std::pair<std::string, std::string>> headers = {
+      {"X-Request-Id", request_id}};
+  if (stats.deadline_ms > 0.0) {
+    headers.emplace_back("X-Deadline-Ms",
+                         vs::StrFormat("%.3f", stats.deadline_ms));
+  }
   vs::Stopwatch timer;
-  auto result = client.Request(method, target, body,
-                               {{"X-Request-Id", request_id}});
+  auto result = client.Request(method, target, body, headers);
   reply.seconds = timer.ElapsedSeconds();
   ++stats.requests;
   if (!result.ok()) {
@@ -69,9 +82,10 @@ Reply TimedRequest(HttpClient& client, WorkerStats& stats,
   if (const std::string* shard = result->FindHeader("x-shard")) {
     ++stats.shard_counts[*shard];
   }
-  if (reply.status == 429 || reply.status == 503) {
+  if (reply.status == 429 || reply.status == 503 || reply.status == 504) {
     reply.outcome = Outcome::kBackpressure;
     ++stats.backpressure[endpoint];
+    if (reply.status == 504) ++stats.deadline_expired[endpoint];
     return reply;
   }
   if (reply.status >= 500) {
@@ -79,6 +93,9 @@ Reply TimedRequest(HttpClient& client, WorkerStats& stats,
     return reply;
   }
   reply.outcome = Outcome::kOk;
+  if (result->FindHeader("x-quality") != nullptr) {
+    ++stats.degraded[endpoint];
+  }
   stats.recorders[endpoint].Record(reply.seconds);
   return reply;
 }
@@ -307,6 +324,14 @@ std::string RunReport::FormatText() const {
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(backpressure),
       static_cast<unsigned long long>(errors), max_start_lag_seconds);
+  if (degraded > 0 || deadline_expired > 0 || retries_suppressed > 0) {
+    out += vs::StrFormat(
+        "  overload: %llu degraded responses, %llu deadline-expired "
+        "(504), %llu retries suppressed by budget\n",
+        static_cast<unsigned long long>(degraded),
+        static_cast<unsigned long long>(deadline_expired),
+        static_cast<unsigned long long>(retries_suppressed));
+  }
   const auto cell = [](double ms) {
     return ms < 0.0 ? std::string("    n/a") : vs::StrFormat("%7.1f", ms);
   };
@@ -328,6 +353,11 @@ std::string RunReport::FormatText() const {
           "  shed=%llu err=%llu",
           static_cast<unsigned long long>(endpoint.backpressure),
           static_cast<unsigned long long>(endpoint.errors));
+    }
+    if (endpoint.degraded > 0) {
+      out += vs::StrFormat(
+          "  degraded=%llu",
+          static_cast<unsigned long long>(endpoint.degraded));
     }
     out += "\n";
   }
@@ -360,6 +390,9 @@ std::string RunReport::ToJson() const {
       "  \"requests\": %llu,\n"
       "  \"errors\": %llu,\n"
       "  \"backpressure\": %llu,\n"
+      "  \"degraded\": %llu,\n"
+      "  \"deadline_expired\": %llu,\n"
+      "  \"retries_suppressed\": %llu,\n"
       "  \"max_start_lag_seconds\": %.3f,\n"
       "  \"slo_target\": %.6g,\n",
       vs::serve::JsonQuote(workload).c_str(),
@@ -371,6 +404,9 @@ std::string RunReport::ToJson() const {
       static_cast<unsigned long long>(requests),
       static_cast<unsigned long long>(errors),
       static_cast<unsigned long long>(backpressure),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(deadline_expired),
+      static_cast<unsigned long long>(retries_suppressed),
       max_start_lag_seconds, slo_target);
   out += "  \"endpoints\": {\n";
   size_t i = 0;
@@ -379,11 +415,14 @@ std::string RunReport::ToJson() const {
     out += vs::StrFormat(
         "    %s: {\"count\": %zu, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
         "\"p99_ms\": %.3f, \"max_ms\": %.3f, \"budget_ms\": %.3f, "
-        "\"within_slo\": %.6f, \"backpressure\": %llu, \"errors\": %llu}%s\n",
+        "\"within_slo\": %.6f, \"backpressure\": %llu, \"errors\": %llu, "
+        "\"degraded\": %llu, \"deadline_expired\": %llu}%s\n",
         vs::serve::JsonQuote(name).c_str(), s.count, s.p50_ms, s.p95_ms,
         s.p99_ms, s.max_ms, s.budget_ms, endpoint.WithinSloFraction(),
         static_cast<unsigned long long>(endpoint.backpressure),
         static_cast<unsigned long long>(endpoint.errors),
+        static_cast<unsigned long long>(endpoint.degraded),
+        static_cast<unsigned long long>(endpoint.deadline_expired),
         ++i < endpoints.size() ? "," : "");
   }
   out += "  },\n  \"shards\": {";
@@ -428,6 +467,7 @@ vs::Result<RunReport> RunWorkload(const WorkloadPlan& plan,
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
       WorkerStats& local = stats[static_cast<size_t>(w)];
+      local.deadline_ms = options.deadline_ms;
       // Generous socket timeout: cold session creation against a 10M-row
       // table can legitimately take tens of seconds on one core, and the
       // SLO budget — not the transport — is the judge of that.
@@ -435,6 +475,11 @@ vs::Result<RunReport> RunWorkload(const WorkloadPlan& plan,
       serve::RetryOptions retry;
       retry.max_attempts = 3;
       retry.jitter_seed = spec.seed * 31 + static_cast<uint64_t>(w);
+      if (options.deadline_ms > 0.0) {
+        // A retry past the request's own deadline cannot help; the
+        // suppression shows up in the retries-suppressed stat.
+        retry.deadline_seconds = options.deadline_ms * 1e-3;
+      }
       client.set_retry_options(retry);
       if (open) {
         while (true) {
@@ -464,6 +509,7 @@ vs::Result<RunReport> RunWorkload(const WorkloadPlan& plan,
           at = (at + 1) % lane.size();
         }
       }
+      local.retries_suppressed = client.retries_suppressed_by_budget();
     });
   }
   for (std::thread& thread : threads) thread.join();
@@ -496,6 +542,15 @@ vs::Result<RunReport> RunWorkload(const WorkloadPlan& plan,
       endpoints[name].errors += count;
       report.errors += count;
     }
+    for (const auto& [name, count] : local.degraded) {
+      endpoints[name].degraded += count;
+      report.degraded += count;
+    }
+    for (const auto& [name, count] : local.deadline_expired) {
+      endpoints[name].deadline_expired += count;
+      report.deadline_expired += count;
+    }
+    report.retries_suppressed += local.retries_suppressed;
     for (const auto& [shard, count] : local.shard_counts) {
       report.shard_counts[shard] += count;
     }

@@ -38,12 +38,19 @@ struct RunnerOptions {
   double duration_seconds = 0.0;
   /// Fail the verdict unless this many distinct X-Shard values served.
   int require_shards = 0;
+  /// Per-request deadline stamped as `X-Deadline-Ms` (<= 0: none).  The
+  /// server answers 504 when the budget is spent before the handler runs
+  /// — the runner counts those as backpressure (the system said "too
+  /// late" honestly), never as protocol errors.
+  double deadline_ms = 0.0;
 };
 
 struct EndpointReport {
   vs::LatencySummary summary;  ///< completed (non-shed) responses
-  uint64_t backpressure = 0;   ///< 429/503 answers
-  uint64_t errors = 0;         ///< transport failures + 5xx
+  uint64_t backpressure = 0;   ///< 429/503/504 answers
+  uint64_t errors = 0;         ///< transport failures + other 5xx
+  uint64_t degraded = 0;       ///< completions stamped `X-Quality: degraded`
+  uint64_t deadline_expired = 0;  ///< 504 answers (subset of backpressure)
 
   /// %-of-ops-within-SLO: budget-met completions over completions plus
   /// shed requests (a shed op did not meet the user's deadline).
@@ -61,6 +68,9 @@ struct RunReport {
   uint64_t requests = 0;
   uint64_t errors = 0;
   uint64_t backpressure = 0;
+  uint64_t degraded = 0;          ///< brownout-quality completions
+  uint64_t deadline_expired = 0;  ///< 504s across endpoints
+  uint64_t retries_suppressed = 0;  ///< client retries a budget refused
   double max_start_lag_seconds = 0.0;
   double slo_target = 0.99;
   int require_shards = 0;

@@ -1,0 +1,157 @@
+/// Unit tests for the per-shard overload breaker and the router-global
+/// retry budget — the two pieces that keep retries from amplifying an
+/// overload (docs/ARCHITECTURE.md "Overload & degradation").  The breaker
+/// runs against a FakeClock, so the open-window and half-open probe
+/// transitions are exercised without sleeping.
+
+#include "cluster/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/retry_budget.h"
+#include "common/clock.h"
+
+namespace vs::cluster {
+namespace {
+
+CircuitBreakerOptions Options(const FakeClock* clock) {
+  CircuitBreakerOptions options;
+  options.trip_after = 3;
+  options.open_seconds = 1.0;
+  options.clock = clock;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  FakeClock clock(1'000'000);
+  CircuitBreaker breaker(Options(&clock));
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(CircuitBreakerTest, SparseFailuresNeverTrip) {
+  FakeClock clock(1'000'000);
+  CircuitBreaker breaker(Options(&clock));
+  // trip_after = 3: two failures, a success, two more failures — the
+  // success resets the consecutive streak, so the breaker stays closed.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresOpenOnce) {
+  FakeClock clock(1'000'000);
+  CircuitBreaker breaker(Options(&clock));
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  // Only the opening transition reports true (the caller counts opens).
+  EXPECT_TRUE(breaker.RecordFailure());
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.RecordFailure());  // already open: no new transition
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  FakeClock clock(1'000'000);
+  CircuitBreaker breaker(Options(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceSeconds(0.5);
+  EXPECT_FALSE(breaker.Allow());  // still inside the open window
+  clock.AdvanceSeconds(0.6);
+  EXPECT_TRUE(breaker.Allow());  // the probe
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // second request waits for the probe
+  EXPECT_EQ(breaker.probes(), 1u);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  FakeClock clock(1'000'000);
+  CircuitBreaker breaker(Options(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceSeconds(1.1);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndProbesAgain) {
+  FakeClock clock(1'000'000);
+  CircuitBreaker breaker(Options(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceSeconds(1.1);
+  ASSERT_TRUE(breaker.Allow());
+  EXPECT_TRUE(breaker.RecordFailure());  // failed probe = a fresh open
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.opens(), 2u);
+  clock.AdvanceSeconds(1.1);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.probes(), 2u);
+}
+
+TEST(CircuitBreakerTest, SuccessWhileOpenDoesNotClose) {
+  // A late success from a request dispatched before the trip must not
+  // short-circuit the open window — only a half-open probe may close.
+  FakeClock clock(1'000'000);
+  CircuitBreaker breaker(Options(&clock));
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+}
+
+TEST(RetryBudgetTest, StartsFullAndBoundsBurst) {
+  RetryBudgetOptions options;
+  options.max_tokens = 3.0;
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+  EXPECT_EQ(budget.withdrawals(), 3u);
+  EXPECT_EQ(budget.suppressed(), 1u);
+}
+
+TEST(RetryBudgetTest, SuccessesRefillAtDepositRate) {
+  RetryBudgetOptions options;
+  options.max_tokens = 2.0;
+  // 0.25 is exact in binary, so the "four successes buy one retry"
+  // boundary below is deterministic.
+  options.deposit_per_success = 0.25;
+  RetryBudget budget(options);
+  while (budget.TryWithdraw()) {
+  }
+  for (int i = 0; i < 3; ++i) budget.RecordSuccess();
+  EXPECT_FALSE(budget.TryWithdraw());
+  budget.RecordSuccess();
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+}
+
+TEST(RetryBudgetTest, DepositsCapAtMaxTokens) {
+  RetryBudgetOptions options;
+  options.max_tokens = 2.0;
+  options.deposit_per_success = 1.0;
+  RetryBudget budget(options);
+  for (int i = 0; i < 100; ++i) budget.RecordSuccess();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_TRUE(budget.TryWithdraw());
+  EXPECT_FALSE(budget.TryWithdraw());
+}
+
+}  // namespace
+}  // namespace vs::cluster

@@ -112,6 +112,7 @@ struct UserStats {
   uint64_t labels = 0;
   uint64_t reconnects = 0;       ///< stale keep-alive resends
   uint64_t backoff_retries = 0;  ///< RetryOptions attempts past the first
+  uint64_t retries_suppressed = 0;  ///< retries a budget/deadline refused
   std::vector<std::string> error_samples;  ///< first few, for the report
   std::vector<WorstRequest> worst;  ///< up to worst_n slowest, unsorted
   size_t worst_n = 0;
@@ -152,6 +153,7 @@ struct LoadgenConfig {
   std::string filter_col;        ///< numeric column for cold-phase filters
   int retries = 0;               ///< transport retries per request
   double retry_deadline_seconds = 0.0;  ///< cap across attempts (0 = none)
+  bool retry_shed = false;  ///< also retry 429/503 sheds (Retry-After honored)
   double slo_ms = 0.0;           ///< per-endpoint budget (0 = no verdicts)
   size_t worst = 5;              ///< slowest requests to dump (0 = none)
   int require_shards = 0;        ///< fail unless >= N distinct X-Shards seen
@@ -165,6 +167,10 @@ void ConfigureRetries(serve::HttpClient& client, const LoadgenConfig& config,
   retry.max_attempts = config.retries + 1;
   retry.deadline_seconds = config.retry_deadline_seconds;
   retry.jitter_seed = config.seed + static_cast<uint64_t>(user_index);
+  // --retry-shed re-offers shed requests after the server's advised
+  // Retry-After pause (the client honors the header on retried 503/429).
+  retry.retry_503 = config.retry_shed;
+  retry.retry_429 = config.retry_shed;
   client.set_retry_options(retry);
 }
 
@@ -324,6 +330,7 @@ void RunUser(const LoadgenConfig& config, int user_index, UserStats& stats) {
   }
   stats.reconnects += client.retries();
   stats.backoff_retries += client.backoff_retries();
+  stats.retries_suppressed += client.retries_suppressed_by_budget();
 }
 
 /// Global churn-session counter; drives the cold phase's distinct filters
@@ -398,6 +405,7 @@ uint64_t RunChurnUser(const LoadgenConfig& config, int user_index,
   }
   stats.reconnects += client.retries();
   stats.backoff_retries += client.backoff_retries();
+  stats.retries_suppressed += client.retries_suppressed_by_budget();
   return sessions;
 }
 
@@ -529,6 +537,7 @@ int main(int argc, char** argv) {
   config.filter_col = args.Get("filter-col", "num_lab_procedures");
   config.retries = static_cast<int>(args.GetInt("retries", 0));
   config.retry_deadline_seconds = args.GetDouble("retry-deadline", 0.0);
+  config.retry_shed = args.Get("retry-shed") == "true";
   config.slo_ms = args.GetDouble("slo-ms", 0.0);
   config.worst = static_cast<size_t>(std::max<int64_t>(
       0, args.GetInt("worst", 5)));
@@ -537,8 +546,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: loadgen --port=P [--users=M] [--duration=S]"
                          " [--think-ms=T] [--table=F] [--k=K] [--seed=S]"
                          " [--repeat-query] [--filter-col=C] [--retries=N]"
-                         " [--retry-deadline=S] [--slo-ms=B] [--worst=N]"
-                         " [--require-shards=N]\n");
+                         " [--retry-deadline=S] [--retry-shed] [--slo-ms=B]"
+                         " [--worst=N] [--require-shards=N]\n");
     return 2;
   }
 
@@ -559,12 +568,14 @@ int main(int argc, char** argv) {
                                       churn_stats);
     uint64_t errors = 0;
     uint64_t retries = 0;
+    uint64_t suppressed = 0;
     std::map<std::string, std::vector<double>> by_endpoint;
     std::map<std::string, uint64_t> shard_counts;
     std::vector<WorstRequest> worst;
     for (const UserStats& s : churn_stats) {
       errors += s.errors;
       retries += s.backoff_retries + s.reconnects;
+      suppressed += s.retries_suppressed;
       for (const std::string& sample : s.error_samples) {
         std::fprintf(stderr, "error sample: %s\n", sample.c_str());
       }
@@ -580,9 +591,10 @@ int main(int argc, char** argv) {
     std::printf("cold sessions/s: %.2f\n", cold);
     std::printf("warm sessions/s: %.2f\n", warm);
     std::printf("warm/cold speedup: %.2fx\n", cold > 0 ? warm / cold : 0.0);
-    std::printf("errors: %llu (retries: %llu)\n",
+    std::printf("errors: %llu (retries: %llu, %llu suppressed by budget)\n",
                 static_cast<unsigned long long>(errors),
-                static_cast<unsigned long long>(retries));
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(suppressed));
     PrintEndpointReport(by_endpoint, config.slo_ms);
     const bool shards_ok =
         PrintShardReport(shard_counts, config.require_shards);
@@ -614,6 +626,7 @@ int main(int argc, char** argv) {
     total.labels += s.labels;
     total.reconnects += s.reconnects;
     total.backoff_retries += s.backoff_retries;
+    total.retries_suppressed += s.retries_suppressed;
     total.latencies.insert(total.latencies.end(), s.latencies.begin(),
                            s.latencies.end());
     for (const auto& [endpoint, latencies] : s.endpoint_latencies) {
@@ -646,9 +659,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.backpressure));
   std::printf("errors:       %llu\n",
               static_cast<unsigned long long>(total.errors));
-  std::printf("retries:      %llu backoff, %llu reconnects\n",
+  std::printf("retries:      %llu backoff, %llu reconnects, "
+              "%llu suppressed by budget\n",
               static_cast<unsigned long long>(total.backoff_retries),
-              static_cast<unsigned long long>(total.reconnects));
+              static_cast<unsigned long long>(total.reconnects),
+              static_cast<unsigned long long>(total.retries_suppressed));
   PrintLatency("p50", total.latencies, 0.50);
   PrintLatency("p95", total.latencies, 0.95);
   PrintLatency("p99", total.latencies, 0.99);

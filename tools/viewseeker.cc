@@ -33,6 +33,15 @@
 ///                         request service time for scaling benchmarks)
 ///                        [--simulate-cores=0]  (cap on concurrently
 ///                         simulated requests; 0 = unbounded)
+///                        [--no-admission]  (disable the adaptive AIMD
+///                         admission limiter; static queue bounds only)
+///                        [--brownout-deadline-ms=50]  (serve degraded
+///                         instead of shedding when the remaining
+///                         deadline is below this)
+///                        [--degraded-alpha=0.25]  (sample rate for
+///                         brownout session builds; 1.0 = always exact)
+///                        [--heal-interval=0.5]  (background healer
+///                         cadence for degraded sessions; <= 0 off)
 ///                        [--build-info]  (print build provenance, exit)
 ///                        (JSON-over-HTTP session server; see
 ///                         docs/ARCHITECTURE.md "Serving" for the protocol.
@@ -48,7 +57,15 @@
 ///                        [--probe-interval=1.0] [--forward-timeout=10]
 ///                        [--forward-attempts=3] [--retry-backoff=0.05]
 ///                        [--migrate-hold=10] [--workers=N]
-///                        [--max-queued=64] [--build-info]
+///                        [--max-queued=64]
+///                        [--breaker-trip-after=5] [--breaker-open=1.0]
+///                         (per-shard circuit breaker: consecutive 5xx
+///                         to open, cool-down before half-open probing)
+///                        [--retry-budget-tokens=10]
+///                        [--retry-budget-deposit=0.1]
+///                         (global retry budget: bucket size, tokens
+///                         minted per successful forward)
+///                        [--build-info]
 ///                        (cluster front-end: consistent-hash session
 ///                         routing over N `viewseeker serve` workers,
 ///                         aggregated /healthz /metrics /statusz, and
@@ -463,6 +480,8 @@ int CmdServe(const Args& args) {
                          "slo-ms", "slo-window", "wide-events-out",
                          "wide-event-sample", "shard-name",
                          "simulate-service-ms", "simulate-cores",
+                         "no-admission", "brownout-deadline-ms",
+                         "degraded-alpha", "heal-interval",
                          "build-info"});
 
   if (args.GetBool("build-info")) {
@@ -487,6 +506,8 @@ int CmdServe(const Args& args) {
   manager_options.snapshot_every_labels =
       static_cast<size_t>(args.GetInt("snapshot-every", 128));
   manager_options.durability_fsync = !args.GetBool("no-fsync");
+  manager_options.degraded_sample_rate = args.GetDouble("degraded-alpha", 0.25);
+  manager_options.heal_interval_seconds = args.GetDouble("heal-interval", 0.5);
   serve::SessionManager manager(manager_options, args.Get("table"));
   if (!args.Get("table").empty()) {
     Status preload = manager.PreloadDefaultTable();
@@ -504,8 +525,14 @@ int CmdServe(const Args& args) {
                 static_cast<unsigned long long>(d.quarantined));
   }
   manager.StartReaper();
+  manager.StartHealer();
 
   serve::ServeAppOptions app_options;
+  // The serve tool defaults the adaptive limiter ON (the embedded-library
+  // default is off); --no-admission restores the static policy.
+  app_options.admission_enabled = !args.GetBool("no-admission");
+  app_options.brownout_deadline_ms =
+      args.GetDouble("brownout-deadline-ms", 50.0);
   app_options.shard_name = args.Get("shard-name");
   app_options.simulate_service_ms = args.GetDouble("simulate-service-ms", 0.0);
   app_options.simulate_cores = static_cast<int>(args.GetInt("simulate-cores", 0));
@@ -530,7 +557,9 @@ int CmdServe(const Args& args) {
       "{\"table\":%s,\"shard\":%s,\"max_sessions\":%lld,"
       "\"session_ttl_seconds\":%.1f,"
       "\"durability\":%s,\"slow_request_ms\":%.1f,\"slo_budget_ms\":%.1f,"
-      "\"slo_window_seconds\":%.1f,\"wide_event_sample\":%llu}",
+      "\"slo_window_seconds\":%.1f,\"wide_event_sample\":%llu,"
+      "\"admission\":%s,\"brownout_deadline_ms\":%.1f,"
+      "\"degraded_alpha\":%.2f,\"heal_interval_seconds\":%.2f}",
       serve::JsonQuote(args.Get("table")).c_str(),
       serve::JsonQuote(app_options.shard_name).c_str(),
       static_cast<long long>(args.GetInt("max-sessions", 256)),
@@ -538,7 +567,11 @@ int CmdServe(const Args& args) {
       manager.durability_enabled() ? "true" : "false",
       app_options.slow_request_ms, app_options.slo_budget_ms,
       app_options.slo_window_seconds,
-      static_cast<unsigned long long>(app_options.wide_event_sample));
+      static_cast<unsigned long long>(app_options.wide_event_sample),
+      app_options.admission_enabled ? "true" : "false",
+      app_options.brownout_deadline_ms,
+      manager_options.degraded_sample_rate,
+      manager_options.heal_interval_seconds);
   serve::ServeApp app(&manager, app_options);
 
   serve::HttpServerOptions server_options;
@@ -639,6 +672,8 @@ int CmdRoute(const Args& args) {
                          "virtual-nodes", "eject-after", "probe-interval",
                          "forward-timeout", "forward-attempts",
                          "retry-backoff", "migrate-hold", "seed",
+                         "breaker-trip-after", "breaker-open",
+                         "retry-budget-tokens", "retry-budget-deposit",
                          "build-info"});
 
   if (args.GetBool("build-info")) {
@@ -668,6 +703,12 @@ int CmdRoute(const Args& args) {
       static_cast<int>(args.GetInt("forward-attempts", 3));
   options.retry_backoff_seconds = args.GetDouble("retry-backoff", 0.05);
   options.migrate_hold_seconds = args.GetDouble("migrate-hold", 10.0);
+  options.breaker.trip_after =
+      static_cast<int>(args.GetInt("breaker-trip-after", 5));
+  options.breaker.open_seconds = args.GetDouble("breaker-open", 1.0);
+  options.retry_budget.max_tokens = args.GetDouble("retry-budget-tokens", 10.0);
+  options.retry_budget.deposit_per_success =
+      args.GetDouble("retry-budget-deposit", 0.1);
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 0xc105));
   std::string shard_list;
   for (const auto& shard : options.shards) {
@@ -678,10 +719,15 @@ int CmdRoute(const Args& args) {
   options.config_json = StrFormat(
       "{\"shards\":[%s],\"virtual_nodes\":%d,\"eject_after\":%d,"
       "\"probe_interval_seconds\":%.2f,\"forward_timeout_seconds\":%.1f,"
-      "\"forward_attempts\":%d,\"migrate_hold_seconds\":%.1f}",
+      "\"forward_attempts\":%d,\"migrate_hold_seconds\":%.1f,"
+      "\"breaker_trip_after\":%d,\"breaker_open_seconds\":%.2f,"
+      "\"retry_budget_tokens\":%.1f,\"retry_budget_deposit\":%.3f}",
       shard_list.c_str(), options.virtual_nodes, options.eject_after,
       options.probe_interval_seconds, options.forward_timeout_seconds,
-      options.forward_attempts, options.migrate_hold_seconds);
+      options.forward_attempts, options.migrate_hold_seconds,
+      options.breaker.trip_after, options.breaker.open_seconds,
+      options.retry_budget.max_tokens,
+      options.retry_budget.deposit_per_success);
 
   cluster::ClusterRouter router(options);
   Status started_router = router.Start();

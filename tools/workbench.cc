@@ -2,8 +2,13 @@
 ///
 ///   workbench --spec=workloads/mixed_smoke.json --port=P
 ///             [--host=127.0.0.1] [--seed=N] [--duration=S] [--table=F]
-///             [--require-shards=N] [--json-out=F] [--ledger-out=F]
-///             [--dry-run]
+///             [--require-shards=N] [--deadline-ms=D] [--json-out=F]
+///             [--ledger-out=F] [--dry-run]
+///
+/// --deadline-ms stamps every request with X-Deadline-Ms so the server
+/// (and each router hop) can fast-fail or brown out work that cannot
+/// finish in time; resulting 504s count as backpressure, and degraded
+/// (X-Quality) completions plus budget-suppressed retries are reported.
 ///
 /// Loads a declarative workload spec (see src/workload/spec.h for the
 /// schema), compiles it into a deterministic plan — session arrival times,
@@ -98,7 +103,8 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: workbench --spec=F --port=P [--host=H] [--seed=N]\n"
                  "                 [--duration=S] [--table=F]\n"
-                 "                 [--require-shards=N] [--json-out=F]\n"
+                 "                 [--require-shards=N] [--deadline-ms=D]\n"
+                 "                 [--json-out=F]\n"
                  "                 [--ledger-out=F] [--dry-run]\n");
     return 2;
   }
@@ -144,6 +150,7 @@ int Run(int argc, char** argv) {
   options.duration_seconds = args.GetDouble("duration", 0.0);
   options.require_shards =
       static_cast<int>(args.GetInt("require-shards", 0));
+  options.deadline_ms = args.GetDouble("deadline-ms", 0.0);
   auto report = vs::workload::RunWorkload(*plan, options);
   if (!report.ok()) {
     std::fprintf(stderr, "workbench: %s\n",
